@@ -1,0 +1,98 @@
+// Experiment C7 (paper §2.1): "we are investigating cross-system
+// monitoring that will migrate data objects between storage engines as
+// query workloads change ... if the majority of the queries accessing
+// MIMIC II's waveforms use linear algebra, this data would naturally be
+// migrated to an array store."
+//
+// Waveforms start in the relational engine. An array-island workload
+// (per-patient aggregation) hammers them; each query pays the
+// relation->array shim. The monitor notices, migrates the object to the
+// array engine, and the same workload is re-timed.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/bigdawg.h"
+
+using namespace bigdawg;  // NOLINT
+using bench::MedianMs;
+
+int main() {
+  bench::PrintHeader(
+      "C7 -- monitor-driven migration under a workload shift",
+      "objects migrate to the engine that excels at the observed queries");
+
+  core::BigDawg dawg;
+
+  // Waveforms initially live in the RELATIONAL engine (as a table).
+  constexpr int64_t kPatients = 50;
+  constexpr int64_t kSamples = 400;
+  {
+    relational::Table t{Schema({Field("patient_id", DataType::kInt64),
+                                Field("t", DataType::kInt64),
+                                Field("mv", DataType::kDouble)})};
+    Rng rng(3);
+    for (int64_t p = 0; p < kPatients; ++p) {
+      for (int64_t s = 0; s < kSamples; ++s) {
+        t.AppendUnchecked({Value(p), Value(s), Value(rng.NextGaussian())});
+      }
+    }
+    BIGDAWG_CHECK_OK(dawg.postgres().PutTable("waveforms", std::move(t)));
+    BIGDAWG_CHECK_OK(
+        dawg.RegisterObject("waveforms", core::kEnginePostgres, "waveforms"));
+  }
+
+  const std::string kQuery = "ARRAY(aggregate(waveforms, avg, mv, patient_id))";
+
+  // Phase 1: array workload against the relational home (shim every time).
+  double before_ms = MedianMs(7, [&dawg, &kQuery] {
+    auto result = dawg.Execute(kQuery);
+    BIGDAWG_CHECK(result.ok());
+    BIGDAWG_CHECK(result->num_rows() == kPatients);
+  });
+
+  auto suggestions = dawg.monitor().SuggestMigrations(dawg.catalog());
+  std::printf("monitor observed %lld accesses; suggestions: %zu\n",
+              static_cast<long long>(dawg.monitor().AccessCount("waveforms")),
+              suggestions.size());
+  BIGDAWG_CHECK(!suggestions.empty());
+  std::printf("  -> migrate '%s' from %s to %s (%.0f%% of accesses)\n",
+              suggestions[0].object.c_str(), suggestions[0].from_engine.c_str(),
+              suggestions[0].to_engine.c_str(), suggestions[0].share * 100);
+
+  int64_t migrated = *dawg.ApplyMigrations();
+  BIGDAWG_CHECK(migrated == 1);
+  BIGDAWG_CHECK((*dawg.catalog().Lookup("waveforms")).engine == core::kEngineSciDb);
+
+  // Phase 2: the same workload against the array-engine home.
+  double after_ms = MedianMs(7, [&dawg, &kQuery] {
+    auto result = dawg.Execute(kQuery);
+    BIGDAWG_CHECK(result.ok());
+    BIGDAWG_CHECK(result->num_rows() == kPatients);
+  });
+
+  std::printf("\n%-28s %12s\n", "phase", "median ms");
+  std::printf("%-28s %12.2f\n", "before migration (shimmed)", before_ms);
+  std::printf("%-28s %12.2f\n", "after migration (native)", after_ms);
+  std::printf("%-28s %11.1fx\n", "improvement", before_ms / after_ms);
+
+  // Location transparency: the relational island still answers.
+  auto check = *dawg.Execute("SELECT COUNT(*) AS n FROM waveforms");
+  BIGDAWG_CHECK(*check.At(0, "n") == Value(kPatients * kSamples));
+  std::printf(
+      "\nShape check: the workload shift flips the object's home; the same\n"
+      "query text runs faster afterwards, and both islands still resolve\n"
+      "the object (location transparency).\n");
+
+  // Comparative-timing mode: re-execute one workload class on both
+  // engines and report what the monitor learns (paper's learn-by-probing).
+  dawg.monitor().RecordComparison("waveform_linear_algebra",
+                                  core::kEnginePostgres, before_ms);
+  dawg.monitor().RecordComparison("waveform_linear_algebra",
+                                  core::kEngineSciDb, after_ms);
+  auto best = *dawg.monitor().BestEngineFor("waveform_linear_algebra");
+  std::printf("monitor learned best engine for this class: %s\n", best.c_str());
+  return 0;
+}

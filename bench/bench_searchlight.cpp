@@ -1,0 +1,89 @@
+// Experiment C6 (paper §2.2): "Searchlight first speculatively searches
+// for solutions in main-memory over synopsis structures and then
+// validates the candidate results efficiently on the actual data."
+//
+// Compares synopsis-speculate-then-validate against direct search over
+// the raw array, sweeping signal size and synopsis block size.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "searchlight/searchlight.h"
+
+using namespace bigdawg;  // NOLINT
+using bench::MedianMs;
+
+namespace {
+
+array::Array MakeSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = rng.NextGaussian() * 0.2;
+  }
+  // A handful of elevated bursts the search must find.
+  for (size_t burst = 0; burst < n / 4096 + 2; ++burst) {
+    size_t start = rng.NextBelow(n - 64);
+    for (size_t i = start; i < start + 48; ++i) data[i] += 4.0;
+  }
+  return *array::Array::FromVector(data);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "C6 -- Searchlight: synopsis speculation + validation vs direct search",
+      "speculative search over synopses, then efficient validation");
+
+  std::printf("%10s %8s %12s %12s %9s %12s %14s\n", "cells", "block",
+              "synopsis/ms", "direct/ms", "speedup", "candidates",
+              "cells-read");
+  for (size_t n : {16384u, 65536u, 262144u}) {
+    array::Array signal = MakeSignal(n, 11);
+    searchlight::Searchlight sl(signal);
+    constexpr int64_t kLen = 32;
+    constexpr double kThreshold = 2.5;
+
+    for (size_t block : {32u, 128u}) {
+      searchlight::SearchStats fast_stats;
+      std::vector<searchlight::WindowMatch> fast;
+      double fast_ms = MedianMs(3, [&] {
+        fast_stats = {};
+        fast = *sl.FindWindows(kLen, kThreshold, block, &fast_stats);
+      });
+      searchlight::SearchStats direct_stats;
+      std::vector<searchlight::WindowMatch> direct;
+      double direct_ms = MedianMs(3, [&] {
+        direct_stats = {};
+        direct = *sl.FindWindowsDirect(kLen, kThreshold, &direct_stats);
+      });
+      BIGDAWG_CHECK(fast.size() == direct.size());
+
+      std::printf("%10zu %8zu %12.3f %12.3f %8.1fx %12lld %14lld\n", n, block,
+                  fast_ms, direct_ms, direct_ms / fast_ms,
+                  static_cast<long long>(fast_stats.candidates_speculated),
+                  static_cast<long long>(fast_stats.cells_read));
+    }
+  }
+  std::printf(
+      "\nShape check: block-level speculation skips almost every window\n"
+      "(candidates << windows) and results always match the direct search.\n"
+      "The baseline here is an optimal in-memory sliding scan; Searchlight\n"
+      "targets disk-resident arrays, where the cells-read reduction (see\n"
+      "column) dominates. Smaller synopsis blocks speculate more precisely.\n");
+
+  // CP integration: k non-overlapping qualifying windows.
+  std::printf("\n---- CP-model search: 2 non-overlapping qualifying windows ----\n");
+  array::Array signal = MakeSignal(32768, 5);
+  searchlight::Searchlight sl(signal);
+  Stopwatch timer;
+  auto solutions = *sl.FindNonOverlappingWindows(32, 2.5, 2, 64, 10);
+  std::printf("found %zu solutions in %.2f ms (first: [%lld, %lld])\n",
+              solutions.size(), timer.ElapsedMillis(),
+              solutions.empty() ? -1 : static_cast<long long>(solutions[0][0]),
+              solutions.empty() ? -1 : static_cast<long long>(solutions[0][1]));
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Experiment F2 (paper Figure 2): regenerate the SeeDB visualization —
+// the race x hospital-stay view whose target subpopulation reverses the
+// population trend.
+// Experiment C5 (paper §2.2): "SeeDB uses sampling and pruning to
+// identify a candidate set of visualizations that are then computed over
+// the full dataset" — full enumeration vs sample+prune, wall time and
+// rank quality.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "mimic/mimic.h"
+#include "relational/sql_parser.h"
+#include "seedb/seedb.h"
+
+using namespace bigdawg;  // NOLINT
+using bench::MedianMs;
+
+int main() {
+  bench::PrintHeader("F2 -- SeeDB regenerates the Figure 2 visualization",
+                     "an unusual race/stay-duration relationship in the "
+                     "selected population reverses the rest of the data");
+
+  mimic::MimicConfig config;
+  config.num_patients = 4000;
+  config.waveform_seconds = 1;
+  config.waveform_hz = 2;  // waveforms irrelevant here; keep tiny
+  mimic::MimicData data = *mimic::Generate(config);
+
+  seedb::SeeDb recommender(
+      data.admissions,
+      *relational::ParseExpression("diagnosis = 'sepsis'"));
+
+  auto top = *recommender.RecommendFull(3);
+  BIGDAWG_CHECK(!top.empty());
+  std::printf("Top deviating view: %s (utility %.3f)\n",
+              top[0].spec.ToString().c_str(), top[0].utility);
+  std::printf("%s\n", seedb::SeeDb::ResultToTable(top[0]).ToString().c_str());
+  // Verify the reversal is present (white vs black flip).
+  {
+    const auto& d = top[0].distribution;
+    double tw = 0, tb = 0, rw = 0, rb = 0;
+    for (size_t i = 0; i < d.groups.size(); ++i) {
+      if (d.groups[i] == "white") {
+        tw = d.target[i];
+        rw = d.reference[i];
+      }
+      if (d.groups[i] == "black") {
+        tb = d.target[i];
+        rb = d.reference[i];
+      }
+    }
+    std::printf("target (sepsis):   white %.2f vs black %.2f  -> white higher\n",
+                tw, tb);
+    std::printf("reference (rest):  white %.2f vs black %.2f  -> black higher\n",
+                rw, rb);
+    BIGDAWG_CHECK(tw > tb);
+    BIGDAWG_CHECK(rb > rw);
+  }
+
+  bench::PrintHeader("C5 -- SeeDB sampling + pruning vs full enumeration",
+                     "sampling and pruning provide reasonable response times");
+  // A wide analytic table: the realistic setting for SeeDB's search space.
+  // 9 categorical dimensions x (1 COUNT + 4 measures x 2 aggs) = 81 views;
+  // three dimensions carry genuine cohort deviations, the rest are noise.
+  auto make_wide = [](int64_t rows, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Field> fields = {Field("cohort", DataType::kString)};
+    for (int d = 0; d < 9; ++d) {
+      fields.emplace_back("dim" + std::to_string(d), DataType::kString);
+    }
+    for (int m = 0; m < 4; ++m) {
+      fields.emplace_back("m" + std::to_string(m), DataType::kDouble);
+    }
+    relational::Table t{Schema(std::move(fields))};
+    for (int64_t i = 0; i < rows; ++i) {
+      bool in_case = rng.NextBool(0.3);
+      Row row;
+      row.emplace_back(in_case ? "case" : "control");
+      for (int d = 0; d < 9; ++d) {
+        int levels = 3 + d % 3;
+        int level = static_cast<int>(rng.NextBelow(levels));
+        // dims 0..2 are signal: the case cohort skews toward level 0.
+        if (d < 3 && in_case && rng.NextBool(0.7)) level = 0;
+        row.emplace_back("v" + std::to_string(level));
+      }
+      for (int m = 0; m < 4; ++m) {
+        double v = rng.NextGaussian() * 2 + 10;
+        if (m == 0 && in_case) v += 6;  // measure 0 shifts in the cohort
+        row.emplace_back(v);
+      }
+      t.AppendUnchecked(std::move(row));
+    }
+    return t;
+  };
+
+  std::printf("%10s %10s %8s %12s %12s %9s %8s %12s\n", "rows", "sample",
+              "views", "full/ms", "sampled/ms", "speedup", "pruned",
+              "precision@3");
+  for (int64_t rows : {5000, 20000, 50000}) {
+    seedb::SeeDb s(make_wide(rows, 11),
+                   *relational::ParseExpression("cohort = 'case'"));
+
+    std::vector<seedb::ViewResult> full_result;
+    double full_ms = MedianMs(3, [&s, &full_result] {
+      full_result = *s.RecommendFull(3);
+    });
+
+    seedb::SeeDbStats stats;
+    std::vector<seedb::ViewResult> sampled_result;
+    double sampled_ms = MedianMs(3, [&s, &stats, &sampled_result] {
+      sampled_result = *s.RecommendSampled(3, 0.05, 17, &stats);
+    });
+
+    size_t overlap = 0;
+    for (const auto& f : full_result) {
+      for (const auto& g : sampled_result) {
+        if (f.spec == g.spec) {
+          ++overlap;
+          break;
+        }
+      }
+    }
+    std::printf("%10lld %10zu %8zu %12.2f %12.2f %8.1fx %8zu %11.2f\n",
+                static_cast<long long>(rows), stats.sample_rows,
+                stats.views_enumerated, full_ms, sampled_ms,
+                full_ms / sampled_ms, stats.views_pruned,
+                static_cast<double>(overlap) / 3.0);
+  }
+  std::printf(
+      "\nShape check: sampling+pruning cuts latency several-fold while\n"
+      "precision@3 stays at (or near) 1.0 -- SeeDB's interactivity recipe.\n");
+  return 0;
+}

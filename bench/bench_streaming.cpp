@@ -1,0 +1,152 @@
+// Experiment C2 (paper §1.2/§2.3): "data rates can be quite high
+// (hundreds of Hz), and require response times in the tens of
+// milliseconds" — S-Store stand-in latency and throughput at ICU rates.
+// Experiment C9 (paper §3): waveforms age out of the stream engine into
+// the array engine; cross-system queries see live + historical data.
+
+#include <cstdio>
+
+#include "array/array_engine.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "stream/stream_engine.h"
+
+using namespace bigdawg;  // NOLINT
+
+namespace {
+
+void LatencyAtIcuRates() {
+  bench::PrintHeader(
+      "C2 -- streaming latency at ICU rates",
+      "hundreds of Hz per feed, response times in the tens of milliseconds");
+  std::printf("%8s %10s %12s %10s %10s %10s\n", "patients", "rate/Hz",
+              "tuples", "p50/ms", "p99/ms", "max/ms");
+
+  for (int patients : {1, 8, 32, 64}) {
+    constexpr int kHz = 125;  // MIMIC II bedside-device rate
+    constexpr int kSeconds = 2;
+    stream::StreamEngine engine;
+    BIGDAWG_CHECK_OK(engine.CreateStream(
+        "vitals", Schema({Field("patient_id", DataType::kInt64),
+                          Field("mv", DataType::kDouble)}),
+        /*retention=*/100000));
+    BIGDAWG_CHECK_OK(engine.CreateTable(
+        "latest", Schema({Field("patient_id", DataType::kInt64),
+                          Field("mv", DataType::kDouble)})));
+    BIGDAWG_CHECK_OK(engine.RegisterProcedure("track", [](stream::ProcContext* ctx) {
+      return ctx->Put("latest", ctx->input());
+    }));
+    BIGDAWG_CHECK_OK(engine.BindStreamTrigger("vitals", "track"));
+    BIGDAWG_CHECK_OK(engine.CreateWindow("w", "vitals", 64, 16));
+    BIGDAWG_CHECK_OK(engine.RegisterProcedure("alarm", [](stream::ProcContext* ctx) {
+      BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx->Window("w"));
+      double sum = 0;
+      for (const Row& r : rows) sum += r[1].double_unchecked();
+      if (sum / static_cast<double>(rows.size()) > 3.0) {
+        ctx->EmitAlert({Value("high"), Value(sum)});
+      }
+      return Status::OK();
+    }));
+    BIGDAWG_CHECK_OK(engine.BindWindowTrigger("w", "alarm"));
+
+    engine.Start();
+    Rng rng(7);
+    const int total = patients * kHz * kSeconds;
+    for (int i = 0; i < total; ++i) {
+      BIGDAWG_CHECK_OK(engine.Ingest(
+          "vitals", {Value(i % patients), Value(rng.NextGaussian())}));
+    }
+    engine.WaitForDrain();
+    engine.Stop();
+    stream::LatencyStats stats = engine.GetLatencyStats();
+    std::printf("%8d %10d %12lld %10.3f %10.3f %10.3f\n", patients,
+                patients * kHz, static_cast<long long>(stats.count),
+                stats.p50_ms, stats.p99_ms, stats.max_ms);
+  }
+  std::printf(
+      "\nShape check: p99 stays in single-digit-to-tens of milliseconds at\n"
+      "hundreds of Hz aggregate rates -- the paper's real-time envelope.\n");
+}
+
+void SustainedThroughput() {
+  std::printf("\n---- sustained ingest throughput (trigger + window) ----\n");
+  stream::StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream(
+      "vitals", Schema({Field("patient_id", DataType::kInt64),
+                        Field("mv", DataType::kDouble)}),
+      /*retention=*/200000));
+  BIGDAWG_CHECK_OK(engine.CreateWindow("w", "vitals", 128, 64));
+  engine.Start();
+  constexpr int kTuples = 100000;
+  Stopwatch timer;
+  for (int i = 0; i < kTuples; ++i) {
+    BIGDAWG_CHECK_OK(engine.Ingest("vitals", {Value(i % 64), Value(1.0)}));
+  }
+  engine.WaitForDrain();
+  double seconds = timer.ElapsedSeconds();
+  engine.Stop();
+  std::printf("%d tuples in %.2f s = %.0f tuples/s (= %.0f patients at 125 Hz)\n",
+              kTuples, seconds, kTuples / seconds, kTuples / seconds / 125.0);
+}
+
+void AgeOutPipeline() {
+  bench::PrintHeader(
+      "C9 -- stream-to-array age-out (paper SS3)",
+      "data ages out of S-Store and loads into SciDB for historical analysis");
+  array::ArrayEngine scidb;
+  constexpr int64_t kPatients = 4;
+  constexpr int64_t kSamples = 2000;
+  BIGDAWG_CHECK_OK(scidb.CreateArray(
+      "history", {array::Dimension("patient_id", 0, kPatients, 1),
+                  array::Dimension("t", 0, kSamples, 1024)},
+      {"mv"}));
+
+  stream::StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream(
+      "vitals", Schema({Field("patient_id", DataType::kInt64),
+                        Field("t", DataType::kInt64),
+                        Field("mv", DataType::kDouble)}),
+      /*retention=*/500));
+  int64_t aged = 0;
+  engine.SetAgeOutHandler([&scidb, &aged](const std::string&, const Row& row) {
+    BIGDAWG_CHECK_OK(scidb.SetCell("history",
+                                   {row[0].int64_unchecked(), row[1].int64_unchecked()},
+                                   {row[2].double_unchecked()}));
+    ++aged;
+  });
+
+  engine.Start();
+  Stopwatch timer;
+  Rng rng(5);
+  for (int64_t t = 0; t < kSamples; ++t) {
+    for (int64_t p = 0; p < kPatients; ++p) {
+      BIGDAWG_CHECK_OK(
+          engine.Ingest("vitals", {Value(p), Value(t), Value(rng.NextGaussian())}));
+    }
+  }
+  engine.WaitForDrain();
+  double seconds = timer.ElapsedSeconds();
+  engine.Stop();
+
+  auto live = *engine.StreamContents("vitals");
+  auto historical = *scidb.Query("aggregate(history, count, mv)");
+  std::printf("ingested %lld tuples in %.2f s; live buffer=%zu aged-out=%lld\n",
+              static_cast<long long>(kPatients * kSamples), seconds, live.size(),
+              static_cast<long long>(aged));
+  std::printf("array engine sees %.0f historical cells; union covers all %lld\n",
+              (*historical.Get({0}))[0],
+              static_cast<long long>(kPatients * kSamples));
+  BIGDAWG_CHECK(static_cast<int64_t>(live.size()) + aged == kPatients * kSamples);
+}
+
+}  // namespace
+
+int main() {
+  LatencyAtIcuRates();
+  SustainedThroughput();
+  AgeOutPipeline();
+  return 0;
+}

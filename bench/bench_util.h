@@ -1,0 +1,36 @@
+#ifndef BIGDAWG_BENCH_BENCH_UTIL_H_
+#define BIGDAWG_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace bigdawg::bench {
+
+/// Runs `fn` `trials` times and returns the median wall time in ms.
+inline double MedianMs(int trials, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    Stopwatch timer;
+    fn();
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bigdawg::bench
+
+#endif  // BIGDAWG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Exploratory Analysis interface (paper §1.1 / §2.2): SeeDB mines the
+// patient data for the most deviating visualization — regenerating the
+// Figure 2 pattern (race vs hospital stay reversal in a subpopulation) —
+// and Searchlight runs a constraint-programming search over waveforms
+// using synopsis-first speculation.
+//
+// Build & run:  ./build/examples/exploratory_analysis
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/bigdawg.h"
+#include "mimic/mimic.h"
+#include "relational/sql_parser.h"
+#include "searchlight/searchlight.h"
+#include "seedb/seedb.h"
+
+namespace core = bigdawg::core;
+namespace mimic = bigdawg::mimic;
+namespace seedb = bigdawg::seedb;
+namespace searchlight = bigdawg::searchlight;
+
+int main() {
+  core::BigDawg dawg;
+  mimic::MimicConfig config;
+  config.num_patients = 600;
+  config.waveform_seconds = 4;
+  config.waveform_hz = 64;
+  mimic::MimicData data = *mimic::Generate(config);
+  BIGDAWG_CHECK_OK(mimic::LoadIntoBigDawg(data, &dawg));
+
+  // ---------------- SeeDB over the admissions table ----------------
+  std::printf("=== SeeDB: 'tell me something interesting' about sepsis ===\n");
+  auto admissions = *dawg.FetchAsTable("admissions");
+  seedb::SeeDb recommender(admissions,
+                           *bigdawg::relational::ParseExpression(
+                               "diagnosis = 'sepsis'"));
+
+  seedb::SeeDbStats stats;
+  auto views = *recommender.RecommendSampled(/*k=*/3, /*sample_fraction=*/0.2,
+                                             /*seed=*/17, &stats);
+  std::printf("Enumerated %zu views, pruned %zu on a %zu-row sample\n\n",
+              stats.views_enumerated, stats.views_pruned, stats.sample_rows);
+  for (const seedb::ViewResult& view : views) {
+    std::printf("Utility %.3f -- %s\n", view.utility, view.spec.ToString().c_str());
+    std::printf("%s\n", seedb::SeeDb::ResultToTable(view).ToString().c_str());
+  }
+  if (!views.empty()) {
+    std::printf(
+        "The top view reproduces the paper's Figure 2: within the selected\n"
+        "subpopulation the race / stay-length relationship reverses the\n"
+        "trend seen in the rest of the data.\n\n");
+  }
+
+  // ---------------- Searchlight over a waveform ----------------
+  std::printf("=== Searchlight: CP search for elevated waveform windows ===\n");
+  // Flatten patient 0's waveform to a 1-D array and inject an elevated burst.
+  const int64_t samples = config.waveform_seconds * config.waveform_hz;
+  std::vector<double> signal;
+  signal.reserve(static_cast<size_t>(samples));
+  for (int64_t t = 0; t < samples; ++t) {
+    auto cell = data.waveforms.Get({0, t});
+    signal.push_back(cell.ok() ? (*cell)[0] : 0.0);
+  }
+  for (size_t i = 100; i < 140 && i < signal.size(); ++i) signal[i] += 4.0;
+
+  searchlight::Searchlight sl(*bigdawg::array::Array::FromVector(signal));
+  searchlight::SearchStats search_stats;
+  auto matches = *sl.FindWindows(/*length=*/16, /*threshold=*/3.0,
+                                 /*block_size=*/16, &search_stats);
+  std::printf("Windows >= threshold: %zu (speculation pruned %lld of %lld "
+              "windows before touching data; %lld cells read)\n",
+              matches.size(),
+              static_cast<long long>(search_stats.windows_considered -
+                                     search_stats.candidates_speculated),
+              static_cast<long long>(search_stats.windows_considered),
+              static_cast<long long>(search_stats.cells_read));
+  for (size_t i = 0; i < matches.size() && i < 5; ++i) {
+    std::printf("  window @%lld len=%lld avg=%.2f\n",
+                static_cast<long long>(matches[i].start),
+                static_cast<long long>(matches[i].length), matches[i].avg);
+  }
+  return 0;
+}

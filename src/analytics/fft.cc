@@ -1,0 +1,88 @@
+#include "analytics/fft.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bigdawg::analytics {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+Status FftInternal(std::vector<std::complex<double>>* data, bool inverse) {
+  std::vector<std::complex<double>>& a = *data;
+  const size_t n = a.size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("FFT length must be a power of two, got " +
+                                   std::to_string(n));
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2 * kPi / static_cast<double>(len) * (inverse ? 1 : -1);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = a[i + k];
+        std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status Fft(std::vector<std::complex<double>>* data) {
+  return FftInternal(data, /*inverse=*/false);
+}
+
+Status InverseFft(std::vector<std::complex<double>>* data) {
+  return FftInternal(data, /*inverse=*/true);
+}
+
+Result<std::vector<double>> PowerSpectrum(const std::vector<double>& signal) {
+  if (signal.empty()) return Status::InvalidArgument("empty signal");
+  const size_t n = NextPowerOfTwo(signal.size());
+  std::vector<std::complex<double>> buf(n);
+  for (size_t i = 0; i < signal.size(); ++i) buf[i] = signal[i];
+  BIGDAWG_RETURN_NOT_OK(Fft(&buf));
+  std::vector<double> spectrum(n / 2);
+  for (size_t k = 0; k < n / 2; ++k) spectrum[k] = std::abs(buf[k]);
+  return spectrum;
+}
+
+Result<size_t> DominantFrequencyBin(const std::vector<double>& signal) {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<double> spectrum, PowerSpectrum(signal));
+  if (spectrum.size() < 2) {
+    return Status::InvalidArgument("signal too short for spectral analysis");
+  }
+  size_t best = 1;  // skip the DC bin
+  for (size_t k = 2; k < spectrum.size(); ++k) {
+    if (spectrum[k] > spectrum[best]) best = k;
+  }
+  return best;
+}
+
+}  // namespace bigdawg::analytics

@@ -1,0 +1,31 @@
+#ifndef BIGDAWG_ANALYTICS_FFT_H_
+#define BIGDAWG_ANALYTICS_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::analytics {
+
+/// \brief In-place radix-2 Cooley-Tukey FFT. Length must be a power of two.
+Status Fft(std::vector<std::complex<double>>* data);
+
+/// \brief Inverse FFT (unscaled input, output scaled by 1/N).
+Status InverseFft(std::vector<std::complex<double>>* data);
+
+/// \brief Magnitude spectrum of a real signal: pads to the next power of
+/// two with zeros and returns |X[k]| for k in [0, N/2).
+Result<std::vector<double>> PowerSpectrum(const std::vector<double>& signal);
+
+/// \brief Index of the dominant non-DC frequency bin of a real signal —
+/// the primitive the ICU workflow uses to compare a live waveform's
+/// rhythm against a reference.
+Result<size_t> DominantFrequencyBin(const std::vector<double>& signal);
+
+/// \brief Next power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace bigdawg::analytics
+
+#endif  // BIGDAWG_ANALYTICS_FFT_H_

@@ -1,0 +1,110 @@
+#include "analytics/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace bigdawg::analytics {
+
+namespace {
+
+double SquaredDistance(const Vec& a, const Vec& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Mat& samples, size_t k, uint64_t seed,
+                            size_t max_iters) {
+  const size_t n = samples.size();
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (n < k) return Status::FailedPrecondition("fewer samples than clusters");
+  const size_t d = samples[0].size();
+  for (const Vec& row : samples) {
+    if (row.size() != d) return Status::InvalidArgument("ragged sample matrix");
+  }
+
+  Rng rng(seed);
+  // k-means++ seeding.
+  Mat centroids;
+  centroids.push_back(samples[rng.NextBelow(n)]);
+  std::vector<double> dist2(n, 0.0);
+  while (centroids.size() < k) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Vec& c : centroids) best = std::min(best, SquaredDistance(samples[i], c));
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0) {
+      // All points coincide with centroids; duplicate one.
+      centroids.push_back(samples[rng.NextBelow(n)]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = 0;
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += dist2[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(samples[chosen]);
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        double dd = SquaredDistance(samples[i], centroids[c]);
+        if (dd < best_d) {
+          best_d = dd;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update step.
+    Mat sums(k, Vec(d, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignment[i];
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) sums[c][j] += samples[i][j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep previous centroid for empty cluster
+      for (size_t j = 0; j < d; ++j) {
+        centroids[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+
+  result.centroids = std::move(centroids);
+  result.inertia = 0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(samples[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace bigdawg::analytics

@@ -1,0 +1,27 @@
+#ifndef BIGDAWG_ANALYTICS_KMEANS_H_
+#define BIGDAWG_ANALYTICS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/linalg.h"
+#include "common/result.h"
+
+namespace bigdawg::analytics {
+
+/// \brief k-means clustering result.
+struct KMeansResult {
+  Mat centroids;                  // k x d
+  std::vector<size_t> assignment; // per-sample cluster index
+  double inertia = 0;             // sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+/// \brief Lloyd's algorithm with k-means++ seeding (deterministic from
+/// `seed`). Samples is a row-major n x d matrix; requires n >= k >= 1.
+Result<KMeansResult> KMeans(const Mat& samples, size_t k, uint64_t seed = 42,
+                            size_t max_iters = 100);
+
+}  // namespace bigdawg::analytics
+
+#endif  // BIGDAWG_ANALYTICS_KMEANS_H_

@@ -1,0 +1,174 @@
+#include "analytics/linalg.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bigdawg::analytics {
+
+Result<double> Dot(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("dot: length mismatch " +
+                                   std::to_string(a.size()) + " vs " +
+                                   std::to_string(b.size()));
+  }
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const Vec& a) {
+  double sum = 0;
+  for (double v : a) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Result<Vec> MatVec(const Mat& m, const Vec& x) {
+  Vec y(m.size(), 0.0);
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (m[i].size() != x.size()) {
+      return Status::InvalidArgument("matvec: width mismatch on row " +
+                                     std::to_string(i));
+    }
+    double sum = 0;
+    for (size_t j = 0; j < x.size(); ++j) sum += m[i][j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Result<Mat> MatMul(const Mat& a, const Mat& b) {
+  if (a.empty() || b.empty()) return Status::InvalidArgument("empty matrix");
+  const size_t n = a.size();
+  const size_t k = b.size();
+  const size_t m = b[0].size();
+  for (const auto& row : a) {
+    if (row.size() != k) return Status::InvalidArgument("matmul: inner mismatch");
+  }
+  Mat c(n, Vec(m, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double aik = a[i][kk];
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < m; ++j) c[i][j] += aik * b[kk][j];
+    }
+  }
+  return c;
+}
+
+Mat Transpose(const Mat& m) {
+  if (m.empty()) return {};
+  Mat t(m[0].size(), Vec(m.size()));
+  for (size_t i = 0; i < m.size(); ++i) {
+    for (size_t j = 0; j < m[i].size(); ++j) t[j][i] = m[i][j];
+  }
+  return t;
+}
+
+Result<Vec> SolveLinearSystem(Mat a, Vec b) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("solve: bad dimensions");
+  }
+  for (const auto& row : a) {
+    if (row.size() != n) return Status::InvalidArgument("solve: non-square matrix");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::FailedPrecondition("singular matrix in solve");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  Vec x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= a[i][j] * x[j];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+Result<Vec> ColumnMeans(const Mat& samples) {
+  if (samples.empty()) return Status::InvalidArgument("no samples");
+  const size_t d = samples[0].size();
+  Vec means(d, 0.0);
+  for (const Vec& row : samples) {
+    if (row.size() != d) return Status::InvalidArgument("ragged sample matrix");
+    for (size_t j = 0; j < d; ++j) means[j] += row[j];
+  }
+  for (double& m : means) m /= static_cast<double>(samples.size());
+  return means;
+}
+
+Result<Mat> CovarianceMatrix(const Mat& samples) {
+  if (samples.size() < 2) {
+    return Status::FailedPrecondition("covariance needs >= 2 samples");
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(Vec means, ColumnMeans(samples));
+  const size_t n = samples.size();
+  const size_t d = means.size();
+  Mat cov(d, Vec(d, 0.0));
+  for (const Vec& row : samples) {
+    for (size_t i = 0; i < d; ++i) {
+      const double di = row[i] - means[i];
+      for (size_t j = i; j < d; ++j) {
+        cov[i][j] += di * (row[j] - means[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov[i][j] /= denom;
+      cov[j][i] = cov[i][j];
+    }
+  }
+  return cov;
+}
+
+Result<double> Mean(const Vec& v) {
+  if (v.empty()) return Status::FailedPrecondition("mean of empty vector");
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+Result<double> Variance(const Vec& v) {
+  if (v.size() < 2) return Status::FailedPrecondition("variance needs >= 2 values");
+  BIGDAWG_ASSIGN_OR_RETURN(double m, Mean(v));
+  double sum = 0;
+  for (double x : v) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(v.size() - 1);
+}
+
+Result<double> PearsonCorrelation(const Vec& x, const Vec& y) {
+  if (x.size() != y.size()) return Status::InvalidArgument("length mismatch");
+  if (x.size() < 2) return Status::FailedPrecondition("correlation needs >= 2");
+  BIGDAWG_ASSIGN_OR_RETURN(double mx, Mean(x));
+  BIGDAWG_ASSIGN_OR_RETURN(double my, Mean(y));
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) {
+    return Status::FailedPrecondition("zero variance in correlation");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace bigdawg::analytics

@@ -1,0 +1,50 @@
+#ifndef BIGDAWG_ANALYTICS_LINALG_H_
+#define BIGDAWG_ANALYTICS_LINALG_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::analytics {
+
+using Vec = std::vector<double>;
+using Mat = std::vector<std::vector<double>>;
+
+/// \brief Dot product; lengths must match.
+Result<double> Dot(const Vec& a, const Vec& b);
+
+/// \brief Euclidean norm.
+double Norm(const Vec& a);
+
+/// \brief y = M * x.
+Result<Vec> MatVec(const Mat& m, const Vec& x);
+
+/// \brief C = A * B (dense, cache-friendly i-k-j order).
+Result<Mat> MatMul(const Mat& a, const Mat& b);
+
+/// \brief Transpose.
+Mat Transpose(const Mat& m);
+
+/// \brief Solves A x = b by Gaussian elimination with partial pivoting;
+/// FailedPrecondition when A is (numerically) singular.
+Result<Vec> SolveLinearSystem(Mat a, Vec b);
+
+/// \brief Column means of a row-major sample matrix (n x d).
+Result<Vec> ColumnMeans(const Mat& samples);
+
+/// \brief d x d sample covariance matrix of a row-major n x d matrix
+/// (denominator n-1; requires n >= 2).
+Result<Mat> CovarianceMatrix(const Mat& samples);
+
+/// \brief Mean of a vector; FailedPrecondition when empty.
+Result<double> Mean(const Vec& v);
+
+/// \brief Sample variance (denominator n-1; requires n >= 2).
+Result<double> Variance(const Vec& v);
+
+/// \brief Pearson correlation of two equal-length vectors.
+Result<double> PearsonCorrelation(const Vec& x, const Vec& y);
+
+}  // namespace bigdawg::analytics
+
+#endif  // BIGDAWG_ANALYTICS_LINALG_H_

@@ -1,0 +1,70 @@
+#include "analytics/pca.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace bigdawg::analytics {
+
+Result<std::vector<PrincipalComponent>> Pca(const Mat& samples, size_t k,
+                                            size_t max_iters, double tolerance) {
+  if (samples.size() < 2) return Status::FailedPrecondition("PCA needs >= 2 samples");
+  const size_t d = samples[0].size();
+  if (k == 0 || k > d) {
+    return Status::InvalidArgument("k must be in [1, d]");
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(Mat cov, CovarianceMatrix(samples));
+
+  Rng rng(1234567);
+  std::vector<PrincipalComponent> components;
+  for (size_t comp = 0; comp < k; ++comp) {
+    // Power iteration with a deterministic random start.
+    Vec v(d);
+    for (double& x : v) x = rng.NextGaussian();
+    double norm = Norm(v);
+    for (double& x : v) x /= norm;
+
+    double eigenvalue = 0;
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+      BIGDAWG_ASSIGN_OR_RETURN(Vec w, MatVec(cov, v));
+      double wnorm = Norm(w);
+      if (wnorm < 1e-14) {
+        eigenvalue = 0;
+        break;  // null direction: remaining variance is ~0
+      }
+      for (double& x : w) x /= wnorm;
+      // Convergence: |1 - |<v, w>|| small.
+      BIGDAWG_ASSIGN_OR_RETURN(double cos_angle, Dot(v, w));
+      v = std::move(w);
+      eigenvalue = wnorm;
+      if (std::fabs(1.0 - std::fabs(cos_angle)) < tolerance) break;
+    }
+    components.push_back({v, eigenvalue});
+
+    // Deflate: cov -= lambda * v v^T.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        cov[i][j] -= eigenvalue * v[i] * v[j];
+      }
+    }
+  }
+  return components;
+}
+
+Result<Mat> ProjectOntoComponents(const Mat& samples,
+                                  const std::vector<PrincipalComponent>& comps) {
+  BIGDAWG_ASSIGN_OR_RETURN(Vec means, ColumnMeans(samples));
+  Mat scores(samples.size(), Vec(comps.size(), 0.0));
+  for (size_t s = 0; s < samples.size(); ++s) {
+    Vec centered(means.size());
+    for (size_t j = 0; j < means.size(); ++j) centered[j] = samples[s][j] - means[j];
+    for (size_t c = 0; c < comps.size(); ++c) {
+      BIGDAWG_ASSIGN_OR_RETURN(double score, Dot(centered, comps[c].direction));
+      scores[s][c] = score;
+    }
+  }
+  return scores;
+}
+
+}  // namespace bigdawg::analytics

@@ -1,0 +1,30 @@
+#ifndef BIGDAWG_ANALYTICS_PCA_H_
+#define BIGDAWG_ANALYTICS_PCA_H_
+
+#include <vector>
+
+#include "analytics/linalg.h"
+#include "common/result.h"
+
+namespace bigdawg::analytics {
+
+/// \brief One principal component.
+struct PrincipalComponent {
+  Vec direction;      // unit vector, length d
+  double eigenvalue;  // variance explained along the direction
+};
+
+/// \brief Top-k PCA of a row-major n x d sample matrix via power iteration
+/// with deflation on the covariance matrix (the "eigenanalysis (e.g.
+/// power iterations)" of the paper's §2.4).
+Result<std::vector<PrincipalComponent>> Pca(const Mat& samples, size_t k,
+                                            size_t max_iters = 500,
+                                            double tolerance = 1e-9);
+
+/// \brief Projects samples onto the given components (n x k scores).
+Result<Mat> ProjectOntoComponents(const Mat& samples,
+                                  const std::vector<PrincipalComponent>& comps);
+
+}  // namespace bigdawg::analytics
+
+#endif  // BIGDAWG_ANALYTICS_PCA_H_

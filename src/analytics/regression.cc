@@ -1,0 +1,67 @@
+#include "analytics/regression.h"
+
+#include "common/macros.h"
+
+namespace bigdawg::analytics {
+
+Result<double> RegressionModel::Predict(const Vec& features) const {
+  if (features.size() + 1 != coefficients.size()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(coefficients.size() - 1) +
+                                   " features, got " +
+                                   std::to_string(features.size()));
+  }
+  double y = coefficients[0];
+  for (size_t i = 0; i < features.size(); ++i) y += coefficients[i + 1] * features[i];
+  return y;
+}
+
+Result<RegressionModel> FitLinearRegression(const Mat& x, const Vec& y) {
+  const size_t n = x.size();
+  if (n == 0 || y.size() != n) {
+    return Status::InvalidArgument("regression: bad sample dimensions");
+  }
+  const size_t d = x[0].size();
+  if (n <= d + 1) {
+    return Status::FailedPrecondition("regression needs n > d + 1 samples");
+  }
+  // Design matrix with intercept column; solve (A^T A) beta = A^T y.
+  const size_t p = d + 1;
+  Mat ata(p, Vec(p, 0.0));
+  Vec aty(p, 0.0);
+  Vec row(p);
+  for (size_t s = 0; s < n; ++s) {
+    if (x[s].size() != d) return Status::InvalidArgument("ragged design matrix");
+    row[0] = 1.0;
+    for (size_t j = 0; j < d; ++j) row[j + 1] = x[s][j];
+    for (size_t i = 0; i < p; ++i) {
+      for (size_t j = i; j < p; ++j) ata[i][j] += row[i] * row[j];
+      aty[i] += row[i] * y[s];
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(Vec beta, SolveLinearSystem(std::move(ata), std::move(aty)));
+
+  RegressionModel model;
+  model.coefficients = std::move(beta);
+
+  BIGDAWG_ASSIGN_OR_RETURN(double y_mean, Mean(y));
+  double ss_res = 0, ss_tot = 0;
+  for (size_t s = 0; s < n; ++s) {
+    BIGDAWG_ASSIGN_OR_RETURN(double pred, model.Predict(x[s]));
+    ss_res += (y[s] - pred) * (y[s] - pred);
+    ss_tot += (y[s] - y_mean) * (y[s] - y_mean);
+  }
+  model.r_squared = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return model;
+}
+
+Result<RegressionModel> FitSimpleRegression(const Vec& x, const Vec& y) {
+  Mat design(x.size(), Vec(1));
+  for (size_t i = 0; i < x.size(); ++i) design[i][0] = x[i];
+  return FitLinearRegression(design, y);
+}
+
+}  // namespace bigdawg::analytics

@@ -1,0 +1,29 @@
+#ifndef BIGDAWG_ANALYTICS_REGRESSION_H_
+#define BIGDAWG_ANALYTICS_REGRESSION_H_
+
+#include <vector>
+
+#include "analytics/linalg.h"
+#include "common/result.h"
+
+namespace bigdawg::analytics {
+
+/// \brief Ordinary-least-squares fit result.
+struct RegressionModel {
+  Vec coefficients;  // [intercept, beta_1, ..., beta_d]
+  double r_squared = 0;
+
+  /// Predicted value for a feature vector of length d.
+  Result<double> Predict(const Vec& features) const;
+};
+
+/// \brief Fits y ~ 1 + X via the normal equations (X is n x d row-major).
+/// Requires n > d and a non-singular design.
+Result<RegressionModel> FitLinearRegression(const Mat& x, const Vec& y);
+
+/// \brief Convenience simple regression y ~ 1 + x.
+Result<RegressionModel> FitSimpleRegression(const Vec& x, const Vec& y);
+
+}  // namespace bigdawg::analytics
+
+#endif  // BIGDAWG_ANALYTICS_REGRESSION_H_

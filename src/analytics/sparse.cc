@@ -1,0 +1,120 @@
+#include "analytics/sparse.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bigdawg::analytics {
+
+Result<CsrMatrix> CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                          std::vector<Triplet> triplets) {
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("matrix dimensions must be positive");
+  }
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::OutOfRange("triplet (" + std::to_string(t.row) + "," +
+                                std::to_string(t.col) + ") outside " +
+                                std::to_string(rows) + "x" + std::to_string(cols));
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (size_t i = 0; i < triplets.size();) {
+    // Sum duplicates.
+    size_t j = i + 1;
+    double sum = triplets[i].value;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      m.col_idx_.push_back(triplets[i].col);
+      m.values_.push_back(sum);
+      ++m.row_ptr_[static_cast<size_t>(triplets[i].row) + 1];
+    }
+    i = j;
+  }
+  for (size_t r = 1; r < m.row_ptr_.size(); ++r) m.row_ptr_[r] += m.row_ptr_[r - 1];
+  return m;
+}
+
+Result<Vec> CsrMatrix::SpMV(const Vec& x) const {
+  if (static_cast<int64_t>(x.size()) != cols_) {
+    return Status::InvalidArgument("SpMV: vector length mismatch");
+  }
+  Vec y(static_cast<size_t>(rows_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double sum = 0;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      sum += values_[static_cast<size_t>(k)] *
+             x[static_cast<size_t>(col_idx_[static_cast<size_t>(k)])];
+    }
+    y[static_cast<size_t>(r)] = sum;
+  }
+  return y;
+}
+
+Result<CsrMatrix> CsrMatrix::SpMM(const CsrMatrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("SpMM: inner dimension mismatch");
+  }
+  std::vector<Triplet> out;
+  // Row-by-row accumulation (Gustavson's algorithm with a map accumulator).
+  std::map<int64_t, double> acc;
+  for (int64_t r = 0; r < rows_; ++r) {
+    acc.clear();
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t a_col = col_idx_[static_cast<size_t>(k)];
+      const double a_val = values_[static_cast<size_t>(k)];
+      for (int64_t k2 = other.row_ptr_[static_cast<size_t>(a_col)];
+           k2 < other.row_ptr_[static_cast<size_t>(a_col) + 1]; ++k2) {
+        acc[other.col_idx_[static_cast<size_t>(k2)]] +=
+            a_val * other.values_[static_cast<size_t>(k2)];
+      }
+    }
+    for (const auto& [c, v] : acc) {
+      if (v != 0.0) out.push_back({r, c, v});
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(out));
+}
+
+Mat CsrMatrix::ToDense() const {
+  Mat dense(static_cast<size_t>(rows_), Vec(static_cast<size_t>(cols_), 0.0));
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      dense[static_cast<size_t>(r)][static_cast<size_t>(col_idx_[static_cast<size_t>(k)])] =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+Result<double> CsrMatrix::At(int64_t r, int64_t c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    return Status::OutOfRange("index outside matrix");
+  }
+  for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+       k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+    if (col_idx_[static_cast<size_t>(k)] == c) return values_[static_cast<size_t>(k)];
+  }
+  return 0.0;
+}
+
+Result<Vec> DenseMatVecBaseline(const Mat& dense, const Vec& x) {
+  return MatVec(dense, x);
+}
+
+}  // namespace bigdawg::analytics

@@ -1,0 +1,65 @@
+#ifndef BIGDAWG_ANALYTICS_SPARSE_H_
+#define BIGDAWG_ANALYTICS_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/linalg.h"
+#include "common/result.h"
+
+namespace bigdawg::analytics {
+
+/// \brief A (row, col, value) triplet.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0;
+};
+
+/// \brief Compressed-sparse-row matrix — the "next generation sparse
+/// linear algebra package" side of the paper's §2.4 TileDB coupling.
+class CsrMatrix {
+ public:
+  /// Builds from triplets (duplicates summed); rows/cols are the matrix
+  /// dimensions and must bound the triplet coordinates.
+  static Result<CsrMatrix> FromTriplets(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  double density() const {
+    return rows_ * cols_ == 0
+               ? 0
+               : static_cast<double>(nnz()) / static_cast<double>(rows_ * cols_);
+  }
+
+  /// y = A x.
+  Result<Vec> SpMV(const Vec& x) const;
+
+  /// C = A * B (sparse-sparse, result sparse).
+  Result<CsrMatrix> SpMM(const CsrMatrix& other) const;
+
+  /// Dense copy (rows x cols) — for tests and small matrices only.
+  Mat ToDense() const;
+
+  /// Value at (r, c); 0 for structurally-empty cells.
+  Result<double> At(int64_t r, int64_t c) const;
+
+ private:
+  CsrMatrix() = default;
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;  // rows+1 offsets
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// \brief Dense reference SpMV used as the baseline in the sparse-vs-dense
+/// crossover bench (C10).
+Result<Vec> DenseMatVecBaseline(const Mat& dense, const Vec& x);
+
+}  // namespace bigdawg::analytics
+
+#endif  // BIGDAWG_ANALYTICS_SPARSE_H_

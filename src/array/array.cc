@@ -1,0 +1,522 @@
+#include "array/array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+
+namespace bigdawg::array {
+
+Result<AggFunc> AggFuncFromString(const std::string& name) {
+  if (name == "count") return AggFunc::kCount;
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "avg") return AggFunc::kAvg;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  if (name == "stdev") return AggFunc::kStdev;
+  return Status::InvalidArgument("unknown aggregate: " + name);
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kStdev:
+      return "stdev";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Incremental aggregate accumulator shared by all aggregate entry points.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  double sumsq = 0;
+  double min = 0;
+  double max = 0;
+
+  void Update(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    ++count;
+    sum += v;
+    sumsq += v * v;
+  }
+
+  Result<double> Finalize(AggFunc f) const {
+    switch (f) {
+      case AggFunc::kCount:
+        return static_cast<double>(count);
+      case AggFunc::kSum:
+        return sum;
+      case AggFunc::kAvg:
+        if (count == 0) return Status::FailedPrecondition("avg of empty array");
+        return sum / static_cast<double>(count);
+      case AggFunc::kMin:
+        if (count == 0) return Status::FailedPrecondition("min of empty array");
+        return min;
+      case AggFunc::kMax:
+        if (count == 0) return Status::FailedPrecondition("max of empty array");
+        return max;
+      case AggFunc::kStdev: {
+        if (count == 0) return Status::FailedPrecondition("stdev of empty array");
+        double mean = sum / static_cast<double>(count);
+        double var = sumsq / static_cast<double>(count) - mean * mean;
+        return std::sqrt(std::max(0.0, var));
+      }
+    }
+    return Status::Internal("unhandled aggregate");
+  }
+};
+
+}  // namespace
+
+Result<Array> Array::Create(std::vector<Dimension> dims,
+                            std::vector<std::string> attrs) {
+  if (dims.empty()) return Status::InvalidArgument("array needs >= 1 dimension");
+  if (attrs.empty()) return Status::InvalidArgument("array needs >= 1 attribute");
+  for (const Dimension& d : dims) {
+    if (d.length <= 0) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' must have positive length");
+    }
+    if (d.chunk_length <= 0) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' must have positive chunk length");
+    }
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      if (attrs[i] == attrs[j]) {
+        return Status::InvalidArgument("duplicate attribute: " + attrs[i]);
+      }
+    }
+  }
+  Array a;
+  a.dims_ = std::move(dims);
+  a.attrs_ = std::move(attrs);
+  return a;
+}
+
+Result<size_t> Array::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+Result<size_t> Array::DimIndex(const std::string& name) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].name == name) return i;
+  }
+  return Status::NotFound("no dimension named " + name);
+}
+
+int64_t Array::LogicalSize() const {
+  int64_t size = 1;
+  for (const Dimension& d : dims_) size *= d.length;
+  return size;
+}
+
+Status Array::CheckCoords(const Coordinates& coords) const {
+  if (coords.size() != dims_.size()) {
+    return Status::InvalidArgument("expected " + std::to_string(dims_.size()) +
+                                   " coordinates, got " +
+                                   std::to_string(coords.size()));
+  }
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i] < dims_[i].start ||
+        coords[i] >= dims_[i].start + dims_[i].length) {
+      return Status::OutOfRange("coordinate " + std::to_string(coords[i]) +
+                                " outside dimension '" + dims_[i].name + "' [" +
+                                std::to_string(dims_[i].start) + ", " +
+                                std::to_string(dims_[i].start + dims_[i].length) +
+                                ")");
+    }
+  }
+  return Status::OK();
+}
+
+Coordinates Array::ChunkKeyFor(const Coordinates& coords) const {
+  Coordinates key(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    key[i] = (coords[i] - dims_[i].start) / dims_[i].chunk_length;
+  }
+  return key;
+}
+
+size_t Array::OffsetInChunk(const Coordinates& coords, const Coordinates& key) const {
+  size_t offset = 0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    int64_t within = (coords[i] - dims_[i].start) - key[i] * dims_[i].chunk_length;
+    offset = offset * static_cast<size_t>(dims_[i].chunk_length) +
+             static_cast<size_t>(within);
+  }
+  return offset;
+}
+
+int64_t Array::ChunkVolume() const {
+  int64_t v = 1;
+  for (const Dimension& d : dims_) v *= d.chunk_length;
+  return v;
+}
+
+Array::Chunk& Array::GetOrCreateChunk(const Coordinates& key) {
+  auto it = chunks_.find(key);
+  if (it != chunks_.end()) return it->second;
+  Chunk chunk;
+  const size_t volume = static_cast<size_t>(ChunkVolume());
+  chunk.attr_data.assign(attrs_.size(), std::vector<double>(volume, 0.0));
+  chunk.filled.assign(volume, false);
+  return chunks_.emplace(key, std::move(chunk)).first->second;
+}
+
+Status Array::Set(const Coordinates& coords, const std::vector<double>& values) {
+  BIGDAWG_RETURN_NOT_OK(CheckCoords(coords));
+  if (values.size() != attrs_.size()) {
+    return Status::InvalidArgument("expected " + std::to_string(attrs_.size()) +
+                                   " attribute values, got " +
+                                   std::to_string(values.size()));
+  }
+  Coordinates key = ChunkKeyFor(coords);
+  Chunk& chunk = GetOrCreateChunk(key);
+  size_t offset = OffsetInChunk(coords, key);
+  for (size_t a = 0; a < values.size(); ++a) chunk.attr_data[a][offset] = values[a];
+  if (!chunk.filled[offset]) {
+    chunk.filled[offset] = true;
+    ++chunk.filled_count;
+    ++non_empty_;
+  }
+  return Status::OK();
+}
+
+Status Array::SetAttr(const Coordinates& coords, size_t attr, double value) {
+  BIGDAWG_RETURN_NOT_OK(CheckCoords(coords));
+  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  Coordinates key = ChunkKeyFor(coords);
+  Chunk& chunk = GetOrCreateChunk(key);
+  size_t offset = OffsetInChunk(coords, key);
+  chunk.attr_data[attr][offset] = value;
+  if (!chunk.filled[offset]) {
+    chunk.filled[offset] = true;
+    ++chunk.filled_count;
+    ++non_empty_;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> Array::Get(const Coordinates& coords) const {
+  BIGDAWG_RETURN_NOT_OK(CheckCoords(coords));
+  Coordinates key = ChunkKeyFor(coords);
+  auto it = chunks_.find(key);
+  if (it == chunks_.end()) return Status::NotFound("empty cell");
+  size_t offset = OffsetInChunk(coords, key);
+  if (!it->second.filled[offset]) return Status::NotFound("empty cell");
+  std::vector<double> out(attrs_.size());
+  for (size_t a = 0; a < attrs_.size(); ++a) out[a] = it->second.attr_data[a][offset];
+  return out;
+}
+
+void Array::Scan(const std::function<bool(const Coordinates&,
+                                          const std::vector<double>&)>& fn) const {
+  // Deterministic order: sort chunk keys.
+  std::map<Coordinates, const Chunk*> ordered;
+  for (const auto& [key, chunk] : chunks_) ordered.emplace(key, &chunk);
+
+  const size_t nd = dims_.size();
+  std::vector<double> values(attrs_.size());
+  Coordinates coords(nd);
+  for (const auto& [key, chunk] : ordered) {
+    const size_t volume = chunk->filled.size();
+    for (size_t offset = 0; offset < volume; ++offset) {
+      if (!chunk->filled[offset]) continue;
+      // Decode offset -> coordinates (row-major within chunk).
+      size_t rem = offset;
+      for (size_t i = nd; i-- > 0;) {
+        int64_t cl = dims_[i].chunk_length;
+        coords[i] = dims_[i].start + key[i] * cl + static_cast<int64_t>(rem % cl);
+        rem /= static_cast<size_t>(cl);
+      }
+      // Skip cells beyond the array box (partial edge chunks).
+      bool in_box = true;
+      for (size_t i = 0; i < nd; ++i) {
+        if (coords[i] >= dims_[i].start + dims_[i].length) {
+          in_box = false;
+          break;
+        }
+      }
+      if (!in_box) continue;
+      for (size_t a = 0; a < attrs_.size(); ++a) values[a] = chunk->attr_data[a][offset];
+      if (!fn(coords, values)) return;
+    }
+  }
+}
+
+Result<Array> Array::Subarray(const Coordinates& lo, const Coordinates& hi) const {
+  if (lo.size() != dims_.size() || hi.size() != dims_.size()) {
+    return Status::InvalidArgument("subarray bounds must match dimensionality");
+  }
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (lo[i] > hi[i]) {
+      return Status::InvalidArgument("subarray lo > hi on dimension " +
+                                     dims_[i].name);
+    }
+  }
+  std::vector<Dimension> new_dims = dims_;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    int64_t clamped_lo = std::max(lo[i], dims_[i].start);
+    int64_t clamped_hi = std::min(hi[i], dims_[i].start + dims_[i].length - 1);
+    new_dims[i].start = clamped_lo;
+    new_dims[i].length = std::max<int64_t>(0, clamped_hi - clamped_lo + 1);
+    if (new_dims[i].length == 0) {
+      return Status::InvalidArgument("empty subarray on dimension " + dims_[i].name);
+    }
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(new_dims, attrs_));
+  Status st = Status::OK();
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    for (size_t i = 0; i < coords.size(); ++i) {
+      if (coords[i] < new_dims[i].start ||
+          coords[i] >= new_dims[i].start + new_dims[i].length) {
+        return true;  // outside the box; keep scanning
+      }
+    }
+    st = out.Set(coords, values);
+    return st.ok();
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Array> Array::Filter(
+    const std::function<bool(const std::vector<double>&)>& pred) const {
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims_, attrs_));
+  Status st = Status::OK();
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    if (pred(values)) {
+      st = out.Set(coords, values);
+      return st.ok();
+    }
+    return true;
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Array> Array::Apply(
+    const std::string& new_attr,
+    const std::function<double(const std::vector<double>&)>& fn) const {
+  std::vector<std::string> attrs = attrs_;
+  for (const std::string& a : attrs) {
+    if (a == new_attr) {
+      return Status::AlreadyExists("attribute already exists: " + new_attr);
+    }
+  }
+  attrs.push_back(new_attr);
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims_, std::move(attrs)));
+  Status st = Status::OK();
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    std::vector<double> extended = values;
+    extended.push_back(fn(values));
+    st = out.Set(coords, extended);
+    return st.ok();
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Array> Array::ProjectAttrs(const std::vector<std::string>& attrs) const {
+  if (attrs.empty()) return Status::InvalidArgument("project needs >= 1 attribute");
+  std::vector<size_t> indices;
+  for (const std::string& a : attrs) {
+    BIGDAWG_ASSIGN_OR_RETURN(size_t idx, AttrIndex(a));
+    indices.push_back(idx);
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims_, attrs));
+  Status st = Status::OK();
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    std::vector<double> projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(values[idx]);
+    st = out.Set(coords, projected);
+    return st.ok();
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<double> Array::Aggregate(AggFunc func, size_t attr) const {
+  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  AggState state;
+  Scan([&](const Coordinates&, const std::vector<double>& values) {
+    state.Update(values[attr]);
+    return true;
+  });
+  return state.Finalize(func);
+}
+
+Result<std::vector<std::pair<int64_t, double>>> Array::AggregateBy(
+    AggFunc func, size_t attr, size_t keep_dim) const {
+  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  if (keep_dim >= dims_.size()) return Status::OutOfRange("dimension index");
+  std::map<int64_t, AggState> groups;
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    groups[coords[keep_dim]].Update(values[attr]);
+    return true;
+  });
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(groups.size());
+  for (const auto& [coord, state] : groups) {
+    BIGDAWG_ASSIGN_OR_RETURN(double v, state.Finalize(func));
+    out.emplace_back(coord, v);
+  }
+  return out;
+}
+
+Result<Array> Array::WindowAggregate(AggFunc func, size_t attr,
+                                     int64_t radius) const {
+  if (dims_.size() != 1) {
+    return Status::FailedPrecondition("window aggregate requires a 1-D array");
+  }
+  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  if (radius < 0) return Status::InvalidArgument("radius must be >= 0");
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<double> data, ToVector(attr));
+  const Dimension& d = dims_[0];
+  BIGDAWG_ASSIGN_OR_RETURN(
+      Array out, Create({Dimension(d.name, d.start, d.length, d.chunk_length)},
+                        {std::string(AggFuncToString(func)) + "_" + attrs_[attr]}));
+  const int64_t n = d.length;
+  for (int64_t i = 0; i < n; ++i) {
+    AggState state;
+    for (int64_t j = std::max<int64_t>(0, i - radius);
+         j <= std::min(n - 1, i + radius); ++j) {
+      state.Update(data[static_cast<size_t>(j)]);
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(double v, state.Finalize(func));
+    BIGDAWG_RETURN_NOT_OK(out.Set({d.start + i}, {v}));
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> Array::ToMatrix(size_t attr) const {
+  if (dims_.size() != 2) {
+    return Status::FailedPrecondition("ToMatrix requires a 2-D array");
+  }
+  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  std::vector<std::vector<double>> m(
+      static_cast<size_t>(dims_[0].length),
+      std::vector<double>(static_cast<size_t>(dims_[1].length), 0.0));
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    m[static_cast<size_t>(coords[0] - dims_[0].start)]
+     [static_cast<size_t>(coords[1] - dims_[1].start)] = values[attr];
+    return true;
+  });
+  return m;
+}
+
+Result<std::vector<double>> Array::ToVector(size_t attr) const {
+  if (dims_.size() != 1) {
+    return Status::FailedPrecondition("ToVector requires a 1-D array");
+  }
+  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  std::vector<double> v(static_cast<size_t>(dims_[0].length), 0.0);
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    v[static_cast<size_t>(coords[0] - dims_[0].start)] = values[attr];
+    return true;
+  });
+  return v;
+}
+
+Result<Array> Array::FromVector(const std::vector<double>& data,
+                                const std::string& attr) {
+  if (data.empty()) return Status::InvalidArgument("empty vector");
+  BIGDAWG_ASSIGN_OR_RETURN(
+      Array out,
+      Create({Dimension("i", 0, static_cast<int64_t>(data.size()), 1024)}, {attr}));
+  for (size_t i = 0; i < data.size(); ++i) {
+    BIGDAWG_RETURN_NOT_OK(out.Set({static_cast<int64_t>(i)}, {data[i]}));
+  }
+  return out;
+}
+
+Result<Array> Array::FromMatrix(const std::vector<std::vector<double>>& m,
+                                const std::string& attr) {
+  if (m.empty() || m[0].empty()) return Status::InvalidArgument("empty matrix");
+  const int64_t rows = static_cast<int64_t>(m.size());
+  const int64_t cols = static_cast<int64_t>(m[0].size());
+  for (const auto& row : m) {
+    if (static_cast<int64_t>(row.size()) != cols) {
+      return Status::InvalidArgument("ragged matrix");
+    }
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(
+      Array out, Create({Dimension("row", 0, rows, 64), Dimension("col", 0, cols, 64)},
+                        {attr}));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      BIGDAWG_RETURN_NOT_OK(
+          out.Set({r, c}, {m[static_cast<size_t>(r)][static_cast<size_t>(c)]}));
+    }
+  }
+  return out;
+}
+
+Result<Array> Array::Matmul(const Array& other) const {
+  if (dims_.size() != 2 || other.dims_.size() != 2) {
+    return Status::FailedPrecondition("matmul requires 2-D arrays");
+  }
+  if (dims_[1].length != other.dims_[0].length) {
+    return Status::InvalidArgument(
+        "inner dimensions differ: " + std::to_string(dims_[1].length) + " vs " +
+        std::to_string(other.dims_[0].length));
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(auto a, ToMatrix(0));
+  BIGDAWG_ASSIGN_OR_RETURN(auto b, other.ToMatrix(0));
+  const size_t n = a.size();
+  const size_t k = b.size();
+  const size_t m = b[0].size();
+  std::vector<std::vector<double>> c(n, std::vector<double>(m, 0.0));
+  // i-k-j loop order for cache-friendly access to b's rows.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double aik = a[i][kk];
+      if (aik == 0.0) continue;
+      const std::vector<double>& brow = b[kk];
+      std::vector<double>& crow = c[i];
+      for (size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return FromMatrix(c, attrs_[0]);
+}
+
+Result<Array> Array::Transpose() const {
+  if (dims_.size() != 2) {
+    return Status::FailedPrecondition("transpose requires a 2-D array");
+  }
+  std::vector<Dimension> new_dims = {dims_[1], dims_[0]};
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(new_dims, attrs_));
+  Status st = Status::OK();
+  Scan([&](const Coordinates& coords, const std::vector<double>& values) {
+    st = out.Set({coords[1], coords[0]}, values);
+    return st.ok();
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+}  // namespace bigdawg::array

@@ -1,0 +1,167 @@
+#ifndef BIGDAWG_ARRAY_ARRAY_H_
+#define BIGDAWG_ARRAY_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::array {
+
+/// \brief One dimension of an array: a named, half-open coordinate range
+/// [start, start + length) split into chunks of `chunk_length` cells.
+struct Dimension {
+  std::string name;
+  int64_t start = 0;
+  int64_t length = 0;
+  int64_t chunk_length = 0;
+
+  Dimension() = default;
+  Dimension(std::string name_in, int64_t start_in, int64_t length_in,
+            int64_t chunk_length_in)
+      : name(std::move(name_in)),
+        start(start_in),
+        length(length_in),
+        chunk_length(chunk_length_in) {}
+};
+
+/// \brief Coordinates of a cell (one entry per dimension).
+using Coordinates = std::vector<int64_t>;
+
+/// \brief Aggregates supported by the array engine.
+enum class AggFunc : int { kCount, kSum, kAvg, kMin, kMax, kStdev };
+
+Result<AggFunc> AggFuncFromString(const std::string& name);
+const char* AggFuncToString(AggFunc f);
+
+/// \brief A chunked, n-dimensional array of double attributes (the SciDB
+/// stand-in's storage unit).
+///
+/// Attributes are numeric (double) by design: in the polystore, numeric
+/// array data (waveforms, matrices) lives here while string payloads live
+/// in the relational and key-value engines. Cells are "empty" until
+/// written, so sparse arrays cost memory proportional to occupied chunks.
+class Array {
+ public:
+  Array() = default;
+
+  /// Creates an array; every dimension needs positive length and
+  /// chunk_length, and at least one attribute is required.
+  static Result<Array> Create(std::vector<Dimension> dims,
+                              std::vector<std::string> attrs);
+
+  const std::vector<Dimension>& dims() const { return dims_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  size_t num_dims() const { return dims_.size(); }
+  size_t num_attrs() const { return attrs_.size(); }
+
+  Result<size_t> AttrIndex(const std::string& name) const;
+  Result<size_t> DimIndex(const std::string& name) const;
+
+  /// Total logical cells (product of dimension lengths).
+  int64_t LogicalSize() const;
+  /// Number of written (non-empty) cells.
+  int64_t NonEmptyCount() const { return non_empty_; }
+  /// Number of materialized chunks.
+  size_t NumChunks() const { return chunks_.size(); }
+
+  /// Writes all attributes of one cell; OutOfRange outside the array box.
+  Status Set(const Coordinates& coords, const std::vector<double>& values);
+  /// Writes one attribute of one cell (other attributes default to 0).
+  Status SetAttr(const Coordinates& coords, size_t attr, double value);
+
+  /// Reads a cell; NotFound when the cell is empty.
+  Result<std::vector<double>> Get(const Coordinates& coords) const;
+
+  /// Visits every non-empty cell in chunk order. The callback returns false
+  /// to stop early.
+  void Scan(const std::function<bool(const Coordinates&,
+                                     const std::vector<double>&)>& fn) const;
+
+  /// Restriction to the box [lo, hi] (inclusive, one pair per dimension);
+  /// coordinates are preserved.
+  Result<Array> Subarray(const Coordinates& lo, const Coordinates& hi) const;
+
+  /// Keeps cells where `pred(attr values)` holds; coordinates preserved.
+  Result<Array> Filter(
+      const std::function<bool(const std::vector<double>&)>& pred) const;
+
+  /// Adds a derived attribute computed per cell from the existing
+  /// attribute values (SciDB's apply()).
+  Result<Array> Apply(
+      const std::string& new_attr,
+      const std::function<double(const std::vector<double>&)>& fn) const;
+
+  /// Keeps only the named attributes, in the given order (SciDB's
+  /// project()).
+  Result<Array> ProjectAttrs(const std::vector<std::string>& attrs) const;
+
+  /// Aggregates one attribute over all non-empty cells.
+  Result<double> Aggregate(AggFunc func, size_t attr) const;
+
+  /// Group-by-dimension aggregate: collapses every dimension except
+  /// `keep_dim`, producing (coordinate, aggregate) pairs sorted by
+  /// coordinate.
+  Result<std::vector<std::pair<int64_t, double>>> AggregateBy(
+      AggFunc func, size_t attr, size_t keep_dim) const;
+
+  /// Sliding-window aggregate along `dim` (centered, width = 2*radius+1)
+  /// over attribute `attr` for a 1-D array; returns a new 1-D array.
+  Result<Array> WindowAggregate(AggFunc func, size_t attr, int64_t radius) const;
+
+  /// Dense 2-D extraction of one attribute (row-major, empty cells are 0).
+  /// FailedPrecondition unless the array has exactly 2 dimensions.
+  Result<std::vector<std::vector<double>>> ToMatrix(size_t attr) const;
+
+  /// Dense 1-D extraction of one attribute.
+  Result<std::vector<double>> ToVector(size_t attr) const;
+
+  /// Builds a 1-D array (dimension "i", chunk 1024) from a vector.
+  static Result<Array> FromVector(const std::vector<double>& data,
+                                  const std::string& attr = "val");
+  /// Builds a 2-D array (dims "row","col") from a dense matrix.
+  static Result<Array> FromMatrix(const std::vector<std::vector<double>>& m,
+                                  const std::string& attr = "val");
+
+  /// 2-D matrix multiply on attribute 0: (this: n x k) * (other: k x m).
+  Result<Array> Matmul(const Array& other) const;
+  /// 2-D transpose.
+  Result<Array> Transpose() const;
+
+ private:
+  struct Chunk {
+    // Per attribute, chunk-volume values; parallel bitmap of filled cells.
+    std::vector<std::vector<double>> attr_data;
+    std::vector<bool> filled;
+    int64_t filled_count = 0;
+  };
+
+  struct CoordsHash {
+    size_t operator()(const Coordinates& c) const {
+      size_t h = 1469598103934665603ULL;
+      for (int64_t v : c) {
+        h ^= static_cast<size_t>(v);
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+
+  Status CheckCoords(const Coordinates& coords) const;
+  Coordinates ChunkKeyFor(const Coordinates& coords) const;
+  size_t OffsetInChunk(const Coordinates& coords, const Coordinates& key) const;
+  int64_t ChunkVolume() const;
+  Chunk& GetOrCreateChunk(const Coordinates& key);
+
+  std::vector<Dimension> dims_;
+  std::vector<std::string> attrs_;
+  std::unordered_map<Coordinates, Chunk, CoordsHash> chunks_;
+  int64_t non_empty_ = 0;
+};
+
+}  // namespace bigdawg::array
+
+#endif  // BIGDAWG_ARRAY_ARRAY_H_

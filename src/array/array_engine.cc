@@ -1,0 +1,371 @@
+#include "array/array_engine.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/lexer.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace bigdawg::array {
+
+Status ArrayEngine::CreateArray(const std::string& name,
+                                std::vector<Dimension> dims,
+                                std::vector<std::string> attrs) {
+  BIGDAWG_ASSIGN_OR_RETURN(Array a, Array::Create(std::move(dims), std::move(attrs)));
+  std::unique_lock lock(mu_);
+  if (arrays_.count(name) > 0) {
+    return Status::AlreadyExists("array already exists: " + name);
+  }
+  arrays_.emplace(name, std::move(a));
+  return Status::OK();
+}
+
+Status ArrayEngine::PutArray(const std::string& name, Array array) {
+  std::unique_lock lock(mu_);
+  arrays_.insert_or_assign(name, std::move(array));
+  return Status::OK();
+}
+
+Status ArrayEngine::RemoveArray(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (arrays_.erase(name) == 0) return Status::NotFound("no array named " + name);
+  return Status::OK();
+}
+
+Result<Array> ArrayEngine::GetArray(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("no array named " + name);
+  return it->second;
+}
+
+bool ArrayEngine::HasArray(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return arrays_.count(name) > 0;
+}
+
+std::vector<std::string> ArrayEngine::ListArrays() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(arrays_.size());
+  for (const auto& [name, array] : arrays_) out.push_back(name);
+  return out;
+}
+
+Status ArrayEngine::SetCell(const std::string& name, const Coordinates& coords,
+                            const std::vector<double>& values) {
+  std::unique_lock lock(mu_);
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("no array named " + name);
+  return it->second.Set(coords, values);
+}
+
+Status ArrayEngine::AppendRow(const std::string& name, int64_t coord0,
+                              const std::vector<double>& values) {
+  std::unique_lock lock(mu_);
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("no array named " + name);
+  Array& a = it->second;
+  if (a.num_dims() != 2) {
+    return Status::FailedPrecondition("AppendRow requires a 2-D array");
+  }
+  const Dimension& col_dim = a.dims()[1];
+  if (static_cast<int64_t>(values.size()) > col_dim.length) {
+    return Status::OutOfRange("row longer than second dimension");
+  }
+  for (size_t j = 0; j < values.size(); ++j) {
+    BIGDAWG_RETURN_NOT_OK(a.Set({coord0, col_dim.start + static_cast<int64_t>(j)},
+                                {values[j]}));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// A tiny arithmetic expression over array attributes: + - * / with
+/// parentheses, attribute names, and numeric literals. Compiled to a
+/// closure evaluated per cell (no per-cell parsing).
+using CellFn = std::function<double(const std::vector<double>&)>;
+
+class ArithParser {
+ public:
+  ArithParser(TokenCursor* cursor, const std::vector<std::string>& attrs)
+      : cur_(*cursor), attrs_(attrs) {}
+
+  Result<CellFn> Parse() { return ParseAdditive(); }
+
+ private:
+  Result<CellFn> ParseAdditive() {
+    BIGDAWG_ASSIGN_OR_RETURN(CellFn left, ParseMultiplicative());
+    while (cur_.Peek().IsSymbol("+") || cur_.Peek().IsSymbol("-")) {
+      const bool add = cur_.Next().text == "+";
+      BIGDAWG_ASSIGN_OR_RETURN(CellFn right, ParseMultiplicative());
+      CellFn prev = std::move(left);
+      left = add ? CellFn([prev, right](const std::vector<double>& v) {
+               return prev(v) + right(v);
+             })
+                 : CellFn([prev, right](const std::vector<double>& v) {
+                     return prev(v) - right(v);
+                   });
+    }
+    return left;
+  }
+
+  Result<CellFn> ParseMultiplicative() {
+    BIGDAWG_ASSIGN_OR_RETURN(CellFn left, ParseUnary());
+    while (cur_.Peek().IsSymbol("*") || cur_.Peek().IsSymbol("/")) {
+      const bool mul = cur_.Next().text == "*";
+      BIGDAWG_ASSIGN_OR_RETURN(CellFn right, ParseUnary());
+      CellFn prev = std::move(left);
+      left = mul ? CellFn([prev, right](const std::vector<double>& v) {
+               return prev(v) * right(v);
+             })
+                 : CellFn([prev, right](const std::vector<double>& v) {
+                     double d = right(v);
+                     return d == 0.0 ? 0.0 : prev(v) / d;
+                   });
+    }
+    return left;
+  }
+
+  Result<CellFn> ParseUnary() {
+    if (cur_.ConsumeSymbol("-")) {
+      BIGDAWG_ASSIGN_OR_RETURN(CellFn inner, ParseUnary());
+      return CellFn([inner](const std::vector<double>& v) { return -inner(v); });
+    }
+    return ParsePrimary();
+  }
+
+  Result<CellFn> ParsePrimary() {
+    const Token tok = cur_.Peek();
+    if (tok.IsSymbol("(")) {
+      cur_.Next();
+      BIGDAWG_ASSIGN_OR_RETURN(CellFn inner, ParseAdditive());
+      BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.type == TokenType::kInteger || tok.type == TokenType::kFloat) {
+      cur_.Next();
+      double value = std::strtod(tok.text.c_str(), nullptr);
+      return CellFn([value](const std::vector<double>&) { return value; });
+    }
+    if (tok.type == TokenType::kIdentifier) {
+      cur_.Next();
+      for (size_t i = 0; i < attrs_.size(); ++i) {
+        if (attrs_[i] == tok.text) {
+          return CellFn([i](const std::vector<double>& v) { return v[i]; });
+        }
+      }
+      return Status::NotFound("no attribute named " + tok.text);
+    }
+    return Status::ParseError("unexpected token '" + tok.text +
+                              "' in apply expression");
+  }
+
+  TokenCursor& cur_;
+  const std::vector<std::string>& attrs_;
+};
+
+/// Recursive-descent evaluator for the AFL-ish grammar.
+class AflParser {
+ public:
+  AflParser(TokenCursor* cursor, const std::map<std::string, Array>& arrays)
+      : cur_(*cursor), arrays_(arrays) {}
+
+  Result<Array> ParseExpr() {
+    if (cur_.Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected array name or operator, got '" +
+                                cur_.Peek().text + "'");
+    }
+    std::string name = cur_.Next().text;
+    if (!cur_.Peek().IsSymbol("(")) {
+      // Bare array name.
+      auto it = arrays_.find(name);
+      if (it == arrays_.end()) return Status::NotFound("no array named " + name);
+      return it->second;
+    }
+    cur_.Next();  // consume '('
+    std::string op = ToLower(name);
+    Result<Array> result = [&]() -> Result<Array> {
+      if (op == "scan") return ParseScan();
+      if (op == "subarray" || op == "between") return ParseSubarray();
+      if (op == "filter") return ParseFilter();
+      if (op == "apply") return ParseApply();
+      if (op == "project") return ParseProject();
+      if (op == "aggregate") return ParseAggregate();
+      if (op == "window") return ParseWindow();
+      if (op == "transpose") return ParseTranspose();
+      if (op == "matmul") return ParseMatmul();
+      return Status::ParseError("unknown array operator: " + name);
+    }();
+    BIGDAWG_RETURN_NOT_OK(result.status());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(")"));
+    return result;
+  }
+
+ private:
+  Result<Array> ParseScan() { return ParseExpr(); }
+
+  Result<int64_t> ParseInt() {
+    bool neg = cur_.ConsumeSymbol("-");
+    if (cur_.Peek().type != TokenType::kInteger) {
+      return Status::ParseError("expected integer, got '" + cur_.Peek().text + "'");
+    }
+    int64_t v = std::strtoll(cur_.Next().text.c_str(), nullptr, 10);
+    return neg ? -v : v;
+  }
+
+  Result<double> ParseNumber() {
+    bool neg = cur_.ConsumeSymbol("-");
+    const Token& tok = cur_.Peek();
+    if (tok.type != TokenType::kInteger && tok.type != TokenType::kFloat) {
+      return Status::ParseError("expected number, got '" + tok.text + "'");
+    }
+    double v = std::strtod(cur_.Next().text.c_str(), nullptr);
+    return neg ? -v : v;
+  }
+
+  Result<Array> ParseSubarray() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    const size_t nd = input.num_dims();
+    Coordinates lo, hi;
+    for (size_t i = 0; i < nd; ++i) {
+      BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+      BIGDAWG_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+      lo.push_back(v);
+    }
+    for (size_t i = 0; i < nd; ++i) {
+      BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+      BIGDAWG_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+      hi.push_back(v);
+    }
+    return input.Subarray(lo, hi);
+  }
+
+  Result<Array> ParseFilter() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string attr, cur_.ExpectIdentifier());
+    BIGDAWG_ASSIGN_OR_RETURN(size_t attr_idx, input.AttrIndex(attr));
+    // Comparison operator.
+    const Token op_tok = cur_.Next();
+    if (op_tok.type != TokenType::kSymbol) {
+      return Status::ParseError("expected comparison operator");
+    }
+    const std::string op = op_tok.text;
+    BIGDAWG_ASSIGN_OR_RETURN(double rhs, ParseNumber());
+    auto pred = [attr_idx, op, rhs](const std::vector<double>& values) {
+      double v = values[attr_idx];
+      if (op == "=") return v == rhs;
+      if (op == "<>") return v != rhs;
+      if (op == "<") return v < rhs;
+      if (op == "<=") return v <= rhs;
+      if (op == ">") return v > rhs;
+      if (op == ">=") return v >= rhs;
+      return false;
+    };
+    if (op != "=" && op != "<>" && op != "<" && op != "<=" && op != ">" &&
+        op != ">=") {
+      return Status::ParseError("unknown comparison operator: " + op);
+    }
+    return input.Filter(pred);
+  }
+
+  Result<Array> ParseApply() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string new_attr, cur_.ExpectIdentifier());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    ArithParser arith(&cur_, input.attrs());
+    BIGDAWG_ASSIGN_OR_RETURN(CellFn fn, arith.Parse());
+    return input.Apply(new_attr, fn);
+  }
+
+  Result<Array> ParseProject() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    std::vector<std::string> attrs;
+    while (cur_.ConsumeSymbol(",")) {
+      BIGDAWG_ASSIGN_OR_RETURN(std::string attr, cur_.ExpectIdentifier());
+      attrs.push_back(std::move(attr));
+    }
+    return input.ProjectAttrs(attrs);
+  }
+
+  Result<Array> ParseAggregate() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string func_name, cur_.ExpectIdentifier());
+    BIGDAWG_ASSIGN_OR_RETURN(AggFunc func, AggFuncFromString(ToLower(func_name)));
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string attr, cur_.ExpectIdentifier());
+    BIGDAWG_ASSIGN_OR_RETURN(size_t attr_idx, input.AttrIndex(attr));
+    if (cur_.ConsumeSymbol(",")) {
+      BIGDAWG_ASSIGN_OR_RETURN(std::string dim, cur_.ExpectIdentifier());
+      BIGDAWG_ASSIGN_OR_RETURN(size_t dim_idx, input.DimIndex(dim));
+      BIGDAWG_ASSIGN_OR_RETURN(auto groups,
+                               input.AggregateBy(func, attr_idx, dim_idx));
+      // Result: 1-D array indexed by the kept dimension.
+      const Dimension& kd = input.dims()[dim_idx];
+      BIGDAWG_ASSIGN_OR_RETURN(
+          Array out,
+          Array::Create({Dimension(kd.name, kd.start, kd.length, kd.chunk_length)},
+                        {std::string(AggFuncToString(func)) + "_" + attr}));
+      for (const auto& [coord, v] : groups) {
+        BIGDAWG_RETURN_NOT_OK(out.Set({coord}, {v}));
+      }
+      return out;
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(double v, input.Aggregate(func, attr_idx));
+    BIGDAWG_ASSIGN_OR_RETURN(
+        Array out, Array::Create({Dimension("i", 0, 1, 1)},
+                                 {std::string(AggFuncToString(func)) + "_" + attr}));
+    BIGDAWG_RETURN_NOT_OK(out.Set({0}, {v}));
+    return out;
+  }
+
+  Result<Array> ParseWindow() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string func_name, cur_.ExpectIdentifier());
+    BIGDAWG_ASSIGN_OR_RETURN(AggFunc func, AggFuncFromString(ToLower(func_name)));
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string attr, cur_.ExpectIdentifier());
+    BIGDAWG_ASSIGN_OR_RETURN(size_t attr_idx, input.AttrIndex(attr));
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(int64_t radius, ParseInt());
+    return input.WindowAggregate(func, attr_idx, radius);
+  }
+
+  Result<Array> ParseTranspose() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array input, ParseExpr());
+    return input.Transpose();
+  }
+
+  Result<Array> ParseMatmul() {
+    BIGDAWG_ASSIGN_OR_RETURN(Array a, ParseExpr());
+    BIGDAWG_RETURN_NOT_OK(cur_.ExpectSymbol(","));
+    BIGDAWG_ASSIGN_OR_RETURN(Array b, ParseExpr());
+    return a.Matmul(b);
+  }
+
+  TokenCursor& cur_;
+  const std::map<std::string, Array>& arrays_;
+};
+
+}  // namespace
+
+Result<Array> ArrayEngine::Query(const std::string& afl) const {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(afl));
+  TokenCursor cursor(std::move(tokens));
+  std::shared_lock lock(mu_);
+  AflParser parser(&cursor, arrays_);
+  BIGDAWG_ASSIGN_OR_RETURN(Array result, parser.ParseExpr());
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("unexpected trailing input: '" +
+                              cursor.Peek().text + "'");
+  }
+  return result;
+}
+
+}  // namespace bigdawg::array

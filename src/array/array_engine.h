@@ -1,0 +1,72 @@
+#ifndef BIGDAWG_ARRAY_ARRAY_ENGINE_H_
+#define BIGDAWG_ARRAY_ARRAY_ENGINE_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "common/result.h"
+
+namespace bigdawg::array {
+
+/// \brief The array DBMS (SciDB stand-in): a catalog of named arrays plus
+/// an AFL-style functional query language.
+///
+/// Query grammar (every operator returns an array; aggregates return a
+/// one-cell or 1-D array, as in SciDB):
+///
+///   expr     := NAME
+///             | subarray(expr, lo..., hi...)
+///             | between(expr, lo..., hi...)         alias of subarray
+///             | filter(expr, ATTR op NUMBER)        op in = <> < <= > >=
+///             | apply(expr, NEW_ATTR, ARITH)        derived attribute
+///             | project(expr, ATTR [, ATTR...])     keep attributes
+///             | aggregate(expr, FUNC, ATTR)         overall aggregate
+///             | aggregate(expr, FUNC, ATTR, DIM)    group by dimension
+///             | window(expr, FUNC, ATTR, RADIUS)    1-D sliding window
+///             | transpose(expr)
+///             | matmul(expr, expr)
+///   FUNC     := count | sum | avg | min | max | stdev
+///   ARITH    := attribute/number expressions with + - * / and parens
+class ArrayEngine {
+ public:
+  ArrayEngine() = default;
+
+  ArrayEngine(const ArrayEngine&) = delete;
+  ArrayEngine& operator=(const ArrayEngine&) = delete;
+
+  /// Creates an empty array; AlreadyExists if the name is taken.
+  Status CreateArray(const std::string& name, std::vector<Dimension> dims,
+                     std::vector<std::string> attrs);
+  /// Stores (or replaces) an array wholesale — used by CAST loads and
+  /// stream age-out.
+  Status PutArray(const std::string& name, Array array);
+  Status RemoveArray(const std::string& name);
+
+  /// Snapshot copy.
+  Result<Array> GetArray(const std::string& name) const;
+  bool HasArray(const std::string& name) const;
+  std::vector<std::string> ListArrays() const;
+
+  /// Writes one cell of a stored array.
+  Status SetCell(const std::string& name, const Coordinates& coords,
+                 const std::vector<double>& values);
+
+  /// Appends a whole 1-D slice along the first dimension of a 2-D array
+  /// at row `coord0` (used by stream age-out of waveforms).
+  Status AppendRow(const std::string& name, int64_t coord0,
+                   const std::vector<double>& values);
+
+  /// Executes an AFL-style query (see class comment).
+  Result<Array> Query(const std::string& afl) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Array> arrays_;
+};
+
+}  // namespace bigdawg::array
+
+#endif  // BIGDAWG_ARRAY_ARRAY_ENGINE_H_

@@ -1,0 +1,130 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace bigdawg {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string RowsToCsv(const Schema& schema, const std::vector<Row>& rows) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) oss << ",";
+    oss << QuoteField(schema.field(i).name + ":" +
+                      DataTypeToString(schema.field(i).type));
+  }
+  oss << "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << QuoteField(row[i].ToString());
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in CSV line: " + line);
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<std::pair<Schema, std::vector<Row>>> CsvToRows(const std::string& csv) {
+  std::vector<std::string> lines;
+  {
+    // Split on newlines outside quotes.
+    std::string cur;
+    bool in_quotes = false;
+    for (char c : csv) {
+      if (c == '"') in_quotes = !in_quotes;
+      if (c == '\n' && !in_quotes) {
+        lines.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) lines.push_back(std::move(cur));
+  }
+  if (lines.empty()) return Status::ParseError("empty CSV input");
+
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitCsvLine(lines[0]));
+  std::vector<Field> fields;
+  for (const std::string& h : header) {
+    size_t colon = h.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("CSV header field missing type: " + h);
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(h.substr(colon + 1)));
+    fields.emplace_back(h.substr(0, colon), type);
+  }
+  Schema schema{std::move(fields)};
+
+  std::vector<Row> rows;
+  rows.reserve(lines.size() - 1);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<std::string> cells, SplitCsvLine(lines[i]));
+    if (cells.size() != schema.num_fields()) {
+      return Status::ParseError("CSV row " + std::to_string(i) + " has " +
+                                std::to_string(cells.size()) + " cells, expected " +
+                                std::to_string(schema.num_fields()));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      BIGDAWG_ASSIGN_OR_RETURN(Value v, Value::Parse(cells[c], schema.field(c).type));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return std::make_pair(std::move(schema), std::move(rows));
+}
+
+}  // namespace bigdawg

@@ -1,0 +1,30 @@
+#ifndef BIGDAWG_COMMON_CSV_H_
+#define BIGDAWG_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace bigdawg {
+
+/// \brief Serializes rows to RFC-4180-ish CSV (quotes fields containing
+/// comma/quote/newline). This is the *file-based* CAST path the paper says
+/// direct binary casts should beat (experiment C4).
+std::string RowsToCsv(const Schema& schema, const std::vector<Row>& rows);
+
+/// \brief Parses CSV produced by RowsToCsv back into typed rows.
+///
+/// The first line must be the header "name:type,..." exactly as written by
+/// RowsToCsv; field values are parsed with Value::Parse.
+Result<std::pair<Schema, std::vector<Row>>> CsvToRows(const std::string& csv);
+
+/// \brief Splits a single CSV record honoring quotes; ParseError on an
+/// unterminated quote.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line);
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_CSV_H_

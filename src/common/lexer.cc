@@ -1,0 +1,150 @@
+#include "common/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace bigdawg {
+
+bool Token::IsKeyword(const std::string& kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (is_ident_start(c)) {
+      while (i < n && is_ident(sql[i])) ++i;
+      out.push_back({TokenType::kIdentifier, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_float = true;
+        ++i;
+      }
+      out.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                     sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      out.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char symbols first.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" || two == "::") {
+        out.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = ",()*=<>+-/%.;[]{}:";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+const Token& TokenCursor::Peek(size_t lookahead) const {
+  size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Token TokenCursor::Next() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenCursor::ConsumeKeyword(const std::string& kw) {
+  if (Peek().IsKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::ConsumeSymbol(const std::string& sym) {
+  if (Peek().IsSymbol(sym)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenCursor::ExpectKeyword(const std::string& kw) {
+  if (!ConsumeKeyword(kw)) {
+    return Status::ParseError("expected keyword '" + kw + "', got '" +
+                              Peek().text + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectSymbol(const std::string& sym) {
+  if (!ConsumeSymbol(sym)) {
+    return Status::ParseError("expected '" + sym + "', got '" + Peek().text + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenCursor::ExpectIdentifier() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::ParseError("expected identifier, got '" + Peek().text + "'");
+  }
+  return Next().text;
+}
+
+}  // namespace bigdawg

@@ -1,0 +1,64 @@
+#ifndef BIGDAWG_COMMON_LEXER_H_
+#define BIGDAWG_COMMON_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg {
+
+enum class TokenType : int {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+/// \brief One lexical token; `text` holds the identifier/literal/symbol
+/// spelling (string literals are unquoted and unescaped).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsSymbol(const std::string& s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test (keywords are plain identifiers).
+  bool IsKeyword(const std::string& kw) const;
+};
+
+/// \brief Tokenizes a SQL(-ish) string. Comments ("--" to end of line) are
+/// skipped. Multi-char symbols recognized: <=, >=, <>, !=, ::.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// \brief Cursor over a token stream with the usual Peek/Consume helpers;
+/// shared by the SQL parser and the polystore SCOPE/CAST parser.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t lookahead = 0) const;
+  Token Next();
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  /// If the next token is the given keyword/symbol, consume it.
+  bool ConsumeKeyword(const std::string& kw);
+  bool ConsumeSymbol(const std::string& sym);
+
+  /// Consume-or-error variants.
+  Status ExpectKeyword(const std::string& kw);
+  Status ExpectSymbol(const std::string& sym);
+  Result<std::string> ExpectIdentifier();
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_LEXER_H_

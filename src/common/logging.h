@@ -1,0 +1,81 @@
+#ifndef BIGDAWG_COMMON_LOGGING_H_
+#define BIGDAWG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bigdawg {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& extra);
+
+/// Captures an optional message streamed after a failed check.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckFailureStream() { CheckFailed(expr_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bigdawg
+
+#define BIGDAWG_LOG(level)                                                   \
+  ::bigdawg::internal::LogMessage(::bigdawg::LogLevel::k##level, __FILE__,   \
+                                  __LINE__)
+
+/// Internal-invariant check; aborts with file:line on failure. Active in all
+/// build types (database kernels prefer loud corruption detection).
+#define BIGDAWG_CHECK(cond)                                             \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::bigdawg::internal::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define BIGDAWG_CHECK_OK(expr)                                \
+  do {                                                        \
+    ::bigdawg::Status _st = (expr);                           \
+    BIGDAWG_CHECK(_st.ok()) << _st.ToString();                \
+  } while (false)
+
+#endif  // BIGDAWG_COMMON_LOGGING_H_

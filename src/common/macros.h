@@ -1,0 +1,27 @@
+#ifndef BIGDAWG_COMMON_MACROS_H_
+#define BIGDAWG_COMMON_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define BIGDAWG_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::bigdawg::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define BIGDAWG_CONCAT_IMPL(x, y) x##y
+#define BIGDAWG_CONCAT(x, y) BIGDAWG_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define BIGDAWG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = tmp.MoveValueUnsafe()
+
+#define BIGDAWG_ASSIGN_OR_RETURN(lhs, expr) \
+  BIGDAWG_ASSIGN_OR_RETURN_IMPL(BIGDAWG_CONCAT(_result_, __COUNTER__), lhs, expr)
+
+#endif  // BIGDAWG_COMMON_MACROS_H_

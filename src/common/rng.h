@@ -1,0 +1,58 @@
+#ifndef BIGDAWG_COMMON_RNG_H_
+#define BIGDAWG_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace bigdawg {
+
+/// \brief Deterministic splitmix64-based RNG.
+///
+/// Used everywhere randomness is needed (data generators, sampling, workload
+/// drivers) so every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64 random bits.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextUint64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_RNG_H_

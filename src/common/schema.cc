@@ -1,0 +1,106 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+namespace bigdawg {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in schema [" +
+                          ToString() + "]");
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Result<size_t> Schema::Resolve(const std::string& name) const {
+  Result<size_t> exact = IndexOf(name);
+  if (exact.ok()) return exact;
+  size_t name_dot = name.rfind('.');
+  if (name_dot != std::string::npos) {
+    // Qualified reference against unqualified fields (e.g. "r.drug" binding
+    // to an aggregate output column "drug"): match on the reference's tail
+    // if that tail is itself unambiguous among unqualified fields.
+    std::string tail = name.substr(name_dot + 1);
+    size_t found = fields_.size();
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == tail) {
+        if (found != fields_.size()) return exact;  // ambiguous: keep NotFound
+        found = i;
+      }
+    }
+    if (found != fields_.size()) return found;
+    return exact;
+  }
+  size_t found = fields_.size();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& fname = fields_[i].name;
+    size_t dot = fname.rfind('.');
+    if (dot == std::string::npos) continue;
+    if (fname.compare(dot + 1, std::string::npos, name) == 0) {
+      if (found != fields_.size()) {
+        return Status::InvalidArgument("ambiguous column reference '" + name +
+                                       "' in schema [" + ToString() + "]");
+      }
+      found = i;
+    }
+  }
+  if (found == fields_.size()) return exact;
+  return found;
+}
+
+Status Schema::AddField(Field field) {
+  if (Contains(field.name)) {
+    return Status::AlreadyExists("column already exists: " + field.name);
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(fields_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != fields_[i].type) {
+      return Status::TypeError("column '" + fields_[i].name + "' expects " +
+                               DataTypeToString(fields_[i].type) + ", got " +
+                               DataTypeToString(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& right_prefix) const {
+  std::vector<Field> out = fields_;
+  for (const Field& f : other.fields_) {
+    std::string name = f.name;
+    bool clash = false;
+    for (const Field& mine : fields_) {
+      if (mine.name == name) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) name = right_prefix + "." + name;
+    out.emplace_back(std::move(name), f.type);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << fields_[i].name << ":" << DataTypeToString(fields_[i].type);
+  }
+  return oss.str();
+}
+
+}  // namespace bigdawg

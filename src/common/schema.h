@@ -1,0 +1,68 @@
+#ifndef BIGDAWG_COMMON_SCHEMA_H_
+#define BIGDAWG_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace bigdawg {
+
+/// \brief A named, typed column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  Field() = default;
+  Field(std::string name_in, DataType type_in)
+      : name(std::move(name_in)), type(type_in) {}
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of fields describing a relation (or tuple stream).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the column named `name` (case-sensitive); NotFound otherwise.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Resolves a possibly-qualified reference: exact match first; for an
+  /// unqualified `name`, falls back to the unique field whose part after the
+  /// last '.' equals `name` (ambiguous matches are an error). Used to bind
+  /// column references over join schemas whose fields are "alias.column".
+  Result<size_t> Resolve(const std::string& name) const;
+
+  /// Appends a field; AlreadyExists on duplicate names.
+  Status AddField(Field field);
+
+  /// Validates that a row positionally matches this schema; NULL cells are
+  /// allowed in any column.
+  Status ValidateRow(const Row& row) const;
+
+  /// Schema of `this ++ other`; duplicate names are disambiguated with a
+  /// prefix ("<prefix>.<name>") applied to the right side.
+  Schema Concat(const Schema& other, const std::string& right_prefix) const;
+
+  /// "name:type, name:type, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_SCHEMA_H_

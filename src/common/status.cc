@@ -1,0 +1,107 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bigdawg {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::NotImplemented(std::string msg) {
+  return Status(StatusCode::kNotImplemented, std::move(msg));
+}
+Status Status::IOError(std::string msg) {
+  return Status(StatusCode::kIOError, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status Status::TypeError(std::string msg) {
+  return Status(StatusCode::kTypeError, std::move(msg));
+}
+Status Status::ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+Status Status::Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+
+const std::string& Status::message() const {
+  static const std::string* const kEmpty = new std::string();
+  return state_ ? state_->msg : *kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(const std::string& context) const {
+  if (ok()) return;
+  std::fprintf(stderr, "Status::Abort %s%s%s\n", context.c_str(),
+               context.empty() ? "" : ": ", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace bigdawg

@@ -1,0 +1,98 @@
+#ifndef BIGDAWG_COMMON_STATUS_H_
+#define BIGDAWG_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace bigdawg {
+
+/// \brief Machine-readable category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kIOError = 6,
+  kInternal = 7,
+  kFailedPrecondition = 8,
+  kTypeError = 9,
+  kParseError = 10,
+  kAborted = 11,
+};
+
+/// \brief Returns a stable human-readable name, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. All library APIs that can fail return Status or Result<T>;
+/// exceptions are not thrown across library boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status IOError(std::string msg);
+  static Status Internal(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status TypeError(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status Aborted(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if not OK. For use in tests and examples only.
+  void Abort() const;
+  void Abort(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK; keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_STATUS_H_

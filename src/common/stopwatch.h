@@ -1,0 +1,33 @@
+#ifndef BIGDAWG_COMMON_STOPWATCH_H_
+#define BIGDAWG_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bigdawg {
+
+/// \brief Monotonic wall-clock stopwatch used by benches and the monitor.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_STOPWATCH_H_

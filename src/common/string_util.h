@@ -1,0 +1,37 @@
+#ifndef BIGDAWG_COMMON_STRING_UTIL_H_
+#define BIGDAWG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bigdawg {
+
+/// Splits on `sep`, keeping empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// ASCII lowercase / uppercase.
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive equality (ASCII).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Number of non-overlapping occurrences of `needle` in `haystack`.
+size_t CountOccurrences(std::string_view haystack, std::string_view needle);
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_STRING_UTIL_H_

@@ -1,0 +1,115 @@
+#ifndef BIGDAWG_COMMON_VALUE_H_
+#define BIGDAWG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg {
+
+/// \brief Logical column/cell types shared by every engine in the polystore.
+enum class DataType : int {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// \brief Stable lowercase name ("int64", "double", ...).
+const char* DataTypeToString(DataType type);
+
+/// \brief Parses a lowercase type name; error on unknown names.
+Result<DataType> DataTypeFromString(const std::string& name);
+
+/// \brief True if the type is kInt64 or kDouble.
+bool IsNumeric(DataType type);
+
+/// \brief A dynamically typed cell value.
+///
+/// This is the lingua franca that rows, array cells, stream tuples, and
+/// associative-array entries are expressed in when they cross engine
+/// boundaries (e.g. through a CAST).
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() = default;
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(int v) : data_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// Checked accessors: TypeError when the held type differs.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt64() const;
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+
+  /// Unchecked accessors: abort on type mismatch; for hot paths after a
+  /// schema check.
+  bool bool_unchecked() const { return std::get<bool>(data_); }
+  int64_t int64_unchecked() const { return std::get<int64_t>(data_); }
+  double double_unchecked() const { return std::get<double>(data_); }
+  const std::string& string_unchecked() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: int64 and double convert to double; TypeError
+  /// otherwise (including NULL).
+  Result<double> ToNumeric() const;
+
+  /// Display form: NULL prints as "null", strings print verbatim.
+  std::string ToString() const;
+
+  /// Coerces this value to `target`. NULL stays NULL under every target.
+  /// Numeric widening/narrowing and string round-trips are supported;
+  /// lossy double->int64 truncates toward zero.
+  Result<Value> CastTo(DataType target) const;
+
+  /// Parses text into a typed value ("null" and "" parse to NULL except
+  /// under kString, where only "null" does).
+  static Result<Value> Parse(const std::string& text, DataType type);
+
+  /// Total ordering used by ORDER BY and sorted stores: NULL sorts first;
+  /// cross-type numeric compares use double semantics; otherwise compares
+  /// by (type, payload). Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric 3 and 3.0 hash alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// \brief A tuple of cell values; rows are positionally matched to a Schema.
+using Row = std::vector<Value>;
+
+/// \brief Hash of a full row (order-sensitive), for hash joins/aggregation.
+size_t HashRow(const Row& row);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+}  // namespace bigdawg
+
+#endif  // BIGDAWG_COMMON_VALUE_H_

@@ -1,0 +1,348 @@
+#include "core/bigdawg.h"
+
+#include "common/lexer.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace bigdawg::core {
+
+BigDawg::BigDawg() {
+  EngineSet engines;
+  engines.relational = &relational_;
+  engines.array = &array_;
+  engines.text = &text_;
+  engines.stream = &stream_;
+  engines.tiledb = &tiledb_;
+  engines.assoc = &assoc_store_;
+
+  ObjectFetcher table_fetcher = [this](const std::string& object) {
+    return FetchAsTable(object);
+  };
+  ArrayFetcher array_fetcher = [this](const std::string& object) {
+    return FetchAsArray(object);
+  };
+  AssocFetcher assoc_fetcher = [this](const std::string& object) {
+    return FetchAsAssoc(object);
+  };
+
+  // The paper's reference implementation exposes eight islands: the two
+  // multi-system islands (Myria, D4M), the cross-engine relational and
+  // array islands, text and streaming islands, and degenerate islands for
+  // the production relational and array engines.
+  auto add = [this](std::unique_ptr<Island> island) {
+    std::string key = island->name();
+    islands_.emplace(std::move(key), std::move(island));
+  };
+  add(std::make_unique<RelationalIsland>("RELATIONAL", engines, &catalog_,
+                                         table_fetcher, /*degenerate=*/false));
+  add(std::make_unique<ArrayIsland>("ARRAY", engines, &catalog_, array_fetcher,
+                                    /*degenerate=*/false));
+  add(std::make_unique<TextIsland>(engines));
+  add(std::make_unique<StreamIsland>(engines));
+  add(std::make_unique<D4mIsland>(engines, assoc_fetcher));
+  add(std::make_unique<MyriaIsland>(engines, &catalog_, table_fetcher));
+  // Degenerate islands: full native functionality of a single engine.
+  add(std::make_unique<RelationalIsland>("POSTGRES", engines, &catalog_,
+                                         table_fetcher, /*degenerate=*/true));
+  add(std::make_unique<ArrayIsland>("SCIDB", engines, &catalog_, array_fetcher,
+                                    /*degenerate=*/true));
+}
+
+BigDawg::~BigDawg() { stream_.Stop(); }
+
+Status BigDawg::RegisterObject(const std::string& object, const std::string& engine,
+                               const std::string& native_name) {
+  if (engine != kEnginePostgres && engine != kEngineSciDb &&
+      engine != kEngineAccumulo && engine != kEngineSStore &&
+      engine != kEngineTileDb && engine != kEngineD4m) {
+    return Status::InvalidArgument("unknown engine: " + engine);
+  }
+  return catalog_.Register({object, engine, native_name});
+}
+
+std::vector<std::string> BigDawg::ListIslands() const {
+  std::vector<std::string> out;
+  out.reserve(islands_.size());
+  for (const auto& [name, island] : islands_) out.push_back(name);
+  return out;
+}
+
+Result<Island*> BigDawg::GetIsland(const std::string& name) {
+  auto it = islands_.find(ToUpper(name));
+  if (it == islands_.end()) return Status::NotFound("no island named " + name);
+  return it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-model fetch (shims)
+// ---------------------------------------------------------------------------
+
+Result<relational::Table> BigDawg::FetchTableFrom(const std::string& engine,
+                                                  const std::string& native) {
+  ObjectLocation loc{"", engine, native};
+  if (loc.engine == kEnginePostgres) {
+    return relational_.GetTable(loc.native_name);
+  }
+  if (loc.engine == kEngineSciDb) {
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a, array_.GetArray(loc.native_name));
+    return ArrayToTable(a);
+  }
+  if (loc.engine == kEngineAccumulo) {
+    // The text corpus as a (doc_id, owner, text) relation.
+    relational::Table out{Schema({Field("doc_id", DataType::kString),
+                                  Field("owner", DataType::kString),
+                                  Field("text", DataType::kString)})};
+    for (const std::string& id : text_.ListDocumentIds()) {
+      Result<std::string> doc_text = text_.GetText(id);
+      Result<std::string> owner = text_.GetOwner(id);
+      if (!doc_text.ok()) continue;
+      out.AppendUnchecked({Value(id), Value(owner.ValueOr("")), Value(*doc_text)});
+    }
+    return out;
+  }
+  if (loc.engine == kEngineSStore) {
+    BIGDAWG_ASSIGN_OR_RETURN(Schema schema, stream_.StreamSchema(loc.native_name));
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                             stream_.StreamContents(loc.native_name));
+    return relational::Table(std::move(schema), std::move(rows));
+  }
+  if (loc.engine == kEngineTileDb) {
+    BIGDAWG_ASSIGN_OR_RETURN(tiledb::TileDbArray m, tiledb_.GetArray(loc.native_name));
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TileMatrixToArray(m));
+    return ArrayToTable(a);
+  }
+  if (loc.engine == kEngineD4m) {
+    auto it = assoc_store_.find(loc.native_name);
+    if (it == assoc_store_.end()) {
+      return Status::Internal("catalog points at missing assoc object: " + native);
+    }
+    return AssocToTable(it->second);
+  }
+  return Status::Internal("catalog entry has unknown engine: " + loc.engine);
+}
+
+Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  // Prefer a fresh relational replica: it serves the relation directly,
+  // skipping the cross-model shim.
+  if (loc.engine != kEnginePostgres &&
+      catalog_.ReplicaIsFresh(object, kEnginePostgres)) {
+    BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
+                             catalog_.ReplicaOn(object, kEnginePostgres));
+    return relational_.GetTable(replica.native_name);
+  }
+  return FetchTableFrom(loc.engine, loc.native_name);
+}
+
+Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (loc.engine == kEngineSciDb) {
+    return array_.GetArray(loc.native_name);
+  }
+  // Prefer a fresh array replica over shimming the primary.
+  if (catalog_.ReplicaIsFresh(object, kEngineSciDb)) {
+    BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
+                             catalog_.ReplicaOn(object, kEngineSciDb));
+    return array_.GetArray(replica.native_name);
+  }
+  if (loc.engine == kEngineTileDb) {
+    BIGDAWG_ASSIGN_OR_RETURN(tiledb::TileDbArray m, tiledb_.GetArray(loc.native_name));
+    return TileMatrixToArray(m);
+  }
+  if (loc.engine == kEngineD4m) {
+    auto it = assoc_store_.find(loc.native_name);
+    if (it == assoc_store_.end()) {
+      return Status::Internal("catalog points at missing assoc object: " + object);
+    }
+    return AssocToArray(it->second);
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FetchAsTable(object));
+  return TableToArray(t);
+}
+
+Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (loc.engine == kEngineD4m) {
+    auto it = assoc_store_.find(loc.native_name);
+    if (it == assoc_store_.end()) {
+      return Status::Internal("catalog points at missing assoc object: " + object);
+    }
+    return it->second;
+  }
+  if (loc.engine == kEngineAccumulo) {
+    // The D4M view of a text corpus: the term x document incidence
+    // associative array (row = term, col = doc id, value = tf).
+    d4m::AssocArray out;
+    kvstore::ScanOptions options;
+    options.family = "idx";
+    text_.backing_store().ApplyToRange(options, [&out](const kvstore::Cell& cell) {
+      // Rows are "term:<t>".
+      std::string term = cell.key.row.substr(5);
+      out.Set(term, cell.key.qualifier,
+              Value(std::strtod(cell.value.c_str(), nullptr)));
+      return true;
+    });
+    return out;
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FetchAsTable(object));
+  return TableToAssoc(t);
+}
+
+// ---------------------------------------------------------------------------
+// CAST materialization
+// ---------------------------------------------------------------------------
+
+Status BigDawg::StoreTableAs(const relational::Table& table, DataModel model,
+                             const std::string& object, bool temporary) {
+  switch (model) {
+    case DataModel::kRelation: {
+      BIGDAWG_RETURN_NOT_OK(relational_.PutTable(object, table));
+      BIGDAWG_RETURN_NOT_OK(catalog_.Register({object, kEnginePostgres, object}));
+      break;
+    }
+    case DataModel::kArray: {
+      BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TableToArray(table));
+      BIGDAWG_RETURN_NOT_OK(array_.PutArray(object, std::move(a)));
+      BIGDAWG_RETURN_NOT_OK(catalog_.Register({object, kEngineSciDb, object}));
+      break;
+    }
+    case DataModel::kAssociative: {
+      BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, TableToAssoc(table));
+      assoc_store_[object] = std::move(a);
+      BIGDAWG_RETURN_NOT_OK(catalog_.Register({object, kEngineD4m, object}));
+      break;
+    }
+    case DataModel::kTileMatrix: {
+      BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TableToArray(table));
+      BIGDAWG_ASSIGN_OR_RETURN(tiledb::TileDbArray m, ArrayToTileMatrix(a));
+      BIGDAWG_RETURN_NOT_OK(tiledb_.PutArray(object, std::move(m)));
+      BIGDAWG_RETURN_NOT_OK(catalog_.Register({object, kEngineTileDb, object}));
+      break;
+    }
+  }
+  if (temporary) temporaries_.push_back(object);
+  return Status::OK();
+}
+
+Status BigDawg::CastAndStore(const std::string& object, DataModel target,
+                             const std::string& new_object) {
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, FetchAsTable(object));
+  return StoreTableAs(table, target, new_object, /*temporary=*/false);
+}
+
+void BigDawg::ClearTemporaries() {
+  for (const std::string& name : temporaries_) {
+    Result<ObjectLocation> loc = catalog_.Lookup(name);
+    if (!loc.ok()) continue;
+    if (loc->engine == kEnginePostgres) (void)relational_.DropTable(loc->native_name);
+    if (loc->engine == kEngineSciDb) (void)array_.RemoveArray(loc->native_name);
+    if (loc->engine == kEngineTileDb) (void)tiledb_.RemoveArray(loc->native_name);
+    if (loc->engine == kEngineD4m) assoc_store_.erase(loc->native_name);
+    (void)catalog_.Remove(name);
+  }
+  temporaries_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Migration
+// ---------------------------------------------------------------------------
+
+Status BigDawg::StoreTableOnEngine(const relational::Table& table,
+                                   const std::string& engine,
+                                   const std::string& native) {
+  if (engine == kEnginePostgres) {
+    return relational_.PutTable(native, table);
+  }
+  if (engine == kEngineSciDb) {
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TableToArray(table));
+    return array_.PutArray(native, std::move(a));
+  }
+  if (engine == kEngineTileDb) {
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TableToArray(table));
+    BIGDAWG_ASSIGN_OR_RETURN(tiledb::TileDbArray m, ArrayToTileMatrix(a));
+    return tiledb_.PutArray(native, std::move(m));
+  }
+  if (engine == kEngineD4m) {
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, TableToAssoc(table));
+    assoc_store_[native] = std::move(a);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unsupported storage engine: " + engine);
+}
+
+void BigDawg::DropPhysical(const std::string& engine, const std::string& native) {
+  if (engine == kEnginePostgres) (void)relational_.DropTable(native);
+  if (engine == kEngineSciDb) (void)array_.RemoveArray(native);
+  if (engine == kEngineTileDb) (void)tiledb_.RemoveArray(native);
+  if (engine == kEngineD4m) assoc_store_.erase(native);
+}
+
+Status BigDawg::MigrateObject(const std::string& object,
+                              const std::string& target_engine) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (loc.engine == target_engine) return Status::OK();
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, FetchAsTable(object));
+  // A replica already on the target becomes redundant after migration;
+  // the catalog drops its entry and we drop its bytes.
+  Result<ReplicaLocation> existing = catalog_.ReplicaOn(object, target_engine);
+  BIGDAWG_RETURN_NOT_OK(StoreTableOnEngine(table, target_engine, object));
+  DropPhysical(loc.engine, loc.native_name);
+  if (existing.ok() && existing->native_name != object) {
+    DropPhysical(target_engine, existing->native_name);
+  }
+  return catalog_.UpdateLocation(object, target_engine, object);
+}
+
+Status BigDawg::ReplicateObject(const std::string& object,
+                                const std::string& target_engine) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (loc.engine == target_engine) {
+    return Status::InvalidArgument("object already lives on " + target_engine);
+  }
+  const std::string native = object + "__replica_" + target_engine;
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, FetchAsTable(object));
+  BIGDAWG_RETURN_NOT_OK(StoreTableOnEngine(table, target_engine, native));
+  BIGDAWG_RETURN_NOT_OK(catalog_.AddReplica(object, target_engine, native));
+  return catalog_.MarkReplicaFresh(object, target_engine);
+}
+
+Status BigDawg::DropReplica(const std::string& object, const std::string& engine) {
+  BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica, catalog_.ReplicaOn(object, engine));
+  DropPhysical(engine, replica.native_name);
+  return catalog_.RemoveReplica(object, engine);
+}
+
+Status BigDawg::MarkObjectWritten(const std::string& object) {
+  return catalog_.MarkPrimaryWritten(object);
+}
+
+Result<int64_t> BigDawg::RefreshReplicas(const std::string& object) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  (void)loc;
+  int64_t refreshed = 0;
+  for (const ReplicaLocation& replica : catalog_.Replicas(object)) {
+    if (catalog_.ReplicaIsFresh(object, replica.engine)) continue;
+    // Re-materialize from the primary (not from another replica).
+    BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation primary, catalog_.Lookup(object));
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table table,
+                             FetchTableFrom(primary.engine, primary.native_name));
+    BIGDAWG_RETURN_NOT_OK(
+        StoreTableOnEngine(table, replica.engine, replica.native_name));
+    BIGDAWG_RETURN_NOT_OK(catalog_.MarkReplicaFresh(object, replica.engine));
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+Result<int64_t> BigDawg::ApplyMigrations() {
+  std::vector<MigrationSuggestion> suggestions = monitor_.SuggestMigrations(catalog_);
+  int64_t migrated = 0;
+  for (const MigrationSuggestion& s : suggestions) {
+    BIGDAWG_RETURN_NOT_OK(MigrateObject(s.object, s.to_engine));
+    ++migrated;
+  }
+  if (migrated > 0) monitor_.ResetAccessHistory();
+  return migrated;
+}
+
+}  // namespace bigdawg::core

@@ -1,0 +1,151 @@
+#ifndef BIGDAWG_CORE_BIGDAWG_H_
+#define BIGDAWG_CORE_BIGDAWG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/array_engine.h"
+#include "common/result.h"
+#include "core/cast.h"
+#include "core/catalog.h"
+#include "core/island.h"
+#include "core/islands.h"
+#include "core/monitor.h"
+#include "d4m/assoc_array.h"
+#include "kvstore/text_store.h"
+#include "relational/database.h"
+#include "stream/stream_engine.h"
+#include "tiledb/tiledb.h"
+
+namespace bigdawg::core {
+
+/// \brief The BigDAWG polystore facade.
+///
+/// Owns the federation's storage engines, the catalog mapping logical
+/// objects to engines (location transparency), the eight islands of
+/// information, and the cross-system monitor. Queries enter through
+/// Execute(), which implements the paper's SCOPE/CAST surface:
+///
+///   RELATIONAL(SELECT * FROM CAST(W, relation) WHERE v > 5)
+///   ARRAY(aggregate(W, avg, hr, patient))
+///   TEXT(OWNERS_WITH_PHRASE 'very sick' 3)
+///   STREAM(WINDOW hr_window)
+///   D4M(ROWSUM adjacency)
+///   MYRIA(SELECT race, COUNT(*) FROM patients GROUP BY race)
+///
+/// SCOPE = the island name wrapping the query; a query with no SCOPE
+/// defaults to the RELATIONAL island. CAST(obj, model) materializes
+/// `obj` in the target data model (relation | array | associative |
+/// tilematrix) under a temporary catalog name before dispatch; the first
+/// argument may itself be a scoped subquery.
+class BigDawg {
+ public:
+  BigDawg();
+  ~BigDawg();
+
+  BigDawg(const BigDawg&) = delete;
+  BigDawg& operator=(const BigDawg&) = delete;
+
+  // ---- Engines (for loading data and native access) ----
+  relational::Database& postgres() { return relational_; }
+  array::ArrayEngine& scidb() { return array_; }
+  kvstore::TextStore& accumulo() { return text_; }
+  stream::StreamEngine& sstore() { return stream_; }
+  tiledb::TileDbEngine& tiledb() { return tiledb_; }
+  std::map<std::string, d4m::AssocArray>& assoc_store() { return assoc_store_; }
+
+  Catalog& catalog() { return catalog_; }
+  Monitor& monitor() { return monitor_; }
+
+  /// Registers a logical object living on an engine. The native object
+  /// must already exist there.
+  Status RegisterObject(const std::string& object, const std::string& engine,
+                        const std::string& native_name);
+
+  // ---- The query surface ----
+
+  /// Executes a (possibly SCOPE-wrapped, CAST-containing) query.
+  Result<relational::Table> Execute(const std::string& query);
+
+  /// Islands registered in this polystore (the paper's eight).
+  std::vector<std::string> ListIslands() const;
+  Result<Island*> GetIsland(const std::string& name);
+
+  // ---- Cross-model access (shims; also used by CAST) ----
+
+  Result<relational::Table> FetchAsTable(const std::string& object);
+  Result<array::Array> FetchAsArray(const std::string& object);
+  Result<d4m::AssocArray> FetchAsAssoc(const std::string& object);
+
+  /// CAST + store + register: materializes `object` in `target` model
+  /// under logical name `new_object`.
+  Status CastAndStore(const std::string& object, DataModel target,
+                      const std::string& new_object);
+
+  // ---- Monitoring / migration ----
+
+  /// Moves an object to another engine (converting its representation)
+  /// and updates the catalog; the old physical copy is dropped.
+  Status MigrateObject(const std::string& object, const std::string& target_engine);
+
+  // ---- Replication (the paper's future-work extension) ----
+
+  /// Materializes a read replica of `object` on `target_engine`.
+  /// Model-matched fetches (FetchAsArray on a scidb replica, FetchAsTable
+  /// on a postgres replica) are served from fresh replicas, avoiding the
+  /// cross-model shim. Replicas are read-only; after writing the primary,
+  /// call MarkObjectWritten + RefreshReplicas.
+  Status ReplicateObject(const std::string& object, const std::string& target_engine);
+  Status DropReplica(const std::string& object, const std::string& engine);
+  /// Records a primary write (staling every replica).
+  Status MarkObjectWritten(const std::string& object);
+  /// Re-materializes every stale replica from the primary; returns the
+  /// number refreshed.
+  Result<int64_t> RefreshReplicas(const std::string& object);
+
+  /// Applies every suggestion the monitor currently makes; returns the
+  /// number of objects migrated.
+  Result<int64_t> ApplyMigrations();
+
+  /// Drops temporary objects created by CAST. Called automatically when
+  /// the outermost Execute() finishes; public for manual cleanup after
+  /// direct StoreTableAs-style use.
+  void ClearTemporaries();
+
+ private:
+  Status StoreTableAs(const relational::Table& table, DataModel model,
+                      const std::string& object, bool temporary);
+  /// Stores a relation on an engine (converting as needed) under `native`.
+  Status StoreTableOnEngine(const relational::Table& table,
+                            const std::string& engine, const std::string& native);
+  /// Drops a physical object from an engine (best-effort).
+  void DropPhysical(const std::string& engine, const std::string& native);
+  /// Reads an object's bytes from a specific physical location.
+  Result<relational::Table> FetchTableFrom(const std::string& engine,
+                                           const std::string& native);
+
+  // SCOPE/CAST machinery (implemented in scope.cc).
+  Result<relational::Table> ExecuteScoped(const std::string& island_name,
+                                          const std::string& inner_query);
+  Result<std::string> RewriteCasts(const std::string& query);
+
+  relational::Database relational_;
+  array::ArrayEngine array_;
+  kvstore::TextStore text_;
+  stream::StreamEngine stream_;
+  tiledb::TileDbEngine tiledb_;
+  std::map<std::string, d4m::AssocArray> assoc_store_;
+
+  Catalog catalog_;
+  Monitor monitor_;
+  std::map<std::string, std::unique_ptr<Island>> islands_;
+  std::vector<std::string> temporaries_;
+  int64_t temp_counter_ = 0;
+  int exec_depth_ = 0;
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_BIGDAWG_H_

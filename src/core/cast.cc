@@ -1,0 +1,342 @@
+#include "core/cast.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/csv.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace bigdawg::core {
+
+Result<DataModel> DataModelFromString(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "relation" || lower == "relational" || lower == "table") {
+    return DataModel::kRelation;
+  }
+  if (lower == "array") return DataModel::kArray;
+  if (lower == "assoc" || lower == "associative") return DataModel::kAssociative;
+  if (lower == "tile" || lower == "tilematrix") return DataModel::kTileMatrix;
+  return Status::InvalidArgument("unknown data model: " + name);
+}
+
+const char* DataModelToString(DataModel model) {
+  switch (model) {
+    case DataModel::kRelation:
+      return "relation";
+    case DataModel::kArray:
+      return "array";
+    case DataModel::kAssociative:
+      return "associative";
+    case DataModel::kTileMatrix:
+      return "tilematrix";
+  }
+  return "?";
+}
+
+Result<array::Array> TableToArray(const relational::Table& table,
+                                  int64_t chunk_length) {
+  std::vector<size_t> dim_cols;
+  std::vector<size_t> attr_cols;
+  for (size_t i = 0; i < table.schema().num_fields(); ++i) {
+    const Field& f = table.schema().field(i);
+    if (f.type == DataType::kInt64) {
+      dim_cols.push_back(i);
+    } else if (f.type == DataType::kDouble) {
+      attr_cols.push_back(i);
+    } else {
+      return Status::TypeError("column '" + f.name +
+                               "' is neither int64 (dimension) nor double "
+                               "(attribute); CAST to array unsupported");
+    }
+  }
+  if (dim_cols.empty()) {
+    return Status::FailedPrecondition("relation has no int64 dimension column");
+  }
+  if (attr_cols.empty()) {
+    return Status::FailedPrecondition("relation has no double attribute column");
+  }
+
+  // Derive dimension bounds.
+  std::vector<int64_t> lo(dim_cols.size(), 0), hi(dim_cols.size(), 0);
+  bool first = true;
+  for (const Row& row : table.rows()) {
+    for (size_t d = 0; d < dim_cols.size(); ++d) {
+      const Value& v = row[dim_cols[d]];
+      if (v.is_null()) {
+        return Status::InvalidArgument("NULL in dimension column '" +
+                                       table.schema().field(dim_cols[d]).name + "'");
+      }
+      int64_t coord = v.int64_unchecked();
+      if (first) {
+        lo[d] = hi[d] = coord;
+      } else {
+        lo[d] = std::min(lo[d], coord);
+        hi[d] = std::max(hi[d], coord);
+      }
+    }
+    first = false;
+  }
+  if (first) {
+    return Status::FailedPrecondition("cannot CAST an empty relation to array");
+  }
+
+  std::vector<array::Dimension> dims;
+  for (size_t d = 0; d < dim_cols.size(); ++d) {
+    dims.emplace_back(table.schema().field(dim_cols[d]).name, lo[d],
+                      hi[d] - lo[d] + 1, chunk_length);
+  }
+  std::vector<std::string> attrs;
+  for (size_t a : attr_cols) attrs.push_back(table.schema().field(a).name);
+
+  BIGDAWG_ASSIGN_OR_RETURN(array::Array out,
+                           array::Array::Create(std::move(dims), std::move(attrs)));
+  array::Coordinates coords(dim_cols.size());
+  std::vector<double> values(attr_cols.size());
+  for (const Row& row : table.rows()) {
+    for (size_t d = 0; d < dim_cols.size(); ++d) {
+      coords[d] = row[dim_cols[d]].int64_unchecked();
+    }
+    for (size_t a = 0; a < attr_cols.size(); ++a) {
+      const Value& v = row[attr_cols[a]];
+      values[a] = v.is_null() ? 0.0 : v.double_unchecked();
+    }
+    BIGDAWG_RETURN_NOT_OK(out.Set(coords, values));
+  }
+  return out;
+}
+
+Result<relational::Table> ArrayToTable(const array::Array& array) {
+  std::vector<Field> fields;
+  for (const array::Dimension& d : array.dims()) {
+    fields.emplace_back(d.name, DataType::kInt64);
+  }
+  for (const std::string& a : array.attrs()) {
+    fields.emplace_back(a, DataType::kDouble);
+  }
+  relational::Table out{Schema(std::move(fields))};
+  array.Scan([&out](const array::Coordinates& coords,
+                    const std::vector<double>& values) {
+    Row row;
+    row.reserve(coords.size() + values.size());
+    for (int64_t c : coords) row.emplace_back(c);
+    for (double v : values) row.emplace_back(v);
+    out.AppendUnchecked(std::move(row));
+    return true;
+  });
+  return out;
+}
+
+Result<d4m::AssocArray> TableToAssoc(const relational::Table& table) {
+  if (table.schema().num_fields() < 2) {
+    return Status::FailedPrecondition(
+        "CAST to associative needs a key column plus >= 1 value column");
+  }
+  d4m::AssocArray out;
+  for (const Row& row : table.rows()) {
+    if (row[0].is_null()) continue;  // no row key: skip (structural zero)
+    std::string row_key = row[0].ToString();
+    for (size_t c = 1; c < row.size(); ++c) {
+      if (row[c].is_null()) continue;
+      out.Set(row_key, table.schema().field(c).name, row[c]);
+    }
+  }
+  return out;
+}
+
+Result<relational::Table> AssocToTable(const d4m::AssocArray& assoc) {
+  bool all_numeric = true;
+  assoc.ForEach([&all_numeric](const std::string&, const std::string&, const Value& v) {
+    if (!v.ToNumeric().ok()) all_numeric = false;
+  });
+  Schema schema({Field("row", DataType::kString), Field("col", DataType::kString),
+                 Field("value", all_numeric ? DataType::kDouble : DataType::kString)});
+  relational::Table out{schema};
+  assoc.ForEach([&](const std::string& r, const std::string& c, const Value& v) {
+    Value cell = all_numeric ? Value(*v.ToNumeric()) : Value(v.ToString());
+    out.AppendUnchecked({Value(r), Value(c), std::move(cell)});
+  });
+  return out;
+}
+
+Result<tiledb::TileDbArray> ArrayToTileMatrix(const array::Array& array,
+                                              int64_t tile_rows,
+                                              int64_t tile_cols) {
+  if (array.num_dims() != 2) {
+    return Status::FailedPrecondition("CAST to tilematrix requires a 2-D array");
+  }
+  const auto& dims = array.dims();
+  tiledb::TileSchema schema{dims[0].length, dims[1].length, tile_rows, tile_cols};
+  BIGDAWG_ASSIGN_OR_RETURN(tiledb::TileDbArray out, tiledb::TileDbArray::Create(schema));
+  Status st = Status::OK();
+  array.Scan([&](const array::Coordinates& coords, const std::vector<double>& values) {
+    st = out.Write(coords[0] - dims[0].start, coords[1] - dims[1].start, values[0]);
+    return st.ok();
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  BIGDAWG_RETURN_NOT_OK(out.Consolidate());
+  return out;
+}
+
+Result<array::Array> TileMatrixToArray(const tiledb::TileDbArray& matrix,
+                                       int64_t chunk_length) {
+  const tiledb::TileSchema& ts = matrix.schema();
+  BIGDAWG_ASSIGN_OR_RETURN(
+      array::Array out,
+      array::Array::Create({array::Dimension("row", 0, ts.rows, chunk_length),
+                            array::Dimension("col", 0, ts.cols, chunk_length)},
+                           {"val"}));
+  Status st = Status::OK();
+  matrix.ForEachNonZero([&](int64_t r, int64_t c, double v) {
+    if (st.ok()) st = out.Set({r, c}, {v});
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<array::Array> AssocToArray(const d4m::AssocArray& assoc) {
+  std::vector<std::string> rows = assoc.RowKeys();
+  std::vector<std::string> cols = assoc.ColKeys();
+  if (rows.empty() || cols.empty()) {
+    return Status::FailedPrecondition("cannot CAST an empty associative array");
+  }
+  std::map<std::string, int64_t> row_index, col_index;
+  for (size_t i = 0; i < rows.size(); ++i) row_index[rows[i]] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < cols.size(); ++i) col_index[cols[i]] = static_cast<int64_t>(i);
+  BIGDAWG_ASSIGN_OR_RETURN(
+      array::Array out,
+      array::Array::Create(
+          {array::Dimension("row", 0, static_cast<int64_t>(rows.size()), 64),
+           array::Dimension("col", 0, static_cast<int64_t>(cols.size()), 64)},
+          {"val"}));
+  Status st = Status::OK();
+  assoc.ForEach([&](const std::string& r, const std::string& c, const Value& v) {
+    Result<double> num = v.ToNumeric();
+    if (!num.ok() || !st.ok()) return;
+    st = out.Set({row_index[r], col_index[c]}, {*num});
+  });
+  BIGDAWG_RETURN_NOT_OK(st);
+  return out;
+}
+
+std::string TableToBinary(const relational::Table& table) {
+  BinaryWriter writer;
+  writer.PutSchema(table.schema());
+  writer.PutUint32(static_cast<uint32_t>(table.num_rows()));
+  for (const Row& row : table.rows()) writer.PutRow(row);
+  return writer.Release();
+}
+
+Result<relational::Table> TableFromBinary(const std::string& data) {
+  BinaryReader reader(data);
+  BIGDAWG_ASSIGN_OR_RETURN(Schema schema, reader.GetSchema());
+  BIGDAWG_ASSIGN_OR_RETURN(uint32_t n, reader.GetUint32());
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BIGDAWG_ASSIGN_OR_RETURN(Row row, reader.GetRow());
+    rows.push_back(std::move(row));
+  }
+  return relational::Table(std::move(schema), std::move(rows));
+}
+
+std::string TableToBinaryParallel(const relational::Table& table,
+                                  ThreadPool* pool, size_t num_chunks) {
+  if (num_chunks == 0) num_chunks = std::max<size_t>(1, pool->num_threads());
+  const size_t n = table.num_rows();
+  num_chunks = std::max<size_t>(1, std::min(num_chunks, std::max<size_t>(1, n)));
+  const size_t per_chunk = (n + num_chunks - 1) / num_chunks;
+
+  std::vector<std::string> chunk_bytes(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    pool->Submit([c, per_chunk, n, &table, &chunk_bytes] {
+      BinaryWriter writer;
+      const size_t begin = c * per_chunk;
+      const size_t end = std::min(n, begin + per_chunk);
+      writer.PutUint32(static_cast<uint32_t>(end > begin ? end - begin : 0));
+      for (size_t r = begin; r < end; ++r) writer.PutRow(table.rows()[r]);
+      chunk_bytes[c] = writer.Release();
+    });
+  }
+  pool->WaitIdle();
+
+  BinaryWriter header;
+  header.PutSchema(table.schema());
+  header.PutUint32(static_cast<uint32_t>(num_chunks));
+  for (const std::string& chunk : chunk_bytes) {
+    header.PutUint32(static_cast<uint32_t>(chunk.size()));
+  }
+  std::string out = header.Release();
+  for (std::string& chunk : chunk_bytes) out += chunk;
+  return out;
+}
+
+Result<relational::Table> TableFromBinaryParallel(const std::string& data,
+                                                  ThreadPool* pool) {
+  BinaryReader reader(data);
+  BIGDAWG_ASSIGN_OR_RETURN(Schema schema, reader.GetSchema());
+  BIGDAWG_ASSIGN_OR_RETURN(uint32_t num_chunks, reader.GetUint32());
+  std::vector<uint32_t> lengths(num_chunks);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    BIGDAWG_ASSIGN_OR_RETURN(lengths[c], reader.GetUint32());
+  }
+  // Compute chunk extents; validate total size.
+  size_t offset = reader.position();
+  std::vector<std::pair<size_t, size_t>> extents;  // (begin, length)
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    extents.emplace_back(offset, lengths[c]);
+    offset += lengths[c];
+  }
+  if (offset != data.size()) {
+    return Status::ParseError("chunked binary relation has trailing/missing bytes");
+  }
+
+  std::vector<std::vector<Row>> chunk_rows(num_chunks);
+  std::vector<Status> statuses(num_chunks);
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    pool->Submit([c, &data, &extents, &chunk_rows, &statuses] {
+      BinaryReader chunk_reader(
+          std::string_view(data).substr(extents[c].first, extents[c].second));
+      statuses[c] = [&]() -> Status {
+        BIGDAWG_ASSIGN_OR_RETURN(uint32_t n, chunk_reader.GetUint32());
+        chunk_rows[c].reserve(n);
+        for (uint32_t r = 0; r < n; ++r) {
+          BIGDAWG_ASSIGN_OR_RETURN(Row row, chunk_reader.GetRow());
+          chunk_rows[c].push_back(std::move(row));
+        }
+        return Status::OK();
+      }();
+    });
+  }
+  pool->WaitIdle();
+  for (const Status& st : statuses) BIGDAWG_RETURN_NOT_OK(st);
+
+  std::vector<Row> rows;
+  for (auto& chunk : chunk_rows) {
+    for (Row& row : chunk) rows.push_back(std::move(row));
+  }
+  return relational::Table(std::move(schema), std::move(rows));
+}
+
+Result<relational::Table> TableViaCsvFile(const relational::Table& table,
+                                          const std::string& path) {
+  {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open for write: " + path);
+    }
+    out << RowsToCsv(table.schema(), table.rows());
+    if (!out.good()) return Status::IOError("write failed: " + path);
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  BIGDAWG_ASSIGN_OR_RETURN(auto parsed, CsvToRows(buffer.str()));
+  return relational::Table(std::move(parsed.first), std::move(parsed.second));
+}
+
+}  // namespace bigdawg::core

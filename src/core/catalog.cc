@@ -1,0 +1,180 @@
+#include "core/catalog.h"
+
+#include <mutex>
+
+namespace bigdawg::core {
+
+Status Catalog::Register(ObjectLocation location) {
+  std::unique_lock lock(mu_);
+  if (objects_.count(location.object) > 0) {
+    return Status::AlreadyExists("object already registered: " + location.object);
+  }
+  Entry entry;
+  std::string key = location.object;
+  entry.primary = std::move(location);
+  objects_.emplace(std::move(key), std::move(entry));
+  return Status::OK();
+}
+
+Result<ObjectLocation> Catalog::Lookup(const std::string& object) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  return it->second.primary;
+}
+
+bool Catalog::Contains(const std::string& object) const {
+  std::shared_lock lock(mu_);
+  return objects_.count(object) > 0;
+}
+
+Status Catalog::UpdateLocation(const std::string& object, const std::string& engine,
+                               const std::string& native_name) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  it->second.primary.engine = engine;
+  it->second.primary.native_name = native_name;
+  // A replica on the new primary engine would be self-referential; drop it.
+  auto& replicas = it->second.replicas;
+  for (auto r = replicas.begin(); r != replicas.end();) {
+    if (r->engine == engine) {
+      r = replicas.erase(r);
+    } else {
+      ++r;
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::Remove(const std::string& object) {
+  std::unique_lock lock(mu_);
+  if (objects_.erase(object) == 0) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  return Status::OK();
+}
+
+std::vector<ObjectLocation> Catalog::List() const {
+  std::shared_lock lock(mu_);
+  std::vector<ObjectLocation> out;
+  out.reserve(objects_.size());
+  for (const auto& [name, entry] : objects_) out.push_back(entry.primary);
+  return out;
+}
+
+std::vector<ObjectLocation> Catalog::ListByEngine(const std::string& engine) const {
+  std::shared_lock lock(mu_);
+  std::vector<ObjectLocation> out;
+  for (const auto& [name, entry] : objects_) {
+    if (entry.primary.engine == engine) out.push_back(entry.primary);
+  }
+  return out;
+}
+
+Status Catalog::AddReplica(const std::string& object, const std::string& engine,
+                           const std::string& native_name) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  if (it->second.primary.engine == engine) {
+    return Status::InvalidArgument("replica engine equals the primary's: " + engine);
+  }
+  for (const ReplicaLocation& r : it->second.replicas) {
+    if (r.engine == engine) {
+      return Status::AlreadyExists("replica already exists on " + engine);
+    }
+  }
+  it->second.replicas.push_back({engine, native_name, it->second.version});
+  return Status::OK();
+}
+
+Status Catalog::RemoveReplica(const std::string& object, const std::string& engine) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  auto& replicas = it->second.replicas;
+  for (auto r = replicas.begin(); r != replicas.end(); ++r) {
+    if (r->engine == engine) {
+      replicas.erase(r);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no replica of " + object + " on " + engine);
+}
+
+std::vector<ReplicaLocation> Catalog::Replicas(const std::string& object) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return {};
+  return it->second.replicas;
+}
+
+Result<ReplicaLocation> Catalog::ReplicaOn(const std::string& object,
+                                           const std::string& engine) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  for (const ReplicaLocation& r : it->second.replicas) {
+    if (r.engine == engine) return r;
+  }
+  return Status::NotFound("no replica of " + object + " on " + engine);
+}
+
+Result<int64_t> Catalog::PrimaryVersion(const std::string& object) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  return it->second.version;
+}
+
+Status Catalog::MarkPrimaryWritten(const std::string& object) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  ++it->second.version;
+  return Status::OK();
+}
+
+Status Catalog::MarkReplicaFresh(const std::string& object,
+                                 const std::string& engine) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  for (ReplicaLocation& r : it->second.replicas) {
+    if (r.engine == engine) {
+      r.version = it->second.version;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no replica of " + object + " on " + engine);
+}
+
+bool Catalog::ReplicaIsFresh(const std::string& object,
+                             const std::string& engine) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return false;
+  for (const ReplicaLocation& r : it->second.replicas) {
+    if (r.engine == engine) return r.version == it->second.version;
+  }
+  return false;
+}
+
+}  // namespace bigdawg::core

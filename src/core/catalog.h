@@ -1,0 +1,102 @@
+#ifndef BIGDAWG_CORE_CATALOG_H_
+#define BIGDAWG_CORE_CATALOG_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::core {
+
+/// \brief Canonical engine names used throughout the polystore.
+inline constexpr char kEnginePostgres[] = "postgres";   // relational
+inline constexpr char kEngineSciDb[] = "scidb";         // array
+inline constexpr char kEngineAccumulo[] = "accumulo";   // text / key-value
+inline constexpr char kEngineSStore[] = "sstore";       // streaming
+inline constexpr char kEngineTileDb[] = "tiledb";       // tile matrix
+inline constexpr char kEngineD4m[] = "d4m";             // associative store
+
+/// \brief Where a logical object physically lives.
+struct ObjectLocation {
+  std::string object;       // logical, polystore-wide name
+  std::string engine;       // one of the kEngine* constants
+  std::string native_name;  // name inside the owning engine
+};
+
+/// \brief A read replica of a logical object on another engine.
+///
+/// The paper leaves "data replication across systems" as future work;
+/// this reproduction implements read replicas: the primary location stays
+/// authoritative, replicas serve model-matched reads, and RefreshReplica
+/// re-materializes a replica from the primary after writes.
+struct ReplicaLocation {
+  std::string engine;
+  std::string native_name;
+  /// Monotonic version of the primary this replica was materialized from.
+  int64_t version = 0;
+};
+
+/// \brief The polystore catalog: logical object name -> physical location.
+///
+/// This is what gives BigDAWG location transparency — queries name
+/// logical objects, and islands/shims resolve them here.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// AlreadyExists when the logical name is taken.
+  Status Register(ObjectLocation location);
+
+  Result<ObjectLocation> Lookup(const std::string& object) const;
+  bool Contains(const std::string& object) const;
+
+  /// Repoints a logical object at a new engine/native name (migration).
+  Status UpdateLocation(const std::string& object, const std::string& engine,
+                        const std::string& native_name);
+
+  Status Remove(const std::string& object);
+
+  std::vector<ObjectLocation> List() const;
+  /// Objects living on a given engine.
+  std::vector<ObjectLocation> ListByEngine(const std::string& engine) const;
+
+  // ---- Replication ----
+
+  /// Registers a replica of `object` on `engine`; the replica starts at
+  /// the primary's current version. AlreadyExists if one exists there.
+  Status AddReplica(const std::string& object, const std::string& engine,
+                    const std::string& native_name);
+  Status RemoveReplica(const std::string& object, const std::string& engine);
+  /// All replicas of an object (empty when unreplicated).
+  std::vector<ReplicaLocation> Replicas(const std::string& object) const;
+  /// The replica of `object` on `engine`, if any.
+  Result<ReplicaLocation> ReplicaOn(const std::string& object,
+                                    const std::string& engine) const;
+  /// Current primary version (bumped by MarkPrimaryWritten).
+  Result<int64_t> PrimaryVersion(const std::string& object) const;
+  /// Records a write to the primary: replicas become stale.
+  Status MarkPrimaryWritten(const std::string& object);
+  /// Marks a replica as refreshed to the current primary version.
+  Status MarkReplicaFresh(const std::string& object, const std::string& engine);
+  /// True when the replica exists and matches the primary version.
+  bool ReplicaIsFresh(const std::string& object, const std::string& engine) const;
+
+ private:
+  struct Entry {
+    ObjectLocation primary;
+    int64_t version = 0;
+    std::vector<ReplicaLocation> replicas;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Entry> objects_;
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_CATALOG_H_

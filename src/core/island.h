@@ -1,0 +1,33 @@
+#ifndef BIGDAWG_CORE_ISLAND_H_
+#define BIGDAWG_CORE_ISLAND_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace bigdawg::core {
+
+/// \brief An island of information: a front-facing query abstraction with
+/// its own language and data model, federating one or more engines
+/// through shims.
+///
+/// Every island returns results in the polystore's common currency — a
+/// relational Table — so cross-island composition and display are uniform.
+class Island {
+ public:
+  virtual ~Island() = default;
+
+  /// Island name as used in SCOPE specifications (e.g. "RELATIONAL").
+  virtual std::string name() const = 0;
+
+  /// Executes a query in this island's language.
+  virtual Result<relational::Table> Execute(const std::string& query) = 0;
+
+  /// Human-readable one-liner describing the language, for diagnostics.
+  virtual std::string language_summary() const = 0;
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_ISLAND_H_

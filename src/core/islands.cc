@@ -1,0 +1,397 @@
+#include "core/islands.h"
+
+#include <deque>
+#include <set>
+
+#include "common/lexer.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/cast.h"
+#include "myria/myria.h"
+#include "relational/executor.h"
+#include "relational/sql_parser.h"
+
+namespace bigdawg::core {
+
+namespace {
+
+relational::Table RowsAsStringTable(const std::vector<Row>& rows) {
+  size_t width = 0;
+  for (const Row& r : rows) width = std::max(width, r.size());
+  std::vector<Field> fields;
+  for (size_t i = 0; i < width; ++i) {
+    fields.emplace_back("c" + std::to_string(i), DataType::kString);
+  }
+  relational::Table out{Schema(std::move(fields))};
+  for (const Row& r : rows) {
+    Row padded;
+    padded.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+      padded.push_back(i < r.size() ? Value(r[i].ToString()) : Value::Null());
+    }
+    out.AppendUnchecked(std::move(padded));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RelationalIsland
+// ---------------------------------------------------------------------------
+
+Result<relational::Table> RelationalIsland::Execute(const std::string& query) {
+  if (degenerate_) {
+    return engines_.relational->ExecuteSql(query);
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Statement stmt, relational::ParseSql(query));
+  auto* select = std::get_if<relational::SelectStatement>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument(
+        "the multi-engine relational island supports SELECT only (use the "
+        "degenerate POSTGRES island for DDL/DML)");
+  }
+  // Materialized shim tables must outlive execution.
+  std::deque<relational::Table> arena;
+  relational::TableResolver resolver =
+      [this, &arena](const std::string& name) -> Result<const relational::Table*> {
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, fetcher_(name));
+    arena.push_back(std::move(t));
+    return &arena.back();
+  };
+  return relational::ExecuteSelect(*select, resolver);
+}
+
+// ---------------------------------------------------------------------------
+// ArrayIsland
+// ---------------------------------------------------------------------------
+
+Result<array::Array> ArrayIsland::ExecuteToArray(const std::string& query) {
+  if (degenerate_) {
+    return engines_.array->Query(query);
+  }
+  // Shim pass: stage every referenced catalog object into a scratch array
+  // engine (casting non-array objects), then run the AFL query there.
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  array::ArrayEngine scratch;
+  std::set<std::string> staged;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].type != TokenType::kIdentifier) continue;
+    // Operator names are identifiers followed by '('.
+    if (i + 1 < tokens.size() && tokens[i + 1].IsSymbol("(")) continue;
+    const std::string& name = tokens[i].text;
+    if (staged.count(name) > 0 || !catalog_->Contains(name)) continue;
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a, fetcher_(name));
+    BIGDAWG_RETURN_NOT_OK(scratch.PutArray(name, std::move(a)));
+    staged.insert(name);
+  }
+  return scratch.Query(query);
+}
+
+Result<relational::Table> ArrayIsland::Execute(const std::string& query) {
+  BIGDAWG_ASSIGN_OR_RETURN(array::Array result, ExecuteToArray(query));
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, ArrayToTable(result));
+  // Overall aggregates produce a synthetic one-cell array over the dummy
+  // dimension "i"; present those as scalars (drop the placeholder column)
+  // so they align with other islands' aggregate results.
+  if (result.num_dims() == 1 && result.dims()[0].name == "i" &&
+      result.dims()[0].length == 1 && table.num_rows() <= 1) {
+    std::vector<Field> fields(table.schema().fields().begin() + 1,
+                              table.schema().fields().end());
+    relational::Table scalar{Schema(std::move(fields))};
+    for (const Row& row : table.rows()) {
+      scalar.AppendUnchecked(Row(row.begin() + 1, row.end()));
+    }
+    return scalar;
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// TextIsland
+// ---------------------------------------------------------------------------
+
+Result<relational::Table> TextIsland::Execute(const std::string& query) {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  TokenCursor cur(std::move(tokens));
+  BIGDAWG_ASSIGN_OR_RETURN(std::string command, cur.ExpectIdentifier());
+  command = ToUpper(command);
+
+  if (command == "SEARCH") {
+    std::vector<std::string> terms;
+    while (!cur.AtEnd()) {
+      BIGDAWG_ASSIGN_OR_RETURN(std::string term, cur.ExpectIdentifier());
+      terms.push_back(std::move(term));
+    }
+    if (terms.empty()) return Status::InvalidArgument("SEARCH needs >= 1 term");
+    relational::Table out{Schema({Field("doc_id", DataType::kString),
+                                  Field("owner", DataType::kString),
+                                  Field("score", DataType::kInt64)})};
+    for (const kvstore::DocMatch& m : engines_.text->SearchAllTerms(terms)) {
+      out.AppendUnchecked({Value(m.doc_id), Value(m.owner), Value(m.score)});
+    }
+    return out;
+  }
+
+  if (command == "PHRASE" || command == "OWNERS_WITH_PHRASE") {
+    if (cur.Peek().type != TokenType::kString) {
+      return Status::InvalidArgument(command + " needs a quoted phrase");
+    }
+    std::string phrase = cur.Next().text;
+    if (command == "PHRASE") {
+      if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+      relational::Table out{Schema({Field("doc_id", DataType::kString),
+                                    Field("owner", DataType::kString),
+                                    Field("occurrences", DataType::kInt64)})};
+      for (const kvstore::DocMatch& m : engines_.text->SearchPhrase(phrase)) {
+        out.AppendUnchecked({Value(m.doc_id), Value(m.owner), Value(m.score)});
+      }
+      return out;
+    }
+    int64_t min_docs = 1;
+    if (cur.Peek().type == TokenType::kInteger) {
+      min_docs = std::strtoll(cur.Next().text.c_str(), nullptr, 10);
+    }
+    if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    relational::Table out{Schema({Field("owner", DataType::kString),
+                                  Field("matching_docs", DataType::kInt64)})};
+    for (const auto& [owner, count] :
+         engines_.text->OwnersWithPhraseCount(phrase, min_docs)) {
+      out.AppendUnchecked({Value(owner), Value(count)});
+    }
+    return out;
+  }
+
+  if (command == "GET") {
+    BIGDAWG_ASSIGN_OR_RETURN(std::string doc_id, cur.ExpectIdentifier());
+    BIGDAWG_ASSIGN_OR_RETURN(std::string text, engines_.text->GetText(doc_id));
+    BIGDAWG_ASSIGN_OR_RETURN(std::string owner, engines_.text->GetOwner(doc_id));
+    relational::Table out{Schema({Field("doc_id", DataType::kString),
+                                  Field("owner", DataType::kString),
+                                  Field("text", DataType::kString)})};
+    out.AppendUnchecked({Value(doc_id), Value(owner), Value(text)});
+    return out;
+  }
+
+  return Status::InvalidArgument("unknown TEXT island command: " + command);
+}
+
+// ---------------------------------------------------------------------------
+// StreamIsland
+// ---------------------------------------------------------------------------
+
+Result<relational::Table> StreamIsland::Execute(const std::string& query) {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  TokenCursor cur(std::move(tokens));
+  BIGDAWG_ASSIGN_OR_RETURN(std::string command, cur.ExpectIdentifier());
+  command = ToUpper(command);
+
+  if (command == "ALERTS") {
+    return RowsAsStringTable(engines_.stream->TakeAlerts());
+  }
+
+  BIGDAWG_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
+  if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+
+  if (command == "STREAM") {
+    BIGDAWG_ASSIGN_OR_RETURN(Schema schema, engines_.stream->StreamSchema(name));
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                             engines_.stream->StreamContents(name));
+    return relational::Table(std::move(schema), std::move(rows));
+  }
+  if (command == "WINDOW") {
+    BIGDAWG_ASSIGN_OR_RETURN(Schema schema, engines_.stream->WindowSchema(name));
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                             engines_.stream->WindowContents(name));
+    return relational::Table(std::move(schema), std::move(rows));
+  }
+  if (command == "TABLE") {
+    BIGDAWG_ASSIGN_OR_RETURN(Schema schema, engines_.stream->TableSchema(name));
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows, engines_.stream->TableScan(name));
+    return relational::Table(std::move(schema), std::move(rows));
+  }
+  return Status::InvalidArgument("unknown STREAM island command: " + command);
+}
+
+// ---------------------------------------------------------------------------
+// D4mIsland
+// ---------------------------------------------------------------------------
+
+Result<relational::Table> D4mIsland::Execute(const std::string& query) {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  TokenCursor cur(std::move(tokens));
+  BIGDAWG_ASSIGN_OR_RETURN(std::string command, cur.ExpectIdentifier());
+  command = ToUpper(command);
+
+  auto fetch_next = [this, &cur]() -> Result<d4m::AssocArray> {
+    BIGDAWG_ASSIGN_OR_RETURN(std::string object, cur.ExpectIdentifier());
+    return fetcher_(object);
+  };
+
+  if (command == "TRIPLES" || command == "TRANSPOSE") {
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, fetch_next());
+    if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    return AssocToTable(command == "TRIPLES" ? a : a.Transpose());
+  }
+  if (command == "ROWSUM") {
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, fetch_next());
+    if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    relational::Table out{Schema(
+        {Field("row", DataType::kString), Field("sum", DataType::kDouble)})};
+    for (const auto& [row, sum] : a.RowSums()) {
+      out.AppendUnchecked({Value(row), Value(sum)});
+    }
+    return out;
+  }
+  if (command == "SUBROW") {
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, fetch_next());
+    std::string prefix;
+    if (cur.Peek().type == TokenType::kString ||
+        cur.Peek().type == TokenType::kIdentifier) {
+      prefix = cur.Next().text;
+    } else {
+      return Status::InvalidArgument("SUBROW needs a row-key prefix");
+    }
+    if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    return AssocToTable(a.SubRowPrefix(prefix));
+  }
+  if (command == "MATMUL" || command == "ADD" || command == "MULTIPLY") {
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, fetch_next());
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray b, fetch_next());
+    if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    if (command == "MATMUL") return AssocToTable(a.MatMul(b));
+    if (command == "ADD") return AssocToTable(a.Add(b));
+    return AssocToTable(a.Multiply(b));
+  }
+  return Status::InvalidArgument("unknown D4M island command: " + command);
+}
+
+// ---------------------------------------------------------------------------
+// MyriaIsland
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Extracts (left column, right column) from an equi-join condition.
+Result<std::pair<std::string, std::string>> EquiColumns(const relational::Expr& on) {
+  const auto* bin = dynamic_cast<const relational::BinaryExpr*>(&on);
+  if (bin == nullptr || bin->op() != relational::BinaryOp::kEq) {
+    return Status::NotImplemented(
+        "MYRIA island joins require a simple equality condition");
+  }
+  const auto* l = dynamic_cast<const relational::ColumnExpr*>(&bin->left());
+  const auto* r = dynamic_cast<const relational::ColumnExpr*>(&bin->right());
+  if (l == nullptr || r == nullptr) {
+    return Status::NotImplemented(
+        "MYRIA island joins require column = column conditions");
+  }
+  return std::make_pair(l->name(), r->name());
+}
+
+}  // namespace
+
+Result<relational::Table> MyriaIsland::Execute(const std::string& query) {
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Statement stmt, relational::ParseSql(query));
+  auto* select = std::get_if<relational::SelectStatement>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("MYRIA island supports SELECT queries");
+  }
+  if (!select->order_by.empty() || select->limit >= 0 || select->distinct) {
+    return Status::NotImplemented(
+        "MYRIA island subset: no ORDER BY / LIMIT / DISTINCT");
+  }
+  if (!select->from.alias.empty()) {
+    return Status::NotImplemented("MYRIA island subset: no table aliases");
+  }
+
+  // Stage every referenced base relation once; execution and the
+  // optimizer's statistics both read from this materialization.
+  std::map<std::string, relational::Table> staged;
+  auto stage = [this, &staged](const std::string& name) -> Status {
+    if (staged.count(name) > 0) return Status::OK();
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, fetcher_(name));
+    staged.emplace(name, std::move(t));
+    return Status::OK();
+  };
+  BIGDAWG_RETURN_NOT_OK(stage(select->from.name));
+  for (const relational::JoinClause& join : select->joins) {
+    if (!join.table.alias.empty()) {
+      return Status::NotImplemented("MYRIA island subset: no table aliases");
+    }
+    BIGDAWG_RETURN_NOT_OK(stage(join.table.name));
+  }
+
+  // Build the Myria plan: scans + joins, selection, aggregation/projection.
+  myria::PlanPtr plan = myria::Scan(select->from.name);
+  for (const relational::JoinClause& join : select->joins) {
+    BIGDAWG_ASSIGN_OR_RETURN(auto cols, EquiColumns(*join.on));
+    plan = myria::Join(std::move(plan), myria::Scan(join.table.name), cols.first,
+                       cols.second);
+  }
+  if (select->where != nullptr) {
+    plan = myria::Select(std::move(plan), select->where->Clone());
+  }
+  if (select->HasAggregates()) {
+    std::vector<myria::MyriaAgg> aggs;
+    std::vector<std::string> group = select->group_by;
+    for (const relational::SelectItem& item : select->items) {
+      if (item.agg == relational::AggregateFunc::kNone) continue;
+      myria::MyriaAgg agg;
+      agg.func = relational::AggregateFuncToString(item.agg);
+      if (!item.count_star) {
+        const auto* col = dynamic_cast<const relational::ColumnExpr*>(item.expr.get());
+        if (col == nullptr) {
+          return Status::NotImplemented(
+              "MYRIA island aggregates take plain columns");
+        }
+        agg.column = col->name();
+      }
+      agg.alias = item.alias;
+      aggs.push_back(std::move(agg));
+    }
+    plan = myria::Aggregate(std::move(plan), std::move(group), std::move(aggs));
+  } else {
+    bool star = false;
+    std::vector<std::string> columns;
+    std::vector<std::string> aliases;
+    for (const relational::SelectItem& item : select->items) {
+      if (item.is_star) {
+        star = true;
+        continue;
+      }
+      const auto* col = dynamic_cast<const relational::ColumnExpr*>(item.expr.get());
+      if (col == nullptr) {
+        return Status::NotImplemented(
+            "MYRIA island projections take plain columns (or *)");
+      }
+      columns.push_back(col->name());
+      aliases.push_back(item.alias);
+    }
+    if (!star && !columns.empty()) {
+      plan = myria::Project(std::move(plan), std::move(columns), std::move(aliases));
+    }
+  }
+
+  myria::CatalogStats stats;
+  stats.row_count = [&staged](const std::string& name) -> Result<size_t> {
+    auto it = staged.find(name);
+    if (it == staged.end()) return Status::NotFound("not staged: " + name);
+    return it->second.num_rows();
+  };
+  stats.schema = [&staged](const std::string& name) -> Result<Schema> {
+    auto it = staged.find(name);
+    if (it == staged.end()) return Status::NotFound("not staged: " + name);
+    return it->second.schema();
+  };
+  myria::PlanPtr optimized = myria::Optimize(plan, stats);
+
+  myria::Resolver resolver =
+      [&staged](const std::string& name) -> Result<relational::Table> {
+    auto it = staged.find(name);
+    if (it == staged.end()) return Status::NotFound("not staged: " + name);
+    return it->second;
+  };
+  return myria::ExecutePlan(*optimized, resolver, nullptr);
+}
+
+}  // namespace bigdawg::core

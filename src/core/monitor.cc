@@ -1,0 +1,124 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace bigdawg::core {
+
+Monitor::Monitor() = default;
+
+void Monitor::RecordAccess(const std::string& object, const std::string& island,
+                           double elapsed_ms) {
+  std::lock_guard lock(mu_);
+  IslandUsage& usage = access_[object][island];
+  ++usage.count;
+  usage.total_ms += elapsed_ms;
+}
+
+void Monitor::RecordComparison(const std::string& workload_class,
+                               const std::string& engine, double elapsed_ms) {
+  std::lock_guard lock(mu_);
+  IslandUsage& usage = comparisons_[workload_class][engine];
+  ++usage.count;
+  usage.total_ms += elapsed_ms;
+}
+
+Result<std::string> Monitor::BestEngineFor(const std::string& workload_class) const {
+  std::vector<EngineTiming> timings = TimingsFor(workload_class);
+  if (timings.empty()) {
+    return Status::NotFound("no comparative timings for workload class: " +
+                            workload_class);
+  }
+  return timings.front().engine;
+}
+
+std::vector<EngineTiming> Monitor::TimingsFor(
+    const std::string& workload_class) const {
+  std::lock_guard lock(mu_);
+  std::vector<EngineTiming> out;
+  auto it = comparisons_.find(workload_class);
+  if (it == comparisons_.end()) return out;
+  for (const auto& [engine, usage] : it->second) {
+    EngineTiming t;
+    t.engine = engine;
+    t.samples = usage.count;
+    t.mean_ms = usage.count > 0 ? usage.total_ms / static_cast<double>(usage.count) : 0;
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(), [](const EngineTiming& a, const EngineTiming& b) {
+    return a.mean_ms < b.mean_ms;
+  });
+  return out;
+}
+
+std::string Monitor::PreferredEngineForIsland(const std::string& island) {
+  std::string upper = ToUpper(island);
+  if (upper == "RELATIONAL" || upper == "MYRIA" || upper == "POSTGRES") {
+    return kEnginePostgres;
+  }
+  if (upper == "ARRAY" || upper == "SCIDB") return kEngineSciDb;
+  if (upper == "TEXT" || upper == "D4M") return kEngineAccumulo;
+  if (upper == "STREAM") return kEngineSStore;
+  return "";
+}
+
+std::vector<MigrationSuggestion> Monitor::SuggestMigrations(
+    const Catalog& catalog, int64_t min_accesses, double min_share) const {
+  std::lock_guard lock(mu_);
+  std::vector<MigrationSuggestion> out;
+  for (const auto& [object, islands] : access_) {
+    Result<ObjectLocation> loc = catalog.Lookup(object);
+    if (!loc.ok()) continue;
+
+    int64_t total = 0;
+    for (const auto& [island, usage] : islands) total += usage.count;
+    if (total < min_accesses) continue;
+
+    // Dominant island.
+    std::string best_island;
+    int64_t best_count = 0;
+    for (const auto& [island, usage] : islands) {
+      if (usage.count > best_count) {
+        best_count = usage.count;
+        best_island = island;
+      }
+    }
+    double share = static_cast<double>(best_count) / static_cast<double>(total);
+    if (share < min_share) continue;
+
+    std::string preferred = PreferredEngineForIsland(best_island);
+    if (preferred.empty() || preferred == loc->engine) continue;
+    // The streaming engine is an ingest point, not a migration target.
+    if (preferred == kEngineSStore) continue;
+
+    MigrationSuggestion s;
+    s.object = object;
+    s.from_engine = loc->engine;
+    s.to_engine = preferred;
+    s.share = share;
+    s.accesses = total;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MigrationSuggestion& a, const MigrationSuggestion& b) {
+              return a.accesses > b.accesses;
+            });
+  return out;
+}
+
+int64_t Monitor::AccessCount(const std::string& object) const {
+  std::lock_guard lock(mu_);
+  auto it = access_.find(object);
+  if (it == access_.end()) return 0;
+  int64_t total = 0;
+  for (const auto& [island, usage] : it->second) total += usage.count;
+  return total;
+}
+
+void Monitor::ResetAccessHistory() {
+  std::lock_guard lock(mu_);
+  access_.clear();
+}
+
+}  // namespace bigdawg::core

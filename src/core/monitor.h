@@ -1,0 +1,92 @@
+#ifndef BIGDAWG_CORE_MONITOR_H_
+#define BIGDAWG_CORE_MONITOR_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/catalog.h"
+
+namespace bigdawg::core {
+
+/// \brief A proposed object migration.
+struct MigrationSuggestion {
+  std::string object;
+  std::string from_engine;
+  std::string to_engine;
+  double share = 0;     // fraction of recent accesses favoring to_engine
+  int64_t accesses = 0; // accesses observed for the object
+};
+
+/// \brief Per-engine observations from monitor-driven re-execution of a
+/// query class on multiple engines (the paper's "learning which engines
+/// excel at which types of queries").
+struct EngineTiming {
+  std::string engine;
+  double mean_ms = 0;
+  int64_t samples = 0;
+};
+
+/// \brief The cross-system monitor.
+///
+/// Two roles from §2.1 of the paper:
+///  1. Access tracking — every island execution touching a catalog object
+///     is recorded; objects predominantly accessed through an island whose
+///     preferred engine differs from the object's current home become
+///     migration suggestions.
+///  2. Comparative timing — callers may re-execute a workload class on
+///     several engines and record the timings; BestEngineFor reports the
+///     learned winner.
+class Monitor {
+ public:
+  Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Records one island execution touching `object`.
+  void RecordAccess(const std::string& object, const std::string& island,
+                    double elapsed_ms);
+
+  /// Records a comparative timing of `workload_class` on `engine`.
+  void RecordComparison(const std::string& workload_class,
+                        const std::string& engine, double elapsed_ms);
+
+  /// Learned fastest engine for a workload class; NotFound without data.
+  Result<std::string> BestEngineFor(const std::string& workload_class) const;
+  /// All learned timings for a workload class, fastest first.
+  std::vector<EngineTiming> TimingsFor(const std::string& workload_class) const;
+
+  /// The engine an island's queries natively prefer.
+  static std::string PreferredEngineForIsland(const std::string& island);
+
+  /// Objects whose dominant-access island prefers a different engine than
+  /// their current home. `min_accesses` and `min_share` gate noise.
+  std::vector<MigrationSuggestion> SuggestMigrations(const Catalog& catalog,
+                                                     int64_t min_accesses = 5,
+                                                     double min_share = 0.6) const;
+
+  /// Total recorded accesses for an object.
+  int64_t AccessCount(const std::string& object) const;
+
+  /// Clears access history (e.g. after applying migrations).
+  void ResetAccessHistory();
+
+ private:
+  struct IslandUsage {
+    int64_t count = 0;
+    double total_ms = 0;
+  };
+
+  mutable std::mutex mu_;
+  // object -> island -> usage
+  std::map<std::string, std::map<std::string, IslandUsage>> access_;
+  // workload class -> engine -> (count, total ms)
+  std::map<std::string, std::map<std::string, IslandUsage>> comparisons_;
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_MONITOR_H_

@@ -1,0 +1,185 @@
+#include "core/prober.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace bigdawg::core {
+
+namespace {
+
+// Canonical form: every numeric cell as double, rows sorted.
+std::vector<Row> Canonicalize(const relational::Table& table) {
+  std::vector<Row> rows = table.rows();
+  for (Row& row : rows) {
+    for (Value& v : row) {
+      Result<double> num = v.ToNumeric();
+      if (num.ok()) v = Value(*num);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+}  // namespace
+
+bool SemanticsProber::ResultsEquivalent(const relational::Table& a,
+                                        const relational::Table& b,
+                                        double tolerance) {
+  if (a.schema().num_fields() != b.schema().num_fields()) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  std::vector<Row> ca = Canonicalize(a);
+  std::vector<Row> cb = Canonicalize(b);
+  for (size_t r = 0; r < ca.size(); ++r) {
+    for (size_t c = 0; c < ca[r].size(); ++c) {
+      const Value& va = ca[r][c];
+      const Value& vb = cb[r][c];
+      Result<double> na = va.ToNumeric();
+      Result<double> nb = vb.ToNumeric();
+      if (na.ok() && nb.ok()) {
+        double scale = std::max({1.0, std::fabs(*na), std::fabs(*nb)});
+        if (std::fabs(*na - *nb) > tolerance * scale) return false;
+      } else if (va != vb) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<ProbeOutcome> SemanticsProber::Probe(const ProbeCase& probe) {
+  if (probe.variants.size() < 2) {
+    return Status::InvalidArgument("a probe needs >= 2 island variants");
+  }
+  ProbeOutcome outcome;
+  outcome.name = probe.name;
+
+  struct Executed {
+    std::string island;
+    relational::Table result;
+  };
+  std::vector<Executed> executed;
+  for (const IslandQuery& variant : probe.variants) {
+    Stopwatch timer;
+    Result<relational::Table> result =
+        dawg_->Execute(variant.island + "(" + variant.query + ")");
+    double ms = timer.ElapsedMillis();
+    if (!result.ok()) {
+      outcome.failed.push_back(variant.island);
+      continue;
+    }
+    outcome.timings_ms[variant.island] = ms;
+    executed.push_back({variant.island, result.MoveValueUnsafe()});
+  }
+
+  // Group executed islands by result equivalence; largest group wins.
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < executed.size(); ++i) {
+    bool placed = false;
+    for (auto& group : groups) {
+      if (ResultsEquivalent(executed[group[0]].result, executed[i].result)) {
+        group.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+  size_t best = 0;
+  for (size_t g = 1; g < groups.size(); ++g) {
+    if (groups[g].size() > groups[best].size()) best = g;
+  }
+  if (!groups.empty()) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (size_t idx : groups[g]) {
+        if (g == best) {
+          outcome.agreeing.push_back(executed[idx].island);
+        } else {
+          outcome.disagreeing.push_back(executed[idx].island);
+        }
+      }
+    }
+  }
+  outcome.common_semantics = outcome.agreeing.size() >= 2;
+
+  // Record agreeing islands' timings so island selection can learn.
+  if (outcome.common_semantics) {
+    for (const std::string& island : outcome.agreeing) {
+      std::string engine = Monitor::PreferredEngineForIsland(island);
+      if (!engine.empty()) {
+        dawg_->monitor().RecordComparison(probe.name, engine,
+                                          outcome.timings_ms[island]);
+      }
+    }
+  }
+  return outcome;
+}
+
+std::vector<ProbeOutcome> SemanticsProber::ProbeAll(
+    const std::vector<ProbeCase>& cases) {
+  std::vector<ProbeOutcome> out;
+  for (const ProbeCase& probe : cases) {
+    Result<ProbeOutcome> outcome = Probe(probe);
+    if (outcome.ok()) out.push_back(outcome.MoveValueUnsafe());
+  }
+  return out;
+}
+
+Result<relational::Table> SemanticsProber::ExecuteAuto(const ProbeCase& probe) {
+  // Known timings for this class? Pick the island whose preferred engine
+  // the monitor ranks fastest (among this probe's variants).
+  Result<std::string> best_engine = dawg_->monitor().BestEngineFor(probe.name);
+  if (!best_engine.ok()) {
+    // Nothing learned yet: probe once (records timings), then recurse.
+    BIGDAWG_ASSIGN_OR_RETURN(ProbeOutcome outcome, Probe(probe));
+    if (!outcome.common_semantics) {
+      return Status::FailedPrecondition(
+          "no common sub-island found for query class: " + probe.name);
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(best_engine, dawg_->monitor().BestEngineFor(probe.name));
+  }
+  for (const IslandQuery& variant : probe.variants) {
+    if (Monitor::PreferredEngineForIsland(variant.island) == *best_engine) {
+      return dawg_->Execute(variant.island + "(" + variant.query + ")");
+    }
+  }
+  // Learned engine has no variant here: fall back to the first variant.
+  return dawg_->Execute(probe.variants[0].island + "(" + probe.variants[0].query +
+                        ")");
+}
+
+std::vector<ProbeCase> StandardProbes(const std::string& object,
+                                      const std::string& attr,
+                                      double filter_threshold) {
+  const std::string thr = std::to_string(filter_threshold);
+  std::vector<ProbeCase> cases;
+  cases.push_back(
+      {"count:" + object,
+       {{"RELATIONAL", "SELECT COUNT(*) AS n FROM " + object},
+        {"ARRAY", "aggregate(" + object + ", count, " + attr + ")"},
+        {"MYRIA", "SELECT COUNT(*) AS n FROM " + object}}});
+  cases.push_back(
+      {"filtered-count:" + object,
+       {{"RELATIONAL",
+         "SELECT COUNT(*) AS n FROM " + object + " WHERE " + attr + " > " + thr},
+        {"ARRAY", "aggregate(filter(" + object + ", " + attr + " > " + thr +
+                      "), count, " + attr + ")"},
+        {"MYRIA",
+         "SELECT COUNT(*) AS n FROM " + object + " WHERE " + attr + " > " + thr}}});
+  cases.push_back(
+      {"overall-avg:" + object,
+       {{"RELATIONAL", "SELECT AVG(" + attr + ") AS a FROM " + object},
+        {"ARRAY", "aggregate(" + object + ", avg, " + attr + ")"},
+        {"MYRIA", "SELECT AVG(" + attr + ") AS a FROM " + object}}});
+  return cases;
+}
+
+}  // namespace bigdawg::core

@@ -1,0 +1,80 @@
+#ifndef BIGDAWG_CORE_PROBER_H_
+#define BIGDAWG_CORE_PROBER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bigdawg.h"
+
+namespace bigdawg::core {
+
+/// \brief One phrasing of a probe in a particular island's language.
+struct IslandQuery {
+  std::string island;  // e.g. "RELATIONAL"
+  std::string query;   // in that island's language
+};
+
+/// \brief A semantic probe: the same logical question phrased for several
+/// islands. If their results are equivalent, the islands share semantics
+/// for this query class.
+struct ProbeCase {
+  std::string name;  // query-class label, e.g. "count", "filtered-aggregate"
+  std::vector<IslandQuery> variants;
+};
+
+/// \brief Outcome of probing one case across islands.
+struct ProbeOutcome {
+  std::string name;
+  std::vector<std::string> agreeing;     // largest equivalence group
+  std::vector<std::string> disagreeing;  // executed, result differed
+  std::vector<std::string> failed;       // island rejected the query
+  std::map<std::string, double> timings_ms;
+  /// True when >= 2 islands produced equivalent results: the query class
+  /// lies in a common sub-island.
+  bool common_semantics = false;
+};
+
+/// \brief The island-probing system of §2.1: runs equivalent queries on
+/// multiple islands, compares canonicalized results to discover common
+/// sub-islands, and feeds per-island timings to the monitor so BigDAWG
+/// "can decide which island will do the processing automatically".
+class SemanticsProber {
+ public:
+  explicit SemanticsProber(BigDawg* dawg) : dawg_(dawg) {}
+
+  /// Runs every variant; groups islands by result equivalence. Timings of
+  /// agreeing islands are recorded with the monitor under the case name
+  /// (engine = the island's preferred engine).
+  Result<ProbeOutcome> Probe(const ProbeCase& probe);
+
+  std::vector<ProbeOutcome> ProbeAll(const std::vector<ProbeCase>& cases);
+
+  /// Automatic island selection: executes `probe` on the island the
+  /// monitor has learned to be fastest for this query class among those
+  /// with common semantics (probing first if nothing is known yet).
+  Result<relational::Table> ExecuteAuto(const ProbeCase& probe);
+
+  /// Result equivalence: same arity, same row multiset after sorting,
+  /// numeric cells compared with `tolerance` (column *names* are ignored:
+  /// islands label outputs differently).
+  static bool ResultsEquivalent(const relational::Table& a,
+                                const relational::Table& b,
+                                double tolerance = 1e-9);
+
+ private:
+  BigDawg* dawg_;
+};
+
+/// \brief A standard probe battery over a numeric object registered in
+/// the catalog: count / filtered count / overall aggregate, each phrased
+/// for the RELATIONAL, ARRAY, and MYRIA islands. `attr` must be a double
+/// attribute of the object.
+std::vector<ProbeCase> StandardProbes(const std::string& object,
+                                      const std::string& attr,
+                                      double filter_threshold);
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_PROBER_H_

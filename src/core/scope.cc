@@ -1,0 +1,176 @@
+#include <set>
+#include <cctype>
+#include "common/lexer.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/bigdawg.h"
+
+namespace bigdawg::core {
+
+namespace {
+
+/// Splits "NAME( body )" when NAME is a known island; returns false when
+/// the query has no island scope.
+bool TrySplitScope(const std::string& query,
+                   const std::map<std::string, std::unique_ptr<Island>>& islands,
+                   std::string* island_name, std::string* inner) {
+  std::string trimmed = Trim(query);
+  size_t open = trimmed.find('(');
+  if (open == std::string::npos) return false;
+  std::string prefix = Trim(trimmed.substr(0, open));
+  // Must be a single bare identifier.
+  for (char c : prefix) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  std::string upper = ToUpper(prefix);
+  if (islands.count(upper) == 0) return false;
+  // The scope's '(' must match the final ')'. Parens inside single-quoted
+  // string literals (with '' escapes) do not count.
+  if (trimmed.empty() || trimmed.back() != ')') return false;
+  int depth = 0;
+  bool in_quote = false;
+  for (size_t i = open; i < trimmed.size(); ++i) {
+    char c = trimmed[i];
+    if (c == '\'') {
+      if (in_quote && i + 1 < trimmed.size() && trimmed[i + 1] == '\'') {
+        ++i;  // escaped quote inside a literal
+      } else {
+        in_quote = !in_quote;
+      }
+      continue;
+    }
+    if (in_quote) continue;
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth == 0 && i != trimmed.size() - 1) return false;  // closes early
+    }
+  }
+  if (depth != 0 || in_quote) return false;
+  *island_name = upper;
+  *inner = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  return true;
+}
+
+/// Byte extent of the first CAST(...) in `text`, plus the extents of its
+/// two top-level arguments. Returns false when no CAST call is present.
+struct CastSite {
+  size_t begin = 0;  // offset of 'C' in CAST
+  size_t end = 0;    // one past the closing ')'
+  std::string arg0;
+  std::string arg1;
+};
+
+Result<bool> FindFirstCast(const std::string& text, CastSite* site) {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!tokens[i].IsKeyword("CAST") || !tokens[i + 1].IsSymbol("(")) continue;
+    // Walk tokens balancing parens; find the depth-1 comma and the close.
+    int depth = 0;
+    size_t comma_offset = std::string::npos;
+    size_t close_offset = std::string::npos;
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      if (tokens[j].IsSymbol("(")) ++depth;
+      else if (tokens[j].IsSymbol(")")) {
+        --depth;
+        if (depth == 0) {
+          close_offset = tokens[j].offset;
+          break;
+        }
+      } else if (tokens[j].IsSymbol(",") && depth == 1) {
+        if (comma_offset == std::string::npos) comma_offset = tokens[j].offset;
+      }
+    }
+    if (close_offset == std::string::npos) {
+      return Status::ParseError("unbalanced parentheses in CAST");
+    }
+    if (comma_offset == std::string::npos) {
+      return Status::ParseError("CAST requires two arguments: CAST(obj, model)");
+    }
+    size_t open_offset = tokens[i + 1].offset;
+    site->begin = tokens[i].offset;
+    site->end = close_offset + 1;
+    site->arg0 = Trim(text.substr(open_offset + 1, comma_offset - open_offset - 1));
+    site->arg1 = Trim(text.substr(comma_offset + 1, close_offset - comma_offset - 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::string> BigDawg::RewriteCasts(const std::string& query) {
+  std::string text = query;
+  while (true) {
+    CastSite site;
+    BIGDAWG_ASSIGN_OR_RETURN(bool found, FindFirstCast(text, &site));
+    if (!found) break;
+
+    // Resolve the source: a nested island-scoped query, or a catalog object.
+    relational::Table source;
+    std::string scope_island, scope_inner;
+    if (TrySplitScope(site.arg0, islands_, &scope_island, &scope_inner)) {
+      BIGDAWG_ASSIGN_OR_RETURN(source, Execute(site.arg0));
+    } else {
+      BIGDAWG_ASSIGN_OR_RETURN(source, FetchAsTable(site.arg0));
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(DataModel model, DataModelFromString(site.arg1));
+
+    std::string temp_name = "__cast_" + std::to_string(temp_counter_++);
+    BIGDAWG_RETURN_NOT_OK(StoreTableAs(source, model, temp_name, /*temporary=*/true));
+    text = text.substr(0, site.begin) + temp_name + text.substr(site.end);
+  }
+  return text;
+}
+
+Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
+                                                 const std::string& inner_query) {
+  auto it = islands_.find(island_name);
+  if (it == islands_.end()) {
+    return Status::NotFound("no island named " + island_name);
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(std::string rewritten, RewriteCasts(inner_query));
+
+  Stopwatch timer;
+  Result<relational::Table> result = it->second->Execute(rewritten);
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  if (result.ok()) {
+    // Monitoring: attribute this execution to every referenced object.
+    Result<std::vector<Token>> tokens = Tokenize(rewritten);
+    if (tokens.ok()) {
+      std::set<std::string> seen;
+      for (const Token& tok : *tokens) {
+        if (tok.type != TokenType::kIdentifier) continue;
+        if (!seen.insert(tok.text).second) continue;
+        if (catalog_.Contains(tok.text) && !StartsWith(tok.text, "__cast_")) {
+          monitor_.RecordAccess(tok.text, island_name, elapsed_ms);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<relational::Table> BigDawg::Execute(const std::string& query) {
+  // CAST temporaries created anywhere in this (possibly nested) execution
+  // are dropped when the outermost Execute finishes — results are always
+  // materialized tables, so temps never outlive the query.
+  struct DepthGuard {
+    BigDawg* dawg;
+    explicit DepthGuard(BigDawg* d) : dawg(d) { ++dawg->exec_depth_; }
+    ~DepthGuard() {
+      if (--dawg->exec_depth_ == 0) dawg->ClearTemporaries();
+    }
+  } guard(this);
+
+  std::string island_name, inner;
+  if (TrySplitScope(query, islands_, &island_name, &inner)) {
+    return ExecuteScoped(island_name, inner);
+  }
+  // No explicit SCOPE: default to the relational island.
+  return ExecuteScoped("RELATIONAL", Trim(query));
+}
+
+}  // namespace bigdawg::core

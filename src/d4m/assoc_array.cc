@@ -1,0 +1,186 @@
+#include "d4m/assoc_array.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace bigdawg::d4m {
+
+AssocArray AssocArray::FromTriples(const std::vector<Triple>& triples) {
+  AssocArray a;
+  for (const Triple& t : triples) a.Set(t.row, t.col, t.value);
+  return a;
+}
+
+std::vector<Triple> AssocArray::ToTriples() const {
+  std::vector<Triple> out;
+  out.reserve(size_);
+  ForEach([&out](const std::string& r, const std::string& c, const Value& v) {
+    out.push_back({r, c, v});
+  });
+  return out;
+}
+
+void AssocArray::Set(const std::string& row, const std::string& col, Value value) {
+  if (value.is_null()) {
+    auto row_it = cells_.find(row);
+    if (row_it == cells_.end()) return;
+    if (row_it->second.erase(col) > 0) --size_;
+    if (row_it->second.empty()) cells_.erase(row_it);
+    return;
+  }
+  auto& row_map = cells_[row];
+  auto [it, inserted] = row_map.insert_or_assign(col, std::move(value));
+  (void)it;
+  if (inserted) ++size_;
+}
+
+Result<Value> AssocArray::Get(const std::string& row, const std::string& col) const {
+  auto row_it = cells_.find(row);
+  if (row_it == cells_.end()) return Status::NotFound("no row " + row);
+  auto col_it = row_it->second.find(col);
+  if (col_it == row_it->second.end()) {
+    return Status::NotFound("no cell (" + row + ", " + col + ")");
+  }
+  return col_it->second;
+}
+
+bool AssocArray::Contains(const std::string& row, const std::string& col) const {
+  return Get(row, col).ok();
+}
+
+std::vector<std::string> AssocArray::RowKeys() const {
+  std::vector<std::string> out;
+  out.reserve(cells_.size());
+  for (const auto& [row, cols] : cells_) out.push_back(row);
+  return out;
+}
+
+std::vector<std::string> AssocArray::ColKeys() const {
+  std::set<std::string> keys;
+  for (const auto& [row, cols] : cells_) {
+    for (const auto& [col, v] : cols) keys.insert(col);
+  }
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+void AssocArray::ForEach(
+    const std::function<void(const std::string&, const std::string&,
+                             const Value&)>& fn) const {
+  for (const auto& [row, cols] : cells_) {
+    for (const auto& [col, v] : cols) fn(row, col, v);
+  }
+}
+
+AssocArray AssocArray::Add(const AssocArray& other) const {
+  AssocArray out = *this;
+  other.ForEach([&out](const std::string& r, const std::string& c, const Value& v) {
+    Result<Value> existing = out.Get(r, c);
+    if (!existing.ok()) {
+      out.Set(r, c, v);
+      return;
+    }
+    Result<double> a = existing->ToNumeric();
+    Result<double> b = v.ToNumeric();
+    if (a.ok() && b.ok()) {
+      out.Set(r, c, Value(*a + *b));
+    }
+    // Non-numeric collision: keep the left value (D4M collision rule).
+  });
+  return out;
+}
+
+AssocArray AssocArray::Multiply(const AssocArray& other) const {
+  AssocArray out;
+  ForEach([&](const std::string& r, const std::string& c, const Value& v) {
+    Result<Value> theirs = other.Get(r, c);
+    if (!theirs.ok()) return;
+    Result<double> a = v.ToNumeric();
+    Result<double> b = theirs->ToNumeric();
+    if (a.ok() && b.ok()) {
+      out.Set(r, c, Value(*a * *b));
+    } else {
+      out.Set(r, c, v);
+    }
+  });
+  return out;
+}
+
+AssocArray AssocArray::FilterValues(
+    const std::function<bool(const Value&)>& pred) const {
+  AssocArray out;
+  ForEach([&](const std::string& r, const std::string& c, const Value& v) {
+    if (pred(v)) out.Set(r, c, v);
+  });
+  return out;
+}
+
+AssocArray AssocArray::SubRowRange(const std::string& lo,
+                                   const std::string& hi) const {
+  AssocArray out;
+  for (auto it = cells_.lower_bound(lo); it != cells_.end() && it->first <= hi;
+       ++it) {
+    for (const auto& [col, v] : it->second) out.Set(it->first, col, v);
+  }
+  return out;
+}
+
+AssocArray AssocArray::SubRowPrefix(const std::string& prefix) const {
+  AssocArray out;
+  for (auto it = cells_.lower_bound(prefix); it != cells_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    for (const auto& [col, v] : it->second) out.Set(it->first, col, v);
+  }
+  return out;
+}
+
+AssocArray AssocArray::SubCols(const std::vector<std::string>& cols) const {
+  std::set<std::string> wanted(cols.begin(), cols.end());
+  AssocArray out;
+  ForEach([&](const std::string& r, const std::string& c, const Value& v) {
+    if (wanted.count(c) > 0) out.Set(r, c, v);
+  });
+  return out;
+}
+
+AssocArray AssocArray::Transpose() const {
+  AssocArray out;
+  ForEach([&out](const std::string& r, const std::string& c, const Value& v) {
+    out.Set(c, r, v);
+  });
+  return out;
+}
+
+AssocArray AssocArray::MatMul(const AssocArray& other) const {
+  AssocArray out;
+  // For each A(r, k), scan B's row k once.
+  for (const auto& [r, a_cols] : cells_) {
+    std::map<std::string, double> acc;
+    for (const auto& [k, a_val] : a_cols) {
+      Result<double> a_num = a_val.ToNumeric();
+      if (!a_num.ok()) continue;
+      auto b_row = other.cells_.find(k);
+      if (b_row == other.cells_.end()) continue;
+      for (const auto& [c, b_val] : b_row->second) {
+        Result<double> b_num = b_val.ToNumeric();
+        if (!b_num.ok()) continue;
+        acc[c] += *a_num * *b_num;
+      }
+    }
+    for (const auto& [c, sum] : acc) {
+      if (sum != 0.0) out.Set(r, c, Value(sum));
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> AssocArray::RowSums() const {
+  std::map<std::string, double> out;
+  ForEach([&out](const std::string& r, const std::string&, const Value& v) {
+    Result<double> num = v.ToNumeric();
+    if (num.ok()) out[r] += *num;
+  });
+  return out;
+}
+
+}  // namespace bigdawg::d4m

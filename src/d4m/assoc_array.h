@@ -1,0 +1,88 @@
+#ifndef BIGDAWG_D4M_ASSOC_ARRAY_H_
+#define BIGDAWG_D4M_ASSOC_ARRAY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace bigdawg::d4m {
+
+/// \brief One (row key, column key, value) entry of an associative array.
+struct Triple {
+  std::string row;
+  std::string col;
+  Value value;
+};
+
+/// \brief A D4M associative array: a sparse mapping (string row key,
+/// string column key) -> Value.
+///
+/// This single data model unifies spreadsheets (row/col labels), sparse
+/// matrices (numeric values), and graphs (adjacency with edge weights) —
+/// the abstraction the paper's D4M island builds on. Algebraic operations
+/// follow D4M semantics: element-wise add unions supports, element-wise
+/// multiply intersects them, and matrix multiply contracts over matching
+/// column/row keys.
+class AssocArray {
+ public:
+  AssocArray() = default;
+
+  static AssocArray FromTriples(const std::vector<Triple>& triples);
+  std::vector<Triple> ToTriples() const;
+
+  /// Sets (or overwrites) one cell; null values erase.
+  void Set(const std::string& row, const std::string& col, Value value);
+  /// NotFound for absent cells.
+  Result<Value> Get(const std::string& row, const std::string& col) const;
+  bool Contains(const std::string& row, const std::string& col) const;
+
+  size_t NumNonEmpty() const { return size_; }
+  std::vector<std::string> RowKeys() const;
+  std::vector<std::string> ColKeys() const;
+
+  /// Visits cells in (row, col) key order.
+  void ForEach(const std::function<void(const std::string&, const std::string&,
+                                        const Value&)>& fn) const;
+
+  /// Element-wise sum: union of supports; numeric values add, equal
+  /// strings collapse, conflicting non-numerics keep the left value.
+  AssocArray Add(const AssocArray& other) const;
+
+  /// Element-wise product: intersection of supports; numeric values
+  /// multiply, others keep the left value (D4M's And-like semantics).
+  AssocArray Multiply(const AssocArray& other) const;
+
+  /// Keeps cells whose value satisfies the predicate.
+  AssocArray FilterValues(const std::function<bool(const Value&)>& pred) const;
+
+  /// Keeps cells whose row key is in [lo, hi] (inclusive, lexicographic).
+  AssocArray SubRowRange(const std::string& lo, const std::string& hi) const;
+  /// Keeps cells whose row key starts with `prefix`.
+  AssocArray SubRowPrefix(const std::string& prefix) const;
+  /// Keeps cells whose column key is in the given set.
+  AssocArray SubCols(const std::vector<std::string>& cols) const;
+
+  AssocArray Transpose() const;
+
+  /// Associative matrix multiply over numeric values:
+  /// C(r, c) = sum over k of A(r, k) * B(k, c). Non-numeric cells are
+  /// ignored (treated as structural zeros).
+  AssocArray MatMul(const AssocArray& other) const;
+
+  /// Row sums over numeric values (out-degree when the array is a graph
+  /// adjacency).
+  std::map<std::string, double> RowSums() const;
+
+ private:
+  // row -> col -> value, both levels ordered for deterministic scans.
+  std::map<std::string, std::map<std::string, Value>> cells_;
+  size_t size_ = 0;
+};
+
+}  // namespace bigdawg::d4m
+
+#endif  // BIGDAWG_D4M_ASSOC_ARRAY_H_

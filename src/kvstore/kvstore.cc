@@ -1,0 +1,101 @@
+#include "kvstore/kvstore.h"
+
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace bigdawg::kvstore {
+
+void KvStore::Put(Key key, std::string value) {
+  std::unique_lock lock(mu_);
+  cells_.insert_or_assign(std::move(key), std::move(value));
+}
+
+void KvStore::PutBatch(std::vector<Cell> cells) {
+  std::unique_lock lock(mu_);
+  for (Cell& c : cells) {
+    cells_.insert_or_assign(std::move(c.key), std::move(c.value));
+  }
+}
+
+Result<std::string> KvStore::Get(const Key& key) const {
+  std::shared_lock lock(mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return Status::NotFound("no cell: " + key.ToString());
+  return it->second;
+}
+
+bool KvStore::Contains(const Key& key) const {
+  std::shared_lock lock(mu_);
+  return cells_.count(key) > 0;
+}
+
+Status KvStore::Delete(const Key& key) {
+  std::unique_lock lock(mu_);
+  if (cells_.erase(key) == 0) {
+    return Status::NotFound("no cell: " + key.ToString());
+  }
+  return Status::OK();
+}
+
+size_t KvStore::DeleteRow(const std::string& row) {
+  std::unique_lock lock(mu_);
+  auto begin = cells_.lower_bound(Key(row, "", ""));
+  auto it = begin;
+  size_t removed = 0;
+  while (it != cells_.end() && it->first.row == row) {
+    it = cells_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+bool KvStore::Matches(const Key& key, const ScanOptions& options) {
+  if (!options.family.empty() && key.family != options.family) return false;
+  if (!options.qualifier_prefix.empty() &&
+      !StartsWith(key.qualifier, options.qualifier_prefix)) {
+    return false;
+  }
+  return true;
+}
+
+void KvStore::ApplyToRange(const ScanOptions& options,
+                           const std::function<bool(const Cell&)>& fn) const {
+  std::shared_lock lock(mu_);
+  auto it = options.start_row.empty()
+                ? cells_.begin()
+                : cells_.lower_bound(Key(options.start_row, "", ""));
+  size_t emitted = 0;
+  for (; it != cells_.end(); ++it) {
+    if (!options.end_row.empty() && it->first.row > options.end_row) break;
+    if (!Matches(it->first, options)) continue;
+    Cell cell{it->first, it->second};
+    if (!fn(cell)) return;
+    if (options.limit != 0 && ++emitted >= options.limit) return;
+  }
+}
+
+std::vector<Cell> KvStore::Scan(const ScanOptions& options) const {
+  std::vector<Cell> out;
+  ApplyToRange(options, [&out](const Cell& cell) {
+    out.push_back(cell);
+    return true;
+  });
+  return out;
+}
+
+std::vector<std::string> KvStore::ScanRows(const ScanOptions& options) const {
+  std::vector<std::string> rows;
+  ApplyToRange(options, [&rows](const Cell& cell) {
+    if (rows.empty() || rows.back() != cell.key.row) rows.push_back(cell.key.row);
+    return true;
+  });
+  return rows;
+}
+
+size_t KvStore::size() const {
+  std::shared_lock lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace bigdawg::kvstore

@@ -1,0 +1,103 @@
+#ifndef BIGDAWG_KVSTORE_KVSTORE_H_
+#define BIGDAWG_KVSTORE_KVSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::kvstore {
+
+/// \brief An Accumulo-style key: (row, column family, column qualifier),
+/// ordered lexicographically by each component in turn.
+struct Key {
+  std::string row;
+  std::string family;
+  std::string qualifier;
+
+  Key() = default;
+  Key(std::string row_in, std::string family_in, std::string qualifier_in)
+      : row(std::move(row_in)),
+        family(std::move(family_in)),
+        qualifier(std::move(qualifier_in)) {}
+
+  bool operator<(const Key& other) const {
+    if (row != other.row) return row < other.row;
+    if (family != other.family) return family < other.family;
+    return qualifier < other.qualifier;
+  }
+  bool operator==(const Key& other) const {
+    return row == other.row && family == other.family &&
+           qualifier == other.qualifier;
+  }
+
+  std::string ToString() const { return row + ":" + family + ":" + qualifier; }
+};
+
+/// \brief One key/value entry returned by scans.
+struct Cell {
+  Key key;
+  std::string value;
+};
+
+/// \brief Range + column restrictions for a scan. Empty strings mean
+/// "unbounded" / "no filter".
+struct ScanOptions {
+  std::string start_row;        // inclusive; "" = from the beginning
+  std::string end_row;          // inclusive; "" = to the end
+  std::string family;           // exact family filter
+  std::string qualifier_prefix; // qualifier must start with this
+  size_t limit = 0;             // 0 = unlimited
+};
+
+/// \brief A sorted key-value store (the Accumulo stand-in).
+///
+/// The store keeps cells in a single ordered map (the "tablet"). Mutations
+/// are last-writer-wins. Server-side iterator logic is modeled by
+/// ScanOptions filtering plus the ApplyToRange callback, which runs under
+/// the read lock like an Accumulo iterator stack would run tablet-side.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  void Put(Key key, std::string value);
+  void PutBatch(std::vector<Cell> cells);
+
+  Result<std::string> Get(const Key& key) const;
+  bool Contains(const Key& key) const;
+
+  /// Removes one cell; NotFound if absent.
+  Status Delete(const Key& key);
+  /// Removes every cell of a row; returns the number removed.
+  size_t DeleteRow(const std::string& row);
+
+  /// Materializing scan.
+  std::vector<Cell> Scan(const ScanOptions& options) const;
+
+  /// Streaming scan ("server-side iterator"): the callback sees each
+  /// matching cell in key order and returns false to stop.
+  void ApplyToRange(const ScanOptions& options,
+                    const std::function<bool(const Cell&)>& fn) const;
+
+  /// Distinct rows intersecting the options.
+  std::vector<std::string> ScanRows(const ScanOptions& options) const;
+
+  size_t size() const;
+
+ private:
+  static bool Matches(const Key& key, const ScanOptions& options);
+
+  mutable std::shared_mutex mu_;
+  std::map<Key, std::string> cells_;
+};
+
+}  // namespace bigdawg::kvstore
+
+#endif  // BIGDAWG_KVSTORE_KVSTORE_H_

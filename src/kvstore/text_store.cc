@@ -1,0 +1,170 @@
+#include "kvstore/text_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace bigdawg::kvstore {
+
+namespace {
+constexpr char kDocPrefix[] = "doc:";
+constexpr char kTermPrefix[] = "term:";
+}  // namespace
+
+std::vector<std::string> TokenizeText(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Status TextStore::AddDocument(const std::string& doc_id, const std::string& owner,
+                              const std::string& text) {
+  if (doc_id.empty()) return Status::InvalidArgument("empty document id");
+  const std::string doc_row = kDocPrefix + doc_id;
+  const bool replacing = store_.Contains(Key(doc_row, "doc", "text"));
+  if (replacing) {
+    // Drop old term postings before re-indexing.
+    Result<std::string> old_text = store_.Get(Key(doc_row, "doc", "text"));
+    if (old_text.ok()) {
+      for (const std::string& term : TokenizeText(*old_text)) {
+        // Idempotent: repeated terms delete the same posting.
+        (void)store_.Delete(Key(kTermPrefix + term, "idx", doc_id));
+      }
+    }
+  }
+
+  std::vector<Cell> batch;
+  batch.push_back({Key(doc_row, "meta", "owner"), owner});
+  batch.push_back({Key(doc_row, "doc", "text"), text});
+
+  std::map<std::string, int64_t> freq;
+  for (const std::string& term : TokenizeText(text)) ++freq[term];
+  for (const auto& [term, count] : freq) {
+    batch.push_back({Key(kTermPrefix + term, "idx", doc_id), std::to_string(count)});
+  }
+  store_.PutBatch(std::move(batch));
+  if (!replacing) ++num_docs_;
+  return Status::OK();
+}
+
+Result<std::string> TextStore::GetText(const std::string& doc_id) const {
+  return store_.Get(Key(kDocPrefix + doc_id, "doc", "text"));
+}
+
+Result<std::string> TextStore::GetOwner(const std::string& doc_id) const {
+  return store_.Get(Key(kDocPrefix + doc_id, "meta", "owner"));
+}
+
+std::vector<std::string> TextStore::ListDocumentIds() const {
+  std::vector<std::string> out;
+  ScanOptions options;
+  options.family = "doc";
+  store_.ApplyToRange(options, [&out](const Cell& cell) {
+    // Rows are "doc:<id>".
+    out.push_back(cell.key.row.substr(sizeof(kDocPrefix) - 1));
+    return true;
+  });
+  return out;
+}
+
+std::vector<DocMatch> TextStore::SearchAllTerms(
+    const std::vector<std::string>& terms) const {
+  if (terms.empty()) return {};
+  // Gather postings for each term; intersect.
+  std::map<std::string, int64_t> intersection;  // doc -> summed tf
+  bool first = true;
+  for (const std::string& raw_term : terms) {
+    std::string term = ToLower(raw_term);
+    std::map<std::string, int64_t> postings;
+    ScanOptions options;
+    options.start_row = kTermPrefix + term;
+    options.end_row = options.start_row;
+    options.family = "idx";
+    store_.ApplyToRange(options, [&postings](const Cell& cell) {
+      postings[cell.key.qualifier] = std::strtoll(cell.value.c_str(), nullptr, 10);
+      return true;
+    });
+    if (first) {
+      intersection = std::move(postings);
+      first = false;
+    } else {
+      std::map<std::string, int64_t> merged;
+      for (const auto& [doc, tf] : intersection) {
+        auto it = postings.find(doc);
+        if (it != postings.end()) merged[doc] = tf + it->second;
+      }
+      intersection = std::move(merged);
+    }
+    if (intersection.empty()) return {};
+  }
+  std::vector<DocMatch> out;
+  out.reserve(intersection.size());
+  for (const auto& [doc, score] : intersection) {
+    DocMatch m;
+    m.doc_id = doc;
+    m.score = score;
+    Result<std::string> owner = GetOwner(doc);
+    if (owner.ok()) m.owner = *owner;
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(), [](const DocMatch& a, const DocMatch& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  return out;
+}
+
+std::vector<DocMatch> TextStore::SearchPhrase(const std::string& phrase) const {
+  std::vector<std::string> tokens = TokenizeText(phrase);
+  if (tokens.empty()) return {};
+  // Speculate: candidate docs are those containing all tokens (via index);
+  // validate: read the raw text and count exact phrase occurrences.
+  std::vector<DocMatch> candidates = SearchAllTerms(tokens);
+  const std::string needle = ToLower(phrase);
+  std::vector<DocMatch> out;
+  for (DocMatch& m : candidates) {
+    Result<std::string> text = GetText(m.doc_id);
+    if (!text.ok()) continue;
+    size_t occurrences = CountOccurrences(ToLower(*text), needle);
+    if (occurrences > 0) {
+      m.score = static_cast<int64_t>(occurrences);
+      out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const DocMatch& a, const DocMatch& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> TextStore::OwnersWithPhraseCount(
+    const std::string& phrase, int64_t min_docs) const {
+  std::map<std::string, int64_t> owner_docs;
+  for (const DocMatch& m : SearchPhrase(phrase)) {
+    ++owner_docs[m.owner];
+  }
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [owner, count] : owner_docs) {
+    if (count >= min_docs) out.emplace_back(owner, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace bigdawg::kvstore

@@ -1,0 +1,227 @@
+#include "mimic/mimic.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bigdawg::mimic {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+const char* kRaces[] = {"white", "black", "asian", "hispanic"};
+const char* kSexes[] = {"F", "M"};
+const char* kDiagnoses[] = {"sepsis", "cardiac", "trauma", "respiratory",
+                            "renal"};
+const char* kDrugs[] = {"heparin", "aspirin", "statin", "insulin",
+                        "vancomycin", "furosemide"};
+const char* kLabTests[] = {"lactate", "creatinine", "hemoglobin", "wbc"};
+
+const char* kFirstNames[] = {"alex", "blake", "casey", "drew",  "eli",
+                             "fran", "gray",  "harper", "indy", "jo"};
+const char* kLastNames[] = {"adams", "baker", "chen", "diaz", "evans",
+                            "fox",   "garcia", "hall", "ito",  "jones"};
+
+// Global race effect on stay length (black > white) and the sepsis-only
+// reversal (white > black), the Figure 2 pattern.
+double BaseStayDays(const std::string& race, const std::string& diagnosis,
+                    int64_t severity, Rng* rng) {
+  double base;
+  if (race == "white") base = 4.0;
+  else if (race == "black") base = 7.0;
+  else if (race == "asian") base = 5.5;
+  else base = 6.0;
+  if (diagnosis == "sepsis") {
+    // Reversal: white sepsis admissions run long, black ones short.
+    if (race == "white") base = 10.0;
+    else if (race == "black") base = 4.5;
+  }
+  // Sicker admissions stay longer (gives the regression demo signal).
+  base += static_cast<double>(severity - 1) * 0.9;
+  return std::max(1.0, base + rng->NextGaussian() * 0.8);
+}
+
+std::string NoteText(int64_t severity, const std::string& drug, Rng* rng) {
+  std::string text;
+  if (severity >= 3) {
+    text += "Patient remains very sick. ";
+    if (rng->NextBool(0.5)) text += "Condition critical, very sick overnight. ";
+  } else if (severity == 2) {
+    text += "Patient stable but fatigued. ";
+  } else {
+    text += "Patient recovering well. ";
+  }
+  text += "Administered " + drug + ". ";
+  if (rng->NextBool(0.3)) text += "Monitor heart rhythm closely. ";
+  if (rng->NextBool(0.2)) text += "Family updated on status. ";
+  return text;
+}
+
+}  // namespace
+
+std::vector<double> SynthesizeEcg(double hr_bpm, int64_t samples, double hz,
+                                  bool arrhythmia, Rng* rng) {
+  std::vector<double> wave(static_cast<size_t>(samples));
+  const double beat_hz = hr_bpm / 60.0;
+  double phase = 0;
+  double rate = beat_hz;
+  for (int64_t i = 0; i < samples; ++i) {
+    if (arrhythmia && rng->NextBool(0.01)) {
+      // Beat-interval jitter: sudden rate excursions.
+      rate = beat_hz * rng->NextDouble(1.2, 1.8);
+    } else if (arrhythmia && rng->NextBool(0.02)) {
+      rate = beat_hz;
+    }
+    phase += 2 * kPi * rate / hz;
+    // Fundamental + sharper harmonics approximate the QRS spike.
+    double v = std::sin(phase) + 0.5 * std::sin(2 * phase) +
+               0.25 * std::sin(3 * phase);
+    v += rng->NextGaussian() * 0.05;
+    wave[static_cast<size_t>(i)] = v;
+  }
+  return wave;
+}
+
+Result<MimicData> Generate(const MimicConfig& config) {
+  if (config.num_patients <= 0) {
+    return Status::InvalidArgument("num_patients must be > 0");
+  }
+  if (config.waveform_hz <= 0 || config.waveform_seconds <= 0) {
+    return Status::InvalidArgument("waveform shape must be positive");
+  }
+  Rng rng(config.seed);
+  MimicData data;
+
+  data.patients = relational::Table{Schema(
+      {Field("patient_id", DataType::kInt64), Field("name", DataType::kString),
+       Field("age", DataType::kInt64), Field("sex", DataType::kString),
+       Field("race", DataType::kString), Field("resting_hr", DataType::kDouble)})};
+  data.admissions = relational::Table{Schema(
+      {Field("admit_id", DataType::kInt64), Field("patient_id", DataType::kInt64),
+       Field("diagnosis", DataType::kString), Field("severity", DataType::kInt64),
+       Field("stay_days", DataType::kDouble), Field("race", DataType::kString)})};
+  data.labs = relational::Table{Schema(
+      {Field("lab_id", DataType::kInt64), Field("patient_id", DataType::kInt64),
+       Field("test", DataType::kString), Field("value", DataType::kDouble)})};
+  data.prescriptions = relational::Table{Schema(
+      {Field("rx_id", DataType::kInt64), Field("patient_id", DataType::kInt64),
+       Field("drug", DataType::kString), Field("dose", DataType::kDouble)})};
+
+  const int64_t samples = config.waveform_seconds * config.waveform_hz;
+  BIGDAWG_ASSIGN_OR_RETURN(
+      data.waveforms,
+      array::Array::Create(
+          {array::Dimension("patient_id", 0, config.num_patients, 1),
+           array::Dimension("t", 0, samples, std::min<int64_t>(samples, 1024))},
+          {"mv"}));
+
+  int64_t admit_id = 0, lab_id = 0, rx_id = 0;
+  int64_t note_counter = 0;
+  for (int64_t p = 0; p < config.num_patients; ++p) {
+    const std::string race = kRaces[rng.NextBelow(4)];
+    const std::string sex = kSexes[rng.NextBelow(2)];
+    const std::string name = std::string(kFirstNames[rng.NextBelow(10)]) + " " +
+                             kLastNames[rng.NextBelow(10)];
+    const int64_t age = rng.NextInt(18, 95);
+    const bool arrhythmia = rng.NextBool(config.arrhythmia_fraction);
+    const double resting_hr =
+        arrhythmia ? rng.NextDouble(95, 140) : rng.NextDouble(55, 90);
+    data.has_arrhythmia.push_back(arrhythmia);
+    data.resting_hr.push_back(resting_hr);
+    BIGDAWG_RETURN_NOT_OK(data.patients.Append(
+        {Value(p), Value(name), Value(age), Value(sex), Value(race),
+         Value(resting_hr)}));
+
+    // Admissions: 1-3 per patient.
+    const int64_t admits = rng.NextInt(1, 3);
+    int64_t max_severity = 1;
+    for (int64_t a = 0; a < admits; ++a) {
+      const std::string diagnosis = kDiagnoses[rng.NextBelow(5)];
+      const int64_t severity = rng.NextInt(1, 4);
+      max_severity = std::max(max_severity, severity);
+      const double stay = BaseStayDays(race, diagnosis, severity, &rng);
+      BIGDAWG_RETURN_NOT_OK(data.admissions.Append(
+          {Value(admit_id++), Value(p), Value(diagnosis), Value(severity),
+           Value(stay), Value(race)}));
+    }
+
+    // Labs.
+    for (int64_t l = 0; l < config.labs_per_patient; ++l) {
+      const std::string test = kLabTests[rng.NextBelow(4)];
+      BIGDAWG_RETURN_NOT_OK(data.labs.Append(
+          {Value(lab_id++), Value(p), Value(test),
+           Value(rng.NextDouble(0.5, 12.0))}));
+    }
+
+    // Prescriptions: sicker patients more often get heparin.
+    const int64_t rx_count = rng.NextInt(1, 3);
+    std::string last_drug = "aspirin";
+    for (int64_t r = 0; r < rx_count; ++r) {
+      std::string drug = (max_severity >= 3 && rng.NextBool(0.6))
+                             ? "heparin"
+                             : kDrugs[rng.NextBelow(6)];
+      last_drug = drug;
+      BIGDAWG_RETURN_NOT_OK(data.prescriptions.Append(
+          {Value(rx_id++), Value(p), Value(drug), Value(rng.NextDouble(0.5, 10.0))}));
+    }
+
+    // Notes.
+    for (int64_t n = 0; n < config.notes_per_patient; ++n) {
+      Note note;
+      note.note_id = "note_" + std::to_string(note_counter++);
+      note.patient_id = std::to_string(p);
+      note.text = NoteText(max_severity, last_drug, &rng);
+      data.notes.push_back(std::move(note));
+    }
+
+    // Waveform.
+    std::vector<double> ecg = SynthesizeEcg(resting_hr, samples,
+                                            static_cast<double>(config.waveform_hz),
+                                            arrhythmia, &rng);
+    for (int64_t t = 0; t < samples; ++t) {
+      BIGDAWG_RETURN_NOT_OK(
+          data.waveforms.Set({p, t}, {ecg[static_cast<size_t>(t)]}));
+    }
+  }
+  return data;
+}
+
+Status LoadIntoBigDawg(const MimicData& data, core::BigDawg* dawg) {
+  // Postgres: metadata + semi-structured tables.
+  BIGDAWG_RETURN_NOT_OK(dawg->postgres().PutTable("patients", data.patients));
+  BIGDAWG_RETURN_NOT_OK(dawg->postgres().PutTable("admissions", data.admissions));
+  BIGDAWG_RETURN_NOT_OK(dawg->postgres().PutTable("labs", data.labs));
+  BIGDAWG_RETURN_NOT_OK(
+      dawg->postgres().PutTable("prescriptions", data.prescriptions));
+  BIGDAWG_RETURN_NOT_OK(
+      dawg->RegisterObject("patients", core::kEnginePostgres, "patients"));
+  BIGDAWG_RETURN_NOT_OK(
+      dawg->RegisterObject("admissions", core::kEnginePostgres, "admissions"));
+  BIGDAWG_RETURN_NOT_OK(dawg->RegisterObject("labs", core::kEnginePostgres, "labs"));
+  BIGDAWG_RETURN_NOT_OK(
+      dawg->RegisterObject("prescriptions", core::kEnginePostgres, "prescriptions"));
+
+  // SciDB: historical waveforms.
+  BIGDAWG_RETURN_NOT_OK(dawg->scidb().PutArray("waveforms", data.waveforms));
+  BIGDAWG_RETURN_NOT_OK(
+      dawg->RegisterObject("waveforms", core::kEngineSciDb, "waveforms"));
+
+  // Accumulo: notes.
+  for (const Note& note : data.notes) {
+    BIGDAWG_RETURN_NOT_OK(
+        dawg->accumulo().AddDocument(note.note_id, note.patient_id, note.text));
+  }
+  BIGDAWG_RETURN_NOT_OK(dawg->RegisterObject("notes", core::kEngineAccumulo, "notes"));
+
+  // S-Store: the live vitals stream (fed by the monitoring workflow).
+  BIGDAWG_RETURN_NOT_OK(dawg->sstore().CreateStream(
+      "vitals", Schema({Field("patient_id", DataType::kInt64),
+                        Field("t", DataType::kInt64),
+                        Field("mv", DataType::kDouble)}),
+      /*retention=*/512));
+  BIGDAWG_RETURN_NOT_OK(dawg->RegisterObject("vitals", core::kEngineSStore, "vitals"));
+  return Status::OK();
+}
+
+}  // namespace bigdawg::mimic

@@ -1,0 +1,71 @@
+#ifndef BIGDAWG_MIMIC_MIMIC_H_
+#define BIGDAWG_MIMIC_MIMIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/bigdawg.h"
+#include "relational/table.h"
+
+namespace bigdawg::mimic {
+
+/// \brief Generator parameters. Defaults produce a laptop-scale dataset
+/// with the same modalities and rates as MIMIC II (waveforms at up to
+/// 125 Hz, metadata, notes, labs, prescriptions).
+struct MimicConfig {
+  int64_t num_patients = 200;
+  int64_t waveform_seconds = 8;
+  int64_t waveform_hz = 125;
+  int64_t notes_per_patient = 3;
+  int64_t labs_per_patient = 4;
+  double arrhythmia_fraction = 0.1;  // patients with abnormal rhythms
+  uint64_t seed = 2015;
+};
+
+/// \brief One generated clinical note.
+struct Note {
+  std::string note_id;
+  std::string patient_id;  // owner
+  std::string text;
+};
+
+/// \brief The full synthetic MIMIC II dataset.
+///
+/// The admissions table embeds the Figure 2 signal: globally, 'black'
+/// patients stay longer than 'white' patients, but within the sepsis
+/// subpopulation the trend REVERSES — the deviation SeeDB should surface.
+struct MimicData {
+  relational::Table patients;      // patient_id, name, age, sex, race, resting_hr
+  relational::Table admissions;    // admit_id, patient_id, diagnosis, severity,
+                                   // stay_days, race (denormalized for SeeDB)
+  relational::Table labs;          // lab_id, patient_id, test, value
+  relational::Table prescriptions; // rx_id, patient_id, drug, dose
+  std::vector<Note> notes;
+  array::Array waveforms;          // dims (patient_id, t), attribute "mv"
+  std::vector<bool> has_arrhythmia;  // per patient
+  std::vector<double> resting_hr;    // per patient, bpm
+};
+
+/// \brief Generates the dataset deterministically from config.seed.
+Result<MimicData> Generate(const MimicConfig& config);
+
+/// \brief Synthesizes an ECG-like waveform: fundamental at the heart rate
+/// plus harmonics and noise; arrhythmic signals carry beat-interval
+/// jitter and an elevated rate.
+std::vector<double> SynthesizeEcg(double hr_bpm, int64_t samples, double hz,
+                                  bool arrhythmia, Rng* rng);
+
+/// \brief Partitions the dataset across the polystore the way the demo
+/// does (§3): metadata/labs/prescriptions -> Postgres, historical
+/// waveforms -> SciDB, notes -> Accumulo; registers every object in the
+/// catalog. Also declares the live "vitals" stream (S-Store) for the
+/// monitoring workflow.
+Status LoadIntoBigDawg(const MimicData& data, core::BigDawg* dawg);
+
+}  // namespace bigdawg::mimic
+
+#endif  // BIGDAWG_MIMIC_MIMIC_H_

@@ -1,0 +1,68 @@
+#ifndef BIGDAWG_RELATIONAL_DATABASE_H_
+#define BIGDAWG_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/sql_ast.h"
+#include "relational/table.h"
+
+namespace bigdawg::relational {
+
+/// \brief The embedded RDBMS (the polystore's Postgres stand-in).
+///
+/// Holds a catalog of named in-memory tables and executes the SQL subset in
+/// sql_parser.h. Reads take a shared lock, writes an exclusive lock, so
+/// the polystore executor can run read subqueries concurrently.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// DDL / DML entry points.
+  Status CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+  Status Insert(const std::string& table, Row row);
+  Status InsertMany(const std::string& table, std::vector<Row> rows);
+  /// Replaces (or creates) a table wholesale — used by CAST loads.
+  Status PutTable(const std::string& name, Table table);
+
+  /// Removes matching rows; returns the number removed.
+  Result<int64_t> Delete(const std::string& table, const Expr* where);
+
+  /// Applies SET assignments to matching rows; returns the number
+  /// updated. Assignment values must be type-compatible with the target
+  /// columns (int64/double coerce; other mismatches are TypeError).
+  Result<int64_t> Update(
+      const std::string& table,
+      const std::vector<std::pair<std::string, ExprPtr>>& assignments,
+      const Expr* where);
+
+  /// Executes any SQL statement. DDL/DML return an empty result table with
+  /// a single "rows_affected" column.
+  Result<Table> ExecuteSql(const std::string& sql);
+
+  /// Executes an already-parsed SELECT.
+  Result<Table> ExecuteSelect(const SelectStatement& stmt) const;
+
+  /// Copy of a stored table (snapshot semantics for cross-engine CASTs).
+  Result<Table> GetTable(const std::string& name) const;
+  Result<Schema> GetSchema(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+  Result<size_t> TableRowCount(const std::string& name) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace bigdawg::relational
+
+#endif  // BIGDAWG_RELATIONAL_DATABASE_H_

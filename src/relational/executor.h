@@ -1,0 +1,26 @@
+#ifndef BIGDAWG_RELATIONAL_EXECUTOR_H_
+#define BIGDAWG_RELATIONAL_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "relational/sql_ast.h"
+#include "relational/table.h"
+
+namespace bigdawg::relational {
+
+/// \brief Supplies base relations to the executor by name.
+using TableResolver = std::function<Result<const Table*>(const std::string&)>;
+
+/// \brief Executes a SELECT against tables provided by `resolver`,
+/// materializing the result.
+///
+/// Pipeline: FROM/JOIN (hash join on extractable equi-keys, else nested
+/// loop) -> WHERE -> GROUP BY/aggregate -> HAVING -> projection ->
+/// DISTINCT -> ORDER BY -> LIMIT.
+Result<Table> ExecuteSelect(const SelectStatement& stmt, const TableResolver& resolver);
+
+}  // namespace bigdawg::relational
+
+#endif  // BIGDAWG_RELATIONAL_EXECUTOR_H_

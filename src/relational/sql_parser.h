@@ -1,0 +1,26 @@
+#ifndef BIGDAWG_RELATIONAL_SQL_PARSER_H_
+#define BIGDAWG_RELATIONAL_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/sql_ast.h"
+#include "common/lexer.h"
+
+namespace bigdawg::relational {
+
+/// \brief Parses one SQL statement (SELECT / CREATE TABLE / INSERT /
+/// DELETE / DROP TABLE). A trailing ';' is allowed.
+Result<Statement> ParseSql(const std::string& sql);
+
+/// \brief Parses a scalar expression in the relational island dialect
+/// (used by WHERE fragments in other islands' languages too).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// \brief Expression sub-parser over an existing cursor; exposed so the
+/// polystore SCOPE parser can embed relational expressions.
+Result<ExprPtr> ParseExpressionFromCursor(TokenCursor* cursor);
+
+}  // namespace bigdawg::relational
+
+#endif  // BIGDAWG_RELATIONAL_SQL_PARSER_H_

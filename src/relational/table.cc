@@ -1,0 +1,71 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace bigdawg::relational {
+
+Status Table::Append(Row row) {
+  BIGDAWG_RETURN_NOT_OK(schema_.ValidateRow(row));
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<std::vector<Value>> Table::Column(const std::string& name) const {
+  BIGDAWG_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(name));
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) out.push_back(row[idx]);
+  return out;
+}
+
+Result<Value> Table::At(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row) + " >= " +
+                              std::to_string(rows_.size()));
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  return rows_[row][idx];
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.num_fields());
+  std::vector<std::vector<std::string>> cells;
+  const size_t shown = std::min(max_rows, rows_.size());
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    widths[c] = schema_.field(c).name.size();
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < schema_.num_fields(); ++c) {
+      line.push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream oss;
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    oss << (c ? " | " : "");
+    oss << schema_.field(c).name;
+    oss << std::string(widths[c] - schema_.field(c).name.size(), ' ');
+  }
+  oss << "\n";
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    oss << (c ? "-+-" : "") << std::string(widths[c], '-');
+  }
+  oss << "\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      oss << (c ? " | " : "") << line[c] << std::string(widths[c] - line[c].size(), ' ');
+    }
+    oss << "\n";
+  }
+  if (shown < rows_.size()) {
+    oss << "... (" << rows_.size() - shown << " more rows)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace bigdawg::relational

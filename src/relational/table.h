@@ -1,0 +1,51 @@
+#ifndef BIGDAWG_RELATIONAL_TABLE_H_
+#define BIGDAWG_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace bigdawg::relational {
+
+/// \brief An in-memory relation: a schema plus row-major tuple storage.
+///
+/// Tables are the unit the relational engine stores and every SELECT
+/// materializes into. They are also the canonical "relation" form that
+/// polystore CASTs convert to and from.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends after validating against the schema.
+  Status Append(Row row);
+  /// Appends without validation (hot loading paths).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Column values by name; NotFound for unknown columns.
+  Result<std::vector<Value>> Column(const std::string& name) const;
+
+  /// Value at (row, column-name); OutOfRange / NotFound on bad coordinates.
+  Result<Value> At(size_t row, const std::string& column) const;
+
+  /// ASCII rendering (header + up to `max_rows` rows) for examples/demos.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bigdawg::relational
+
+#endif  // BIGDAWG_RELATIONAL_TABLE_H_

@@ -1,0 +1,203 @@
+#include "searchlight/cp_solver.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/macros.h"
+
+namespace bigdawg::searchlight {
+
+Result<size_t> CpModel::AddVariable(const std::string& name, int64_t lo, int64_t hi) {
+  if (lo > hi) {
+    return Status::InvalidArgument("empty domain for variable " + name);
+  }
+  names_.push_back(name);
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  return names_.size() - 1;
+}
+
+Status CpModel::AddLinearConstraint(const std::vector<size_t>& vars,
+                                    const std::vector<int64_t>& coeffs, LinOp op,
+                                    int64_t bound) {
+  if (vars.size() != coeffs.size() || vars.empty()) {
+    return Status::InvalidArgument("linear constraint needs matching vars/coeffs");
+  }
+  for (size_t v : vars) {
+    if (v >= names_.size()) return Status::OutOfRange("unknown variable index");
+  }
+  linears_.push_back({vars, coeffs, op, bound});
+  return Status::OK();
+}
+
+Status CpModel::AddAllDifferent(const std::vector<size_t>& vars) {
+  for (size_t v : vars) {
+    if (v >= names_.size()) return Status::OutOfRange("unknown variable index");
+  }
+  all_diffs_.push_back(vars);
+  return Status::OK();
+}
+
+void CpModel::AddPredicate(std::function<bool(const Assignment&)> pred) {
+  predicates_.push_back(std::move(pred));
+}
+
+bool CpModel::Propagate(std::vector<Domain>* domains) const {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Linear& lin : linears_) {
+      // For each variable, tighten using min/max of the rest.
+      for (size_t i = 0; i < lin.vars.size(); ++i) {
+        Domain& d = (*domains)[lin.vars[i]];
+        if (d.empty()) return false;
+        int64_t rest_min = 0, rest_max = 0;
+        for (size_t j = 0; j < lin.vars.size(); ++j) {
+          if (j == i) continue;
+          const Domain& dj = (*domains)[lin.vars[j]];
+          int64_t a = lin.coeffs[j] * dj.lo;
+          int64_t b = lin.coeffs[j] * dj.hi;
+          rest_min += std::min(a, b);
+          rest_max += std::max(a, b);
+        }
+        const int64_t c = lin.coeffs[i];
+        if (c == 0) continue;
+        // c * xi + rest `op` bound.
+        auto floor_div = [](int64_t a, int64_t b) {
+          int64_t q = a / b;
+          if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+          return q;
+        };
+        auto ceil_div = [&floor_div](int64_t a, int64_t b) {
+          return -floor_div(-a, b);
+        };
+        if (lin.op == LinOp::kLe || lin.op == LinOp::kEq) {
+          // c*xi <= bound - rest_min.
+          int64_t rhs = lin.bound - rest_min;
+          if (c > 0) {
+            int64_t new_hi = floor_div(rhs, c);
+            if (new_hi < d.hi) {
+              d.hi = new_hi;
+              changed = true;
+            }
+          } else {
+            int64_t new_lo = ceil_div(rhs, c);
+            if (new_lo > d.lo) {
+              d.lo = new_lo;
+              changed = true;
+            }
+          }
+        }
+        if (lin.op == LinOp::kGe || lin.op == LinOp::kEq) {
+          // c*xi >= bound - rest_max.
+          int64_t rhs = lin.bound - rest_max;
+          if (c > 0) {
+            int64_t new_lo = ceil_div(rhs, c);
+            if (new_lo > d.lo) {
+              d.lo = new_lo;
+              changed = true;
+            }
+          } else {
+            int64_t new_hi = floor_div(rhs, c);
+            if (new_hi < d.hi) {
+              d.hi = new_hi;
+              changed = true;
+            }
+          }
+        }
+        if (d.empty()) return false;
+      }
+    }
+    // All-different: remove fixed values from other bounds (weak form).
+    for (const auto& group : all_diffs_) {
+      for (size_t i = 0; i < group.size(); ++i) {
+        Domain& di = (*domains)[group[i]];
+        if (di.lo != di.hi) continue;
+        for (size_t j = 0; j < group.size(); ++j) {
+          if (i == j) continue;
+          Domain& dj = (*domains)[group[j]];
+          if (dj.lo == di.lo && dj.lo != dj.hi) {
+            ++dj.lo;
+            changed = true;
+          }
+          if (dj.hi == di.lo && dj.lo != dj.hi) {
+            --dj.hi;
+            changed = true;
+          }
+          if (dj.lo == di.lo && dj.hi == di.lo) return false;  // forced clash
+          if (dj.empty()) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void CpModel::Search(std::vector<Domain> domains, size_t max_solutions,
+                     std::vector<Assignment>* solutions, int64_t* nodes) const {
+  if (nodes != nullptr) ++(*nodes);
+  if (max_solutions != 0 && solutions->size() >= max_solutions) return;
+  if (!Propagate(&domains)) return;
+
+  // Pick the first unfixed variable (smallest-domain-first).
+  size_t pick = domains.size();
+  int64_t best_size = INT64_MAX;
+  for (size_t i = 0; i < domains.size(); ++i) {
+    int64_t size = domains[i].hi - domains[i].lo;
+    if (size > 0 && size < best_size) {
+      best_size = size;
+      pick = i;
+    }
+  }
+  if (pick == domains.size()) {
+    // All fixed: verify all-different exactly + predicates + linears.
+    Assignment a(domains.size());
+    for (size_t i = 0; i < domains.size(); ++i) a[i] = domains[i].lo;
+    for (const Linear& lin : linears_) {
+      int64_t sum = 0;
+      for (size_t i = 0; i < lin.vars.size(); ++i) sum += lin.coeffs[i] * a[lin.vars[i]];
+      if (lin.op == LinOp::kLe && sum > lin.bound) return;
+      if (lin.op == LinOp::kGe && sum < lin.bound) return;
+      if (lin.op == LinOp::kEq && sum != lin.bound) return;
+    }
+    for (const auto& group : all_diffs_) {
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          if (a[group[i]] == a[group[j]]) return;
+        }
+      }
+    }
+    for (const auto& pred : predicates_) {
+      if (!pred(a)) return;
+    }
+    solutions->push_back(std::move(a));
+    return;
+  }
+
+  // Branch on each value of the picked variable.
+  for (int64_t v = domains[pick].lo; v <= domains[pick].hi; ++v) {
+    if (max_solutions != 0 && solutions->size() >= max_solutions) return;
+    std::vector<Domain> child = domains;
+    child[pick].lo = child[pick].hi = v;
+    Search(std::move(child), max_solutions, solutions, nodes);
+  }
+}
+
+Result<std::vector<Assignment>> CpModel::Solve(size_t max_solutions,
+                                               int64_t* nodes_explored) const {
+  if (names_.empty()) return Status::FailedPrecondition("model has no variables");
+  std::vector<Domain> domains(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) domains[i] = {lo_[i], hi_[i]};
+  std::vector<Assignment> solutions;
+  int64_t nodes = 0;
+  Search(std::move(domains), max_solutions, &solutions, &nodes);
+  if (nodes_explored != nullptr) *nodes_explored = nodes;
+  return solutions;
+}
+
+Result<bool> CpModel::IsSatisfiable() const {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Assignment> solutions, Solve(1));
+  return !solutions.empty();
+}
+
+}  // namespace bigdawg::searchlight

@@ -1,0 +1,77 @@
+#ifndef BIGDAWG_SEARCHLIGHT_CP_SOLVER_H_
+#define BIGDAWG_SEARCHLIGHT_CP_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::searchlight {
+
+/// \brief An assignment of every model variable.
+using Assignment = std::vector<int64_t>;
+
+/// \brief A small finite-domain constraint-programming solver: integer
+/// variables with interval domains, linear constraints, all-different,
+/// and opaque predicate constraints; depth-first search with bounds
+/// propagation. This is the "modern CP solver" substrate Searchlight
+/// integrates with the DBMS.
+class CpModel {
+ public:
+  /// Adds a variable with inclusive domain [lo, hi]; returns its index.
+  Result<size_t> AddVariable(const std::string& name, int64_t lo, int64_t hi);
+
+  /// sum(coeffs[i] * var[i]) `op` bound, op in {<=, >=, =}.
+  enum class LinOp : int { kLe, kGe, kEq };
+  Status AddLinearConstraint(const std::vector<size_t>& vars,
+                             const std::vector<int64_t>& coeffs, LinOp op,
+                             int64_t bound);
+
+  /// Pairwise distinct values among `vars`.
+  Status AddAllDifferent(const std::vector<size_t>& vars);
+
+  /// Opaque predicate, checked on complete assignments only.
+  void AddPredicate(std::function<bool(const Assignment&)> pred);
+
+  size_t num_variables() const { return names_.size(); }
+  const std::string& variable_name(size_t i) const { return names_[i]; }
+
+  /// Depth-first search with propagation; collects up to `max_solutions`
+  /// (0 = all). `nodes_explored` (optional) counts search nodes.
+  Result<std::vector<Assignment>> Solve(size_t max_solutions = 0,
+                                        int64_t* nodes_explored = nullptr) const;
+
+  /// True iff at least one solution exists.
+  Result<bool> IsSatisfiable() const;
+
+ private:
+  struct Linear {
+    std::vector<size_t> vars;
+    std::vector<int64_t> coeffs;
+    LinOp op;
+    int64_t bound;
+  };
+
+  struct Domain {
+    int64_t lo;
+    int64_t hi;
+    bool empty() const { return lo > hi; }
+  };
+
+  // Bounds propagation; returns false on wipeout.
+  bool Propagate(std::vector<Domain>* domains) const;
+  void Search(std::vector<Domain> domains, size_t max_solutions,
+              std::vector<Assignment>* solutions, int64_t* nodes) const;
+
+  std::vector<std::string> names_;
+  std::vector<int64_t> lo_, hi_;
+  std::vector<Linear> linears_;
+  std::vector<std::vector<size_t>> all_diffs_;
+  std::vector<std::function<bool(const Assignment&)>> predicates_;
+};
+
+}  // namespace bigdawg::searchlight
+
+#endif  // BIGDAWG_SEARCHLIGHT_CP_SOLVER_H_

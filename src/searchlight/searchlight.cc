@@ -1,0 +1,247 @@
+#include "searchlight/searchlight.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace bigdawg::searchlight {
+
+Result<Synopsis> Synopsis::Build(const array::Array& array, size_t attr,
+                                 size_t block_size) {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<double> data, array.ToVector(attr));
+  return Build(data, block_size);
+}
+
+Result<Synopsis> Synopsis::Build(const std::vector<double>& data,
+                                 size_t block_size) {
+  if (block_size == 0) return Status::InvalidArgument("block_size must be > 0");
+  if (data.empty()) return Status::InvalidArgument("empty signal");
+  Synopsis s;
+  s.block_size_ = block_size;
+  s.data_size_ = data.size();
+  const size_t num_blocks = (data.size() + block_size - 1) / block_size;
+  s.sums_.assign(num_blocks, 0.0);
+  s.mins_.assign(num_blocks, 0.0);
+  s.maxs_.assign(num_blocks, 0.0);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size;
+    const size_t end = std::min(data.size(), begin + block_size);
+    double sum = 0, mn = data[begin], mx = data[begin];
+    for (size_t i = begin; i < end; ++i) {
+      sum += data[i];
+      mn = std::min(mn, data[i]);
+      mx = std::max(mx, data[i]);
+    }
+    s.sums_[b] = sum;
+    s.mins_[b] = mn;
+    s.maxs_[b] = mx;
+  }
+  return s;
+}
+
+namespace {
+
+/// Window-vs-block bound: fully-covered blocks contribute their sums;
+/// partially-covered blocks contribute optimistically (max) or
+/// pessimistically (min) per overlapped cell.
+double BoundAvg(const std::vector<double>& sums, const std::vector<double>& extremes,
+                size_t block_size, size_t data_size, size_t start, size_t len) {
+  const size_t end = std::min(data_size, start + len);
+  if (end <= start) return 0;
+  double total = 0;
+  size_t b = start / block_size;
+  size_t pos = start;
+  while (pos < end) {
+    const size_t block_begin = b * block_size;
+    const size_t block_end = std::min(data_size, block_begin + block_size);
+    const size_t overlap_begin = std::max(pos, block_begin);
+    const size_t overlap_end = std::min(end, block_end);
+    const size_t overlap = overlap_end - overlap_begin;
+    if (overlap == block_end - block_begin) {
+      total += sums[b];  // fully covered
+    } else {
+      total += extremes[b] * static_cast<double>(overlap);
+    }
+    pos = block_end;
+    ++b;
+  }
+  return total / static_cast<double>(end - start);
+}
+
+}  // namespace
+
+double Synopsis::UpperBoundAvg(size_t start, size_t len) const {
+  return BoundAvg(sums_, maxs_, block_size_, data_size_, start, len);
+}
+
+double Synopsis::LowerBoundAvg(size_t start, size_t len) const {
+  return BoundAvg(sums_, mins_, block_size_, data_size_, start, len);
+}
+
+std::vector<size_t> Synopsis::HotBlocks(double threshold) const {
+  std::vector<size_t> out;
+  for (size_t b = 0; b < maxs_.size(); ++b) {
+    if (maxs_[b] >= threshold) out.push_back(b);
+  }
+  return out;
+}
+
+Searchlight::Searchlight(array::Array array, size_t attr)
+    : array_(std::move(array)), attr_(attr) {
+  Result<std::vector<double>> data = array_.ToVector(attr_);
+  if (data.ok()) {
+    data_ = data.MoveValueUnsafe();
+    init_status_ = Status::OK();
+  } else {
+    init_status_ = data.status();
+  }
+}
+
+Result<const Synopsis*> Searchlight::GetSynopsis(size_t block_size) const {
+  BIGDAWG_RETURN_NOT_OK(init_status_);
+  auto it = synopses_.find(block_size);
+  if (it == synopses_.end()) {
+    BIGDAWG_ASSIGN_OR_RETURN(Synopsis s, Synopsis::Build(data_, block_size));
+    it = synopses_.emplace(block_size, std::move(s)).first;
+  }
+  return &it->second;
+}
+
+Result<std::vector<WindowMatch>> Searchlight::FindWindows(int64_t length,
+                                                          double threshold,
+                                                          size_t block_size,
+                                                          SearchStats* stats) const {
+  BIGDAWG_ASSIGN_OR_RETURN(const Synopsis* synopsis, GetSynopsis(block_size));
+  return FindWindows(length, threshold, *synopsis, stats);
+}
+
+Result<std::vector<WindowMatch>> Searchlight::FindWindows(
+    int64_t length, double threshold, const Synopsis& synopsis,
+    SearchStats* stats) const {
+  BIGDAWG_RETURN_NOT_OK(init_status_);
+  if (length <= 0) return Status::InvalidArgument("length must be > 0");
+  const int64_t n = static_cast<int64_t>(data_.size());
+  if (length > n) return std::vector<WindowMatch>{};
+  const int64_t total_windows = n - length + 1;
+  if (stats != nullptr) stats->windows_considered += total_windows;
+
+  // Phase 1a: block-level skipping. A window's mean can only reach the
+  // threshold if it overlaps a block whose max does, so enumerate only
+  // starts near hot blocks (sublinear when elevation is sparse).
+  const int64_t block = static_cast<int64_t>(synopsis.block_size());
+  std::vector<int64_t> candidate_starts;
+  int64_t next_unvisited = 0;
+  for (size_t hot : synopsis.HotBlocks(threshold)) {
+    const int64_t block_begin = static_cast<int64_t>(hot) * block;
+    const int64_t block_end =
+        std::min<int64_t>(n, block_begin + block);
+    int64_t lo = std::max<int64_t>(next_unvisited, block_begin - length + 1);
+    int64_t hi = std::min(block_end - 1, total_windows - 1);
+    for (int64_t s = lo; s <= hi; ++s) candidate_starts.push_back(s);
+    next_unvisited = std::max(next_unvisited, hi + 1);
+  }
+
+  // Phase 1b: per-candidate bound speculation on the synopsis.
+  std::vector<int64_t> to_validate;
+  std::vector<int64_t> accepted;  // pessimistically certain
+  for (int64_t start : candidate_starts) {
+    double ub = synopsis.UpperBoundAvg(static_cast<size_t>(start),
+                                       static_cast<size_t>(length));
+    if (ub < threshold) continue;  // pruned
+    double lb = synopsis.LowerBoundAvg(static_cast<size_t>(start),
+                                       static_cast<size_t>(length));
+    if (lb >= threshold) {
+      accepted.push_back(start);
+    } else {
+      to_validate.push_back(start);
+    }
+  }
+  if (stats != nullptr) {
+    stats->candidates_speculated +=
+        static_cast<int64_t>(to_validate.size() + accepted.size());
+  }
+
+  // Phase 2: validate remaining candidates on the real data.
+  auto window_avg = [this, length, stats](int64_t start) {
+    double sum = 0;
+    for (int64_t i = start; i < start + length; ++i) {
+      sum += data_[static_cast<size_t>(i)];
+    }
+    if (stats != nullptr) stats->cells_read += length;
+    return sum / static_cast<double>(length);
+  };
+
+  std::vector<WindowMatch> matches;
+  for (int64_t start : accepted) {
+    matches.push_back({start, length, window_avg(start)});
+  }
+  for (int64_t start : to_validate) {
+    double avg = window_avg(start);
+    if (avg >= threshold) matches.push_back({start, length, avg});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const WindowMatch& a, const WindowMatch& b) { return a.start < b.start; });
+  return matches;
+}
+
+Result<std::vector<WindowMatch>> Searchlight::FindWindowsDirect(
+    int64_t length, double threshold, SearchStats* stats) const {
+  BIGDAWG_RETURN_NOT_OK(init_status_);
+  if (length <= 0) return Status::InvalidArgument("length must be > 0");
+  const int64_t n = static_cast<int64_t>(data_.size());
+  std::vector<WindowMatch> matches;
+  if (length > n) return matches;
+  // Sliding sum (cells_read counts each cell entering the window).
+  double sum = 0;
+  for (int64_t i = 0; i < length; ++i) sum += data_[static_cast<size_t>(i)];
+  if (stats != nullptr) stats->cells_read += length;
+  for (int64_t start = 0; start + length <= n; ++start) {
+    if (stats != nullptr) ++stats->windows_considered;
+    double avg = sum / static_cast<double>(length);
+    if (avg >= threshold) matches.push_back({start, length, avg});
+    if (start + length < n) {
+      sum += data_[static_cast<size_t>(start + length)] -
+             data_[static_cast<size_t>(start)];
+      if (stats != nullptr) ++stats->cells_read;
+    }
+  }
+  return matches;
+}
+
+Result<std::vector<Assignment>> Searchlight::FindNonOverlappingWindows(
+    int64_t length, double threshold, size_t k, size_t block_size,
+    size_t max_solutions) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<WindowMatch> matches,
+                           FindWindows(length, threshold, block_size, nullptr));
+  if (matches.size() < k) return std::vector<Assignment>{};
+
+  // CP model: k ordered start variables over the qualifying starts, with
+  // ordering + no-overlap expressed as linear constraints and membership
+  // as a predicate over the validated candidate set.
+  std::vector<int64_t> starts;
+  for (const WindowMatch& m : matches) starts.push_back(m.start);
+  const int64_t max_start = starts.back();
+
+  CpModel model;
+  std::vector<size_t> vars;
+  for (size_t i = 0; i < k; ++i) {
+    BIGDAWG_ASSIGN_OR_RETURN(
+        size_t v, model.AddVariable("w" + std::to_string(i), starts.front(), max_start));
+    vars.push_back(v);
+  }
+  for (size_t i = 0; i + 1 < k; ++i) {
+    // w[i+1] - w[i] >= length  (ordering + no overlap).
+    BIGDAWG_RETURN_NOT_OK(model.AddLinearConstraint(
+        {vars[i + 1], vars[i]}, {1, -1}, CpModel::LinOp::kGe, length));
+  }
+  model.AddPredicate([starts](const Assignment& a) {
+    for (int64_t v : a) {
+      if (!std::binary_search(starts.begin(), starts.end(), v)) return false;
+    }
+    return true;
+  });
+  return model.Solve(max_solutions);
+}
+
+}  // namespace bigdawg::searchlight

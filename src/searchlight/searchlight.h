@@ -1,0 +1,112 @@
+#ifndef BIGDAWG_SEARCHLIGHT_SEARCHLIGHT_H_
+#define BIGDAWG_SEARCHLIGHT_SEARCHLIGHT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "array/array.h"
+#include "common/result.h"
+#include "searchlight/cp_solver.h"
+
+namespace bigdawg::searchlight {
+
+/// \brief Per-block pre-aggregates over a 1-D array attribute — the
+/// in-memory synopsis structure Searchlight speculates over before
+/// touching the real data.
+class Synopsis {
+ public:
+  /// Builds a synopsis with blocks of `block_size` cells (empty cells
+  /// count as 0, matching the array engine's dense extraction).
+  static Result<Synopsis> Build(const array::Array& array, size_t attr,
+                                size_t block_size);
+  /// Builds directly from an extracted signal.
+  static Result<Synopsis> Build(const std::vector<double>& data,
+                                size_t block_size);
+
+  size_t block_size() const { return block_size_; }
+  size_t num_blocks() const { return sums_.size(); }
+  size_t data_size() const { return data_size_; }
+
+  /// Optimistic (upper) bound on the mean of window [start, start+len).
+  double UpperBoundAvg(size_t start, size_t len) const;
+  /// Pessimistic (lower) bound on the mean of the same window.
+  double LowerBoundAvg(size_t start, size_t len) const;
+
+  /// Indices of blocks whose max reaches `threshold`. Since a window's
+  /// mean can only reach the threshold if some cell in it does, windows
+  /// not overlapping a hot block are pruned without per-window work —
+  /// this is what makes speculation sublinear in the window count.
+  std::vector<size_t> HotBlocks(double threshold) const;
+
+ private:
+  size_t block_size_ = 0;
+  size_t data_size_ = 0;
+  std::vector<double> sums_;
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// \brief A window the search found.
+struct WindowMatch {
+  int64_t start = 0;
+  int64_t length = 0;
+  double avg = 0;
+};
+
+/// \brief Counters separating speculative work from validation work
+/// (experiment C6).
+struct SearchStats {
+  int64_t candidates_speculated = 0;  // windows surviving the synopsis test
+  int64_t windows_considered = 0;     // total windows in the search space
+  int64_t cells_read = 0;             // raw-array cells touched
+};
+
+/// \brief The Searchlight engine: CP-flavored search over array data.
+///
+/// FindWindows answers "find every window of `length` whose mean is >=
+/// `threshold`" in two phases: (1) speculative search on the synopsis —
+/// windows whose optimistic bound fails are pruned without touching the
+/// array; windows whose pessimistic bound passes are accepted without
+/// validation; (2) validation of the remaining candidates on real data.
+/// FindWindowsDirect is the no-synopsis baseline.
+class Searchlight {
+ public:
+  explicit Searchlight(array::Array array, size_t attr = 0);
+
+  /// Builds (or returns the cached) synopsis for `block_size`. Real
+  /// Searchlight maintains synopses as persistent in-memory structures;
+  /// callers measuring search cost should build once up front.
+  Result<const Synopsis*> GetSynopsis(size_t block_size) const;
+
+  Result<std::vector<WindowMatch>> FindWindows(int64_t length, double threshold,
+                                               size_t block_size,
+                                               SearchStats* stats) const;
+
+  /// As above with an explicit prebuilt synopsis.
+  Result<std::vector<WindowMatch>> FindWindows(int64_t length, double threshold,
+                                               const Synopsis& synopsis,
+                                               SearchStats* stats) const;
+
+  Result<std::vector<WindowMatch>> FindWindowsDirect(int64_t length,
+                                                     double threshold,
+                                                     SearchStats* stats) const;
+
+  /// CP-model integration: solves for k non-overlapping qualifying
+  /// windows (start positions as CP variables, no-overlap as linear
+  /// constraints, qualification via a validated-candidate predicate).
+  Result<std::vector<Assignment>> FindNonOverlappingWindows(
+      int64_t length, double threshold, size_t k, size_t block_size,
+      size_t max_solutions) const;
+
+ private:
+  array::Array array_;
+  size_t attr_;
+  std::vector<double> data_;  // dense extraction, done once
+  Status init_status_;
+  mutable std::map<size_t, Synopsis> synopses_;  // by block size
+};
+
+}  // namespace bigdawg::searchlight
+
+#endif  // BIGDAWG_SEARCHLIGHT_SEARCHLIGHT_H_

@@ -1,0 +1,108 @@
+#ifndef BIGDAWG_SEEDB_SEEDB_H_
+#define BIGDAWG_SEEDB_SEEDB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/expression.h"
+#include "relational/table.h"
+
+namespace bigdawg::seedb {
+
+/// \brief Aggregates SeeDB considers for measures.
+enum class ViewAgg : int { kAvg, kSum, kCount };
+
+const char* ViewAggToString(ViewAgg agg);
+
+/// \brief One candidate visualization: GROUP BY `dimension`, aggregate
+/// `measure` with `agg`.
+struct ViewSpec {
+  std::string dimension;  // categorical (string) attribute
+  std::string measure;    // numeric attribute ("" for COUNT)
+  ViewAgg agg = ViewAgg::kAvg;
+
+  std::string ToString() const;
+  bool operator==(const ViewSpec& other) const {
+    return dimension == other.dimension && measure == other.measure &&
+           agg == other.agg;
+  }
+};
+
+/// \brief Per-group aggregate values for the target subpopulation vs the
+/// reference population.
+struct ViewDistribution {
+  std::vector<std::string> groups;
+  std::vector<double> target;     // aggregate per group, target population
+  std::vector<double> reference;  // aggregate per group, reference population
+};
+
+/// \brief A recommended view with its deviation utility.
+struct ViewResult {
+  ViewSpec spec;
+  double utility = 0;  // deviation between target and reference
+  ViewDistribution distribution;
+};
+
+/// \brief Execution counters for the sampled/pruned path (experiment C5).
+struct SeeDbStats {
+  size_t views_enumerated = 0;
+  size_t views_pruned = 0;       // eliminated on the sample
+  size_t full_evaluations = 0;   // views computed on the full data
+  size_t sample_rows = 0;
+  size_t total_rows = 0;
+};
+
+/// \brief The SeeDB visualization recommender.
+///
+/// Enumerates all (dimension, measure, aggregate) views over a dataset,
+/// computes each view on the *target* subpopulation (rows matching the
+/// predicate) and on the *reference* population (all other rows), and
+/// ranks views by deviation-based utility — the earth mover's distance
+/// between the two normalized distributions. RecommendSampled adds the
+/// paper's sampling + confidence-interval pruning phase.
+class SeeDb {
+ public:
+  /// `data` is the attribute table; `target_predicate` selects the
+  /// analyzed subpopulation (bound lazily against the table schema).
+  SeeDb(relational::Table data, relational::ExprPtr target_predicate);
+
+  /// Views over every string dimension x {numeric measure x {avg,sum},
+  /// COUNT}.
+  std::vector<ViewSpec> EnumerateViews() const;
+
+  /// Exact top-k by utility (full-data evaluation of every view).
+  Result<std::vector<ViewResult>> RecommendFull(size_t k) const;
+
+  /// Phase 1: evaluate every view on a row sample of `sample_fraction`;
+  /// prune views whose optimistic utility cannot reach the current top-k.
+  /// Phase 2: re-evaluate survivors on the full data. `stats` optional.
+  Result<std::vector<ViewResult>> RecommendSampled(size_t k, double sample_fraction,
+                                                   uint64_t seed,
+                                                   SeeDbStats* stats) const;
+
+  /// Evaluates a single view on the full data.
+  Result<ViewResult> EvaluateView(const ViewSpec& spec) const;
+
+  /// Renders a view result as a two-series table (group, target, reference).
+  static relational::Table ResultToTable(const ViewResult& result);
+
+ private:
+  Result<ViewResult> EvaluateViewOnRows(const ViewSpec& spec,
+                                        const std::vector<size_t>& row_ids) const;
+
+  relational::Table data_;
+  relational::ExprPtr predicate_;
+  std::vector<bool> in_target_;  // per row, precomputed at construction
+  Status init_status_;
+};
+
+/// \brief Earth mover's distance between two discrete distributions over
+/// the same ordered support (inputs normalized to sum 1 internally; zero
+/// vectors yield 0 against zero, 1 against non-zero).
+double EarthMoversDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace bigdawg::seedb
+
+#endif  // BIGDAWG_SEEDB_SEEDB_H_

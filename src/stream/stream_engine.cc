@@ -1,0 +1,424 @@
+#include "stream/stream_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/binary_io.h"
+#include "common/macros.h"
+
+namespace bigdawg::stream {
+
+namespace {
+std::string IngestProcName(const std::string& stream) {
+  return "__ingest_" + stream;
+}
+}  // namespace
+
+// ---- ProcContext ----
+
+Result<Row> ProcContext::Get(const std::string& table, const Value& key) const {
+  auto it = engine_->tables_.find(table);
+  if (it == engine_->tables_.end()) {
+    return Status::NotFound("no state table named " + table);
+  }
+  // This transaction's own writes win.
+  for (auto w = writes_.rbegin(); w != writes_.rend(); ++w) {
+    if (w->table == table && !w->row.empty() && w->row[0] == key) return w->row;
+  }
+  auto row_it = it->second.rows.find(key);
+  if (row_it == it->second.rows.end()) {
+    return Status::NotFound("no row with key " + key.ToString() + " in " + table);
+  }
+  return row_it->second;
+}
+
+Status ProcContext::Put(const std::string& table, Row row) {
+  auto it = engine_->tables_.find(table);
+  if (it == engine_->tables_.end()) {
+    return Status::NotFound("no state table named " + table);
+  }
+  BIGDAWG_RETURN_NOT_OK(it->second.schema.ValidateRow(row));
+  if (row.empty() || row[0].is_null()) {
+    return Status::InvalidArgument("state-table rows need a non-null key");
+  }
+  writes_.push_back({table, std::move(row)});
+  return Status::OK();
+}
+
+Status ProcContext::AppendToStream(const std::string& stream, Row row) {
+  auto it = engine_->streams_.find(stream);
+  if (it == engine_->streams_.end()) {
+    return Status::NotFound("no stream named " + stream);
+  }
+  BIGDAWG_RETURN_NOT_OK(it->second.schema.ValidateRow(row));
+  appends_.push_back({stream, std::move(row)});
+  return Status::OK();
+}
+
+void ProcContext::EmitAlert(Row alert) { alerts_.push_back(std::move(alert)); }
+
+Result<std::vector<Row>> ProcContext::Window(const std::string& window) const {
+  auto it = engine_->windows_.find(window);
+  if (it == engine_->windows_.end()) {
+    return Status::NotFound("no window named " + window);
+  }
+  return std::vector<Row>(it->second.buffer.begin(), it->second.buffer.end());
+}
+
+// ---- Definition ----
+
+Status StreamEngine::CreateStream(const std::string& name, Schema schema,
+                                  size_t retention) {
+  if (streams_.count(name) > 0) {
+    return Status::AlreadyExists("stream already exists: " + name);
+  }
+  if (retention == 0) return Status::InvalidArgument("retention must be > 0");
+  StreamState s;
+  s.schema = std::move(schema);
+  s.retention = retention;
+  streams_.emplace(name, std::move(s));
+  // Implicit ingestion procedure: append the input tuple to the stream.
+  procedures_[IngestProcName(name)] = [name](ProcContext* ctx) {
+    return ctx->AppendToStream(name, ctx->input());
+  };
+  return Status::OK();
+}
+
+Status StreamEngine::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("state table needs at least a key column");
+  }
+  TableState t;
+  t.schema = std::move(schema);
+  tables_.emplace(name, std::move(t));
+  return Status::OK();
+}
+
+Status StreamEngine::CreateWindow(const std::string& name, const std::string& stream,
+                                  size_t size, size_t slide) {
+  if (windows_.count(name) > 0) {
+    return Status::AlreadyExists("window already exists: " + name);
+  }
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return Status::NotFound("no stream named " + stream);
+  if (size == 0 || slide == 0) {
+    return Status::InvalidArgument("window size and slide must be > 0");
+  }
+  WindowState w;
+  w.stream = stream;
+  w.size = size;
+  w.slide = slide;
+  windows_.emplace(name, std::move(w));
+  it->second.windows.push_back(name);
+  return Status::OK();
+}
+
+Status StreamEngine::RegisterProcedure(const std::string& name, Procedure proc) {
+  if (procedures_.count(name) > 0) {
+    return Status::AlreadyExists("procedure already exists: " + name);
+  }
+  procedures_.emplace(name, std::move(proc));
+  return Status::OK();
+}
+
+Status StreamEngine::BindStreamTrigger(const std::string& stream,
+                                       const std::string& procedure) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return Status::NotFound("no stream named " + stream);
+  if (procedures_.count(procedure) == 0) {
+    return Status::NotFound("no procedure named " + procedure);
+  }
+  it->second.trigger = procedure;
+  return Status::OK();
+}
+
+Status StreamEngine::BindWindowTrigger(const std::string& window,
+                                       const std::string& procedure) {
+  auto it = windows_.find(window);
+  if (it == windows_.end()) return Status::NotFound("no window named " + window);
+  if (procedures_.count(procedure) == 0) {
+    return Status::NotFound("no procedure named " + procedure);
+  }
+  it->second.trigger = procedure;
+  return Status::OK();
+}
+
+// ---- Transactions ----
+
+Status StreamEngine::ApplyAppend(const std::string& stream, const Row& row,
+                                 std::vector<QueueItem>* follow_ups) {
+  StreamState& s = streams_.at(stream);
+  s.buffer.push_back(row);
+  ++s.total_appended;
+  // Retention: age out oldest tuples.
+  while (s.buffer.size() > s.retention) {
+    if (age_out_) age_out_(stream, s.buffer.front());
+    s.buffer.pop_front();
+  }
+  // Stream trigger.
+  if (!s.trigger.empty()) {
+    follow_ups->push_back({s.trigger, row, std::chrono::steady_clock::now()});
+  }
+  // Windows over this stream.
+  for (const std::string& wname : s.windows) {
+    WindowState& w = windows_.at(wname);
+    w.buffer.push_back(row);
+    while (w.buffer.size() > w.size) w.buffer.pop_front();
+    ++w.arrivals_since_eval;
+    if (w.buffer.size() == w.size && w.arrivals_since_eval >= w.slide) {
+      w.arrivals_since_eval = 0;
+      if (!w.trigger.empty()) {
+        follow_ups->push_back({w.trigger, Row{}, std::chrono::steady_clock::now()});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::RunTransaction(const std::string& proc_name, Row input,
+                                    bool log_commit) {
+  // Work list lets committed transactions schedule deterministic follow-up
+  // transactions (stream triggers, window triggers) without recursion.
+  std::deque<QueueItem> work;
+  work.push_back({proc_name, std::move(input), std::chrono::steady_clock::now()});
+  bool first = true;
+  Status first_status = Status::OK();
+
+  while (!work.empty()) {
+    QueueItem item = std::move(work.front());
+    work.pop_front();
+
+    auto proc_it = procedures_.find(item.procedure);
+    if (proc_it == procedures_.end()) {
+      Status st = Status::NotFound("no procedure named " + item.procedure);
+      if (first) return st;
+      continue;  // follow-up with missing proc: drop (cannot happen via API)
+    }
+
+    ProcContext ctx(this, item.input, next_txn_id_++);
+    Status st = proc_it->second(&ctx);
+    if (!st.ok()) {
+      ++aborted_;
+      if (first) first_status = st;
+      first = false;
+      continue;  // abort: discard buffered effects
+    }
+
+    // Commit: apply buffered effects.
+    for (ProcContext::PendingWrite& w : ctx.writes_) {
+      TableState& t = tables_.at(w.table);
+      Value key = w.row[0];
+      t.rows.insert_or_assign(std::move(key), std::move(w.row));
+    }
+    std::vector<QueueItem> follow_ups;
+    for (ProcContext::PendingAppend& a : ctx.appends_) {
+      BIGDAWG_RETURN_NOT_OK(ApplyAppend(a.stream, a.row, &follow_ups));
+    }
+    for (Row& alert : ctx.alerts_) alerts_.push_back(std::move(alert));
+    ++committed_;
+    if (first && log_commit) {
+      command_log_.push_back({item.procedure, item.input});
+    }
+    for (QueueItem& f : follow_ups) work.push_back(std::move(f));
+    first = false;
+  }
+  return first_status;
+}
+
+// ---- Execution ----
+
+StreamEngine::~StreamEngine() { Stop(); }
+
+void StreamEngine::Start() {
+  std::lock_guard lock(queue_mu_);
+  if (running_) return;
+  running_ = true;
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+void StreamEngine::Stop() {
+  {
+    std::lock_guard lock(queue_mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  queue_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+}
+
+Status StreamEngine::Ingest(const std::string& stream, Row row) {
+  {
+    std::lock_guard lock(queue_mu_);
+    if (!running_) {
+      return Status::FailedPrecondition("engine not started (call Start())");
+    }
+    if (streams_.count(stream) == 0) {
+      return Status::NotFound("no stream named " + stream);
+    }
+    queue_.push_back(
+        {IngestProcName(stream), std::move(row), std::chrono::steady_clock::now()});
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+void StreamEngine::WaitForDrain() {
+  std::unique_lock lock(queue_mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void StreamEngine::ExecutorLoop() {
+  while (true) {
+    QueueItem item;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
+      if (!running_ && queue_.empty()) return;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    (void)RunTransaction(item.procedure, std::move(item.input), /*log_commit=*/true);
+    double latency_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  item.enqueued)
+            .count();
+    {
+      std::lock_guard lock(queue_mu_);
+      latencies_ms_.push_back(latency_ms);
+      busy_ = false;
+      if (queue_.empty()) drain_cv_.notify_all();
+    }
+  }
+}
+
+Status StreamEngine::ExecuteProcedure(const std::string& name, Row input) {
+  return RunTransaction(name, std::move(input), /*log_commit=*/true);
+}
+
+// ---- Inspection ----
+
+Result<std::vector<Row>> StreamEngine::StreamContents(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return Status::NotFound("no stream named " + name);
+  return std::vector<Row>(it->second.buffer.begin(), it->second.buffer.end());
+}
+
+Result<std::vector<Row>> StreamEngine::WindowContents(const std::string& name) const {
+  auto it = windows_.find(name);
+  if (it == windows_.end()) return Status::NotFound("no window named " + name);
+  return std::vector<Row>(it->second.buffer.begin(), it->second.buffer.end());
+}
+
+Result<Row> StreamEngine::TableGet(const std::string& table, const Value& key) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no state table named " + table);
+  auto row_it = it->second.rows.find(key);
+  if (row_it == it->second.rows.end()) {
+    return Status::NotFound("no row with key " + key.ToString());
+  }
+  return row_it->second;
+}
+
+Result<std::vector<Row>> StreamEngine::TableScan(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no state table named " + table);
+  std::vector<Row> out;
+  out.reserve(it->second.rows.size());
+  for (const auto& [key, row] : it->second.rows) out.push_back(row);
+  return out;
+}
+
+Result<Schema> StreamEngine::StreamSchema(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return Status::NotFound("no stream named " + name);
+  return it->second.schema;
+}
+
+Result<Schema> StreamEngine::WindowSchema(const std::string& name) const {
+  auto it = windows_.find(name);
+  if (it == windows_.end()) return Status::NotFound("no window named " + name);
+  return streams_.at(it->second.stream).schema;
+}
+
+Result<Schema> StreamEngine::TableSchema(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no state table named " + name);
+  return it->second.schema;
+}
+
+std::vector<Row> StreamEngine::TakeAlerts() {
+  std::vector<Row> out;
+  out.swap(alerts_);
+  return out;
+}
+
+LatencyStats StreamEngine::GetLatencyStats() const {
+  std::lock_guard lock(queue_mu_);
+  LatencyStats stats;
+  if (latencies_ms_.empty()) return stats;
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  stats.count = static_cast<int64_t>(sorted.size());
+  auto pct = [&sorted](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  stats.p50_ms = pct(0.50);
+  stats.p95_ms = pct(0.95);
+  stats.p99_ms = pct(0.99);
+  stats.max_ms = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  stats.mean_ms = sum / static_cast<double>(sorted.size());
+  return stats;
+}
+
+// ---- Recovery ----
+
+std::vector<LogRecord> StreamEngine::SnapshotCommandLog() const {
+  return command_log_;
+}
+
+std::string StreamEngine::SerializeLog(const std::vector<LogRecord>& log) {
+  BinaryWriter writer;
+  writer.PutUint32(static_cast<uint32_t>(log.size()));
+  for (const LogRecord& rec : log) {
+    writer.PutString(rec.procedure);
+    writer.PutRow(rec.input);
+  }
+  return writer.Release();
+}
+
+Result<std::vector<LogRecord>> StreamEngine::DeserializeLog(
+    const std::string& bytes) {
+  BinaryReader reader(bytes);
+  BIGDAWG_ASSIGN_OR_RETURN(uint32_t n, reader.GetUint32());
+  std::vector<LogRecord> log;
+  log.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LogRecord rec;
+    BIGDAWG_ASSIGN_OR_RETURN(rec.procedure, reader.GetString());
+    BIGDAWG_ASSIGN_OR_RETURN(rec.input, reader.GetRow());
+    log.push_back(std::move(rec));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("trailing bytes after command log");
+  }
+  return log;
+}
+
+Status StreamEngine::ReplayLog(const std::vector<LogRecord>& log) {
+  for (const LogRecord& rec : log) {
+    // Replay re-runs each top-level transaction; follow-ups regenerate
+    // deterministically. Aborted-at-runtime statuses are surfaced.
+    BIGDAWG_RETURN_NOT_OK(RunTransaction(rec.procedure, rec.input,
+                                         /*log_commit=*/true));
+  }
+  return Status::OK();
+}
+
+}  // namespace bigdawg::stream

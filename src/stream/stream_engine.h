@@ -1,0 +1,266 @@
+#ifndef BIGDAWG_STREAM_STREAM_ENGINE_H_
+#define BIGDAWG_STREAM_STREAM_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace bigdawg::stream {
+
+class StreamEngine;
+
+/// \brief Execution context handed to a stored procedure.
+///
+/// All mutations made through the context are buffered and applied
+/// atomically when the procedure returns OK; a non-OK return aborts the
+/// transaction and leaves the engine untouched (the S-Store/H-Store
+/// single-partition transaction model).
+class ProcContext {
+ public:
+  /// The tuple that triggered this invocation (empty for window triggers).
+  const Row& input() const { return input_; }
+
+  /// Reads a state-table row by primary key (first column). Sees the
+  /// engine state as of transaction start plus this transaction's writes.
+  Result<Row> Get(const std::string& table, const Value& key) const;
+
+  /// Upserts a state-table row (primary key = first cell).
+  Status Put(const std::string& table, Row row);
+
+  /// Appends a tuple to a stream (validated against the stream schema).
+  Status AppendToStream(const std::string& stream, Row row);
+
+  /// Emits an alert tuple to the engine's alert mailbox.
+  void EmitAlert(Row alert);
+
+  /// Read-only view of a window's current contents (pre-transaction).
+  Result<std::vector<Row>> Window(const std::string& window) const;
+
+  /// Engine-maintained logical timestamp of this invocation.
+  int64_t txn_id() const { return txn_id_; }
+
+ private:
+  friend class StreamEngine;
+  ProcContext(StreamEngine* engine, Row input, int64_t txn_id)
+      : engine_(engine), input_(std::move(input)), txn_id_(txn_id) {}
+
+  struct PendingWrite {
+    std::string table;
+    Row row;
+  };
+  struct PendingAppend {
+    std::string stream;
+    Row row;
+  };
+
+  StreamEngine* engine_;
+  Row input_;
+  int64_t txn_id_;
+  std::vector<PendingWrite> writes_;
+  std::vector<PendingAppend> appends_;
+  std::vector<Row> alerts_;
+};
+
+/// \brief A stored procedure body.
+using Procedure = std::function<Status(ProcContext*)>;
+
+/// \brief Row evicted from a stream by retention, delivered to the
+/// age-out handler (stream name, row).
+using AgeOutHandler = std::function<void(const std::string&, const Row&)>;
+
+/// \brief Latency percentiles over committed asynchronous invocations.
+struct LatencyStats {
+  int64_t count = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double mean_ms = 0;
+};
+
+/// \brief One replayable command-log record (procedure + input).
+struct LogRecord {
+  std::string procedure;
+  Row input;
+};
+
+/// \brief The transactional stream processing engine (S-Store stand-in).
+///
+/// Mirrors the paper's three S-Store extensions over an H-Store-style
+/// main-memory core:
+///  (i)  streams and sliding windows represented as time-varying tables,
+///  (ii) an ingestion module absorbing feeds (an in-process queue standing
+///       in for the TCP module; see DESIGN.md substitutions),
+///  (iii) lightweight recovery via command logging + deterministic replay.
+///
+/// Concurrency model: one partition, one executor thread; transactions
+/// (stored-procedure invocations) run serially, so they are trivially
+/// serializable and need no locks — the H-Store execution model.
+class StreamEngine {
+ public:
+  StreamEngine() = default;
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  // ---- Definition (call before Start) ----
+
+  /// Declares a stream. `retention` caps buffered tuples; overflow ages
+  /// out oldest-first to the AgeOutHandler (if set).
+  Status CreateStream(const std::string& name, Schema schema, size_t retention);
+
+  /// Declares a state table keyed by its first column.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Declares a sliding window over a stream: the last `size` tuples,
+  /// evaluated every `slide` arrivals once full.
+  Status CreateWindow(const std::string& name, const std::string& stream,
+                      size_t size, size_t slide);
+
+  Status RegisterProcedure(const std::string& name, Procedure proc);
+
+  /// Binds a stream so each arriving tuple invokes `procedure` with it.
+  Status BindStreamTrigger(const std::string& stream, const std::string& procedure);
+
+  /// Binds a window so each slide invokes `procedure` (empty input row).
+  Status BindWindowTrigger(const std::string& window, const std::string& procedure);
+
+  void SetAgeOutHandler(AgeOutHandler handler) { age_out_ = std::move(handler); }
+
+  // ---- Execution ----
+
+  /// Starts the partition executor thread.
+  void Start();
+  /// Drains the queue and stops the executor.
+  void Stop();
+
+  /// Asynchronous ingestion (the "TCP feed" entry point): enqueues the
+  /// tuple for the stream's trigger procedure.
+  Status Ingest(const std::string& stream, Row row);
+
+  /// Blocks until the ingestion queue is empty and the executor is idle.
+  void WaitForDrain();
+
+  /// Synchronous invocation (runs on the caller thread; must not be mixed
+  /// with a running executor unless externally serialized). Used by tests
+  /// and the streaming island's request path.
+  Status ExecuteProcedure(const std::string& name, Row input);
+
+  // ---- Inspection ----
+
+  /// Current contents of a stream's retained buffer.
+  Result<std::vector<Row>> StreamContents(const std::string& name) const;
+  Result<std::vector<Row>> WindowContents(const std::string& name) const;
+  Result<Row> TableGet(const std::string& table, const Value& key) const;
+  Result<std::vector<Row>> TableScan(const std::string& table) const;
+  Result<Schema> StreamSchema(const std::string& name) const;
+  /// Schema of a window's rows (= its source stream's schema).
+  Result<Schema> WindowSchema(const std::string& name) const;
+  Result<Schema> TableSchema(const std::string& name) const;
+
+  /// Drains and returns all alerts emitted since the last call.
+  std::vector<Row> TakeAlerts();
+
+  /// Latency percentiles for committed async invocations.
+  LatencyStats GetLatencyStats() const;
+  int64_t committed_txns() const { return committed_; }
+  int64_t aborted_txns() const { return aborted_; }
+
+  // ---- Recovery ----
+
+  /// Copy of the command log (inputs of committed transactions).
+  std::vector<LogRecord> SnapshotCommandLog() const;
+
+  /// Replays a command log into this (freshly defined) engine by
+  /// re-executing each procedure synchronously.
+  Status ReplayLog(const std::vector<LogRecord>& log);
+
+  /// Durable form of the command log: the compact binary wire format the
+  /// recovery scheme writes to stable storage.
+  static std::string SerializeLog(const std::vector<LogRecord>& log);
+  static Result<std::vector<LogRecord>> DeserializeLog(const std::string& bytes);
+
+ private:
+  struct StreamState {
+    Schema schema;
+    size_t retention = 0;
+    std::deque<Row> buffer;
+    int64_t total_appended = 0;
+    std::string trigger;  // procedure invoked per tuple ("" = none)
+    std::vector<std::string> windows;
+  };
+
+  struct WindowState {
+    std::string stream;
+    size_t size = 0;
+    size_t slide = 0;
+    std::deque<Row> buffer;
+    size_t arrivals_since_eval = 0;
+    std::string trigger;
+  };
+
+  struct TableState {
+    Schema schema;
+    std::map<Value, Row> rows;
+  };
+
+  struct QueueItem {
+    std::string procedure;
+    Row input;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  friend class ProcContext;
+
+  // Runs one transaction (caller must be the executor thread or hold
+  // external serialization). Applies buffered effects on success.
+  Status RunTransaction(const std::string& proc_name, Row input, bool log_commit);
+  // Applies a committed append to stream/window buffers and fires window
+  // triggers; called within the executing transaction's commit.
+  Status ApplyAppend(const std::string& stream, const Row& row,
+                     std::vector<QueueItem>* follow_ups);
+
+  void ExecutorLoop();
+
+  std::map<std::string, StreamState> streams_;
+  std::map<std::string, WindowState> windows_;
+  std::map<std::string, TableState> tables_;
+  std::map<std::string, Procedure> procedures_;
+  AgeOutHandler age_out_;
+
+  // Executor machinery.
+  std::thread executor_;
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<QueueItem> queue_;
+  bool running_ = false;
+  bool busy_ = false;
+
+  // State below is touched only by the executing thread (executor or the
+  // synchronous caller); reads from other threads go through queue_mu_ on
+  // quiescent engines (documented on the inspection methods).
+  int64_t next_txn_id_ = 1;
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+  std::vector<Row> alerts_;
+  std::vector<LogRecord> command_log_;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace bigdawg::stream
+
+#endif  // BIGDAWG_STREAM_STREAM_ENGINE_H_

@@ -1,0 +1,244 @@
+#include "tiledb/tiledb.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace bigdawg::tiledb {
+
+Result<TileDbArray> TileDbArray::Create(TileSchema schema) {
+  if (schema.rows <= 0 || schema.cols <= 0) {
+    return Status::InvalidArgument("array domain must be positive");
+  }
+  if (schema.tile_rows <= 0 || schema.tile_cols <= 0) {
+    return Status::InvalidArgument("tile extents must be positive");
+  }
+  TileDbArray a;
+  a.schema_ = schema;
+  return a;
+}
+
+int64_t TileDbArray::TileIndex(int64_t row, int64_t col) const {
+  int64_t tile_r = row / schema_.tile_rows;
+  int64_t tile_c = col / schema_.tile_cols;
+  return tile_r * schema_.TilesPerRow() + tile_c;
+}
+
+Status TileDbArray::Write(int64_t row, int64_t col, double value) {
+  if (row < 0 || row >= schema_.rows || col < 0 || col >= schema_.cols) {
+    return Status::OutOfRange("cell (" + std::to_string(row) + "," +
+                              std::to_string(col) + ") outside domain");
+  }
+  fragment_.push_back({row, col, value});
+  return Status::OK();
+}
+
+Status TileDbArray::WriteBatch(const std::vector<CellEntry>& cells) {
+  for (const CellEntry& c : cells) {
+    BIGDAWG_RETURN_NOT_OK(Write(c.row, c.col, c.value));
+  }
+  return Status::OK();
+}
+
+void TileDbArray::MergeCellIntoTile(Tile* tile, int64_t local_row,
+                                    int64_t local_col, double value) {
+  if (auto* dense = std::get_if<DenseTile>(tile)) {
+    dense->values[static_cast<size_t>(local_row * schema_.tile_cols + local_col)] =
+        value;
+    return;
+  }
+  auto& cells = std::get<SparseTile>(*tile).cells;
+  CellEntry entry{local_row, local_col, value};
+  auto it = std::lower_bound(cells.begin(), cells.end(), entry,
+                             [](const CellEntry& a, const CellEntry& b) {
+                               if (a.row != b.row) return a.row < b.row;
+                               return a.col < b.col;
+                             });
+  if (it != cells.end() && it->row == local_row && it->col == local_col) {
+    it->value = value;
+  } else {
+    cells.insert(it, entry);
+  }
+}
+
+void TileDbArray::MaybeDensify(Tile* tile) {
+  auto* sparse = std::get_if<SparseTile>(tile);
+  if (sparse == nullptr) return;
+  const double capacity =
+      static_cast<double>(schema_.tile_rows * schema_.tile_cols);
+  if (static_cast<double>(sparse->cells.size()) / capacity < kDenseThreshold) {
+    return;
+  }
+  DenseTile dense;
+  dense.values.assign(static_cast<size_t>(schema_.tile_rows * schema_.tile_cols),
+                      0.0);
+  for (const CellEntry& c : sparse->cells) {
+    dense.values[static_cast<size_t>(c.row * schema_.tile_cols + c.col)] = c.value;
+  }
+  *tile = std::move(dense);
+}
+
+Status TileDbArray::Consolidate() {
+  for (const CellEntry& c : fragment_) {
+    int64_t idx = TileIndex(c.row, c.col);
+    auto it = tiles_.find(idx);
+    if (it == tiles_.end()) {
+      it = tiles_.emplace(idx, SparseTile{}).first;
+    }
+    int64_t local_row = c.row % schema_.tile_rows;
+    int64_t local_col = c.col % schema_.tile_cols;
+    MergeCellIntoTile(&it->second, local_row, local_col, c.value);
+  }
+  fragment_.clear();
+  for (auto& [idx, tile] : tiles_) MaybeDensify(&tile);
+  return Status::OK();
+}
+
+Result<double> TileDbArray::Read(int64_t row, int64_t col) const {
+  if (row < 0 || row >= schema_.rows || col < 0 || col >= schema_.cols) {
+    return Status::OutOfRange("cell outside domain");
+  }
+  // Latest fragment write wins.
+  for (auto it = fragment_.rbegin(); it != fragment_.rend(); ++it) {
+    if (it->row == row && it->col == col) return it->value;
+  }
+  auto tile_it = tiles_.find(TileIndex(row, col));
+  if (tile_it == tiles_.end()) return 0.0;
+  int64_t local_row = row % schema_.tile_rows;
+  int64_t local_col = col % schema_.tile_cols;
+  if (const auto* dense = std::get_if<DenseTile>(&tile_it->second)) {
+    return dense->values[static_cast<size_t>(local_row * schema_.tile_cols +
+                                             local_col)];
+  }
+  const auto& cells = std::get<SparseTile>(tile_it->second).cells;
+  for (const CellEntry& c : cells) {
+    if (c.row == local_row && c.col == local_col) return c.value;
+  }
+  return 0.0;
+}
+
+Result<std::vector<CellEntry>> TileDbArray::ReadSubarray(int64_t row_lo,
+                                                         int64_t row_hi,
+                                                         int64_t col_lo,
+                                                         int64_t col_hi) const {
+  if (row_lo > row_hi || col_lo > col_hi) {
+    return Status::InvalidArgument("empty subarray");
+  }
+  std::map<std::pair<int64_t, int64_t>, double> merged;
+  ForEachNonZero([&](int64_t r, int64_t c, double v) {
+    if (r >= row_lo && r <= row_hi && c >= col_lo && c <= col_hi) {
+      merged[{r, c}] = v;
+    }
+  });
+  for (const CellEntry& c : fragment_) {
+    if (c.row >= row_lo && c.row <= row_hi && c.col >= col_lo && c.col <= col_hi) {
+      merged[{c.row, c.col}] = c.value;
+    }
+  }
+  std::vector<CellEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [coords, v] : merged) {
+    out.push_back({coords.first, coords.second, v});
+  }
+  return out;
+}
+
+void TileDbArray::ForEachNonZero(
+    const std::function<void(int64_t, int64_t, double)>& fn) const {
+  const int64_t tiles_per_row = schema_.TilesPerRow();
+  for (const auto& [idx, tile] : tiles_) {
+    const int64_t base_row = (idx / tiles_per_row) * schema_.tile_rows;
+    const int64_t base_col = (idx % tiles_per_row) * schema_.tile_cols;
+    if (const auto* dense = std::get_if<DenseTile>(&tile)) {
+      for (int64_t lr = 0; lr < schema_.tile_rows; ++lr) {
+        for (int64_t lc = 0; lc < schema_.tile_cols; ++lc) {
+          double v = dense->values[static_cast<size_t>(lr * schema_.tile_cols + lc)];
+          if (v != 0.0) fn(base_row + lr, base_col + lc, v);
+        }
+      }
+    } else {
+      for (const CellEntry& c : std::get<SparseTile>(tile).cells) {
+        if (c.value != 0.0) fn(base_row + c.row, base_col + c.col, c.value);
+      }
+    }
+  }
+}
+
+Result<std::vector<double>> TileDbArray::SpMV(const std::vector<double>& x) const {
+  if (static_cast<int64_t>(x.size()) != schema_.cols) {
+    return Status::InvalidArgument("vector length " + std::to_string(x.size()) +
+                                   " != cols " + std::to_string(schema_.cols));
+  }
+  std::vector<double> y(static_cast<size_t>(schema_.rows), 0.0);
+  ForEachNonZero([&](int64_t r, int64_t c, double v) {
+    y[static_cast<size_t>(r)] += v * x[static_cast<size_t>(c)];
+  });
+  return y;
+}
+
+int64_t TileDbArray::NonZeroCount() const {
+  int64_t count = 0;
+  ForEachNonZero([&count](int64_t, int64_t, double) { ++count; });
+  return count;
+}
+
+int64_t TileDbArray::DenseTileCount() const {
+  int64_t count = 0;
+  for (const auto& [idx, tile] : tiles_) {
+    if (std::holds_alternative<DenseTile>(tile)) ++count;
+  }
+  return count;
+}
+
+Status TileDbEngine::CreateArray(const std::string& name, TileSchema schema) {
+  BIGDAWG_ASSIGN_OR_RETURN(TileDbArray a, TileDbArray::Create(schema));
+  std::unique_lock lock(mu_);
+  if (arrays_.count(name) > 0) {
+    return Status::AlreadyExists("array already exists: " + name);
+  }
+  arrays_.emplace(name, std::move(a));
+  return Status::OK();
+}
+
+Status TileDbEngine::PutArray(const std::string& name, TileDbArray array) {
+  std::unique_lock lock(mu_);
+  arrays_.insert_or_assign(name, std::move(array));
+  return Status::OK();
+}
+
+Result<TileDbArray> TileDbEngine::GetArray(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("no array named " + name);
+  return it->second;
+}
+
+Status TileDbEngine::WithArray(const std::string& name,
+                               const std::function<Status(TileDbArray*)>& fn) {
+  std::unique_lock lock(mu_);
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("no array named " + name);
+  return fn(&it->second);
+}
+
+bool TileDbEngine::HasArray(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return arrays_.count(name) > 0;
+}
+
+std::vector<std::string> TileDbEngine::ListArrays() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(arrays_.size());
+  for (const auto& [name, array] : arrays_) out.push_back(name);
+  return out;
+}
+
+Status TileDbEngine::RemoveArray(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (arrays_.erase(name) == 0) return Status::NotFound("no array named " + name);
+  return Status::OK();
+}
+
+}  // namespace bigdawg::tiledb

@@ -1,0 +1,134 @@
+#ifndef BIGDAWG_TILEDB_TILEDB_H_
+#define BIGDAWG_TILEDB_TILEDB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::tiledb {
+
+/// \brief Layout of a 2-D tiled array: a rows x cols domain split into
+/// tile_rows x tile_cols tiles.
+struct TileSchema {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t tile_rows = 0;
+  int64_t tile_cols = 0;
+
+  int64_t TilesPerRow() const { return (cols + tile_cols - 1) / tile_cols; }
+  int64_t TilesPerCol() const { return (rows + tile_rows - 1) / tile_rows; }
+};
+
+/// \brief A (row, col, value) cell, the unit of sparse reads/writes.
+struct CellEntry {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0;
+};
+
+/// \brief The TileDB stand-in: a 2-D array store whose fundamental unit of
+/// storage and computation is the *tile*.
+///
+/// Each tile independently chooses a dense (flat buffer) or sparse (COO)
+/// representation based on its fill fraction, mirroring TileDB's
+/// "irregular subarrays optimized for dense or sparse objects". Writes
+/// accumulate in an in-memory *fragment*; Consolidate() merges fragments
+/// into the tile set (TileDB's fragment/consolidation model). Reads see
+/// consolidated tiles plus any open fragment.
+class TileDbArray {
+ public:
+  /// Fill fraction above which a tile switches to the dense layout.
+  static constexpr double kDenseThreshold = 0.25;
+
+  static Result<TileDbArray> Create(TileSchema schema);
+
+  const TileSchema& schema() const { return schema_; }
+
+  /// Buffers a cell write in the open fragment.
+  Status Write(int64_t row, int64_t col, double value);
+  /// Buffers many writes.
+  Status WriteBatch(const std::vector<CellEntry>& cells);
+
+  /// Merges the open fragment into the tile set and clears it; tiles
+  /// re-evaluate their dense/sparse layout afterwards.
+  Status Consolidate();
+
+  /// Reads a cell (0.0 for never-written cells). Sees the open fragment.
+  Result<double> Read(int64_t row, int64_t col) const;
+
+  /// All written cells intersecting the inclusive box, in (row, col) order.
+  Result<std::vector<CellEntry>> ReadSubarray(int64_t row_lo, int64_t row_hi,
+                                              int64_t col_lo, int64_t col_hi) const;
+
+  /// Visits every consolidated non-zero cell, tile by tile. The sparse
+  /// linear-algebra kernels iterate through this hook so computation is
+  /// tile-local (the paper's tight coupling of §2.4).
+  void ForEachNonZero(
+      const std::function<void(int64_t, int64_t, double)>& fn) const;
+
+  /// y = A * x over consolidated tiles (x sized cols, result sized rows).
+  Result<std::vector<double>> SpMV(const std::vector<double>& x) const;
+
+  /// Count of non-zero cells in consolidated tiles.
+  int64_t NonZeroCount() const;
+  /// Number of tiles currently using the dense layout.
+  int64_t DenseTileCount() const;
+  /// Number of materialized tiles.
+  int64_t MaterializedTileCount() const { return static_cast<int64_t>(tiles_.size()); }
+  /// Cells buffered in the open fragment.
+  size_t OpenFragmentSize() const { return fragment_.size(); }
+
+ private:
+  struct DenseTile {
+    std::vector<double> values;  // tile_rows * tile_cols, row-major
+  };
+  struct SparseTile {
+    std::vector<CellEntry> cells;  // tile-local coords, sorted (row, col)
+  };
+  using Tile = std::variant<SparseTile, DenseTile>;
+
+  TileDbArray() = default;
+
+  int64_t TileIndex(int64_t row, int64_t col) const;
+  void MergeCellIntoTile(Tile* tile, int64_t local_row, int64_t local_col,
+                         double value);
+  void MaybeDensify(Tile* tile);
+
+  TileSchema schema_;
+  std::map<int64_t, Tile> tiles_;        // tile index -> tile
+  std::vector<CellEntry> fragment_;      // open (unconsolidated) writes
+};
+
+/// \brief Catalog of named TileDB arrays.
+class TileDbEngine {
+ public:
+  TileDbEngine() = default;
+
+  TileDbEngine(const TileDbEngine&) = delete;
+  TileDbEngine& operator=(const TileDbEngine&) = delete;
+
+  Status CreateArray(const std::string& name, TileSchema schema);
+  Status PutArray(const std::string& name, TileDbArray array);
+  Result<TileDbArray> GetArray(const std::string& name) const;
+  /// Mutating access under the catalog lock.
+  Status WithArray(const std::string& name,
+                   const std::function<Status(TileDbArray*)>& fn);
+  bool HasArray(const std::string& name) const;
+  std::vector<std::string> ListArrays() const;
+  Status RemoveArray(const std::string& name);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, TileDbArray> arrays_;
+};
+
+}  // namespace bigdawg::tiledb
+
+#endif  // BIGDAWG_TILEDB_TILEDB_H_

@@ -1,0 +1,70 @@
+#include "tupleware/tupleware.h"
+
+#include "common/macros.h"
+
+namespace bigdawg::tupleware {
+
+Result<std::vector<Value>> InterpretedMap::Execute(const std::vector<Value>& input) {
+  std::vector<Value> out;
+  out.reserve(input.size());
+  for (const Value& v : input) out.push_back(fn_(v));
+  return out;
+}
+
+Result<std::vector<Value>> InterpretedFilter::Execute(
+    const std::vector<Value>& input) {
+  std::vector<Value> out;
+  for (const Value& v : input) {
+    if (pred_(v)) out.push_back(v);
+  }
+  return out;
+}
+
+InterpretedJob& InterpretedJob::Map(std::function<Value(const Value&)> fn) {
+  ops_.push_back(std::make_shared<InterpretedMap>(std::move(fn)));
+  return *this;
+}
+
+InterpretedJob& InterpretedJob::Filter(std::function<bool(const Value&)> pred) {
+  ops_.push_back(std::make_shared<InterpretedFilter>(std::move(pred)));
+  return *this;
+}
+
+Result<std::vector<Value>> InterpretedJob::Collect(
+    const std::vector<Value>& input) const {
+  std::vector<Value> current = input;
+  for (const auto& op : ops_) {
+    BIGDAWG_ASSIGN_OR_RETURN(current, op->Execute(current));
+  }
+  return current;
+}
+
+Result<double> InterpretedJob::Reduce(
+    const std::vector<Value>& input, double init,
+    const std::function<double(double, const Value&)>& reduce) const {
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<Value> current, Collect(input));
+  double acc = init;
+  for (const Value& v : current) acc = reduce(acc, v);
+  return acc;
+}
+
+bool ShouldCompile(const UdfStats& stats, size_t input_size, double threshold) {
+  // Model: interpretation adds ~kInterpOverheadCycles per record per stage;
+  // compiled execution adds ~0. The advantage ratio shrinks as the UDF's
+  // own cost grows.
+  constexpr double kInterpOverheadCycles = 60.0;
+  if (input_size == 0) return false;
+  double interpreted = stats.predicted_cycles_per_record + kInterpOverheadCycles;
+  double compiled = stats.predicted_cycles_per_record;
+  if (compiled <= 0) return true;
+  return interpreted / compiled >= threshold;
+}
+
+std::vector<Value> BoxDoubles(const std::vector<double>& input) {
+  std::vector<Value> out;
+  out.reserve(input.size());
+  for (double v : input) out.emplace_back(v);
+  return out;
+}
+
+}  // namespace bigdawg::tupleware

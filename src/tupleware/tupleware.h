@@ -1,0 +1,135 @@
+#ifndef BIGDAWG_TUPLEWARE_TUPLEWARE_H_
+#define BIGDAWG_TUPLEWARE_TUPLEWARE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace bigdawg::tupleware {
+
+/// \brief UDF statistics Tupleware feeds its optimizer (predicted cost per
+/// record and selectivity). In this reproduction they drive executor
+/// choice and are reported by benchmarks.
+struct UdfStats {
+  double predicted_cycles_per_record = 1.0;
+  double selectivity = 1.0;  // for filters: fraction of records kept
+};
+
+// ---------------------------------------------------------------------------
+// Interpreted execution (the "standard Hadoop codeline" stand-in).
+//
+// Each operator is a virtual object processing boxed Values one record at a
+// time and materializing its full output before the next stage runs —
+// exactly the per-record interpretation + materialization overhead that
+// Tupleware's compilation removes.
+// ---------------------------------------------------------------------------
+
+/// \brief A dynamically-dispatched dataflow operator over boxed records.
+class InterpretedOp {
+ public:
+  virtual ~InterpretedOp() = default;
+  /// Materializes the full output for `input`.
+  virtual Result<std::vector<Value>> Execute(const std::vector<Value>& input) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// \brief map(f): one boxed output per boxed input.
+class InterpretedMap final : public InterpretedOp {
+ public:
+  explicit InterpretedMap(std::function<Value(const Value&)> fn)
+      : fn_(std::move(fn)) {}
+  Result<std::vector<Value>> Execute(const std::vector<Value>& input) override;
+  std::string name() const override { return "map"; }
+
+ private:
+  std::function<Value(const Value&)> fn_;
+};
+
+/// \brief filter(p): keeps records satisfying the predicate.
+class InterpretedFilter final : public InterpretedOp {
+ public:
+  explicit InterpretedFilter(std::function<bool(const Value&)> pred)
+      : pred_(std::move(pred)) {}
+  Result<std::vector<Value>> Execute(const std::vector<Value>& input) override;
+  std::string name() const override { return "filter"; }
+
+ private:
+  std::function<bool(const Value&)> pred_;
+};
+
+/// \brief A map-reduce style job executed operator-by-operator with
+/// materialization between stages.
+class InterpretedJob {
+ public:
+  InterpretedJob& Map(std::function<Value(const Value&)> fn);
+  InterpretedJob& Filter(std::function<bool(const Value&)> pred);
+
+  /// Runs the operator chain, then folds with `reduce` from `init`.
+  Result<double> Reduce(const std::vector<Value>& input, double init,
+                        const std::function<double(double, const Value&)>& reduce) const;
+
+  /// Runs the operator chain and returns the materialized records.
+  Result<std::vector<Value>> Collect(const std::vector<Value>& input) const;
+
+  size_t num_stages() const { return ops_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<InterpretedOp>> ops_;
+};
+
+// ---------------------------------------------------------------------------
+// Compiled execution.
+//
+// The pipeline is assembled from template parameters, so the compiler
+// inlines every UDF into a single fused loop over unboxed doubles: no
+// virtual dispatch, no Value boxing, no intermediate materialization. This
+// is the mechanism behind the paper's ~two-orders-of-magnitude claim.
+// ---------------------------------------------------------------------------
+
+/// \brief Fused map -> filter -> reduce over a dense double vector.
+///
+/// `map_fn(double)->double`, `filter_fn(double)->bool`, and
+/// `reduce_fn(double acc, double v)->double` must be inlineable callables
+/// (lambdas / function objects, not std::function).
+template <typename MapFn, typename FilterFn, typename ReduceFn>
+double CompiledMapFilterReduce(const std::vector<double>& input, MapFn map_fn,
+                               FilterFn filter_fn, double init,
+                               ReduceFn reduce_fn) {
+  double acc = init;
+  for (double v : input) {
+    double mapped = map_fn(v);
+    if (filter_fn(mapped)) acc = reduce_fn(acc, mapped);
+  }
+  return acc;
+}
+
+/// \brief Fused map -> filter producing a dense output vector.
+template <typename MapFn, typename FilterFn>
+std::vector<double> CompiledMapFilter(const std::vector<double>& input,
+                                      MapFn map_fn, FilterFn filter_fn) {
+  std::vector<double> out;
+  out.reserve(input.size());
+  for (double v : input) {
+    double mapped = map_fn(v);
+    if (filter_fn(mapped)) out.push_back(mapped);
+  }
+  return out;
+}
+
+/// \brief Chooses between executors given UDF statistics: cheap UDFs on
+/// large inputs are compilation-bound wins; expensive UDFs amortize
+/// interpretation overhead (diminishing advantage). Returns true when the
+/// compiled path is predicted to win by at least `threshold`x.
+bool ShouldCompile(const UdfStats& stats, size_t input_size, double threshold = 2.0);
+
+/// \brief Boxes a double vector into Values (to feed the interpreted path
+/// with identical data).
+std::vector<Value> BoxDoubles(const std::vector<double>& input);
+
+}  // namespace bigdawg::tupleware
+
+#endif  // BIGDAWG_TUPLEWARE_TUPLEWARE_H_

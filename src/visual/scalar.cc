@@ -1,0 +1,258 @@
+#include "visual/scalar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace bigdawg::visual {
+
+std::string TileKey::ToString() const {
+  return std::to_string(zoom) + "/" + std::to_string(x) + "/" + std::to_string(y);
+}
+
+const char* MoveToString(Move move) {
+  switch (move) {
+    case Move::kPanLeft:
+      return "pan_left";
+    case Move::kPanRight:
+      return "pan_right";
+    case Move::kPanUp:
+      return "pan_up";
+    case Move::kPanDown:
+      return "pan_down";
+    case Move::kZoomIn:
+      return "zoom_in";
+    case Move::kZoomOut:
+      return "zoom_out";
+  }
+  return "?";
+}
+
+Result<TilePyramid> TilePyramid::Build(std::vector<std::pair<double, double>> points,
+                                       double extent, int max_zoom,
+                                       int tile_resolution) {
+  if (extent <= 0) return Status::InvalidArgument("extent must be > 0");
+  if (max_zoom < 0 || max_zoom > 20) {
+    return Status::InvalidArgument("max_zoom must be in [0, 20]");
+  }
+  if (tile_resolution <= 0) {
+    return Status::InvalidArgument("tile_resolution must be > 0");
+  }
+  for (const auto& [x, y] : points) {
+    if (x < 0 || x >= extent || y < 0 || y >= extent) {
+      return Status::OutOfRange("point outside domain");
+    }
+  }
+  TilePyramid p;
+  p.points_ = std::move(points);
+  p.extent_ = extent;
+  p.max_zoom_ = max_zoom;
+  p.resolution_ = tile_resolution;
+  return p;
+}
+
+Result<Tile> TilePyramid::ComputeTile(const TileKey& key) const {
+  if (key.zoom < 0 || key.zoom > max_zoom_) {
+    return Status::OutOfRange("zoom outside pyramid");
+  }
+  const int64_t tiles_per_side = int64_t{1} << key.zoom;
+  if (key.x < 0 || key.x >= tiles_per_side || key.y < 0 || key.y >= tiles_per_side) {
+    return Status::OutOfRange("tile outside grid at zoom " +
+                              std::to_string(key.zoom));
+  }
+  ++compute_count_;
+  Tile tile;
+  tile.key = key;
+  tile.resolution = resolution_;
+  tile.counts.assign(static_cast<size_t>(resolution_) * resolution_, 0.0);
+
+  const double tile_extent = extent_ / static_cast<double>(tiles_per_side);
+  const double x0 = static_cast<double>(key.x) * tile_extent;
+  const double y0 = static_cast<double>(key.y) * tile_extent;
+  const double bin = tile_extent / static_cast<double>(resolution_);
+  for (const auto& [px, py] : points_) {
+    if (px < x0 || px >= x0 + tile_extent || py < y0 || py >= y0 + tile_extent) {
+      continue;
+    }
+    int bx = std::min(resolution_ - 1, static_cast<int>((px - x0) / bin));
+    int by = std::min(resolution_ - 1, static_cast<int>((py - y0) / bin));
+    tile.counts[static_cast<size_t>(by) * resolution_ + bx] += 1.0;
+    tile.total += 1.0;
+  }
+  return tile;
+}
+
+void MovePredictor::Record(Move move) {
+  if (has_last_) {
+    ++transitions_[static_cast<int>(last_)][static_cast<int>(move)];
+  }
+  last_ = move;
+  has_last_ = true;
+}
+
+std::vector<Move> MovePredictor::Predict(size_t n) const {
+  std::vector<Move> out;
+  if (!has_last_ || n == 0) return out;
+  auto it = transitions_.find(static_cast<int>(last_));
+  if (it == transitions_.end() || it->second.empty()) {
+    // Momentum: expect the gesture to continue.
+    out.push_back(last_);
+    return out;
+  }
+  std::vector<std::pair<int64_t, int>> ranked;
+  for (const auto& [move, count] : it->second) ranked.emplace_back(count, move);
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (const auto& [count, move] : ranked) {
+    out.push_back(static_cast<Move>(move));
+    if (out.size() >= n) break;
+  }
+  return out;
+}
+
+BrowsingSession::BrowsingSession(const TilePyramid* pyramid, int view_tiles,
+                                 size_t cache_capacity, bool prefetch_enabled)
+    : pyramid_(pyramid),
+      view_tiles_(view_tiles),
+      cache_capacity_(cache_capacity),
+      prefetch_enabled_(prefetch_enabled) {}
+
+std::vector<TileKey> BrowsingSession::TilesForViewport(int zoom, int64_t x,
+                                                       int64_t y) const {
+  const int64_t tiles_per_side = int64_t{1} << zoom;
+  std::vector<TileKey> out;
+  for (int dy = 0; dy < view_tiles_; ++dy) {
+    for (int dx = 0; dx < view_tiles_; ++dx) {
+      int64_t tx = x + dx;
+      int64_t ty = y + dy;
+      if (tx < 0 || ty < 0 || tx >= tiles_per_side || ty >= tiles_per_side) continue;
+      out.push_back({zoom, tx, ty});
+    }
+  }
+  return out;
+}
+
+std::vector<TileKey> BrowsingSession::VisibleTiles() const {
+  return TilesForViewport(zoom_, x_, y_);
+}
+
+void BrowsingSession::ClampViewport() {
+  const int64_t tiles_per_side = int64_t{1} << zoom_;
+  x_ = std::max<int64_t>(0, std::min(x_, tiles_per_side - 1));
+  y_ = std::max<int64_t>(0, std::min(y_, tiles_per_side - 1));
+}
+
+Result<const Tile*> BrowsingSession::LoadTile(const TileKey& key, bool synchronous) {
+  // Hit-rate statistics cover user-visible (synchronous) requests only.
+  if (synchronous) ++stats_.tile_requests;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (synchronous) ++stats_.cache_hits;
+    // Refresh LRU position.
+    lru_.erase(it->second.second);
+    lru_.push_front(key);
+    it->second.second = lru_.begin();
+    return &it->second.first;
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(Tile tile, pyramid_->ComputeTile(key));
+  if (synchronous) {
+    ++stats_.sync_computes;
+  } else {
+    ++stats_.prefetch_computes;
+  }
+  lru_.push_front(key);
+  auto [inserted, ok] =
+      cache_.emplace(key, std::make_pair(std::move(tile), lru_.begin()));
+  (void)ok;
+  while (cache_.size() > cache_capacity_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return &inserted->second.first;
+}
+
+Status BrowsingSession::Apply(Move move) {
+  ++stats_.moves;
+  switch (move) {
+    case Move::kPanLeft:
+      --x_;
+      break;
+    case Move::kPanRight:
+      ++x_;
+      break;
+    case Move::kPanUp:
+      --y_;
+      break;
+    case Move::kPanDown:
+      ++y_;
+      break;
+    case Move::kZoomIn:
+      if (zoom_ < pyramid_->max_zoom()) {
+        ++zoom_;
+        x_ *= 2;
+        y_ *= 2;
+      }
+      break;
+    case Move::kZoomOut:
+      if (zoom_ > 0) {
+        --zoom_;
+        x_ /= 2;
+        y_ /= 2;
+      }
+      break;
+  }
+  ClampViewport();
+
+  // Load every visible tile, blocking on misses.
+  for (const TileKey& key : VisibleTiles()) {
+    BIGDAWG_RETURN_NOT_OK(LoadTile(key, /*synchronous=*/true).status());
+  }
+
+  predictor_.Record(move);
+  if (prefetch_enabled_) Prefetch();
+  return Status::OK();
+}
+
+void BrowsingSession::Prefetch() {
+  // Simulate the top predicted gestures and warm the tiles they'd reveal.
+  for (Move predicted : predictor_.Predict(2)) {
+    int zoom = zoom_;
+    int64_t x = x_, y = y_;
+    switch (predicted) {
+      case Move::kPanLeft:
+        --x;
+        break;
+      case Move::kPanRight:
+        ++x;
+        break;
+      case Move::kPanUp:
+        --y;
+        break;
+      case Move::kPanDown:
+        ++y;
+        break;
+      case Move::kZoomIn:
+        if (zoom < pyramid_->max_zoom()) {
+          ++zoom;
+          x *= 2;
+          y *= 2;
+        }
+        break;
+      case Move::kZoomOut:
+        if (zoom > 0) {
+          --zoom;
+          x /= 2;
+          y /= 2;
+        }
+        break;
+    }
+    const int64_t tiles_per_side = int64_t{1} << zoom;
+    x = std::max<int64_t>(0, std::min(x, tiles_per_side - 1));
+    y = std::max<int64_t>(0, std::min(y, tiles_per_side - 1));
+    for (const TileKey& key : TilesForViewport(zoom, x, y)) {
+      (void)LoadTile(key, /*synchronous=*/false);
+    }
+  }
+}
+
+}  // namespace bigdawg::visual

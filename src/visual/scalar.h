@@ -1,0 +1,149 @@
+#ifndef BIGDAWG_VISUAL_SCALAR_H_
+#define BIGDAWG_VISUAL_SCALAR_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::visual {
+
+/// \brief Identifies one aggregation tile: zoom level and tile grid
+/// coordinates. At zoom z the data domain is a 2^z x 2^z grid of tiles.
+struct TileKey {
+  int zoom = 0;
+  int64_t x = 0;
+  int64_t y = 0;
+
+  bool operator<(const TileKey& other) const {
+    if (zoom != other.zoom) return zoom < other.zoom;
+    if (x != other.x) return x < other.x;
+    return y < other.y;
+  }
+  bool operator==(const TileKey& other) const {
+    return zoom == other.zoom && x == other.x && y == other.y;
+  }
+  std::string ToString() const;
+};
+
+/// \brief One reduced-resolution tile: a res x res grid of point counts.
+struct Tile {
+  TileKey key;
+  int resolution = 0;
+  std::vector<double> counts;  // res * res, row-major
+  double total = 0;
+};
+
+/// \brief ScalaR's "detail on demand" reduction layer: multi-resolution
+/// aggregation tiles computed on demand from the raw point set. Computing
+/// a tile scans the points (deliberately the expensive step the browser
+/// must hide behind caching and prefetching).
+class TilePyramid {
+ public:
+  /// Points live in [0, extent) x [0, extent); max_zoom levels 0..max_zoom.
+  static Result<TilePyramid> Build(std::vector<std::pair<double, double>> points,
+                                   double extent, int max_zoom,
+                                   int tile_resolution);
+
+  int max_zoom() const { return max_zoom_; }
+  int tile_resolution() const { return resolution_; }
+  size_t num_points() const { return points_.size(); }
+
+  /// Computes one tile (a full point scan; no caching here).
+  Result<Tile> ComputeTile(const TileKey& key) const;
+
+  /// Number of ComputeTile calls served (the latency proxy for benches).
+  int64_t compute_count() const { return compute_count_; }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  double extent_ = 0;
+  int max_zoom_ = 0;
+  int resolution_ = 0;
+  mutable int64_t compute_count_ = 0;
+};
+
+/// \brief User gestures in the pan/zoom browser.
+enum class Move : int { kPanLeft, kPanRight, kPanUp, kPanDown, kZoomIn, kZoomOut };
+
+const char* MoveToString(Move move);
+
+/// \brief First-order Markov predictor over user moves: learns
+/// P(next | previous) online and predicts the most likely continuations.
+/// With no history it predicts momentum (the move repeats).
+class MovePredictor {
+ public:
+  void Record(Move move);
+  /// Up to `n` most likely next moves, most probable first.
+  std::vector<Move> Predict(size_t n) const;
+
+ private:
+  std::map<int, std::map<int, int64_t>> transitions_;
+  bool has_last_ = false;
+  Move last_ = Move::kPanLeft;
+};
+
+/// \brief Session statistics (experiment C8).
+struct BrowseStats {
+  int64_t moves = 0;
+  int64_t tile_requests = 0;
+  int64_t cache_hits = 0;
+  int64_t sync_computes = 0;      // blocking tile computations (user-visible)
+  int64_t prefetch_computes = 0;  // background computations
+  double HitRate() const {
+    return tile_requests == 0
+               ? 0
+               : static_cast<double>(cache_hits) / static_cast<double>(tile_requests);
+  }
+};
+
+/// \brief The interactive pan/zoom session over a TilePyramid: an LRU tile
+/// cache plus optional predictive prefetching of the tiles the next
+/// gesture would reveal.
+class BrowsingSession {
+ public:
+  /// Viewport is `view_tiles` x `view_tiles` at the current zoom.
+  BrowsingSession(const TilePyramid* pyramid, int view_tiles,
+                  size_t cache_capacity, bool prefetch_enabled);
+
+  /// Applies a gesture: moves the viewport, loads every visible tile
+  /// (cache hit or synchronous compute), then prefetches predicted tiles.
+  Status Apply(Move move);
+
+  const BrowseStats& stats() const { return stats_; }
+  int zoom() const { return zoom_; }
+  int64_t view_x() const { return x_; }
+  int64_t view_y() const { return y_; }
+
+  /// The currently visible tiles' keys.
+  std::vector<TileKey> VisibleTiles() const;
+
+ private:
+  Result<const Tile*> LoadTile(const TileKey& key, bool synchronous);
+  void Prefetch();
+  std::vector<TileKey> TilesForViewport(int zoom, int64_t x, int64_t y) const;
+  void ClampViewport();
+
+  const TilePyramid* pyramid_;
+  int view_tiles_;
+  size_t cache_capacity_;
+  bool prefetch_enabled_;
+
+  int zoom_ = 0;
+  int64_t x_ = 0;
+  int64_t y_ = 0;
+
+  // LRU cache.
+  std::list<TileKey> lru_;
+  std::map<TileKey, std::pair<Tile, std::list<TileKey>::iterator>> cache_;
+
+  MovePredictor predictor_;
+  BrowseStats stats_;
+};
+
+}  // namespace bigdawg::visual
+
+#endif  // BIGDAWG_VISUAL_SCALAR_H_

@@ -1,0 +1,126 @@
+#include "analytics/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::analytics {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_TRUE(Fft(&data).IsInvalidArgument());
+  std::vector<std::complex<double>> empty;
+  EXPECT_TRUE(Fft(&empty).IsInvalidArgument());
+}
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  BIGDAWG_CHECK_OK(Fft(&data));
+  for (const auto& x : data) {
+    EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesInOneBin) {
+  constexpr size_t kN = 64;
+  std::vector<std::complex<double>> data(kN);
+  constexpr size_t kFreq = 5;
+  for (size_t i = 0; i < kN; ++i) {
+    data[i] = std::cos(2 * kPi * kFreq * static_cast<double>(i) / kN);
+  }
+  BIGDAWG_CHECK_OK(Fft(&data));
+  // Energy at bins kFreq and kN - kFreq.
+  EXPECT_NEAR(std::abs(data[kFreq]), kN / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[kN - kFreq]), kN / 2.0, 1e-9);
+  for (size_t k = 0; k < kN / 2; ++k) {
+    if (k != kFreq) {
+      EXPECT_LT(std::abs(data[k]), 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> original(32);
+  for (size_t i = 0; i < original.size(); ++i) {
+    original[i] = {std::sin(static_cast<double>(i) * 0.7),
+                   std::cos(static_cast<double>(i) * 0.3)};
+  }
+  std::vector<std::complex<double>> data = original;
+  BIGDAWG_CHECK_OK(Fft(&data));
+  BIGDAWG_CHECK_OK(InverseFft(&data));
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  std::vector<std::complex<double>> data(128);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<double>(i)) * 0.5 +
+              std::cos(static_cast<double>(i) * 2.0);
+  }
+  double time_energy = 0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  BIGDAWG_CHECK_OK(Fft(&data));
+  double freq_energy = 0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy, 1e-6);
+}
+
+TEST(FftTest, PowerSpectrumPadsArbitraryLengths) {
+  std::vector<double> signal(100, 0.0);
+  for (size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = std::sin(2 * kPi * 10 * static_cast<double>(i) / 100.0);
+  }
+  auto spectrum = *PowerSpectrum(signal);
+  EXPECT_EQ(spectrum.size(), 64u);  // padded to 128, half retained
+  EXPECT_TRUE(PowerSpectrum({}).status().IsInvalidArgument());
+}
+
+TEST(FftTest, DominantFrequencyTracksTone) {
+  constexpr size_t kN = 256;
+  for (size_t freq : {3u, 12u, 40u}) {
+    std::vector<double> signal(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      signal[i] = std::sin(2 * kPi * static_cast<double>(freq) *
+                           static_cast<double>(i) / kN);
+    }
+    EXPECT_EQ(*DominantFrequencyBin(signal), freq);
+  }
+}
+
+TEST(FftTest, DominantFrequencyDistinguishesRhythms) {
+  // The ICU use case: a "normal" vs "tachycardic" waveform differ in
+  // dominant bin.
+  constexpr size_t kN = 512;
+  auto make_wave = [](double beats) {
+    std::vector<double> w(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      w[i] = std::sin(2 * kPi * beats * static_cast<double>(i) / kN) +
+             0.1 * std::sin(2 * kPi * 3 * beats * static_cast<double>(i) / kN);
+    }
+    return w;
+  };
+  size_t normal = *DominantFrequencyBin(make_wave(8));
+  size_t fast = *DominantFrequencyBin(make_wave(20));
+  EXPECT_EQ(normal, 8u);
+  EXPECT_EQ(fast, 20u);
+  EXPECT_NE(normal, fast);
+}
+
+}  // namespace
+}  // namespace bigdawg::analytics

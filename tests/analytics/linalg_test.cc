@@ -1,0 +1,89 @@
+#include "analytics/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg::analytics {
+namespace {
+
+TEST(LinalgTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(*Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_TRUE(Dot({1}, {1, 2}).status().IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({}), 0.0);
+}
+
+TEST(LinalgTest, MatVec) {
+  Mat m = {{1, 2}, {3, 4}, {5, 6}};
+  auto y = *MatVec(m, {1, 1});
+  EXPECT_EQ(y, (Vec{3, 7, 11}));
+  EXPECT_TRUE(MatVec(m, {1}).status().IsInvalidArgument());
+}
+
+TEST(LinalgTest, MatMulAndTranspose) {
+  Mat a = {{1, 2}, {3, 4}};
+  Mat b = {{5, 6}, {7, 8}};
+  auto c = *MatMul(a, b);
+  EXPECT_EQ(c[0], (Vec{19, 22}));
+  EXPECT_EQ(c[1], (Vec{43, 50}));
+  Mat t = Transpose(a);
+  EXPECT_EQ(t[0], (Vec{1, 3}));
+  EXPECT_EQ(t[1], (Vec{2, 4}));
+}
+
+TEST(LinalgTest, SolveWellConditionedSystem) {
+  // 2x + y = 5; x - y = 1 -> x=2, y=1.
+  auto x = *SolveLinearSystem({{2, 1}, {1, -1}}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveNeedsPivoting) {
+  // Leading zero forces a row swap.
+  auto x = *SolveLinearSystem({{0, 1}, {1, 0}}, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveSingularFails) {
+  EXPECT_TRUE(SolveLinearSystem({{1, 2}, {2, 4}}, {1, 2}).status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LinalgTest, SolveValidation) {
+  EXPECT_TRUE(SolveLinearSystem({}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(SolveLinearSystem({{1, 2}}, {1}).status().IsInvalidArgument());
+}
+
+TEST(LinalgTest, MeanVarianceCorrelation) {
+  EXPECT_DOUBLE_EQ(*Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_TRUE(Mean({}).status().IsFailedPrecondition());
+  EXPECT_DOUBLE_EQ(*Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_TRUE(Variance({1}).status().IsFailedPrecondition());
+
+  // Perfect positive/negative correlation.
+  EXPECT_NEAR(*PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(*PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_TRUE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LinalgTest, CovarianceMatrixSymmetricAndCorrect) {
+  // Two perfectly correlated columns.
+  Mat samples = {{1, 2}, {2, 4}, {3, 6}};
+  auto cov = *CovarianceMatrix(samples);
+  EXPECT_NEAR(cov[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(cov[0][1], 2.0, 1e-12);
+  EXPECT_NEAR(cov[1][0], cov[0][1], 1e-12);
+  EXPECT_NEAR(cov[1][1], 4.0, 1e-12);
+  EXPECT_TRUE(CovarianceMatrix({{1.0}}).status().IsFailedPrecondition());
+}
+
+TEST(LinalgTest, ColumnMeans) {
+  auto means = *ColumnMeans({{1, 10}, {3, 20}});
+  EXPECT_EQ(means, (Vec{2, 15}));
+  EXPECT_TRUE(ColumnMeans({}).status().IsInvalidArgument());
+  EXPECT_TRUE(ColumnMeans({{1, 2}, {1}}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bigdawg::analytics

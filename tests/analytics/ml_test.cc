@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analytics/kmeans.h"
+#include "analytics/pca.h"
+#include "analytics/regression.h"
+#include "common/rng.h"
+
+namespace bigdawg::analytics {
+namespace {
+
+TEST(RegressionTest, RecoversKnownLine) {
+  // y = 3 + 2x with no noise.
+  Vec x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 + 2.0 * static_cast<double>(i));
+  }
+  auto model = *FitSimpleRegression(x, y);
+  EXPECT_NEAR(model.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(model.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(model.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(*model.Predict({10.0}), 23.0, 1e-9);
+}
+
+TEST(RegressionTest, MultipleFeaturesWithNoise) {
+  // y = 1 + 2a - 3b + noise.
+  Rng rng(7);
+  Mat x;
+  Vec y;
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.NextDouble(-5, 5);
+    double b = rng.NextDouble(-5, 5);
+    x.push_back({a, b});
+    y.push_back(1.0 + 2.0 * a - 3.0 * b + rng.NextGaussian() * 0.1);
+  }
+  auto model = *FitLinearRegression(x, y);
+  EXPECT_NEAR(model.coefficients[0], 1.0, 0.05);
+  EXPECT_NEAR(model.coefficients[1], 2.0, 0.05);
+  EXPECT_NEAR(model.coefficients[2], -3.0, 0.05);
+  EXPECT_GT(model.r_squared, 0.99);
+}
+
+TEST(RegressionTest, Validation) {
+  EXPECT_TRUE(FitLinearRegression({}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(FitSimpleRegression({1, 2}, {1, 2}).status().IsFailedPrecondition());
+  auto model = *FitSimpleRegression({1, 2, 3, 4}, {1, 2, 3, 4});
+  EXPECT_TRUE(model.Predict({1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(PcaTest, FindsDominantDirection) {
+  // Points along (1, 1)/sqrt(2) with small orthogonal noise.
+  Rng rng(11);
+  Mat samples;
+  for (int i = 0; i < 400; ++i) {
+    double t = rng.NextGaussian() * 5.0;
+    double noise = rng.NextGaussian() * 0.1;
+    samples.push_back({t + noise, t - noise});
+  }
+  auto comps = *Pca(samples, 2);
+  ASSERT_EQ(comps.size(), 2u);
+  // First component aligned with (1,1)/sqrt(2) (either sign).
+  double alignment = std::fabs(comps[0].direction[0] + comps[0].direction[1]) /
+                     std::sqrt(2.0);
+  EXPECT_NEAR(alignment, 1.0, 1e-2);
+  EXPECT_GT(comps[0].eigenvalue, comps[1].eigenvalue * 100);
+}
+
+TEST(PcaTest, EigenvaluesMatchVarianceOfProjections) {
+  Rng rng(3);
+  Mat samples;
+  for (int i = 0; i < 300; ++i) {
+    samples.push_back({rng.NextGaussian() * 3.0, rng.NextGaussian()});
+  }
+  auto comps = *Pca(samples, 2);
+  auto scores = *ProjectOntoComponents(samples, comps);
+  Vec first_scores;
+  for (const auto& row : scores) first_scores.push_back(row[0]);
+  EXPECT_NEAR(*Variance(first_scores), comps[0].eigenvalue,
+              comps[0].eigenvalue * 0.05);
+}
+
+TEST(PcaTest, Validation) {
+  EXPECT_TRUE(Pca({{1.0}}, 1).status().IsFailedPrecondition());
+  EXPECT_TRUE(Pca({{1.0, 2.0}, {2.0, 3.0}}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(Pca({{1.0, 2.0}, {2.0, 3.0}}, 5).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(21);
+  Mat samples;
+  // Three well-separated blobs.
+  const double centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      samples.push_back({centers[c][0] + rng.NextGaussian(),
+                         centers[c][1] + rng.NextGaussian()});
+    }
+  }
+  auto result = *KMeans(samples, 3, /*seed=*/5);
+  EXPECT_EQ(result.centroids.size(), 3u);
+  // Every blob should be internally consistent.
+  for (int c = 0; c < 3; ++c) {
+    size_t first = result.assignment[static_cast<size_t>(c) * 50];
+    for (int i = 1; i < 50; ++i) {
+      EXPECT_EQ(result.assignment[static_cast<size_t>(c) * 50 + i], first);
+    }
+  }
+  // Inertia should be near 2 * n (unit variance, 2 dims).
+  EXPECT_LT(result.inertia / 150.0, 4.0);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Mat samples;
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    samples.push_back({rng.NextDouble(0, 10), rng.NextDouble(0, 10)});
+  }
+  auto a = *KMeans(samples, 4, 123);
+  auto b = *KMeans(samples, 4, 123);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, Validation) {
+  EXPECT_TRUE(KMeans({{1.0}}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(KMeans({{1.0}}, 2).status().IsFailedPrecondition());
+  EXPECT_TRUE(KMeans({{1.0}, {1.0, 2.0}}, 1).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, KEqualsNAssignsEachPointItsOwnCluster) {
+  Mat samples = {{0.0}, {10.0}, {20.0}};
+  auto result = *KMeans(samples, 3, 1);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+  std::set<size_t> distinct(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bigdawg::analytics

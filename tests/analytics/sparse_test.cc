@@ -1,0 +1,98 @@
+#include "analytics/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bigdawg::analytics {
+namespace {
+
+TEST(SparseTest, FromTripletsSumsDuplicates) {
+  auto m = *CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 5.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(*m.At(0, 0), 3.0);
+  EXPECT_EQ(*m.At(1, 1), 5.0);
+  EXPECT_EQ(*m.At(0, 1), 0.0);
+}
+
+TEST(SparseTest, CancellingDuplicatesDropOut) {
+  auto m = *CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(SparseTest, Validation) {
+  EXPECT_TRUE(CsrMatrix::FromTriplets(0, 2, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).status().IsOutOfRange());
+  auto m = *CsrMatrix::FromTriplets(2, 2, {});
+  EXPECT_TRUE(m.At(5, 0).status().IsOutOfRange());
+  EXPECT_TRUE(m.SpMV({1.0}).status().IsInvalidArgument());
+}
+
+TEST(SparseTest, SpMVMatchesDense) {
+  Rng rng(31);
+  std::vector<Triplet> triplets;
+  constexpr int64_t kN = 40;
+  for (int64_t r = 0; r < kN; ++r) {
+    for (int64_t c = 0; c < kN; ++c) {
+      if (rng.NextBool(0.1)) {
+        triplets.push_back({r, c, rng.NextDouble(-2, 2)});
+      }
+    }
+  }
+  auto sparse = *CsrMatrix::FromTriplets(kN, kN, triplets);
+  Mat dense = sparse.ToDense();
+  Vec x(kN);
+  for (auto& v : x) v = rng.NextDouble(-1, 1);
+  auto ys = *sparse.SpMV(x);
+  auto yd = *DenseMatVecBaseline(dense, x);
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(ys[static_cast<size_t>(i)], yd[static_cast<size_t>(i)], 1e-9);
+  }
+}
+
+TEST(SparseTest, SpMMMatchesDenseMultiply) {
+  auto a = *CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  auto b = *CsrMatrix::FromTriplets(3, 2, {{0, 0, 4.0}, {1, 1, 5.0}, {2, 0, 6.0}});
+  auto c = *a.SpMM(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(*c.At(0, 0), 16.0);  // 1*4 + 2*6
+  EXPECT_EQ(*c.At(1, 1), 15.0);
+  EXPECT_EQ(*c.At(0, 1), 0.0);
+  EXPECT_TRUE(a.SpMM(a).status().IsInvalidArgument());  // 3 != 2
+}
+
+TEST(SparseTest, DensityReported) {
+  auto m = *CsrMatrix::FromTriplets(10, 10, {{0, 0, 1.0}, {5, 5, 1.0}});
+  EXPECT_DOUBLE_EQ(m.density(), 0.02);
+}
+
+class SparseDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparseDensitySweep, SpMVCorrectAcrossDensities) {
+  const double density = GetParam();
+  Rng rng(77);
+  constexpr int64_t kN = 30;
+  std::vector<Triplet> triplets;
+  for (int64_t r = 0; r < kN; ++r) {
+    for (int64_t c = 0; c < kN; ++c) {
+      if (rng.NextBool(density)) triplets.push_back({r, c, 1.0});
+    }
+  }
+  auto m = *CsrMatrix::FromTriplets(kN, kN, triplets);
+  Vec ones(kN, 1.0);
+  auto y = *m.SpMV(ones);
+  // Each row's result equals its nnz count.
+  Mat dense = m.ToDense();
+  for (int64_t r = 0; r < kN; ++r) {
+    double expected = 0;
+    for (double v : dense[static_cast<size_t>(r)]) expected += v;
+    EXPECT_DOUBLE_EQ(y[static_cast<size_t>(r)], expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SparseDensitySweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace bigdawg::analytics

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "array/array_engine.h"
+#include "common/logging.h"
+
+namespace bigdawg::array {
+namespace {
+
+class AflExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(engine_.CreateArray(
+        "A", {Dimension("i", 0, 4, 2)}, {"x", "y"}));
+    for (int64_t i = 0; i < 4; ++i) {
+      BIGDAWG_CHECK_OK(engine_.SetCell(
+          "A", {i}, {static_cast<double>(i), static_cast<double>(i * 10)}));
+    }
+  }
+  ArrayEngine engine_;
+};
+
+TEST_F(AflExtensionsTest, ApplyAddsDerivedAttribute) {
+  Array result = *engine_.Query("apply(A, z, x + y * 2)");
+  ASSERT_EQ(result.num_attrs(), 3u);
+  EXPECT_EQ(result.attrs()[2], "z");
+  EXPECT_EQ((*result.Get({3}))[2], 3.0 + 30.0 * 2);
+  // Originals preserved.
+  EXPECT_EQ((*result.Get({3}))[0], 3.0);
+}
+
+TEST_F(AflExtensionsTest, ApplyPrecedenceAndParens) {
+  Array a = *engine_.Query("apply(A, z, (x + y) * 2)");
+  EXPECT_EQ((*a.Get({1}))[2], (1.0 + 10.0) * 2);
+  Array b = *engine_.Query("apply(A, z, -x + 5)");
+  EXPECT_EQ((*b.Get({2}))[2], 3.0);
+  Array c = *engine_.Query("apply(A, z, y / 4)");
+  EXPECT_EQ((*c.Get({2}))[2], 5.0);
+}
+
+TEST_F(AflExtensionsTest, ApplyDivisionByZeroYieldsZero) {
+  Array a = *engine_.Query("apply(A, z, y / x)");  // x = 0 at i = 0
+  EXPECT_EQ((*a.Get({0}))[2], 0.0);
+  EXPECT_EQ((*a.Get({2}))[2], 10.0);
+}
+
+TEST_F(AflExtensionsTest, ApplyErrors) {
+  EXPECT_TRUE(engine_.Query("apply(A, x, y + 1)").status().IsAlreadyExists());
+  EXPECT_TRUE(engine_.Query("apply(A, z, ghost + 1)").status().IsNotFound());
+  EXPECT_TRUE(engine_.Query("apply(A, z, x +)").status().IsParseError());
+}
+
+TEST_F(AflExtensionsTest, ProjectKeepsNamedAttributes) {
+  Array result = *engine_.Query("project(A, y)");
+  ASSERT_EQ(result.num_attrs(), 1u);
+  EXPECT_EQ(result.attrs()[0], "y");
+  EXPECT_EQ((*result.Get({2}))[0], 20.0);
+  // Reordering works too.
+  Array swapped = *engine_.Query("project(A, y, x)");
+  EXPECT_EQ((*swapped.Get({2}))[0], 20.0);
+  EXPECT_EQ((*swapped.Get({2}))[1], 2.0);
+}
+
+TEST_F(AflExtensionsTest, ProjectErrors) {
+  EXPECT_TRUE(engine_.Query("project(A)").status().IsInvalidArgument());
+  EXPECT_TRUE(engine_.Query("project(A, ghost)").status().IsNotFound());
+}
+
+TEST_F(AflExtensionsTest, BetweenIsSubarrayAlias) {
+  Array between = *engine_.Query("between(A, 1, 2)");
+  Array subarray = *engine_.Query("subarray(A, 1, 2)");
+  EXPECT_EQ(between.NonEmptyCount(), subarray.NonEmptyCount());
+  EXPECT_EQ((*between.Get({1}))[0], (*subarray.Get({1}))[0]);
+}
+
+TEST_F(AflExtensionsTest, ComposedPipeline) {
+  // apply -> filter -> aggregate chained in one query.
+  Array result = *engine_.Query(
+      "aggregate(filter(apply(A, z, x + y), z >= 11), count, z)");
+  EXPECT_EQ((*result.Get({0}))[0], 3.0);  // i=1,2,3 have z=11,22,33
+}
+
+}  // namespace
+}  // namespace bigdawg::array

@@ -1,0 +1,107 @@
+#include "array/array_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::array {
+namespace {
+
+class ArrayEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(engine_.CreateArray(
+        "W", {Dimension("patient", 0, 3, 1), Dimension("t", 0, 8, 4)}, {"hr"}));
+    for (int64_t p = 0; p < 3; ++p) {
+      for (int64_t t = 0; t < 8; ++t) {
+        BIGDAWG_CHECK_OK(engine_.SetCell(
+            "W", {p, t}, {60.0 + static_cast<double>(p * 10) +
+                          static_cast<double>(t)}));
+      }
+    }
+  }
+
+  ArrayEngine engine_;
+};
+
+TEST_F(ArrayEngineTest, CatalogLifecycle) {
+  EXPECT_TRUE(engine_.HasArray("W"));
+  EXPECT_FALSE(engine_.HasArray("X"));
+  EXPECT_TRUE(engine_.CreateArray("W", {Dimension("i", 0, 1, 1)}, {"v"})
+                  .IsAlreadyExists());
+  EXPECT_EQ(engine_.ListArrays().size(), 1u);
+  BIGDAWG_CHECK_OK(engine_.RemoveArray("W"));
+  EXPECT_TRUE(engine_.RemoveArray("W").IsNotFound());
+}
+
+TEST_F(ArrayEngineTest, QueryBareName) {
+  Array a = *engine_.Query("W");
+  EXPECT_EQ(a.NonEmptyCount(), 24);
+}
+
+TEST_F(ArrayEngineTest, QuerySubarray) {
+  Array a = *engine_.Query("subarray(W, 1, 2, 2, 5)");
+  EXPECT_EQ(a.NonEmptyCount(), 8);  // patients 1-2, t 2-5
+  EXPECT_EQ((*a.Get({1, 2}))[0], 72.0);
+}
+
+TEST_F(ArrayEngineTest, QueryFilter) {
+  Array a = *engine_.Query("filter(W, hr >= 80)");
+  // p=2: 80..87 (8 cells), p=1: none >= 80? p1 values 70..77. So 8.
+  EXPECT_EQ(a.NonEmptyCount(), 8);
+}
+
+TEST_F(ArrayEngineTest, QueryAggregate) {
+  Array a = *engine_.Query("aggregate(W, avg, hr)");
+  EXPECT_EQ(a.NonEmptyCount(), 1);
+  EXPECT_DOUBLE_EQ((*a.Get({0}))[0], 73.5);
+}
+
+TEST_F(ArrayEngineTest, QueryAggregateByDimension) {
+  Array a = *engine_.Query("aggregate(W, max, hr, patient)");
+  EXPECT_EQ(a.NonEmptyCount(), 3);
+  EXPECT_DOUBLE_EQ((*a.Get({2}))[0], 87.0);
+}
+
+TEST_F(ArrayEngineTest, QueryComposition) {
+  Array a = *engine_.Query("aggregate(filter(subarray(W, 0, 0, 0, 7), hr > 62), count, hr)");
+  EXPECT_DOUBLE_EQ((*a.Get({0}))[0], 5.0);  // 63..67
+}
+
+TEST_F(ArrayEngineTest, QueryWindow) {
+  BIGDAWG_CHECK_OK(engine_.PutArray("V", *Array::FromVector({1, 2, 3, 4})));
+  Array a = *engine_.Query("window(V, avg, val, 1)");
+  auto v = *a.ToVector(0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST_F(ArrayEngineTest, QueryMatmulTranspose) {
+  BIGDAWG_CHECK_OK(engine_.PutArray("M", *Array::FromMatrix({{1, 2}, {3, 4}})));
+  Array a = *engine_.Query("matmul(M, transpose(M))");
+  auto m = *a.ToMatrix(0);
+  EXPECT_EQ(m[0][0], 5.0);   // 1+4
+  EXPECT_EQ(m[1][1], 25.0);  // 9+16
+}
+
+TEST_F(ArrayEngineTest, QueryErrors) {
+  EXPECT_TRUE(engine_.Query("nope").status().IsNotFound());
+  EXPECT_TRUE(engine_.Query("badop(W)").status().IsParseError());
+  EXPECT_TRUE(engine_.Query("filter(W, missing > 1)").status().IsNotFound());
+  EXPECT_TRUE(engine_.Query("aggregate(W, frob, hr)").status().IsInvalidArgument());
+  EXPECT_TRUE(engine_.Query("W extra").status().IsParseError());
+  EXPECT_TRUE(engine_.Query("subarray(W, 1)").status().IsParseError());
+}
+
+TEST_F(ArrayEngineTest, AppendRowForAgeOut) {
+  BIGDAWG_CHECK_OK(engine_.CreateArray(
+      "H", {Dimension("patient", 0, 10, 1), Dimension("t", 0, 100, 50)}, {"hr"}));
+  BIGDAWG_CHECK_OK(engine_.AppendRow("H", 4, {1.0, 2.0, 3.0}));
+  Array h = *engine_.GetArray("H");
+  EXPECT_EQ(h.NonEmptyCount(), 3);
+  EXPECT_EQ((*h.Get({4, 1}))[0], 2.0);
+  EXPECT_TRUE(engine_.AppendRow("H", 4, std::vector<double>(200, 0.0)).IsOutOfRange());
+  EXPECT_TRUE(engine_.AppendRow("missing", 0, {1.0}).IsNotFound());
+}
+
+}  // namespace
+}  // namespace bigdawg::array

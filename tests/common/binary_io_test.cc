@@ -1,0 +1,88 @@
+#include "common/binary_io.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+TEST(BinaryIoTest, ScalarsRoundTrip) {
+  BinaryWriter w;
+  w.PutUint8(7);
+  w.PutUint32(123456);
+  w.PutInt64(-42);
+  w.PutDouble(3.25);
+  w.PutString("polystore");
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(*r.GetUint8(), 7);
+  EXPECT_EQ(*r.GetUint32(), 123456u);
+  EXPECT_EQ(*r.GetInt64(), -42);
+  EXPECT_EQ(*r.GetDouble(), 3.25);
+  EXPECT_EQ(*r.GetString(), "polystore");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, ValuesOfEveryTypeRoundTrip) {
+  BinaryWriter w;
+  std::vector<Value> values = {Value::Null(), Value(true), Value(false),
+                               Value(int64_t{-7}), Value(1.5), Value("text")};
+  for (const Value& v : values) w.PutValue(v);
+
+  BinaryReader r(w.data());
+  for (const Value& expected : values) {
+    EXPECT_EQ(*r.GetValue(), expected);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, RowRoundTrip) {
+  BinaryWriter w;
+  Row row = {Value(1), Value("a"), Value::Null(), Value(2.5)};
+  w.PutRow(row);
+  BinaryReader r(w.data());
+  Row back = *r.GetRow();
+  ASSERT_EQ(back.size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) EXPECT_EQ(back[i], row[i]);
+}
+
+TEST(BinaryIoTest, SchemaRoundTrip) {
+  Schema schema({Field("id", DataType::kInt64), Field("note", DataType::kString),
+                 Field("score", DataType::kDouble)});
+  BinaryWriter w;
+  w.PutSchema(schema);
+  BinaryReader r(w.data());
+  EXPECT_EQ(*r.GetSchema(), schema);
+}
+
+TEST(BinaryIoTest, ReadPastEndFails) {
+  BinaryWriter w;
+  w.PutUint8(1);
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.GetUint8().ok());
+  EXPECT_TRUE(r.GetInt64().status().IsOutOfRange());
+}
+
+TEST(BinaryIoTest, TruncatedStringFails) {
+  BinaryWriter w;
+  w.PutUint32(100);  // claims 100 bytes follow, none do
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsOutOfRange());
+}
+
+TEST(BinaryIoTest, BadValueTagFails) {
+  std::string data(1, static_cast<char>(99));
+  BinaryReader r(data);
+  EXPECT_TRUE(r.GetValue().status().IsParseError());
+}
+
+TEST(BinaryIoTest, EmptyRowAndSchema) {
+  BinaryWriter w;
+  w.PutRow({});
+  w.PutSchema(Schema());
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.GetRow()->empty());
+  EXPECT_EQ(r.GetSchema()->num_fields(), 0u);
+}
+
+}  // namespace
+}  // namespace bigdawg

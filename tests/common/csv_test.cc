@@ -1,0 +1,80 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field("id", DataType::kInt64), Field("name", DataType::kString),
+                 Field("score", DataType::kDouble)});
+}
+
+TEST(CsvTest, RoundTripSimple) {
+  Schema schema = TestSchema();
+  std::vector<Row> rows = {{Value(1), Value("ann"), Value(9.5)},
+                           {Value(2), Value("bob"), Value(7.25)}};
+  std::string csv = RowsToCsv(schema, rows);
+  auto back = *CsvToRows(csv);
+  EXPECT_EQ(back.first, schema);
+  ASSERT_EQ(back.second.size(), 2u);
+  EXPECT_EQ(back.second[0][1], Value("ann"));
+  EXPECT_EQ(back.second[1][2], Value(7.25));
+}
+
+TEST(CsvTest, QuotesFieldsWithSpecialChars) {
+  Schema schema({Field("note", DataType::kString)});
+  std::vector<Row> rows = {{Value("has, comma")},
+                           {Value("has \"quote\"")},
+                           {Value("has\nnewline")}};
+  std::string csv = RowsToCsv(schema, rows);
+  auto back = *CsvToRows(csv);
+  ASSERT_EQ(back.second.size(), 3u);
+  EXPECT_EQ(back.second[0][0], Value("has, comma"));
+  EXPECT_EQ(back.second[1][0], Value("has \"quote\""));
+  EXPECT_EQ(back.second[2][0], Value("has\nnewline"));
+}
+
+TEST(CsvTest, NullsRoundTrip) {
+  Schema schema({Field("id", DataType::kInt64), Field("v", DataType::kDouble)});
+  std::vector<Row> rows = {{Value(1), Value::Null()}, {Value::Null(), Value(2.0)}};
+  auto back = *CsvToRows(RowsToCsv(schema, rows));
+  EXPECT_TRUE(back.second[0][1].is_null());
+  EXPECT_TRUE(back.second[1][0].is_null());
+  EXPECT_EQ(back.second[1][1], Value(2.0));
+}
+
+TEST(CsvTest, SplitCsvLineHandlesQuotes) {
+  auto fields = *SplitCsvLine("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_TRUE(SplitCsvLine("a,\"b").status().IsParseError());
+}
+
+TEST(CsvTest, WrongArityIsError) {
+  std::string csv = "a:int64,b:int64\n1,2\n1\n";
+  EXPECT_TRUE(CsvToRows(csv).status().IsParseError());
+}
+
+TEST(CsvTest, HeaderWithoutTypeIsError) {
+  EXPECT_TRUE(CsvToRows("plainheader\n1\n").status().IsParseError());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_TRUE(CsvToRows("").status().IsParseError());
+}
+
+TEST(CsvTest, EmptyTableRoundTrips) {
+  Schema schema = TestSchema();
+  auto back = *CsvToRows(RowsToCsv(schema, {}));
+  EXPECT_EQ(back.first, schema);
+  EXPECT_TRUE(back.second.empty());
+}
+
+}  // namespace
+}  // namespace bigdawg

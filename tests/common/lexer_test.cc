@@ -1,0 +1,75 @@
+#include "common/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = *Tokenize("name 42 4.5 'str' ( ) , <=");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].type, TokenType::kString);
+  EXPECT_EQ(tokens[4].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[7].text, "<=");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  const std::string src = "abc  def";
+  auto tokens = *Tokenize(src);
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 5u);
+  EXPECT_EQ(src.substr(tokens[1].offset, 3), "def");
+}
+
+TEST(LexerTest, ScientificNotationFloats) {
+  auto tokens = *Tokenize("1e5 2.5e-3 3E+2");
+  EXPECT_EQ(tokens[0].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[1].text, "2.5e-3");
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, EscapedQuoteInString) {
+  auto tokens = *Tokenize("'it''s'");
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, ErrorsOnBadInput) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
+  auto tokens = *Tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(TokenCursorTest, PeekConsumeExpect) {
+  TokenCursor cur(*Tokenize("SELECT x FROM t"));
+  EXPECT_TRUE(cur.Peek().IsKeyword("select"));  // case-insensitive
+  EXPECT_TRUE(cur.ConsumeKeyword("SELECT"));
+  EXPECT_FALSE(cur.ConsumeKeyword("WHERE"));
+  EXPECT_EQ(*cur.ExpectIdentifier(), "x");
+  EXPECT_TRUE(cur.ExpectSymbol("(").IsParseError());
+  EXPECT_TRUE(cur.ExpectKeyword("FROM").ok());
+  EXPECT_EQ(*cur.ExpectIdentifier(), "t");
+  EXPECT_TRUE(cur.AtEnd());
+  // Peeking past the end stays on kEnd.
+  EXPECT_EQ(cur.Peek(10).type, TokenType::kEnd);
+  EXPECT_EQ(cur.Next().type, TokenType::kEnd);
+}
+
+TEST(TokenCursorTest, LookaheadPeek) {
+  TokenCursor cur(*Tokenize("a ( b"));
+  EXPECT_EQ(cur.Peek(0).text, "a");
+  EXPECT_TRUE(cur.Peek(1).IsSymbol("("));
+  EXPECT_EQ(cur.Peek(2).text, "b");
+}
+
+}  // namespace
+}  // namespace bigdawg

@@ -1,0 +1,70 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+Schema PatientSchema() {
+  return Schema({Field("patient_id", DataType::kInt64),
+                 Field("name", DataType::kString),
+                 Field("age", DataType::kInt64),
+                 Field("weight", DataType::kDouble)});
+}
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema s = PatientSchema();
+  EXPECT_EQ(*s.IndexOf("patient_id"), 0u);
+  EXPECT_EQ(*s.IndexOf("weight"), 3u);
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+  EXPECT_TRUE(s.Contains("age"));
+  EXPECT_FALSE(s.Contains("Age"));  // case-sensitive
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema s = PatientSchema();
+  EXPECT_TRUE(s.AddField(Field("age", DataType::kDouble)).IsAlreadyExists());
+  EXPECT_TRUE(s.AddField(Field("height", DataType::kDouble)).ok());
+  EXPECT_EQ(s.num_fields(), 5u);
+}
+
+TEST(SchemaTest, ValidateRowChecksArityAndTypes) {
+  Schema s = PatientSchema();
+  Row good = {Value(1), Value("ann"), Value(30), Value(62.5)};
+  EXPECT_TRUE(s.ValidateRow(good).ok());
+
+  Row short_row = {Value(1), Value("ann")};
+  EXPECT_TRUE(s.ValidateRow(short_row).IsInvalidArgument());
+
+  Row wrong_type = {Value(1), Value("ann"), Value("thirty"), Value(62.5)};
+  EXPECT_TRUE(s.ValidateRow(wrong_type).IsTypeError());
+
+  Row with_nulls = {Value(1), Value::Null(), Value::Null(), Value::Null()};
+  EXPECT_TRUE(s.ValidateRow(with_nulls).ok());
+}
+
+TEST(SchemaTest, ConcatDisambiguatesClashes) {
+  Schema left({Field("id", DataType::kInt64), Field("v", DataType::kDouble)});
+  Schema right({Field("id", DataType::kInt64), Field("w", DataType::kDouble)});
+  Schema joined = left.Concat(right, "r");
+  ASSERT_EQ(joined.num_fields(), 4u);
+  EXPECT_EQ(joined.field(2).name, "r.id");
+  EXPECT_EQ(joined.field(3).name, "w");
+}
+
+TEST(SchemaTest, ResolveExactAndSuffix) {
+  Schema s({Field("p.id", DataType::kInt64), Field("p.age", DataType::kInt64),
+            Field("v.id", DataType::kInt64), Field("v.drug", DataType::kString)});
+  EXPECT_EQ(*s.Resolve("p.age"), 1u);
+  EXPECT_EQ(*s.Resolve("drug"), 3u);   // unique suffix
+  EXPECT_TRUE(s.Resolve("id").status().IsInvalidArgument());  // ambiguous
+  EXPECT_TRUE(s.Resolve("x.id").status().IsNotFound());
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s({Field("a", DataType::kInt64), Field("b", DataType::kString)});
+  EXPECT_EQ(s.ToString(), "a:int64, b:string");
+}
+
+}  // namespace
+}  // namespace bigdawg

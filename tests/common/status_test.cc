@@ -1,0 +1,107 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace bigdawg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "Not found: missing table");
+}
+
+TEST(StatusTest, AllFactoriesSetMatchingPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status assigned;
+  assigned = s;
+  EXPECT_EQ(assigned, s);
+  EXPECT_TRUE(s.IsInternal());  // source intact
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::IOError("disk");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk");
+}
+
+Status FailsAtDepth(int depth) {
+  if (depth == 0) return Status::OutOfRange("bottom");
+  BIGDAWG_RETURN_NOT_OK(FailsAtDepth(depth - 1));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  Status s = FailsAtDepth(4);
+  EXPECT_TRUE(s.IsOutOfRange());
+  EXPECT_EQ(s.message(), "bottom");
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOf(int v) {
+  BIGDAWG_ASSIGN_OR_RETURN(int half, HalfOf(v));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = HalfOf(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = HalfOf(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*QuarterOf(12), 3);
+  EXPECT_TRUE(QuarterOf(10).status().IsInvalidArgument());  // 5 is odd
+  EXPECT_TRUE(QuarterOf(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(42));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 42);
+}
+
+}  // namespace
+}  // namespace bigdawg

@@ -1,0 +1,57 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  the   quick\tfox \n"),
+            (std::vector<std::string>{"the", "quick", "fox"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(ToUpper("HeLLo"), "HELLO");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("bigdawg", "big"));
+  EXPECT_FALSE(StartsWith("big", "bigdawg"));
+  EXPECT_TRUE(EndsWith("waveform.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "waveform.csv"));
+}
+
+TEST(StringUtilTest, CountOccurrences) {
+  EXPECT_EQ(CountOccurrences("very sick very sick", "very sick"), 2u);
+  EXPECT_EQ(CountOccurrences("aaaa", "aa"), 2u);  // non-overlapping
+  EXPECT_EQ(CountOccurrences("abc", "z"), 0u);
+  EXPECT_EQ(CountOccurrences("abc", ""), 0u);
+}
+
+}  // namespace
+}  // namespace bigdawg

@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr int kChunks = 16;
+  constexpr int kPerChunk = 1000;
+  std::vector<int64_t> partial(kChunks, 0);
+  for (int c = 0; c < kChunks; ++c) {
+    pool.Submit([&partial, c] {
+      int64_t sum = 0;
+      for (int i = 0; i < kPerChunk; ++i) sum += c * kPerChunk + i;
+      partial[c] = sum;
+    });
+  }
+  pool.WaitIdle();
+  int64_t total = 0;
+  for (int64_t p : partial) total += p;
+  const int64_t n = kChunks * kPerChunk;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace bigdawg

@@ -1,0 +1,131 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(true).type(), DataType::kBool);
+  EXPECT_EQ(Value(int64_t{7}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(7).type(), DataType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("hi").type(), DataType::kString);
+  EXPECT_EQ(Value(std::string("hi")).type(), DataType::kString);
+}
+
+TEST(ValueTest, CheckedAccessors) {
+  EXPECT_EQ(*Value(42).AsInt64(), 42);
+  EXPECT_EQ(*Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(*Value("x").AsString(), "x");
+  EXPECT_TRUE(*Value(true).AsBool());
+  EXPECT_TRUE(Value(42).AsString().status().IsTypeError());
+  EXPECT_TRUE(Value("x").AsInt64().status().IsTypeError());
+}
+
+TEST(ValueTest, ToNumericCoercesIntAndDouble) {
+  EXPECT_DOUBLE_EQ(*Value(3).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value(3.5).ToNumeric(), 3.5);
+  EXPECT_TRUE(Value("3").ToNumeric().status().IsTypeError());
+  EXPECT_TRUE(Value::Null().ToNumeric().status().IsTypeError());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, CompareOrdersNullFirst) {
+  EXPECT_LT(Value::Null().Compare(Value(0)), 0);
+  EXPECT_GT(Value(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareStringsLexicographically) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+  EXPECT_GT(Value("z").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, CastWideningAndNarrowing) {
+  EXPECT_EQ(*Value(3).CastTo(DataType::kDouble), Value(3.0));
+  EXPECT_EQ(*Value(3.9).CastTo(DataType::kInt64), Value(3));   // truncation
+  EXPECT_EQ(*Value(-3.9).CastTo(DataType::kInt64), Value(-3));
+  EXPECT_EQ(*Value(7).CastTo(DataType::kString), Value("7"));
+  EXPECT_EQ(*Value("12").CastTo(DataType::kInt64), Value(12));
+  EXPECT_EQ(*Value("1.5").CastTo(DataType::kDouble), Value(1.5));
+  EXPECT_EQ(*Value(true).CastTo(DataType::kInt64), Value(1));
+}
+
+TEST(ValueTest, CastNullIsNullUnderEveryTarget) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kDouble,
+                     DataType::kString}) {
+    EXPECT_TRUE(Value::Null().CastTo(t)->is_null());
+  }
+}
+
+TEST(ValueTest, CastBadStringFails) {
+  EXPECT_TRUE(Value("abc").CastTo(DataType::kInt64).status().IsParseError());
+  EXPECT_TRUE(Value("abc").CastTo(DataType::kDouble).status().IsParseError());
+  EXPECT_TRUE(Value("abc").CastTo(DataType::kBool).status().IsTypeError());
+}
+
+TEST(ValueTest, ParseRoundTrips) {
+  EXPECT_EQ(*Value::Parse("42", DataType::kInt64), Value(42));
+  EXPECT_EQ(*Value::Parse("-1.5", DataType::kDouble), Value(-1.5));
+  EXPECT_EQ(*Value::Parse("true", DataType::kBool), Value(true));
+  EXPECT_EQ(*Value::Parse("hello", DataType::kString), Value("hello"));
+  EXPECT_TRUE(Value::Parse("null", DataType::kInt64)->is_null());
+  EXPECT_TRUE(Value::Parse("", DataType::kInt64)->is_null());
+  EXPECT_EQ(*Value::Parse("", DataType::kString), Value(""));
+  EXPECT_TRUE(Value::Parse("4x", DataType::kInt64).status().IsParseError());
+}
+
+TEST(ValueTest, DataTypeNamesRoundTrip) {
+  for (DataType t : {DataType::kNull, DataType::kBool, DataType::kInt64,
+                     DataType::kDouble, DataType::kString}) {
+    EXPECT_EQ(*DataTypeFromString(DataTypeToString(t)), t);
+  }
+  EXPECT_EQ(*DataTypeFromString("text"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromString("int"), DataType::kInt64);
+  EXPECT_TRUE(DataTypeFromString("blob").status().IsInvalidArgument());
+}
+
+TEST(ValueTest, RowHashIsOrderSensitive) {
+  Row a = {Value(1), Value(2)};
+  Row b = {Value(2), Value(1)};
+  EXPECT_NE(HashRow(a), HashRow(b));
+  EXPECT_EQ(HashRow(a), HashRow({Value(1), Value(2)}));
+}
+
+class ValueCompareSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(ValueCompareSweep, CompareAgreesWithIntegers) {
+  auto [a, b] = GetParam();
+  int expected = (a < b) ? -1 : (a > b ? 1 : 0);
+  EXPECT_EQ(Value(a).Compare(Value(b)), expected);
+  // Antisymmetry.
+  EXPECT_EQ(Value(b).Compare(Value(a)), -expected);
+  // Consistency with double representation.
+  EXPECT_EQ(Value(static_cast<double>(a)).Compare(Value(b)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ValueCompareSweep,
+    ::testing::Values(std::pair<int64_t, int64_t>{-5, 3},
+                      std::pair<int64_t, int64_t>{3, 3},
+                      std::pair<int64_t, int64_t>{10, -10},
+                      std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{1000000, 999999}));
+
+}  // namespace
+}  // namespace bigdawg

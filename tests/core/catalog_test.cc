@@ -1,0 +1,45 @@
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::core {
+namespace {
+
+TEST(CatalogTest, RegisterLookupRemove) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"patients", kEnginePostgres, "patients"}));
+  EXPECT_TRUE(catalog.Contains("patients"));
+  ObjectLocation loc = *catalog.Lookup("patients");
+  EXPECT_EQ(loc.engine, kEnginePostgres);
+  EXPECT_TRUE(catalog.Register({"patients", kEngineSciDb, "x"}).IsAlreadyExists());
+  BIGDAWG_CHECK_OK(catalog.Remove("patients"));
+  EXPECT_TRUE(catalog.Lookup("patients").status().IsNotFound());
+  EXPECT_TRUE(catalog.Remove("patients").IsNotFound());
+}
+
+TEST(CatalogTest, UpdateLocationModelsMigration) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"waveforms", kEnginePostgres, "wf"}));
+  BIGDAWG_CHECK_OK(catalog.UpdateLocation("waveforms", kEngineSciDb, "wf_arr"));
+  ObjectLocation loc = *catalog.Lookup("waveforms");
+  EXPECT_EQ(loc.engine, kEngineSciDb);
+  EXPECT_EQ(loc.native_name, "wf_arr");
+  EXPECT_TRUE(catalog.UpdateLocation("ghost", kEngineSciDb, "x").IsNotFound());
+}
+
+TEST(CatalogTest, ListAndListByEngine) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"a", kEnginePostgres, "a"}));
+  BIGDAWG_CHECK_OK(catalog.Register({"b", kEngineSciDb, "b"}));
+  BIGDAWG_CHECK_OK(catalog.Register({"c", kEnginePostgres, "c"}));
+  EXPECT_EQ(catalog.List().size(), 3u);
+  auto pg = catalog.ListByEngine(kEnginePostgres);
+  ASSERT_EQ(pg.size(), 2u);
+  EXPECT_EQ(pg[0].object, "a");
+  EXPECT_TRUE(catalog.ListByEngine(kEngineTileDb).empty());
+}
+
+}  // namespace
+}  // namespace bigdawg::core

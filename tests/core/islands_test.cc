@@ -1,0 +1,139 @@
+// Direct tests of each island's query language surface (error paths and
+// command parsing), complementing the end-to-end coverage in
+// bigdawg_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "core/bigdawg.h"
+
+namespace bigdawg::core {
+namespace {
+
+class IslandsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(dawg_.accumulo().AddDocument("d1", "p1", "alpha beta gamma"));
+    BIGDAWG_CHECK_OK(dawg_.accumulo().AddDocument("d2", "p2", "beta beta delta"));
+    BIGDAWG_CHECK_OK(dawg_.RegisterObject("docs", kEngineAccumulo, "docs"));
+
+    BIGDAWG_CHECK_OK(dawg_.sstore().CreateStream(
+        "s", Schema({Field("v", DataType::kDouble)}), 16));
+    BIGDAWG_CHECK_OK(dawg_.sstore().CreateWindow("w", "s", 4, 2));
+    BIGDAWG_CHECK_OK(dawg_.sstore().CreateTable(
+        "t", Schema({Field("k", DataType::kInt64), Field("v", DataType::kDouble)})));
+    BIGDAWG_CHECK_OK(dawg_.RegisterObject("s", kEngineSStore, "s"));
+  }
+  BigDawg dawg_;
+};
+
+TEST_F(IslandsTest, TextSearchCommand) {
+  auto result = *dawg_.Execute("TEXT(SEARCH beta)");
+  ASSERT_EQ(result.num_rows(), 2u);
+  // d2 has tf 2 -> ranked first.
+  EXPECT_EQ(*result.At(0, "doc_id"), Value("d2"));
+  EXPECT_EQ(*result.At(0, "score"), Value(2));
+}
+
+TEST_F(IslandsTest, TextMultiTermSearch) {
+  auto result = *dawg_.Execute("TEXT(SEARCH beta gamma)");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(*result.At(0, "owner"), Value("p1"));
+}
+
+TEST_F(IslandsTest, TextGetCommand) {
+  auto result = *dawg_.Execute("TEXT(GET d1)");
+  EXPECT_EQ(*result.At(0, "text"), Value("alpha beta gamma"));
+  EXPECT_TRUE(dawg_.Execute("TEXT(GET missing)").status().IsNotFound());
+}
+
+TEST_F(IslandsTest, TextPhraseNeedsQuotedString) {
+  EXPECT_TRUE(dawg_.Execute("TEXT(PHRASE beta)").status().IsInvalidArgument());
+  auto result = *dawg_.Execute("TEXT(PHRASE 'beta beta')");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(*result.At(0, "doc_id"), Value("d2"));
+}
+
+TEST_F(IslandsTest, TextCommandErrors) {
+  EXPECT_TRUE(dawg_.Execute("TEXT(FROBNICATE x)").status().IsInvalidArgument());
+  EXPECT_TRUE(dawg_.Execute("TEXT(SEARCH)").status().IsInvalidArgument());
+  EXPECT_TRUE(dawg_.Execute("TEXT(PHRASE 'a' trailing)").status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(IslandsTest, StreamIslandCommands) {
+  // Quiesced engine: run procedures synchronously.
+  BIGDAWG_CHECK_OK(dawg_.sstore().RegisterProcedure(
+      "feed", [](stream::ProcContext* ctx) {
+        BIGDAWG_RETURN_NOT_OK(ctx->AppendToStream("s", ctx->input()));
+        return ctx->Put("t", {Value(1), ctx->input()[0]});
+      }));
+  for (int i = 0; i < 6; ++i) {
+    BIGDAWG_CHECK_OK(
+        dawg_.sstore().ExecuteProcedure("feed", {Value(static_cast<double>(i))}));
+  }
+  auto stream_rows = *dawg_.Execute("STREAM(STREAM s)");
+  EXPECT_EQ(stream_rows.num_rows(), 6u);
+  auto window_rows = *dawg_.Execute("STREAM(WINDOW w)");
+  EXPECT_EQ(window_rows.num_rows(), 4u);
+  auto table_rows = *dawg_.Execute("STREAM(TABLE t)");
+  ASSERT_EQ(table_rows.num_rows(), 1u);
+  EXPECT_EQ(*table_rows.At(0, "v"), Value(5.0));
+  auto alerts = *dawg_.Execute("STREAM(ALERTS)");
+  EXPECT_EQ(alerts.num_rows(), 0u);
+}
+
+TEST_F(IslandsTest, StreamCommandErrors) {
+  EXPECT_TRUE(dawg_.Execute("STREAM(STREAM ghost)").status().IsNotFound());
+  EXPECT_TRUE(dawg_.Execute("STREAM(WINDOW ghost)").status().IsNotFound());
+  EXPECT_TRUE(dawg_.Execute("STREAM(TABLE ghost)").status().IsNotFound());
+  EXPECT_TRUE(dawg_.Execute("STREAM(BOGUS s)").status().IsInvalidArgument());
+  EXPECT_TRUE(dawg_.Execute("STREAM(STREAM s extra)").status().IsInvalidArgument());
+}
+
+TEST_F(IslandsTest, D4mCommandsOverTextCorpus) {
+  auto triples = *dawg_.Execute("D4M(TRIPLES docs)");
+  EXPECT_GT(triples.num_rows(), 0u);  // term x doc incidence
+  auto transposed = *dawg_.Execute("D4M(TRANSPOSE docs)");
+  EXPECT_EQ(transposed.num_rows(), triples.num_rows());
+  auto sub = *dawg_.Execute("D4M(SUBROW docs beta)");
+  EXPECT_EQ(sub.num_rows(), 2u);  // beta appears in both docs
+  // Term co-occurrence: docs x docs via terms.
+  auto product = *dawg_.Execute("D4M(MATMUL docs docs)");
+  EXPECT_GE(product.num_rows(), 0u);
+  auto summed = *dawg_.Execute("D4M(ADD docs docs)");
+  EXPECT_EQ(summed.num_rows(), triples.num_rows());
+  auto masked = *dawg_.Execute("D4M(MULTIPLY docs docs)");
+  EXPECT_EQ(masked.num_rows(), triples.num_rows());
+}
+
+TEST_F(IslandsTest, D4mCommandErrors) {
+  EXPECT_TRUE(dawg_.Execute("D4M(BOGUS docs)").status().IsInvalidArgument());
+  EXPECT_TRUE(dawg_.Execute("D4M(TRIPLES ghost)").status().IsNotFound());
+  EXPECT_TRUE(dawg_.Execute("D4M(SUBROW docs)").status().IsInvalidArgument());
+  EXPECT_TRUE(dawg_.Execute("D4M(TRIPLES docs extra)").status().IsInvalidArgument());
+}
+
+TEST_F(IslandsTest, MyriaSubsetLimits) {
+  BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
+      "nums", Schema({Field("x", DataType::kInt64)})));
+  BIGDAWG_CHECK_OK(dawg_.postgres().Insert("nums", {Value(1)}));
+  BIGDAWG_CHECK_OK(dawg_.RegisterObject("nums", kEnginePostgres, "nums"));
+  EXPECT_TRUE(dawg_.Execute("MYRIA(SELECT x FROM nums ORDER BY x)").status()
+                  .IsNotImplemented());
+  EXPECT_TRUE(dawg_.Execute("MYRIA(SELECT x FROM nums LIMIT 1)").status()
+                  .IsNotImplemented());
+  EXPECT_TRUE(dawg_.Execute("MYRIA(SELECT DISTINCT x FROM nums)").status()
+                  .IsNotImplemented());
+  EXPECT_TRUE(dawg_.Execute("MYRIA(SELECT x FROM nums n)").status()
+                  .IsNotImplemented());
+  EXPECT_TRUE(dawg_.Execute("MYRIA(INSERT INTO nums VALUES (2))").status()
+                  .IsInvalidArgument());
+  // The supported subset works.
+  auto ok = *dawg_.Execute("MYRIA(SELECT x FROM nums WHERE x > 0)");
+  EXPECT_EQ(ok.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace bigdawg::core

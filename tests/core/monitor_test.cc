@@ -1,0 +1,96 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::core {
+namespace {
+
+TEST(MonitorTest, PreferredEngineMapping) {
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("RELATIONAL"), kEnginePostgres);
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("MYRIA"), kEnginePostgres);
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("ARRAY"), kEngineSciDb);
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("SCIDB"), kEngineSciDb);
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("TEXT"), kEngineAccumulo);
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("STREAM"), kEngineSStore);
+  EXPECT_EQ(Monitor::PreferredEngineForIsland("UNKNOWN"), "");
+}
+
+TEST(MonitorTest, SuggestsMigrationWhenWorkloadShifts) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"waveforms", kEnginePostgres, "wf"}));
+  Monitor monitor;
+  // Waveforms predominantly accessed through the array island.
+  for (int i = 0; i < 10; ++i) monitor.RecordAccess("waveforms", "ARRAY", 5.0);
+  monitor.RecordAccess("waveforms", "RELATIONAL", 1.0);
+
+  auto suggestions = monitor.SuggestMigrations(catalog);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].object, "waveforms");
+  EXPECT_EQ(suggestions[0].from_engine, kEnginePostgres);
+  EXPECT_EQ(suggestions[0].to_engine, kEngineSciDb);
+  EXPECT_GT(suggestions[0].share, 0.9);
+  EXPECT_EQ(suggestions[0].accesses, 11);
+}
+
+TEST(MonitorTest, NoSuggestionWhenAlreadyHome) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"waveforms", kEngineSciDb, "wf"}));
+  Monitor monitor;
+  for (int i = 0; i < 10; ++i) monitor.RecordAccess("waveforms", "ARRAY", 5.0);
+  EXPECT_TRUE(monitor.SuggestMigrations(catalog).empty());
+}
+
+TEST(MonitorTest, ThresholdsGateNoise) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"t", kEnginePostgres, "t"}));
+  Monitor monitor;
+  // Too few accesses.
+  monitor.RecordAccess("t", "ARRAY", 1.0);
+  EXPECT_TRUE(monitor.SuggestMigrations(catalog, /*min_accesses=*/5).empty());
+  // Enough accesses but no dominant island.
+  for (int i = 0; i < 5; ++i) {
+    monitor.RecordAccess("t", "ARRAY", 1.0);
+    monitor.RecordAccess("t", "RELATIONAL", 1.0);
+  }
+  EXPECT_TRUE(monitor.SuggestMigrations(catalog, 5, 0.6).empty());
+}
+
+TEST(MonitorTest, UnknownObjectsIgnored) {
+  Catalog catalog;
+  Monitor monitor;
+  for (int i = 0; i < 10; ++i) monitor.RecordAccess("ghost", "ARRAY", 1.0);
+  EXPECT_TRUE(monitor.SuggestMigrations(catalog).empty());
+}
+
+TEST(MonitorTest, ComparativeTimingsLearnBestEngine) {
+  Monitor monitor;
+  EXPECT_TRUE(monitor.BestEngineFor("linear_algebra").status().IsNotFound());
+  for (int i = 0; i < 3; ++i) {
+    monitor.RecordComparison("linear_algebra", kEnginePostgres, 120.0);
+    monitor.RecordComparison("linear_algebra", kEngineSciDb, 4.0);
+  }
+  EXPECT_EQ(*monitor.BestEngineFor("linear_algebra"), kEngineSciDb);
+  auto timings = monitor.TimingsFor("linear_algebra");
+  ASSERT_EQ(timings.size(), 2u);
+  EXPECT_EQ(timings[0].engine, kEngineSciDb);
+  EXPECT_DOUBLE_EQ(timings[0].mean_ms, 4.0);
+  EXPECT_EQ(timings[1].samples, 3);
+}
+
+TEST(MonitorTest, ResetClearsAccessHistoryOnly) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"t", kEnginePostgres, "t"}));
+  Monitor monitor;
+  for (int i = 0; i < 10; ++i) monitor.RecordAccess("t", "ARRAY", 1.0);
+  monitor.RecordComparison("wc", kEngineSciDb, 1.0);
+  EXPECT_EQ(monitor.AccessCount("t"), 10);
+  monitor.ResetAccessHistory();
+  EXPECT_EQ(monitor.AccessCount("t"), 0);
+  EXPECT_TRUE(monitor.SuggestMigrations(catalog).empty());
+  EXPECT_TRUE(monitor.BestEngineFor("wc").ok());  // comparisons retained
+}
+
+}  // namespace
+}  // namespace bigdawg::core

@@ -1,0 +1,128 @@
+#include "core/prober.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::core {
+namespace {
+
+class ProberTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // "readings": int64 t dimension + double v attribute, registered on
+    // the relational engine (shimmed to the array island on demand).
+    BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
+        "readings", Schema({Field("t", DataType::kInt64),
+                            Field("v", DataType::kDouble)})));
+    for (int64_t i = 0; i < 50; ++i) {
+      BIGDAWG_CHECK_OK(dawg_.postgres().Insert(
+          "readings", {Value(i), Value(static_cast<double>(i))}));
+    }
+    BIGDAWG_CHECK_OK(dawg_.RegisterObject("readings", kEnginePostgres, "readings"));
+  }
+  BigDawg dawg_;
+};
+
+TEST(ResultsEquivalentTest, IgnoresColumnNamesAndRowOrder) {
+  relational::Table a{Schema({Field("n", DataType::kInt64)})};
+  a.AppendUnchecked({Value(2)});
+  a.AppendUnchecked({Value(1)});
+  relational::Table b{Schema({Field("count_v", DataType::kDouble)})};
+  b.AppendUnchecked({Value(1.0)});
+  b.AppendUnchecked({Value(2.0)});
+  EXPECT_TRUE(SemanticsProber::ResultsEquivalent(a, b));
+}
+
+TEST(ResultsEquivalentTest, DetectsDifferences) {
+  relational::Table a{Schema({Field("n", DataType::kInt64)})};
+  a.AppendUnchecked({Value(1)});
+  relational::Table b{Schema({Field("n", DataType::kInt64)})};
+  b.AppendUnchecked({Value(2)});
+  EXPECT_FALSE(SemanticsProber::ResultsEquivalent(a, b));
+
+  relational::Table wider{
+      Schema({Field("n", DataType::kInt64), Field("m", DataType::kInt64)})};
+  EXPECT_FALSE(SemanticsProber::ResultsEquivalent(a, wider));
+
+  relational::Table fewer{Schema({Field("n", DataType::kInt64)})};
+  EXPECT_FALSE(SemanticsProber::ResultsEquivalent(a, fewer));  // 1 vs 0 rows
+}
+
+TEST(ResultsEquivalentTest, NumericTolerance) {
+  relational::Table a{Schema({Field("x", DataType::kDouble)})};
+  a.AppendUnchecked({Value(1.0)});
+  relational::Table b{Schema({Field("x", DataType::kDouble)})};
+  b.AppendUnchecked({Value(1.0 + 1e-12)});
+  EXPECT_TRUE(SemanticsProber::ResultsEquivalent(a, b));
+  relational::Table c{Schema({Field("x", DataType::kDouble)})};
+  c.AppendUnchecked({Value(1.1)});
+  EXPECT_FALSE(SemanticsProber::ResultsEquivalent(a, c));
+}
+
+TEST_F(ProberTest, StandardProbesFindCommonSubIsland) {
+  SemanticsProber prober(&dawg_);
+  auto outcomes = prober.ProbeAll(StandardProbes("readings", "v", 25.0));
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const ProbeOutcome& outcome : outcomes) {
+    EXPECT_TRUE(outcome.common_semantics) << outcome.name;
+    // RELATIONAL, ARRAY, and MYRIA all agree on these query classes.
+    EXPECT_EQ(outcome.agreeing.size(), 3u) << outcome.name;
+    EXPECT_TRUE(outcome.failed.empty()) << outcome.name;
+    EXPECT_TRUE(outcome.disagreeing.empty()) << outcome.name;
+  }
+}
+
+TEST_F(ProberTest, FailingIslandReported) {
+  SemanticsProber prober(&dawg_);
+  ProbeCase probe{"bad-variant",
+                  {{"RELATIONAL", "SELECT COUNT(*) AS n FROM readings"},
+                   {"ARRAY", "aggregate(ghost, count, v)"},
+                   {"MYRIA", "SELECT COUNT(*) AS n FROM readings"}}};
+  ProbeOutcome outcome = *prober.Probe(probe);
+  ASSERT_EQ(outcome.failed.size(), 1u);
+  EXPECT_EQ(outcome.failed[0], "ARRAY");
+  EXPECT_TRUE(outcome.common_semantics);  // the two SQL islands still agree
+  EXPECT_EQ(outcome.agreeing.size(), 2u);
+}
+
+TEST_F(ProberTest, DisagreementDetected) {
+  SemanticsProber prober(&dawg_);
+  // The ARRAY variant answers a genuinely different question.
+  ProbeCase probe{"mismatched",
+                  {{"RELATIONAL", "SELECT COUNT(*) AS n FROM readings"},
+                   {"ARRAY", "aggregate(readings, max, v)"}}};
+  ProbeOutcome outcome = *prober.Probe(probe);
+  EXPECT_FALSE(outcome.common_semantics);
+  EXPECT_EQ(outcome.agreeing.size() + outcome.disagreeing.size(), 2u);
+}
+
+TEST_F(ProberTest, ProbeNeedsTwoVariants) {
+  SemanticsProber prober(&dawg_);
+  ProbeCase probe{"solo", {{"RELATIONAL", "SELECT COUNT(*) AS n FROM readings"}}};
+  EXPECT_TRUE(prober.Probe(probe).status().IsInvalidArgument());
+}
+
+TEST_F(ProberTest, ExecuteAutoSelectsAnAgreeingIslandAndAnswers) {
+  SemanticsProber prober(&dawg_);
+  ProbeCase probe = StandardProbes("readings", "v", 25.0)[1];  // filtered count
+  auto result = *prober.ExecuteAuto(probe);
+  ASSERT_EQ(result.num_rows(), 1u);
+  // 24 values strictly above 25 (26..49).
+  EXPECT_DOUBLE_EQ(*result.rows()[0][0].ToNumeric(), 24.0);
+  // A second call uses the learned timing (no error path).
+  auto again = *prober.ExecuteAuto(probe);
+  EXPECT_DOUBLE_EQ(*again.rows()[0][0].ToNumeric(), 24.0);
+  EXPECT_TRUE(dawg_.monitor().BestEngineFor(probe.name).ok());
+}
+
+TEST_F(ProberTest, ExecuteAutoFailsWithoutCommonSemantics) {
+  SemanticsProber prober(&dawg_);
+  ProbeCase probe{"mismatched-auto",
+                  {{"RELATIONAL", "SELECT COUNT(*) AS n FROM readings"},
+                   {"ARRAY", "aggregate(readings, max, v)"}}};
+  EXPECT_TRUE(prober.ExecuteAuto(probe).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace bigdawg::core

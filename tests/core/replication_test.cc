@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/bigdawg.h"
+
+namespace bigdawg::core {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
+        "readings", Schema({Field("t", DataType::kInt64),
+                            Field("v", DataType::kDouble)})));
+    for (int64_t i = 0; i < 20; ++i) {
+      BIGDAWG_CHECK_OK(dawg_.postgres().Insert(
+          "readings", {Value(i), Value(static_cast<double>(i) * 0.5)}));
+    }
+    BIGDAWG_CHECK_OK(dawg_.RegisterObject("readings", kEnginePostgres, "readings"));
+  }
+  BigDawg dawg_;
+};
+
+TEST_F(ReplicationTest, CatalogReplicaLifecycle) {
+  Catalog& cat = dawg_.catalog();
+  EXPECT_TRUE(cat.Replicas("readings").empty());
+  BIGDAWG_CHECK_OK(cat.AddReplica("readings", kEngineSciDb, "r1"));
+  EXPECT_TRUE(cat.AddReplica("readings", kEngineSciDb, "r2").IsAlreadyExists());
+  EXPECT_TRUE(cat.AddReplica("readings", kEnginePostgres, "x").IsInvalidArgument());
+  EXPECT_TRUE(cat.AddReplica("ghost", kEngineSciDb, "x").IsNotFound());
+  ASSERT_EQ(cat.Replicas("readings").size(), 1u);
+  EXPECT_EQ((*cat.ReplicaOn("readings", kEngineSciDb)).native_name, "r1");
+  BIGDAWG_CHECK_OK(cat.RemoveReplica("readings", kEngineSciDb));
+  EXPECT_TRUE(cat.RemoveReplica("readings", kEngineSciDb).IsNotFound());
+}
+
+TEST_F(ReplicationTest, VersioningTracksFreshness) {
+  Catalog& cat = dawg_.catalog();
+  BIGDAWG_CHECK_OK(cat.AddReplica("readings", kEngineSciDb, "r1"));
+  EXPECT_TRUE(cat.ReplicaIsFresh("readings", kEngineSciDb));
+  BIGDAWG_CHECK_OK(cat.MarkPrimaryWritten("readings"));
+  EXPECT_FALSE(cat.ReplicaIsFresh("readings", kEngineSciDb));
+  BIGDAWG_CHECK_OK(cat.MarkReplicaFresh("readings", kEngineSciDb));
+  EXPECT_TRUE(cat.ReplicaIsFresh("readings", kEngineSciDb));
+  EXPECT_EQ(*cat.PrimaryVersion("readings"), 1);
+}
+
+TEST_F(ReplicationTest, ReplicateMaterializesOnTargetEngine) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  EXPECT_TRUE(dawg_.scidb().HasArray("readings__replica_scidb"));
+  EXPECT_TRUE(dawg_.catalog().ReplicaIsFresh("readings", kEngineSciDb));
+  // Primary is untouched.
+  EXPECT_EQ((*dawg_.catalog().Lookup("readings")).engine, kEnginePostgres);
+  EXPECT_TRUE(dawg_.ReplicateObject("readings", kEnginePostgres).IsInvalidArgument());
+}
+
+TEST_F(ReplicationTest, ArrayFetchServedFromFreshReplica) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  // Mutate the replica's bytes to a sentinel so we can tell who serves.
+  BIGDAWG_CHECK_OK(
+      dawg_.scidb().SetCell("readings__replica_scidb", {0}, {999.0}));
+  array::Array a = *dawg_.FetchAsArray("readings");
+  EXPECT_EQ((*a.Get({0}))[0], 999.0);  // came from the replica
+}
+
+TEST_F(ReplicationTest, StaleReplicaIsBypassedUntilRefreshed) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  // Write the primary: new row + version bump.
+  BIGDAWG_CHECK_OK(dawg_.postgres().Insert("readings", {Value(20), Value(10.0)}));
+  BIGDAWG_CHECK_OK(dawg_.MarkObjectWritten("readings"));
+  EXPECT_FALSE(dawg_.catalog().ReplicaIsFresh("readings", kEngineSciDb));
+
+  // Stale replica bypassed: fetch sees 21 cells via the primary shim.
+  array::Array via_primary = *dawg_.FetchAsArray("readings");
+  EXPECT_EQ(via_primary.NonEmptyCount(), 21);
+
+  // Refresh: replica becomes fresh and serves again.
+  EXPECT_EQ(*dawg_.RefreshReplicas("readings"), 1);
+  EXPECT_TRUE(dawg_.catalog().ReplicaIsFresh("readings", kEngineSciDb));
+  array::Array via_replica = *dawg_.FetchAsArray("readings");
+  EXPECT_EQ(via_replica.NonEmptyCount(), 21);
+  EXPECT_EQ(*dawg_.RefreshReplicas("readings"), 0);  // nothing stale now
+}
+
+TEST_F(ReplicationTest, ArrayIslandQueriesUseReplica) {
+  // Queries through the ARRAY island avoid the shim once replicated.
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  auto result = *dawg_.Execute("ARRAY(aggregate(readings, count, v))");
+  EXPECT_EQ(*result.At(0, "count_v"), Value(20.0));
+}
+
+TEST_F(ReplicationTest, DropReplicaRemovesBytes) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  BIGDAWG_CHECK_OK(dawg_.DropReplica("readings", kEngineSciDb));
+  EXPECT_FALSE(dawg_.scidb().HasArray("readings__replica_scidb"));
+  EXPECT_TRUE(dawg_.catalog().Replicas("readings").empty());
+  EXPECT_TRUE(dawg_.DropReplica("readings", kEngineSciDb).IsNotFound());
+}
+
+TEST_F(ReplicationTest, MigrationDropsRedundantReplica) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  BIGDAWG_CHECK_OK(dawg_.MigrateObject("readings", kEngineSciDb));
+  // The object now lives on scidb; the old replica there is gone.
+  EXPECT_EQ((*dawg_.catalog().Lookup("readings")).engine, kEngineSciDb);
+  EXPECT_TRUE(dawg_.catalog().Replicas("readings").empty());
+  EXPECT_FALSE(dawg_.scidb().HasArray("readings__replica_scidb"));
+  EXPECT_TRUE(dawg_.scidb().HasArray("readings"));
+  auto result = *dawg_.Execute("ARRAY(aggregate(readings, count, v))");
+  EXPECT_EQ(*result.At(0, "count_v"), Value(20.0));
+}
+
+}  // namespace
+}  // namespace bigdawg::core

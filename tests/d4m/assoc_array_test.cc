@@ -1,0 +1,142 @@
+#include "d4m/assoc_array.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg::d4m {
+namespace {
+
+AssocArray Graph() {
+  // Small weighted digraph: a->b (1), a->c (2), b->c (3).
+  AssocArray g;
+  g.Set("a", "b", Value(1.0));
+  g.Set("a", "c", Value(2.0));
+  g.Set("b", "c", Value(3.0));
+  return g;
+}
+
+TEST(AssocArrayTest, SetGetEraseViaNull) {
+  AssocArray a;
+  a.Set("r", "c", Value(5));
+  EXPECT_EQ(*a.Get("r", "c"), Value(5));
+  EXPECT_EQ(a.NumNonEmpty(), 1u);
+  a.Set("r", "c", Value(6));  // overwrite
+  EXPECT_EQ(a.NumNonEmpty(), 1u);
+  a.Set("r", "c", Value::Null());  // erase
+  EXPECT_EQ(a.NumNonEmpty(), 0u);
+  EXPECT_TRUE(a.Get("r", "c").status().IsNotFound());
+  a.Set("never", "там", Value::Null());  // erasing absent cell is a no-op
+  EXPECT_EQ(a.NumNonEmpty(), 0u);
+}
+
+TEST(AssocArrayTest, KeysAndTriples) {
+  AssocArray g = Graph();
+  EXPECT_EQ(g.RowKeys(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(g.ColKeys(), (std::vector<std::string>{"b", "c"}));
+  auto triples = g.ToTriples();
+  ASSERT_EQ(triples.size(), 3u);
+  EXPECT_EQ(triples[0].row, "a");
+  EXPECT_EQ(triples[0].col, "b");
+  AssocArray back = AssocArray::FromTriples(triples);
+  EXPECT_EQ(back.NumNonEmpty(), 3u);
+  EXPECT_EQ(*back.Get("b", "c"), Value(3.0));
+}
+
+TEST(AssocArrayTest, AddUnionsSupports) {
+  AssocArray g = Graph();
+  AssocArray other;
+  other.Set("a", "b", Value(10.0));  // overlaps: sums
+  other.Set("c", "a", Value(7.0));   // new
+  AssocArray sum = g.Add(other);
+  EXPECT_EQ(*sum.Get("a", "b"), Value(11.0));
+  EXPECT_EQ(*sum.Get("c", "a"), Value(7.0));
+  EXPECT_EQ(sum.NumNonEmpty(), 4u);
+}
+
+TEST(AssocArrayTest, AddNonNumericKeepsLeft) {
+  AssocArray left, right;
+  left.Set("r", "c", Value("left"));
+  right.Set("r", "c", Value("right"));
+  AssocArray sum = left.Add(right);
+  EXPECT_EQ(*sum.Get("r", "c"), Value("left"));
+}
+
+TEST(AssocArrayTest, MultiplyIntersectsSupports) {
+  AssocArray g = Graph();
+  AssocArray mask;
+  mask.Set("a", "b", Value(2.0));
+  mask.Set("z", "z", Value(9.0));
+  AssocArray product = g.Multiply(mask);
+  EXPECT_EQ(product.NumNonEmpty(), 1u);
+  EXPECT_EQ(*product.Get("a", "b"), Value(2.0));  // 1 * 2
+}
+
+TEST(AssocArrayTest, FilterValues) {
+  AssocArray g = Graph();
+  AssocArray heavy = g.FilterValues([](const Value& v) {
+    return v.ToNumeric().ok() && *v.ToNumeric() >= 2.0;
+  });
+  EXPECT_EQ(heavy.NumNonEmpty(), 2u);
+  EXPECT_FALSE(heavy.Contains("a", "b"));
+}
+
+TEST(AssocArrayTest, RowSubsetting) {
+  AssocArray a;
+  a.Set("patient|001", "age", Value(70));
+  a.Set("patient|002", "age", Value(45));
+  a.Set("note|001", "text", Value("x"));
+  EXPECT_EQ(a.SubRowPrefix("patient|").NumNonEmpty(), 2u);
+  EXPECT_EQ(a.SubRowRange("patient|001", "patient|001").NumNonEmpty(), 1u);
+  EXPECT_EQ(a.SubRowPrefix("zzz").NumNonEmpty(), 0u);
+  EXPECT_EQ(a.SubCols({"age"}).NumNonEmpty(), 2u);
+  EXPECT_EQ(a.SubCols({}).NumNonEmpty(), 0u);
+}
+
+TEST(AssocArrayTest, TransposeInvolution) {
+  AssocArray g = Graph();
+  AssocArray t = g.Transpose();
+  EXPECT_EQ(*t.Get("b", "a"), Value(1.0));
+  EXPECT_EQ(t.NumNonEmpty(), g.NumNonEmpty());
+  AssocArray tt = t.Transpose();
+  for (const Triple& triple : g.ToTriples()) {
+    EXPECT_EQ(*tt.Get(triple.row, triple.col), triple.value);
+  }
+}
+
+TEST(AssocArrayTest, MatMulComputesTwoHopPaths) {
+  AssocArray g = Graph();
+  // g^2: paths of length 2. a->b->c with weight 1*3 = 3.
+  AssocArray g2 = g.MatMul(g);
+  EXPECT_EQ(g2.NumNonEmpty(), 1u);
+  EXPECT_EQ(*g2.Get("a", "c"), Value(3.0));
+}
+
+TEST(AssocArrayTest, MatMulIgnoresNonNumeric) {
+  AssocArray a;
+  a.Set("r", "k", Value("text"));
+  AssocArray b;
+  b.Set("k", "c", Value(2.0));
+  EXPECT_EQ(a.MatMul(b).NumNonEmpty(), 0u);
+}
+
+TEST(AssocArrayTest, RowSumsAsOutDegree) {
+  AssocArray g = Graph();
+  auto sums = g.RowSums();
+  EXPECT_DOUBLE_EQ(sums["a"], 3.0);
+  EXPECT_DOUBLE_EQ(sums["b"], 3.0);
+  EXPECT_EQ(sums.count("c"), 0u);
+}
+
+TEST(AssocArrayTest, SpreadsheetLikeMixedValues) {
+  // D4M unifies spreadsheets: string and numeric cells coexist.
+  AssocArray sheet;
+  sheet.Set("patient|001", "name", Value("ann"));
+  sheet.Set("patient|001", "age", Value(70));
+  sheet.Set("patient|001", "weight", Value(62.5));
+  EXPECT_EQ(sheet.NumNonEmpty(), 3u);
+  EXPECT_EQ(*sheet.Get("patient|001", "name"), Value("ann"));
+  auto numeric = sheet.FilterValues([](const Value& v) { return v.ToNumeric().ok(); });
+  EXPECT_EQ(numeric.NumNonEmpty(), 2u);
+}
+
+}  // namespace
+}  // namespace bigdawg::d4m

@@ -1,0 +1,194 @@
+// End-to-end walkthrough of the paper's five demo interfaces (§1.1) as a
+// single integration test over one polystore instance: Browsing,
+// Exploratory Analysis, Complex Analytics, Text Analysis, and Real-Time
+// Monitoring, plus the §3 partitioning and age-out flow.
+
+#include <gtest/gtest.h>
+
+#include "analytics/fft.h"
+#include "analytics/regression.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "core/bigdawg.h"
+#include "core/prober.h"
+#include "mimic/mimic.h"
+#include "relational/sql_parser.h"
+#include "searchlight/searchlight.h"
+#include "seedb/seedb.h"
+#include "visual/scalar.h"
+
+namespace bigdawg {
+namespace {
+
+class DemoWalkthroughTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dawg_ = new core::BigDawg();
+    mimic::MimicConfig config;
+    config.num_patients = 300;
+    config.waveform_seconds = 2;
+    config.waveform_hz = 64;
+    config.seed = 4242;
+    data_ = new mimic::MimicData(*mimic::Generate(config));
+    BIGDAWG_CHECK_OK(mimic::LoadIntoBigDawg(*data_, dawg_));
+  }
+
+  static void TearDownTestSuite() {
+    delete data_;
+    delete dawg_;
+    data_ = nullptr;
+    dawg_ = nullptr;
+  }
+
+  static core::BigDawg* dawg_;
+  static mimic::MimicData* data_;
+};
+
+core::BigDawg* DemoWalkthroughTest::dawg_ = nullptr;
+mimic::MimicData* DemoWalkthroughTest::data_ = nullptr;
+
+TEST_F(DemoWalkthroughTest, DataIsPartitionedAcrossEngines) {
+  // §3: metadata in Postgres, waveforms in SciDB, notes in Accumulo,
+  // live feed in S-Store.
+  EXPECT_EQ((*dawg_->catalog().Lookup("patients")).engine, core::kEnginePostgres);
+  EXPECT_EQ((*dawg_->catalog().Lookup("waveforms")).engine, core::kEngineSciDb);
+  EXPECT_EQ((*dawg_->catalog().Lookup("notes")).engine, core::kEngineAccumulo);
+  EXPECT_EQ((*dawg_->catalog().Lookup("vitals")).engine, core::kEngineSStore);
+}
+
+TEST_F(DemoWalkthroughTest, BrowsingInterface) {
+  // Tile pyramid over admissions (age x stay), pan/zoom with prefetch.
+  auto rows = *dawg_->Execute(
+      "RELATIONAL(SELECT p.age, a.stay_days FROM admissions a "
+      "JOIN patients p ON a.patient_id = p.patient_id)");
+  std::vector<std::pair<double, double>> points;
+  for (const Row& row : rows.rows()) {
+    points.emplace_back(
+        std::min(255.9, static_cast<double>(row[0].int64_unchecked()) * 2.5),
+        std::min(255.9, row[1].double_unchecked() * 14.0));
+  }
+  visual::TilePyramid pyramid =
+      *visual::TilePyramid::Build(std::move(points), 256.0, 4, 8);
+  visual::Tile overview = *pyramid.ComputeTile({0, 0, 0});
+  EXPECT_DOUBLE_EQ(overview.total, static_cast<double>(rows.num_rows()));
+
+  visual::BrowsingSession session(&pyramid, 2, 128, /*prefetch=*/true);
+  BIGDAWG_CHECK_OK(session.Apply(visual::Move::kZoomIn));
+  for (int i = 0; i < 6; ++i) {
+    BIGDAWG_CHECK_OK(session.Apply(visual::Move::kPanRight));
+  }
+  EXPECT_GT(session.stats().HitRate(), 0.3);
+}
+
+TEST_F(DemoWalkthroughTest, ExploratoryAnalysisInterface) {
+  auto admissions = *dawg_->FetchAsTable("admissions");
+  seedb::SeeDb recommender(admissions,
+                           *relational::ParseExpression("diagnosis = 'sepsis'"));
+  auto top = *recommender.RecommendFull(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].spec.dimension, "race");
+  EXPECT_EQ(top[0].spec.measure, "stay_days");
+  EXPECT_GT(top[0].utility, 0.1);
+}
+
+TEST_F(DemoWalkthroughTest, ComplexAnalyticsInterface) {
+  // FFT screening finds the generator's arrhythmic patients.
+  auto waveforms = *dawg_->scidb().GetArray("waveforms");
+  const int64_t samples = 2 * 64;
+  int agree = 0, total = 0;
+  for (int64_t p = 0; p < 300; ++p) {
+    auto row = *waveforms.Subarray({p, 0}, {p, samples - 1});
+    auto signal = *row.ToMatrix(0);
+    size_t bin = *analytics::DominantFrequencyBin(signal[0]);
+    bool flagged = bin > 3;  // 128-sample FFT over 2 s: > ~96 bpm
+    if (flagged == data_->has_arrhythmia[static_cast<size_t>(p)]) ++agree;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+
+  // Regression over a cross-engine join recovers the severity effect.
+  auto rows = *dawg_->Execute(
+      "RELATIONAL(SELECT a.severity, a.stay_days FROM admissions a)");
+  analytics::Vec x, y;
+  for (const Row& row : rows.rows()) {
+    x.push_back(static_cast<double>(row[0].int64_unchecked()));
+    y.push_back(row[1].double_unchecked());
+  }
+  auto model = *analytics::FitSimpleRegression(x, y);
+  EXPECT_NEAR(model.coefficients[1], 0.9, 0.35);  // generator uses +0.9/severity
+}
+
+TEST_F(DemoWalkthroughTest, TextAnalysisInterface) {
+  // "at least three notes saying 'very sick' and taking a particular drug".
+  auto sick = *dawg_->Execute("TEXT(OWNERS_WITH_PHRASE 'very sick' 3)");
+  EXPECT_GT(sick.num_rows(), 0u);
+  auto on_drug = *dawg_->Execute(
+      "RELATIONAL(SELECT DISTINCT patient_id FROM prescriptions "
+      "WHERE drug = 'heparin')");
+  EXPECT_GT(on_drug.num_rows(), 0u);
+  // Sick patients are heparin-biased by the generator: expect overlap.
+  std::set<std::string> drugged;
+  for (const Row& row : on_drug.rows()) drugged.insert(row[0].ToString());
+  size_t both = 0;
+  for (const Row& row : sick.rows()) {
+    if (drugged.count(row[0].ToString()) > 0) ++both;
+  }
+  EXPECT_GT(both, 0u);
+}
+
+TEST_F(DemoWalkthroughTest, RealTimeMonitoringInterface) {
+  stream::StreamEngine& sstore = dawg_->sstore();
+  BIGDAWG_CHECK_OK(sstore.CreateWindow("demo_window", "vitals", 64, 32));
+  BIGDAWG_CHECK_OK(sstore.RegisterProcedure(
+      "demo_alarm", [](stream::ProcContext* ctx) {
+        BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx->Window("demo_window"));
+        double peak = 0;
+        for (const Row& r : rows) {
+          peak = std::max(peak, std::abs(r[2].double_unchecked()));
+        }
+        if (peak > 5.0) ctx->EmitAlert({Value("amplitude"), Value(peak)});
+        return Status::OK();
+      }));
+  BIGDAWG_CHECK_OK(sstore.BindWindowTrigger("demo_window", "demo_alarm"));
+  sstore.Start();
+  Rng rng(1);
+  for (int64_t t = 0; t < 256; ++t) {
+    double mv = rng.NextGaussian();
+    if (t >= 128) mv += 8.0;  // injected anomaly
+    BIGDAWG_CHECK_OK(sstore.Ingest("vitals", {Value(0), Value(t), Value(mv)}));
+  }
+  sstore.WaitForDrain();
+  sstore.Stop();
+  auto alerts = sstore.TakeAlerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0][0], Value("amplitude"));
+  // Live data visible through the polystore.
+  auto live = *dawg_->Execute("RELATIONAL(SELECT COUNT(*) AS n FROM vitals)");
+  EXPECT_GT(*live.At(0, "n")->AsInt64(), 0);
+}
+
+TEST_F(DemoWalkthroughTest, SearchlightOverLiveWaveform) {
+  auto waveforms = *dawg_->scidb().GetArray("waveforms");
+  auto row = *waveforms.Subarray({0, 0}, {0, 127});
+  auto matrix = *row.ToMatrix(0);
+  std::vector<double> signal = matrix[0];
+  for (size_t i = 40; i < 70; ++i) signal[i] += 6.0;
+  searchlight::Searchlight sl(*array::Array::FromVector(signal));
+  auto fast = *sl.FindWindows(16, 4.0, 16, nullptr);
+  auto direct = *sl.FindWindowsDirect(16, 4.0, nullptr);
+  EXPECT_EQ(fast.size(), direct.size());
+  EXPECT_FALSE(fast.empty());
+}
+
+TEST_F(DemoWalkthroughTest, ProberFindsCommonSubIslandOverMimic) {
+  core::SemanticsProber prober(dawg_);
+  auto outcomes =
+      prober.ProbeAll(core::StandardProbes("waveforms", "mv", 0.0));
+  ASSERT_FALSE(outcomes.empty());
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.common_semantics) << outcome.name;
+  }
+}
+
+}  // namespace
+}  // namespace bigdawg

@@ -1,0 +1,108 @@
+#include "kvstore/kvstore.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg::kvstore {
+namespace {
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore store;
+  store.Put(Key("r1", "f", "q"), "v1");
+  EXPECT_EQ(*store.Get(Key("r1", "f", "q")), "v1");
+  store.Put(Key("r1", "f", "q"), "v2");  // last writer wins
+  EXPECT_EQ(*store.Get(Key("r1", "f", "q")), "v2");
+  EXPECT_TRUE(store.Get(Key("r1", "f", "other")).status().IsNotFound());
+  EXPECT_TRUE(store.Delete(Key("r1", "f", "q")).ok());
+  EXPECT_TRUE(store.Delete(Key("r1", "f", "q")).IsNotFound());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, KeysOrderLexicographically) {
+  Key a("r1", "a", "x");
+  Key b("r1", "b", "a");
+  Key c("r2", "a", "a");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_FALSE(c < a);
+}
+
+class KvScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 10; ++i) {
+      std::string row = "row" + std::to_string(i);
+      store_.Put(Key(row, "meta", "name"), "n" + std::to_string(i));
+      store_.Put(Key(row, "data", "value"), std::to_string(i));
+    }
+  }
+  KvStore store_;
+};
+
+TEST_F(KvScanTest, FullScan) {
+  auto cells = store_.Scan(ScanOptions{});
+  EXPECT_EQ(cells.size(), 20u);
+  // Sorted by key.
+  EXPECT_EQ(cells[0].key.row, "row0");
+  EXPECT_EQ(cells[0].key.family, "data");
+}
+
+TEST_F(KvScanTest, RowRangeScan) {
+  ScanOptions options;
+  options.start_row = "row3";
+  options.end_row = "row5";
+  auto cells = store_.Scan(options);
+  EXPECT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells.front().key.row, "row3");
+  EXPECT_EQ(cells.back().key.row, "row5");
+}
+
+TEST_F(KvScanTest, FamilyFilter) {
+  ScanOptions options;
+  options.family = "meta";
+  auto cells = store_.Scan(options);
+  EXPECT_EQ(cells.size(), 10u);
+  for (const Cell& c : cells) EXPECT_EQ(c.key.family, "meta");
+}
+
+TEST_F(KvScanTest, QualifierPrefixFilter) {
+  store_.Put(Key("row0", "meta", "nickname"), "x");
+  ScanOptions options;
+  options.family = "meta";
+  options.qualifier_prefix = "nick";
+  auto cells = store_.Scan(options);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.qualifier, "nickname");
+}
+
+TEST_F(KvScanTest, LimitStopsScan) {
+  ScanOptions options;
+  options.limit = 5;
+  EXPECT_EQ(store_.Scan(options).size(), 5u);
+}
+
+TEST_F(KvScanTest, ApplyToRangeEarlyStop) {
+  int count = 0;
+  store_.ApplyToRange(ScanOptions{}, [&count](const Cell&) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(KvScanTest, ScanRowsDistinct) {
+  auto rows = store_.ScanRows(ScanOptions{});
+  EXPECT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows[0], "row0");
+}
+
+TEST_F(KvScanTest, DeleteRowRemovesAllCells) {
+  EXPECT_EQ(store_.DeleteRow("row4"), 2u);
+  EXPECT_EQ(store_.DeleteRow("row4"), 0u);
+  EXPECT_EQ(store_.size(), 18u);
+}
+
+TEST_F(KvScanTest, PutBatch) {
+  KvStore fresh;
+  fresh.PutBatch({{Key("a", "f", "q"), "1"}, {Key("b", "f", "q"), "2"}});
+  EXPECT_EQ(fresh.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bigdawg::kvstore

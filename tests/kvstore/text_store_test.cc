@@ -1,0 +1,109 @@
+#include "kvstore/text_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::kvstore {
+namespace {
+
+TEST(TokenizeTextTest, LowercasesAndSplits) {
+  auto tokens = TokenizeText("The patient, VERY sick; hr=140!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "patient", "very", "sick",
+                                              "hr", "140"}));
+  EXPECT_TRUE(TokenizeText("").empty());
+  EXPECT_TRUE(TokenizeText("  ,;!  ").empty());
+}
+
+class TextStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(store_.AddDocument(
+        "n1", "p1", "Patient is very sick. Very sick indeed, started heparin."));
+    BIGDAWG_CHECK_OK(store_.AddDocument(
+        "n2", "p1", "Patient remains very sick today."));
+    BIGDAWG_CHECK_OK(store_.AddDocument(
+        "n3", "p1", "Third note: very sick, consider ICU transfer."));
+    BIGDAWG_CHECK_OK(store_.AddDocument(
+        "n4", "p2", "Recovering well, discharged tomorrow."));
+    BIGDAWG_CHECK_OK(store_.AddDocument(
+        "n5", "p2", "Mild fever, patient stable but very tired."));
+    BIGDAWG_CHECK_OK(store_.AddDocument(
+        "n6", "p3", "Extremely sick patient, very sick, administer heparin."));
+  }
+  TextStore store_;
+};
+
+TEST_F(TextStoreTest, DocumentRoundTrip) {
+  EXPECT_EQ(store_.num_documents(), 6u);
+  EXPECT_EQ(*store_.GetOwner("n4"), "p2");
+  EXPECT_TRUE((*store_.GetText("n1")).find("heparin") != std::string::npos);
+  EXPECT_TRUE(store_.GetText("missing").status().IsNotFound());
+}
+
+TEST_F(TextStoreTest, SearchSingleTerm) {
+  auto matches = store_.SearchAllTerms({"heparin"});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].owner, matches[0].doc_id == "n1" ? "p1" : "p3");
+}
+
+TEST_F(TextStoreTest, SearchIsCaseInsensitive) {
+  auto matches = store_.SearchAllTerms({"HEPARIN"});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(TextStoreTest, SearchAndSemantics) {
+  auto matches = store_.SearchAllTerms({"very", "sick", "heparin"});
+  ASSERT_EQ(matches.size(), 2u);  // n1 and n6
+  auto none = store_.SearchAllTerms({"heparin", "discharged"});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(TextStoreTest, PhraseSearchValidatesExactPhrase) {
+  // "very tired" contains both "very" and (elsewhere) no "sick": ensure
+  // phrase match requires adjacency.
+  auto matches = store_.SearchPhrase("very sick");
+  ASSERT_EQ(matches.size(), 4u);  // n1 (x2), n2, n3, n6
+  EXPECT_EQ(matches[0].doc_id, "n1");
+  EXPECT_EQ(matches[0].score, 2);  // two occurrences
+}
+
+TEST_F(TextStoreTest, PhraseSearchRejectsNonAdjacent) {
+  auto matches = store_.SearchPhrase("sick patient");
+  // Only n6 has "sick patient" adjacent.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].doc_id, "n6");
+}
+
+TEST_F(TextStoreTest, OwnersWithPhraseCountImplementsDemoQuery) {
+  // "patients with at least three notes saying 'very sick'".
+  auto owners = store_.OwnersWithPhraseCount("very sick", 3);
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0].first, "p1");
+  EXPECT_EQ(owners[0].second, 3);
+
+  auto lenient = store_.OwnersWithPhraseCount("very sick", 1);
+  EXPECT_EQ(lenient.size(), 2u);  // p1 and p3
+}
+
+TEST_F(TextStoreTest, ReplacingDocumentReindexes) {
+  BIGDAWG_CHECK_OK(store_.AddDocument("n4", "p2", "now very sick too"));
+  EXPECT_EQ(store_.num_documents(), 6u);  // replaced, not added
+  auto matches = store_.SearchPhrase("very sick");
+  EXPECT_EQ(matches.size(), 5u);
+  // Old terms are gone.
+  EXPECT_TRUE(store_.SearchAllTerms({"discharged"}).empty());
+}
+
+TEST_F(TextStoreTest, EmptyQueries) {
+  EXPECT_TRUE(store_.SearchAllTerms({}).empty());
+  EXPECT_TRUE(store_.SearchPhrase("").empty());
+  EXPECT_TRUE(store_.SearchAllTerms({"zzzz"}).empty());
+}
+
+TEST_F(TextStoreTest, EmptyDocIdRejected) {
+  EXPECT_TRUE(store_.AddDocument("", "p", "text").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bigdawg::kvstore

@@ -1,0 +1,135 @@
+#include "mimic/mimic.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/fft.h"
+#include "common/logging.h"
+
+namespace bigdawg::mimic {
+namespace {
+
+MimicConfig SmallConfig() {
+  MimicConfig config;
+  config.num_patients = 40;
+  config.waveform_seconds = 2;
+  config.waveform_hz = 64;
+  config.seed = 7;
+  return config;
+}
+
+TEST(MimicTest, GeneratesAllModalities) {
+  MimicData data = *Generate(SmallConfig());
+  EXPECT_EQ(data.patients.num_rows(), 40u);
+  EXPECT_GE(data.admissions.num_rows(), 40u);  // >= 1 admission each
+  EXPECT_EQ(data.labs.num_rows(), 40u * 4);
+  EXPECT_GE(data.prescriptions.num_rows(), 40u);
+  EXPECT_EQ(data.notes.size(), 40u * 3);
+  EXPECT_EQ(data.waveforms.NonEmptyCount(), 40 * 2 * 64);
+  EXPECT_EQ(data.resting_hr.size(), 40u);
+}
+
+TEST(MimicTest, DeterministicForFixedSeed) {
+  MimicData a = *Generate(SmallConfig());
+  MimicData b = *Generate(SmallConfig());
+  ASSERT_EQ(a.patients.num_rows(), b.patients.num_rows());
+  for (size_t i = 0; i < a.patients.num_rows(); ++i) {
+    EXPECT_EQ(a.patients.rows()[i], b.patients.rows()[i]);
+  }
+  EXPECT_EQ((*a.waveforms.Get({3, 10}))[0], (*b.waveforms.Get({3, 10}))[0]);
+}
+
+TEST(MimicTest, ConfigValidation) {
+  MimicConfig bad = SmallConfig();
+  bad.num_patients = 0;
+  EXPECT_TRUE(Generate(bad).status().IsInvalidArgument());
+  bad = SmallConfig();
+  bad.waveform_hz = 0;
+  EXPECT_TRUE(Generate(bad).status().IsInvalidArgument());
+}
+
+TEST(MimicTest, Figure2ReversalIsEmbedded) {
+  MimicConfig config = SmallConfig();
+  config.num_patients = 400;
+  MimicData data = *Generate(config);
+
+  // Compute avg stay by race, sepsis vs non-sepsis.
+  auto schema = data.admissions.schema();
+  size_t diag = *schema.IndexOf("diagnosis");
+  size_t race = *schema.IndexOf("race");
+  size_t stay = *schema.IndexOf("stay_days");
+  double sepsis_white = 0, sepsis_black = 0, other_white = 0, other_black = 0;
+  int64_t sw = 0, sb = 0, ow = 0, ob = 0;
+  for (const Row& row : data.admissions.rows()) {
+    bool sepsis = row[diag] == Value("sepsis");
+    double days = row[stay].double_unchecked();
+    if (row[race] == Value("white")) {
+      if (sepsis) {
+        sepsis_white += days;
+        ++sw;
+      } else {
+        other_white += days;
+        ++ow;
+      }
+    } else if (row[race] == Value("black")) {
+      if (sepsis) {
+        sepsis_black += days;
+        ++sb;
+      } else {
+        other_black += days;
+        ++ob;
+      }
+    }
+  }
+  ASSERT_GT(sw, 5);
+  ASSERT_GT(sb, 5);
+  // Global trend: black > white.
+  EXPECT_GT(other_black / ob, other_white / ow);
+  // Sepsis reversal: white > black.
+  EXPECT_GT(sepsis_white / sw, sepsis_black / sb);
+}
+
+TEST(MimicTest, SickPatientsHaveVerySickNotes) {
+  MimicData data = *Generate(SmallConfig());
+  size_t very_sick_notes = 0;
+  for (const Note& note : data.notes) {
+    if (note.text.find("very sick") != std::string::npos) ++very_sick_notes;
+  }
+  EXPECT_GT(very_sick_notes, 0u);
+  EXPECT_LT(very_sick_notes, data.notes.size());  // not all patients are sick
+}
+
+TEST(MimicTest, EcgDominantFrequencyTracksHeartRate) {
+  Rng rng(3);
+  // 60 bpm = 1 Hz at 64 Hz sampling over 4 s = bin 4 of a 256-FFT.
+  auto wave = SynthesizeEcg(60.0, 256, 64.0, /*arrhythmia=*/false, &rng);
+  size_t bin = *analytics::DominantFrequencyBin(wave);
+  EXPECT_NEAR(static_cast<double>(bin), 4.0, 1.0);
+
+  // 120 bpm doubles the bin.
+  auto fast = SynthesizeEcg(120.0, 256, 64.0, false, &rng);
+  size_t fast_bin = *analytics::DominantFrequencyBin(fast);
+  EXPECT_NEAR(static_cast<double>(fast_bin), 8.0, 1.0);
+}
+
+TEST(MimicTest, LoadIntoBigDawgRegistersEverything) {
+  MimicData data = *Generate(SmallConfig());
+  core::BigDawg dawg;
+  BIGDAWG_CHECK_OK(LoadIntoBigDawg(data, &dawg));
+  for (const char* object :
+       {"patients", "admissions", "labs", "prescriptions", "waveforms",
+        "notes", "vitals"}) {
+    EXPECT_TRUE(dawg.catalog().Contains(object)) << object;
+  }
+  // Cross-check: relational count matches generator.
+  auto count = *dawg.Execute("SELECT COUNT(*) AS n FROM patients");
+  EXPECT_EQ(*count.At(0, "n"), Value(40));
+  // Array island sees the waveforms.
+  auto agg = *dawg.Execute("ARRAY(aggregate(waveforms, count, mv))");
+  EXPECT_EQ(*agg.At(0, "count_mv"), Value(40.0 * 2 * 64));
+  // Text island finds sick patients.
+  auto sick = *dawg.Execute("TEXT(PHRASE 'very sick')");
+  EXPECT_GT(sick.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace bigdawg::mimic

@@ -1,0 +1,103 @@
+#include "relational/database.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::relational {
+namespace {
+
+TEST(DatabaseTest, DdlLifecycle) {
+  Database db;
+  EXPECT_FALSE(db.HasTable("t"));
+  BIGDAWG_CHECK_OK(db.CreateTable("t", Schema({Field("x", DataType::kInt64)})));
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_TRUE(db.CreateTable("t", Schema()).IsAlreadyExists());
+  BIGDAWG_CHECK_OK(db.DropTable("t"));
+  EXPECT_FALSE(db.HasTable("t"));
+  EXPECT_TRUE(db.DropTable("t").IsNotFound());
+}
+
+TEST(DatabaseTest, SqlEndToEnd) {
+  Database db;
+  BIGDAWG_CHECK_OK(db.ExecuteSql("CREATE TABLE t (x int64, s text)").status());
+  auto ins = db.ExecuteSql("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->rows()[0][0], Value(3));
+  auto sel = db.ExecuteSql("SELECT s FROM t WHERE x >= 2 ORDER BY x DESC");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel->At(0, "s"), Value("c"));
+  auto del = db.ExecuteSql("DELETE FROM t WHERE x = 2");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->rows()[0][0], Value(1));
+  EXPECT_EQ(*db.TableRowCount("t"), 2u);
+}
+
+TEST(DatabaseTest, InsertValidatesAgainstSchema) {
+  Database db;
+  BIGDAWG_CHECK_OK(db.CreateTable("t", Schema({Field("x", DataType::kInt64)})));
+  EXPECT_TRUE(db.Insert("t", {Value("wrong")}).IsTypeError());
+  EXPECT_TRUE(db.Insert("t", {Value(1), Value(2)}).IsInvalidArgument());
+  EXPECT_TRUE(db.Insert("missing", {Value(1)}).IsNotFound());
+  BIGDAWG_CHECK_OK(db.Insert("t", {Value::Null()}));  // NULL allowed
+}
+
+TEST(DatabaseTest, PutTableReplacesWholesale) {
+  Database db;
+  Table t(Schema({Field("x", DataType::kInt64)}));
+  t.AppendUnchecked({Value(1)});
+  BIGDAWG_CHECK_OK(db.PutTable("snapshot", t));
+  EXPECT_EQ(*db.TableRowCount("snapshot"), 1u);
+  Table bigger(Schema({Field("x", DataType::kInt64)}));
+  bigger.AppendUnchecked({Value(1)});
+  bigger.AppendUnchecked({Value(2)});
+  BIGDAWG_CHECK_OK(db.PutTable("snapshot", bigger));
+  EXPECT_EQ(*db.TableRowCount("snapshot"), 2u);
+}
+
+TEST(DatabaseTest, GetTableReturnsSnapshotCopy) {
+  Database db;
+  BIGDAWG_CHECK_OK(db.CreateTable("t", Schema({Field("x", DataType::kInt64)})));
+  BIGDAWG_CHECK_OK(db.Insert("t", {Value(1)}));
+  Table snapshot = *db.GetTable("t");
+  BIGDAWG_CHECK_OK(db.Insert("t", {Value(2)}));
+  EXPECT_EQ(snapshot.num_rows(), 1u);  // unaffected by later insert
+  EXPECT_EQ(*db.TableRowCount("t"), 2u);
+}
+
+TEST(DatabaseTest, ListTablesSorted) {
+  Database db;
+  BIGDAWG_CHECK_OK(db.CreateTable("zebra", Schema()));
+  BIGDAWG_CHECK_OK(db.CreateTable("alpha", Schema()));
+  auto names = db.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zebra");
+}
+
+TEST(DatabaseTest, ConcurrentReadersAreSafe) {
+  Database db;
+  BIGDAWG_CHECK_OK(db.CreateTable("t", Schema({Field("x", DataType::kInt64)})));
+  for (int i = 0; i < 1000; ++i) {
+    BIGDAWG_CHECK_OK(db.Insert("t", {Value(i)}));
+  }
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&db, &failures] {
+      for (int i = 0; i < 20; ++i) {
+        auto result = db.ExecuteSql("SELECT COUNT(*) AS n FROM t WHERE x % 2 = 0");
+        if (!result.ok() || (*result->At(0, "n")) != Value(500)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace bigdawg::relational

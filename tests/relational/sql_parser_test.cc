@@ -1,0 +1,172 @@
+#include "relational/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdawg::relational {
+namespace {
+
+SelectStatement ParseSelectOrDie(const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << " for: " << sql;
+  return std::move(std::get<SelectStatement>(*stmt));
+}
+
+TEST(SqlLexerTest, TokenizesBasics) {
+  auto tokens = *Tokenize("SELECT a, b FROM t WHERE x >= 1.5 AND s = 'it''s'");
+  EXPECT_EQ(tokens.front().text, "SELECT");
+  bool found_string = false;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found_string = true;
+    }
+  }
+  EXPECT_TRUE(found_string);
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(SqlLexerTest, SkipsComments) {
+  auto tokens = *Tokenize("SELECT 1 -- trailing comment\n FROM t");
+  size_t idents = 0;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::kIdentifier) ++idents;
+  }
+  EXPECT_EQ(idents, 3u);  // SELECT, FROM, t
+}
+
+TEST(SqlLexerTest, UnterminatedStringIsError) {
+  EXPECT_TRUE(Tokenize("SELECT 'oops").status().IsParseError());
+}
+
+TEST(SqlLexerTest, NormalizesBangEquals) {
+  auto tokens = *Tokenize("a != b");
+  EXPECT_EQ(tokens[1].text, "<>");
+}
+
+TEST(SqlParserTest, SimpleSelect) {
+  SelectStatement s = ParseSelectOrDie("SELECT * FROM patients");
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].is_star);
+  EXPECT_EQ(s.from.name, "patients");
+  EXPECT_EQ(s.where, nullptr);
+  EXPECT_EQ(s.limit, -1);
+}
+
+TEST(SqlParserTest, WhereOrderLimit) {
+  SelectStatement s = ParseSelectOrDie(
+      "SELECT name, age FROM patients WHERE age > 60 ORDER BY age DESC, name "
+      "LIMIT 10");
+  EXPECT_EQ(s.items.size(), 2u);
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_FALSE(s.order_by[1].descending);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(SqlParserTest, AggregatesAndGroupBy) {
+  SelectStatement s = ParseSelectOrDie(
+      "SELECT race, COUNT(*), AVG(stay_days) AS avg_stay FROM admissions "
+      "GROUP BY race HAVING avg_stay > 2 ORDER BY avg_stay");
+  ASSERT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[0].agg, AggregateFunc::kNone);
+  EXPECT_EQ(s.items[1].agg, AggregateFunc::kCount);
+  EXPECT_TRUE(s.items[1].count_star);
+  EXPECT_EQ(s.items[2].agg, AggregateFunc::kAvg);
+  EXPECT_EQ(s.items[2].alias, "avg_stay");
+  ASSERT_EQ(s.group_by.size(), 1u);
+  EXPECT_EQ(s.group_by[0], "race");
+  EXPECT_NE(s.having, nullptr);
+  EXPECT_TRUE(s.HasAggregates());
+}
+
+TEST(SqlParserTest, JoinWithAliases) {
+  SelectStatement s = ParseSelectOrDie(
+      "SELECT p.name, r.drug FROM patients p JOIN prescriptions r ON "
+      "p.patient_id = r.patient_id WHERE r.drug = 'heparin'");
+  EXPECT_EQ(s.from.name, "patients");
+  EXPECT_EQ(s.from.alias, "p");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table.name, "prescriptions");
+  EXPECT_EQ(s.joins[0].table.alias, "r");
+  ASSERT_NE(s.joins[0].on, nullptr);
+}
+
+TEST(SqlParserTest, Distinct) {
+  SelectStatement s = ParseSelectOrDie("SELECT DISTINCT race FROM patients");
+  EXPECT_TRUE(s.distinct);
+}
+
+TEST(SqlParserTest, CreateTable) {
+  auto stmt = *ParseSql(
+      "CREATE TABLE waveforms (patient_id int64, t double, hr double, note text)");
+  auto& create = std::get<CreateTableStatement>(stmt);
+  EXPECT_EQ(create.table, "waveforms");
+  ASSERT_EQ(create.schema.num_fields(), 4u);
+  EXPECT_EQ(create.schema.field(3).type, DataType::kString);
+}
+
+TEST(SqlParserTest, InsertMultipleRows) {
+  auto stmt = *ParseSql(
+      "INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b', -1.0), (3, NULL, 0.0)");
+  auto& insert = std::get<InsertStatement>(stmt);
+  EXPECT_EQ(insert.table, "t");
+  ASSERT_EQ(insert.rows.size(), 3u);
+  EXPECT_EQ(insert.rows[1][2], Value(-1.0));
+  EXPECT_TRUE(insert.rows[2][1].is_null());
+}
+
+TEST(SqlParserTest, DeleteWithWhere) {
+  auto stmt = *ParseSql("DELETE FROM t WHERE age < 18");
+  auto& del = std::get<DeleteStatement>(stmt);
+  EXPECT_EQ(del.table, "t");
+  EXPECT_NE(del.where, nullptr);
+}
+
+TEST(SqlParserTest, DropTable) {
+  auto stmt = *ParseSql("DROP TABLE t");
+  EXPECT_EQ(std::get<DropTableStatement>(stmt).table, "t");
+}
+
+TEST(SqlParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM t;").ok());
+}
+
+TEST(SqlParserTest, TrailingGarbageRejected) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM t garbage extra").status().IsParseError() ||
+              !ParseSql("SELECT * FROM t garbage extra").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+}
+
+TEST(SqlParserTest, PrecedenceAndParens) {
+  ExprPtr e = *ParseExpression("1 + 2 * 3");
+  Schema empty;
+  ASSERT_TRUE(e->Bind(empty).ok());
+  EXPECT_EQ(*e->Eval({}), Value(7));
+  e = *ParseExpression("(1 + 2) * 3");
+  ASSERT_TRUE(e->Bind(empty).ok());
+  EXPECT_EQ(*e->Eval({}), Value(9));
+  e = *ParseExpression("2 + 3 < 4 OR true");
+  ASSERT_TRUE(e->Bind(empty).ok());
+  EXPECT_EQ(*e->Eval({}), Value(true));
+  e = *ParseExpression("-2 * 3");
+  ASSERT_TRUE(e->Bind(empty).ok());
+  EXPECT_EQ(*e->Eval({}), Value(-6));
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseSql("select * from t where x = 1 order by x limit 5").ok());
+}
+
+TEST(SqlParserTest, BadStatementsRejected) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELEC * FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (x blob)").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT abc").ok());
+}
+
+}  // namespace
+}  // namespace bigdawg::relational

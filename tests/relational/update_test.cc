@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "relational/database.h"
+
+namespace bigdawg::relational {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(db_.ExecuteSql(
+        "CREATE TABLE rx (id int64, drug text, dose double)").status());
+    BIGDAWG_CHECK_OK(db_.ExecuteSql(
+        "INSERT INTO rx VALUES (1, 'heparin', 5.0), (2, 'aspirin', 1.0), "
+        "(3, 'heparin', 4.0)").status());
+  }
+  Database db_;
+};
+
+TEST_F(UpdateTest, UpdatesMatchingRows) {
+  auto result = *db_.ExecuteSql("UPDATE rx SET dose = dose * 2 WHERE drug = 'heparin'");
+  EXPECT_EQ(result.rows()[0][0], Value(2));
+  auto check = *db_.ExecuteSql("SELECT dose FROM rx ORDER BY id");
+  EXPECT_EQ(*check.At(0, "dose"), Value(10.0));
+  EXPECT_EQ(*check.At(1, "dose"), Value(1.0));  // untouched
+  EXPECT_EQ(*check.At(2, "dose"), Value(8.0));
+}
+
+TEST_F(UpdateTest, UpdateWithoutWhereTouchesAllRows) {
+  auto result = *db_.ExecuteSql("UPDATE rx SET drug = 'generic'");
+  EXPECT_EQ(result.rows()[0][0], Value(3));
+  auto check = *db_.ExecuteSql("SELECT DISTINCT drug FROM rx");
+  EXPECT_EQ(check.num_rows(), 1u);
+}
+
+TEST_F(UpdateTest, MultipleAssignmentsUsePreUpdateValues) {
+  BIGDAWG_CHECK_OK(db_.ExecuteSql("CREATE TABLE p (a int64, b int64)").status());
+  BIGDAWG_CHECK_OK(db_.ExecuteSql("INSERT INTO p VALUES (1, 2)").status());
+  BIGDAWG_CHECK_OK(db_.ExecuteSql("UPDATE p SET a = b, b = a").status());
+  auto check = *db_.ExecuteSql("SELECT a, b FROM p");
+  EXPECT_EQ(*check.At(0, "a"), Value(2));  // swapped, not cascaded
+  EXPECT_EQ(*check.At(0, "b"), Value(1));
+}
+
+TEST_F(UpdateTest, NumericCoercionOnAssignment) {
+  // dose is double; assigning an int64 expression coerces.
+  BIGDAWG_CHECK_OK(db_.ExecuteSql("UPDATE rx SET dose = 7 WHERE id = 2").status());
+  auto check = *db_.ExecuteSql("SELECT dose FROM rx WHERE id = 2");
+  EXPECT_EQ(*check.At(0, "dose"), Value(7.0));
+}
+
+TEST_F(UpdateTest, SetNull) {
+  BIGDAWG_CHECK_OK(db_.ExecuteSql("UPDATE rx SET dose = NULL WHERE id = 1").status());
+  auto check = *db_.ExecuteSql("SELECT dose FROM rx WHERE id = 1");
+  EXPECT_TRUE(check.At(0, "dose")->is_null());
+}
+
+TEST_F(UpdateTest, Errors) {
+  EXPECT_TRUE(db_.ExecuteSql("UPDATE ghost SET x = 1").status().IsNotFound());
+  EXPECT_TRUE(db_.ExecuteSql("UPDATE rx SET ghost = 1").status().IsNotFound());
+  EXPECT_FALSE(db_.ExecuteSql("UPDATE rx SET dose = drug").ok());
+  EXPECT_FALSE(db_.ExecuteSql("UPDATE rx SET").ok());
+  EXPECT_FALSE(db_.ExecuteSql("UPDATE rx dose = 1").ok());
+  // Failed updates must not partially apply.
+  auto check = *db_.ExecuteSql("SELECT COUNT(*) AS n FROM rx WHERE dose > 0");
+  EXPECT_EQ(*check.At(0, "n"), Value(3));
+}
+
+TEST_F(UpdateTest, UpdateZeroMatchesIsOk) {
+  auto result = *db_.ExecuteSql("UPDATE rx SET dose = 0.0 WHERE id = 999");
+  EXPECT_EQ(result.rows()[0][0], Value(0));
+}
+
+}  // namespace
+}  // namespace bigdawg::relational

@@ -1,0 +1,113 @@
+#include "searchlight/cp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bigdawg::searchlight {
+namespace {
+
+TEST(CpSolverTest, VariableValidation) {
+  CpModel model;
+  EXPECT_TRUE(model.AddVariable("x", 5, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(model.AddVariable("x", 0, 3).ok());
+  EXPECT_TRUE(model.AddLinearConstraint({7}, {1}, CpModel::LinOp::kLe, 1)
+                  .IsOutOfRange());
+  EXPECT_TRUE(model.AddLinearConstraint({}, {}, CpModel::LinOp::kLe, 1)
+                  .IsInvalidArgument());
+  CpModel empty;
+  EXPECT_TRUE(empty.Solve().status().IsFailedPrecondition());
+}
+
+TEST(CpSolverTest, SimpleLinearSystem) {
+  // x + y = 5, x - y >= 1, x,y in [0,5].
+  CpModel model;
+  size_t x = *model.AddVariable("x", 0, 5);
+  size_t y = *model.AddVariable("y", 0, 5);
+  BIGDAWG_CHECK_OK(model.AddLinearConstraint({x, y}, {1, 1}, CpModel::LinOp::kEq, 5));
+  BIGDAWG_CHECK_OK(model.AddLinearConstraint({x, y}, {1, -1}, CpModel::LinOp::kGe, 1));
+  auto solutions = *model.Solve();
+  // (3,2), (4,1), (5,0).
+  ASSERT_EQ(solutions.size(), 3u);
+  for (const Assignment& a : solutions) {
+    EXPECT_EQ(a[x] + a[y], 5);
+    EXPECT_GE(a[x] - a[y], 1);
+  }
+}
+
+TEST(CpSolverTest, InfeasibleDetected) {
+  CpModel model;
+  size_t x = *model.AddVariable("x", 0, 3);
+  BIGDAWG_CHECK_OK(model.AddLinearConstraint({x}, {1}, CpModel::LinOp::kGe, 10));
+  EXPECT_FALSE(*model.IsSatisfiable());
+}
+
+TEST(CpSolverTest, PropagationPrunesSearch) {
+  // Without propagation, x,y,z in [0,100] with x+y+z=300 explores a huge
+  // space; with bounds propagation it is immediate.
+  CpModel model;
+  size_t x = *model.AddVariable("x", 0, 100);
+  size_t y = *model.AddVariable("y", 0, 100);
+  size_t z = *model.AddVariable("z", 0, 100);
+  BIGDAWG_CHECK_OK(
+      model.AddLinearConstraint({x, y, z}, {1, 1, 1}, CpModel::LinOp::kEq, 300));
+  int64_t nodes = 0;
+  auto solutions = *model.Solve(0, &nodes);
+  ASSERT_EQ(solutions.size(), 1u);
+  EXPECT_EQ(solutions[0], (Assignment{100, 100, 100}));
+  EXPECT_LT(nodes, 10);
+}
+
+TEST(CpSolverTest, AllDifferentPermutations) {
+  CpModel model;
+  std::vector<size_t> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(*model.AddVariable("v" + std::to_string(i), 0, 2));
+  }
+  BIGDAWG_CHECK_OK(model.AddAllDifferent(vars));
+  auto solutions = *model.Solve();
+  EXPECT_EQ(solutions.size(), 6u);  // 3! permutations
+}
+
+TEST(CpSolverTest, NQueensFour) {
+  // 4-queens via all-different on columns and predicate on diagonals.
+  CpModel model;
+  std::vector<size_t> cols;
+  for (int i = 0; i < 4; ++i) {
+    cols.push_back(*model.AddVariable("q" + std::to_string(i), 0, 3));
+  }
+  BIGDAWG_CHECK_OK(model.AddAllDifferent(cols));
+  model.AddPredicate([](const Assignment& a) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = i + 1; j < a.size(); ++j) {
+        if (std::abs(a[i] - a[j]) == static_cast<int64_t>(j - i)) return false;
+      }
+    }
+    return true;
+  });
+  auto solutions = *model.Solve();
+  EXPECT_EQ(solutions.size(), 2u);  // the classic pair
+}
+
+TEST(CpSolverTest, MaxSolutionsLimit) {
+  CpModel model;
+  (void)*model.AddVariable("x", 0, 99);
+  auto solutions = *model.Solve(5);
+  EXPECT_EQ(solutions.size(), 5u);
+}
+
+TEST(CpSolverTest, NegativeCoefficientsAndDomains) {
+  // 2x - 3y <= -6 with x in [-5,5], y in [-5,5].
+  CpModel model;
+  size_t x = *model.AddVariable("x", -5, 5);
+  size_t y = *model.AddVariable("y", -5, 5);
+  BIGDAWG_CHECK_OK(model.AddLinearConstraint({x, y}, {2, -3}, CpModel::LinOp::kLe, -6));
+  auto solutions = *model.Solve();
+  ASSERT_FALSE(solutions.empty());
+  for (const Assignment& a : solutions) {
+    EXPECT_LE(2 * a[x] - 3 * a[y], -6);
+  }
+}
+
+}  // namespace
+}  // namespace bigdawg::searchlight

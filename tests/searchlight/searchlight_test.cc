@@ -1,0 +1,145 @@
+#include "searchlight/searchlight.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bigdawg::searchlight {
+namespace {
+
+// Mostly-flat signal with two elevated plateaus.
+array::Array PlateauSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = rng.NextGaussian() * 0.1;
+    if ((i >= 100 && i < 140) || (i >= 300 && i < 330)) data[i] += 5.0;
+  }
+  return *array::Array::FromVector(data);
+}
+
+TEST(SynopsisTest, BoundsBracketTruth) {
+  array::Array signal = PlateauSignal(512, 9);
+  Synopsis synopsis = *Synopsis::Build(signal, 0, 32);
+  auto data = *signal.ToVector(0);
+  for (size_t start : {0u, 90u, 110u, 200u, 480u}) {
+    constexpr size_t kLen = 20;
+    if (start + kLen > data.size()) continue;
+    double truth = 0;
+    for (size_t i = start; i < start + kLen; ++i) truth += data[i];
+    truth /= kLen;
+    EXPECT_LE(synopsis.LowerBoundAvg(start, kLen), truth + 1e-9) << start;
+    EXPECT_GE(synopsis.UpperBoundAvg(start, kLen), truth - 1e-9) << start;
+  }
+}
+
+TEST(SynopsisTest, BlockAlignedWindowsAreExact) {
+  array::Array signal = PlateauSignal(512, 9);
+  Synopsis synopsis = *Synopsis::Build(signal, 0, 32);
+  auto data = *signal.ToVector(0);
+  // Window exactly covering blocks 2..3.
+  double truth = 0;
+  for (size_t i = 64; i < 128; ++i) truth += data[i];
+  truth /= 64;
+  EXPECT_NEAR(synopsis.UpperBoundAvg(64, 64), truth, 1e-9);
+  EXPECT_NEAR(synopsis.LowerBoundAvg(64, 64), truth, 1e-9);
+}
+
+TEST(SynopsisTest, Validation) {
+  array::Array signal = PlateauSignal(64, 1);
+  EXPECT_TRUE(Synopsis::Build(signal, 0, 0).status().IsInvalidArgument());
+  array::Array matrix = *array::Array::FromMatrix({{1, 2}, {3, 4}});
+  EXPECT_TRUE(Synopsis::Build(matrix, 0, 4).status().IsFailedPrecondition());
+}
+
+TEST(SearchlightTest, FindsPlateauWindows) {
+  Searchlight sl(PlateauSignal(512, 21));
+  auto matches = *sl.FindWindows(/*length=*/20, /*threshold=*/4.0,
+                                 /*block_size=*/16, nullptr);
+  ASSERT_FALSE(matches.empty());
+  // Every match must lie inside a plateau region.
+  for (const WindowMatch& m : matches) {
+    bool in_plateau = (m.start >= 95 && m.start + 20 <= 145) ||
+                      (m.start >= 295 && m.start + 20 <= 335);
+    EXPECT_TRUE(in_plateau) << "match at " << m.start;
+    EXPECT_GE(m.avg, 4.0);
+  }
+}
+
+TEST(SearchlightTest, AgreesWithDirectBaseline) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    Searchlight sl(PlateauSignal(600, seed));
+    auto fast = *sl.FindWindows(25, 3.5, 20, nullptr);
+    auto direct = *sl.FindWindowsDirect(25, 3.5, nullptr);
+    ASSERT_EQ(fast.size(), direct.size()) << "seed " << seed;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].start, direct[i].start);
+      EXPECT_NEAR(fast[i].avg, direct[i].avg, 1e-9);
+    }
+  }
+}
+
+TEST(SearchlightTest, SynopsisPrunesMostCandidates) {
+  Searchlight sl(PlateauSignal(2048, 5));
+  SearchStats stats;
+  auto matches = *sl.FindWindows(20, 4.0, 32, &stats);
+  (void)matches;
+  EXPECT_GT(stats.windows_considered, 0);
+  // The flat majority of the signal must be pruned without validation.
+  EXPECT_LT(stats.candidates_speculated, stats.windows_considered / 4);
+  // Cell reads bounded by candidates * window length.
+  EXPECT_LE(stats.cells_read, stats.candidates_speculated * 20);
+}
+
+TEST(SearchlightTest, NoMatchesWhenThresholdTooHigh) {
+  Searchlight sl(PlateauSignal(512, 2));
+  auto matches = *sl.FindWindows(20, 100.0, 16, nullptr);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(SearchlightTest, WindowLongerThanDataYieldsEmpty) {
+  Searchlight sl(PlateauSignal(64, 2));
+  EXPECT_TRUE((*sl.FindWindows(100, 0.0, 8, nullptr)).empty());
+  EXPECT_TRUE(sl.FindWindows(0, 0.0, 8, nullptr).status().IsInvalidArgument());
+}
+
+TEST(SearchlightTest, NonOverlappingWindowsViaCp) {
+  Searchlight sl(PlateauSignal(512, 21));
+  auto solutions = *sl.FindNonOverlappingWindows(
+      /*length=*/20, /*threshold=*/4.0, /*k=*/2, /*block_size=*/16,
+      /*max_solutions=*/5);
+  ASSERT_FALSE(solutions.empty());
+  // Collect the validated qualifying starts for membership checks.
+  auto matches = *sl.FindWindows(20, 4.0, 16, nullptr);
+  std::vector<int64_t> starts;
+  for (const WindowMatch& m : matches) starts.push_back(m.start);
+  for (const Assignment& a : solutions) {
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_GE(a[1] - a[0], 20);  // no overlap, ordered
+    for (int64_t v : a) {
+      EXPECT_TRUE(std::binary_search(starts.begin(), starts.end(), v))
+          << "start " << v << " does not qualify";
+    }
+  }
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, SpeculateValidateAlwaysMatchesDirect) {
+  Searchlight sl(PlateauSignal(800, 31));
+  auto fast = *sl.FindWindows(15, GetParam(), 25, nullptr);
+  auto direct = *sl.FindWindowsDirect(15, GetParam(), nullptr);
+  ASSERT_EQ(fast.size(), direct.size()) << "threshold " << GetParam();
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].start, direct[i].start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(-1.0, 0.0, 0.5, 2.0, 4.0, 4.9));
+
+}  // namespace
+}  // namespace bigdawg::searchlight

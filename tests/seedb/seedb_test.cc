@@ -1,0 +1,157 @@
+#include "seedb/seedb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "relational/sql_parser.h"
+
+namespace bigdawg::seedb {
+namespace {
+
+using relational::ParseExpression;
+using relational::Table;
+
+// A dataset with one strongly deviating view: within diagnosis='sepsis',
+// the race/stay relationship reverses relative to everything else.
+Table ClinicalData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t{Schema({Field("race", DataType::kString),
+                  Field("diagnosis", DataType::kString),
+                  Field("sex", DataType::kString),
+                  Field("stay_days", DataType::kDouble),
+                  Field("age", DataType::kInt64)})};
+  const char* races[] = {"white", "black"};
+  const char* diagnoses[] = {"sepsis", "cardiac", "trauma"};
+  for (size_t i = 0; i < n; ++i) {
+    std::string race = races[rng.NextBelow(2)];
+    std::string diagnosis = diagnoses[rng.NextBelow(3)];
+    std::string sex = rng.NextBool(0.5) ? "F" : "M";
+    double stay = race == "white" ? 4.0 : 8.0;       // global: black longer
+    if (diagnosis == "sepsis") {
+      stay = race == "white" ? 10.0 : 4.0;           // reversal
+    }
+    stay += rng.NextGaussian() * 0.3;
+    t.AppendUnchecked({Value(race), Value(diagnosis), Value(sex), Value(stay),
+                       Value(rng.NextInt(20, 90))});
+  }
+  return t;
+}
+
+TEST(EmdTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({1, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({0, 0}, {1, 0}), 1.0);
+  // Scale invariance via normalization.
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({2, 2}, {5, 5}), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(EarthMoversDistance({3, 1}, {1, 3}),
+                   EarthMoversDistance({1, 3}, {3, 1}));
+  // Closer distributions have smaller distance.
+  EXPECT_LT(EarthMoversDistance({1, 0.9}, {0.9, 1}),
+            EarthMoversDistance({1, 0}, {0, 1}));
+}
+
+TEST(SeeDbTest, EnumeratesDimensionMeasureCross) {
+  SeeDb seedb(ClinicalData(50, 1), *ParseExpression("diagnosis = 'sepsis'"));
+  auto views = seedb.EnumerateViews();
+  // diagnosis is the predicate attribute and is excluded: 2 remaining
+  // string dims x (1 count + 2 numeric measures x 2 aggs) = 2 * 5 = 10.
+  EXPECT_EQ(views.size(), 10u);
+  for (const ViewSpec& v : views) {
+    EXPECT_NE(v.dimension, "diagnosis");
+  }
+}
+
+TEST(SeeDbTest, Figure2ReversalRanksFirst) {
+  SeeDb seedb(ClinicalData(2000, 42), *ParseExpression("diagnosis = 'sepsis'"));
+  auto top = *seedb.RecommendFull(3);
+  ASSERT_FALSE(top.empty());
+  // The most deviating view aggregates stay_days by race (sum and avg
+  // both capture the reversal; either may rank first).
+  EXPECT_EQ(top[0].spec.dimension, "race");
+  EXPECT_EQ(top[0].spec.measure, "stay_days");
+  EXPECT_NE(top[0].spec.agg, ViewAgg::kCount);
+
+  // And it exhibits the reversal: target (sepsis) white > black, reference
+  // black > white.
+  const ViewDistribution& dist = top[0].distribution;
+  ASSERT_EQ(dist.groups.size(), 2u);
+  size_t black = dist.groups[0] == "black" ? 0 : 1;
+  size_t white = 1 - black;
+  EXPECT_GT(dist.target[white], dist.target[black]);
+  EXPECT_GT(dist.reference[black], dist.reference[white]);
+}
+
+TEST(SeeDbTest, UninterestingViewsScoreLow) {
+  SeeDb seedb(ClinicalData(2000, 42), *ParseExpression("diagnosis = 'sepsis'"));
+  // Sex is independent of the target predicate -> near-zero deviation.
+  auto sex_view = *seedb.EvaluateView({"sex", "", ViewAgg::kCount});
+  auto race_view = *seedb.EvaluateView({"race", "stay_days", ViewAgg::kAvg});
+  EXPECT_LT(sex_view.utility, 0.1);
+  EXPECT_GT(race_view.utility, 0.2);
+}
+
+TEST(SeeDbTest, SampledAgreesWithFullOnTopView) {
+  SeeDb seedb(ClinicalData(4000, 7), *ParseExpression("diagnosis = 'sepsis'"));
+  auto full = *seedb.RecommendFull(3);
+  SeeDbStats stats;
+  auto sampled = *seedb.RecommendSampled(3, 0.1, 99, &stats);
+  ASSERT_FALSE(sampled.empty());
+  EXPECT_TRUE(sampled[0].spec == full[0].spec)
+      << sampled[0].spec.ToString() << " vs " << full[0].spec.ToString();
+  EXPECT_GT(stats.views_pruned, 0u);
+  EXPECT_LT(stats.full_evaluations, stats.views_enumerated);
+  EXPECT_LT(stats.sample_rows, stats.total_rows);
+}
+
+TEST(SeeDbTest, SampledPrecisionAtK) {
+  SeeDb seedb(ClinicalData(4000, 11), *ParseExpression("diagnosis = 'sepsis'"));
+  constexpr size_t kK = 5;
+  auto full = *seedb.RecommendFull(kK);
+  auto sampled = *seedb.RecommendSampled(kK, 0.15, 3, nullptr);
+  size_t overlap = 0;
+  for (const auto& f : full) {
+    for (const auto& s : sampled) {
+      if (f.spec == s.spec) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  // precision@5 should be high (>= 4 of 5).
+  EXPECT_GE(overlap, kK - 1);
+}
+
+TEST(SeeDbTest, ResultToTableRendersSeries) {
+  SeeDb seedb(ClinicalData(500, 3), *ParseExpression("diagnosis = 'sepsis'"));
+  auto view = *seedb.EvaluateView({"race", "stay_days", ViewAgg::kAvg});
+  Table t = SeeDb::ResultToTable(view);
+  EXPECT_EQ(t.schema().num_fields(), 3u);
+  EXPECT_EQ(t.num_rows(), view.distribution.groups.size());
+}
+
+TEST(SeeDbTest, ErrorsSurface) {
+  SeeDb bad(ClinicalData(10, 1), *ParseExpression("ghost = 1"));
+  EXPECT_FALSE(bad.RecommendFull(3).ok());
+  SeeDb good(ClinicalData(10, 1), *ParseExpression("diagnosis = 'sepsis'"));
+  EXPECT_TRUE(good.RecommendSampled(3, 0.0, 1, nullptr).status().IsInvalidArgument());
+  EXPECT_TRUE(good.RecommendSampled(3, 1.5, 1, nullptr).status().IsInvalidArgument());
+  EXPECT_FALSE(good.EvaluateView({"missing", "stay_days", ViewAgg::kAvg}).ok());
+}
+
+TEST(SeeDbTest, NullDimensionValuesSkipped) {
+  Table t{Schema({Field("g", DataType::kString), Field("v", DataType::kDouble)})};
+  t.AppendUnchecked({Value("a"), Value(1.0)});
+  t.AppendUnchecked({Value::Null(), Value(100.0)});
+  t.AppendUnchecked({Value("a"), Value(3.0)});
+  SeeDb seedb(std::move(t), *ParseExpression("v > 2"));
+  auto view = *seedb.EvaluateView({"g", "v", ViewAgg::kAvg});
+  ASSERT_EQ(view.distribution.groups.size(), 1u);
+  EXPECT_EQ(view.distribution.groups[0], "a");
+}
+
+}  // namespace
+}  // namespace bigdawg::seedb

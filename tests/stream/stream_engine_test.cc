@@ -1,0 +1,236 @@
+#include "stream/stream_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace bigdawg::stream {
+namespace {
+
+Schema VitalsSchema() {
+  return Schema({Field("patient_id", DataType::kInt64),
+                 Field("hr", DataType::kDouble)});
+}
+
+class StreamEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(engine_.CreateStream("vitals", VitalsSchema(), 100));
+    BIGDAWG_CHECK_OK(engine_.CreateTable(
+        "latest", Schema({Field("patient_id", DataType::kInt64),
+                          Field("hr", DataType::kDouble)})));
+  }
+  StreamEngine engine_;
+};
+
+TEST_F(StreamEngineTest, DefinitionValidation) {
+  EXPECT_TRUE(engine_.CreateStream("vitals", VitalsSchema(), 10).IsAlreadyExists());
+  EXPECT_TRUE(engine_.CreateStream("zero", VitalsSchema(), 0).IsInvalidArgument());
+  EXPECT_TRUE(engine_.CreateTable("latest", Schema()).IsAlreadyExists());
+  EXPECT_TRUE(engine_.CreateWindow("w", "missing", 4, 2).IsNotFound());
+  EXPECT_TRUE(engine_.CreateWindow("w", "vitals", 0, 2).IsInvalidArgument());
+  EXPECT_TRUE(engine_.BindStreamTrigger("vitals", "nope").IsNotFound());
+}
+
+TEST_F(StreamEngineTest, ProcedureCommitsBufferedWrites) {
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("track", [](ProcContext* ctx) {
+    return ctx->Put("latest", ctx->input());
+  }));
+  BIGDAWG_CHECK_OK(engine_.ExecuteProcedure("track", {Value(7), Value(88.0)}));
+  Row row = *engine_.TableGet("latest", Value(7));
+  EXPECT_EQ(row[1], Value(88.0));
+  EXPECT_EQ(engine_.committed_txns(), 1);
+}
+
+TEST_F(StreamEngineTest, AbortDiscardsAllEffects) {
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("failing", [](ProcContext* ctx) {
+    BIGDAWG_RETURN_NOT_OK(ctx->Put("latest", ctx->input()));
+    BIGDAWG_RETURN_NOT_OK(ctx->AppendToStream("vitals", ctx->input()));
+    ctx->EmitAlert({Value("should never appear")});
+    return Status::Aborted("business rule violated");
+  }));
+  Status st = engine_.ExecuteProcedure("failing", {Value(1), Value(50.0)});
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_TRUE(engine_.TableGet("latest", Value(1)).status().IsNotFound());
+  EXPECT_TRUE(engine_.StreamContents("vitals")->empty());
+  EXPECT_TRUE(engine_.TakeAlerts().empty());
+  EXPECT_EQ(engine_.aborted_txns(), 1);
+  EXPECT_EQ(engine_.committed_txns(), 0);
+}
+
+TEST_F(StreamEngineTest, TransactionReadsItsOwnWrites) {
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("rmw", [](ProcContext* ctx) {
+    Result<Row> existing = ctx->Get("latest", ctx->input()[0]);
+    double prev = existing.ok() ? (*existing)[1].double_unchecked() : 0.0;
+    BIGDAWG_RETURN_NOT_OK(ctx->Put(
+        "latest", {ctx->input()[0],
+                   Value(prev + ctx->input()[1].double_unchecked())}));
+    // Second read sees the buffered write.
+    BIGDAWG_ASSIGN_OR_RETURN(Row now, ctx->Get("latest", ctx->input()[0]));
+    if (now[1].double_unchecked() != prev + ctx->input()[1].double_unchecked()) {
+      return Status::Internal("read-own-write violated");
+    }
+    return Status::OK();
+  }));
+  BIGDAWG_CHECK_OK(engine_.ExecuteProcedure("rmw", {Value(1), Value(10.0)}));
+  BIGDAWG_CHECK_OK(engine_.ExecuteProcedure("rmw", {Value(1), Value(5.0)}));
+  EXPECT_EQ((*engine_.TableGet("latest", Value(1)))[1], Value(15.0));
+}
+
+TEST_F(StreamEngineTest, StreamTriggerRunsPerTuple) {
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("track", [](ProcContext* ctx) {
+    return ctx->Put("latest", ctx->input());
+  }));
+  BIGDAWG_CHECK_OK(engine_.BindStreamTrigger("vitals", "track"));
+  engine_.Start();
+  for (int i = 0; i < 10; ++i) {
+    BIGDAWG_CHECK_OK(engine_.Ingest("vitals", {Value(i % 3), Value(60.0 + i)}));
+  }
+  engine_.WaitForDrain();
+  engine_.Stop();
+  EXPECT_EQ((*engine_.TableGet("latest", Value(0)))[1], Value(69.0));  // i=9
+  EXPECT_EQ(engine_.StreamContents("vitals")->size(), 10u);
+  EXPECT_GE(engine_.committed_txns(), 20);  // 10 ingests + 10 triggers
+}
+
+TEST_F(StreamEngineTest, WindowSlidesAndTriggers) {
+  BIGDAWG_CHECK_OK(engine_.CreateWindow("w4", "vitals", 4, 2));
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("check_window", [](ProcContext* ctx) {
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx->Window("w4"));
+    double sum = 0;
+    for (const Row& r : rows) sum += r[1].double_unchecked();
+    double avg = sum / static_cast<double>(rows.size());
+    if (avg > 100.0) ctx->EmitAlert({Value("high"), Value(avg)});
+    return Status::OK();
+  }));
+  BIGDAWG_CHECK_OK(engine_.BindWindowTrigger("w4", "check_window"));
+
+  engine_.Start();
+  // First 4 normal, then 6 elevated readings.
+  for (int i = 0; i < 10; ++i) {
+    double hr = i < 4 ? 70.0 : 150.0;
+    BIGDAWG_CHECK_OK(engine_.Ingest("vitals", {Value(1), Value(hr)}));
+  }
+  engine_.WaitForDrain();
+  engine_.Stop();
+
+  auto window = *engine_.WindowContents("w4");
+  EXPECT_EQ(window.size(), 4u);
+  auto alerts = engine_.TakeAlerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0][0], Value("high"));
+}
+
+TEST_F(StreamEngineTest, RetentionAgesOutOldestFirst) {
+  std::vector<double> aged;
+  engine_.SetAgeOutHandler([&aged](const std::string& stream, const Row& row) {
+    EXPECT_EQ(stream, "small");
+    aged.push_back(row[1].double_unchecked());
+  });
+  BIGDAWG_CHECK_OK(engine_.CreateStream("small", VitalsSchema(), 3));
+  engine_.Start();
+  for (int i = 0; i < 7; ++i) {
+    BIGDAWG_CHECK_OK(engine_.Ingest("small", {Value(1), Value(static_cast<double>(i))}));
+  }
+  engine_.WaitForDrain();
+  engine_.Stop();
+  EXPECT_EQ(engine_.StreamContents("small")->size(), 3u);
+  EXPECT_EQ(aged, (std::vector<double>{0, 1, 2, 3}));
+}
+
+TEST_F(StreamEngineTest, IngestRequiresRunningEngine) {
+  EXPECT_TRUE(engine_.Ingest("vitals", {Value(1), Value(1.0)}).IsFailedPrecondition());
+  engine_.Start();
+  EXPECT_TRUE(engine_.Ingest("missing", {Value(1), Value(1.0)}).IsNotFound());
+  engine_.Stop();
+}
+
+TEST_F(StreamEngineTest, SchemaValidatedOnAppend) {
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("bad_append", [](ProcContext* ctx) {
+    return ctx->AppendToStream("vitals", {Value("wrong"), Value("types")});
+  }));
+  EXPECT_TRUE(engine_.ExecuteProcedure("bad_append", {}).IsTypeError());
+}
+
+TEST_F(StreamEngineTest, CommandLogReplayRebuildsState) {
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("track", [](ProcContext* ctx) {
+    return ctx->Put("latest", ctx->input());
+  }));
+  BIGDAWG_CHECK_OK(engine_.BindStreamTrigger("vitals", "track"));
+  engine_.Start();
+  for (int i = 0; i < 20; ++i) {
+    BIGDAWG_CHECK_OK(engine_.Ingest("vitals", {Value(i % 4), Value(60.0 + i)}));
+  }
+  engine_.WaitForDrain();
+  engine_.Stop();
+  std::vector<LogRecord> log = engine_.SnapshotCommandLog();
+  EXPECT_EQ(log.size(), 20u);  // only top-level txns are logged
+
+  // Fresh engine with the same definitions; replay.
+  StreamEngine recovered;
+  BIGDAWG_CHECK_OK(recovered.CreateStream("vitals", VitalsSchema(), 100));
+  BIGDAWG_CHECK_OK(recovered.CreateTable(
+      "latest", Schema({Field("patient_id", DataType::kInt64),
+                        Field("hr", DataType::kDouble)})));
+  BIGDAWG_CHECK_OK(recovered.RegisterProcedure("track", [](ProcContext* ctx) {
+    return ctx->Put("latest", ctx->input());
+  }));
+  BIGDAWG_CHECK_OK(recovered.BindStreamTrigger("vitals", "track"));
+  BIGDAWG_CHECK_OK(recovered.ReplayLog(log));
+
+  for (int p = 0; p < 4; ++p) {
+    Row original = *engine_.TableGet("latest", Value(p));
+    Row replayed = *recovered.TableGet("latest", Value(p));
+    EXPECT_EQ(original[1], replayed[1]) << "patient " << p;
+  }
+  EXPECT_EQ(recovered.StreamContents("vitals")->size(),
+            engine_.StreamContents("vitals")->size());
+}
+
+TEST_F(StreamEngineTest, LatencyStatsPopulated) {
+  engine_.Start();
+  for (int i = 0; i < 50; ++i) {
+    BIGDAWG_CHECK_OK(engine_.Ingest("vitals", {Value(1), Value(70.0)}));
+  }
+  engine_.WaitForDrain();
+  engine_.Stop();
+  LatencyStats stats = engine_.GetLatencyStats();
+  EXPECT_EQ(stats.count, 50);
+  EXPECT_GT(stats.max_ms, 0.0);
+  EXPECT_LE(stats.p50_ms, stats.p99_ms);
+  EXPECT_LE(stats.p99_ms, stats.max_ms);
+}
+
+TEST_F(StreamEngineTest, CascadingStreams) {
+  // vitals -> derived stream via trigger; derived has its own trigger.
+  BIGDAWG_CHECK_OK(engine_.CreateStream(
+      "elevated", Schema({Field("patient_id", DataType::kInt64),
+                          Field("hr", DataType::kDouble)}), 50));
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("route", [](ProcContext* ctx) {
+    if (ctx->input()[1].double_unchecked() > 100.0) {
+      return ctx->AppendToStream("elevated", ctx->input());
+    }
+    return Status::OK();
+  }));
+  BIGDAWG_CHECK_OK(engine_.RegisterProcedure("count_elevated", [](ProcContext* ctx) {
+    Result<Row> existing = ctx->Get("latest", Value(-1));
+    double count = existing.ok() ? (*existing)[1].double_unchecked() : 0.0;
+    return ctx->Put("latest", {Value(-1), Value(count + 1)});
+  }));
+  BIGDAWG_CHECK_OK(engine_.BindStreamTrigger("vitals", "route"));
+  BIGDAWG_CHECK_OK(engine_.BindStreamTrigger("elevated", "count_elevated"));
+
+  engine_.Start();
+  for (int i = 0; i < 10; ++i) {
+    BIGDAWG_CHECK_OK(
+        engine_.Ingest("vitals", {Value(1), Value(i % 2 == 0 ? 80.0 : 120.0)}));
+  }
+  engine_.WaitForDrain();
+  engine_.Stop();
+  EXPECT_EQ((*engine_.TableGet("latest", Value(-1)))[1], Value(5.0));
+  EXPECT_EQ(engine_.StreamContents("elevated")->size(), 5u);
+}
+
+}  // namespace
+}  // namespace bigdawg::stream

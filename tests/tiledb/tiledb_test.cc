@@ -1,0 +1,147 @@
+#include "tiledb/tiledb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace bigdawg::tiledb {
+namespace {
+
+TileSchema SmallSchema() { return TileSchema{8, 8, 4, 4}; }
+
+TEST(TileDbTest, CreateValidation) {
+  EXPECT_TRUE(TileDbArray::Create({0, 4, 2, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(TileDbArray::Create({4, 4, 0, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(TileDbArray::Create(SmallSchema()).ok());
+}
+
+TEST(TileDbTest, WriteConsolidateRead) {
+  TileDbArray a = *TileDbArray::Create(SmallSchema());
+  BIGDAWG_CHECK_OK(a.Write(1, 2, 3.5));
+  BIGDAWG_CHECK_OK(a.Write(7, 7, -1.0));
+  EXPECT_EQ(a.OpenFragmentSize(), 2u);
+  // Reads see the open fragment before consolidation.
+  EXPECT_EQ(*a.Read(1, 2), 3.5);
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  EXPECT_EQ(a.OpenFragmentSize(), 0u);
+  EXPECT_EQ(*a.Read(1, 2), 3.5);
+  EXPECT_EQ(*a.Read(7, 7), -1.0);
+  EXPECT_EQ(*a.Read(0, 0), 0.0);  // never written
+  EXPECT_EQ(a.NonZeroCount(), 2);
+}
+
+TEST(TileDbTest, OutOfDomainRejected) {
+  TileDbArray a = *TileDbArray::Create(SmallSchema());
+  EXPECT_TRUE(a.Write(8, 0, 1.0).IsOutOfRange());
+  EXPECT_TRUE(a.Write(0, -1, 1.0).IsOutOfRange());
+  EXPECT_TRUE(a.Read(9, 9).status().IsOutOfRange());
+}
+
+TEST(TileDbTest, FragmentOverwritesConsolidated) {
+  TileDbArray a = *TileDbArray::Create(SmallSchema());
+  BIGDAWG_CHECK_OK(a.Write(2, 2, 1.0));
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  BIGDAWG_CHECK_OK(a.Write(2, 2, 9.0));
+  EXPECT_EQ(*a.Read(2, 2), 9.0);  // fragment wins pre-consolidation
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  EXPECT_EQ(*a.Read(2, 2), 9.0);
+  EXPECT_EQ(a.NonZeroCount(), 1);
+}
+
+TEST(TileDbTest, SparseTileStaysSparseDenseTileDensifies) {
+  TileDbArray a = *TileDbArray::Create(SmallSchema());
+  // Tile (0,0): 2 of 16 cells -> sparse. Tile (1,1) rows 4-7, cols 4-7:
+  // fill 8 of 16 -> dense (threshold 0.25).
+  BIGDAWG_CHECK_OK(a.Write(0, 0, 1.0));
+  BIGDAWG_CHECK_OK(a.Write(1, 1, 1.0));
+  for (int64_t i = 0; i < 8; ++i) {
+    BIGDAWG_CHECK_OK(a.Write(4 + i / 4, 4 + i % 4, 2.0));
+  }
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  EXPECT_EQ(a.MaterializedTileCount(), 2);
+  EXPECT_EQ(a.DenseTileCount(), 1);
+  EXPECT_EQ(a.NonZeroCount(), 10);
+}
+
+TEST(TileDbTest, ReadSubarrayMergesFragmentAndTiles) {
+  TileDbArray a = *TileDbArray::Create(SmallSchema());
+  BIGDAWG_CHECK_OK(a.Write(1, 1, 1.0));
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  BIGDAWG_CHECK_OK(a.Write(1, 2, 2.0));  // still in fragment
+  auto cells = *a.ReadSubarray(0, 3, 0, 3);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].value, 1.0);
+  EXPECT_EQ(cells[1].value, 2.0);
+  EXPECT_TRUE(a.ReadSubarray(3, 1, 0, 0).status().IsInvalidArgument());
+}
+
+TEST(TileDbTest, SpMVMatchesDense) {
+  TileDbArray a = *TileDbArray::Create({4, 4, 2, 2});
+  // A = [[1,0,0,2],[0,3,0,0],[0,0,0,0],[4,0,5,0]]
+  BIGDAWG_CHECK_OK(a.Write(0, 0, 1.0));
+  BIGDAWG_CHECK_OK(a.Write(0, 3, 2.0));
+  BIGDAWG_CHECK_OK(a.Write(1, 1, 3.0));
+  BIGDAWG_CHECK_OK(a.Write(3, 0, 4.0));
+  BIGDAWG_CHECK_OK(a.Write(3, 2, 5.0));
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  auto y = *a.SpMV({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(y, (std::vector<double>{9.0, 6.0, 0.0, 19.0}));
+  EXPECT_TRUE(a.SpMV({1.0}).status().IsInvalidArgument());
+}
+
+TEST(TileDbTest, EngineCatalog) {
+  TileDbEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateArray("sparse_lab", SmallSchema()));
+  EXPECT_TRUE(engine.CreateArray("sparse_lab", SmallSchema()).IsAlreadyExists());
+  EXPECT_TRUE(engine.HasArray("sparse_lab"));
+  BIGDAWG_CHECK_OK(engine.WithArray("sparse_lab", [](TileDbArray* a) {
+    BIGDAWG_RETURN_NOT_OK(a->Write(0, 0, 5.0));
+    return a->Consolidate();
+  }));
+  TileDbArray copy = *engine.GetArray("sparse_lab");
+  EXPECT_EQ(*copy.Read(0, 0), 5.0);
+  EXPECT_EQ(engine.ListArrays().size(), 1u);
+  BIGDAWG_CHECK_OK(engine.RemoveArray("sparse_lab"));
+  EXPECT_TRUE(engine.GetArray("sparse_lab").status().IsNotFound());
+}
+
+class TileShapeSweep : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(TileShapeSweep, SpMVInvariantToTileShape) {
+  auto [tr, tc] = GetParam();
+  TileDbArray a = *TileDbArray::Create({16, 16, tr, tc});
+  // Deterministic pattern.
+  for (int64_t r = 0; r < 16; ++r) {
+    for (int64_t c = 0; c < 16; ++c) {
+      if ((r * 7 + c * 3) % 5 == 0) {
+        BIGDAWG_CHECK_OK(a.Write(r, c, static_cast<double>(r + c + 1)));
+      }
+    }
+  }
+  BIGDAWG_CHECK_OK(a.Consolidate());
+  std::vector<double> x(16);
+  for (size_t i = 0; i < 16; ++i) x[i] = static_cast<double>(i) * 0.5 - 3.0;
+  auto y = *a.SpMV(x);
+  // Reference: dense accumulation.
+  std::vector<double> expected(16, 0.0);
+  for (int64_t r = 0; r < 16; ++r) {
+    for (int64_t c = 0; c < 16; ++c) {
+      if ((r * 7 + c * 3) % 5 == 0) {
+        expected[static_cast<size_t>(r)] +=
+            static_cast<double>(r + c + 1) * x[static_cast<size_t>(c)];
+      }
+    }
+  }
+  for (size_t i = 0; i < 16; ++i) EXPECT_NEAR(y[i], expected[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TileShapeSweep,
+                         ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{2, 8},
+                                           std::pair<int64_t, int64_t>{8, 2},
+                                           std::pair<int64_t, int64_t>{16, 16},
+                                           std::pair<int64_t, int64_t>{5, 3}));
+
+}  // namespace
+}  // namespace bigdawg::tiledb
