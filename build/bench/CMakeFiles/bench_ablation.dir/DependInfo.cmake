@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bigdawg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimic/CMakeFiles/bigdawg_mimic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/bigdawg_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/seedb/CMakeFiles/bigdawg_seedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchlight/CMakeFiles/bigdawg_searchlight.dir/DependInfo.cmake"
+  "/root/repo/build/src/visual/CMakeFiles/bigdawg_visual.dir/DependInfo.cmake"
+  "/root/repo/build/src/tupleware/CMakeFiles/bigdawg_tupleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/bigdawg_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/bigdawg_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiledb/CMakeFiles/bigdawg_tiledb.dir/DependInfo.cmake"
+  "/root/repo/build/src/d4m/CMakeFiles/bigdawg_d4m.dir/DependInfo.cmake"
+  "/root/repo/build/src/myria/CMakeFiles/bigdawg_myria.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/bigdawg_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/bigdawg_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

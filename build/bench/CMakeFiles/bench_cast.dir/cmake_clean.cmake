@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cast.dir/bench_cast.cpp.o"
+  "CMakeFiles/bench_cast.dir/bench_cast.cpp.o.d"
+  "bench_cast"
+  "bench_cast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_one_size.dir/bench_one_size.cpp.o"
+  "CMakeFiles/bench_one_size.dir/bench_one_size.cpp.o.d"
+  "bench_one_size"
+  "bench_one_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_one_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

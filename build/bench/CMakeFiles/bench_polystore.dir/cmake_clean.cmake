@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polystore.dir/bench_polystore.cpp.o"
+  "CMakeFiles/bench_polystore.dir/bench_polystore.cpp.o.d"
+  "bench_polystore"
+  "bench_polystore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polystore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_searchlight.dir/bench_searchlight.cpp.o"
+  "CMakeFiles/bench_searchlight.dir/bench_searchlight.cpp.o.d"
+  "bench_searchlight"
+  "bench_searchlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_searchlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

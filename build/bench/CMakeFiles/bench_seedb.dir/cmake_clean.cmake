@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seedb.dir/bench_seedb.cpp.o"
+  "CMakeFiles/bench_seedb.dir/bench_seedb.cpp.o.d"
+  "bench_seedb"
+  "bench_seedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

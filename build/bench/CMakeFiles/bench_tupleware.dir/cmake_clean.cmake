@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tupleware.dir/bench_tupleware.cpp.o"
+  "CMakeFiles/bench_tupleware.dir/bench_tupleware.cpp.o.d"
+  "bench_tupleware"
+  "bench_tupleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tupleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browsing.dir/browsing.cpp.o"
+  "CMakeFiles/browsing.dir/browsing.cpp.o.d"
+  "browsing"
+  "browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

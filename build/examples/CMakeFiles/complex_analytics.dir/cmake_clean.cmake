@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_analytics.dir/complex_analytics.cpp.o"
+  "CMakeFiles/complex_analytics.dir/complex_analytics.cpp.o.d"
+  "complex_analytics"
+  "complex_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploratory_analysis.dir/exploratory_analysis.cpp.o"
+  "CMakeFiles/exploratory_analysis.dir/exploratory_analysis.cpp.o.d"
+  "exploratory_analysis"
+  "exploratory_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploratory_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icu_monitoring.dir/icu_monitoring.cpp.o"
+  "CMakeFiles/icu_monitoring.dir/icu_monitoring.cpp.o.d"
+  "icu_monitoring"
+  "icu_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icu_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

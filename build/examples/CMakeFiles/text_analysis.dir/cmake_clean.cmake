@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_analysis.dir/text_analysis.cpp.o"
+  "CMakeFiles/text_analysis.dir/text_analysis.cpp.o.d"
+  "text_analysis"
+  "text_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("array")
+subdirs("kvstore")
+subdirs("stream")
+subdirs("tiledb")
+subdirs("tupleware")
+subdirs("analytics")
+subdirs("d4m")
+subdirs("myria")
+subdirs("core")
+subdirs("seedb")
+subdirs("searchlight")
+subdirs("visual")
+subdirs("mimic")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/fft.cc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/fft.cc.o" "gcc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/fft.cc.o.d"
+  "/root/repo/src/analytics/kmeans.cc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/kmeans.cc.o" "gcc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/kmeans.cc.o.d"
+  "/root/repo/src/analytics/linalg.cc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/linalg.cc.o" "gcc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/linalg.cc.o.d"
+  "/root/repo/src/analytics/pca.cc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/pca.cc.o" "gcc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/pca.cc.o.d"
+  "/root/repo/src/analytics/regression.cc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/regression.cc.o" "gcc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/regression.cc.o.d"
+  "/root/repo/src/analytics/sparse.cc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/sparse.cc.o" "gcc" "src/analytics/CMakeFiles/bigdawg_analytics.dir/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_analytics.dir/fft.cc.o"
+  "CMakeFiles/bigdawg_analytics.dir/fft.cc.o.d"
+  "CMakeFiles/bigdawg_analytics.dir/kmeans.cc.o"
+  "CMakeFiles/bigdawg_analytics.dir/kmeans.cc.o.d"
+  "CMakeFiles/bigdawg_analytics.dir/linalg.cc.o"
+  "CMakeFiles/bigdawg_analytics.dir/linalg.cc.o.d"
+  "CMakeFiles/bigdawg_analytics.dir/pca.cc.o"
+  "CMakeFiles/bigdawg_analytics.dir/pca.cc.o.d"
+  "CMakeFiles/bigdawg_analytics.dir/regression.cc.o"
+  "CMakeFiles/bigdawg_analytics.dir/regression.cc.o.d"
+  "CMakeFiles/bigdawg_analytics.dir/sparse.cc.o"
+  "CMakeFiles/bigdawg_analytics.dir/sparse.cc.o.d"
+  "libbigdawg_analytics.a"
+  "libbigdawg_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_array.dir/array.cc.o"
+  "CMakeFiles/bigdawg_array.dir/array.cc.o.d"
+  "CMakeFiles/bigdawg_array.dir/array_engine.cc.o"
+  "CMakeFiles/bigdawg_array.dir/array_engine.cc.o.d"
+  "libbigdawg_array.a"
+  "libbigdawg_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

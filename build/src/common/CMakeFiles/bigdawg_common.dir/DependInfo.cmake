@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/binary_io.cc" "src/common/CMakeFiles/bigdawg_common.dir/binary_io.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/binary_io.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/bigdawg_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/lexer.cc" "src/common/CMakeFiles/bigdawg_common.dir/lexer.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/lexer.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/bigdawg_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/common/CMakeFiles/bigdawg_common.dir/schema.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/bigdawg_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/bigdawg_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/bigdawg_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/common/CMakeFiles/bigdawg_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/bigdawg_common.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

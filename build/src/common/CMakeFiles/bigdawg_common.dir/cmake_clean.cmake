@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_common.dir/binary_io.cc.o"
+  "CMakeFiles/bigdawg_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/csv.cc.o"
+  "CMakeFiles/bigdawg_common.dir/csv.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/lexer.cc.o"
+  "CMakeFiles/bigdawg_common.dir/lexer.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/logging.cc.o"
+  "CMakeFiles/bigdawg_common.dir/logging.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/schema.cc.o"
+  "CMakeFiles/bigdawg_common.dir/schema.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/status.cc.o"
+  "CMakeFiles/bigdawg_common.dir/status.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/string_util.cc.o"
+  "CMakeFiles/bigdawg_common.dir/string_util.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/bigdawg_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/bigdawg_common.dir/value.cc.o"
+  "CMakeFiles/bigdawg_common.dir/value.cc.o.d"
+  "libbigdawg_common.a"
+  "libbigdawg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbigdawg_common.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bigdawg.cc" "src/core/CMakeFiles/bigdawg_core.dir/bigdawg.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/bigdawg.cc.o.d"
+  "/root/repo/src/core/cast.cc" "src/core/CMakeFiles/bigdawg_core.dir/cast.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/cast.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/bigdawg_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/islands.cc" "src/core/CMakeFiles/bigdawg_core.dir/islands.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/islands.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/bigdawg_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/prober.cc" "src/core/CMakeFiles/bigdawg_core.dir/prober.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/prober.cc.o.d"
+  "/root/repo/src/core/scope.cc" "src/core/CMakeFiles/bigdawg_core.dir/scope.cc.o" "gcc" "src/core/CMakeFiles/bigdawg_core.dir/scope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/bigdawg_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/bigdawg_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/bigdawg_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/bigdawg_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiledb/CMakeFiles/bigdawg_tiledb.dir/DependInfo.cmake"
+  "/root/repo/build/src/d4m/CMakeFiles/bigdawg_d4m.dir/DependInfo.cmake"
+  "/root/repo/build/src/myria/CMakeFiles/bigdawg_myria.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

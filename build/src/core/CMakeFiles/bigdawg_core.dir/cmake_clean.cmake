@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_core.dir/bigdawg.cc.o"
+  "CMakeFiles/bigdawg_core.dir/bigdawg.cc.o.d"
+  "CMakeFiles/bigdawg_core.dir/cast.cc.o"
+  "CMakeFiles/bigdawg_core.dir/cast.cc.o.d"
+  "CMakeFiles/bigdawg_core.dir/catalog.cc.o"
+  "CMakeFiles/bigdawg_core.dir/catalog.cc.o.d"
+  "CMakeFiles/bigdawg_core.dir/islands.cc.o"
+  "CMakeFiles/bigdawg_core.dir/islands.cc.o.d"
+  "CMakeFiles/bigdawg_core.dir/monitor.cc.o"
+  "CMakeFiles/bigdawg_core.dir/monitor.cc.o.d"
+  "CMakeFiles/bigdawg_core.dir/prober.cc.o"
+  "CMakeFiles/bigdawg_core.dir/prober.cc.o.d"
+  "CMakeFiles/bigdawg_core.dir/scope.cc.o"
+  "CMakeFiles/bigdawg_core.dir/scope.cc.o.d"
+  "libbigdawg_core.a"
+  "libbigdawg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_d4m.dir/assoc_array.cc.o"
+  "CMakeFiles/bigdawg_d4m.dir/assoc_array.cc.o.d"
+  "libbigdawg_d4m.a"
+  "libbigdawg_d4m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_d4m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

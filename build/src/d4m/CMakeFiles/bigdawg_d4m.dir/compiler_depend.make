@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bigdawg_d4m.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bigdawg_d4m.
+# This may be replaced when dependencies are built.

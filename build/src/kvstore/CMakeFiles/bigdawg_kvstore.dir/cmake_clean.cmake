@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/bigdawg_kvstore.dir/kvstore.cc.o.d"
+  "CMakeFiles/bigdawg_kvstore.dir/text_store.cc.o"
+  "CMakeFiles/bigdawg_kvstore.dir/text_store.cc.o.d"
+  "libbigdawg_kvstore.a"
+  "libbigdawg_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_mimic.dir/mimic.cc.o"
+  "CMakeFiles/bigdawg_mimic.dir/mimic.cc.o.d"
+  "libbigdawg_mimic.a"
+  "libbigdawg_mimic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_mimic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

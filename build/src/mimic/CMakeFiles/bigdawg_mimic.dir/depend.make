@@ -1,0 +1,2 @@
+# Empty dependencies file for bigdawg_mimic.
+# This may be replaced when dependencies are built.

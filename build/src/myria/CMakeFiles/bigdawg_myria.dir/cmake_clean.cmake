@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_myria.dir/myria.cc.o"
+  "CMakeFiles/bigdawg_myria.dir/myria.cc.o.d"
+  "libbigdawg_myria.a"
+  "libbigdawg_myria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_myria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bigdawg_myria.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/bigdawg_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/bigdawg_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/executor.cc" "src/relational/CMakeFiles/bigdawg_relational.dir/executor.cc.o" "gcc" "src/relational/CMakeFiles/bigdawg_relational.dir/executor.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/relational/CMakeFiles/bigdawg_relational.dir/expression.cc.o" "gcc" "src/relational/CMakeFiles/bigdawg_relational.dir/expression.cc.o.d"
+  "/root/repo/src/relational/sql_parser.cc" "src/relational/CMakeFiles/bigdawg_relational.dir/sql_parser.cc.o" "gcc" "src/relational/CMakeFiles/bigdawg_relational.dir/sql_parser.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/bigdawg_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/bigdawg_relational.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

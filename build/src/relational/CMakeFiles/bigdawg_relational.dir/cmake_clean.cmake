@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_relational.dir/database.cc.o"
+  "CMakeFiles/bigdawg_relational.dir/database.cc.o.d"
+  "CMakeFiles/bigdawg_relational.dir/executor.cc.o"
+  "CMakeFiles/bigdawg_relational.dir/executor.cc.o.d"
+  "CMakeFiles/bigdawg_relational.dir/expression.cc.o"
+  "CMakeFiles/bigdawg_relational.dir/expression.cc.o.d"
+  "CMakeFiles/bigdawg_relational.dir/sql_parser.cc.o"
+  "CMakeFiles/bigdawg_relational.dir/sql_parser.cc.o.d"
+  "CMakeFiles/bigdawg_relational.dir/table.cc.o"
+  "CMakeFiles/bigdawg_relational.dir/table.cc.o.d"
+  "libbigdawg_relational.a"
+  "libbigdawg_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/searchlight/cp_solver.cc" "src/searchlight/CMakeFiles/bigdawg_searchlight.dir/cp_solver.cc.o" "gcc" "src/searchlight/CMakeFiles/bigdawg_searchlight.dir/cp_solver.cc.o.d"
+  "/root/repo/src/searchlight/searchlight.cc" "src/searchlight/CMakeFiles/bigdawg_searchlight.dir/searchlight.cc.o" "gcc" "src/searchlight/CMakeFiles/bigdawg_searchlight.dir/searchlight.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/bigdawg_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_searchlight.dir/cp_solver.cc.o"
+  "CMakeFiles/bigdawg_searchlight.dir/cp_solver.cc.o.d"
+  "CMakeFiles/bigdawg_searchlight.dir/searchlight.cc.o"
+  "CMakeFiles/bigdawg_searchlight.dir/searchlight.cc.o.d"
+  "libbigdawg_searchlight.a"
+  "libbigdawg_searchlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_searchlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_seedb.dir/seedb.cc.o"
+  "CMakeFiles/bigdawg_seedb.dir/seedb.cc.o.d"
+  "libbigdawg_seedb.a"
+  "libbigdawg_seedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_seedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

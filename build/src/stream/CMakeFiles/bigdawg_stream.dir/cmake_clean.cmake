@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_stream.dir/stream_engine.cc.o"
+  "CMakeFiles/bigdawg_stream.dir/stream_engine.cc.o.d"
+  "libbigdawg_stream.a"
+  "libbigdawg_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

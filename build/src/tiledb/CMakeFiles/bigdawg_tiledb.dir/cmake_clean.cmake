@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_tiledb.dir/tiledb.cc.o"
+  "CMakeFiles/bigdawg_tiledb.dir/tiledb.cc.o.d"
+  "libbigdawg_tiledb.a"
+  "libbigdawg_tiledb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_tiledb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bigdawg_tiledb.
+# This may be replaced when dependencies are built.

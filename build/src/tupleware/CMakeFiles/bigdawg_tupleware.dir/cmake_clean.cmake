@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_tupleware.dir/tupleware.cc.o"
+  "CMakeFiles/bigdawg_tupleware.dir/tupleware.cc.o.d"
+  "libbigdawg_tupleware.a"
+  "libbigdawg_tupleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_tupleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

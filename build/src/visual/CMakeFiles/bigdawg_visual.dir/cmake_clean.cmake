@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigdawg_visual.dir/scalar.cc.o"
+  "CMakeFiles/bigdawg_visual.dir/scalar.cc.o.d"
+  "libbigdawg_visual.a"
+  "libbigdawg_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigdawg_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics/fft_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/fft_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/fft_test.cc.o.d"
+  "/root/repo/tests/analytics/linalg_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/linalg_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/linalg_test.cc.o.d"
+  "/root/repo/tests/analytics/ml_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/ml_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/ml_test.cc.o.d"
+  "/root/repo/tests/analytics/sparse_test.cc" "tests/CMakeFiles/analytics_test.dir/analytics/sparse_test.cc.o" "gcc" "tests/CMakeFiles/analytics_test.dir/analytics/sparse_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/bigdawg_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

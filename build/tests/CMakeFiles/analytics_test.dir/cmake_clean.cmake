@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_test.dir/analytics/fft_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/fft_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/linalg_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/linalg_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/ml_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/ml_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/sparse_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/sparse_test.cc.o.d"
+  "analytics_test"
+  "analytics_test.pdb"
+  "analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

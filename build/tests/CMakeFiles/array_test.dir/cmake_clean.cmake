@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_test.dir/array/afl_extensions_test.cc.o"
+  "CMakeFiles/array_test.dir/array/afl_extensions_test.cc.o.d"
+  "CMakeFiles/array_test.dir/array/array_engine_test.cc.o"
+  "CMakeFiles/array_test.dir/array/array_engine_test.cc.o.d"
+  "CMakeFiles/array_test.dir/array/array_test.cc.o"
+  "CMakeFiles/array_test.dir/array/array_test.cc.o.d"
+  "array_test"
+  "array_test.pdb"
+  "array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

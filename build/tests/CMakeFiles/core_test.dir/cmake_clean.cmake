@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/bigdawg_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bigdawg_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cast_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cast_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cast_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cast_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/catalog_test.cc.o"
+  "CMakeFiles/core_test.dir/core/catalog_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/islands_test.cc.o"
+  "CMakeFiles/core_test.dir/core/islands_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/monitor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/monitor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/parallel_cast_test.cc.o"
+  "CMakeFiles/core_test.dir/core/parallel_cast_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/prober_test.cc.o"
+  "CMakeFiles/core_test.dir/core/prober_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/replication_test.cc.o"
+  "CMakeFiles/core_test.dir/core/replication_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

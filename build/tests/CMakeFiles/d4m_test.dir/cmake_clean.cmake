@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d4m_test.dir/d4m/assoc_array_test.cc.o"
+  "CMakeFiles/d4m_test.dir/d4m/assoc_array_test.cc.o.d"
+  "d4m_test"
+  "d4m_test.pdb"
+  "d4m_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d4m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimic_test.dir/mimic/mimic_test.cc.o"
+  "CMakeFiles/mimic_test.dir/mimic/mimic_test.cc.o.d"
+  "mimic_test"
+  "mimic_test.pdb"
+  "mimic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myria_test.dir/myria/myria_test.cc.o"
+  "CMakeFiles/myria_test.dir/myria/myria_test.cc.o.d"
+  "myria_test"
+  "myria_test.pdb"
+  "myria_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myria_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/relational/database_test.cc" "tests/CMakeFiles/relational_test.dir/relational/database_test.cc.o" "gcc" "tests/CMakeFiles/relational_test.dir/relational/database_test.cc.o.d"
+  "/root/repo/tests/relational/executor_test.cc" "tests/CMakeFiles/relational_test.dir/relational/executor_test.cc.o" "gcc" "tests/CMakeFiles/relational_test.dir/relational/executor_test.cc.o.d"
+  "/root/repo/tests/relational/expression_test.cc" "tests/CMakeFiles/relational_test.dir/relational/expression_test.cc.o" "gcc" "tests/CMakeFiles/relational_test.dir/relational/expression_test.cc.o.d"
+  "/root/repo/tests/relational/sql_parser_test.cc" "tests/CMakeFiles/relational_test.dir/relational/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/relational_test.dir/relational/sql_parser_test.cc.o.d"
+  "/root/repo/tests/relational/update_test.cc" "tests/CMakeFiles/relational_test.dir/relational/update_test.cc.o" "gcc" "tests/CMakeFiles/relational_test.dir/relational/update_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/bigdawg_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/executor_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/executor_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/expression_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/expression_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/sql_parser_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/sql_parser_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/update_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/update_test.cc.o.d"
+  "relational_test"
+  "relational_test.pdb"
+  "relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

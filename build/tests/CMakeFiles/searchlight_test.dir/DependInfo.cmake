@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/searchlight/cp_solver_test.cc" "tests/CMakeFiles/searchlight_test.dir/searchlight/cp_solver_test.cc.o" "gcc" "tests/CMakeFiles/searchlight_test.dir/searchlight/cp_solver_test.cc.o.d"
+  "/root/repo/tests/searchlight/searchlight_test.cc" "tests/CMakeFiles/searchlight_test.dir/searchlight/searchlight_test.cc.o" "gcc" "tests/CMakeFiles/searchlight_test.dir/searchlight/searchlight_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/searchlight/CMakeFiles/bigdawg_searchlight.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/bigdawg_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bigdawg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

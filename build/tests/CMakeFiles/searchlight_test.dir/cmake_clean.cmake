@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searchlight_test.dir/searchlight/cp_solver_test.cc.o"
+  "CMakeFiles/searchlight_test.dir/searchlight/cp_solver_test.cc.o.d"
+  "CMakeFiles/searchlight_test.dir/searchlight/searchlight_test.cc.o"
+  "CMakeFiles/searchlight_test.dir/searchlight/searchlight_test.cc.o.d"
+  "searchlight_test"
+  "searchlight_test.pdb"
+  "searchlight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searchlight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

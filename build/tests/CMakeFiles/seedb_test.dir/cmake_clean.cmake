@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedb_test.dir/seedb/seedb_test.cc.o"
+  "CMakeFiles/seedb_test.dir/seedb/seedb_test.cc.o.d"
+  "seedb_test"
+  "seedb_test.pdb"
+  "seedb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

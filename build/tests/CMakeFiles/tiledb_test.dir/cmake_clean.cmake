@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiledb_test.dir/tiledb/tiledb_test.cc.o"
+  "CMakeFiles/tiledb_test.dir/tiledb/tiledb_test.cc.o.d"
+  "tiledb_test"
+  "tiledb_test.pdb"
+  "tiledb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiledb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

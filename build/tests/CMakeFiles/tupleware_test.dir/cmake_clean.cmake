@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupleware_test.dir/tupleware/tupleware_test.cc.o"
+  "CMakeFiles/tupleware_test.dir/tupleware/tupleware_test.cc.o.d"
+  "tupleware_test"
+  "tupleware_test.pdb"
+  "tupleware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupleware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/array_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/tiledb_test[1]_include.cmake")
+include("/root/repo/build/tests/tupleware_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/d4m_test[1]_include.cmake")
+include("/root/repo/build/tests/myria_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/seedb_test[1]_include.cmake")
+include("/root/repo/build/tests/searchlight_test[1]_include.cmake")
+include("/root/repo/build/tests/visual_test[1]_include.cmake")
+include("/root/repo/build/tests/mimic_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
