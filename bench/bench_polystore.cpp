@@ -57,7 +57,6 @@ int main() {
   Stopwatch total;
   auto cross = *dawg.Execute(kCrossQuery);
   double cross_ms = total.ElapsedMillis();
-  dawg.ClearTemporaries();
 
   // Cost anatomy: the CAST alone.
   Stopwatch cast_timer;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification: build + tests twice — a plain build, then a
+# ThreadSanitizer build that exercises the concurrent query service and
+# stress tests under the race detector.
+#
+# Usage: scripts/check.sh [--plain-only|--tsan-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${1:-all}"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  (cd "$build_dir" && ctest --output-on-failure)
+}
+
+if [[ "$MODE" != "--tsan-only" ]]; then
+  echo "==== plain build + ctest ===="
+  run_suite build
+fi
+
+if [[ "$MODE" != "--plain-only" ]]; then
+  echo "==== ThreadSanitizer build + ctest ===="
+  run_suite build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+echo "==== all checks passed ===="

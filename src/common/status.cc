@@ -31,6 +31,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Parse error";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -77,6 +83,15 @@ Status Status::TypeError(std::string msg) {
 }
 Status Status::ParseError(std::string msg) {
   return Status(StatusCode::kParseError, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
 }
 Status Status::Aborted(std::string msg) {
   return Status(StatusCode::kAborted, std::move(msg));

@@ -21,6 +21,9 @@ enum class StatusCode : int {
   kTypeError = 9,
   kParseError = 10,
   kAborted = 11,
+  kResourceExhausted = 12,
+  kDeadlineExceeded = 13,
+  kCancelled = 14,
 };
 
 /// \brief Returns a stable human-readable name, e.g. "Invalid argument".
@@ -55,6 +58,9 @@ class Status {
   static Status TypeError(std::string msg);
   static Status ParseError(std::string msg);
   static Status Aborted(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status Cancelled(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -72,6 +78,13 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

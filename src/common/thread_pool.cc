@@ -1,8 +1,13 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
 namespace bigdawg {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -27,6 +32,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -43,7 +59,20 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "ThreadPool: task threw (%s); tasks must report errors "
+                   "via Status, not exceptions\n",
+                   e.what());
+      std::abort();
+    } catch (...) {
+      std::fprintf(stderr,
+                   "ThreadPool: task threw a non-std::exception; tasks must "
+                   "report errors via Status, not exceptions\n");
+      std::abort();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

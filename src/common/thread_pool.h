@@ -4,29 +4,60 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace bigdawg {
 
 /// \brief A fixed-size worker pool used by the polystore executor to run
 /// per-engine subqueries concurrently.
+///
+/// Task contract: tasks must not throw. The polystore reports failures
+/// through Status/Result, never exceptions; a task that does throw is a
+/// programming error, and the worker aborts the process with a clear
+/// message rather than corrupting state via undefined behavior.
+/// (SubmitWithResult is the exception-safe variant: std::packaged_task
+/// captures a throw into the returned future.)
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  /// `max_queue` bounds the number of *queued* (not yet running) tasks
+  /// TrySubmit will accept; 0 means unbounded.
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; tasks must not throw.
+  /// Enqueues a task unconditionally; tasks must not throw.
   void Submit(std::function<void()> task);
+
+  /// Bounded-queue variant: enqueues the task unless the pending queue is
+  /// at `max_queue()` (or the pool is stopping). Returns false on reject —
+  /// the caller keeps ownership of the work and degrades gracefully
+  /// instead of growing the queue without bound.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result. Exceptions
+  /// thrown by `fn` are captured into the future (std::packaged_task),
+  /// so this variant is exempt from the no-throw contract.
+  template <typename F>
+  auto SubmitWithResult(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit([task] { (*task)(); });
+    return result;
+  }
 
   /// Blocks until every submitted task has finished.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
+  size_t max_queue() const { return max_queue_; }
 
  private:
   void WorkerLoop();
@@ -36,6 +67,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t max_queue_ = 0;
   size_t active_ = 0;
   bool stop_ = false;
 };

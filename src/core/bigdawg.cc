@@ -1,5 +1,8 @@
 #include "core/bigdawg.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/lexer.h"
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -112,6 +115,7 @@ Result<relational::Table> BigDawg::FetchTableFrom(const std::string& engine,
     return ArrayToTable(a);
   }
   if (loc.engine == kEngineD4m) {
+    std::shared_lock lock(assoc_mu_);
     auto it = assoc_store_.find(loc.native_name);
     if (it == assoc_store_.end()) {
       return Status::Internal("catalog points at missing assoc object: " + native);
@@ -150,6 +154,7 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
     return TileMatrixToArray(m);
   }
   if (loc.engine == kEngineD4m) {
+    std::shared_lock lock(assoc_mu_);
     auto it = assoc_store_.find(loc.native_name);
     if (it == assoc_store_.end()) {
       return Status::Internal("catalog points at missing assoc object: " + object);
@@ -163,6 +168,7 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
 Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
   if (loc.engine == kEngineD4m) {
+    std::shared_lock lock(assoc_mu_);
     auto it = assoc_store_.find(loc.native_name);
     if (it == assoc_store_.end()) {
       return Status::Internal("catalog points at missing assoc object: " + object);
@@ -193,7 +199,7 @@ Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
 // ---------------------------------------------------------------------------
 
 Status BigDawg::StoreTableAs(const relational::Table& table, DataModel model,
-                             const std::string& object, bool temporary) {
+                             const std::string& object, ExecContext* temp_owner) {
   switch (model) {
     case DataModel::kRelation: {
       BIGDAWG_RETURN_NOT_OK(relational_.PutTable(object, table));
@@ -208,7 +214,10 @@ Status BigDawg::StoreTableAs(const relational::Table& table, DataModel model,
     }
     case DataModel::kAssociative: {
       BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, TableToAssoc(table));
-      assoc_store_[object] = std::move(a);
+      {
+        std::unique_lock lock(assoc_mu_);
+        assoc_store_[object] = std::move(a);
+      }
       BIGDAWG_RETURN_NOT_OK(catalog_.Register({object, kEngineD4m, object}));
       break;
     }
@@ -220,27 +229,24 @@ Status BigDawg::StoreTableAs(const relational::Table& table, DataModel model,
       break;
     }
   }
-  if (temporary) temporaries_.push_back(object);
+  if (temp_owner != nullptr) temp_owner->temporaries.push_back(object);
   return Status::OK();
 }
 
 Status BigDawg::CastAndStore(const std::string& object, DataModel target,
                              const std::string& new_object) {
   BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, FetchAsTable(object));
-  return StoreTableAs(table, target, new_object, /*temporary=*/false);
+  return StoreTableAs(table, target, new_object, /*temp_owner=*/nullptr);
 }
 
-void BigDawg::ClearTemporaries() {
-  for (const std::string& name : temporaries_) {
+void BigDawg::ClearTemporaries(ExecContext* ctx) {
+  for (const std::string& name : ctx->temporaries) {
     Result<ObjectLocation> loc = catalog_.Lookup(name);
     if (!loc.ok()) continue;
-    if (loc->engine == kEnginePostgres) (void)relational_.DropTable(loc->native_name);
-    if (loc->engine == kEngineSciDb) (void)array_.RemoveArray(loc->native_name);
-    if (loc->engine == kEngineTileDb) (void)tiledb_.RemoveArray(loc->native_name);
-    if (loc->engine == kEngineD4m) assoc_store_.erase(loc->native_name);
+    DropPhysical(loc->engine, loc->native_name);
     (void)catalog_.Remove(name);
   }
-  temporaries_.clear();
+  ctx->temporaries.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -264,6 +270,7 @@ Status BigDawg::StoreTableOnEngine(const relational::Table& table,
   }
   if (engine == kEngineD4m) {
     BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, TableToAssoc(table));
+    std::unique_lock lock(assoc_mu_);
     assoc_store_[native] = std::move(a);
     return Status::OK();
   }
@@ -274,7 +281,10 @@ void BigDawg::DropPhysical(const std::string& engine, const std::string& native)
   if (engine == kEnginePostgres) (void)relational_.DropTable(native);
   if (engine == kEngineSciDb) (void)array_.RemoveArray(native);
   if (engine == kEngineTileDb) (void)tiledb_.RemoveArray(native);
-  if (engine == kEngineD4m) assoc_store_.erase(native);
+  if (engine == kEngineD4m) {
+    std::unique_lock lock(assoc_mu_);
+    assoc_store_.erase(native);
+  }
 }
 
 Status BigDawg::MigrateObject(const std::string& object,

@@ -1,8 +1,10 @@
 #ifndef BIGDAWG_CORE_BIGDAWG_H_
 #define BIGDAWG_CORE_BIGDAWG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "common/result.h"
 #include "core/cast.h"
 #include "core/catalog.h"
+#include "core/exec_context.h"
 #include "core/island.h"
 #include "core/islands.h"
 #include "core/monitor.h"
@@ -54,6 +57,9 @@ class BigDawg {
   kvstore::TextStore& accumulo() { return text_; }
   stream::StreamEngine& sstore() { return stream_; }
   tiledb::TileDbEngine& tiledb() { return tiledb_; }
+  /// Raw access to the middleware-resident associative store, for
+  /// single-threaded data loading; concurrent executions go through the
+  /// internally locked paths.
   std::map<std::string, d4m::AssocArray>& assoc_store() { return assoc_store_; }
 
   Catalog& catalog() { return catalog_; }
@@ -66,8 +72,15 @@ class BigDawg {
 
   // ---- The query surface ----
 
-  /// Executes a (possibly SCOPE-wrapped, CAST-containing) query.
+  /// Executes a (possibly SCOPE-wrapped, CAST-containing) query with an
+  /// anonymous per-call execution context.
   Result<relational::Table> Execute(const std::string& query);
+
+  /// Executes a query under a caller-provided context. The context
+  /// carries the CAST temp-object namespace (so concurrent executions
+  /// cannot collide), the cooperative cancellation flag, and the
+  /// deadline; exec::QueryService threads one per submitted query.
+  Result<relational::Table> Execute(const std::string& query, ExecContext* ctx);
 
   /// Islands registered in this polystore (the paper's eight).
   std::vector<std::string> ListIslands() const;
@@ -109,14 +122,14 @@ class BigDawg {
   /// number of objects migrated.
   Result<int64_t> ApplyMigrations();
 
-  /// Drops temporary objects created by CAST. Called automatically when
-  /// the outermost Execute() finishes; public for manual cleanup after
-  /// direct StoreTableAs-style use.
-  void ClearTemporaries();
-
  private:
+  /// Stores a relation under `object` in the target model. When
+  /// `temp_owner` is non-null the object is registered as a CAST
+  /// temporary of that execution and dropped when it finishes.
   Status StoreTableAs(const relational::Table& table, DataModel model,
-                      const std::string& object, bool temporary);
+                      const std::string& object, ExecContext* temp_owner);
+  /// Drops the CAST temporaries a finished execution created.
+  void ClearTemporaries(ExecContext* ctx);
   /// Stores a relation on an engine (converting as needed) under `native`.
   Status StoreTableOnEngine(const relational::Table& table,
                             const std::string& engine, const std::string& native);
@@ -128,8 +141,9 @@ class BigDawg {
 
   // SCOPE/CAST machinery (implemented in scope.cc).
   Result<relational::Table> ExecuteScoped(const std::string& island_name,
-                                          const std::string& inner_query);
-  Result<std::string> RewriteCasts(const std::string& query);
+                                          const std::string& inner_query,
+                                          ExecContext* ctx);
+  Result<std::string> RewriteCasts(const std::string& query, ExecContext* ctx);
 
   relational::Database relational_;
   array::ArrayEngine array_;
@@ -141,9 +155,12 @@ class BigDawg {
   Catalog catalog_;
   Monitor monitor_;
   std::map<std::string, std::unique_ptr<Island>> islands_;
-  std::vector<std::string> temporaries_;
-  int64_t temp_counter_ = 0;
-  int exec_depth_ = 0;
+  /// Sequence for anonymous ExecContext temp namespaces.
+  std::atomic<int64_t> ctx_seq_{0};
+  /// Guards assoc_store_: unlike the engines, which synchronize
+  /// internally, the middleware-resident associative store is a plain
+  /// map. The accessor above is for single-threaded loading only.
+  mutable std::shared_mutex assoc_mu_;
 };
 
 }  // namespace bigdawg::core

@@ -24,6 +24,58 @@ void Monitor::RecordComparison(const std::string& workload_class,
   usage.total_ms += elapsed_ms;
 }
 
+void Monitor::RecordIslandExecution(const std::string& island, double elapsed_ms) {
+  std::lock_guard lock(mu_);
+  LatencyWindow& window = island_latency_[island];
+  ++window.count;
+  window.total_ms += elapsed_ms;
+  if (window.recent.size() < kLatencyWindow) {
+    window.recent.push_back(elapsed_ms);
+  } else {
+    window.recent[window.next] = elapsed_ms;
+    window.next = (window.next + 1) % kLatencyWindow;
+  }
+}
+
+IslandLatencyStats Monitor::SummarizeLocked(const std::string& island,
+                                            const LatencyWindow& window) const {
+  IslandLatencyStats stats;
+  stats.island = island;
+  stats.count = window.count;
+  stats.mean_ms =
+      window.count > 0 ? window.total_ms / static_cast<double>(window.count) : 0;
+  if (!window.recent.empty()) {
+    std::vector<double> sorted = window.recent;
+    std::sort(sorted.begin(), sorted.end());
+    auto quantile = [&sorted](double q) {
+      size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+      return sorted[idx];
+    };
+    stats.p50_ms = quantile(0.50);
+    stats.p95_ms = quantile(0.95);
+  }
+  return stats;
+}
+
+Result<IslandLatencyStats> Monitor::IslandStats(const std::string& island) const {
+  std::lock_guard lock(mu_);
+  auto it = island_latency_.find(island);
+  if (it == island_latency_.end()) {
+    return Status::NotFound("no executions recorded for island: " + island);
+  }
+  return SummarizeLocked(island, it->second);
+}
+
+std::vector<IslandLatencyStats> Monitor::AllIslandStats() const {
+  std::lock_guard lock(mu_);
+  std::vector<IslandLatencyStats> out;
+  out.reserve(island_latency_.size());
+  for (const auto& [island, window] : island_latency_) {
+    out.push_back(SummarizeLocked(island, window));
+  }
+  return out;
+}
+
 Result<std::string> Monitor::BestEngineFor(const std::string& workload_class) const {
   std::vector<EngineTiming> timings = TimingsFor(workload_class);
   if (timings.empty()) {

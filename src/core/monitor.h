@@ -20,6 +20,18 @@ struct MigrationSuggestion {
   int64_t accesses = 0; // accesses observed for the object
 };
 
+/// \brief Aggregated execution-latency statistics for one island,
+/// computed over all recorded executions (count/mean) and a bounded
+/// window of recent samples (percentiles). Read by the query service's
+/// stats surface and by benchmarks.
+struct IslandLatencyStats {
+  std::string island;
+  int64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;  // over the recent-sample window
+  double p95_ms = 0;  // over the recent-sample window
+};
+
 /// \brief Per-engine observations from monitor-driven re-execution of a
 /// query class on multiple engines (the paper's "learning which engines
 /// excel at which types of queries").
@@ -49,6 +61,15 @@ class Monitor {
   /// Records one island execution touching `object`.
   void RecordAccess(const std::string& object, const std::string& island,
                     double elapsed_ms);
+
+  /// Records the wall time of one successful island execution (called by
+  /// the SCOPE dispatcher for every query).
+  void RecordIslandExecution(const std::string& island, double elapsed_ms);
+
+  /// Latency statistics for one island; NotFound before any execution.
+  Result<IslandLatencyStats> IslandStats(const std::string& island) const;
+  /// Latency statistics for every island seen so far, by island name.
+  std::vector<IslandLatencyStats> AllIslandStats() const;
 
   /// Records a comparative timing of `workload_class` on `engine`.
   void RecordComparison(const std::string& workload_class,
@@ -80,11 +101,25 @@ class Monitor {
     double total_ms = 0;
   };
 
+  /// Ring of recent latency samples feeding the percentile estimates.
+  struct LatencyWindow {
+    int64_t count = 0;
+    double total_ms = 0;
+    std::vector<double> recent;  // ring buffer, kLatencyWindow samples
+    size_t next = 0;
+  };
+  static constexpr size_t kLatencyWindow = 512;
+
+  IslandLatencyStats SummarizeLocked(const std::string& island,
+                                     const LatencyWindow& window) const;
+
   mutable std::mutex mu_;
   // object -> island -> usage
   std::map<std::string, std::map<std::string, IslandUsage>> access_;
   // workload class -> engine -> (count, total ms)
   std::map<std::string, std::map<std::string, IslandUsage>> comparisons_;
+  // island -> execution latencies
+  std::map<std::string, LatencyWindow> island_latency_;
 };
 
 }  // namespace bigdawg::core

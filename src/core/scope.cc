@@ -100,9 +100,11 @@ Result<bool> FindFirstCast(const std::string& text, CastSite* site) {
 
 }  // namespace
 
-Result<std::string> BigDawg::RewriteCasts(const std::string& query) {
+Result<std::string> BigDawg::RewriteCasts(const std::string& query,
+                                          ExecContext* ctx) {
   std::string text = query;
   while (true) {
+    BIGDAWG_RETURN_NOT_OK(ctx->Check());
     CastSite site;
     BIGDAWG_ASSIGN_OR_RETURN(bool found, FindFirstCast(text, &site));
     if (!found) break;
@@ -111,32 +113,35 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query) {
     relational::Table source;
     std::string scope_island, scope_inner;
     if (TrySplitScope(site.arg0, islands_, &scope_island, &scope_inner)) {
-      BIGDAWG_ASSIGN_OR_RETURN(source, Execute(site.arg0));
+      BIGDAWG_ASSIGN_OR_RETURN(source, Execute(site.arg0, ctx));
     } else {
       BIGDAWG_ASSIGN_OR_RETURN(source, FetchAsTable(site.arg0));
     }
     BIGDAWG_ASSIGN_OR_RETURN(DataModel model, DataModelFromString(site.arg1));
 
-    std::string temp_name = "__cast_" + std::to_string(temp_counter_++);
-    BIGDAWG_RETURN_NOT_OK(StoreTableAs(source, model, temp_name, /*temporary=*/true));
+    std::string temp_name = ctx->NextTempName();
+    BIGDAWG_RETURN_NOT_OK(StoreTableAs(source, model, temp_name, ctx));
     text = text.substr(0, site.begin) + temp_name + text.substr(site.end);
   }
   return text;
 }
 
 Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
-                                                 const std::string& inner_query) {
+                                                 const std::string& inner_query,
+                                                 ExecContext* ctx) {
   auto it = islands_.find(island_name);
   if (it == islands_.end()) {
     return Status::NotFound("no island named " + island_name);
   }
-  BIGDAWG_ASSIGN_OR_RETURN(std::string rewritten, RewriteCasts(inner_query));
+  BIGDAWG_ASSIGN_OR_RETURN(std::string rewritten, RewriteCasts(inner_query, ctx));
+  BIGDAWG_RETURN_NOT_OK(ctx->Check());
 
   Stopwatch timer;
   Result<relational::Table> result = it->second->Execute(rewritten);
   const double elapsed_ms = timer.ElapsedMillis();
 
   if (result.ok()) {
+    monitor_.RecordIslandExecution(island_name, elapsed_ms);
     // Monitoring: attribute this execution to every referenced object.
     Result<std::vector<Token>> tokens = Tokenize(rewritten);
     if (tokens.ok()) {
@@ -154,23 +159,36 @@ Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
 }
 
 Result<relational::Table> BigDawg::Execute(const std::string& query) {
+  ExecContext ctx;
+  // Process-unique namespace so concurrent anonymous executions cannot
+  // collide on temp names.
+  ctx.temp_prefix =
+      "__cast_c" + std::to_string(ctx_seq_.fetch_add(1, std::memory_order_relaxed)) +
+      "_";
+  return Execute(query, &ctx);
+}
+
+Result<relational::Table> BigDawg::Execute(const std::string& query,
+                                           ExecContext* ctx) {
   // CAST temporaries created anywhere in this (possibly nested) execution
   // are dropped when the outermost Execute finishes — results are always
   // materialized tables, so temps never outlive the query.
   struct DepthGuard {
     BigDawg* dawg;
-    explicit DepthGuard(BigDawg* d) : dawg(d) { ++dawg->exec_depth_; }
+    ExecContext* ctx;
+    DepthGuard(BigDawg* d, ExecContext* c) : dawg(d), ctx(c) { ++ctx->depth; }
     ~DepthGuard() {
-      if (--dawg->exec_depth_ == 0) dawg->ClearTemporaries();
+      if (--ctx->depth == 0) dawg->ClearTemporaries(ctx);
     }
-  } guard(this);
+  } guard(this, ctx);
 
+  BIGDAWG_RETURN_NOT_OK(ctx->Check());
   std::string island_name, inner;
   if (TrySplitScope(query, islands_, &island_name, &inner)) {
-    return ExecuteScoped(island_name, inner);
+    return ExecuteScoped(island_name, inner, ctx);
   }
   // No explicit SCOPE: default to the relational island.
-  return ExecuteScoped("RELATIONAL", Trim(query));
+  return ExecuteScoped("RELATIONAL", Trim(query), ctx);
 }
 
 }  // namespace bigdawg::core

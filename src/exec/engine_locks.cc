@@ -1,0 +1,58 @@
+#include "exec/engine_locks.h"
+
+#include "core/catalog.h"
+
+namespace bigdawg::exec {
+
+uint32_t EngineLockBitFor(const std::string& engine) {
+  if (engine == core::kEnginePostgres) return kLockPostgres;
+  if (engine == core::kEngineSciDb) return kLockSciDb;
+  if (engine == core::kEngineAccumulo) return kLockAccumulo;
+  if (engine == core::kEngineSStore) return kLockSStore;
+  if (engine == core::kEngineTileDb) return kLockTileDb;
+  if (engine == core::kEngineD4m) return kLockD4m;
+  return 0;
+}
+
+EngineLockManager::ScopedLocks& EngineLockManager::ScopedLocks::operator=(
+    ScopedLocks&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    shared_ = other.shared_;
+    exclusive_ = other.exclusive_;
+    other.mgr_ = nullptr;
+  }
+  return *this;
+}
+
+void EngineLockManager::ScopedLocks::Release() {
+  if (mgr_ == nullptr) return;
+  // Release in reverse acquisition order.
+  for (size_t i = kNumEngineLocks; i-- > 0;) {
+    uint32_t bit = 1u << i;
+    if (exclusive_ & bit) {
+      mgr_->locks_[i].unlock();
+    } else if (shared_ & bit) {
+      mgr_->locks_[i].unlock_shared();
+    }
+  }
+  mgr_ = nullptr;
+}
+
+EngineLockManager::ScopedLocks EngineLockManager::Acquire(uint32_t shared_mask,
+                                                          uint32_t exclusive_mask) {
+  shared_mask &= kLockAllEngines & ~exclusive_mask;
+  exclusive_mask &= kLockAllEngines;
+  for (size_t i = 0; i < kNumEngineLocks; ++i) {
+    uint32_t bit = 1u << i;
+    if (exclusive_mask & bit) {
+      locks_[i].lock();
+    } else if (shared_mask & bit) {
+      locks_[i].lock_shared();
+    }
+  }
+  return ScopedLocks(this, shared_mask, exclusive_mask);
+}
+
+}  // namespace bigdawg::exec

@@ -1,0 +1,80 @@
+#ifndef BIGDAWG_EXEC_ENGINE_LOCKS_H_
+#define BIGDAWG_EXEC_ENGINE_LOCKS_H_
+
+#include <array>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+
+namespace bigdawg::exec {
+
+/// Bitmask identifying federation engines for lock-set computation.
+/// The bit order is the canonical lock-acquisition order (deadlock
+/// avoidance: every caller acquires in ascending bit order).
+enum EngineLockBit : uint32_t {
+  kLockPostgres = 1u << 0,
+  kLockSciDb = 1u << 1,
+  kLockAccumulo = 1u << 2,
+  kLockSStore = 1u << 3,
+  kLockTileDb = 1u << 4,
+  kLockD4m = 1u << 5,
+};
+inline constexpr uint32_t kLockAllEngines = (1u << 6) - 1;
+inline constexpr size_t kNumEngineLocks = 6;
+
+/// Lock bit for a canonical engine name (core::kEngine*); 0 when unknown.
+uint32_t EngineLockBitFor(const std::string& engine);
+
+/// \brief Reader/writer locks, one per storage engine.
+///
+/// The engines synchronize their own containers internally, so these
+/// locks are not about memory safety — they give multi-step polystore
+/// operations (CAST materialization, migration, replica refresh) a
+/// consistent view: readers of an engine share it, while operations that
+/// move or rewrite objects on an engine exclude everything else touching
+/// that engine. Read-only queries on disjoint engines proceed in
+/// parallel.
+class EngineLockManager {
+ public:
+  EngineLockManager() = default;
+  EngineLockManager(const EngineLockManager&) = delete;
+  EngineLockManager& operator=(const EngineLockManager&) = delete;
+
+  /// RAII holder for an acquired lock set; releases on destruction.
+  class ScopedLocks {
+   public:
+    ScopedLocks() = default;
+    ScopedLocks(ScopedLocks&& other) noexcept
+        : mgr_(other.mgr_), shared_(other.shared_), exclusive_(other.exclusive_) {
+      other.mgr_ = nullptr;
+    }
+    ScopedLocks& operator=(ScopedLocks&& other) noexcept;
+    ScopedLocks(const ScopedLocks&) = delete;
+    ScopedLocks& operator=(const ScopedLocks&) = delete;
+    ~ScopedLocks() { Release(); }
+
+    void Release();
+
+   private:
+    friend class EngineLockManager;
+    ScopedLocks(EngineLockManager* mgr, uint32_t shared, uint32_t exclusive)
+        : mgr_(mgr), shared_(shared), exclusive_(exclusive) {}
+
+    EngineLockManager* mgr_ = nullptr;
+    uint32_t shared_ = 0;
+    uint32_t exclusive_ = 0;
+  };
+
+  /// Blocks until every engine in `shared_mask` is held shared and every
+  /// engine in `exclusive_mask` is held exclusive (exclusive wins when an
+  /// engine appears in both). Locks are taken in canonical order, so
+  /// concurrent acquirers cannot deadlock.
+  ScopedLocks Acquire(uint32_t shared_mask, uint32_t exclusive_mask);
+
+ private:
+  std::array<std::shared_mutex, kNumEngineLocks> locks_;
+};
+
+}  // namespace bigdawg::exec
+
+#endif  // BIGDAWG_EXEC_ENGINE_LOCKS_H_

@@ -1,0 +1,35 @@
+#ifndef BIGDAWG_EXEC_QUERY_ANALYSIS_H_
+#define BIGDAWG_EXEC_QUERY_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/bigdawg.h"
+
+namespace bigdawg::exec {
+
+/// \brief What the admission layer learned about a query before running
+/// it: the island that will interpret it and the engine lock sets it
+/// needs.
+struct QueryPlan {
+  /// Resolved SCOPE island (RELATIONAL when the query is unscoped).
+  std::string island = "RELATIONAL";
+  bool has_cast = false;
+  bool is_write = false;
+  /// Engines the query may read (island's engines + homes and replicas
+  /// of every referenced catalog object).
+  uint32_t shared_engines = 0;
+  /// Engines the query mutates. CAST-containing and write queries lock
+  /// conservatively (CAST temporaries may materialize on any engine).
+  uint32_t exclusive_engines = 0;
+};
+
+/// Computes the lock sets for `query` against the polystore's current
+/// catalog. Conservative by construction: analysis failures (e.g. a
+/// query the lexer rejects) degrade to exclusive-on-everything, never to
+/// under-locking.
+QueryPlan AnalyzeQuery(core::BigDawg& dawg, const std::string& query);
+
+}  // namespace bigdawg::exec
+
+#endif  // BIGDAWG_EXEC_QUERY_ANALYSIS_H_

@@ -1,0 +1,262 @@
+#include "exec/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "exec/query_analysis.h"
+
+namespace bigdawg::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point DeadlineFor(const SubmitOptions& opts,
+                              const QueryServiceConfig& config, bool* has) {
+  double timeout_ms = opts.timeout_ms < 0 ? config.default_timeout_ms : opts.timeout_ms;
+  if (timeout_ms <= 0) {
+    *has = false;
+    return Clock::time_point{};
+  }
+  *has = true;
+  return Clock::now() +
+         std::chrono::microseconds(static_cast<int64_t>(timeout_ms * 1000));
+}
+
+}  // namespace
+
+Result<relational::Table> QueryHandle::Wait() {
+  if (!future_.valid()) {
+    return Status::FailedPrecondition("query handle is empty or already waited on");
+  }
+  return future_.get();
+}
+
+QueryService::QueryService(core::BigDawg* dawg, QueryServiceConfig config)
+    : dawg_(dawg), config_(config), pool_(config.num_workers) {}
+
+QueryService::~QueryService() { Drain(); }
+
+int64_t QueryService::OpenSession() {
+  std::lock_guard lock(mu_);
+  int64_t id = next_session_id_++;
+  sessions_[id] = true;
+  ++counters_.sessions_open;
+  return id;
+}
+
+Status QueryService::CloseSession(int64_t session) {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second) {
+    return Status::NotFound("no open session " + std::to_string(session));
+  }
+  it->second = false;
+  --counters_.sessions_open;
+  return Status::OK();
+}
+
+Result<QueryHandle> QueryService::Admit(QueryRunner run, const SubmitOptions& opts) {
+  int64_t id;
+  auto state = std::make_shared<QueryState>();
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.submitted;
+    if (opts.session != kNoSession) {
+      auto it = sessions_.find(opts.session);
+      if (it == sessions_.end() || !it->second) {
+        return Status::FailedPrecondition("session " + std::to_string(opts.session) +
+                                          " is not open");
+      }
+    }
+    if (config_.max_in_flight > 0 &&
+        in_flight_ >= static_cast<int64_t>(config_.max_in_flight)) {
+      ++counters_.rejected;
+      return Status::ResourceExhausted(
+          "query service at admission limit (" +
+          std::to_string(config_.max_in_flight) + " in flight)");
+    }
+    ++counters_.admitted;
+    ++in_flight_;
+    id = next_query_id_++;
+    live_[id] = state;
+  }
+
+  auto promise = std::make_shared<std::promise<Result<relational::Table>>>();
+  QueryHandle handle;
+  handle.id_ = id;
+  handle.future_ = promise->get_future();
+
+  pool_.Submit([run = std::move(run), promise, state, id] {
+    promise->set_value(run(id, state));
+  });
+  return handle;
+}
+
+void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
+                                 const Status& status, double latency_ms) {
+  std::lock_guard lock(mu_);
+  live_.erase(query_id);
+  --in_flight_;
+  if (status.ok()) {
+    ++counters_.completed;
+  } else if (status.IsCancelled()) {
+    ++counters_.cancelled;
+  } else if (status.IsDeadlineExceeded()) {
+    ++counters_.timed_out;
+  } else {
+    ++counters_.failed;
+  }
+  std::vector<double>& ring = latencies_[island];
+  size_t& next = latency_next_[island];
+  if (ring.size() < kLatencyWindow) {
+    ring.push_back(latency_ms);
+  } else {
+    ring[next] = latency_ms;
+    next = (next + 1) % kLatencyWindow;
+  }
+  drain_cv_.notify_all();
+}
+
+Result<QueryHandle> QueryService::Submit(const std::string& query,
+                                         SubmitOptions opts) {
+  bool has_deadline = false;
+  Clock::time_point deadline = DeadlineFor(opts, config_, &has_deadline);
+  Stopwatch latency_timer;  // admission -> completion, queue wait included
+
+  QueryRunner run = [this, query, opts, has_deadline, deadline, latency_timer](
+                        int64_t id, const std::shared_ptr<QueryState>& state)
+      -> Result<relational::Table> {
+    QueryPlan plan = AnalyzeQuery(*dawg_, query);
+
+    Result<relational::Table> result = [&]() -> Result<relational::Table> {
+      if (state->cancelled.load(std::memory_order_relaxed)) {
+        return Status::Cancelled("query cancelled while queued");
+      }
+      if (has_deadline && Clock::now() > deadline) {
+        return Status::DeadlineExceeded("query deadline passed while queued");
+      }
+      EngineLockManager::ScopedLocks locks =
+          lock_mgr_.Acquire(plan.shared_engines, plan.exclusive_engines);
+
+      core::ExecContext ctx;
+      // Session id + query id make the temp namespace unique across all
+      // live executions; the "__cast_" lead keeps the monitor skipping
+      // temp names. Cancellation/deadline are re-checked inside Execute.
+      ctx.temp_prefix =
+          "__cast_s" +
+          (opts.session == kNoSession ? std::string("a")
+                                      : std::to_string(opts.session)) +
+          "_q" + std::to_string(id) + "_";
+      ctx.cancelled = &state->cancelled;
+      ctx.has_deadline = has_deadline;
+      ctx.deadline = deadline;
+      return dawg_->Execute(query, &ctx);
+    }();
+
+    RecordOutcome(id, plan.island, result.status(), latency_timer.ElapsedMillis());
+    return result;
+  };
+  return Admit(std::move(run), opts);
+}
+
+Result<QueryHandle> QueryService::SubmitTask(
+    std::function<Result<relational::Table>()> fn, SubmitOptions opts) {
+  Stopwatch latency_timer;
+  QueryRunner run = [this, fn = std::move(fn), latency_timer](
+                        int64_t id, const std::shared_ptr<QueryState>& state)
+      -> Result<relational::Table> {
+    Result<relational::Table> result =
+        state->cancelled.load(std::memory_order_relaxed)
+            ? Result<relational::Table>(
+                  Status::Cancelled("task cancelled while queued"))
+            : fn();
+    RecordOutcome(id, "TASK", result.status(), latency_timer.ElapsedMillis());
+    return result;
+  };
+  return Admit(std::move(run), opts);
+}
+
+Result<relational::Table> QueryService::ExecuteSync(const std::string& query,
+                                                    SubmitOptions opts) {
+  BIGDAWG_ASSIGN_OR_RETURN(QueryHandle handle, Submit(query, opts));
+  return handle.Wait();
+}
+
+Status QueryService::Cancel(int64_t query_id) {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(query_id);
+  if (it == live_.end()) {
+    return Status::NotFound("query " + std::to_string(query_id) +
+                            " is not in flight");
+  }
+  it->second->cancelled.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status QueryService::Migrate(const std::string& object,
+                             const std::string& target_engine) {
+  // The object's home can move between lookup and lock acquisition
+  // (another migration); re-check under the locks and retry.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Result<core::ObjectLocation> loc = dawg_->catalog().Lookup(object);
+    if (!loc.ok()) return loc.status();
+    uint32_t exclusive =
+        EngineLockBitFor(loc->engine) | EngineLockBitFor(target_engine);
+    // FetchAsTable may serve the read from a fresh relational replica.
+    uint32_t shared = kLockPostgres & ~exclusive;
+    EngineLockManager::ScopedLocks locks = lock_mgr_.Acquire(shared, exclusive);
+    Result<core::ObjectLocation> recheck = dawg_->catalog().Lookup(object);
+    if (!recheck.ok()) return recheck.status();
+    if (recheck->engine != loc->engine) continue;
+    return dawg_->MigrateObject(object, target_engine);
+  }
+  return Status::Aborted("object " + object +
+                         " kept moving; migration lock acquisition starved");
+}
+
+Result<int64_t> QueryService::RefreshReplicas(const std::string& object) {
+  Result<core::ObjectLocation> loc = dawg_->catalog().Lookup(object);
+  if (!loc.ok()) return loc.status();
+  uint32_t exclusive = 0;
+  for (const core::ReplicaLocation& replica : dawg_->catalog().Replicas(object)) {
+    exclusive |= EngineLockBitFor(replica.engine);
+  }
+  uint32_t shared = EngineLockBitFor(loc->engine) & ~exclusive;
+  EngineLockManager::ScopedLocks locks = lock_mgr_.Acquire(shared, exclusive);
+  return dawg_->RefreshReplicas(object);
+}
+
+void QueryService::Drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+QueryServiceStats QueryService::Stats() const {
+  std::lock_guard lock(mu_);
+  QueryServiceStats stats = counters_;
+  stats.in_flight = in_flight_;
+  for (const auto& [island, ring] : latencies_) {
+    if (ring.empty()) continue;
+    IslandLatency lat;
+    lat.island = island;
+    lat.count = static_cast<int64_t>(ring.size());
+    std::vector<double> sorted = ring;
+    std::sort(sorted.begin(), sorted.end());
+    double total = 0;
+    for (double v : sorted) total += v;
+    lat.mean_ms = total / static_cast<double>(sorted.size());
+    auto quantile = [&sorted](double q) {
+      size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+      return sorted[idx];
+    };
+    lat.p50_ms = quantile(0.50);
+    lat.p95_ms = quantile(0.95);
+    stats.islands.push_back(std::move(lat));
+  }
+  return stats;
+}
+
+}  // namespace bigdawg::exec

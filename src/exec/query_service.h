@@ -1,0 +1,194 @@
+#ifndef BIGDAWG_EXEC_QUERY_SERVICE_H_
+#define BIGDAWG_EXEC_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/bigdawg.h"
+#include "exec/engine_locks.h"
+
+namespace bigdawg::exec {
+
+inline constexpr int64_t kNoSession = -1;
+
+struct QueryServiceConfig {
+  /// Worker threads executing admitted queries.
+  size_t num_workers = 4;
+  /// Admission limit on queries queued + running; submissions past it are
+  /// rejected with ResourceExhausted. 0 = unbounded.
+  size_t max_in_flight = 32;
+  /// Deadline applied to queries that don't set their own; 0 = none.
+  double default_timeout_ms = 0;
+};
+
+struct SubmitOptions {
+  /// Session the query belongs to (temp-object namespace); kNoSession
+  /// for one-off queries.
+  int64_t session = kNoSession;
+  /// Per-query deadline in ms; < 0 uses the service default, 0 = none.
+  double timeout_ms = -1;
+};
+
+/// Per-island latency digest in a stats snapshot.
+struct IslandLatency {
+  std::string island;
+  int64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+/// \brief Counters and latency digests for everything the service has
+/// processed. Latencies are end-to-end (admission to completion, queue
+/// wait included), per island.
+struct QueryServiceStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t timed_out = 0;
+  int64_t in_flight = 0;
+  int64_t sessions_open = 0;
+  std::vector<IslandLatency> islands;
+};
+
+/// \brief Handle to an admitted query: its id (for Cancel) and the
+/// pending result. Move-only; Wait() consumes the result.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  QueryHandle(QueryHandle&&) = default;
+  QueryHandle& operator=(QueryHandle&&) = default;
+
+  int64_t id() const { return id_; }
+  bool valid() const { return future_.valid(); }
+
+  /// Blocks until the query finishes and returns its result (or the
+  /// Cancelled / DeadlineExceeded / execution-error status).
+  Result<relational::Table> Wait();
+
+ private:
+  friend class QueryService;
+  int64_t id_ = -1;
+  std::future<Result<relational::Table>> future_;
+};
+
+/// \brief The concurrent query front-end of the polystore.
+///
+/// Accepts queries from many client threads and runs them safely over
+/// one shared BigDawg:
+///
+///  * Sessions give each client a private CAST temp-object namespace, so
+///    concurrent cross-model queries cannot collide.
+///  * Admission control bounds queued + running work; past the limit,
+///    Submit returns a typed ResourceExhausted instead of growing memory
+///    without bound. Per-query deadlines and cooperative cancellation
+///    ride on the same path.
+///  * Per-engine reader/writer locks let read-only queries on disjoint
+///    engines proceed in parallel while migrations, replica refreshes,
+///    and CAST stores exclude conflicting work.
+///  * Stats() exposes admission counters and per-island p50/p95 latency
+///    for the monitor and benchmarks.
+class QueryService {
+ public:
+  explicit QueryService(core::BigDawg* dawg, QueryServiceConfig config = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- Sessions ----
+
+  int64_t OpenSession();
+  /// Closes a session; queries already admitted under it run to
+  /// completion, further submissions are rejected.
+  Status CloseSession(int64_t session);
+
+  // ---- Query submission ----
+
+  /// Admission-controlled asynchronous submit. ResourceExhausted when
+  /// the service is at max_in_flight; FailedPrecondition for a closed or
+  /// unknown session.
+  Result<QueryHandle> Submit(const std::string& query, SubmitOptions opts = {});
+
+  /// Submit + Wait.
+  Result<relational::Table> ExecuteSync(const std::string& query,
+                                        SubmitOptions opts = {});
+
+  /// Admission-controlled submit of an arbitrary unit of work (runs on
+  /// the worker pool, engine locking is the task's business). Used by
+  /// tests to create deterministic backpressure.
+  Result<QueryHandle> SubmitTask(std::function<Result<relational::Table>()> fn,
+                                 SubmitOptions opts = {});
+
+  /// Requests cooperative cancellation of an in-flight query. NotFound
+  /// once the query has already finished.
+  Status Cancel(int64_t query_id);
+
+  // ---- Admin operations (exclusive engine locks) ----
+
+  /// MigrateObject under exclusive locks on the source and target
+  /// engines; readers on other engines keep running.
+  Status Migrate(const std::string& object, const std::string& target_engine);
+
+  /// RefreshReplicas under exclusive locks on the replica engines.
+  Result<int64_t> RefreshReplicas(const std::string& object);
+
+  // ---- Introspection ----
+
+  /// Blocks until nothing is queued or running.
+  void Drain();
+
+  QueryServiceStats Stats() const;
+
+  const QueryServiceConfig& config() const { return config_; }
+
+ private:
+  struct QueryState {
+    std::atomic<bool> cancelled{false};
+  };
+  /// The admitted unit of work: runs on a pool worker with its assigned
+  /// query id and shared cancellation state.
+  using QueryRunner = std::function<Result<relational::Table>(
+      int64_t id, const std::shared_ptr<QueryState>&)>;
+
+  Result<QueryHandle> Admit(QueryRunner run, const SubmitOptions& opts);
+  void RecordOutcome(int64_t query_id, const std::string& island,
+                     const Status& status, double latency_ms);
+
+  core::BigDawg* dawg_;
+  QueryServiceConfig config_;
+  EngineLockManager lock_mgr_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  int64_t next_query_id_ = 0;
+  int64_t next_session_id_ = 0;
+  int64_t in_flight_ = 0;
+  std::map<int64_t, bool> sessions_;  // id -> open
+  std::map<int64_t, std::shared_ptr<QueryState>> live_;
+  QueryServiceStats counters_;  // islands field unused here
+  std::map<std::string, std::vector<double>> latencies_;  // island -> ring
+  std::map<std::string, size_t> latency_next_;
+  static constexpr size_t kLatencyWindow = 1024;
+
+  // Last member: destroyed (joined) first, so draining tasks can still
+  // touch the fields above.
+  ThreadPool pool_;
+};
+
+}  // namespace bigdawg::exec
+
+#endif  // BIGDAWG_EXEC_QUERY_SERVICE_H_

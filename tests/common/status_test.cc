@@ -35,6 +35,16 @@ TEST(StatusTest, AllFactoriesSetMatchingPredicate) {
   EXPECT_TRUE(Status::TypeError("x").IsTypeError());
   EXPECT_TRUE(Status::ParseError("x").IsParseError());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, AdmissionControlCodeStrings) {
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "Resource exhausted: full");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(), "Deadline exceeded: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
 }
 
 TEST(StatusTest, CopyPreservesState) {

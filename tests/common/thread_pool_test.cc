@@ -1,6 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -41,6 +45,53 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
   });
   pool.WaitIdle();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, TrySubmitUnboundedAlwaysAccepts) {
+  ThreadPool pool(2);  // max_queue = 0: unbounded
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  std::mutex gate;
+  std::atomic<bool> started{false};
+  gate.lock();  // hold the single worker hostage
+  pool.Submit([&gate, &started] {
+    started.store(true);
+    gate.lock();
+    gate.unlock();
+  });
+  // Wait until the worker has dequeued the blocking task (queue empty).
+  while (!started.load()) std::this_thread::yield();
+  // The worker is blocked; exactly max_queue tasks fit in the queue.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  gate.unlock();
+  pool.WaitIdle();
+  // After draining, capacity is available again.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.SubmitWithResult([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultCapturesExceptions) {
+  ThreadPool pool(1);
+  std::future<int> f =
+      pool.SubmitWithResult([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {

@@ -92,5 +92,45 @@ TEST(MonitorTest, ResetClearsAccessHistoryOnly) {
   EXPECT_TRUE(monitor.BestEngineFor("wc").ok());  // comparisons retained
 }
 
+TEST(MonitorTest, IslandLatencyStatsPercentiles) {
+  Monitor monitor;
+  EXPECT_TRUE(monitor.IslandStats("RELATIONAL").status().IsNotFound());
+  // 1..100 ms, uniform: p50 ~ 50, p95 ~ 95.
+  for (int i = 1; i <= 100; ++i) {
+    monitor.RecordIslandExecution("RELATIONAL", static_cast<double>(i));
+  }
+  monitor.RecordIslandExecution("ARRAY", 7.0);
+
+  auto stats = *monitor.IslandStats("RELATIONAL");
+  EXPECT_EQ(stats.island, "RELATIONAL");
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_DOUBLE_EQ(stats.mean_ms, 50.5);
+  EXPECT_GE(stats.p50_ms, 45.0);
+  EXPECT_LE(stats.p50_ms, 55.0);
+  EXPECT_GE(stats.p95_ms, 90.0);
+  EXPECT_LE(stats.p95_ms, 100.0);
+
+  auto all = monitor.AllIslandStats();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].island, "ARRAY");
+  EXPECT_EQ(all[0].count, 1);
+  EXPECT_DOUBLE_EQ(all[0].p50_ms, 7.0);
+  EXPECT_EQ(all[1].island, "RELATIONAL");
+}
+
+TEST(MonitorTest, IslandLatencyWindowBoundsPercentiles) {
+  Monitor monitor;
+  // Push enough old slow samples to be evicted from the recent window,
+  // then fill the window with fast ones: mean spans everything, but the
+  // percentiles only see the recent window.
+  for (int i = 0; i < 600; ++i) monitor.RecordIslandExecution("TEXT", 1000.0);
+  for (int i = 0; i < 512; ++i) monitor.RecordIslandExecution("TEXT", 1.0);
+  auto stats = *monitor.IslandStats("TEXT");
+  EXPECT_EQ(stats.count, 1112);
+  EXPECT_GT(stats.mean_ms, 100.0);
+  EXPECT_DOUBLE_EQ(stats.p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(stats.p95_ms, 1.0);
+}
+
 }  // namespace
 }  // namespace bigdawg::core

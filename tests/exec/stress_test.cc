@@ -1,0 +1,250 @@
+// Concurrency stress for the query service: many client threads running
+// mixed-island queries with validated constant answers, while a
+// migration thread bounces an object between engines. Run under
+// -fsanitize=thread by scripts/check.sh.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "array/array.h"
+#include "common/logging.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+
+namespace bigdawg::exec {
+namespace {
+
+constexpr int64_t kNumPatients = 20;
+constexpr int64_t kNumReadings = 32;
+constexpr int kSickNotes = 4;
+
+/// Loads a deterministic federation spanning four engines, so every
+/// query in the mixed workload has a known constant answer.
+void LoadStressFederation(core::BigDawg* dawg) {
+  // patients on postgres.
+  BIGDAWG_CHECK_OK(dawg->postgres().CreateTable(
+      "patients", Schema({Field("patient_id", DataType::kInt64),
+                          Field("age", DataType::kInt64)})));
+  for (int64_t i = 0; i < kNumPatients; ++i) {
+    BIGDAWG_CHECK_OK(
+        dawg->postgres().Insert("patients", {Value(i), Value(30 + i)}));
+  }
+  BIGDAWG_CHECK_OK(
+      dawg->RegisterObject("patients", core::kEnginePostgres, "patients"));
+
+  // readings on postgres: the object the migration thread bounces.
+  // (One int64 + one double column so every engine representation
+  // round-trips: table <-> array needs both.)
+  BIGDAWG_CHECK_OK(dawg->postgres().CreateTable(
+      "readings", Schema({Field("id", DataType::kInt64),
+                          Field("v", DataType::kDouble)})));
+  for (int64_t i = 0; i < kNumReadings; ++i) {
+    BIGDAWG_CHECK_OK(dawg->postgres().Insert(
+        "readings", {Value(i), Value(static_cast<double>(i) * 0.5)}));
+  }
+  BIGDAWG_CHECK_OK(
+      dawg->RegisterObject("readings", core::kEnginePostgres, "readings"));
+
+  // hr on scidb: 4 patients x 4 ticks.
+  BIGDAWG_CHECK_OK(dawg->scidb().CreateArray(
+      "hr", {array::Dimension("patient_id", 0, 4, 1),
+             array::Dimension("t", 0, 4, 4)},
+      {"bpm"}));
+  for (int64_t p = 0; p < 4; ++p) {
+    for (int64_t t = 0; t < 4; ++t) {
+      BIGDAWG_CHECK_OK(dawg->scidb().SetCell(
+          "hr", {p, t},
+          {60.0 + 5.0 * static_cast<double>(p) + static_cast<double>(t)}));
+    }
+  }
+  BIGDAWG_CHECK_OK(dawg->RegisterObject("hr", core::kEngineSciDb, "hr"));
+
+  // notes on accumulo: exactly kSickNotes of 8 documents say "sick".
+  for (int i = 0; i < 8; ++i) {
+    std::string text = (i < kSickNotes) ? "patient very sick overnight"
+                                        : "patient recovering well";
+    BIGDAWG_CHECK_OK(dawg->accumulo().AddDocument(
+        "n" + std::to_string(i), std::to_string(i % 4), text));
+  }
+  BIGDAWG_CHECK_OK(dawg->RegisterObject("notes", core::kEngineAccumulo, "notes"));
+}
+
+/// One mixed-workload query: runs it synchronously and validates the
+/// answer. Returns false on a wrong or lost result (admission
+/// rejections are counted separately by the caller).
+bool RunOneQuery(QueryService* service, int64_t session, int which,
+                 std::atomic<int64_t>* rejected) {
+  SubmitOptions opts{.session = session};
+  switch (which % 5) {
+    case 0: {  // RELATIONAL
+      auto r = service->ExecuteSync("SELECT COUNT(*) AS n FROM patients", opts);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) rejected->fetch_add(1);
+        return r.status().IsResourceExhausted();
+      }
+      return *r->At(0, "n") == Value(kNumPatients);
+    }
+    case 1: {  // ARRAY
+      auto r = service->ExecuteSync("ARRAY(aggregate(hr, count, bpm))", opts);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) rejected->fetch_add(1);
+        return r.status().IsResourceExhausted();
+      }
+      return *r->At(0, "count_bpm") == Value(16.0);
+    }
+    case 2: {  // TEXT
+      auto r = service->ExecuteSync("TEXT(SEARCH sick)", opts);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) rejected->fetch_add(1);
+        return r.status().IsResourceExhausted();
+      }
+      return r->num_rows() == static_cast<size_t>(kSickNotes);
+    }
+    case 3: {  // D4M over the notes corpus
+      auto r = service->ExecuteSync("D4M(ROWSUM notes)", opts);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) rejected->fetch_add(1);
+        return r.status().IsResourceExhausted();
+      }
+      return r->num_rows() >= 1;
+    }
+    default: {  // cross-island CAST + the migrating object
+      auto r = service->ExecuteSync(
+          "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(readings, relation) "
+          "WHERE v >= 0)",
+          opts);
+      if (!r.ok()) {
+        if (r.status().IsResourceExhausted()) rejected->fetch_add(1);
+        return r.status().IsResourceExhausted();
+      }
+      return *r->At(0, "n") == Value(kNumReadings);
+    }
+  }
+}
+
+TEST(QueryServiceStressTest, MixedWorkloadWithConcurrentMigration) {
+  core::BigDawg dawg;
+  LoadStressFederation(&dawg);
+  // Capacity for all clients: no admission rejections expected.
+  QueryService service(&dawg, {.num_workers = 8, .max_in_flight = 64});
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 50;
+  std::atomic<int64_t> wrong{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<bool> stop_migrating{false};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&service, &wrong, &rejected, c] {
+      int64_t session = service.OpenSession();
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        if (!RunOneQuery(&service, session, c + i, &rejected)) {
+          wrong.fetch_add(1);
+        }
+      }
+      BIGDAWG_CHECK_OK(service.CloseSession(session));
+    });
+  }
+  // Meanwhile, bounce `readings` between engines through the service's
+  // locked migration path.
+  std::thread migrator([&service, &stop_migrating] {
+    bool to_scidb = true;
+    while (!stop_migrating.load()) {
+      const char* target = to_scidb ? core::kEngineSciDb : core::kEnginePostgres;
+      Status s = service.Migrate("readings", target);
+      BIGDAWG_CHECK(s.ok()) << s.ToString();
+      to_scidb = !to_scidb;
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  stop_migrating.store(true);
+  migrator.join();
+  service.Drain();
+
+  // No lost or wrong results, and nothing was rejected at this capacity.
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(rejected.load(), 0);
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.submitted, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.admitted, stats.completed);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_EQ(stats.sessions_open, 0);
+
+  // Catalog is consistent after the migration storm: readings lives on
+  // exactly one engine and still answers correctly.
+  auto loc = dawg.catalog().Lookup("readings");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_TRUE(loc->engine == core::kEnginePostgres ||
+              loc->engine == core::kEngineSciDb)
+      << loc->engine;
+  auto check = service.ExecuteSync("SELECT COUNT(*) AS n FROM readings");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(*check->At(0, "n"), Value(kNumReadings));
+  // No CAST temporaries leaked.
+  for (const core::ObjectLocation& obj : dawg.catalog().List()) {
+    EXPECT_NE(obj.object.rfind("__cast_", 0), 0u)
+        << "leaked CAST temporary: " << obj.object;
+  }
+}
+
+TEST(QueryServiceStressTest, OverloadRejectsOnlyPastAdmissionLimit) {
+  core::BigDawg dawg;
+  LoadStressFederation(&dawg);
+  // Tiny admission window: 8 clients hammering 2 slots must see typed
+  // rejections, and the books must balance exactly.
+  QueryService service(&dawg, {.num_workers = 2, .max_in_flight = 2});
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 25;
+  std::atomic<int64_t> wrong{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<int64_t> succeeded{0};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&service, &wrong, &rejected, &succeeded, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        auto r = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
+        if (r.ok()) {
+          if (*r->At(0, "n") == Value(kNumPatients)) {
+            succeeded.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        } else if (r.status().IsResourceExhausted()) {
+          rejected.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service.Drain();
+
+  EXPECT_EQ(wrong.load(), 0);
+  auto stats = service.Stats();
+  // Every submission was either admitted or got the typed rejection...
+  EXPECT_EQ(stats.submitted, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+  // ...and every admitted query finished exactly once.
+  EXPECT_EQ(stats.admitted, succeeded.load());
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.failed + stats.cancelled + stats.timed_out);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+}  // namespace
+}  // namespace bigdawg::exec
