@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Full verification: build + tests twice — a plain build, then a
+# Full verification: build + tests three ways — a plain build, a
 # ThreadSanitizer build that exercises the concurrent query service and
-# stress tests under the race detector.
+# the chaos/stress suites under the race detector, and an
+# AddressSanitizer+UBSan build that runs the same suites hunting
+# lifetime and UB bugs on the failure paths.
 #
-# Usage: scripts/check.sh [--plain-only|--tsan-only]
+# Usage: scripts/check.sh [--plain-only|--tsan-only|--asan-only]
+#
+# Test tiers (ctest labels): "tier1" is the fast default suite; the
+# fault-injection ("chaos") and concurrency ("stress") suites are
+# labelled separately, so a quick gate can run `ctest -L tier1` while
+# the full script runs everything.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,17 +25,25 @@ run_suite() {
   (cd "$build_dir" && ctest --output-on-failure)
 }
 
-if [[ "$MODE" != "--tsan-only" ]]; then
+if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   echo "==== plain build + ctest ===="
   run_suite build
 fi
 
-if [[ "$MODE" != "--plain-only" ]]; then
+if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   echo "==== ThreadSanitizer build + ctest ===="
   run_suite build-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+fi
+
+if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
+  echo "==== AddressSanitizer+UBSan build + ctest ===="
+  run_suite build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 fi
 
 echo "==== all checks passed ===="

@@ -37,6 +37,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -95,6 +97,9 @@ Status Status::Cancelled(std::string msg) {
 }
 Status Status::Aborted(std::string msg) {
   return Status(StatusCode::kAborted, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 const std::string& Status::message() const {

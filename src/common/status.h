@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kResourceExhausted = 12,
   kDeadlineExceeded = 13,
   kCancelled = 14,
+  kUnavailable = 15,
 };
 
 /// \brief Returns a stable human-readable name, e.g. "Invalid argument".
@@ -61,6 +62,10 @@ class Status {
   static Status ResourceExhausted(std::string msg);
   static Status DeadlineExceeded(std::string msg);
   static Status Cancelled(std::string msg);
+  /// A transient engine failure: the operation may succeed if retried
+  /// (possibly against a replica). The only code the resilient execution
+  /// layer retries.
+  static Status Unavailable(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -85,6 +90,7 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

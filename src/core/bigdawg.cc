@@ -9,6 +9,8 @@
 
 namespace bigdawg::core {
 
+thread_local ExecContext* BigDawg::active_ctx_ = nullptr;
+
 BigDawg::BigDawg() {
   EngineSet engines;
   engines.relational = &relational_;
@@ -77,11 +79,31 @@ Result<Island*> BigDawg::GetIsland(const std::string& name) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault plane
+// ---------------------------------------------------------------------------
+
+Status BigDawg::CheckEngine(const std::string& engine) {
+  // Fast path: the fault plane is a single relaxed load when disabled.
+  if (!fault_.enabled()) return Status::OK();
+  Status s = fault_.OnCall(engine);
+  monitor_.RecordEngineCall(engine, s.ok());
+  if (!s.ok() && active_ctx_ != nullptr) {
+    active_ctx_->unavailable_engine = engine;
+  }
+  return s;
+}
+
+bool BigDawg::EngineConsideredDown(const std::string& engine) const {
+  return fault_.IsDown(engine) || monitor_.EngineAdvisoryDown(engine);
+}
+
+// ---------------------------------------------------------------------------
 // Cross-model fetch (shims)
 // ---------------------------------------------------------------------------
 
 Result<relational::Table> BigDawg::FetchTableFrom(const std::string& engine,
                                                   const std::string& native) {
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
   ObjectLocation loc{"", engine, native};
   if (loc.engine == kEnginePostgres) {
     return relational_.GetTable(loc.native_name);
@@ -125,14 +147,36 @@ Result<relational::Table> BigDawg::FetchTableFrom(const std::string& engine,
   return Status::Internal("catalog entry has unknown engine: " + loc.engine);
 }
 
+Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
+                                                 const ObjectLocation& primary) {
+  for (const ReplicaLocation& replica : catalog_.Replicas(object)) {
+    // Stale replicas never serve failover reads: a degraded answer must
+    // still be a correct one.
+    if (!catalog_.ReplicaIsFresh(object, replica.engine)) continue;
+    if (EngineConsideredDown(replica.engine)) continue;
+    Result<relational::Table> served =
+        FetchTableFrom(replica.engine, replica.native_name);
+    if (!served.ok()) continue;
+    monitor_.RecordFailover(primary.engine);
+    if (active_ctx_ != nullptr) ++active_ctx_->failovers;
+    return served;
+  }
+  if (active_ctx_ != nullptr) active_ctx_->unavailable_engine = primary.engine;
+  return Status::Unavailable("engine " + primary.engine +
+                             " is down and no fresh replica can serve " + object);
+}
+
 Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (EngineConsideredDown(loc.engine)) return FailoverFetch(object, loc);
   // Prefer a fresh relational replica: it serves the relation directly,
   // skipping the cross-model shim.
   if (loc.engine != kEnginePostgres &&
-      catalog_.ReplicaIsFresh(object, kEnginePostgres)) {
+      catalog_.ReplicaIsFresh(object, kEnginePostgres) &&
+      !EngineConsideredDown(kEnginePostgres)) {
     BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                              catalog_.ReplicaOn(object, kEnginePostgres));
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEnginePostgres));
     return relational_.GetTable(replica.native_name);
   }
   return FetchTableFrom(loc.engine, loc.native_name);
@@ -140,20 +184,41 @@ Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
 
 Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (EngineConsideredDown(loc.engine)) {
+    // Model-matched failover first: a fresh scidb replica serves the
+    // array natively; otherwise any fresh replica serves via the shim.
+    if (loc.engine != kEngineSciDb &&
+        catalog_.ReplicaIsFresh(object, kEngineSciDb) &&
+        !EngineConsideredDown(kEngineSciDb)) {
+      BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
+                               catalog_.ReplicaOn(object, kEngineSciDb));
+      BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
+      monitor_.RecordFailover(loc.engine);
+      if (active_ctx_ != nullptr) ++active_ctx_->failovers;
+      return array_.GetArray(replica.native_name);
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FailoverFetch(object, loc));
+    return TableToArray(t);
+  }
   if (loc.engine == kEngineSciDb) {
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
     return array_.GetArray(loc.native_name);
   }
   // Prefer a fresh array replica over shimming the primary.
-  if (catalog_.ReplicaIsFresh(object, kEngineSciDb)) {
+  if (catalog_.ReplicaIsFresh(object, kEngineSciDb) &&
+      !EngineConsideredDown(kEngineSciDb)) {
     BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                              catalog_.ReplicaOn(object, kEngineSciDb));
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
     return array_.GetArray(replica.native_name);
   }
   if (loc.engine == kEngineTileDb) {
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineTileDb));
     BIGDAWG_ASSIGN_OR_RETURN(tiledb::TileDbArray m, tiledb_.GetArray(loc.native_name));
     return TileMatrixToArray(m);
   }
   if (loc.engine == kEngineD4m) {
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineD4m));
     std::shared_lock lock(assoc_mu_);
     auto it = assoc_store_.find(loc.native_name);
     if (it == assoc_store_.end()) {
@@ -167,7 +232,12 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
 
 Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (EngineConsideredDown(loc.engine)) {
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FailoverFetch(object, loc));
+    return TableToAssoc(t);
+  }
   if (loc.engine == kEngineD4m) {
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineD4m));
     std::shared_lock lock(assoc_mu_);
     auto it = assoc_store_.find(loc.native_name);
     if (it == assoc_store_.end()) {
@@ -176,6 +246,7 @@ Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
     return it->second;
   }
   if (loc.engine == kEngineAccumulo) {
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineAccumulo));
     // The D4M view of a text corpus: the term x document incidence
     // associative array (row = term, col = doc id, value = tf).
     d4m::AssocArray out;
@@ -200,6 +271,20 @@ Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
 
 Status BigDawg::StoreTableAs(const relational::Table& table, DataModel model,
                              const std::string& object, ExecContext* temp_owner) {
+  switch (model) {
+    case DataModel::kRelation:
+      BIGDAWG_RETURN_NOT_OK(CheckEngine(kEnginePostgres));
+      break;
+    case DataModel::kArray:
+      BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
+      break;
+    case DataModel::kAssociative:
+      BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineD4m));
+      break;
+    case DataModel::kTileMatrix:
+      BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineTileDb));
+      break;
+  }
   switch (model) {
     case DataModel::kRelation: {
       BIGDAWG_RETURN_NOT_OK(relational_.PutTable(object, table));
@@ -256,6 +341,8 @@ void BigDawg::ClearTemporaries(ExecContext* ctx) {
 Status BigDawg::StoreTableOnEngine(const relational::Table& table,
                                    const std::string& engine,
                                    const std::string& native) {
+  // Writes never fail over — a down engine fails the store.
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
   if (engine == kEnginePostgres) {
     return relational_.PutTable(native, table);
   }

@@ -13,6 +13,7 @@
 #include "core/cast.h"
 #include "core/catalog.h"
 #include "core/exec_context.h"
+#include "core/fault_injector.h"
 #include "core/island.h"
 #include "core/islands.h"
 #include "core/monitor.h"
@@ -64,6 +65,11 @@ class BigDawg {
 
   Catalog& catalog() { return catalog_; }
   Monitor& monitor() { return monitor_; }
+  /// The per-engine fault plane. Disabled by default (zero overhead);
+  /// chaos tests enable it and script fault schedules. Every engine shim
+  /// consults it, so injected faults surface exactly where real engine
+  /// outages would.
+  FaultInjector& fault_injector() { return fault_; }
 
   /// Registers a logical object living on an engine. The native object
   /// must already exist there.
@@ -135,6 +141,17 @@ class BigDawg {
                             const std::string& engine, const std::string& native);
   /// Drops a physical object from an engine (best-effort).
   void DropPhysical(const std::string& engine, const std::string& native);
+  /// One fault-plane check guarding an engine touch: applies the
+  /// injector's schedule, records the call in the monitor's health view,
+  /// and stamps the failing engine on the active execution context.
+  Status CheckEngine(const std::string& engine);
+  /// True when reads should route away from `engine`: it is inside an
+  /// injected down window, or the query service's breaker for it is open.
+  bool EngineConsideredDown(const std::string& engine) const;
+  /// Serves a read of `object` from a fresh replica on a healthy engine
+  /// when the primary is down; Unavailable when none can.
+  Result<relational::Table> FailoverFetch(const std::string& object,
+                                          const ObjectLocation& primary);
   /// Reads an object's bytes from a specific physical location.
   Result<relational::Table> FetchTableFrom(const std::string& engine,
                                            const std::string& native);
@@ -154,9 +171,16 @@ class BigDawg {
 
   Catalog catalog_;
   Monitor monitor_;
+  FaultInjector fault_;
   std::map<std::string, std::unique_ptr<Island>> islands_;
   /// Sequence for anonymous ExecContext temp namespaces.
   std::atomic<int64_t> ctx_seq_{0};
+  /// The context of the execution running on this thread, so engine
+  /// shims reached through island fetcher lambdas (which carry no
+  /// context) can stamp resilience bookkeeping onto it. Set by
+  /// Execute(query, ctx), restored on exit (nested Execute calls share
+  /// the outer context).
+  static thread_local ExecContext* active_ctx_;
   /// Guards assoc_store_: unlike the engines, which synchronize
   /// internally, the middleware-resident associative store is a plain
   /// map. The accessor above is for single-threaded loading only.

@@ -18,6 +18,21 @@ inline constexpr char kEngineSStore[] = "sstore";       // streaming
 inline constexpr char kEngineTileDb[] = "tiledb";       // tile matrix
 inline constexpr char kEngineD4m[] = "d4m";             // associative store
 
+inline constexpr int kNumEngines = 6;
+
+/// Canonical ordinal of an engine name — the order above, which is also
+/// the lock-bit order in exec/ and the health-mask order in the monitor.
+/// Returns -1 for unknown names.
+inline int EngineOrdinal(const std::string& engine) {
+  if (engine == kEnginePostgres) return 0;
+  if (engine == kEngineSciDb) return 1;
+  if (engine == kEngineAccumulo) return 2;
+  if (engine == kEngineSStore) return 3;
+  if (engine == kEngineTileDb) return 4;
+  if (engine == kEngineD4m) return 5;
+  return -1;
+}
+
 /// \brief Where a logical object physically lives.
 struct ObjectLocation {
   std::string object;       // logical, polystore-wide name

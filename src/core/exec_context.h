@@ -1,0 +1,65 @@
+#ifndef BIGDAWG_CORE_EXEC_CONTEXT_H_
+#define BIGDAWG_CORE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bigdawg::core {
+
+/// \brief Per-execution state for one top-level BigDawg::Execute call.
+///
+/// Each concurrent execution carries its own context, so CAST temporary
+/// objects (their names, ownership, and cleanup) never collide across
+/// clients. The query service threads one context per submitted query
+/// with the session id baked into `temp_prefix`; the plain
+/// BigDawg::Execute(query) overload creates an anonymous context with a
+/// process-unique prefix internally.
+struct ExecContext {
+  /// Namespace for CAST temp objects. Must be unique among live contexts
+  /// and start with "__cast_" (the monitor ignores that prefix when
+  /// attributing accesses).
+  std::string temp_prefix = "__cast_";
+  int64_t temp_counter = 0;
+  /// Temp objects created by this execution; dropped when the outermost
+  /// Execute finishes (depth returns to zero).
+  std::vector<std::string> temporaries;
+  /// Nesting depth of Execute() — CAST arguments may themselves be
+  /// island-scoped subqueries.
+  int depth = 0;
+
+  /// Cooperative cancellation flag (owned by the submitter); checked
+  /// between execution steps.
+  const std::atomic<bool>* cancelled = nullptr;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// Resilience bookkeeping, filled in by the core as this execution
+  /// runs: the engine whose fault check last failed (drives the query
+  /// service's per-engine circuit breakers) and how many reads were
+  /// served by failing over to a replica.
+  std::string unavailable_engine;
+  int64_t failovers = 0;
+
+  std::string NextTempName() {
+    return temp_prefix + std::to_string(temp_counter++);
+  }
+
+  /// Cancelled / DeadlineExceeded when the query should stop; OK otherwise.
+  Status Check() const {
+    if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() > deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_EXEC_CONTEXT_H_

@@ -1,0 +1,118 @@
+#include "core/fault_injector.h"
+
+#include <thread>
+
+namespace bigdawg::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+FaultInjector::Schedule& FaultInjector::ScheduleFor(const std::string& engine) {
+  int ordinal = EngineOrdinal(engine);
+  // Callers pass canonical engine names; Reset-ed slot 0 absorbs typos in
+  // test scripts rather than corrupting a real engine's schedule.
+  return schedules_[ordinal < 0 ? 0 : static_cast<size_t>(ordinal)];
+}
+
+bool FaultInjector::DownLocked(const Schedule& s) const {
+  if (s.down) return true;
+  return s.has_down_window && Clock::now() < s.down_until;
+}
+
+void FaultInjector::SetLatencyMs(const std::string& engine, double ms) {
+  std::lock_guard lock(mu_);
+  ScheduleFor(engine).latency_ms = ms;
+}
+
+void FaultInjector::SetDownForMs(const std::string& engine, double ms) {
+  std::lock_guard lock(mu_);
+  Schedule& s = ScheduleFor(engine);
+  s.has_down_window = true;
+  s.down_until =
+      Clock::now() + std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
+}
+
+void FaultInjector::SetDown(const std::string& engine, bool down) {
+  std::lock_guard lock(mu_);
+  Schedule& s = ScheduleFor(engine);
+  s.down = down;
+  if (!down) s.has_down_window = false;
+}
+
+void FaultInjector::FailNextCalls(const std::string& engine, int64_t n) {
+  std::lock_guard lock(mu_);
+  ScheduleFor(engine).fail_next = n;
+}
+
+void FaultInjector::FailEveryNth(const std::string& engine, int64_t n) {
+  std::lock_guard lock(mu_);
+  ScheduleFor(engine).every_nth = n;
+}
+
+void FaultInjector::FailWithProbability(const std::string& engine, double p,
+                                        uint64_t seed) {
+  std::lock_guard lock(mu_);
+  Schedule& s = ScheduleFor(engine);
+  s.fail_probability = p;
+  s.rng = Rng(seed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard lock(mu_);
+  for (Schedule& s : schedules_) s = Schedule{};
+}
+
+Status FaultInjector::OnCall(const std::string& engine) {
+  if (!enabled()) return Status::OK();
+
+  double sleep_ms = 0;
+  bool fault = false;
+  {
+    std::lock_guard lock(mu_);
+    Schedule& s = ScheduleFor(engine);
+    ++s.calls;
+    sleep_ms = s.latency_ms;
+    if (DownLocked(s)) {
+      fault = true;
+    } else if (s.fail_next > 0) {
+      --s.fail_next;
+      fault = true;
+    } else if (s.every_nth > 0 && s.calls % s.every_nth == 0) {
+      fault = true;
+    } else if (s.fail_probability > 0 && s.rng.NextBool(s.fail_probability)) {
+      fault = true;
+    }
+    if (fault) ++s.faults;
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000)));
+  }
+  if (fault) {
+    return Status::Unavailable("engine " + engine + " fault injected");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::IsDown(const std::string& engine) const {
+  if (!enabled()) return false;
+  int ordinal = EngineOrdinal(engine);
+  if (ordinal < 0) return false;
+  std::lock_guard lock(mu_);
+  return DownLocked(schedules_[static_cast<size_t>(ordinal)]);
+}
+
+FaultInjector::EngineCounters FaultInjector::CountersFor(
+    const std::string& engine) const {
+  EngineCounters out;
+  int ordinal = EngineOrdinal(engine);
+  if (ordinal < 0) return out;
+  std::lock_guard lock(mu_);
+  const Schedule& s = schedules_[static_cast<size_t>(ordinal)];
+  out.calls = s.calls;
+  out.faults_injected = s.faults;
+  return out;
+}
+
+}  // namespace bigdawg::core

@@ -1,0 +1,107 @@
+#ifndef BIGDAWG_CORE_FAULT_INJECTOR_H_
+#define BIGDAWG_CORE_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/catalog.h"
+
+namespace bigdawg::core {
+
+/// \brief Deterministic, seedable per-engine fault plane.
+///
+/// Every engine shim consults the injector before touching an engine
+/// (`OnCall`), so the chaos test harness can script exactly when and how
+/// the federation degrades:
+///
+///  * injected latency — every call to the engine sleeps first;
+///  * hard down windows — calls fail with `Unavailable` until a
+///    wall-clock window expires (`SetDownForMs`) or the fault is cleared
+///    (`SetDown`);
+///  * transient error schedules — the next N calls fail
+///    (`FailNextCalls`), every N-th call fails (`FailEveryNth`), or each
+///    call fails with seeded probability p (`FailWithProbability`).
+///
+/// Disabled (the default) the whole plane is one relaxed atomic load on
+/// the call path — zero overhead for production use. All faults surface
+/// as `Status::Unavailable`, the one retryable code, so the resilience
+/// layer above (retries, breakers, failover) reacts exactly as it would
+/// to a real engine outage.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // ---- Scripted fault schedules (all per engine) ----
+
+  /// Every call to `engine` sleeps `ms` before proceeding.
+  void SetLatencyMs(const std::string& engine, double ms);
+  /// Calls to `engine` fail for the next `ms` of wall-clock time.
+  void SetDownForMs(const std::string& engine, double ms);
+  /// Marks `engine` hard-down (true) until cleared (false).
+  void SetDown(const std::string& engine, bool down);
+  /// The next `n` calls to `engine` fail, then it recovers.
+  void FailNextCalls(const std::string& engine, int64_t n);
+  /// Every `n`-th call to `engine` fails (1-based; 0 disables).
+  void FailEveryNth(const std::string& engine, int64_t n);
+  /// Each call to `engine` fails with probability `p`, drawn from a
+  /// deterministic stream seeded with `seed`.
+  void FailWithProbability(const std::string& engine, double p, uint64_t seed);
+  /// Clears every schedule and counter (the enabled flag is untouched).
+  void Reset();
+
+  // ---- The plane consulted by engine shims ----
+
+  /// Applies the engine's schedule to one call: sleeps any injected
+  /// latency, then returns OK or `Unavailable`. No-op when disabled.
+  Status OnCall(const std::string& engine);
+
+  /// True while `engine` is inside a hard down window (flag or timed).
+  /// Non-consuming: read by routing decisions (replica failover), does
+  /// not advance call schedules. Always false when disabled.
+  bool IsDown(const std::string& engine) const;
+
+  // ---- Introspection for tests and the monitor ----
+
+  struct EngineCounters {
+    int64_t calls = 0;           // OnCall invocations
+    int64_t faults_injected = 0; // calls that returned Unavailable
+  };
+  EngineCounters CountersFor(const std::string& engine) const;
+
+ private:
+  struct Schedule {
+    double latency_ms = 0;
+    bool down = false;
+    bool has_down_window = false;
+    std::chrono::steady_clock::time_point down_until{};
+    int64_t fail_next = 0;
+    int64_t every_nth = 0;  // 0 = off
+    double fail_probability = 0;
+    Rng rng{0};
+    int64_t calls = 0;
+    int64_t faults = 0;
+  };
+
+  Schedule& ScheduleFor(const std::string& engine);  // mu_ held
+  bool DownLocked(const Schedule& s) const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::array<Schedule, kNumEngines> schedules_;
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_FAULT_INJECTOR_H_

@@ -173,4 +173,63 @@ void Monitor::ResetAccessHistory() {
   access_.clear();
 }
 
+namespace {
+const char* kCanonicalEngines[kNumEngines] = {
+    kEnginePostgres, kEngineSciDb, kEngineAccumulo,
+    kEngineSStore,   kEngineTileDb, kEngineD4m};
+}  // namespace
+
+void Monitor::RecordEngineCall(const std::string& engine, bool ok) {
+  int ordinal = EngineOrdinal(engine);
+  if (ordinal < 0) return;
+  std::lock_guard lock(mu_);
+  EngineHealthCounters& h = engine_health_[static_cast<size_t>(ordinal)];
+  ++h.calls;
+  if (!ok) ++h.faults;
+}
+
+void Monitor::RecordFailover(const std::string& engine) {
+  int ordinal = EngineOrdinal(engine);
+  if (ordinal < 0) return;
+  std::lock_guard lock(mu_);
+  ++engine_health_[static_cast<size_t>(ordinal)].failovers;
+}
+
+void Monitor::SetEngineAdvisoryDown(const std::string& engine, bool down) {
+  int ordinal = EngineOrdinal(engine);
+  if (ordinal < 0) return;
+  uint32_t bit = 1u << ordinal;
+  if (down) {
+    advisory_down_mask_.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    advisory_down_mask_.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+std::vector<EngineHealth> Monitor::EngineHealthView() const {
+  uint32_t mask = advisory_down_mask_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  std::vector<EngineHealth> out;
+  for (size_t i = 0; i < kNumEngines; ++i) {
+    const EngineHealthCounters& h = engine_health_[i];
+    bool down = (mask >> i) & 1u;
+    if (h.calls == 0 && h.faults == 0 && h.failovers == 0 && !down) continue;
+    EngineHealth row;
+    row.engine = kCanonicalEngines[i];
+    row.calls = h.calls;
+    row.faults = h.faults;
+    row.failovers = h.failovers;
+    row.advisory_down = down;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+int64_t Monitor::TotalFailovers() const {
+  std::lock_guard lock(mu_);
+  int64_t total = 0;
+  for (const EngineHealthCounters& h : engine_health_) total += h.failovers;
+  return total;
+}
+
 }  // namespace bigdawg::core

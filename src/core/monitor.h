@@ -1,6 +1,9 @@
 #ifndef BIGDAWG_CORE_MONITOR_H_
 #define BIGDAWG_CORE_MONITOR_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -39,6 +42,18 @@ struct EngineTiming {
   std::string engine;
   double mean_ms = 0;
   int64_t samples = 0;
+};
+
+/// \brief Per-engine health as observed through the fault plane and the
+/// resilience layer: fault-checked calls, faults (injected or real),
+/// reads that failed over away from this engine, and whether the query
+/// service's circuit breaker currently advises against routing to it.
+struct EngineHealth {
+  std::string engine;
+  int64_t calls = 0;
+  int64_t faults = 0;
+  int64_t failovers = 0;
+  bool advisory_down = false;
 };
 
 /// \brief The cross-system monitor.
@@ -95,6 +110,27 @@ class Monitor {
   /// Clears access history (e.g. after applying migrations).
   void ResetAccessHistory();
 
+  // ---- Per-engine health (the fault plane's observability surface) ----
+
+  /// Records one fault-plane-checked engine call and its outcome.
+  void RecordEngineCall(const std::string& engine, bool ok);
+  /// Records a read that was rerouted away from `engine` to a replica.
+  void RecordFailover(const std::string& engine);
+  /// Set by the query service when `engine`'s circuit breaker opens
+  /// (true) or closes again (false); read by the failover router.
+  void SetEngineAdvisoryDown(const std::string& engine, bool down);
+  /// Lock-free: one relaxed load, cheap enough for every fetch.
+  bool EngineAdvisoryDown(const std::string& engine) const {
+    int ordinal = EngineOrdinal(engine);
+    if (ordinal < 0) return false;
+    return (advisory_down_mask_.load(std::memory_order_relaxed) >> ordinal) & 1u;
+  }
+  /// Health rows for every engine that has seen a call, fault, failover,
+  /// or advisory-state change, in canonical engine order.
+  std::vector<EngineHealth> EngineHealthView() const;
+  /// Total reads rerouted to replicas, across all engines.
+  int64_t TotalFailovers() const;
+
  private:
   struct IslandUsage {
     int64_t count = 0;
@@ -120,6 +156,16 @@ class Monitor {
   std::map<std::string, std::map<std::string, IslandUsage>> comparisons_;
   // island -> execution latencies
   std::map<std::string, LatencyWindow> island_latency_;
+
+  struct EngineHealthCounters {
+    int64_t calls = 0;
+    int64_t faults = 0;
+    int64_t failovers = 0;
+  };
+  // Indexed by EngineOrdinal; guarded by mu_.
+  std::array<EngineHealthCounters, kNumEngines> engine_health_{};
+  // Bit i set = engine with ordinal i is advisory-down (breaker open).
+  std::atomic<uint32_t> advisory_down_mask_{0};
 };
 
 }  // namespace bigdawg::core

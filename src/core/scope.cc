@@ -136,6 +136,19 @@ Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
   BIGDAWG_ASSIGN_OR_RETURN(std::string rewritten, RewriteCasts(inner_query, ctx));
   BIGDAWG_RETURN_NOT_OK(ctx->Check());
 
+  // The island's own compute engine must be reachable: a down engine
+  // fails the whole scoped query, while reads of objects homed on other
+  // engines may still fail over to replicas inside the fetch shims.
+  // (Gated on the fault plane so healthy runs pay nothing here.)
+  if (fault_.enabled()) {
+    std::string engine = Monitor::PreferredEngineForIsland(island_name);
+    if (!engine.empty()) {
+      BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
+      // Injected latency may have consumed the remaining deadline budget.
+      BIGDAWG_RETURN_NOT_OK(ctx->Check());
+    }
+  }
+
   Stopwatch timer;
   Result<relational::Table> result = it->second->Execute(rewritten);
   const double elapsed_ms = timer.ElapsedMillis();
@@ -173,12 +186,21 @@ Result<relational::Table> BigDawg::Execute(const std::string& query,
   // CAST temporaries created anywhere in this (possibly nested) execution
   // are dropped when the outermost Execute finishes — results are always
   // materialized tables, so temps never outlive the query.
+  // The guard also publishes this execution's context to the thread
+  // (active_ctx_), so engine shims reached through context-free island
+  // fetchers can stamp resilience bookkeeping onto it.
   struct DepthGuard {
     BigDawg* dawg;
     ExecContext* ctx;
-    DepthGuard(BigDawg* d, ExecContext* c) : dawg(d), ctx(c) { ++ctx->depth; }
+    ExecContext* prev_active;
+    DepthGuard(BigDawg* d, ExecContext* c)
+        : dawg(d), ctx(c), prev_active(active_ctx_) {
+      active_ctx_ = c;
+      ++ctx->depth;
+    }
     ~DepthGuard() {
       if (--ctx->depth == 0) dawg->ClearTemporaries(ctx);
+      active_ctx_ = prev_active;
     }
   } guard(this, ctx);
 

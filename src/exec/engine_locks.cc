@@ -5,13 +5,8 @@
 namespace bigdawg::exec {
 
 uint32_t EngineLockBitFor(const std::string& engine) {
-  if (engine == core::kEnginePostgres) return kLockPostgres;
-  if (engine == core::kEngineSciDb) return kLockSciDb;
-  if (engine == core::kEngineAccumulo) return kLockAccumulo;
-  if (engine == core::kEngineSStore) return kLockSStore;
-  if (engine == core::kEngineTileDb) return kLockTileDb;
-  if (engine == core::kEngineD4m) return kLockD4m;
-  return 0;
+  int ordinal = core::EngineOrdinal(engine);
+  return ordinal < 0 ? 0 : 1u << ordinal;
 }
 
 EngineLockManager::ScopedLocks& EngineLockManager::ScopedLocks::operator=(

@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "core/monitor.h"
 #include "exec/query_analysis.h"
 
 namespace bigdawg::exec {
@@ -96,7 +97,9 @@ Result<QueryHandle> QueryService::Admit(QueryRunner run, const SubmitOptions& op
 }
 
 void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
-                                 const Status& status, double latency_ms) {
+                                 const Status& status, double latency_ms,
+                                 int64_t retries, int64_t failovers,
+                                 bool degraded) {
   std::lock_guard lock(mu_);
   live_.erase(query_id);
   --in_flight_;
@@ -109,6 +112,9 @@ void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
   } else {
     ++counters_.failed;
   }
+  counters_.retries += retries;
+  counters_.failovers += failovers;
+  if (degraded) ++counters_.degraded;
   std::vector<double>& ring = latencies_[island];
   size_t& next = latency_next_[island];
   if (ring.size() < kLatencyWindow) {
@@ -130,36 +136,134 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
                         int64_t id, const std::shared_ptr<QueryState>& state)
       -> Result<relational::Table> {
     QueryPlan plan = AnalyzeQuery(*dawg_, query);
+    const std::string island_engine =
+        core::Monitor::PreferredEngineForIsland(plan.island);
 
-    Result<relational::Table> result = [&]() -> Result<relational::Table> {
-      if (state->cancelled.load(std::memory_order_relaxed)) {
-        return Status::Cancelled("query cancelled while queued");
+    int attempts = 0;
+    int64_t failovers = 0;
+    BackoffState backoff(config_.retry, static_cast<uint64_t>(id));
+    Result<relational::Table> result =
+        Status::Internal("query was never attempted");
+
+    for (;;) {
+      ++attempts;
+      bool breaker_fail_fast = false;
+      std::string failed_engine;
+      result = [&]() -> Result<relational::Table> {
+        if (state->cancelled.load(std::memory_order_relaxed)) {
+          return Status::Cancelled("query cancelled while queued");
+        }
+        if (has_deadline && Clock::now() > deadline) {
+          return Status::DeadlineExceeded("query deadline passed while queued");
+        }
+        // Fail fast while the island's own engine is breaker-open: no
+        // engine locks taken, no admission slot burned on a timeout.
+        if (!island_engine.empty()) {
+          CircuitBreaker& breaker = BreakerFor(island_engine);
+          if (!breaker.AllowRequest()) {
+            breaker_fail_fast = true;
+            return Status::Unavailable("circuit breaker open for engine " +
+                                       island_engine);
+          }
+          // A half-open probe must route like a normal query to prove the
+          // engine is back, so lift the advisory-down mark (which would
+          // otherwise reroute its reads away from the very engine under
+          // probe). A failed probe re-raises it.
+          if (breaker.state() == CircuitBreaker::State::kHalfOpen) {
+            dawg_->monitor().SetEngineAdvisoryDown(island_engine, false);
+          }
+        }
+        EngineLockManager::ScopedLocks locks =
+            lock_mgr_.Acquire(plan.shared_engines, plan.exclusive_engines);
+
+        core::ExecContext ctx;
+        // Session id + query id make the temp namespace unique across all
+        // live executions; the "__cast_" lead keeps the monitor skipping
+        // temp names. Cancellation/deadline are re-checked inside Execute.
+        ctx.temp_prefix =
+            "__cast_s" +
+            (opts.session == kNoSession ? std::string("a")
+                                        : std::to_string(opts.session)) +
+            "_q" + std::to_string(id) + "_";
+        ctx.cancelled = &state->cancelled;
+        ctx.has_deadline = has_deadline;
+        ctx.deadline = deadline;
+        Result<relational::Table> attempt = dawg_->Execute(query, &ctx);
+        failovers += ctx.failovers;
+        failed_engine = ctx.unavailable_engine;
+        return attempt;
+      }();
+
+      // Resolve this attempt against the breakers. A half-open probe
+      // admitted by AllowRequest above MUST see exactly one
+      // RecordSuccess/RecordFailure, or the breaker would wedge.
+      if (!island_engine.empty() && !breaker_fail_fast) {
+        if (result.status().IsUnavailable() &&
+            (failed_engine.empty() || failed_engine == island_engine)) {
+          RecordEngineFailure(island_engine);
+        } else {
+          // The island's engine answered (the failure, if any, belongs to
+          // another engine or to the query itself).
+          RecordEngineSuccess(island_engine);
+        }
       }
-      if (has_deadline && Clock::now() > deadline) {
-        return Status::DeadlineExceeded("query deadline passed while queued");
+      if (result.status().IsUnavailable() && !failed_engine.empty() &&
+          failed_engine != island_engine) {
+        RecordEngineFailure(failed_engine);
       }
-      EngineLockManager::ScopedLocks locks =
-          lock_mgr_.Acquire(plan.shared_engines, plan.exclusive_engines);
 
-      core::ExecContext ctx;
-      // Session id + query id make the temp namespace unique across all
-      // live executions; the "__cast_" lead keeps the monitor skipping
-      // temp names. Cancellation/deadline are re-checked inside Execute.
-      ctx.temp_prefix =
-          "__cast_s" +
-          (opts.session == kNoSession ? std::string("a")
-                                      : std::to_string(opts.session)) +
-          "_q" + std::to_string(id) + "_";
-      ctx.cancelled = &state->cancelled;
-      ctx.has_deadline = has_deadline;
-      ctx.deadline = deadline;
-      return dawg_->Execute(query, &ctx);
-    }();
+      if (result.ok()) break;
+      if (!IsRetryableStatus(result.status())) break;
+      if (breaker_fail_fast) break;  // open breaker = fail fast, not retry
+      if (attempts >= std::max(1, config_.retry.max_attempts)) break;
+      // Backoff, budgeted against the deadline and aborted by Cancel. A
+      // deadline-capped backoff keeps the (bounded-retries) Unavailable;
+      // an actual cancellation becomes the query's outcome.
+      Status slept = InterruptibleBackoff(backoff.NextDelayMs(),
+                                          &state->cancelled, has_deadline,
+                                          deadline);
+      if (slept.IsCancelled()) {
+        result = slept;
+        break;
+      }
+      if (slept.IsDeadlineExceeded()) break;
+    }
 
-    RecordOutcome(id, plan.island, result.status(), latency_timer.ElapsedMillis());
+    bool degraded = result.ok() && (attempts > 1 || failovers > 0);
+    RecordOutcome(id, plan.island, result.status(), latency_timer.ElapsedMillis(),
+                  attempts - 1, failovers, degraded);
     return result;
   };
   return Admit(std::move(run), opts);
+}
+
+CircuitBreaker& QueryService::BreakerFor(const std::string& engine) {
+  std::lock_guard lock(breaker_mu_);
+  std::unique_ptr<CircuitBreaker>& slot = breakers_[engine];
+  if (slot == nullptr) slot = std::make_unique<CircuitBreaker>(config_.breaker);
+  return *slot;
+}
+
+void QueryService::RecordEngineSuccess(const std::string& engine) {
+  BreakerFor(engine).RecordSuccess();
+  dawg_->monitor().SetEngineAdvisoryDown(engine, false);
+}
+
+void QueryService::RecordEngineFailure(const std::string& engine) {
+  if (BreakerFor(engine).RecordFailure()) {
+    // Tripped: advertise the outage so replicated reads start failing
+    // over in the core, and count the trip.
+    dawg_->monitor().SetEngineAdvisoryDown(engine, true);
+    std::lock_guard lock(mu_);
+    ++counters_.breaker_trips;
+  }
+}
+
+CircuitBreaker::State QueryService::BreakerState(const std::string& engine) const {
+  std::lock_guard lock(breaker_mu_);
+  auto it = breakers_.find(engine);
+  return it == breakers_.end() ? CircuitBreaker::State::kClosed
+                               : it->second->state();
 }
 
 Result<QueryHandle> QueryService::SubmitTask(

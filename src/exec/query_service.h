@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "core/bigdawg.h"
 #include "exec/engine_locks.h"
+#include "exec/retry_policy.h"
 
 namespace bigdawg::exec {
 
@@ -29,6 +30,10 @@ struct QueryServiceConfig {
   size_t max_in_flight = 32;
   /// Deadline applied to queries that don't set their own; 0 = none.
   double default_timeout_ms = 0;
+  /// Backoff/retry schedule for transient (Unavailable) engine errors.
+  RetryPolicy retry;
+  /// Per-engine circuit-breaker tuning.
+  CircuitBreakerPolicy breaker;
 };
 
 struct SubmitOptions {
@@ -61,6 +66,15 @@ struct QueryServiceStats {
   int64_t timed_out = 0;
   int64_t in_flight = 0;
   int64_t sessions_open = 0;
+  // ---- Resilience counters ----
+  /// Attempts beyond each query's first (i.e. retries actually taken).
+  int64_t retries = 0;
+  /// Circuit-breaker transitions to open (closed->open and failed probes).
+  int64_t breaker_trips = 0;
+  /// Reads served by failing over to a replica of a down engine.
+  int64_t failovers = 0;
+  /// Queries that succeeded only after a retry or a failover.
+  int64_t degraded = 0;
   std::vector<IslandLatency> islands;
 };
 
@@ -99,8 +113,15 @@ class QueryHandle {
 ///  * Per-engine reader/writer locks let read-only queries on disjoint
 ///    engines proceed in parallel while migrations, replica refreshes,
 ///    and CAST stores exclude conflicting work.
-///  * Stats() exposes admission counters and per-island p50/p95 latency
-///    for the monitor and benchmarks.
+///  * Resilient execution: transient engine errors (Unavailable) are
+///    retried with exponential backoff + decorrelated jitter, budgeted
+///    against the query's deadline and aborted promptly by Cancel; a
+///    per-engine circuit breaker fails doomed queries fast once an
+///    engine keeps failing, and marks the engine advisory-down so the
+///    core reroutes replicated reads to fresh replicas (failover).
+///  * Stats() exposes admission counters, resilience counters (retries,
+///    breaker trips, failovers, degraded answers), and per-island
+///    p50/p95 latency for the monitor and benchmarks.
 class QueryService {
  public:
   explicit QueryService(core::BigDawg* dawg, QueryServiceConfig config = {});
@@ -153,6 +174,10 @@ class QueryService {
 
   QueryServiceStats Stats() const;
 
+  /// Current circuit-breaker state for an engine (kClosed when the engine
+  /// has never failed).
+  CircuitBreaker::State BreakerState(const std::string& engine) const;
+
   const QueryServiceConfig& config() const { return config_; }
 
  private:
@@ -166,11 +191,26 @@ class QueryService {
 
   Result<QueryHandle> Admit(QueryRunner run, const SubmitOptions& opts);
   void RecordOutcome(int64_t query_id, const std::string& island,
-                     const Status& status, double latency_ms);
+                     const Status& status, double latency_ms,
+                     int64_t retries = 0, int64_t failovers = 0,
+                     bool degraded = false);
+
+  /// The breaker guarding `engine`, created closed on first use.
+  CircuitBreaker& BreakerFor(const std::string& engine);
+  /// Feeds one attempt outcome into `engine`'s breaker; a trip marks the
+  /// engine advisory-down in the monitor (reads start failing over), a
+  /// success closes the breaker and clears the advisory.
+  void RecordEngineSuccess(const std::string& engine);
+  void RecordEngineFailure(const std::string& engine);
 
   core::BigDawg* dawg_;
   QueryServiceConfig config_;
   EngineLockManager lock_mgr_;
+
+  /// Engine name -> breaker. CircuitBreaker owns a mutex (not movable),
+  /// hence the unique_ptr; breakers are created lazily and never removed.
+  mutable std::mutex breaker_mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
 
   mutable std::mutex mu_;
   std::condition_variable drain_cv_;

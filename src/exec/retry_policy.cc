@@ -1,0 +1,111 @@
+#include "exec/retry_policy.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace bigdawg::exec {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::duration MillisToDuration(double ms) {
+  return std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
+}
+}  // namespace
+
+BackoffState::BackoffState(const RetryPolicy& policy, uint64_t salt)
+    : policy_(policy),
+      rng_(policy.jitter_seed ^ (salt * 0x9e3779b97f4a7c15ULL)),
+      prev_ms_(policy.base_backoff_ms) {}
+
+double BackoffState::NextDelayMs() {
+  // Decorrelated jitter: uniform in [base, prev * 3], capped.
+  double hi = std::max(policy_.base_backoff_ms, prev_ms_ * 3);
+  double delay = rng_.NextDouble(policy_.base_backoff_ms, hi);
+  delay = std::min(delay, policy_.max_backoff_ms);
+  prev_ms_ = delay;
+  return delay;
+}
+
+Status InterruptibleBackoff(double delay_ms, const std::atomic<bool>* cancelled,
+                            bool has_deadline, Clock::time_point deadline) {
+  Clock::time_point now = Clock::now();
+  Clock::time_point wake = now + MillisToDuration(delay_ms);
+  if (has_deadline && wake > deadline) {
+    return Status::DeadlineExceeded("retry backoff would outlive the deadline");
+  }
+  // Poll in ~1 ms slices so Cancel() aborts the sleep promptly.
+  constexpr auto kSlice = std::chrono::milliseconds(1);
+  while (now < wake) {
+    if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled during retry backoff");
+    }
+    if (has_deadline && now > deadline) {
+      return Status::DeadlineExceeded("query deadline passed during retry backoff");
+    }
+    std::this_thread::sleep_for(std::min<Clock::duration>(kSlice, wake - now));
+    now = Clock::now();
+  }
+  return Status::OK();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerPolicy policy) : policy_(policy) {}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() < open_until_) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: back to a full open window.
+    state_ = State::kOpen;
+    open_until_ = Clock::now() + MillisToDuration(policy_.open_ms);
+    probe_in_flight_ = false;
+    ++trips_;
+    return true;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_ = Clock::now() + MillisToDuration(policy_.open_ms);
+    consecutive_failures_ = 0;
+    ++trips_;
+    return true;
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard lock(mu_);
+  return trips_;
+}
+
+}  // namespace bigdawg::exec

@@ -1,0 +1,112 @@
+#ifndef BIGDAWG_EXEC_RETRY_POLICY_H_
+#define BIGDAWG_EXEC_RETRY_POLICY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace bigdawg::exec {
+
+/// \brief Retry configuration for transient engine failures.
+///
+/// Only `Status::Unavailable` is retried: every other error is either a
+/// caller mistake (InvalidArgument, NotFound, ...) or a terminal
+/// admission/deadline outcome that retrying would make worse. Backoff is
+/// exponential-with-decorrelated-jitter (the AWS architecture blog
+/// scheme): each delay is drawn uniformly from [base, prev * 3], capped,
+/// so concurrent retriers spread out instead of thundering back in
+/// lockstep. The jitter stream is seeded, so a chaos test replays the
+/// exact same schedule from the same seed.
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retries.
+  int max_attempts = 4;
+  double base_backoff_ms = 1;
+  double max_backoff_ms = 50;
+  /// Seed for the decorrelated-jitter stream (mixed with the query id so
+  /// concurrent queries decorrelate while staying deterministic).
+  uint64_t jitter_seed = 0x5eed;
+};
+
+/// True when the status is worth retrying under a RetryPolicy.
+inline bool IsRetryableStatus(const Status& s) { return s.IsUnavailable(); }
+
+/// \brief Per-query backoff schedule (not thread-safe; one per attempt
+/// sequence).
+class BackoffState {
+ public:
+  BackoffState(const RetryPolicy& policy, uint64_t salt);
+
+  /// Delay before the next attempt, advancing the jitter stream.
+  double NextDelayMs();
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  double prev_ms_;
+};
+
+/// Sleeps up to `delay_ms`, polling the cooperative-cancellation flag and
+/// the deadline so a cancelled or expiring query aborts its backoff
+/// promptly instead of sleeping through it. Returns OK when the full
+/// delay elapsed, Cancelled/DeadlineExceeded when aborted early. A delay
+/// that cannot finish before the deadline returns DeadlineExceeded
+/// immediately — a retry never outlives its deadline.
+Status InterruptibleBackoff(double delay_ms, const std::atomic<bool>* cancelled,
+                            bool has_deadline,
+                            std::chrono::steady_clock::time_point deadline);
+
+/// \brief Circuit-breaker tuning.
+struct CircuitBreakerPolicy {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// How long the breaker stays open before admitting one half-open probe.
+  double open_ms = 100;
+};
+
+/// \brief Per-engine circuit breaker: closed -> open -> half-open.
+///
+/// Closed passes every request and counts consecutive failures; at the
+/// threshold it trips open. Open fails fast — no request reaches the
+/// engine, so a dead engine stops burning admission slots and worker time
+/// on doomed calls. After `open_ms` the breaker admits exactly one
+/// half-open probe: success closes it, failure re-opens the window.
+/// Thread-safe; one instance per engine lives in the query service.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerPolicy policy = {});
+
+  /// True when a request may proceed. While open, returns false until the
+  /// window expires, then transitions to half-open and admits a single
+  /// probe (concurrent callers keep failing fast until it resolves).
+  bool AllowRequest();
+
+  void RecordSuccess();
+  /// Returns true when this failure tripped the breaker closed->open (or
+  /// re-opened it from half-open), so the caller can record the trip and
+  /// mark the engine advisory-down.
+  bool RecordFailure();
+
+  State state() const;
+  int64_t trips() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  CircuitBreakerPolicy policy_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point open_until_{};
+  int64_t trips_ = 0;
+};
+
+}  // namespace bigdawg::exec
+
+#endif  // BIGDAWG_EXEC_RETRY_POLICY_H_

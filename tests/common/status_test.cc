@@ -38,6 +38,7 @@ TEST(StatusTest, AllFactoriesSetMatchingPredicate) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
   EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
 }
 
 TEST(StatusTest, AdmissionControlCodeStrings) {
@@ -45,6 +46,11 @@ TEST(StatusTest, AdmissionControlCodeStrings) {
             "Resource exhausted: full");
   EXPECT_EQ(Status::DeadlineExceeded("late").ToString(), "Deadline exceeded: late");
   EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  // The transient-failure code the resilience layer retries.
+  EXPECT_EQ(Status::Unavailable("engine down").ToString(),
+            "Unavailable: engine down");
+  EXPECT_FALSE(Status::Unavailable("x").ok());
+  EXPECT_FALSE(Status::IOError("x").IsUnavailable());
 }
 
 TEST(StatusTest, CopyPreservesState) {

@@ -1,0 +1,111 @@
+#include "core/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bigdawg::core {
+namespace {
+
+TEST(FaultInjectorTest, DisabledPlaneIsInert) {
+  FaultInjector fi;
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_TRUE(fi.OnCall(kEnginePostgres).ok());
+  EXPECT_FALSE(fi.IsDown(kEnginePostgres));
+  // Even a scripted schedule stays dormant until Enable().
+  fi.SetDown(kEnginePostgres, true);
+  EXPECT_TRUE(fi.OnCall(kEnginePostgres).ok());
+  EXPECT_FALSE(fi.IsDown(kEnginePostgres));
+  auto counters = fi.CountersFor(kEnginePostgres);
+  EXPECT_EQ(counters.calls, 0);
+  EXPECT_EQ(counters.faults_injected, 0);
+}
+
+TEST(FaultInjectorTest, FailNextCallsThenRecovers) {
+  FaultInjector fi;
+  fi.Enable();
+  fi.FailNextCalls(kEnginePostgres, 2);
+  EXPECT_TRUE(fi.OnCall(kEnginePostgres).IsUnavailable());
+  EXPECT_TRUE(fi.OnCall(kEnginePostgres).IsUnavailable());
+  EXPECT_TRUE(fi.OnCall(kEnginePostgres).ok());
+  // Other engines are untouched by the schedule.
+  EXPECT_TRUE(fi.OnCall(kEngineSciDb).ok());
+  auto counters = fi.CountersFor(kEnginePostgres);
+  EXPECT_EQ(counters.calls, 3);
+  EXPECT_EQ(counters.faults_injected, 2);
+}
+
+TEST(FaultInjectorTest, FailEveryNthIsPeriodic) {
+  FaultInjector fi;
+  fi.Enable();
+  fi.FailEveryNth(kEngineSciDb, 3);
+  std::vector<bool> failed;
+  for (int i = 0; i < 9; ++i) {
+    failed.push_back(!fi.OnCall(kEngineSciDb).ok());
+  }
+  EXPECT_EQ(failed, std::vector<bool>({false, false, true, false, false, true,
+                                       false, false, true}));
+  fi.FailEveryNth(kEngineSciDb, 0);  // 0 disables
+  EXPECT_TRUE(fi.OnCall(kEngineSciDb).ok());
+}
+
+TEST(FaultInjectorTest, DownFlagAndTimedWindow) {
+  FaultInjector fi;
+  fi.Enable();
+  fi.SetDown(kEngineAccumulo, true);
+  EXPECT_TRUE(fi.IsDown(kEngineAccumulo));
+  EXPECT_TRUE(fi.OnCall(kEngineAccumulo).IsUnavailable());
+  fi.SetDown(kEngineAccumulo, false);
+  EXPECT_FALSE(fi.IsDown(kEngineAccumulo));
+  EXPECT_TRUE(fi.OnCall(kEngineAccumulo).ok());
+
+  fi.SetDownForMs(kEngineAccumulo, 30);
+  EXPECT_TRUE(fi.IsDown(kEngineAccumulo));
+  EXPECT_TRUE(fi.OnCall(kEngineAccumulo).IsUnavailable());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(fi.IsDown(kEngineAccumulo));
+  EXPECT_TRUE(fi.OnCall(kEngineAccumulo).ok());
+}
+
+TEST(FaultInjectorTest, ProbabilisticFaultsAreSeededDeterministic) {
+  auto pattern = [](uint64_t seed) {
+    FaultInjector fi;
+    fi.Enable();
+    fi.FailWithProbability(kEngineD4m, 0.5, seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 32; ++i) out.push_back(!fi.OnCall(kEngineD4m).ok());
+    return out;
+  };
+  std::vector<bool> a = pattern(42);
+  EXPECT_EQ(a, pattern(42));          // same seed => same schedule
+  EXPECT_NE(a, pattern(43));          // different seed => different schedule
+  EXPECT_NE(a, std::vector<bool>(32, false));  // p=0.5 actually fires
+}
+
+TEST(FaultInjectorTest, ResetClearsSchedulesButNotEnabled) {
+  FaultInjector fi;
+  fi.Enable();
+  fi.SetDown(kEnginePostgres, true);
+  fi.FailNextCalls(kEngineSciDb, 5);
+  fi.Reset();
+  EXPECT_TRUE(fi.enabled());
+  EXPECT_FALSE(fi.IsDown(kEnginePostgres));
+  EXPECT_TRUE(fi.OnCall(kEnginePostgres).ok());
+  EXPECT_TRUE(fi.OnCall(kEngineSciDb).ok());
+  EXPECT_EQ(fi.CountersFor(kEngineSciDb).calls, 1);
+}
+
+TEST(FaultInjectorTest, UnknownEngineDoesNotCrash) {
+  FaultInjector fi;
+  fi.Enable();
+  EXPECT_TRUE(fi.OnCall("no_such_engine").ok() ||
+              fi.OnCall("no_such_engine").IsUnavailable());
+  EXPECT_EQ(EngineOrdinal("no_such_engine"), -1);
+  EXPECT_EQ(EngineOrdinal(kEnginePostgres), 0);
+  EXPECT_EQ(EngineOrdinal(kEngineD4m), 5);
+}
+
+}  // namespace
+}  // namespace bigdawg::core

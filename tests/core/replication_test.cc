@@ -109,5 +109,54 @@ TEST_F(ReplicationTest, MigrationDropsRedundantReplica) {
   EXPECT_EQ(*result.At(0, "count_v"), Value(20.0));
 }
 
+// ---- Failover freshness: the replication gap ----
+
+TEST_F(ReplicationTest, StaleReplicaNeverServesFailover) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  // Write the primary: the replica is now one version behind.
+  BIGDAWG_CHECK_OK(dawg_.postgres().Insert("readings", {Value(20), Value(10.0)}));
+  BIGDAWG_CHECK_OK(dawg_.MarkObjectWritten("readings"));
+  ASSERT_FALSE(dawg_.catalog().ReplicaIsFresh("readings", kEngineSciDb));
+
+  // Primary down + only a stale replica: the read must fail Unavailable
+  // rather than serve bytes from before the write. A degraded answer
+  // still has to be a correct answer.
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDown(kEnginePostgres, true);
+  auto gap_read = dawg_.FetchAsArray("readings");
+  ASSERT_FALSE(gap_read.ok());
+  EXPECT_TRUE(gap_read.status().IsUnavailable()) << gap_read.status().ToString();
+  EXPECT_EQ(dawg_.monitor().TotalFailovers(), 0);
+
+  // Refresh (needs the primary back) and re-kill the primary: the
+  // now-fresh replica is eligible again and serves the failover read,
+  // including the row written during the gap.
+  dawg_.fault_injector().SetDown(kEnginePostgres, false);
+  ASSERT_EQ(*dawg_.RefreshReplicas("readings"), 1);
+  dawg_.fault_injector().SetDown(kEnginePostgres, true);
+  auto failover_read = dawg_.FetchAsArray("readings");
+  ASSERT_TRUE(failover_read.ok()) << failover_read.status().ToString();
+  EXPECT_EQ(failover_read->NonEmptyCount(), 21);
+  EXPECT_EQ(dawg_.monitor().TotalFailovers(), 1);
+}
+
+TEST_F(ReplicationTest, DownReplicaEngineIsSkippedByFailover) {
+  BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", kEngineSciDb));
+  dawg_.fault_injector().Enable();
+  // Both the primary's engine and the replica's engine are down: there
+  // is nowhere left to route the read.
+  dawg_.fault_injector().SetDown(kEnginePostgres, true);
+  dawg_.fault_injector().SetDown(kEngineSciDb, true);
+  EXPECT_TRUE(dawg_.FetchAsArray("readings").status().IsUnavailable());
+  EXPECT_EQ(dawg_.monitor().TotalFailovers(), 0);
+
+  // The replica engine comes back: the read fails over there.
+  dawg_.fault_injector().SetDown(kEngineSciDb, false);
+  auto read = dawg_.FetchAsArray("readings");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->NonEmptyCount(), 20);
+  EXPECT_EQ(dawg_.monitor().TotalFailovers(), 1);
+}
+
 }  // namespace
 }  // namespace bigdawg::core

@@ -1,0 +1,356 @@
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "array/array.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+
+namespace bigdawg::exec {
+namespace {
+
+/// Federation used by every chaos scenario: `patients` lives on postgres
+/// with no replica (its reads cannot fail over), `readings` lives on
+/// postgres with a fresh scidb replica (its reads can).
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
+        "patients", Schema({Field("patient_id", DataType::kInt64),
+                            Field("age", DataType::kInt64)})));
+    for (int64_t i = 0; i < 5; ++i) {
+      BIGDAWG_CHECK_OK(dawg_.postgres().Insert(
+          "patients", {Value(i), Value(int64_t{40} + i)}));
+    }
+    BIGDAWG_CHECK_OK(
+        dawg_.RegisterObject("patients", core::kEnginePostgres, "patients"));
+
+    BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
+        "readings", Schema({Field("t", DataType::kInt64),
+                            Field("v", DataType::kDouble)})));
+    for (int64_t i = 0; i < 20; ++i) {
+      BIGDAWG_CHECK_OK(dawg_.postgres().Insert(
+          "readings", {Value(i), Value(static_cast<double>(i) * 0.5)}));
+    }
+    BIGDAWG_CHECK_OK(
+        dawg_.RegisterObject("readings", core::kEnginePostgres, "readings"));
+    BIGDAWG_CHECK_OK(dawg_.ReplicateObject("readings", core::kEngineSciDb));
+  }
+
+  core::BigDawg dawg_;
+};
+
+TEST_F(FaultInjectionTest, DisabledFaultPlaneChangesNothing) {
+  QueryService service(&dawg_, {.num_workers = 2});
+  auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.breaker_trips, 0);
+  EXPECT_EQ(stats.failovers, 0);
+  EXPECT_EQ(stats.degraded, 0);
+  EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
+            CircuitBreaker::State::kClosed);
+  // The injector recorded nothing: the disabled plane never meters calls.
+  EXPECT_EQ(dawg_.fault_injector().CountersFor(core::kEnginePostgres).calls, 0);
+}
+
+TEST_F(FaultInjectionTest, TransientFaultsAreRetriedToSuccess) {
+  QueryService service(&dawg_, {.num_workers = 2});
+  dawg_.fault_injector().Enable();
+  // The next two engine calls fail; the third attempt goes through.
+  dawg_.fault_injector().FailNextCalls(core::kEnginePostgres, 2);
+
+  auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result->At(0, "n")->AsInt64(), 5);
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.degraded, 1);  // succeeded, but only after retries
+  EXPECT_EQ(stats.failovers, 0);
+  // Two consecutive failures stay under the default trip threshold, and
+  // the success reset the streak.
+  EXPECT_EQ(stats.breaker_trips, 0);
+  EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
+            CircuitBreaker::State::kClosed);
+}
+
+// Acceptance scenario 1: a scripted "engine down for 50 ms" on a
+// replicated object yields a successful (degraded) answer via replica
+// failover — one failover recorded, zero failed queries.
+TEST_F(FaultInjectionTest, EngineDownReplicatedObjectFailsOverToReplica) {
+  QueryService service(&dawg_, {.num_workers = 2});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDownForMs(core::kEnginePostgres, 50);
+
+  // ARRAY-island query: the island computes on (healthy) scidb, and the
+  // fetch of `readings` reroutes from the down postgres primary to the
+  // fresh scidb replica.
+  auto result = service.ExecuteSync("ARRAY(aggregate(readings, count, v))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result->At(0, "count_v"), Value(20.0));
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GE(stats.failovers, 1);
+  EXPECT_EQ(stats.degraded, 1);
+  // The monitor's health view attributes the failover to the primary.
+  EXPECT_GE(dawg_.monitor().TotalFailovers(), 1);
+  bool saw_postgres = false;
+  for (const core::EngineHealth& h : dawg_.monitor().EngineHealthView()) {
+    if (h.engine == core::kEnginePostgres) {
+      saw_postgres = true;
+      EXPECT_GE(h.failovers, 1);
+    }
+  }
+  EXPECT_TRUE(saw_postgres);
+}
+
+// Acceptance scenario 2: the same down window on an object with no
+// replica yields Unavailable after bounded retries, within the query's
+// deadline. The proof of boundedness is the outcome itself: the engine
+// recovers at 50 ms, so a retry loop that ignored its budget would
+// eventually succeed instead of surfacing Unavailable.
+TEST_F(FaultInjectionTest, EngineDownUnreplicatedObjectIsUnavailable) {
+  QueryService service(&dawg_,
+                       {.num_workers = 2,
+                        .retry = {.max_attempts = 3,
+                                  .base_backoff_ms = 1,
+                                  .max_backoff_ms = 2},
+                        .breaker = {.failure_threshold = 100}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDownForMs(core::kEnginePostgres, 50);
+
+  auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients",
+                                    {.timeout_ms = 25});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.timed_out, 0);
+  EXPECT_EQ(stats.retries, 2);  // 3 attempts, all refused by the down engine
+  EXPECT_EQ(stats.failovers, 0);
+}
+
+TEST_F(FaultInjectionTest, BreakerTripsAndFailsFastWithoutTouchingEngine) {
+  // threshold 2, a long open window so the breaker stays open for the
+  // whole test; retries off so each query is exactly one attempt.
+  QueryService service(&dawg_, {.num_workers = 2,
+                                .retry = {.max_attempts = 1},
+                                .breaker = {.failure_threshold = 2,
+                                            .open_ms = 60000}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
+
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+  EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
+            CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+  EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
+            CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(dawg_.monitor().EngineAdvisoryDown(core::kEnginePostgres));
+
+  // Open breaker: the next query fails fast before any engine call.
+  int64_t calls_before =
+      dawg_.fault_injector().CountersFor(core::kEnginePostgres).calls;
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+  EXPECT_EQ(dawg_.fault_injector().CountersFor(core::kEnginePostgres).calls,
+            calls_before);
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.breaker_trips, 1);
+  EXPECT_EQ(stats.failed, 3);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+TEST_F(FaultInjectionTest, BreakerHalfOpenProbeClosesAfterRecovery) {
+  QueryService service(&dawg_, {.num_workers = 2,
+                                .retry = {.max_attempts = 1},
+                                .breaker = {.failure_threshold = 2,
+                                            .open_ms = 30}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+  EXPECT_TRUE(dawg_.monitor().EngineAdvisoryDown(core::kEnginePostgres));
+
+  // Heal the engine, wait out the open window: the next query is the
+  // half-open probe, and its success closes the breaker and clears the
+  // advisory-down mark.
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  auto probe = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
+            CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(dawg_.monitor().EngineAdvisoryDown(core::kEnginePostgres));
+  EXPECT_EQ(service.Stats().completed, 1);
+}
+
+TEST_F(FaultInjectionTest, OpenBreakerReroutesReplicatedReadsToReplica) {
+  QueryService service(&dawg_, {.num_workers = 2,
+                                .retry = {.max_attempts = 1},
+                                .breaker = {.failure_threshold = 1,
+                                            .open_ms = 60000}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
+  // One failure trips the breaker (threshold 1) and marks postgres
+  // advisory-down for the core's routing.
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+  EXPECT_TRUE(dawg_.monitor().EngineAdvisoryDown(core::kEnginePostgres));
+
+  // The engine itself is healthy again, but the breaker is still open:
+  // replicated reads on other islands route around it via the advisory.
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, false);
+  auto rerouted = service.ExecuteSync("ARRAY(aggregate(readings, count, v))");
+  ASSERT_TRUE(rerouted.ok()) << rerouted.status().ToString();
+  EXPECT_EQ(*rerouted->At(0, "count_v"), Value(20.0));
+
+  // While a relational query, whose island computes on the breaker-open
+  // engine, still fails fast.
+  EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
+                  .status().IsUnavailable());
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 2);
+  EXPECT_EQ(stats.failovers, 1);
+  EXPECT_EQ(stats.degraded, 1);
+  EXPECT_EQ(stats.breaker_trips, 1);
+}
+
+TEST_F(FaultInjectionTest, InjectedLatencyConsumesDeadline) {
+  QueryService service(&dawg_, {.num_workers = 2});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetLatencyMs(core::kEnginePostgres, 40);
+
+  auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients",
+                                    {.timeout_ms = 10});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.timed_out, 1);
+  EXPECT_EQ(stats.retries, 0);  // DeadlineExceeded is terminal, not retried
+}
+
+TEST_F(FaultInjectionTest, CancelAbortsRetryBackoffPromptly) {
+  // Without cancellation this query would retry for minutes: the engine
+  // is hard-down and every backoff is 200-400 ms.
+  QueryService service(&dawg_, {.num_workers = 2,
+                                .retry = {.max_attempts = 1000,
+                                          .base_backoff_ms = 200,
+                                          .max_backoff_ms = 400},
+                                .breaker = {.failure_threshold = 1000000}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
+
+  auto handle = service.Submit("SELECT age FROM patients");
+  ASSERT_TRUE(handle.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Stopwatch cancel_timer;
+  ASSERT_TRUE(service.Cancel(handle->id()).ok());
+  auto result = handle->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  // The backoff sleep polls the cancel flag: the query unwinds in
+  // milliseconds, not after draining its 200-400 ms sleep (let alone the
+  // remaining attempts).
+  EXPECT_LT(cancel_timer.ElapsedMillis(), 2000);
+  EXPECT_EQ(service.Stats().cancelled, 1);
+}
+
+TEST_F(FaultInjectionTest, BackoffNeverOutlivesTheDeadline) {
+  // The first backoff (>= 1 s) cannot finish before the 30 ms deadline,
+  // so the retry loop must give up immediately with the transient error
+  // instead of sleeping through the deadline.
+  QueryService service(&dawg_, {.num_workers = 2,
+                                .retry = {.max_attempts = 10,
+                                          .base_backoff_ms = 1000,
+                                          .max_backoff_ms = 2000},
+                                .breaker = {.failure_threshold = 100}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
+
+  Stopwatch timer;
+  auto result = service.ExecuteSync("SELECT age FROM patients",
+                                    {.timeout_ms = 30});
+  EXPECT_LT(timer.ElapsedMillis(), 500);  // never slept the 1 s backoff
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.failed, 1);
+}
+
+TEST_F(FaultInjectionTest, NonRetryableErrorsAreNotRetried) {
+  QueryService service(&dawg_, {.num_workers = 2});
+  dawg_.fault_injector().Enable();  // enabled but no schedule: all calls OK
+
+  auto not_found = service.ExecuteSync("SELECT * FROM no_such_table");
+  EXPECT_TRUE(not_found.status().IsNotFound());
+
+  // Admission rejection is equally terminal: it never reaches the retry
+  // loop at all.
+  QueryService tiny(&dawg_, {.num_workers = 1, .max_in_flight = 1});
+  std::mutex gate;
+  std::atomic<bool> started{false};
+  gate.lock();
+  auto blocker = tiny.SubmitTask([&gate, &started]() -> Result<relational::Table> {
+    started.store(true);
+    std::lock_guard hold(gate);
+    return relational::Table(Schema({Field("x", DataType::kInt64)}));
+  });
+  ASSERT_TRUE(blocker.ok());
+  while (!started.load()) std::this_thread::yield();
+  EXPECT_TRUE(tiny.Submit("SELECT age FROM patients")
+                  .status().IsResourceExhausted());
+  gate.unlock();
+  ASSERT_TRUE(blocker->Wait().ok());
+  tiny.Drain();
+
+  EXPECT_EQ(service.Stats().retries, 0);
+  EXPECT_EQ(service.Stats().failed, 1);
+  EXPECT_EQ(tiny.Stats().rejected, 1);
+  EXPECT_EQ(tiny.Stats().retries, 0);
+}
+
+TEST_F(FaultInjectionTest, MonitorHealthViewMetersCallsAndFaults) {
+  QueryService service(&dawg_, {.num_workers = 2,
+                                .breaker = {.failure_threshold = 100}});
+  dawg_.fault_injector().Enable();
+  dawg_.fault_injector().FailNextCalls(core::kEnginePostgres, 1);
+  auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  bool saw_postgres = false;
+  for (const core::EngineHealth& h : dawg_.monitor().EngineHealthView()) {
+    if (h.engine != core::kEnginePostgres) continue;
+    saw_postgres = true;
+    EXPECT_GE(h.calls, 2);   // the failed check plus the retried ones
+    EXPECT_EQ(h.faults, 1);
+    EXPECT_FALSE(h.advisory_down);
+  }
+  EXPECT_TRUE(saw_postgres);
+}
+
+}  // namespace
+}  // namespace bigdawg::exec

@@ -4,6 +4,7 @@
 // -fsanitize=thread by scripts/check.sh.
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 
 #include "array/array.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "core/bigdawg.h"
 #include "exec/query_service.h"
 
@@ -244,6 +246,163 @@ TEST(QueryServiceStressTest, OverloadRejectsOnlyPastAdmissionLimit) {
             stats.completed + stats.failed + stats.cancelled + stats.timed_out);
   EXPECT_EQ(stats.failed, 0);
   EXPECT_EQ(stats.in_flight, 0);
+}
+
+// Chaos tier: the mixed workload again, this time with a seeded fault
+// storm raining on three engines while 8 clients run. Under faults a
+// query may legitimately fail — but only with the typed resilience
+// outcomes, every success must still be the exact right answer, the
+// admission books must balance to the query, and no session or CAST
+// temporary may leak. Run under -fsanitize=thread by scripts/check.sh.
+TEST(QueryServiceStressTest, ChaosSweepKeepsBooksBalancedAndAnswersCorrect) {
+  core::BigDawg dawg;
+  LoadStressFederation(&dawg);
+  // `readings` gets a scidb replica so a slice of the workload exercises
+  // failover routing while postgres is inside a down window.
+  BIGDAWG_CHECK_OK(dawg.ReplicateObject("readings", core::kEngineSciDb));
+
+  QueryService service(&dawg, {.num_workers = 8,
+                               .max_in_flight = 64,
+                               .retry = {.max_attempts = 4,
+                                         .base_backoff_ms = 0.5,
+                                         .max_backoff_ms = 4},
+                               .breaker = {.failure_threshold = 3,
+                                           .open_ms = 10}});
+  dawg.fault_injector().Enable();
+  // Seed pressure before any client starts: the first relational query
+  // is guaranteed to retry, so stats.retries is deterministically > 0.
+  dawg.fault_injector().FailNextCalls(core::kEnginePostgres, 1);
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 25;
+  std::atomic<int64_t> wrong{0};
+  std::atomic<int64_t> ok_answers{0};
+  std::atomic<int64_t> rejected{0};
+  std::atomic<bool> clients_done{false};
+
+  // The chaos driver: a deterministic splitmix64 stream scripts short
+  // down windows, transient-error bursts, and latency spikes across
+  // three engines until the clients finish.
+  std::thread chaos([&dawg, &clients_done] {
+    Rng rng(0xc4a05);
+    const char* engines[] = {core::kEnginePostgres, core::kEngineSciDb,
+                             core::kEngineAccumulo};
+    while (!clients_done.load()) {
+      const char* engine = engines[rng.NextBelow(3)];
+      switch (rng.NextBelow(4)) {
+        case 0:
+          dawg.fault_injector().SetDownForMs(engine, rng.NextDouble(1, 4));
+          break;
+        case 1:
+          dawg.fault_injector().FailNextCalls(engine, rng.NextInt(1, 3));
+          break;
+        case 2:
+          dawg.fault_injector().SetLatencyMs(engine, rng.NextDouble(0, 0.5));
+          break;
+        default:
+          dawg.fault_injector().FailWithProbability(engine, 0.1,
+                                                    rng.NextUint64());
+          break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.NextInt(500, 2000)));
+    }
+    dawg.fault_injector().Reset();
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &wrong, &ok_answers, &rejected, c] {
+      int64_t session = service.OpenSession();
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        // RunOneQuery validates successful answers; under chaos a query
+        // may instead fail, but only with a resilience-path status.
+        auto r = service.ExecuteSync(
+            "SELECT COUNT(*) AS n FROM patients", {.session = session});
+        switch ((c + i) % 4) {
+          case 0:
+            // Keep the relational query above as this iteration's probe.
+            if (r.ok() && *r->At(0, "n") != Value(kNumPatients)) {
+              wrong.fetch_add(1);
+              continue;
+            }
+            break;
+          case 1:
+            r = service.ExecuteSync("ARRAY(aggregate(hr, count, bpm))",
+                                    {.session = session});
+            if (r.ok() && *r->At(0, "count_bpm") != Value(16.0)) {
+              wrong.fetch_add(1);
+              continue;
+            }
+            break;
+          case 2:
+            r = service.ExecuteSync("TEXT(SEARCH sick)", {.session = session});
+            if (r.ok() && r->num_rows() != static_cast<size_t>(kSickNotes)) {
+              wrong.fetch_add(1);
+              continue;
+            }
+            break;
+          default:
+            // The replicated object, via a CAST: fails over to the scidb
+            // replica whenever postgres is inside a down window.
+            r = service.ExecuteSync(
+                "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(readings, relation) "
+                "WHERE v >= 0)",
+                {.session = session});
+            if (r.ok() && *r->At(0, "n") != Value(kNumReadings)) {
+              wrong.fetch_add(1);
+              continue;
+            }
+            break;
+        }
+        if (r.ok()) {
+          ok_answers.fetch_add(1);
+        } else if (r.status().IsResourceExhausted()) {
+          rejected.fetch_add(1);
+        } else if (!r.status().IsUnavailable() &&
+                   !r.status().IsDeadlineExceeded()) {
+          // Anything besides the typed resilience outcomes is a bug.
+          wrong.fetch_add(1);
+        }
+      }
+      BIGDAWG_CHECK_OK(service.CloseSession(session));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  clients_done.store(true);
+  chaos.join();
+  service.Drain();
+  dawg.fault_injector().Disable();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(ok_answers.load(), 0);  // the storm never blacked out everything
+
+  auto stats = service.Stats();
+  // Case 0 runs the relational query once, every other case runs it and
+  // then a second query: submissions are exact.
+  EXPECT_EQ(stats.submitted,
+            kClients * kQueriesPerClient +
+                kClients * kQueriesPerClient * 3 / 4);
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.failed + stats.cancelled + stats.timed_out);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_EQ(stats.sessions_open, 0);
+  EXPECT_GE(stats.retries, 1);  // the seeded FailNextCalls guarantees one
+
+  // No CAST temporary survived the storm.
+  for (const core::ObjectLocation& obj : dawg.catalog().List()) {
+    EXPECT_NE(obj.object.rfind("__cast_", 0), 0u)
+        << "leaked CAST temporary: " << obj.object;
+  }
+  // With the plane quiet again, the federation still answers exactly.
+  // (Wait out any breaker-open window a late trip left behind: the next
+  // query is then the half-open probe and succeeds against the healthy
+  // engine.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto check = service.ExecuteSync("SELECT COUNT(*) AS n FROM readings");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(*check->At(0, "n"), Value(kNumReadings));
 }
 
 }  // namespace
