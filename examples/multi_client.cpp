@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "core/bigdawg.h"
 #include "exec/query_service.h"
+#include "obs/trace.h"
 
 using bigdawg::Field;
 using bigdawg::DataType;
@@ -22,9 +23,13 @@ using bigdawg::Value;
 namespace core = bigdawg::core;
 namespace array = bigdawg::array;
 namespace exec = bigdawg::exec;
+namespace obs = bigdawg::obs;
 
 int main() {
   core::BigDawg dawg;
+  // Record a span tree for every query this demo runs (also reachable via
+  // BIGDAWG_TRACE=1 in the environment); dumped at the end.
+  dawg.tracer().Enable();
 
   // --- Load the quickstart federation: patients on postgres, hr on scidb.
   BIGDAWG_CHECK_OK(dawg.postgres().CreateTable(
@@ -126,5 +131,23 @@ int main() {
                 island.island.c_str(), static_cast<long long>(island.count),
                 island.p50_ms, island.p95_ms);
   }
+
+  // --- Observability: every query above left a span tree in the tracer.
+  // Show where the last one spent its time (scope routing, CASTs with
+  // bytes moved, engine shims), feed the batch to the monitor so it can
+  // refine engine affinities from real span timings, and dump the metrics
+  // registry in the Prometheus text form.
+  auto traces = dawg.tracer().DrainFinished();
+  std::printf("\n%zu traces recorded; the last one:\n", traces.size());
+  if (!traces.empty()) {
+    std::printf("%s", obs::DumpSpanTree(traces.back()).c_str());
+  }
+  dawg.monitor().IngestTraces(traces);
+  auto best = dawg.monitor().BestEngineFor("RELATIONAL");
+  if (best.ok()) {
+    std::printf("\nmonitor learned from traces: RELATIONAL runs best on %s\n",
+                best->c_str());
+  }
+  std::printf("\n%s", service.DumpMetrics().c_str());
   return 0;
 }

@@ -36,6 +36,11 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  # Tier-1 again with tracing forced on: span emission touches every
+  # query-path component, so this is the race detector's view of the
+  # observability layer itself (normally off, hence the separate pass).
+  echo "==== ThreadSanitizer tier1 + BIGDAWG_TRACE=1 ===="
+  (cd build-tsan && BIGDAWG_TRACE=1 ctest --output-on-failure -L tier1)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then

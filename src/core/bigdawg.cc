@@ -89,6 +89,11 @@ Status BigDawg::CheckEngine(const std::string& engine) {
   monitor_.RecordEngineCall(engine, s.ok());
   if (!s.ok() && active_ctx_ != nullptr) {
     active_ctx_->unavailable_engine = engine;
+    if (active_ctx_->trace != nullptr) {
+      // Event span: marks exactly where the fault plane failed the call.
+      obs::SpanGuard fault_span(active_ctx_->trace, "fault");
+      fault_span.Tag("engine", engine);
+    }
   }
   return s;
 }
@@ -149,6 +154,9 @@ Result<relational::Table> BigDawg::FetchTableFrom(const std::string& engine,
 
 Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
                                                  const ObjectLocation& primary) {
+  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::SpanGuard failover_span(trace, "failover");
+  if (trace != nullptr) failover_span.Tag("from", primary.engine);
   for (const ReplicaLocation& replica : catalog_.Replicas(object)) {
     // Stale replicas never serve failover reads: a degraded answer must
     // still be a correct one.
@@ -157,17 +165,23 @@ Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
     Result<relational::Table> served =
         FetchTableFrom(replica.engine, replica.native_name);
     if (!served.ok()) continue;
+    if (trace != nullptr) failover_span.Tag("to", replica.engine);
     monitor_.RecordFailover(primary.engine);
     if (active_ctx_ != nullptr) ++active_ctx_->failovers;
     return served;
   }
+  if (trace != nullptr) failover_span.Tag("error", "unavailable");
   if (active_ctx_ != nullptr) active_ctx_->unavailable_engine = primary.engine;
   return Status::Unavailable("engine " + primary.engine +
                              " is down and no fresh replica can serve " + object);
 }
 
 Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
+  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::SpanGuard shim_span(trace, "shim:table");
+  if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (trace != nullptr) shim_span.Tag("engine", loc.engine);
   if (EngineConsideredDown(loc.engine)) return FailoverFetch(object, loc);
   // Prefer a fresh relational replica: it serves the relation directly,
   // skipping the cross-model shim.
@@ -177,13 +191,18 @@ Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
     BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                              catalog_.ReplicaOn(object, kEnginePostgres));
     BIGDAWG_RETURN_NOT_OK(CheckEngine(kEnginePostgres));
+    if (trace != nullptr) shim_span.Tag("replica", kEnginePostgres);
     return relational_.GetTable(replica.native_name);
   }
   return FetchTableFrom(loc.engine, loc.native_name);
 }
 
 Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
+  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::SpanGuard shim_span(trace, "shim:array");
+  if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (trace != nullptr) shim_span.Tag("engine", loc.engine);
   if (EngineConsideredDown(loc.engine)) {
     // Model-matched failover first: a fresh scidb replica serves the
     // array natively; otherwise any fresh replica serves via the shim.
@@ -192,6 +211,11 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
         !EngineConsideredDown(kEngineSciDb)) {
       BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                                catalog_.ReplicaOn(object, kEngineSciDb));
+      obs::SpanGuard failover_span(trace, "failover");
+      if (trace != nullptr) {
+        failover_span.Tag("from", loc.engine);
+        failover_span.Tag("to", kEngineSciDb);
+      }
       BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
       monitor_.RecordFailover(loc.engine);
       if (active_ctx_ != nullptr) ++active_ctx_->failovers;
@@ -210,6 +234,7 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
     BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                              catalog_.ReplicaOn(object, kEngineSciDb));
     BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
+    if (trace != nullptr) shim_span.Tag("replica", kEngineSciDb);
     return array_.GetArray(replica.native_name);
   }
   if (loc.engine == kEngineTileDb) {
@@ -231,7 +256,11 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
 }
 
 Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
+  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::SpanGuard shim_span(trace, "shim:assoc");
+  if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  if (trace != nullptr) shim_span.Tag("engine", loc.engine);
   if (EngineConsideredDown(loc.engine)) {
     BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FailoverFetch(object, loc));
     return TableToAssoc(t);

@@ -19,6 +19,7 @@
 #include "core/monitor.h"
 #include "d4m/assoc_array.h"
 #include "kvstore/text_store.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 #include "stream/stream_engine.h"
 #include "tiledb/tiledb.h"
@@ -70,6 +71,13 @@ class BigDawg {
   /// consults it, so injected faults surface exactly where real engine
   /// outages would.
   FaultInjector& fault_injector() { return fault_; }
+  /// The finished-trace sink. Disabled by default (one relaxed load per
+  /// query); when enabled — Enable(), or BIGDAWG_TRACE=1 in the
+  /// environment — every execution records a span tree here: scope
+  /// routing, casts (with bytes moved), shim calls, failovers, and (for
+  /// service-submitted queries) attempts, lock waits, backoffs, and
+  /// breaker decisions.
+  obs::Tracer& tracer() { return tracer_; }
 
   /// Registers a logical object living on an engine. The native object
   /// must already exist there.
@@ -172,6 +180,7 @@ class BigDawg {
   Catalog catalog_;
   Monitor monitor_;
   FaultInjector fault_;
+  obs::Tracer tracer_;
   std::map<std::string, std::unique_ptr<Island>> islands_;
   /// Sequence for anonymous ExecContext temp namespaces.
   std::atomic<int64_t> ctx_seq_{0};

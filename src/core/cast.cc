@@ -9,6 +9,7 @@
 #include "common/csv.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/catalog.h"
 
 namespace bigdawg::core {
 
@@ -35,6 +36,31 @@ const char* DataModelToString(DataModel model) {
       return "tilematrix";
   }
   return "?";
+}
+
+const char* DataModelNameForEngine(const std::string& engine) {
+  if (engine == kEngineSciDb) return "array";
+  if (engine == kEngineTileDb) return "tilematrix";
+  if (engine == kEngineD4m) return "associative";
+  // postgres, and the text (accumulo) / streaming (sstore) engines whose
+  // shims surface data relationally.
+  return "relation";
+}
+
+int64_t EstimateTableBytes(const relational::Table& table) {
+  int64_t bytes = 0;
+  for (const Row& row : table.rows()) {
+    for (const Value& value : row) {
+      if (value.is_null()) {
+        bytes += 1;
+      } else if (value.type() == DataType::kString) {
+        bytes += static_cast<int64_t>(value.string_unchecked().size());
+      } else {
+        bytes += 8;
+      }
+    }
+  }
+  return bytes;
 }
 
 Result<array::Array> TableToArray(const relational::Table& table,

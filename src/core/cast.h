@@ -19,6 +19,17 @@ enum class DataModel : int { kRelation, kArray, kAssociative, kTileMatrix };
 Result<DataModel> DataModelFromString(const std::string& name);
 const char* DataModelToString(DataModel model);
 
+/// \brief The data model an engine natively stores (the text and stream
+/// engines surface their data relationally through the shims). Used to
+/// label the `from` side of CAST trace spans.
+const char* DataModelNameForEngine(const std::string& engine);
+
+/// \brief Rough wire size of a relation: 8 bytes per scalar cell, string
+/// lengths for strings, 1 byte per NULL. This is the `bytes` tag on CAST
+/// trace spans — an estimate of how much data the cast moved between
+/// engines, not an exact allocation count.
+int64_t EstimateTableBytes(const relational::Table& table);
+
 // ---------------------------------------------------------------------------
 // Direct (in-memory, binary) casts — the efficient path the paper calls
 // for ("an access method that knows how to read binary data in parallel

@@ -7,6 +7,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/clock.h"
+
+namespace bigdawg::obs {
+class Trace;
+}  // namespace bigdawg::obs
 
 namespace bigdawg::core {
 
@@ -44,6 +49,15 @@ struct ExecContext {
   std::string unavailable_engine;
   int64_t failovers = 0;
 
+  /// Time source for the deadline check and everything downstream that
+  /// reads it (island latency timing, span timestamps). The query service
+  /// injects its configured clock; tests inject a FakeClock. Never null.
+  const obs::Clock* clock = obs::Clock::System();
+
+  /// Span recorder for this execution; null (the default) disables
+  /// tracing — every emission site is one pointer test.
+  obs::Trace* trace = nullptr;
+
   std::string NextTempName() {
     return temp_prefix + std::to_string(temp_counter++);
   }
@@ -53,7 +67,7 @@ struct ExecContext {
     if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
       return Status::Cancelled("query cancelled");
     }
-    if (has_deadline && std::chrono::steady_clock::now() > deadline) {
+    if (has_deadline && clock->Now() > deadline) {
       return Status::DeadlineExceeded("query deadline exceeded");
     }
     return Status::OK();

@@ -1,12 +1,11 @@
 #include "core/fault_injector.h"
 
-#include <thread>
-
 namespace bigdawg::core {
 
-namespace {
-using Clock = std::chrono::steady_clock;
-}  // namespace
+void FaultInjector::SetClock(const obs::Clock* clock) {
+  std::lock_guard lock(mu_);
+  clock_ = clock != nullptr ? clock : obs::Clock::System();
+}
 
 FaultInjector::Schedule& FaultInjector::ScheduleFor(const std::string& engine) {
   int ordinal = EngineOrdinal(engine);
@@ -17,7 +16,7 @@ FaultInjector::Schedule& FaultInjector::ScheduleFor(const std::string& engine) {
 
 bool FaultInjector::DownLocked(const Schedule& s) const {
   if (s.down) return true;
-  return s.has_down_window && Clock::now() < s.down_until;
+  return s.has_down_window && clock_->Now() < s.down_until;
 }
 
 void FaultInjector::SetLatencyMs(const std::string& engine, double ms) {
@@ -29,8 +28,7 @@ void FaultInjector::SetDownForMs(const std::string& engine, double ms) {
   std::lock_guard lock(mu_);
   Schedule& s = ScheduleFor(engine);
   s.has_down_window = true;
-  s.down_until =
-      Clock::now() + std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
+  s.down_until = clock_->Now() + obs::Clock::FromMillis(ms);
 }
 
 void FaultInjector::SetDown(const std::string& engine, bool down) {
@@ -68,8 +66,10 @@ Status FaultInjector::OnCall(const std::string& engine) {
 
   double sleep_ms = 0;
   bool fault = false;
+  const obs::Clock* clock = nullptr;
   {
     std::lock_guard lock(mu_);
+    clock = clock_;
     Schedule& s = ScheduleFor(engine);
     ++s.calls;
     sleep_ms = s.latency_ms;
@@ -86,8 +86,14 @@ Status FaultInjector::OnCall(const std::string& engine) {
     if (fault) ++s.faults;
   }
   if (sleep_ms > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000)));
+    // Loop because SleepFor may return early (FakeClock wakes sleepers on
+    // every advance); the injected latency is measured on this clock.
+    const obs::Clock::TimePoint wake =
+        clock->Now() + obs::Clock::FromMillis(sleep_ms);
+    for (obs::Clock::TimePoint now = clock->Now(); now < wake;
+         now = clock->Now()) {
+      clock->SleepFor(wake - now);
+    }
   }
   if (fault) {
     return Status::Unavailable("engine " + engine + " fault injected");

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/catalog.h"
+#include "obs/clock.h"
 
 namespace bigdawg::core {
 
@@ -42,6 +43,11 @@ class FaultInjector {
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Time source for down windows and injected-latency sleeps. Call
+  /// before Enable(); tests inject a FakeClock so down windows expire on
+  /// fake time and latency injection needs no real sleeping.
+  void SetClock(const obs::Clock* clock);
 
   // ---- Scripted fault schedules (all per engine) ----
 
@@ -85,7 +91,7 @@ class FaultInjector {
     double latency_ms = 0;
     bool down = false;
     bool has_down_window = false;
-    std::chrono::steady_clock::time_point down_until{};
+    obs::Clock::TimePoint down_until{};
     int64_t fail_next = 0;
     int64_t every_nth = 0;  // 0 = off
     double fail_probability = 0;
@@ -98,6 +104,7 @@ class FaultInjector {
   bool DownLocked(const Schedule& s) const;
 
   std::atomic<bool> enabled_{false};
+  const obs::Clock* clock_ = obs::Clock::System();
   mutable std::mutex mu_;
   std::array<Schedule, kNumEngines> schedules_;
 };

@@ -26,34 +26,18 @@ void Monitor::RecordComparison(const std::string& workload_class,
 
 void Monitor::RecordIslandExecution(const std::string& island, double elapsed_ms) {
   std::lock_guard lock(mu_);
-  LatencyWindow& window = island_latency_[island];
-  ++window.count;
-  window.total_ms += elapsed_ms;
-  if (window.recent.size() < kLatencyWindow) {
-    window.recent.push_back(elapsed_ms);
-  } else {
-    window.recent[window.next] = elapsed_ms;
-    window.next = (window.next + 1) % kLatencyWindow;
-  }
+  island_latency_.try_emplace(island, kIslandWindowCapacity)
+      .first->second.Record(elapsed_ms);
 }
 
 IslandLatencyStats Monitor::SummarizeLocked(const std::string& island,
-                                            const LatencyWindow& window) const {
+                                            const obs::SampleWindow& window) const {
   IslandLatencyStats stats;
   stats.island = island;
-  stats.count = window.count;
-  stats.mean_ms =
-      window.count > 0 ? window.total_ms / static_cast<double>(window.count) : 0;
-  if (!window.recent.empty()) {
-    std::vector<double> sorted = window.recent;
-    std::sort(sorted.begin(), sorted.end());
-    auto quantile = [&sorted](double q) {
-      size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
-      return sorted[idx];
-    };
-    stats.p50_ms = quantile(0.50);
-    stats.p95_ms = quantile(0.95);
-  }
+  stats.count = window.count();
+  stats.mean_ms = window.mean();
+  stats.p50_ms = window.Quantile(0.50);
+  stats.p95_ms = window.Quantile(0.95);
   return stats;
 }
 
@@ -74,6 +58,26 @@ std::vector<IslandLatencyStats> Monitor::AllIslandStats() const {
     out.push_back(SummarizeLocked(island, window));
   }
   return out;
+}
+
+void Monitor::IngestSpan(const obs::TraceSpan& span) {
+  if (span.name == "scope" && span.FindTag("error") == nullptr) {
+    const std::string* island = span.FindTag("island");
+    const std::string* engine = span.FindTag("engine");
+    const obs::TraceSpan* exec = span.FindChild("exec");
+    // The exec child is the pure island-execution time — lock waits,
+    // casts, and shim fetches excluded — which is the number that tells
+    // engines apart. Failed scopes (no exec child or tagged error) would
+    // poison the affinities, so they are skipped.
+    if (island != nullptr && engine != nullptr && exec != nullptr) {
+      RecordComparison(*island, *engine, exec->duration_ms);
+    }
+  }
+  for (const obs::TraceSpan& child : span.children) IngestSpan(child);
+}
+
+void Monitor::IngestTraces(const std::vector<obs::TraceSpan>& traces) {
+  for (const obs::TraceSpan& root : traces) IngestSpan(root);
 }
 
 Result<std::string> Monitor::BestEngineFor(const std::string& workload_class) const {
@@ -230,6 +234,30 @@ int64_t Monitor::TotalFailovers() const {
   int64_t total = 0;
   for (const EngineHealthCounters& h : engine_health_) total += h.failovers;
   return total;
+}
+
+void Monitor::ExportMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  for (const EngineHealth& h : EngineHealthView()) {
+    const std::string label = "{engine=\"" + h.engine + "\"}";
+    registry->GetGauge("bigdawg_engine_calls" + label)
+        ->Set(static_cast<double>(h.calls));
+    registry->GetGauge("bigdawg_engine_faults" + label)
+        ->Set(static_cast<double>(h.faults));
+    registry->GetGauge("bigdawg_engine_failovers" + label)
+        ->Set(static_cast<double>(h.failovers));
+    registry->GetGauge("bigdawg_engine_advisory_down" + label)
+        ->Set(h.advisory_down ? 1.0 : 0.0);
+  }
+  for (const IslandLatencyStats& s : AllIslandStats()) {
+    const std::string prefix = "bigdawg_island_exec";
+    const std::string island = "island=\"" + s.island + "\"";
+    registry->GetGauge(prefix + "_count{" + island + "}")
+        ->Set(static_cast<double>(s.count));
+    registry->GetGauge(prefix + "_ms{" + island + ",stat=\"mean\"}")->Set(s.mean_ms);
+    registry->GetGauge(prefix + "_ms{" + island + ",stat=\"p50\"}")->Set(s.p50_ms);
+    registry->GetGauge(prefix + "_ms{" + island + ",stat=\"p95\"}")->Set(s.p95_ms);
+  }
 }
 
 }  // namespace bigdawg::core

@@ -11,6 +11,8 @@
 
 #include "common/result.h"
 #include "core/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bigdawg::core {
 
@@ -95,6 +97,17 @@ class Monitor {
   /// All learned timings for a workload class, fastest first.
   std::vector<EngineTiming> TimingsFor(const std::string& workload_class) const;
 
+  /// Consumes finished traces (obs::Tracer::FinishedTraces /
+  /// DrainFinished): every successful "scope" span — island, engine, and
+  /// the pure island-execution time of its "exec" child — becomes a
+  /// comparative timing, refining engine/query-class affinities from real
+  /// executions instead of only explicit re-runs.
+  void IngestTraces(const std::vector<obs::TraceSpan>& traces);
+
+  /// Writes the current engine-health and island-latency view into
+  /// `registry` as gauges (snapshot semantics: each call overwrites).
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
   /// The engine an island's queries natively prefer.
   static std::string PreferredEngineForIsland(const std::string& island);
 
@@ -137,25 +150,19 @@ class Monitor {
     double total_ms = 0;
   };
 
-  /// Ring of recent latency samples feeding the percentile estimates.
-  struct LatencyWindow {
-    int64_t count = 0;
-    double total_ms = 0;
-    std::vector<double> recent;  // ring buffer, kLatencyWindow samples
-    size_t next = 0;
-  };
-  static constexpr size_t kLatencyWindow = 512;
-
   IslandLatencyStats SummarizeLocked(const std::string& island,
-                                     const LatencyWindow& window) const;
+                                     const obs::SampleWindow& window) const;
+  void IngestSpan(const obs::TraceSpan& span);
 
   mutable std::mutex mu_;
   // object -> island -> usage
   std::map<std::string, std::map<std::string, IslandUsage>> access_;
   // workload class -> engine -> (count, total ms)
   std::map<std::string, std::map<std::string, IslandUsage>> comparisons_;
-  // island -> execution latencies
-  std::map<std::string, LatencyWindow> island_latency_;
+  // island -> execution latencies (bounded reservoir: count/mean over
+  // everything, percentiles over the retained window)
+  static constexpr size_t kIslandWindowCapacity = 512;
+  std::map<std::string, obs::SampleWindow> island_latency_;
 
   struct EngineHealthCounters {
     int64_t calls = 0;

@@ -1,10 +1,12 @@
+#include <memory>
 #include <set>
 #include <cctype>
 #include "common/lexer.h"
 #include "common/macros.h"
-#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/bigdawg.h"
+#include "core/cast.h"
+#include "obs/trace.h"
 
 namespace bigdawg::core {
 
@@ -109,17 +111,36 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
     BIGDAWG_ASSIGN_OR_RETURN(bool found, FindFirstCast(text, &site));
     if (!found) break;
 
+    obs::SpanGuard cast_span(ctx->trace, "cast");
+    const bool traced = ctx->trace != nullptr;
+
     // Resolve the source: a nested island-scoped query, or a catalog object.
     relational::Table source;
     std::string scope_island, scope_inner;
     if (TrySplitScope(site.arg0, islands_, &scope_island, &scope_inner)) {
+      if (traced) {
+        cast_span.Tag("source", "<subquery>");
+        cast_span.Tag("from", "relation");
+      }
       BIGDAWG_ASSIGN_OR_RETURN(source, Execute(site.arg0, ctx));
     } else {
+      if (traced) {
+        cast_span.Tag("source", site.arg0);
+        Result<ObjectLocation> loc = catalog_.Lookup(site.arg0);
+        cast_span.Tag("from",
+                      loc.ok() ? DataModelNameForEngine(loc->engine) : "?");
+      }
       BIGDAWG_ASSIGN_OR_RETURN(source, FetchAsTable(site.arg0));
     }
     BIGDAWG_ASSIGN_OR_RETURN(DataModel model, DataModelFromString(site.arg1));
 
     std::string temp_name = ctx->NextTempName();
+    if (traced) {
+      cast_span.Tag("to", DataModelToString(model));
+      cast_span.Tag("rows", std::to_string(source.num_rows()));
+      cast_span.Tag("bytes", std::to_string(EstimateTableBytes(source)));
+      cast_span.Tag("temp", temp_name);
+    }
     BIGDAWG_RETURN_NOT_OK(StoreTableAs(source, model, temp_name, ctx));
     text = text.substr(0, site.begin) + temp_name + text.substr(site.end);
   }
@@ -133,6 +154,18 @@ Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
   if (it == islands_.end()) {
     return Status::NotFound("no island named " + island_name);
   }
+
+  obs::SpanGuard scope_span(ctx->trace, "scope");
+  const bool traced = ctx->trace != nullptr;
+  std::string engine;
+  if (traced || fault_.enabled()) {
+    engine = Monitor::PreferredEngineForIsland(island_name);
+  }
+  if (traced) {
+    scope_span.Tag("island", island_name);
+    if (!engine.empty()) scope_span.Tag("engine", engine);
+  }
+
   BIGDAWG_ASSIGN_OR_RETURN(std::string rewritten, RewriteCasts(inner_query, ctx));
   BIGDAWG_RETURN_NOT_OK(ctx->Check());
 
@@ -140,18 +173,21 @@ Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
   // fails the whole scoped query, while reads of objects homed on other
   // engines may still fail over to replicas inside the fetch shims.
   // (Gated on the fault plane so healthy runs pay nothing here.)
-  if (fault_.enabled()) {
-    std::string engine = Monitor::PreferredEngineForIsland(island_name);
-    if (!engine.empty()) {
-      BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
-      // Injected latency may have consumed the remaining deadline budget.
-      BIGDAWG_RETURN_NOT_OK(ctx->Check());
-    }
+  if (fault_.enabled() && !engine.empty()) {
+    BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
+    // Injected latency may have consumed the remaining deadline budget.
+    BIGDAWG_RETURN_NOT_OK(ctx->Check());
   }
 
-  Stopwatch timer;
-  Result<relational::Table> result = it->second->Execute(rewritten);
-  const double elapsed_ms = timer.ElapsedMillis();
+  const obs::Clock::TimePoint exec_start = ctx->clock->Now();
+  Result<relational::Table> result = [&]() -> Result<relational::Table> {
+    obs::SpanGuard exec_span(ctx->trace, "exec");
+    return it->second->Execute(rewritten);
+  }();
+  const double elapsed_ms = obs::Clock::ToMillis(ctx->clock->Now() - exec_start);
+  if (!result.ok() && traced) {
+    scope_span.Tag("error", StatusCodeToString(result.status().code()));
+  }
 
   if (result.ok()) {
     monitor_.RecordIslandExecution(island_name, elapsed_ms);
@@ -183,6 +219,15 @@ Result<relational::Table> BigDawg::Execute(const std::string& query) {
 
 Result<relational::Table> BigDawg::Execute(const std::string& query,
                                            ExecContext* ctx) {
+  // A direct Execute call (no query service above it) roots its own trace
+  // when the tracer is on; service-submitted queries arrive with
+  // ctx->trace already set and root at "query" instead.
+  std::unique_ptr<obs::Trace> owned_trace;
+  if (ctx->depth == 0 && ctx->trace == nullptr && tracer_.enabled()) {
+    owned_trace = std::make_unique<obs::Trace>(ctx->clock, "execute");
+    ctx->trace = owned_trace.get();
+  }
+
   // CAST temporaries created anywhere in this (possibly nested) execution
   // are dropped when the outermost Execute finishes — results are always
   // materialized tables, so temps never outlive the query.
@@ -204,13 +249,23 @@ Result<relational::Table> BigDawg::Execute(const std::string& query,
     }
   } guard(this, ctx);
 
-  BIGDAWG_RETURN_NOT_OK(ctx->Check());
-  std::string island_name, inner;
-  if (TrySplitScope(query, islands_, &island_name, &inner)) {
-    return ExecuteScoped(island_name, inner, ctx);
+  Result<relational::Table> result = [&]() -> Result<relational::Table> {
+    BIGDAWG_RETURN_NOT_OK(ctx->Check());
+    std::string island_name, inner;
+    if (TrySplitScope(query, islands_, &island_name, &inner)) {
+      return ExecuteScoped(island_name, inner, ctx);
+    }
+    // No explicit SCOPE: default to the relational island.
+    return ExecuteScoped("RELATIONAL", Trim(query), ctx);
+  }();
+
+  if (owned_trace != nullptr) {
+    owned_trace->Tag(owned_trace->root(), "status",
+                     StatusCodeToString(result.status().code()));
+    tracer_.Record(std::move(*owned_trace).Finish());
+    ctx->trace = nullptr;
   }
-  // No explicit SCOPE: default to the relational island.
-  return ExecuteScoped("RELATIONAL", Trim(query), ctx);
+  return result;
 }
 
 }  // namespace bigdawg::core

@@ -2,28 +2,41 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/macros.h"
-#include "common/stopwatch.h"
 #include "core/monitor.h"
 #include "exec/query_analysis.h"
+#include "obs/trace.h"
 
 namespace bigdawg::exec {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-Clock::time_point DeadlineFor(const SubmitOptions& opts,
-                              const QueryServiceConfig& config, bool* has) {
+obs::Clock::TimePoint DeadlineFor(const obs::Clock* clock,
+                                  const SubmitOptions& opts,
+                                  const QueryServiceConfig& config, bool* has) {
   double timeout_ms = opts.timeout_ms < 0 ? config.default_timeout_ms : opts.timeout_ms;
   if (timeout_ms <= 0) {
     *has = false;
-    return Clock::time_point{};
+    return obs::Clock::TimePoint{};
   }
   *has = true;
-  return Clock::now() +
-         std::chrono::microseconds(static_cast<int64_t>(timeout_ms * 1000));
+  return clock->Now() + obs::Clock::FromMillis(timeout_ms);
+}
+
+// Deterministic %.3f for span tags (delay values come from a seeded jitter
+// stream, so the text is reproducible).
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+// Latency histogram buckets (ms): wide enough for queue waits under load,
+// fine enough to see the sub-millisecond in-memory path.
+std::vector<double> LatencyBuckets() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000};
 }
 
 }  // namespace
@@ -36,7 +49,33 @@ Result<relational::Table> QueryHandle::Wait() {
 }
 
 QueryService::QueryService(core::BigDawg* dawg, QueryServiceConfig config)
-    : dawg_(dawg), config_(config), pool_(config.num_workers) {}
+    : dawg_(dawg),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock : obs::Clock::System()),
+      pool_(config.num_workers) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  c_submitted_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"submitted\"}");
+  c_admitted_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"admitted\"}");
+  c_rejected_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"rejected\"}");
+  c_completed_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"completed\"}");
+  c_failed_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"failed\"}");
+  c_cancelled_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"cancelled\"}");
+  c_timed_out_ = metrics_->GetCounter("bigdawg_queries_total{outcome=\"timed_out\"}");
+  c_retries_ = metrics_->GetCounter("bigdawg_resilience_events_total{event=\"retry\"}");
+  c_breaker_trips_ =
+      metrics_->GetCounter("bigdawg_resilience_events_total{event=\"breaker_trip\"}");
+  c_failovers_ =
+      metrics_->GetCounter("bigdawg_resilience_events_total{event=\"failover\"}");
+  c_degraded_ =
+      metrics_->GetCounter("bigdawg_resilience_events_total{event=\"degraded\"}");
+  g_in_flight_ = metrics_->GetGauge("bigdawg_queries_in_flight");
+  g_sessions_open_ = metrics_->GetGauge("bigdawg_sessions_open");
+}
 
 QueryService::~QueryService() { Drain(); }
 
@@ -44,7 +83,8 @@ int64_t QueryService::OpenSession() {
   std::lock_guard lock(mu_);
   int64_t id = next_session_id_++;
   sessions_[id] = true;
-  ++counters_.sessions_open;
+  ++sessions_open_;
+  g_sessions_open_->Set(static_cast<double>(sessions_open_));
   return id;
 }
 
@@ -55,7 +95,8 @@ Status QueryService::CloseSession(int64_t session) {
     return Status::NotFound("no open session " + std::to_string(session));
   }
   it->second = false;
-  --counters_.sessions_open;
+  --sessions_open_;
+  g_sessions_open_->Set(static_cast<double>(sessions_open_));
   return Status::OK();
 }
 
@@ -64,7 +105,7 @@ Result<QueryHandle> QueryService::Admit(QueryRunner run, const SubmitOptions& op
   auto state = std::make_shared<QueryState>();
   {
     std::lock_guard lock(mu_);
-    ++counters_.submitted;
+    c_submitted_->Increment();
     if (opts.session != kNoSession) {
       auto it = sessions_.find(opts.session);
       if (it == sessions_.end() || !it->second) {
@@ -74,13 +115,14 @@ Result<QueryHandle> QueryService::Admit(QueryRunner run, const SubmitOptions& op
     }
     if (config_.max_in_flight > 0 &&
         in_flight_ >= static_cast<int64_t>(config_.max_in_flight)) {
-      ++counters_.rejected;
+      c_rejected_->Increment();
       return Status::ResourceExhausted(
           "query service at admission limit (" +
           std::to_string(config_.max_in_flight) + " in flight)");
     }
-    ++counters_.admitted;
+    c_admitted_->Increment();
     ++in_flight_;
+    g_in_flight_->Set(static_cast<double>(in_flight_));
     id = next_query_id_++;
     live_[id] = state;
   }
@@ -100,44 +142,50 @@ void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
                                  const Status& status, double latency_ms,
                                  int64_t retries, int64_t failovers,
                                  bool degraded) {
+  if (status.ok()) {
+    c_completed_->Increment();
+  } else if (status.IsCancelled()) {
+    c_cancelled_->Increment();
+  } else if (status.IsDeadlineExceeded()) {
+    c_timed_out_->Increment();
+  } else {
+    c_failed_->Increment();
+  }
+  if (retries > 0) c_retries_->Increment(retries);
+  if (failovers > 0) c_failovers_->Increment(failovers);
+  if (degraded) c_degraded_->Increment();
+  metrics_
+      ->GetHistogram("bigdawg_query_latency_ms{island=\"" + island + "\"}",
+                     LatencyBuckets())
+      ->Observe(latency_ms);
   std::lock_guard lock(mu_);
   live_.erase(query_id);
   --in_flight_;
-  if (status.ok()) {
-    ++counters_.completed;
-  } else if (status.IsCancelled()) {
-    ++counters_.cancelled;
-  } else if (status.IsDeadlineExceeded()) {
-    ++counters_.timed_out;
-  } else {
-    ++counters_.failed;
-  }
-  counters_.retries += retries;
-  counters_.failovers += failovers;
-  if (degraded) ++counters_.degraded;
-  std::vector<double>& ring = latencies_[island];
-  size_t& next = latency_next_[island];
-  if (ring.size() < kLatencyWindow) {
-    ring.push_back(latency_ms);
-  } else {
-    ring[next] = latency_ms;
-    next = (next + 1) % kLatencyWindow;
-  }
+  g_in_flight_->Set(static_cast<double>(in_flight_));
+  latencies_[island].Record(latency_ms);
   drain_cv_.notify_all();
 }
 
 Result<QueryHandle> QueryService::Submit(const std::string& query,
                                          SubmitOptions opts) {
   bool has_deadline = false;
-  Clock::time_point deadline = DeadlineFor(opts, config_, &has_deadline);
-  Stopwatch latency_timer;  // admission -> completion, queue wait included
+  obs::Clock::TimePoint deadline = DeadlineFor(clock_, opts, config_, &has_deadline);
+  // Admission -> completion, queue wait included, measured on the
+  // service clock so FakeClock tests see deterministic latencies.
+  obs::Clock::TimePoint admitted_at = clock_->Now();
 
-  QueryRunner run = [this, query, opts, has_deadline, deadline, latency_timer](
+  QueryRunner run = [this, query, opts, has_deadline, deadline, admitted_at](
                         int64_t id, const std::shared_ptr<QueryState>& state)
       -> Result<relational::Table> {
     QueryPlan plan = AnalyzeQuery(*dawg_, query);
     const std::string island_engine =
         core::Monitor::PreferredEngineForIsland(plan.island);
+
+    std::unique_ptr<obs::Trace> trace;
+    if (dawg_->tracer().enabled()) {
+      trace = std::make_unique<obs::Trace>(clock_, "query");
+      trace->Tag(trace->root(), "island", plan.island);
+    }
 
     int attempts = 0;
     int64_t failovers = 0;
@@ -149,50 +197,71 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
       ++attempts;
       bool breaker_fail_fast = false;
       std::string failed_engine;
-      result = [&]() -> Result<relational::Table> {
-        if (state->cancelled.load(std::memory_order_relaxed)) {
-          return Status::Cancelled("query cancelled while queued");
-        }
-        if (has_deadline && Clock::now() > deadline) {
-          return Status::DeadlineExceeded("query deadline passed while queued");
-        }
-        // Fail fast while the island's own engine is breaker-open: no
-        // engine locks taken, no admission slot burned on a timeout.
-        if (!island_engine.empty()) {
-          CircuitBreaker& breaker = BreakerFor(island_engine);
-          if (!breaker.AllowRequest()) {
-            breaker_fail_fast = true;
-            return Status::Unavailable("circuit breaker open for engine " +
-                                       island_engine);
+      {
+        obs::SpanGuard attempt_span(trace.get(), "attempt");
+        attempt_span.Tag("n", std::to_string(attempts));
+        result = [&]() -> Result<relational::Table> {
+          if (state->cancelled.load(std::memory_order_relaxed)) {
+            return Status::Cancelled("query cancelled while queued");
           }
-          // A half-open probe must route like a normal query to prove the
-          // engine is back, so lift the advisory-down mark (which would
-          // otherwise reroute its reads away from the very engine under
-          // probe). A failed probe re-raises it.
-          if (breaker.state() == CircuitBreaker::State::kHalfOpen) {
-            dawg_->monitor().SetEngineAdvisoryDown(island_engine, false);
+          if (has_deadline && clock_->Now() > deadline) {
+            return Status::DeadlineExceeded("query deadline passed while queued");
           }
-        }
-        EngineLockManager::ScopedLocks locks =
-            lock_mgr_.Acquire(plan.shared_engines, plan.exclusive_engines);
+          // Fail fast while the island's own engine is breaker-open: no
+          // engine locks taken, no admission slot burned on a timeout.
+          if (!island_engine.empty()) {
+            CircuitBreaker& breaker = BreakerFor(island_engine);
+            if (!breaker.AllowRequest()) {
+              breaker_fail_fast = true;
+              if (trace != nullptr) {
+                obs::SpanGuard breaker_span(trace.get(), "breaker");
+                breaker_span.Tag("engine", island_engine);
+                breaker_span.Tag("decision", "fail_fast");
+              }
+              return Status::Unavailable("circuit breaker open for engine " +
+                                         island_engine);
+            }
+            // A half-open probe must route like a normal query to prove the
+            // engine is back, so lift the advisory-down mark (which would
+            // otherwise reroute its reads away from the very engine under
+            // probe). A failed probe re-raises it.
+            if (breaker.state() == CircuitBreaker::State::kHalfOpen) {
+              if (trace != nullptr) {
+                obs::SpanGuard breaker_span(trace.get(), "breaker");
+                breaker_span.Tag("engine", island_engine);
+                breaker_span.Tag("decision", "probe");
+              }
+              dawg_->monitor().SetEngineAdvisoryDown(island_engine, false);
+            }
+          }
+          EngineLockManager::ScopedLocks locks = [&] {
+            obs::SpanGuard locks_span(trace.get(), "locks");
+            return lock_mgr_.Acquire(plan.shared_engines, plan.exclusive_engines);
+          }();
 
-        core::ExecContext ctx;
-        // Session id + query id make the temp namespace unique across all
-        // live executions; the "__cast_" lead keeps the monitor skipping
-        // temp names. Cancellation/deadline are re-checked inside Execute.
-        ctx.temp_prefix =
-            "__cast_s" +
-            (opts.session == kNoSession ? std::string("a")
-                                        : std::to_string(opts.session)) +
-            "_q" + std::to_string(id) + "_";
-        ctx.cancelled = &state->cancelled;
-        ctx.has_deadline = has_deadline;
-        ctx.deadline = deadline;
-        Result<relational::Table> attempt = dawg_->Execute(query, &ctx);
-        failovers += ctx.failovers;
-        failed_engine = ctx.unavailable_engine;
-        return attempt;
-      }();
+          core::ExecContext ctx;
+          // Session id + query id make the temp namespace unique across all
+          // live executions; the "__cast_" lead keeps the monitor skipping
+          // temp names. Cancellation/deadline are re-checked inside Execute.
+          ctx.temp_prefix =
+              "__cast_s" +
+              (opts.session == kNoSession ? std::string("a")
+                                          : std::to_string(opts.session)) +
+              "_q" + std::to_string(id) + "_";
+          ctx.cancelled = &state->cancelled;
+          ctx.has_deadline = has_deadline;
+          ctx.deadline = deadline;
+          ctx.clock = clock_;
+          ctx.trace = trace.get();
+          Result<relational::Table> attempt = dawg_->Execute(query, &ctx);
+          failovers += ctx.failovers;
+          failed_engine = ctx.unavailable_engine;
+          return attempt;
+        }();
+        if (!result.ok()) {
+          attempt_span.Tag("error", StatusCodeToString(result.status().code()));
+        }
+      }
 
       // Resolve this attempt against the breakers. A half-open probe
       // admitted by AllowRequest above MUST see exactly one
@@ -219,9 +288,14 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
       // Backoff, budgeted against the deadline and aborted by Cancel. A
       // deadline-capped backoff keeps the (bounded-retries) Unavailable;
       // an actual cancellation becomes the query's outcome.
-      Status slept = InterruptibleBackoff(backoff.NextDelayMs(),
-                                          &state->cancelled, has_deadline,
-                                          deadline);
+      double delay_ms = backoff.NextDelayMs();
+      Status slept;
+      {
+        obs::SpanGuard backoff_span(trace.get(), "backoff");
+        backoff_span.Tag("delay_ms", FormatMs(delay_ms));
+        slept = InterruptibleBackoff(clock_, delay_ms, &state->cancelled,
+                                     has_deadline, deadline);
+      }
       if (slept.IsCancelled()) {
         result = slept;
         break;
@@ -230,7 +304,16 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
     }
 
     bool degraded = result.ok() && (attempts > 1 || failovers > 0);
-    RecordOutcome(id, plan.island, result.status(), latency_timer.ElapsedMillis(),
+    double latency_ms = obs::Clock::ToMillis(clock_->Now() - admitted_at);
+    if (trace != nullptr) {
+      trace->Tag(trace->root(), "status",
+                 StatusCodeToString(result.status().code()));
+      trace->Tag(trace->root(), "attempts", std::to_string(attempts));
+      trace->Tag(trace->root(), "failovers", std::to_string(failovers));
+      dawg_->tracer().Record(std::move(*trace).Finish());
+      trace.reset();
+    }
+    RecordOutcome(id, plan.island, result.status(), latency_ms,
                   attempts - 1, failovers, degraded);
     return result;
   };
@@ -240,7 +323,9 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
 CircuitBreaker& QueryService::BreakerFor(const std::string& engine) {
   std::lock_guard lock(breaker_mu_);
   std::unique_ptr<CircuitBreaker>& slot = breakers_[engine];
-  if (slot == nullptr) slot = std::make_unique<CircuitBreaker>(config_.breaker);
+  if (slot == nullptr) {
+    slot = std::make_unique<CircuitBreaker>(config_.breaker, clock_);
+  }
   return *slot;
 }
 
@@ -254,8 +339,7 @@ void QueryService::RecordEngineFailure(const std::string& engine) {
     // Tripped: advertise the outage so replicated reads start failing
     // over in the core, and count the trip.
     dawg_->monitor().SetEngineAdvisoryDown(engine, true);
-    std::lock_guard lock(mu_);
-    ++counters_.breaker_trips;
+    c_breaker_trips_->Increment();
   }
 }
 
@@ -268,8 +352,8 @@ CircuitBreaker::State QueryService::BreakerState(const std::string& engine) cons
 
 Result<QueryHandle> QueryService::SubmitTask(
     std::function<Result<relational::Table>()> fn, SubmitOptions opts) {
-  Stopwatch latency_timer;
-  QueryRunner run = [this, fn = std::move(fn), latency_timer](
+  obs::Clock::TimePoint admitted_at = clock_->Now();
+  QueryRunner run = [this, fn = std::move(fn), admitted_at](
                         int64_t id, const std::shared_ptr<QueryState>& state)
       -> Result<relational::Table> {
     Result<relational::Table> result =
@@ -277,7 +361,8 @@ Result<QueryHandle> QueryService::SubmitTask(
             ? Result<relational::Table>(
                   Status::Cancelled("task cancelled while queued"))
             : fn();
-    RecordOutcome(id, "TASK", result.status(), latency_timer.ElapsedMillis());
+    RecordOutcome(id, "TASK", result.status(),
+                  obs::Clock::ToMillis(clock_->Now() - admitted_at));
     return result;
   };
   return Admit(std::move(run), opts);
@@ -339,28 +424,37 @@ void QueryService::Drain() {
 }
 
 QueryServiceStats QueryService::Stats() const {
+  QueryServiceStats stats;
+  stats.submitted = c_submitted_->Value();
+  stats.admitted = c_admitted_->Value();
+  stats.rejected = c_rejected_->Value();
+  stats.completed = c_completed_->Value();
+  stats.failed = c_failed_->Value();
+  stats.cancelled = c_cancelled_->Value();
+  stats.timed_out = c_timed_out_->Value();
+  stats.retries = c_retries_->Value();
+  stats.breaker_trips = c_breaker_trips_->Value();
+  stats.failovers = c_failovers_->Value();
+  stats.degraded = c_degraded_->Value();
   std::lock_guard lock(mu_);
-  QueryServiceStats stats = counters_;
   stats.in_flight = in_flight_;
-  for (const auto& [island, ring] : latencies_) {
-    if (ring.empty()) continue;
+  stats.sessions_open = sessions_open_;
+  for (const auto& [island, window] : latencies_) {
+    if (window.count() == 0) continue;
     IslandLatency lat;
     lat.island = island;
-    lat.count = static_cast<int64_t>(ring.size());
-    std::vector<double> sorted = ring;
-    std::sort(sorted.begin(), sorted.end());
-    double total = 0;
-    for (double v : sorted) total += v;
-    lat.mean_ms = total / static_cast<double>(sorted.size());
-    auto quantile = [&sorted](double q) {
-      size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
-      return sorted[idx];
-    };
-    lat.p50_ms = quantile(0.50);
-    lat.p95_ms = quantile(0.95);
+    lat.count = window.count();
+    lat.mean_ms = window.mean();
+    lat.p50_ms = window.Quantile(0.50);
+    lat.p95_ms = window.Quantile(0.95);
     stats.islands.push_back(std::move(lat));
   }
   return stats;
+}
+
+std::string QueryService::DumpMetrics() const {
+  dawg_->monitor().ExportMetrics(metrics_);
+  return metrics_->DumpPrometheus();
 }
 
 }  // namespace bigdawg::exec

@@ -17,6 +17,8 @@
 #include "core/bigdawg.h"
 #include "exec/engine_locks.h"
 #include "exec/retry_policy.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace bigdawg::exec {
 
@@ -34,6 +36,13 @@ struct QueryServiceConfig {
   RetryPolicy retry;
   /// Per-engine circuit-breaker tuning.
   CircuitBreakerPolicy breaker;
+  /// Time source for deadlines, backoff, breaker windows, latency
+  /// measurements, and trace timestamps; null = the system clock. Tests
+  /// inject an obs::FakeClock to make every timing path deterministic.
+  const obs::Clock* clock = nullptr;
+  /// Registry receiving the service's counters/gauges/histograms; null =
+  /// a registry owned by the service (either way reachable via metrics()).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SubmitOptions {
@@ -56,6 +65,11 @@ struct IslandLatency {
 /// \brief Counters and latency digests for everything the service has
 /// processed. Latencies are end-to-end (admission to completion, queue
 /// wait included), per island.
+///
+/// This is a point-in-time snapshot assembled from the MetricsRegistry —
+/// the registry (see metrics()/DumpMetrics()) is the source of truth;
+/// quantiles come from a bounded obs::SampleWindow per island, so memory
+/// stays capped no matter how many queries run.
 struct QueryServiceStats {
   int64_t submitted = 0;
   int64_t admitted = 0;
@@ -119,9 +133,12 @@ class QueryHandle {
 ///    per-engine circuit breaker fails doomed queries fast once an
 ///    engine keeps failing, and marks the engine advisory-down so the
 ///    core reroutes replicated reads to fresh replicas (failover).
-///  * Stats() exposes admission counters, resilience counters (retries,
-///    breaker trips, failovers, degraded answers), and per-island
-///    p50/p95 latency for the monitor and benchmarks.
+///  * Observability: every counter lives in an obs::MetricsRegistry
+///    (DumpMetrics() gives the Prometheus text form, Stats() a typed
+///    snapshot), and when the BigDawg's tracer is enabled each query
+///    records a span tree — attempts, lock waits, scope routing, casts,
+///    shim calls, backoffs, breaker decisions — into
+///    dawg->tracer().FinishedTraces().
 class QueryService {
  public:
   explicit QueryService(core::BigDawg* dawg, QueryServiceConfig config = {});
@@ -174,6 +191,14 @@ class QueryService {
 
   QueryServiceStats Stats() const;
 
+  /// The registry holding every service metric (plus whatever the caller
+  /// shares it with).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Prometheus text exposition of the registry, with the Monitor's
+  /// engine-health and island-latency view exported into it first.
+  std::string DumpMetrics() const;
+
   /// Current circuit-breaker state for an engine (kClosed when the engine
   /// has never failed).
   CircuitBreaker::State BreakerState(const std::string& engine) const;
@@ -205,7 +230,26 @@ class QueryService {
 
   core::BigDawg* dawg_;
   QueryServiceConfig config_;
+  const obs::Clock* clock_;
   EngineLockManager lock_mgr_;
+
+  /// Backing registry when the config didn't share one.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  // Metric slots resolved once at construction; updates are lock-free.
+  obs::Counter* c_submitted_;
+  obs::Counter* c_admitted_;
+  obs::Counter* c_rejected_;
+  obs::Counter* c_completed_;
+  obs::Counter* c_failed_;
+  obs::Counter* c_cancelled_;
+  obs::Counter* c_timed_out_;
+  obs::Counter* c_retries_;
+  obs::Counter* c_breaker_trips_;
+  obs::Counter* c_failovers_;
+  obs::Counter* c_degraded_;
+  obs::Gauge* g_in_flight_;
+  obs::Gauge* g_sessions_open_;
 
   /// Engine name -> breaker. CircuitBreaker owns a mutex (not movable),
   /// hence the unique_ptr; breakers are created lazily and never removed.
@@ -217,12 +261,11 @@ class QueryService {
   int64_t next_query_id_ = 0;
   int64_t next_session_id_ = 0;
   int64_t in_flight_ = 0;
+  int64_t sessions_open_ = 0;
   std::map<int64_t, bool> sessions_;  // id -> open
   std::map<int64_t, std::shared_ptr<QueryState>> live_;
-  QueryServiceStats counters_;  // islands field unused here
-  std::map<std::string, std::vector<double>> latencies_;  // island -> ring
-  std::map<std::string, size_t> latency_next_;
-  static constexpr size_t kLatencyWindow = 1024;
+  /// island -> bounded latency reservoir (p50/p95 memory stays capped).
+  std::map<std::string, obs::SampleWindow> latencies_;
 
   // Last member: destroyed (joined) first, so draining tasks can still
   // touch the fields above.

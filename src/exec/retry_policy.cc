@@ -1,17 +1,8 @@
 #include "exec/retry_policy.h"
 
 #include <algorithm>
-#include <thread>
 
 namespace bigdawg::exec {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-
-Clock::duration MillisToDuration(double ms) {
-  return std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
-}
-}  // namespace
 
 BackoffState::BackoffState(const RetryPolicy& policy, uint64_t salt)
     : policy_(policy),
@@ -27,14 +18,17 @@ double BackoffState::NextDelayMs() {
   return delay;
 }
 
-Status InterruptibleBackoff(double delay_ms, const std::atomic<bool>* cancelled,
-                            bool has_deadline, Clock::time_point deadline) {
-  Clock::time_point now = Clock::now();
-  Clock::time_point wake = now + MillisToDuration(delay_ms);
+Status InterruptibleBackoff(const obs::Clock* clock, double delay_ms,
+                            const std::atomic<bool>* cancelled,
+                            bool has_deadline, obs::Clock::TimePoint deadline) {
+  if (clock == nullptr) clock = obs::Clock::System();
+  obs::Clock::TimePoint now = clock->Now();
+  const obs::Clock::TimePoint wake = now + obs::Clock::FromMillis(delay_ms);
   if (has_deadline && wake > deadline) {
     return Status::DeadlineExceeded("retry backoff would outlive the deadline");
   }
-  // Poll in ~1 ms slices so Cancel() aborts the sleep promptly.
+  // Sleep in ~1 ms slices so Cancel() aborts the sleep promptly; a
+  // FakeClock's SleepFor may also return early or advance time itself.
   constexpr auto kSlice = std::chrono::milliseconds(1);
   while (now < wake) {
     if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
@@ -43,13 +37,16 @@ Status InterruptibleBackoff(double delay_ms, const std::atomic<bool>* cancelled,
     if (has_deadline && now > deadline) {
       return Status::DeadlineExceeded("query deadline passed during retry backoff");
     }
-    std::this_thread::sleep_for(std::min<Clock::duration>(kSlice, wake - now));
-    now = Clock::now();
+    clock->SleepFor(std::min<obs::Clock::Duration>(kSlice, wake - now));
+    now = clock->Now();
   }
   return Status::OK();
 }
 
-CircuitBreaker::CircuitBreaker(CircuitBreakerPolicy policy) : policy_(policy) {}
+CircuitBreaker::CircuitBreaker(CircuitBreakerPolicy policy,
+                               const obs::Clock* clock)
+    : policy_(policy),
+      clock_(clock != nullptr ? clock : obs::Clock::System()) {}
 
 bool CircuitBreaker::AllowRequest() {
   std::lock_guard lock(mu_);
@@ -57,7 +54,7 @@ bool CircuitBreaker::AllowRequest() {
     case State::kClosed:
       return true;
     case State::kOpen:
-      if (Clock::now() < open_until_) return false;
+      if (clock_->Now() < open_until_) return false;
       state_ = State::kHalfOpen;
       probe_in_flight_ = true;
       return true;
@@ -81,7 +78,7 @@ bool CircuitBreaker::RecordFailure() {
   if (state_ == State::kHalfOpen) {
     // The probe failed: back to a full open window.
     state_ = State::kOpen;
-    open_until_ = Clock::now() + MillisToDuration(policy_.open_ms);
+    open_until_ = clock_->Now() + obs::Clock::FromMillis(policy_.open_ms);
     probe_in_flight_ = false;
     ++trips_;
     return true;
@@ -90,7 +87,7 @@ bool CircuitBreaker::RecordFailure() {
   if (state_ == State::kClosed &&
       consecutive_failures_ >= policy_.failure_threshold) {
     state_ = State::kOpen;
-    open_until_ = Clock::now() + MillisToDuration(policy_.open_ms);
+    open_until_ = clock_->Now() + obs::Clock::FromMillis(policy_.open_ms);
     consecutive_failures_ = 0;
     ++trips_;
     return true;

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/clock.h"
 
 namespace bigdawg::exec {
 
@@ -49,15 +50,16 @@ class BackoffState {
   double prev_ms_;
 };
 
-/// Sleeps up to `delay_ms`, polling the cooperative-cancellation flag and
-/// the deadline so a cancelled or expiring query aborts its backoff
-/// promptly instead of sleeping through it. Returns OK when the full
-/// delay elapsed, Cancelled/DeadlineExceeded when aborted early. A delay
-/// that cannot finish before the deadline returns DeadlineExceeded
-/// immediately — a retry never outlives its deadline.
-Status InterruptibleBackoff(double delay_ms, const std::atomic<bool>* cancelled,
-                            bool has_deadline,
-                            std::chrono::steady_clock::time_point deadline);
+/// Sleeps up to `delay_ms` on `clock` (null = system), polling the
+/// cooperative-cancellation flag and the deadline so a cancelled or
+/// expiring query aborts its backoff promptly instead of sleeping through
+/// it. Returns OK when the full delay elapsed, Cancelled/DeadlineExceeded
+/// when aborted early. A delay that cannot finish before the deadline
+/// returns DeadlineExceeded immediately — a retry never outlives its
+/// deadline.
+Status InterruptibleBackoff(const obs::Clock* clock, double delay_ms,
+                            const std::atomic<bool>* cancelled,
+                            bool has_deadline, obs::Clock::TimePoint deadline);
 
 /// \brief Circuit-breaker tuning.
 struct CircuitBreakerPolicy {
@@ -79,7 +81,9 @@ class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
-  explicit CircuitBreaker(CircuitBreakerPolicy policy = {});
+  /// `clock` drives the open window (null = system clock).
+  explicit CircuitBreaker(CircuitBreakerPolicy policy = {},
+                          const obs::Clock* clock = nullptr);
 
   /// True when a request may proceed. While open, returns false until the
   /// window expires, then transitions to half-open and admits a single
@@ -96,14 +100,13 @@ class CircuitBreaker {
   int64_t trips() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   CircuitBreakerPolicy policy_;
+  const obs::Clock* clock_;
   mutable std::mutex mu_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   bool probe_in_flight_ = false;
-  Clock::time_point open_until_{};
+  obs::Clock::TimePoint open_until_{};
   int64_t trips_ = 0;
 };
 

@@ -1,0 +1,65 @@
+#include "obs/clock.h"
+
+#include <thread>
+
+namespace bigdawg::obs {
+
+Clock::TimePoint SystemClock::Now() const {
+  return std::chrono::steady_clock::now();
+}
+
+void SystemClock::SleepFor(Duration d) const {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+const Clock* Clock::System() {
+  static const SystemClock clock;
+  return &clock;
+}
+
+// Start fake time well away from the epoch so subtracting a backoff or
+// breaker window from "now" can never underflow the time_point.
+FakeClock::FakeClock(Mode mode)
+    : now_(TimePoint{} + std::chrono::hours(1)), mode_(mode) {}
+
+Clock::TimePoint FakeClock::Now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void FakeClock::set_mode(Mode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
+}
+
+void FakeClock::SleepFor(Duration d) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (mode_ == Mode::kAutoAdvance) {
+    if (d > Duration::zero()) {
+      now_ += d;
+      cv_.notify_all();
+    }
+    return;
+  }
+  // Manual mode: park until fake time moves, waking every ~1 ms of real
+  // time so the caller's cancellation/deadline re-checks stay live even
+  // if the test never advances the clock.
+  ++sleepers_;
+  const TimePoint seen = now_;
+  cv_.wait_for(lock, std::chrono::milliseconds(1),
+               [&] { return now_ != seen; });
+  --sleepers_;
+}
+
+void FakeClock::Advance(Duration d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += d;
+  cv_.notify_all();
+}
+
+int64_t FakeClock::sleepers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sleepers_;
+}
+
+}  // namespace bigdawg::obs

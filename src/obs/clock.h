@@ -1,0 +1,92 @@
+#ifndef BIGDAWG_OBS_CLOCK_H_
+#define BIGDAWG_OBS_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace bigdawg::obs {
+
+/// \brief The time source every timing-dependent component reads.
+///
+/// Deadlines, retry backoff, circuit-breaker open windows, fault-injector
+/// down-windows, and trace span timestamps all go through a Clock so the
+/// test suite can drive time deterministically with a FakeClock instead of
+/// sleeping and hoping. Production code uses the process-wide SystemClock
+/// (Clock::System()). The interface is const: reading time and sleeping
+/// are side-effect-free from the caller's point of view, which lets a
+/// `const Clock*` be shared freely across threads.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  /// Blocks for *up to* `d`. May return early — a FakeClock wakes its
+  /// sleepers whenever fake time moves — so callers that must wait out a
+  /// full interval loop on Now() (see exec::InterruptibleBackoff).
+  virtual void SleepFor(Duration d) const = 0;
+
+  /// The process-wide monotonic wall clock.
+  static const Clock* System();
+
+  static Duration FromMillis(double ms) {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  }
+  static double ToMillis(Duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+};
+
+/// \brief std::chrono::steady_clock, really sleeping.
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() const override;
+  void SleepFor(Duration d) const override;
+};
+
+/// \brief Step-controlled test clock.
+///
+/// kManual (the default): time moves only when the test calls Advance;
+/// SleepFor parks the calling thread in short real-time slices — so
+/// cancellation and deadline polls in the sleeping code keep running —
+/// until fake time moves. sleepers() lets a test synchronize with a query
+/// that has entered a backoff sleep before advancing or cancelling.
+///
+/// kAutoAdvance: SleepFor advances fake time by the requested duration and
+/// returns immediately. Backoffs, injected latency, and deadline math all
+/// play out instantly but in exact fake-time order, which is what makes
+/// golden-trace durations reproducible byte-for-byte.
+class FakeClock final : public Clock {
+ public:
+  enum class Mode { kManual, kAutoAdvance };
+
+  explicit FakeClock(Mode mode = Mode::kManual);
+
+  TimePoint Now() const override;
+  void SleepFor(Duration d) const override;
+
+  void set_mode(Mode mode);
+
+  void Advance(Duration d);
+  void AdvanceMs(double ms) { Advance(FromMillis(ms)); }
+
+  /// Threads currently parked inside SleepFor.
+  int64_t sleepers() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable TimePoint now_;
+  Mode mode_;
+  mutable int64_t sleepers_ = 0;
+};
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_CLOCK_H_

@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bigdawg::obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double d) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + d,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// Family name = series name up to the label block, e.g.
+// `bigdawg_queries_total{outcome="x"}` -> `bigdawg_queries_total`.
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Integral values print without a decimal point so counters read
+// naturally; everything else gets shortest-ish %g.
+std::string FormatValue(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Derive a series name with an extra label merged into the existing label
+// block: (`fam{a="b"}`, `le`, `5`) -> `fam_bucket{a="b",le="5"}`.
+std::string SuffixedSeries(const std::string& name, const std::string& suffix,
+                           const std::string& label_key,
+                           const std::string& label_value) {
+  const size_t brace = name.find('{');
+  std::string out;
+  if (brace == std::string::npos) {
+    out = name + suffix;
+    if (!label_key.empty()) {
+      out += "{" + label_key + "=\"" + label_value + "\"}";
+    }
+    return out;
+  }
+  out = name.substr(0, brace) + suffix;
+  // Existing labels minus the closing brace.
+  std::string labels = name.substr(brace, name.size() - brace - 1);
+  out += labels;
+  if (!label_key.empty()) {
+    out += "," + label_key + "=\"" + label_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void Gauge::Add(double d) { AtomicAddDouble(&value_, d); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound satisfies v <= bound; past-the-end is
+  // the +Inf overflow bucket.
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+SampleWindow::SampleWindow(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SampleWindow::Record(double v) {
+  ++count_;
+  total_ += v;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(v);
+  } else {
+    ring_[next_] = v;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+double SampleWindow::Quantile(double q) const {
+  if (ring_.empty()) return 0.0;
+  std::vector<double> sorted = ring_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const size_t idx = static_cast<size_t>(clamped * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+
+  auto type_line = [&](const std::string& name, const char* type) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " " + type + "\n";
+      last_family = family;
+    }
+  };
+
+  for (const auto& [name, counter] : counters_) {
+    type_line(name, "counter");
+    out += name + " " + FormatValue(static_cast<double>(counter->Value())) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    type_line(name, "gauge");
+    out += name + " " + FormatValue(gauge->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, hist] : histograms_) {
+    type_line(name, "histogram");
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist->bounds().size(); ++i) {
+      cumulative += hist->BucketCount(i);
+      out += SuffixedSeries(name, "_bucket", "le",
+                            FormatValue(hist->bounds()[i])) +
+             " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+    }
+    cumulative += hist->BucketCount(hist->bounds().size());
+    out += SuffixedSeries(name, "_bucket", "le", "+Inf") + " " +
+           FormatValue(static_cast<double>(cumulative)) + "\n";
+    out += SuffixedSeries(name, "_sum", "", "") + " " +
+           FormatValue(hist->Sum()) + "\n";
+    out += SuffixedSeries(name, "_count", "", "") + " " +
+           FormatValue(static_cast<double>(hist->Count())) + "\n";
+  }
+  return out;
+}
+
+}  // namespace bigdawg::obs

@@ -1,0 +1,130 @@
+#ifndef BIGDAWG_OBS_METRICS_H_
+#define BIGDAWG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bigdawg::obs {
+
+/// \brief Monotonically increasing counter. Increment is a single relaxed
+/// atomic add, safe from any thread with no lock.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Instantaneous value. Doubles, so it can carry latencies and
+/// ratios as well as occupancy counts.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram with cumulative-`le` semantics matching
+/// the Prometheus client model. An observation is two relaxed atomic adds
+/// plus a CAS loop for the sum; bucket bounds are fixed at construction so
+/// the hot path never allocates or locks.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive bucket upper bounds, strictly increasing.
+  /// A +Inf overflow bucket is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Raw (non-cumulative) count of bucket `i`; `i == bounds().size()` is
+  /// the +Inf overflow bucket.
+  int64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Bounded reservoir of recent samples plus a running count/sum:
+/// mean over everything ever recorded, quantiles over the retained window.
+///
+/// NOT internally synchronized — callers guard it with a mutex they
+/// already hold (the query service and Monitor both record under their own
+/// locks). Memory is capped at `capacity` samples no matter how many
+/// recordings arrive; this is the one ring-buffer implementation behind
+/// every p50/p95 in the codebase.
+class SampleWindow {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit SampleWindow(size_t capacity = kDefaultCapacity);
+
+  void Record(double v);
+
+  /// Total recordings ever (not just those still in the window).
+  int64_t count() const { return count_; }
+  /// Mean over every recording ever.
+  double mean() const { return count_ == 0 ? 0.0 : total_ / count_; }
+  /// Quantile over the retained window; 0 when empty. q in [0, 1].
+  double Quantile(double q) const;
+
+  size_t window_size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::vector<double> ring_;
+  size_t next_ = 0;
+  int64_t count_ = 0;
+  double total_ = 0.0;
+};
+
+/// \brief Named metrics, created on first use, dumped in the Prometheus
+/// text exposition format.
+///
+/// Registration (name -> slot) takes a mutex, but the returned pointers
+/// are stable for the registry's lifetime, so call sites resolve a metric
+/// once and then update it lock-free. Label sets are encoded in the name:
+/// `bigdawg_queries_total{outcome="completed"}`. DumpPrometheus groups
+/// series into families (the name before `{`) and emits one `# TYPE` line
+/// per family.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` are the bucket upper bounds; ignored when the histogram
+  /// already exists.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  std::string DumpPrometheus() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_METRICS_H_

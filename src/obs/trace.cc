@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bigdawg::obs {
+
+const std::string* TraceSpan::FindTag(const std::string& key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const TraceSpan* TraceSpan::FindChild(const std::string& child_name) const {
+  for (const TraceSpan& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void DumpSpan(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(span.name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.3fms +%.3fms", span.start_ms,
+                span.duration_ms);
+  out->append(buf);
+  for (const auto& [k, v] : span.tags) {
+    out->append(" ");
+    out->append(k);
+    out->append("=");
+    out->append(v);
+  }
+  out->append("\n");
+  for (const TraceSpan& child : span.children) {
+    DumpSpan(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string DumpSpanTree(const TraceSpan& root) {
+  std::string out;
+  DumpSpan(root, 0, &out);
+  return out;
+}
+
+Trace::Trace(const Clock* clock, std::string root_name) : clock_(clock) {
+  Rec root;
+  root.name = std::move(root_name);
+  root.start = clock_->Now();
+  recs_.push_back(std::move(root));
+  stack_.push_back(0);
+}
+
+int64_t Trace::StartSpan(std::string name) {
+  Rec rec;
+  rec.name = std::move(name);
+  rec.start = clock_->Now();
+  rec.parent = stack_.empty() ? 0 : stack_.back();
+  const int64_t id = static_cast<int64_t>(recs_.size());
+  recs_.push_back(std::move(rec));
+  stack_.push_back(id);
+  return id;
+}
+
+void Trace::EndSpan(int64_t id) {
+  if (id < 0 || id >= static_cast<int64_t>(recs_.size())) return;
+  Rec& rec = recs_[static_cast<size_t>(id)];
+  if (!rec.open) return;
+  rec.end = clock_->Now();
+  rec.open = false;
+  // Mismatched guards can only happen via early returns that unwind in
+  // LIFO order, so popping through `id` keeps the stack consistent.
+  while (!stack_.empty()) {
+    const int64_t top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+  }
+}
+
+void Trace::Tag(int64_t id, std::string key, std::string value) {
+  if (id < 0 || id >= static_cast<int64_t>(recs_.size())) return;
+  recs_[static_cast<size_t>(id)].tags.emplace_back(std::move(key),
+                                                   std::move(value));
+}
+
+TraceSpan Trace::Finish() && {
+  const Clock::TimePoint now = clock_->Now();
+  for (Rec& rec : recs_) {
+    if (rec.open) {
+      rec.end = now;
+      rec.open = false;
+    }
+  }
+  const Clock::TimePoint origin = recs_[0].start;
+
+  // Children were appended in creation order and every parent index is
+  // smaller than its child's, so a single forward grouping pass suffices.
+  std::vector<std::vector<int64_t>> children_of(recs_.size());
+  for (size_t i = 1; i < recs_.size(); ++i) {
+    children_of[static_cast<size_t>(recs_[i].parent)].push_back(
+        static_cast<int64_t>(i));
+  }
+
+  struct Builder {
+    std::vector<Rec>* recs;
+    std::vector<std::vector<int64_t>>* children_of;
+    Clock::TimePoint origin;
+
+    TraceSpan Build(int64_t id) const {
+      Rec& rec = (*recs)[static_cast<size_t>(id)];
+      TraceSpan span;
+      span.name = std::move(rec.name);
+      span.start_ms = Clock::ToMillis(rec.start - origin);
+      span.duration_ms = Clock::ToMillis(rec.end - rec.start);
+      span.tags = std::move(rec.tags);
+      for (int64_t child : (*children_of)[static_cast<size_t>(id)]) {
+        span.children.push_back(Build(child));
+      }
+      return span;
+    }
+  };
+  return Builder{&recs_, &children_of, origin}.Build(0);
+}
+
+Tracer::Tracer() {
+  const char* env = std::getenv("BIGDAWG_TRACE");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::Record(TraceSpan root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(std::move(root));
+  if (finished_.size() > kMaxFinished) {
+    finished_.erase(finished_.begin());
+  }
+}
+
+std::vector<TraceSpan> Tracer::FinishedTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::vector<TraceSpan> Tracer::DrainFinished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.swap(finished_);
+  return out;
+}
+
+}  // namespace bigdawg::obs

@@ -1,0 +1,135 @@
+#ifndef BIGDAWG_OBS_TRACE_H_
+#define BIGDAWG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace bigdawg::obs {
+
+/// \brief One node of a finished trace: where a query execution spent its
+/// time. `start_ms` is relative to the root span's start; children appear
+/// in emission order; tags in insertion order.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::vector<TraceSpan> children;
+
+  /// First tag with `key`, or null.
+  const std::string* FindTag(const std::string& key) const;
+  /// First direct child named `name`, or null.
+  const TraceSpan* FindChild(const std::string& child_name) const;
+};
+
+/// Deterministic indented rendering of a span tree — the golden-trace
+/// format. One line per span: `name <start>ms +<duration>ms k=v ...`,
+/// children indented two spaces per depth, all times %.3f.
+std::string DumpSpanTree(const TraceSpan& root);
+
+/// \brief Span recorder for ONE query execution.
+///
+/// Confined to the thread running that execution — no locking. The query
+/// service creates one per traced query, threads it through
+/// core::ExecContext, and finalizes it into the Tracer when the query
+/// completes. StartSpan parents the new span under the innermost open
+/// span, so the tree mirrors the call structure (query -> attempt ->
+/// scope -> cast -> shim -> ...).
+class Trace {
+ public:
+  Trace(const Clock* clock, std::string root_name);
+
+  Trace(Trace&&) = default;
+  Trace& operator=(Trace&&) = default;
+
+  /// Opens a child of the innermost open span; returns its id.
+  int64_t StartSpan(std::string name);
+  void EndSpan(int64_t id);
+  void Tag(int64_t id, std::string key, std::string value);
+
+  int64_t root() const { return 0; }
+  const Clock* clock() const { return clock_; }
+
+  /// Ends every still-open span at Now() and assembles the tree.
+  /// Consumes the trace: call as std::move(trace).Finish().
+  TraceSpan Finish() &&;
+
+ private:
+  struct Rec {
+    std::string name;
+    Clock::TimePoint start;
+    Clock::TimePoint end;
+    int64_t parent = -1;
+    bool open = true;
+    std::vector<std::pair<std::string, std::string>> tags;
+  };
+
+  const Clock* clock_;
+  std::vector<Rec> recs_;
+  std::vector<int64_t> stack_;  // open-span ids, innermost last
+};
+
+/// \brief RAII span that no-ops entirely — no allocation, no clock read —
+/// when constructed with a null trace. Emission sites pass `ctx->trace`
+/// unconditionally and guard only their tag-value construction, which is
+/// how tracing stays near-free when disabled.
+class SpanGuard {
+ public:
+  SpanGuard(Trace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->StartSpan(name);
+  }
+  ~SpanGuard() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void Tag(const char* key, const std::string& value) {
+    if (trace_ != nullptr) trace_->Tag(id_, key, value);
+  }
+
+ private:
+  Trace* trace_;
+  int64_t id_ = -1;
+};
+
+/// \brief Process-level sink of finished traces (bounded ring).
+///
+/// Disabled by default: enabled() is one relaxed atomic load and nothing
+/// else happens on the query path until a test, an operator, or the
+/// BIGDAWG_TRACE=1 environment variable turns it on. The Monitor consumes
+/// FinishedTraces()/DrainFinished() to refine engine/query-class
+/// affinities from real span timings.
+class Tracer {
+ public:
+  static constexpr size_t kMaxFinished = 128;
+
+  Tracer();  // honors BIGDAWG_TRACE=1 in the environment
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stores a finished root span, dropping the oldest past kMaxFinished.
+  void Record(TraceSpan root);
+
+  /// Snapshot of retained traces, oldest first.
+  std::vector<TraceSpan> FinishedTraces() const;
+  /// Moves the retained traces out, leaving the ring empty.
+  std::vector<TraceSpan> DrainFinished();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> finished_;
+};
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_TRACE_H_

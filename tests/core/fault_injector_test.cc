@@ -1,10 +1,10 @@
 #include "core/fault_injector.h"
 
-#include <chrono>
-#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/clock.h"
 
 namespace bigdawg::core {
 namespace {
@@ -53,6 +53,8 @@ TEST(FaultInjectorTest, FailEveryNthIsPeriodic) {
 
 TEST(FaultInjectorTest, DownFlagAndTimedWindow) {
   FaultInjector fi;
+  obs::FakeClock clock;
+  fi.SetClock(&clock);
   fi.Enable();
   fi.SetDown(kEngineAccumulo, true);
   EXPECT_TRUE(fi.IsDown(kEngineAccumulo));
@@ -61,10 +63,14 @@ TEST(FaultInjectorTest, DownFlagAndTimedWindow) {
   EXPECT_FALSE(fi.IsDown(kEngineAccumulo));
   EXPECT_TRUE(fi.OnCall(kEngineAccumulo).ok());
 
+  // The down window is measured on the injected clock: stepping fake time
+  // past it reopens the engine with no wall-clock sleep.
   fi.SetDownForMs(kEngineAccumulo, 30);
   EXPECT_TRUE(fi.IsDown(kEngineAccumulo));
   EXPECT_TRUE(fi.OnCall(kEngineAccumulo).IsUnavailable());
-  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  clock.AdvanceMs(29);
+  EXPECT_TRUE(fi.IsDown(kEngineAccumulo));
+  clock.AdvanceMs(11);
   EXPECT_FALSE(fi.IsDown(kEngineAccumulo));
   EXPECT_TRUE(fi.OnCall(kEngineAccumulo).ok());
 }

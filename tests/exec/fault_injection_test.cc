@@ -1,5 +1,4 @@
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -7,9 +6,9 @@
 
 #include "array/array.h"
 #include "common/logging.h"
-#include "common/stopwatch.h"
 #include "core/bigdawg.h"
 #include "exec/query_service.h"
+#include "obs/clock.h"
 
 namespace bigdawg::exec {
 namespace {
@@ -17,9 +16,15 @@ namespace {
 /// Federation used by every chaos scenario: `patients` lives on postgres
 /// with no replica (its reads cannot fail over), `readings` lives on
 /// postgres with a fresh scidb replica (its reads can).
+///
+/// Every timed behaviour — retry backoff, breaker open windows, injected
+/// latency, down windows, deadlines — runs on the fixture's auto-advancing
+/// FakeClock, so the suite never sleeps wall-clock time and every timing
+/// assertion is exact rather than "hopefully the machine was fast enough".
 class FaultInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    dawg_.fault_injector().SetClock(&clock_);
     BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
         "patients", Schema({Field("patient_id", DataType::kInt64),
                             Field("age", DataType::kInt64)})));
@@ -43,10 +48,11 @@ class FaultInjectionTest : public ::testing::Test {
   }
 
   core::BigDawg dawg_;
+  obs::FakeClock clock_{obs::FakeClock::Mode::kAutoAdvance};
 };
 
 TEST_F(FaultInjectionTest, DisabledFaultPlaneChangesNothing) {
-  QueryService service(&dawg_, {.num_workers = 2});
+  QueryService service(&dawg_, {.num_workers = 2, .clock = &clock_});
   auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
@@ -63,7 +69,7 @@ TEST_F(FaultInjectionTest, DisabledFaultPlaneChangesNothing) {
 }
 
 TEST_F(FaultInjectionTest, TransientFaultsAreRetriedToSuccess) {
-  QueryService service(&dawg_, {.num_workers = 2});
+  QueryService service(&dawg_, {.num_workers = 2, .clock = &clock_});
   dawg_.fault_injector().Enable();
   // The next two engine calls fail; the third attempt goes through.
   dawg_.fault_injector().FailNextCalls(core::kEnginePostgres, 2);
@@ -89,7 +95,7 @@ TEST_F(FaultInjectionTest, TransientFaultsAreRetriedToSuccess) {
 // replicated object yields a successful (degraded) answer via replica
 // failover — one failover recorded, zero failed queries.
 TEST_F(FaultInjectionTest, EngineDownReplicatedObjectFailsOverToReplica) {
-  QueryService service(&dawg_, {.num_workers = 2});
+  QueryService service(&dawg_, {.num_workers = 2, .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDownForMs(core::kEnginePostgres, 50);
 
@@ -128,7 +134,8 @@ TEST_F(FaultInjectionTest, EngineDownUnreplicatedObjectIsUnavailable) {
                         .retry = {.max_attempts = 3,
                                   .base_backoff_ms = 1,
                                   .max_backoff_ms = 2},
-                        .breaker = {.failure_threshold = 100}});
+                        .breaker = {.failure_threshold = 100},
+                        .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDownForMs(core::kEnginePostgres, 50);
 
@@ -151,7 +158,8 @@ TEST_F(FaultInjectionTest, BreakerTripsAndFailsFastWithoutTouchingEngine) {
   QueryService service(&dawg_, {.num_workers = 2,
                                 .retry = {.max_attempts = 1},
                                 .breaker = {.failure_threshold = 2,
-                                            .open_ms = 60000}});
+                                            .open_ms = 60000},
+                                .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
 
@@ -183,7 +191,8 @@ TEST_F(FaultInjectionTest, BreakerHalfOpenProbeClosesAfterRecovery) {
   QueryService service(&dawg_, {.num_workers = 2,
                                 .retry = {.max_attempts = 1},
                                 .breaker = {.failure_threshold = 2,
-                                            .open_ms = 30}});
+                                            .open_ms = 30},
+                                .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
   EXPECT_TRUE(service.ExecuteSync("SELECT age FROM patients")
@@ -192,11 +201,11 @@ TEST_F(FaultInjectionTest, BreakerHalfOpenProbeClosesAfterRecovery) {
                   .status().IsUnavailable());
   EXPECT_TRUE(dawg_.monitor().EngineAdvisoryDown(core::kEnginePostgres));
 
-  // Heal the engine, wait out the open window: the next query is the
-  // half-open probe, and its success closes the breaker and clears the
-  // advisory-down mark.
+  // Heal the engine, step fake time past the open window: the next query
+  // is the half-open probe, and its success closes the breaker and clears
+  // the advisory-down mark.
   dawg_.fault_injector().SetDown(core::kEnginePostgres, false);
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  clock_.AdvanceMs(60);
   auto probe = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");
   ASSERT_TRUE(probe.ok()) << probe.status().ToString();
   EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
@@ -209,7 +218,8 @@ TEST_F(FaultInjectionTest, OpenBreakerReroutesReplicatedReadsToReplica) {
   QueryService service(&dawg_, {.num_workers = 2,
                                 .retry = {.max_attempts = 1},
                                 .breaker = {.failure_threshold = 1,
-                                            .open_ms = 60000}});
+                                            .open_ms = 60000},
+                                .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
   // One failure trips the breaker (threshold 1) and marks postgres
@@ -239,7 +249,7 @@ TEST_F(FaultInjectionTest, OpenBreakerReroutesReplicatedReadsToReplica) {
 }
 
 TEST_F(FaultInjectionTest, InjectedLatencyConsumesDeadline) {
-  QueryService service(&dawg_, {.num_workers = 2});
+  QueryService service(&dawg_, {.num_workers = 2, .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetLatencyMs(core::kEnginePostgres, 40);
 
@@ -253,28 +263,29 @@ TEST_F(FaultInjectionTest, InjectedLatencyConsumesDeadline) {
 }
 
 TEST_F(FaultInjectionTest, CancelAbortsRetryBackoffPromptly) {
-  // Without cancellation this query would retry for minutes: the engine
-  // is hard-down and every backoff is 200-400 ms.
+  // Without cancellation this query would retry forever: the engine is
+  // hard-down, every backoff is 200-400 ms, and on a manual FakeClock
+  // fake time never advances — so the backoff sleep can only end because
+  // the cancel flag interrupted it, never because the delay elapsed.
+  obs::FakeClock manual;  // kManual: time moves only on Advance
   QueryService service(&dawg_, {.num_workers = 2,
                                 .retry = {.max_attempts = 1000,
                                           .base_backoff_ms = 200,
                                           .max_backoff_ms = 400},
-                                .breaker = {.failure_threshold = 1000000}});
+                                .breaker = {.failure_threshold = 1000000},
+                                .clock = &manual});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
 
   auto handle = service.Submit("SELECT age FROM patients");
   ASSERT_TRUE(handle.ok());
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  Stopwatch cancel_timer;
+  // Rendezvous with the query: once it parks in the backoff sleep it
+  // shows up as a sleeper on the clock.
+  while (manual.sleepers() == 0) std::this_thread::yield();
   ASSERT_TRUE(service.Cancel(handle->id()).ok());
   auto result = handle->Wait();
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
-  // The backoff sleep polls the cancel flag: the query unwinds in
-  // milliseconds, not after draining its 200-400 ms sleep (let alone the
-  // remaining attempts).
-  EXPECT_LT(cancel_timer.ElapsedMillis(), 2000);
   EXPECT_EQ(service.Stats().cancelled, 1);
 }
 
@@ -286,14 +297,17 @@ TEST_F(FaultInjectionTest, BackoffNeverOutlivesTheDeadline) {
                                 .retry = {.max_attempts = 10,
                                           .base_backoff_ms = 1000,
                                           .max_backoff_ms = 2000},
-                                .breaker = {.failure_threshold = 100}});
+                                .breaker = {.failure_threshold = 100},
+                                .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().SetDown(core::kEnginePostgres, true);
 
-  Stopwatch timer;
+  const obs::Clock::TimePoint start = clock_.Now();
   auto result = service.ExecuteSync("SELECT age FROM patients",
                                     {.timeout_ms = 30});
-  EXPECT_LT(timer.ElapsedMillis(), 500);  // never slept the 1 s backoff
+  // Never slept the 1 s backoff: the auto-advancing clock would have
+  // recorded it as consumed fake time.
+  EXPECT_LT(obs::Clock::ToMillis(clock_.Now() - start), 500.0);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
   auto stats = service.Stats();
@@ -302,7 +316,7 @@ TEST_F(FaultInjectionTest, BackoffNeverOutlivesTheDeadline) {
 }
 
 TEST_F(FaultInjectionTest, NonRetryableErrorsAreNotRetried) {
-  QueryService service(&dawg_, {.num_workers = 2});
+  QueryService service(&dawg_, {.num_workers = 2, .clock = &clock_});
   dawg_.fault_injector().Enable();  // enabled but no schedule: all calls OK
 
   auto not_found = service.ExecuteSync("SELECT * FROM no_such_table");
@@ -335,7 +349,8 @@ TEST_F(FaultInjectionTest, NonRetryableErrorsAreNotRetried) {
 
 TEST_F(FaultInjectionTest, MonitorHealthViewMetersCallsAndFaults) {
   QueryService service(&dawg_, {.num_workers = 2,
-                                .breaker = {.failure_threshold = 100}});
+                                .breaker = {.failure_threshold = 100},
+                                .clock = &clock_});
   dawg_.fault_injector().Enable();
   dawg_.fault_injector().FailNextCalls(core::kEnginePostgres, 1);
   auto result = service.ExecuteSync("SELECT COUNT(*) AS n FROM patients");

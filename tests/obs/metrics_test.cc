@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+#include "obs/trace.h"
+
+namespace bigdawg::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(GaugeTest, SetAddAndRead) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Add(-4.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 5.0, 10.0});
+  // le semantics: an observation equal to a bound lands IN that bucket.
+  h.Observe(0.5);   // <= 1
+  h.Observe(1.0);   // <= 1 (boundary)
+  h.Observe(1.5);   // <= 5
+  h.Observe(5.0);   // <= 5 (boundary)
+  h.Observe(10.0);  // <= 10 (boundary)
+  h.Observe(11.0);  // +Inf overflow
+
+  EXPECT_EQ(h.BucketCount(0), 2);
+  EXPECT_EQ(h.BucketCount(1), 2);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.BucketCount(3), 1);  // the implicit +Inf bucket
+  EXPECT_EQ(h.Count(), 6);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 5.0 + 10.0 + 11.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread resolves the same slots by name, then hammers them
+      // lock-free — the registration mutex is paid once per thread.
+      Counter* c = registry.GetCounter("race_total");
+      Gauge* g = registry.GetGauge("race_gauge");
+      Histogram* h = registry.GetHistogram("race_ms", {1.0, 10.0});
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(1.0);
+        h->Observe(static_cast<double>(i % 20));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.GetCounter("race_total")->Value(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("race_gauge")->Value(),
+                   static_cast<double>(kThreads * kPerThread));
+  Histogram* h = registry.GetHistogram("race_ms", {});
+  EXPECT_EQ(h->Count(), kThreads * kPerThread);
+  EXPECT_EQ(h->BucketCount(0) + h->BucketCount(1) + h->BucketCount(2),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SameNameResolvesToSameSlot) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a_total"), registry.GetCounter("a_total"));
+  EXPECT_NE(registry.GetCounter("a_total"),
+            registry.GetCounter("a_total{x=\"1\"}"));
+  // Histogram bounds are fixed by the first registration.
+  Histogram* h = registry.GetHistogram("lat_ms", {1.0, 2.0});
+  EXPECT_EQ(registry.GetHistogram("lat_ms", {99.0}), h);
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("bigdawg_queries_total{outcome=\"completed\"}")
+      ->Increment(7);
+  registry.GetCounter("bigdawg_queries_total{outcome=\"failed\"}")->Increment(2);
+  registry.GetGauge("bigdawg_queries_in_flight")->Set(3);
+  Histogram* h =
+      registry.GetHistogram("bigdawg_query_latency_ms{island=\"RELATIONAL\"}",
+                            {1.0, 5.0});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Observe(50.0);
+
+  std::string dump = registry.DumpPrometheus();
+  // One # TYPE line per family (the name before '{'), not per series.
+  EXPECT_NE(dump.find("# TYPE bigdawg_queries_total counter"),
+            std::string::npos);
+  EXPECT_EQ(dump.find("# TYPE bigdawg_queries_total counter",
+                      dump.find("# TYPE bigdawg_queries_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(dump.find("bigdawg_queries_total{outcome=\"completed\"} 7"),
+            std::string::npos);
+  EXPECT_NE(dump.find("bigdawg_queries_total{outcome=\"failed\"} 2"),
+            std::string::npos);
+  EXPECT_NE(dump.find("# TYPE bigdawg_queries_in_flight gauge"),
+            std::string::npos);
+  EXPECT_NE(dump.find("bigdawg_queries_in_flight 3"), std::string::npos);
+  // Histogram series: cumulative le buckets (with +Inf), _sum and _count,
+  // labels merged with the series' own label set.
+  EXPECT_NE(dump.find("# TYPE bigdawg_query_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      dump.find(
+          "bigdawg_query_latency_ms_bucket{island=\"RELATIONAL\",le=\"1\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      dump.find(
+          "bigdawg_query_latency_ms_bucket{island=\"RELATIONAL\",le=\"5\"} 2"),
+      std::string::npos);
+  EXPECT_NE(dump.find("bigdawg_query_latency_ms_bucket{island=\"RELATIONAL\","
+                      "le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(dump.find("bigdawg_query_latency_ms_sum{island=\"RELATIONAL\"} "
+                      "52.5"),
+            std::string::npos);
+  EXPECT_NE(
+      dump.find("bigdawg_query_latency_ms_count{island=\"RELATIONAL\"} 3"),
+      std::string::npos);
+}
+
+TEST(SampleWindowTest, MeanSpansEverythingQuantilesSpanTheWindow) {
+  SampleWindow window(4);
+  for (double v : {100.0, 100.0, 1.0, 2.0, 3.0, 4.0}) window.Record(v);
+  EXPECT_EQ(window.count(), 6);
+  EXPECT_DOUBLE_EQ(window.mean(), 210.0 / 6.0);
+  // The two 100s were evicted: quantiles only see {1, 2, 3, 4}.
+  EXPECT_DOUBLE_EQ(window.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0), 4.0);
+  EXPECT_LE(window.Quantile(0.95), 4.0);
+}
+
+// Regression for the unbounded p50/p95 sample vector: one million
+// recordings must retain at most `capacity` samples, not a million.
+TEST(SampleWindowTest, MemoryStaysBoundedOverAMillionRecordings) {
+  SampleWindow window;
+  constexpr int64_t kRecordings = 1'000'000;
+  for (int64_t i = 0; i < kRecordings; ++i) {
+    window.Record(static_cast<double>(i % 1000));
+  }
+  EXPECT_EQ(window.count(), kRecordings);
+  EXPECT_LE(window.window_size(), window.capacity());
+  EXPECT_EQ(window.capacity(), SampleWindow::kDefaultCapacity);
+  // The window still answers sane quantiles over the retained tail.
+  EXPECT_GE(window.Quantile(0.95), window.Quantile(0.5));
+  EXPECT_LE(window.Quantile(1.0), 999.0);
+}
+
+// Property: in any trace, a parent span's duration is at least the sum of
+// its children's durations (children run sequentially inside the parent),
+// and every child starts no earlier than its parent. Driven by scripted
+// FakeClock jumps so the timings are exact, with a seeded RNG choosing the
+// tree shape and jump sizes.
+void CheckContainment(const TraceSpan& span) {
+  double child_sum = 0.0;
+  for (const TraceSpan& child : span.children) {
+    EXPECT_GE(child.start_ms, span.start_ms - 1e-9)
+        << child.name << " starts before its parent " << span.name;
+    EXPECT_LE(child.start_ms + child.duration_ms,
+              span.start_ms + span.duration_ms + 1e-9)
+        << child.name << " outlives its parent " << span.name;
+    child_sum += child.duration_ms;
+    CheckContainment(child);
+  }
+  EXPECT_GE(span.duration_ms, child_sum - 1e-9)
+      << span.name << " is shorter than the sum of its children";
+}
+
+TEST(TracePropertyTest, SpanDurationsContainTheirChildrenUnderClockJumps) {
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    FakeClock clock;
+    Trace trace(&clock, "root");
+    std::vector<int64_t> open;
+    for (int step = 0; step < 40; ++step) {
+      clock.AdvanceMs(static_cast<double>(rng() % 97) / 4.0);
+      const bool can_close = !open.empty();
+      if (can_close && rng() % 3 == 0) {
+        trace.EndSpan(open.back());
+        open.pop_back();
+      } else if (open.size() < 6) {
+        open.push_back(trace.StartSpan("s" + std::to_string(step)));
+      }
+    }
+    clock.AdvanceMs(1.0);
+    // Finish() ends still-open spans at the current instant; containment
+    // must hold regardless of how the script left the stack.
+    TraceSpan root = std::move(trace).Finish();
+    EXPECT_EQ(root.start_ms, 0.0);
+    CheckContainment(root);
+  }
+}
+
+}  // namespace
+}  // namespace bigdawg::obs
