@@ -9,8 +9,10 @@
 // saturate. Also prints the admission counters and per-island p50/p95
 // latency digests the service exposes.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -18,8 +20,10 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/bigdawg.h"
+#include "exec/admin_endpoints.h"
 #include "exec/query_service.h"
 #include "mimic/mimic.h"
+#include "obs/admin_server.h"
 
 using namespace bigdawg;  // NOLINT
 
@@ -43,14 +47,16 @@ const char* QueryFor(int i) {
 
 /// Runs `num_clients` closed-loop clients against the service; returns
 /// queries/second over the whole run.
-double RunClients(exec::QueryService* service, int num_clients) {
+double RunClients(exec::QueryService* service, int num_clients,
+                  std::chrono::milliseconds think = kThinkTime,
+                  int queries_per_client = kQueriesPerClient) {
   std::vector<std::thread> clients;
   Stopwatch wall;
   for (int c = 0; c < num_clients; ++c) {
-    clients.emplace_back([service, c] {
+    clients.emplace_back([service, c, think, queries_per_client] {
       int64_t session = service->OpenSession();
-      for (int i = 0; i < kQueriesPerClient; ++i) {
-        std::this_thread::sleep_for(kThinkTime);
+      for (int i = 0; i < queries_per_client; ++i) {
+        if (think.count() > 0) std::this_thread::sleep_for(think);
         auto result =
             service->ExecuteSync(QueryFor(c + i), {.session = session});
         BIGDAWG_CHECK(result.ok()) << result.status().ToString();
@@ -60,7 +66,64 @@ double RunClients(exec::QueryService* service, int num_clients) {
   }
   for (std::thread& t : clients) t.join();
   double seconds = wall.ElapsedMillis() / 1000.0;
-  return static_cast<double>(num_clients) * kQueriesPerClient / seconds;
+  return static_cast<double>(num_clients) * queries_per_client / seconds;
+}
+
+/// S1b: what observability costs. The same workload with zero think time
+/// (so the query path, not the sleep, is what's measured) under three
+/// configurations: everything off, tracing on, and the admin server up
+/// with a scraper hammering /metrics throughout the run.
+void OverheadSection(core::BigDawg* dawg) {
+  constexpr int kClients = 4;
+  constexpr int kQueries = 200;
+  auto run = [&](bool tracing, bool admin) {
+    if (tracing) dawg->tracer().Enable();
+    exec::QueryService service(dawg, {.num_workers = 8, .max_in_flight = 64});
+    std::unique_ptr<obs::AdminServer> server;
+    std::atomic<bool> stop_scraper{false};
+    std::thread scraper;
+    if (admin) {
+      server = *exec::StartAdminServer(&service, dawg);
+      scraper = std::thread([&server, &stop_scraper] {
+        while (!stop_scraper.load()) {
+          auto scrape = obs::HttpGet("127.0.0.1", server->port(), "/metrics");
+          BIGDAWG_CHECK(scrape.ok() && scrape->status == 200);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
+    }
+    double qps =
+        RunClients(&service, kClients, std::chrono::milliseconds(0), kQueries);
+    if (admin) {
+      stop_scraper.store(true);
+      scraper.join();
+      server->Stop();
+    }
+    if (tracing) {
+      dawg->tracer().Disable();
+      (void)dawg->tracer().DrainFinished();
+    }
+    return qps;
+  };
+
+  // One throwaway warm-up run so caches and the allocator settle before
+  // anything is compared.
+  (void)run(false, false);
+  double baseline = run(false, false);
+  double traced = run(true, false);
+  double admin = run(false, true);
+
+  std::printf("\n---- S1b: observability overhead (no think time, %d clients "
+              "x %d queries) ----\n",
+              kClients, kQueries);
+  std::printf("%-28s %12s %10s\n", "configuration", "queries/s", "vs base");
+  auto line = [&](const char* name, double qps) {
+    std::printf("%-28s %12.1f %+9.2f%%\n", name, qps,
+                (qps / baseline - 1.0) * 100.0);
+  };
+  line("baseline (tracing off)", baseline);
+  line("tracing on (BIGDAWG_TRACE)", traced);
+  line("admin server + scraper", admin);
 }
 
 }  // namespace
@@ -118,5 +181,10 @@ int main() {
               "clients);\nthe service overlaps clients' think/handoff time, and "
               "read-only queries\non different engines hold compatible locks.\n",
               qps_at_8 / baseline_qps);
+
+  OverheadSection(&dawg);
+  std::printf("\nShape check: tracing and a live admin scraper should cost "
+              "low single\ndigits at most -- spans are thread-confined and "
+              "scrapes only read atomics.\n");
   return 0;
 }

@@ -28,6 +28,12 @@ run_suite() {
 if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   echo "==== plain build + ctest ===="
   run_suite build
+  # The embedded admin HTTP server, end to end over real loopback
+  # sockets (bind, scrape, parse, shut down) — isolated so a sandboxed
+  # environment that forbids listening sockets fails loudly here, not
+  # mysteriously mid-suite.
+  echo "==== admin server smoke (ctest -L admin) ===="
+  (cd build && ctest --output-on-failure -L admin)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then

@@ -1,15 +1,31 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 #include "common/status.h"
 
 namespace bigdawg {
 
 namespace {
+
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Guards the sink pointer and serializes emission, so a custom sink
+/// never sees interleaved lines and swapping sinks mid-traffic is safe.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,24 +40,69 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Applies BIGDAWG_LOG once before main() runs; harmless when unset.
+const bool g_env_level_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") *level = LogLevel::kDebug;
+  else if (lower == "info" || lower == "1") *level = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning" || lower == "2") *level = LogLevel::kWarn;
+  else if (lower == "error" || lower == "3") *level = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("BIGDAWG_LOG");
+  if (env == nullptr || env[0] == '\0') return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) SetLogLevel(level);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_log_level.load()), level_(level) {
+LogMessage::LogMessage(LogLevel level, const char* component, const char* file,
+                       int line)
+    : enabled_(static_cast<int>(level) >= g_log_level.load()),
+      level_(level),
+      component_(component) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+    stream_ << "[" << LevelName(level_);
+    if (component_ != nullptr && component_[0] != '\0') {
+      stream_ << " " << component_;
+    }
+    stream_ << " " << file << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+  if (!enabled_) return;
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level_, component_ == nullptr ? "" : component_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef BIGDAWG_COMMON_LOGGING_H_
 #define BIGDAWG_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,12 +13,36 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" | "info" | "warn"/"warning" | "error" (any case) or a
+/// numeric 0-3 into a level; false on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// Re-reads BIGDAWG_LOG from the environment and applies it (unset or
+/// unparsable leaves the level unchanged). Runs automatically once at
+/// process start; exposed so tests and long-lived tools can re-apply.
+void InitLogLevelFromEnv();
+
+/// \brief Where formatted log lines go. `component` is the subsystem tag
+/// ("" when untagged), `message` the fully formatted line (no trailing
+/// newline). Invoked under the logging mutex, so sinks need no locking of
+/// their own, but must not log re-entrantly.
+using LogSink =
+    std::function<void(LogLevel level, const char* component,
+                       const std::string& message)>;
+
+/// Installs a sink (tests capture output; embedders forward to their own
+/// logging stack). Null restores the default stderr sink. Thread-safe.
+void SetLogSink(LogSink sink);
+
 namespace internal {
 
 /// Stream-style log sink; emits on destruction.
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(LogLevel level, const char* file, int line)
+      : LogMessage(level, "", file, line) {}
+  LogMessage(LogLevel level, const char* component, const char* file,
+             int line);
   ~LogMessage();
 
   LogMessage(const LogMessage&) = delete;
@@ -32,6 +57,7 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  const char* component_;
   std::ostringstream stream_;
 };
 
@@ -64,6 +90,13 @@ class CheckFailureStream {
 #define BIGDAWG_LOG(level)                                                   \
   ::bigdawg::internal::LogMessage(::bigdawg::LogLevel::k##level, __FILE__,   \
                                   __LINE__)
+
+/// Component-tagged variant: BIGDAWG_CLOG(Warn, "exec") << ...; the tag
+/// shows up in the line prefix and reaches the sink separately, so an
+/// embedder can route subsystems independently.
+#define BIGDAWG_CLOG(level, component)                                       \
+  ::bigdawg::internal::LogMessage(::bigdawg::LogLevel::k##level, component,  \
+                                  __FILE__, __LINE__)
 
 /// Internal-invariant check; aborts with file:line on failure. Active in all
 /// build types (database kernels prefer loud corruption detection).

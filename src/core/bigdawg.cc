@@ -4,6 +4,7 @@
 #include <shared_mutex>
 
 #include "common/lexer.h"
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -166,11 +167,17 @@ Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
         FetchTableFrom(replica.engine, replica.native_name);
     if (!served.ok()) continue;
     if (trace != nullptr) failover_span.Tag("to", replica.engine);
+    BIGDAWG_CLOG(Warn, "core") << "failover: serving " << object << " from "
+                               << replica.engine << " (primary "
+                               << primary.engine << " down)";
     monitor_.RecordFailover(primary.engine);
     if (active_ctx_ != nullptr) ++active_ctx_->failovers;
     return served;
   }
   if (trace != nullptr) failover_span.Tag("error", "unavailable");
+  BIGDAWG_CLOG(Warn, "core") << "failover failed: no fresh replica can serve "
+                             << object << " (primary " << primary.engine
+                             << " down)";
   if (active_ctx_ != nullptr) active_ctx_->unavailable_engine = primary.engine;
   return Status::Unavailable("engine " + primary.engine +
                              " is down and no fresh replica can serve " + object);

@@ -26,6 +26,17 @@
 
 namespace bigdawg::core {
 
+/// One CAST site a query would perform, discovered by PlanCasts without
+/// executing anything. Steps appear in execution order: a CAST nested
+/// inside a scoped-subquery argument precedes the CAST that consumes it.
+struct CastPlanStep {
+  std::string source;         ///< the CAST's first argument, verbatim
+  std::string from_model;     ///< source data model ("?" when unresolvable)
+  std::string to_model;       ///< target data model
+  std::string source_engine;  ///< engine homing the source ("" for subqueries)
+  bool subquery = false;      ///< source is itself an island-scoped query
+};
+
 /// \brief The BigDAWG polystore facade.
 ///
 /// Owns the federation's storage engines, the catalog mapping logical
@@ -95,6 +106,12 @@ class BigDawg {
   /// cannot collide), the cooperative cancellation flag, and the
   /// deadline; exec::QueryService threads one per submitted query.
   Result<relational::Table> Execute(const std::string& query, ExecContext* ctx);
+
+  /// Dry-runs the CAST analysis of a query: parses out every CAST site
+  /// (recursing into scoped-subquery sources) and reports what data would
+  /// move where, touching only the catalog — no engine is contacted and
+  /// nothing executes. EXPLAIN is built on this.
+  Result<std::vector<CastPlanStep>> PlanCasts(const std::string& query);
 
   /// Islands registered in this polystore (the paper's eight).
   std::vector<std::string> ListIslands() const;
@@ -169,6 +186,9 @@ class BigDawg {
                                           const std::string& inner_query,
                                           ExecContext* ctx);
   Result<std::string> RewriteCasts(const std::string& query, ExecContext* ctx);
+  /// Recursive worker behind PlanCasts; appends steps in execution order.
+  Status PlanCastsInto(const std::string& query,
+                       std::vector<CastPlanStep>* steps);
 
   relational::Database relational_;
   array::ArrayEngine array_;

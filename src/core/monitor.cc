@@ -238,25 +238,32 @@ int64_t Monitor::TotalFailovers() const {
 
 void Monitor::ExportMetrics(obs::MetricsRegistry* registry) const {
   if (registry == nullptr) return;
+  // All series names go through obs::SeriesName so engine and island names
+  // are escaped per the exposition format.
   for (const EngineHealth& h : EngineHealthView()) {
-    const std::string label = "{engine=\"" + h.engine + "\"}";
-    registry->GetGauge("bigdawg_engine_calls" + label)
+    const std::vector<std::pair<std::string, std::string>> labels = {
+        {"engine", h.engine}};
+    registry->GetGauge(obs::SeriesName("bigdawg_engine_calls", labels))
         ->Set(static_cast<double>(h.calls));
-    registry->GetGauge("bigdawg_engine_faults" + label)
+    registry->GetGauge(obs::SeriesName("bigdawg_engine_faults", labels))
         ->Set(static_cast<double>(h.faults));
-    registry->GetGauge("bigdawg_engine_failovers" + label)
+    registry->GetGauge(obs::SeriesName("bigdawg_engine_failovers", labels))
         ->Set(static_cast<double>(h.failovers));
-    registry->GetGauge("bigdawg_engine_advisory_down" + label)
+    registry->GetGauge(obs::SeriesName("bigdawg_engine_advisory_down", labels))
         ->Set(h.advisory_down ? 1.0 : 0.0);
   }
   for (const IslandLatencyStats& s : AllIslandStats()) {
-    const std::string prefix = "bigdawg_island_exec";
-    const std::string island = "island=\"" + s.island + "\"";
-    registry->GetGauge(prefix + "_count{" + island + "}")
+    registry
+        ->GetGauge(obs::SeriesName("bigdawg_island_exec_count",
+                                   {{"island", s.island}}))
         ->Set(static_cast<double>(s.count));
-    registry->GetGauge(prefix + "_ms{" + island + ",stat=\"mean\"}")->Set(s.mean_ms);
-    registry->GetGauge(prefix + "_ms{" + island + ",stat=\"p50\"}")->Set(s.p50_ms);
-    registry->GetGauge(prefix + "_ms{" + island + ",stat=\"p95\"}")->Set(s.p95_ms);
+    auto stat_series = [&s](const char* stat) {
+      return obs::SeriesName("bigdawg_island_exec_ms",
+                             {{"island", s.island}, {"stat", stat}});
+    };
+    registry->GetGauge(stat_series("mean"))->Set(s.mean_ms);
+    registry->GetGauge(stat_series("p50"))->Set(s.p50_ms);
+    registry->GetGauge(stat_series("p95"))->Set(s.p95_ms);
   }
 }
 

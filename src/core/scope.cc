@@ -147,6 +147,56 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
   return text;
 }
 
+Result<std::vector<CastPlanStep>> BigDawg::PlanCasts(const std::string& query) {
+  std::vector<CastPlanStep> steps;
+  BIGDAWG_RETURN_NOT_OK(PlanCastsInto(query, &steps));
+  return steps;
+}
+
+Status BigDawg::PlanCastsInto(const std::string& query,
+                              std::vector<CastPlanStep>* steps) {
+  // Strip an island scope wrapper so we scan the body the island would see.
+  std::string text = query;
+  std::string island_name, inner;
+  if (TrySplitScope(text, islands_, &island_name, &inner)) text = inner;
+
+  int placeholder = 0;
+  while (true) {
+    CastSite site;
+    BIGDAWG_ASSIGN_OR_RETURN(bool found, FindFirstCast(text, &site));
+    if (!found) break;
+
+    CastPlanStep step;
+    step.source = site.arg0;
+    BIGDAWG_ASSIGN_OR_RETURN(DataModel model, DataModelFromString(site.arg1));
+    step.to_model = DataModelToString(model);
+
+    std::string sub_island, sub_inner;
+    if (TrySplitScope(site.arg0, islands_, &sub_island, &sub_inner)) {
+      step.subquery = true;
+      // A scoped subquery materializes as a relation before the cast.
+      step.from_model = "relation";
+      // Casts inside the subquery run before the cast that consumes it.
+      BIGDAWG_RETURN_NOT_OK(PlanCastsInto(site.arg0, steps));
+    } else {
+      Result<ObjectLocation> loc = catalog_.Lookup(site.arg0);
+      if (loc.ok()) {
+        step.source_engine = loc->engine;
+        step.from_model = DataModelNameForEngine(loc->engine);
+      } else {
+        step.from_model = "?";
+      }
+    }
+    steps->push_back(std::move(step));
+
+    // Splice the site out (as execution would with a temp name) and keep
+    // scanning for later CAST sites.
+    text = text.substr(0, site.begin) + "__plan_" +
+           std::to_string(placeholder++) + text.substr(site.end);
+  }
+  return Status::OK();
+}
+
 Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
                                                  const std::string& inner_query,
                                                  ExecContext* ctx) {

@@ -1,0 +1,102 @@
+#include "exec/admin_endpoints.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/monitor.h"
+#include "obs/trace.h"
+
+namespace bigdawg::exec {
+
+namespace {
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+/// Per-engine health + breaker view shared by /readyz; `ready` reports
+/// whether every engine is currently serving.
+std::string RenderReadiness(QueryService* service, core::BigDawg* dawg,
+                            bool* ready) {
+  *ready = true;
+  std::string body;
+  for (const core::EngineHealth& h : dawg->monitor().EngineHealthView()) {
+    const CircuitBreaker::State breaker = service->BreakerState(h.engine);
+    const bool serving =
+        !h.advisory_down && breaker != CircuitBreaker::State::kOpen;
+    if (!serving) *ready = false;
+    body += h.engine + ": " + (serving ? "serving" : "not-serving") +
+            " breaker=" + BreakerStateName(breaker) +
+            " advisory_down=" + (h.advisory_down ? "1" : "0") +
+            " calls=" + std::to_string(h.calls) +
+            " faults=" + std::to_string(h.faults) +
+            " failovers=" + std::to_string(h.failovers) + "\n";
+  }
+  return body;
+}
+
+}  // namespace
+
+void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
+                            core::BigDawg* dawg) {
+  server->Route("/metrics", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = service->DumpMetrics();
+    return response;
+  });
+
+  server->Route("/healthz", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+
+  server->Route("/readyz", [service, dawg](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    bool ready = true;
+    std::string engines = RenderReadiness(service, dawg, &ready);
+    response.status = ready ? 200 : 503;
+    response.body = (ready ? "ready\n" : "not ready\n") + engines;
+    return response;
+  });
+
+  server->Route("/traces", [dawg](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    std::vector<obs::TraceSpan> traces = dawg->tracer().FinishedTraces();
+    response.body = "traces: retained=" + std::to_string(traces.size());
+    if (!dawg->tracer().enabled()) {
+      response.body += " (tracing disabled; enable with BIGDAWG_TRACE=1)";
+    }
+    response.body += "\n";
+    for (const obs::TraceSpan& root : traces) {
+      response.body += obs::DumpSpanTree(root);
+    }
+    return response;
+  });
+
+  server->Route("/queries/slow", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = service->slow_log().Render();
+    return response;
+  });
+}
+
+Result<std::unique_ptr<obs::AdminServer>> StartAdminServer(
+    QueryService* service, core::BigDawg* dawg,
+    obs::AdminServerConfig config) {
+  auto server = std::make_unique<obs::AdminServer>(std::move(config));
+  RegisterAdminEndpoints(server.get(), service, dawg);
+  BIGDAWG_RETURN_NOT_OK(server->Start());
+  return server;
+}
+
+}  // namespace bigdawg::exec

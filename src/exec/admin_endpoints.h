@@ -1,0 +1,40 @@
+#ifndef BIGDAWG_EXEC_ADMIN_ENDPOINTS_H_
+#define BIGDAWG_EXEC_ADMIN_ENDPOINTS_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+#include "obs/admin_server.h"
+
+namespace bigdawg::exec {
+
+/// Registers the polystore's admin surface on `server` (call before
+/// Start()):
+///
+///   GET /metrics      Prometheus text exposition — byte-identical to
+///                     service->DumpMetrics() at the same instant
+///   GET /healthz      liveness: always 200
+///   GET /readyz       readiness: 200 when every engine is serving, 503
+///                     while any engine is advisory-down or its breaker
+///                     is open; the body lists per-engine health and
+///                     breaker state either way
+///   GET /traces       the tracer's retained span trees (DumpSpanTree,
+///                     oldest first); notes when tracing is disabled
+///   GET /queries/slow the slow-query log (SlowQueryLog::Render)
+///
+/// `service` and `dawg` must outlive the server.
+void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
+                            core::BigDawg* dawg);
+
+/// Convenience: constructs a server with `config`, registers the admin
+/// endpoints, and starts it. Port 0 (the default) binds an ephemeral
+/// port, readable via the returned server's port().
+Result<std::unique_ptr<obs::AdminServer>> StartAdminServer(
+    QueryService* service, core::BigDawg* dawg,
+    obs::AdminServerConfig config = {});
+
+}  // namespace bigdawg::exec
+
+#endif  // BIGDAWG_EXEC_ADMIN_ENDPOINTS_H_

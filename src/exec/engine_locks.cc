@@ -9,6 +9,22 @@ uint32_t EngineLockBitFor(const std::string& engine) {
   return ordinal < 0 ? 0 : 1u << ordinal;
 }
 
+std::string EngineLockSetToString(uint32_t mask) {
+  static const char* const kNames[kNumEngineLocks] = {
+      core::kEnginePostgres, core::kEngineSciDb,  core::kEngineAccumulo,
+      core::kEngineSStore,   core::kEngineTileDb, core::kEngineD4m};
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < kNumEngineLocks; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += kNames[i];
+  }
+  out += "}";
+  return out;
+}
+
 EngineLockManager::ScopedLocks& EngineLockManager::ScopedLocks::operator=(
     ScopedLocks&& other) noexcept {
   if (this != &other) {

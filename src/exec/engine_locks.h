@@ -25,6 +25,10 @@ inline constexpr size_t kNumEngineLocks = 6;
 /// Lock bit for a canonical engine name (core::kEngine*); 0 when unknown.
 uint32_t EngineLockBitFor(const std::string& engine);
 
+/// Human-readable lock set in canonical bit order: `{postgres,scidb}`;
+/// the empty mask renders as `{}`. EXPLAIN and test assertions use this.
+std::string EngineLockSetToString(uint32_t mask);
+
 /// \brief Reader/writer locks, one per storage engine.
 ///
 /// The engines synchronize their own containers internally, so these

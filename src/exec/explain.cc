@@ -1,0 +1,173 @@
+#include "exec/explain.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/monitor.h"
+#include "exec/engine_locks.h"
+#include "exec/query_analysis.h"
+
+namespace bigdawg::exec {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+/// Case-insensitive match of `word` at text[*pos], which must be followed
+/// by whitespace (a bare keyword with nothing after it does not count).
+bool ConsumeWord(const std::string& text, size_t* pos, const char* word) {
+  size_t p = *pos;
+  for (const char* w = word; *w != '\0'; ++w, ++p) {
+    if (p >= text.size() ||
+        std::toupper(static_cast<unsigned char>(text[p])) != *w) {
+      return false;
+    }
+  }
+  if (p >= text.size() || !std::isspace(static_cast<unsigned char>(text[p]))) {
+    return false;
+  }
+  while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) {
+    ++p;
+  }
+  *pos = p;
+  return true;
+}
+
+relational::Table LinesToTable(const std::string& column,
+                               const std::vector<std::string>& lines) {
+  relational::Table out{Schema({Field(column, DataType::kString)})};
+  for (const std::string& line : lines) out.AppendUnchecked({Value(line)});
+  return out;
+}
+
+/// One pass over the span tree: renders the per-span line and accumulates
+/// stage totals, engines touched, and cast volume.
+struct ProfileFold {
+  std::vector<std::string> lines;
+  std::map<std::string, double> stage_ms;
+  std::set<std::string> engines;
+  int64_t cast_rows = 0;
+  int64_t cast_bytes = 0;
+
+  void Walk(const obs::TraceSpan& span, int depth) {
+    // "shim:table" and "shim:array" fold into one "shim" stage bucket.
+    const std::string stage = span.name.substr(0, span.name.find(':'));
+    stage_ms[stage] += span.duration_ms;
+    std::string line(static_cast<size_t>(depth) * 2, ' ');
+    line += span.name;
+    for (const auto& [key, value] : span.tags) {
+      line += " " + key + "=" + value;
+      if (key == "engine" || key == "replica" ||
+          (span.name == "failover" && (key == "from" || key == "to"))) {
+        engines.insert(value);
+      }
+      if (span.name == "cast") {
+        if (key == "rows") cast_rows += std::atoll(value.c_str());
+        if (key == "bytes") cast_bytes += std::atoll(value.c_str());
+      }
+    }
+    line += " " + FormatMs(span.duration_ms) + "ms";
+    lines.push_back(std::move(line));
+    for (const obs::TraceSpan& child : span.children) Walk(child, depth + 1);
+  }
+};
+
+std::string RootTagOr(const obs::TraceSpan& root, const std::string& key,
+                      const char* fallback) {
+  const std::string* value = root.FindTag(key);
+  return value != nullptr ? *value : fallback;
+}
+
+}  // namespace
+
+ExplainMode ParseExplainPrefix(const std::string& query, std::string* body) {
+  *body = query;
+  size_t pos = 0;
+  while (pos < query.size() &&
+         std::isspace(static_cast<unsigned char>(query[pos]))) {
+    ++pos;
+  }
+  if (!ConsumeWord(query, &pos, "EXPLAIN")) return ExplainMode::kNone;
+  ExplainMode mode = ExplainMode::kPlan;
+  if (ConsumeWord(query, &pos, "ANALYZE")) mode = ExplainMode::kAnalyze;
+  *body = query.substr(pos);
+  return mode;
+}
+
+Result<relational::Table> BuildExplainPlan(core::BigDawg& dawg,
+                                           const std::string& query) {
+  // The cast plan is parsed first so a malformed query errors instead of
+  // producing a plan for the conservative exclusive-everything fallback.
+  BIGDAWG_ASSIGN_OR_RETURN(std::vector<core::CastPlanStep> casts,
+                           dawg.PlanCasts(query));
+  QueryPlan plan = AnalyzeQuery(dawg, query);
+  const std::string engine =
+      core::Monitor::PreferredEngineForIsland(plan.island);
+
+  std::vector<std::string> lines;
+  lines.push_back("query: " + Trim(query));
+  lines.push_back("island: " + plan.island +
+                  (engine.empty() ? "" : " (engine " + engine + ")"));
+  lines.push_back("locks: shared=" + EngineLockSetToString(plan.shared_engines) +
+                  " exclusive=" + EngineLockSetToString(plan.exclusive_engines));
+  if (plan.is_write) lines.push_back("write: yes");
+  if (casts.empty()) {
+    lines.push_back("casts: none");
+  } else {
+    int n = 0;
+    for (const core::CastPlanStep& step : casts) {
+      std::string source =
+          step.subquery ? "<subquery> " + step.source : step.source;
+      std::string from = step.from_model;
+      if (!step.source_engine.empty()) from += " on " + step.source_engine;
+      lines.push_back("cast " + std::to_string(++n) + ": " + source + " (" +
+                      from + ") -> " + step.to_model);
+    }
+  }
+  lines.push_back("not executed");
+  return LinesToTable("plan", lines);
+}
+
+relational::Table BuildAnalyzeProfile(const obs::TraceSpan& root) {
+  std::vector<std::string> lines;
+  lines.push_back("profile: island=" + RootTagOr(root, "island", "?") +
+                  " status=" + RootTagOr(root, "status", "?") +
+                  " attempts=" + RootTagOr(root, "attempts", "?") +
+                  " failovers=" + RootTagOr(root, "failovers", "0") +
+                  " total_ms=" + FormatMs(root.duration_ms));
+
+  ProfileFold fold;
+  for (const obs::TraceSpan& child : root.children) fold.Walk(child, 0);
+  lines.insert(lines.end(), fold.lines.begin(), fold.lines.end());
+
+  std::string totals = "stage totals:";
+  for (const auto& [stage, ms] : fold.stage_ms) {
+    totals += " " + stage + "=" + FormatMs(ms) + "ms";
+  }
+  lines.push_back(std::move(totals));
+  if (fold.cast_rows > 0 || fold.cast_bytes > 0) {
+    lines.push_back("cast volume: rows=" + std::to_string(fold.cast_rows) +
+                    " bytes=" + std::to_string(fold.cast_bytes));
+  }
+  if (!fold.engines.empty()) {
+    std::string engines = "engines touched:";
+    for (const std::string& engine : fold.engines) engines += " " + engine;
+    lines.push_back(std::move(engines));
+  }
+  const std::string attempts = RootTagOr(root, "attempts", "1");
+  const int64_t retries = std::atoll(attempts.c_str()) - 1;
+  lines.push_back("retries: " + std::to_string(retries < 0 ? 0 : retries));
+  return LinesToTable("profile", lines);
+}
+
+}  // namespace bigdawg::exec

@@ -1,0 +1,46 @@
+#ifndef BIGDAWG_EXEC_EXPLAIN_H_
+#define BIGDAWG_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/bigdawg.h"
+#include "obs/trace.h"
+#include "relational/table.h"
+
+namespace bigdawg::exec {
+
+/// How a submitted query wants to be explained (if at all).
+enum class ExplainMode {
+  kNone,     ///< no EXPLAIN prefix: run the query normally
+  kPlan,     ///< EXPLAIN: dry-run the analysis, execute nothing
+  kAnalyze,  ///< EXPLAIN ANALYZE: execute and return a per-stage profile
+};
+
+/// Detects a leading `EXPLAIN [ANALYZE]` prefix (case-insensitive,
+/// whitespace-tolerant) and strips it into *body. `EXPLAIN` followed by
+/// nothing is reported as kNone with the text unchanged, so a hypothetical
+/// object named "explain" still parses as a query.
+ExplainMode ParseExplainPrefix(const std::string& query, std::string* body);
+
+/// Builds the EXPLAIN output for `query` as a single string-column
+/// ("plan") table: resolved island and preferred engine, the engine lock
+/// sets the admission layer would take, and every CAST the query would
+/// perform (source, models, source engine) in execution order. Touches
+/// only the catalog — no engine is contacted, nothing executes. Errors
+/// (e.g. a malformed CAST) surface as the Status parsing would hit.
+Result<relational::Table> BuildExplainPlan(core::BigDawg& dawg,
+                                           const std::string& query);
+
+/// Folds a finished query span tree (the root the service records for a
+/// submitted query) into an EXPLAIN ANALYZE profile: a single
+/// string-column ("profile") table with one line per span — attempts,
+/// lock waits, breaker decisions, scope routing, casts, shims, failovers,
+/// backoffs, each with its %.3f duration and tags — followed by stage
+/// totals, cast volume (rows/bytes), the set of engines touched, and the
+/// retry count. Deterministic under an obs::FakeClock.
+relational::Table BuildAnalyzeProfile(const obs::TraceSpan& root);
+
+}  // namespace bigdawg::exec
+
+#endif  // BIGDAWG_EXEC_EXPLAIN_H_

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "core/monitor.h"
+#include "exec/explain.h"
 #include "exec/query_analysis.h"
 #include "obs/trace.h"
 
@@ -52,6 +54,7 @@ QueryService::QueryService(core::BigDawg* dawg, QueryServiceConfig config)
     : dawg_(dawg),
       config_(config),
       clock_(config.clock != nullptr ? config.clock : obs::Clock::System()),
+      slow_log_(config.slow_query_ms, config.slow_query_capacity),
       pool_(config.num_workers) {
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
@@ -168,21 +171,46 @@ void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
 
 Result<QueryHandle> QueryService::Submit(const std::string& query,
                                          SubmitOptions opts) {
+  std::string body;
+  const ExplainMode explain = ParseExplainPrefix(query, &body);
   bool has_deadline = false;
   obs::Clock::TimePoint deadline = DeadlineFor(clock_, opts, config_, &has_deadline);
   // Admission -> completion, queue wait included, measured on the
   // service clock so FakeClock tests see deterministic latencies.
   obs::Clock::TimePoint admitted_at = clock_->Now();
 
-  QueryRunner run = [this, query, opts, has_deadline, deadline, admitted_at](
+  if (explain == ExplainMode::kPlan) {
+    // EXPLAIN is admission-controlled like any query but is a pure
+    // dry-run: it reads the catalog, takes no engine locks, and contacts
+    // no engine.
+    QueryRunner run = [this, body, admitted_at](
+                          int64_t id, const std::shared_ptr<QueryState>& state)
+        -> Result<relational::Table> {
+      Result<relational::Table> plan_table =
+          state->cancelled.load(std::memory_order_relaxed)
+              ? Result<relational::Table>(
+                    Status::Cancelled("query cancelled while queued"))
+              : BuildExplainPlan(*dawg_, body);
+      RecordOutcome(id, "EXPLAIN", plan_table.status(),
+                    obs::Clock::ToMillis(clock_->Now() - admitted_at));
+      return plan_table;
+    };
+    return Admit(std::move(run), opts);
+  }
+  const bool analyze = explain == ExplainMode::kAnalyze;
+
+  QueryRunner run = [this, query = body, opts, has_deadline, deadline,
+                     admitted_at, analyze](
                         int64_t id, const std::shared_ptr<QueryState>& state)
       -> Result<relational::Table> {
     QueryPlan plan = AnalyzeQuery(*dawg_, query);
     const std::string island_engine =
         core::Monitor::PreferredEngineForIsland(plan.island);
 
+    // EXPLAIN ANALYZE needs the span tree to build its profile, so it
+    // traces the execution even when the process-wide tracer is off.
     std::unique_ptr<obs::Trace> trace;
-    if (dawg_->tracer().enabled()) {
+    if (analyze || dawg_->tracer().enabled()) {
       trace = std::make_unique<obs::Trace>(clock_, "query");
       trace->Tag(trace->root(), "island", plan.island);
     }
@@ -289,6 +317,10 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
       // deadline-capped backoff keeps the (bounded-retries) Unavailable;
       // an actual cancellation becomes the query's outcome.
       double delay_ms = backoff.NextDelayMs();
+      BIGDAWG_CLOG(Warn, "exec")
+          << "q" << id << " attempt " << attempts << " failed ("
+          << StatusCodeToString(result.status().code()) << "); retrying in "
+          << FormatMs(delay_ms) << "ms";
       Status slept;
       {
         obs::SpanGuard backoff_span(trace.get(), "backoff");
@@ -305,19 +337,49 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
 
     bool degraded = result.ok() && (attempts > 1 || failovers > 0);
     double latency_ms = obs::Clock::ToMillis(clock_->Now() - admitted_at);
+    Result<relational::Table> profile =
+        Status::Internal("no profile was built");
     if (trace != nullptr) {
       trace->Tag(trace->root(), "status",
                  StatusCodeToString(result.status().code()));
       trace->Tag(trace->root(), "attempts", std::to_string(attempts));
       trace->Tag(trace->root(), "failovers", std::to_string(failovers));
-      dawg_->tracer().Record(std::move(*trace).Finish());
+      obs::TraceSpan finished = std::move(*trace).Finish();
       trace.reset();
+      if (analyze && result.ok()) profile = BuildAnalyzeProfile(finished);
+      if (dawg_->tracer().enabled()) {
+        dawg_->tracer().Record(std::move(finished));
+      }
     }
     RecordOutcome(id, plan.island, result.status(), latency_ms,
                   attempts - 1, failovers, degraded);
+    MaybeRecordSlow(id, opts.session, query, plan.island, result.status(),
+                    latency_ms, attempts, failovers);
+    // ANALYZE swaps the result rows for the profile; failures keep their
+    // error so callers see exactly what a plain run would have seen.
+    if (analyze && result.ok()) return profile;
     return result;
   };
   return Admit(std::move(run), opts);
+}
+
+void QueryService::MaybeRecordSlow(int64_t query_id, int64_t session,
+                                   const std::string& query,
+                                   const std::string& island,
+                                   const Status& status, double latency_ms,
+                                   int64_t attempts, int64_t failovers) {
+  if (!slow_log_.ShouldLog(latency_ms)) return;
+  obs::SlowQueryEntry entry;
+  entry.query_id = query_id;
+  entry.session = session;
+  entry.query = query;
+  entry.island = island;
+  entry.status = StatusCodeToString(status.code());
+  entry.latency_ms = latency_ms;
+  entry.attempts = attempts;
+  entry.failovers = failovers;
+  BIGDAWG_CLOG(Warn, "exec") << "slow query " << entry.ToLine();
+  slow_log_.Record(std::move(entry));
 }
 
 CircuitBreaker& QueryService::BreakerFor(const std::string& engine) {
@@ -338,6 +400,8 @@ void QueryService::RecordEngineFailure(const std::string& engine) {
   if (BreakerFor(engine).RecordFailure()) {
     // Tripped: advertise the outage so replicated reads start failing
     // over in the core, and count the trip.
+    BIGDAWG_CLOG(Warn, "exec") << "circuit breaker opened for engine "
+                               << engine << "; marking advisory-down";
     dawg_->monitor().SetEngineAdvisoryDown(engine, true);
     c_breaker_trips_->Increment();
   }

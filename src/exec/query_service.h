@@ -19,6 +19,7 @@
 #include "exec/retry_policy.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 
 namespace bigdawg::exec {
 
@@ -43,6 +44,11 @@ struct QueryServiceConfig {
   /// Registry receiving the service's counters/gauges/histograms; null =
   /// a registry owned by the service (either way reachable via metrics()).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Slow-query threshold in ms; < 0 reads BIGDAWG_SLOW_MS from the
+  /// environment (falling back to 100ms), 0 logs every query.
+  double slow_query_ms = -1;
+  /// Bounded capacity of the slow-query ring.
+  size_t slow_query_capacity = obs::SlowQueryLog::kDefaultCapacity;
 };
 
 struct SubmitOptions {
@@ -159,6 +165,16 @@ class QueryService {
   /// Admission-controlled asynchronous submit. ResourceExhausted when
   /// the service is at max_in_flight; FailedPrecondition for a closed or
   /// unknown session.
+  ///
+  /// A query prefixed `EXPLAIN` is dry-run: scope resolution, lock-set
+  /// analysis, and the cast plan are computed and returned as a one-column
+  /// "plan" table, and nothing executes (no engine locks, no engines
+  /// touched). `EXPLAIN ANALYZE` executes the query normally — retries,
+  /// breakers, failover and all — and on success returns a one-column
+  /// "profile" table folded from the query's span tree (per-stage
+  /// durations, cast rows/bytes, engines touched) instead of the result;
+  /// a failed query returns its error. ANALYZE traces the query even when
+  /// the process-wide tracer is disabled.
   Result<QueryHandle> Submit(const std::string& query, SubmitOptions opts = {});
 
   /// Submit + Wait.
@@ -199,6 +215,12 @@ class QueryService {
   /// engine-health and island-latency view exported into it first.
   std::string DumpMetrics() const;
 
+  /// The bounded ring of queries that crossed the slow threshold
+  /// (config.slow_query_ms / BIGDAWG_SLOW_MS). The admin endpoint and
+  /// tests read or drain it.
+  obs::SlowQueryLog& slow_log() { return slow_log_; }
+  const obs::SlowQueryLog& slow_log() const { return slow_log_; }
+
   /// Current circuit-breaker state for an engine (kClosed when the engine
   /// has never failed).
   CircuitBreaker::State BreakerState(const std::string& engine) const;
@@ -219,6 +241,12 @@ class QueryService {
                      const Status& status, double latency_ms,
                      int64_t retries = 0, int64_t failovers = 0,
                      bool degraded = false);
+  /// Feeds the slow-query log (and the warn log) when `latency_ms`
+  /// crosses the threshold.
+  void MaybeRecordSlow(int64_t query_id, int64_t session,
+                       const std::string& query, const std::string& island,
+                       const Status& status, double latency_ms,
+                       int64_t attempts, int64_t failovers);
 
   /// The breaker guarding `engine`, created closed on first use.
   CircuitBreaker& BreakerFor(const std::string& engine);
@@ -232,6 +260,7 @@ class QueryService {
   QueryServiceConfig config_;
   const obs::Clock* clock_;
   EngineLockManager lock_mgr_;
+  obs::SlowQueryLog slow_log_;
 
   /// Backing registry when the config didn't share one.
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

@@ -1,0 +1,283 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace bigdawg::obs {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void SetIoTimeout(int fd, double timeout_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the end of the header block ("\r\n\r\n"), EOF, or the size
+/// cap. The admin surface is GET-only, so the body (if any) is ignored.
+enum class ReadResult { kOk, kTooLarge, kError };
+ReadResult ReadRequestHead(int fd, size_t max_bytes, std::string* head) {
+  char buf[1024];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() >= max_bytes) return ReadResult::kTooLarge;
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return head->empty() ? ReadResult::kError : ReadResult::kOk;
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return ReadResult::kOk;
+}
+
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) eol = head.find('\n');
+  if (eol == std::string::npos) eol = head.size();
+  std::vector<std::string> parts = SplitWhitespace(head.substr(0, eol));
+  if (parts.size() < 2) return false;
+  request->method = parts[0];
+  std::string target = parts[1];
+  size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request->path = target;
+  } else {
+    request->path = target.substr(0, question);
+    request->query = target.substr(question + 1);
+  }
+  return !request->path.empty() && request->path[0] == '/';
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerConfig config) : config_(config) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  if (running()) {
+    return Status::FailedPrecondition("admin server is already running");
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address: " + config_.bind_address);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 16) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(config_.num_workers);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() wakes the acceptor blocked in accept(); close() alone is
+  // not guaranteed to on every platform.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  pool_.reset();  // joins workers after in-flight requests drain
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void AdminServer::AcceptLoop() {
+  for (;;) {
+    int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown (or a fatal socket error) ends the server either way.
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      close(conn);
+      return;
+    }
+    SetIoTimeout(conn, config_.io_timeout_ms);
+    pool_->Submit([this, conn] { ServeConnection(conn); });
+  }
+}
+
+HttpResponse AdminServer::Dispatch(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return {405, "text/plain; charset=utf-8",
+            "method " + request.method + " not allowed\n"};
+  }
+  auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    std::string body = "no route " + request.path + "\nroutes:\n";
+    for (const auto& [path, handler] : routes_) body += "  " + path + "\n";
+    return {404, "text/plain; charset=utf-8", body};
+  }
+  return it->second(request);
+}
+
+void AdminServer::ServeConnection(int fd) {
+  std::string head;
+  HttpResponse response;
+  switch (ReadRequestHead(fd, config_.max_request_bytes, &head)) {
+    case ReadResult::kError:
+      close(fd);
+      return;
+    case ReadResult::kTooLarge:
+      response = {431, "text/plain; charset=utf-8", "request too large\n"};
+      break;
+    case ReadResult::kOk: {
+      HttpRequest request;
+      if (!ParseRequestLine(head, &request)) {
+        response = {400, "text/plain; charset=utf-8", "malformed request\n"};
+      } else {
+        response = Dispatch(request);
+      }
+      break;
+    }
+  }
+  WriteAll(fd, SerializeResponse(response));
+  close(fd);
+}
+
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path, double timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  SetIoTimeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::IOError("connect " + host + ":" + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    close(fd);
+    return Status::IOError("send failed");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  // Status line: HTTP/1.1 <code> <reason>.
+  size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::ParseError("malformed HTTP response");
+  }
+  std::vector<std::string> parts = SplitWhitespace(raw.substr(0, eol));
+  if (parts.size() < 2) return Status::ParseError("malformed status line");
+  HttpResponse response;
+  response.status = std::atoi(parts[1].c_str());
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::ParseError("missing header terminator");
+  }
+  std::string headers = raw.substr(eol + 2, header_end - eol - 2);
+  for (const std::string& line : Split(headers, '\n')) {
+    std::string trimmed = Trim(line);
+    if (StartsWith(ToLower(trimmed), "content-type:")) {
+      response.content_type = Trim(trimmed.substr(std::strlen("content-type:")));
+    }
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace bigdawg::obs

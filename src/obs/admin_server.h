@@ -1,0 +1,116 @@
+#ifndef BIGDAWG_OBS_ADMIN_SERVER_H_
+#define BIGDAWG_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+
+namespace bigdawg::obs {
+
+/// \brief A parsed admin request. Only the request line matters to the
+/// admin surface; headers are read (to find the end of the request) and
+/// discarded.
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string stripped)
+  std::string query;   // raw text after '?', "" when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+struct AdminServerConfig {
+  /// TCP port to bind; 0 asks the kernel for an ephemeral port (tests),
+  /// readable via port() after Start().
+  uint16_t port = 0;
+  /// Loopback by default: the admin surface is an operator tool, not a
+  /// public API.
+  std::string bind_address = "127.0.0.1";
+  /// Connection-handling workers (a common::ThreadPool, created on
+  /// Start). Scrapes are short, so a small pool suffices.
+  size_t num_workers = 2;
+  /// Request-size cap; larger requests get 431.
+  size_t max_request_bytes = 8192;
+  /// Per-connection socket send/receive timeout.
+  double io_timeout_ms = 5000;
+};
+
+/// \brief A minimal embedded HTTP/1.1 server for the admin surface
+/// (metrics scrapes, health probes, trace and slow-query dumps).
+///
+/// Off by default in every sense that matters: constructing one costs a
+/// few maps; the listening socket, the acceptor thread, and the worker
+/// pool only exist between Start() and Stop(). Requests are served off
+/// the repo's existing ThreadPool; each connection handles one request
+/// and closes (Connection: close), which keeps the state machine trivial
+/// and is exactly how Prometheus scrapes behave.
+///
+/// Routing is exact-path: register handlers with Route() before Start().
+/// Handlers run on pool workers, so they must be thread-safe; everything
+/// the admin endpoints expose already is (metrics registry, tracer ring,
+/// slow-query log, monitor).
+class AdminServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit AdminServer(AdminServerConfig config = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for exact path `path`. Call before Start();
+  /// routes are immutable while the server runs.
+  void Route(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the acceptor thread + worker pool.
+  /// FailedPrecondition when already running; IOError on socket failure.
+  Status Start();
+
+  /// Stops accepting, drains in-flight requests, joins every thread.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the kernel-assigned one); 0 when
+  /// not running.
+  uint16_t port() const { return port_; }
+
+  const AdminServerConfig& config() const { return config_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  AdminServerConfig config_;
+  std::map<std::string, Handler> routes_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Blocking one-shot HTTP GET against a local admin server — the scrape
+/// side used by tests, examples, and the check.sh smoke pass. Parses the
+/// status line and Content-Type; `body` is everything after the header
+/// block.
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path,
+                             double timeout_ms = 5000);
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_ADMIN_SERVER_H_

@@ -1,0 +1,269 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace bigdawg::obs {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+Status ParseLabels(const std::string& line, size_t* pos,
+                   std::vector<std::pair<std::string, std::string>>* labels) {
+  // *pos points at '{'.
+  ++*pos;
+  while (*pos < line.size() && line[*pos] != '}') {
+    size_t key_begin = *pos;
+    if (!IsNameStartChar(line[*pos])) {
+      return Status::ParseError("bad label name in: " + line);
+    }
+    while (*pos < line.size() && IsNameChar(line[*pos])) ++*pos;
+    std::string key = line.substr(key_begin, *pos - key_begin);
+    if (*pos >= line.size() || line[*pos] != '=') {
+      return Status::ParseError("expected '=' after label name in: " + line);
+    }
+    ++*pos;
+    if (*pos >= line.size() || line[*pos] != '"') {
+      return Status::ParseError("expected '\"' opening label value in: " + line);
+    }
+    ++*pos;
+    std::string value;
+    bool closed = false;
+    while (*pos < line.size()) {
+      char c = line[(*pos)++];
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (*pos >= line.size()) {
+          return Status::ParseError("dangling escape in label value: " + line);
+        }
+        char esc = line[(*pos)++];
+        if (esc == '\\') value += '\\';
+        else if (esc == '"') value += '"';
+        else if (esc == 'n') value += '\n';
+        else return Status::ParseError(std::string("bad escape '\\") + esc +
+                                       "' in label value: " + line);
+      } else {
+        value += c;
+      }
+    }
+    if (!closed) {
+      return Status::ParseError("unterminated label value in: " + line);
+    }
+    labels->emplace_back(std::move(key), std::move(value));
+    if (*pos < line.size() && line[*pos] == ',') ++*pos;
+  }
+  if (*pos >= line.size() || line[*pos] != '}') {
+    return Status::ParseError("unterminated label block in: " + line);
+  }
+  ++*pos;
+  return Status::OK();
+}
+
+Status ParseSampleLine(const std::string& line, ExpositionSeries* series) {
+  size_t pos = 0;
+  if (line.empty() || !IsNameStartChar(line[0])) {
+    return Status::ParseError("bad metric name in: " + line);
+  }
+  while (pos < line.size() && IsNameChar(line[pos])) ++pos;
+  series->name = line.substr(0, pos);
+  if (pos < line.size() && line[pos] == '{') {
+    Status parsed = ParseLabels(line, &pos, &series->labels);
+    if (!parsed.ok()) return parsed;
+  }
+  std::string value_text = Trim(line.substr(pos));
+  if (value_text.empty()) {
+    return Status::ParseError("missing value in: " + line);
+  }
+  char* end = nullptr;
+  series->value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    // Prometheus also allows +Inf/-Inf/NaN sample values; strtod on glibc
+    // accepts "inf"/"nan" spellings, so only truly malformed text lands here.
+    return Status::ParseError("bad sample value in: " + line);
+  }
+  return Status::OK();
+}
+
+/// Histogram-family invariants: per label-signature, cumulative buckets
+/// are non-decreasing and end at +Inf, `_count` equals the +Inf bucket,
+/// and `_sum` exists.
+Status ValidateHistogram(const ExpositionFamily& family) {
+  struct Group {
+    std::vector<double> bucket_values;  // document order
+    bool saw_inf = false;
+    double inf_value = 0;
+    bool saw_sum = false;
+    bool saw_count = false;
+    double count_value = 0;
+  };
+  std::map<std::string, Group> groups;
+  for (const ExpositionSeries& series : family.series) {
+    Group& group = groups[series.SignatureWithoutLe()];
+    if (series.suffix == "_bucket") {
+      const std::string* le = series.Label("le");
+      if (le == nullptr) {
+        return Status::ParseError("histogram bucket without le label: " +
+                                  series.name);
+      }
+      if (!group.bucket_values.empty() &&
+          series.value < group.bucket_values.back()) {
+        return Status::ParseError("non-monotonic cumulative buckets in " +
+                                  family.name);
+      }
+      group.bucket_values.push_back(series.value);
+      if (*le == "+Inf") {
+        group.saw_inf = true;
+        group.inf_value = series.value;
+      }
+    } else if (series.suffix == "_sum") {
+      group.saw_sum = true;
+    } else if (series.suffix == "_count") {
+      group.saw_count = true;
+      group.count_value = series.value;
+    } else {
+      return Status::ParseError("bare sample " + series.name +
+                                " in histogram family " + family.name);
+    }
+  }
+  for (const auto& [signature, group] : groups) {
+    const std::string where =
+        family.name + (signature.empty() ? "" : "{" + signature + "}");
+    if (!group.saw_inf) {
+      return Status::ParseError("histogram " + where + " missing +Inf bucket");
+    }
+    if (!group.saw_sum) {
+      return Status::ParseError("histogram " + where + " missing _sum");
+    }
+    if (!group.saw_count) {
+      return Status::ParseError("histogram " + where + " missing _count");
+    }
+    if (group.count_value != group.inf_value) {
+      return Status::ParseError("histogram " + where +
+                                " _count disagrees with its +Inf bucket");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateFamily(const ExpositionFamily& family) {
+  if (family.type == "histogram") return ValidateHistogram(family);
+  for (const ExpositionSeries& series : family.series) {
+    if (!series.suffix.empty()) {
+      return Status::ParseError("suffixed sample " + series.name + " in " +
+                                family.type + " family " + family.name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const std::string* ExpositionSeries::Label(const std::string& key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string ExpositionSeries::SignatureWithoutLe() const {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (k == "le") continue;
+    if (!out.empty()) out += ",";
+    out += k + "=\"" + v + "\"";
+  }
+  return out;
+}
+
+const ExpositionFamily* Exposition::Find(const std::string& name) const {
+  for (const ExpositionFamily& family : families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+size_t Exposition::TotalSeries() const {
+  size_t n = 0;
+  for (const ExpositionFamily& family : families) n += family.series.size();
+  return n;
+}
+
+Result<Exposition> ParseExposition(const std::string& text) {
+  if (!text.empty() && text.back() != '\n') {
+    return Status::ParseError("exposition must end with a newline");
+  }
+  Exposition exposition;
+  std::set<std::string> seen_families;
+  ExpositionFamily* current = nullptr;
+
+  std::vector<std::string> lines = Split(text, '\n');
+  if (!lines.empty()) lines.pop_back();  // the empty piece after the final \n
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::vector<std::string> parts = SplitWhitespace(line);
+      if (parts.size() >= 2 && parts[1] == "TYPE") {
+        if (parts.size() != 4) {
+          return Status::ParseError("malformed TYPE line: " + line);
+        }
+        if (parts[3] != "counter" && parts[3] != "gauge" &&
+            parts[3] != "histogram") {
+          return Status::ParseError("unknown metric type in: " + line);
+        }
+        if (!seen_families.insert(parts[2]).second) {
+          return Status::ParseError("duplicate TYPE for family " + parts[2] +
+                                    " (series must be contiguous)");
+        }
+        if (current != nullptr) {
+          Status validated = ValidateFamily(*current);
+          if (!validated.ok()) return validated;
+        }
+        exposition.families.push_back({parts[2], parts[3], {}});
+        current = &exposition.families.back();
+      }
+      continue;  // # HELP and other comments
+    }
+    ExpositionSeries series;
+    Status parsed = ParseSampleLine(line, &series);
+    if (!parsed.ok()) return parsed;
+    if (current == nullptr) {
+      return Status::ParseError("sample before any TYPE line: " + line);
+    }
+    if (series.name != current->name) {
+      bool suffixed = false;
+      if (current->type == "histogram" &&
+          StartsWith(series.name, current->name)) {
+        std::string suffix = series.name.substr(current->name.size());
+        if (suffix == "_bucket" || suffix == "_sum" || suffix == "_count") {
+          series.suffix = suffix;
+          suffixed = true;
+        }
+      }
+      if (!suffixed) {
+        return Status::ParseError("sample " + series.name +
+                                  " does not belong to family " + current->name);
+      }
+    }
+    current->series.push_back(std::move(series));
+  }
+  if (current != nullptr) {
+    Status validated = ValidateFamily(*current);
+    if (!validated.ok()) return validated;
+  }
+  return exposition;
+}
+
+}  // namespace bigdawg::obs

@@ -1,0 +1,62 @@
+#ifndef BIGDAWG_OBS_EXPOSITION_H_
+#define BIGDAWG_OBS_EXPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bigdawg::obs {
+
+/// \brief One sample line of a Prometheus text exposition.
+struct ExpositionSeries {
+  /// Full metric name as written (family + histogram suffix, if any).
+  std::string name;
+  /// "", "_bucket", "_sum", or "_count" relative to the owning family.
+  std::string suffix;
+  /// Parsed (unescaped) label key/value pairs, in document order.
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+
+  /// First label with `key`, or null.
+  const std::string* Label(const std::string& key) const;
+  /// The label block minus any `le` label — the identity that groups one
+  /// histogram's buckets with its _sum/_count.
+  std::string SignatureWithoutLe() const;
+};
+
+/// \brief A `# TYPE` family and its samples.
+struct ExpositionFamily {
+  std::string name;
+  std::string type;  // counter | gauge | histogram
+  std::vector<ExpositionSeries> series;
+};
+
+struct Exposition {
+  std::vector<ExpositionFamily> families;
+
+  const ExpositionFamily* Find(const std::string& name) const;
+  size_t TotalSeries() const;
+};
+
+/// \brief Parses and validates the Prometheus text exposition format as
+/// DumpPrometheus emits it. This is the conformance oracle behind the
+/// metrics tests and the admin /metrics smoke checks; it rejects:
+///
+///  * text not terminated by a newline, or unparsable sample lines;
+///  * samples appearing before any `# TYPE`, or whose name does not
+///    belong to the current family (histogram samples may carry the
+///    `_bucket`/`_sum`/`_count` suffixes);
+///  * duplicate `# TYPE` lines for one family (series of a family must
+///    be contiguous);
+///  * malformed label blocks — unterminated values, bad escapes (only
+///    \\, \", \n are legal), missing '=' or ',';
+///  * histogram families missing a `+Inf` bucket, with non-monotonic
+///    cumulative buckets, missing `_sum`, or whose `_count` differs from
+///    the `+Inf` bucket value.
+Result<Exposition> ParseExposition(const std::string& text);
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_EXPOSITION_H_

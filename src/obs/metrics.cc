@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 
 namespace bigdawg::obs {
 
@@ -62,6 +63,33 @@ std::string SuffixedSeries(const std::string& name, const std::string& suffix,
 }
 
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string SeriesName(
+    const std::string& family,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return family;
+  std::string out = family + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
 
 void Gauge::Add(double d) { AtomicAddDouble(&value_, d); }
 
@@ -126,44 +154,57 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 std::string MetricsRegistry::DumpPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  std::string last_family;
 
-  auto type_line = [&](const std::string& name, const char* type) {
-    const std::string family = FamilyOf(name);
-    if (family != last_family) {
+  // Series are grouped by family before emission so each family gets
+  // exactly one # TYPE line with all of its series contiguous — the
+  // exposition format's contract, which byte-sorted map iteration alone
+  // cannot guarantee (a bare `fam` series and `fam{...}` series can sort
+  // around an unrelated `famx` family).
+  auto emit_section = [&out](const auto& metrics, const char* type,
+                             const auto& emit_series) {
+    std::set<std::string> emitted;
+    for (const auto& [name, metric] : metrics) {
+      const std::string family = FamilyOf(name);
+      if (!emitted.insert(family).second) continue;
       out += "# TYPE " + family + " " + type + "\n";
-      last_family = family;
+      for (const auto& [series, series_metric] : metrics) {
+        if (FamilyOf(series) != family) continue;
+        emit_series(series, *series_metric);
+      }
     }
   };
 
-  for (const auto& [name, counter] : counters_) {
-    type_line(name, "counter");
-    out += name + " " + FormatValue(static_cast<double>(counter->Value())) +
-           "\n";
-  }
-  last_family.clear();
-  for (const auto& [name, gauge] : gauges_) {
-    type_line(name, "gauge");
-    out += name + " " + FormatValue(gauge->Value()) + "\n";
-  }
-  last_family.clear();
-  for (const auto& [name, hist] : histograms_) {
-    type_line(name, "histogram");
-    int64_t cumulative = 0;
-    for (size_t i = 0; i < hist->bounds().size(); ++i) {
-      cumulative += hist->BucketCount(i);
-      out += SuffixedSeries(name, "_bucket", "le",
-                            FormatValue(hist->bounds()[i])) +
-             " " + FormatValue(static_cast<double>(cumulative)) + "\n";
-    }
-    cumulative += hist->BucketCount(hist->bounds().size());
-    out += SuffixedSeries(name, "_bucket", "le", "+Inf") + " " +
-           FormatValue(static_cast<double>(cumulative)) + "\n";
-    out += SuffixedSeries(name, "_sum", "", "") + " " +
-           FormatValue(hist->Sum()) + "\n";
-    out += SuffixedSeries(name, "_count", "", "") + " " +
-           FormatValue(static_cast<double>(hist->Count())) + "\n";
-  }
+  emit_section(counters_, "counter",
+               [&out](const std::string& name, const Counter& counter) {
+                 out += name + " " +
+                        FormatValue(static_cast<double>(counter.Value())) + "\n";
+               });
+  emit_section(gauges_, "gauge",
+               [&out](const std::string& name, const Gauge& gauge) {
+                 out += name + " " + FormatValue(gauge.Value()) + "\n";
+               });
+  emit_section(
+      histograms_, "histogram",
+      [&out](const std::string& name, const Histogram& hist) {
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < hist.bounds().size(); ++i) {
+          cumulative += hist.BucketCount(i);
+          out += SuffixedSeries(name, "_bucket", "le",
+                                FormatValue(hist.bounds()[i])) +
+                 " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+        }
+        cumulative += hist.BucketCount(hist.bounds().size());
+        out += SuffixedSeries(name, "_bucket", "le", "+Inf") + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+        out += SuffixedSeries(name, "_sum", "", "") + " " +
+               FormatValue(hist.Sum()) + "\n";
+        // _count is emitted from the same cumulative tally as the +Inf
+        // bucket, not the separate count_ atomic: under concurrent
+        // Observe() calls the two can transiently disagree, and the
+        // exposition format requires _count == the +Inf bucket.
+        out += SuffixedSeries(name, "_count", "", "") + " " +
+               FormatValue(static_cast<double>(cumulative)) + "\n";
+      });
   return out;
 }
 

@@ -7,9 +7,23 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bigdawg::obs {
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double-quote, and newline become \\, \", and \n.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Builds a series name `family{k1="v1",k2="v2"}` with every label value
+/// escaped; no labels yields the bare family name. All call sites that
+/// interpolate runtime strings (island names, engine names) into series
+/// names go through this, so a hostile or merely unlucky label value can
+/// never corrupt the exposition.
+std::string SeriesName(
+    const std::string& family,
+    const std::vector<std::pair<std::string, std::string>>& labels);
 
 /// \brief Monotonically increasing counter. Increment is a single relaxed
 /// atomic add, safe from any thread with no lock.

@@ -1,0 +1,77 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bigdawg::obs {
+
+namespace {
+
+double ThresholdFromEnv() {
+  const char* env = std::getenv("BIGDAWG_SLOW_MS");
+  if (env == nullptr || env[0] == '\0') return SlowQueryLog::kDefaultThresholdMs;
+  char* end = nullptr;
+  double ms = std::strtod(env, &end);
+  if (end == env || ms < 0) return SlowQueryLog::kDefaultThresholdMs;
+  return ms;
+}
+
+}  // namespace
+
+std::string SlowQueryEntry::ToLine() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.3f", latency_ms);
+  std::string line = "q" + std::to_string(query_id);
+  line += session < 0 ? " session=-" : " session=" + std::to_string(session);
+  line += " island=" + island;
+  line += " status=" + status;
+  line += " latency_ms=" + std::string(buf);
+  line += " attempts=" + std::to_string(attempts);
+  line += " failovers=" + std::to_string(failovers);
+  line += " query=" + query;
+  return line;
+}
+
+SlowQueryLog::SlowQueryLog(double threshold_ms, size_t capacity)
+    : threshold_ms_(threshold_ms < 0 ? ThresholdFromEnv() : threshold_ms),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(entry));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  ++total_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out(ring_.begin(), ring_.end());
+  ring_.clear();
+  return out;
+}
+
+int64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string SlowQueryLog::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", threshold_ms_);
+  std::string out = "slow queries: threshold_ms=" + std::string(buf) +
+                    " retained=" + std::to_string(ring_.size()) +
+                    " total=" + std::to_string(total_) + "\n";
+  for (const SlowQueryEntry& entry : ring_) {
+    out += entry.ToLine();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bigdawg::obs

@@ -1,0 +1,77 @@
+#ifndef BIGDAWG_OBS_SLOW_QUERY_LOG_H_
+#define BIGDAWG_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bigdawg::obs {
+
+/// \brief One query that crossed the slow threshold: enough structure to
+/// answer "what was slow, how slow, and why" without re-running it.
+struct SlowQueryEntry {
+  int64_t query_id = -1;
+  int64_t session = -1;  // -1 = no session
+  std::string query;
+  std::string island;
+  std::string status;  // StatusCodeToString of the outcome
+  double latency_ms = 0;
+  int64_t attempts = 1;
+  int64_t failovers = 0;
+
+  /// Deterministic one-line rendering (used by the admin endpoint).
+  std::string ToLine() const;
+};
+
+/// \brief Bounded ring of recent slow queries.
+///
+/// The query service records every finished query whose end-to-end
+/// latency meets the threshold; the admin endpoint (and tests) drain or
+/// snapshot the ring. Memory is capped at `capacity` entries no matter
+/// how much traffic crosses the threshold. Internally synchronized —
+/// recorded from worker threads, read from the admin server's.
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+  static constexpr double kDefaultThresholdMs = 100.0;
+
+  /// `threshold_ms` < 0 reads BIGDAWG_SLOW_MS from the environment,
+  /// falling back to kDefaultThresholdMs when unset or unparsable. A
+  /// threshold of 0 logs every query (demos and tests).
+  explicit SlowQueryLog(double threshold_ms = -1,
+                        size_t capacity = kDefaultCapacity);
+
+  double threshold_ms() const { return threshold_ms_; }
+  void set_threshold_ms(double ms) { threshold_ms_ = ms; }
+  size_t capacity() const { return capacity_; }
+
+  /// True when a query with this latency belongs in the log.
+  bool ShouldLog(double latency_ms) const { return latency_ms >= threshold_ms_; }
+
+  void Record(SlowQueryEntry entry);
+
+  /// Snapshot of retained entries, oldest first.
+  std::vector<SlowQueryEntry> Entries() const;
+  /// Moves the retained entries out, leaving the ring empty.
+  std::vector<SlowQueryEntry> Drain();
+
+  /// Entries ever recorded (including those the ring has dropped).
+  int64_t total_recorded() const;
+
+  /// Deterministic multi-line rendering: a header (threshold, retained
+  /// vs total counts) plus one ToLine() per entry, oldest first.
+  std::string Render() const;
+
+ private:
+  double threshold_ms_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> ring_;
+  int64_t total_ = 0;
+};
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,122 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bigdawg {
+namespace {
+
+struct CapturedLine {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+/// Installs a capturing sink for the duration of a test and restores the
+/// default stderr sink (and kInfo threshold) on the way out.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kDebug);
+    SetLogSink([this](LogLevel level, const char* component,
+                      const std::string& message) {
+      lines_.push_back({level, component, message});
+    });
+  }
+
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kWarn);  // the compiled-in default
+    unsetenv("BIGDAWG_LOG");
+  }
+
+  std::vector<CapturedLine> lines_;
+};
+
+TEST_F(LoggingTest, SinkReceivesLevelComponentAndFormattedLine) {
+  BIGDAWG_CLOG(Warn, "exec") << "retrying q" << 7;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kWarn);
+  EXPECT_EQ(lines_[0].component, "exec");
+  // Prefix carries the level, the component tag, and file:line.
+  EXPECT_NE(lines_[0].message.find("[WARN exec "), std::string::npos)
+      << lines_[0].message;
+  EXPECT_NE(lines_[0].message.find("logging_test.cc:"), std::string::npos);
+  EXPECT_NE(lines_[0].message.find("retrying q7"), std::string::npos);
+}
+
+TEST_F(LoggingTest, UntaggedMacroLeavesTheComponentEmpty) {
+  BIGDAWG_LOG(Info) << "hello";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].component, "");
+  EXPECT_NE(lines_[0].message.find("[INFO "), std::string::npos);
+}
+
+TEST_F(LoggingTest, ThresholdDropsQuieterLevels) {
+  SetLogLevel(LogLevel::kWarn);
+  BIGDAWG_CLOG(Debug, "core") << "dropped";
+  BIGDAWG_CLOG(Info, "core") << "dropped too";
+  BIGDAWG_CLOG(Warn, "core") << "kept";
+  BIGDAWG_CLOG(Error, "core") << "kept too";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kWarn);
+  EXPECT_EQ(lines_[1].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("4", &level));
+  EXPECT_FALSE(ParseLogLevel("-1", &level));
+  // Failed parses leave the output untouched.
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvAppliesBigdawgLog) {
+  setenv("BIGDAWG_LOG", "error", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Unparsable values leave the current level alone.
+  setenv("BIGDAWG_LOG", "shout", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // So does unsetting the variable.
+  unsetenv("BIGDAWG_LOG");
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  setenv("BIGDAWG_LOG", "1", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresTheDefaultWithoutCrashing) {
+  SetLogSink(nullptr);
+  // Routed to stderr; just exercise the path.
+  BIGDAWG_CLOG(Debug, "test") << "default sink";
+  EXPECT_TRUE(lines_.empty());
+}
+
+}  // namespace
+}  // namespace bigdawg

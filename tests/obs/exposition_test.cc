@@ -1,0 +1,189 @@
+#include "obs/exposition.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace bigdawg::obs {
+namespace {
+
+TEST(ExpositionParserTest, ParsesARealRegistryDump) {
+  MetricsRegistry registry;
+  registry.GetCounter("q_total{outcome=\"completed\"}")->Increment(7);
+  registry.GetCounter("q_total{outcome=\"failed\"}")->Increment(2);
+  registry.GetGauge("q_in_flight")->Set(3);
+  Histogram* h = registry.GetHistogram("q_ms{island=\"ARRAY\"}", {1.0, 5.0});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Observe(50.0);
+
+  auto parsed = ParseExposition(registry.DumpPrometheus());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->families.size(), 3u);
+
+  const ExpositionFamily* counters = parsed->Find("q_total");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->type, "counter");
+  ASSERT_EQ(counters->series.size(), 2u);
+  EXPECT_EQ(*counters->series[0].Label("outcome"), "completed");
+  EXPECT_DOUBLE_EQ(counters->series[0].value, 7);
+
+  const ExpositionFamily* gauge = parsed->Find("q_in_flight");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->type, "gauge");
+  EXPECT_DOUBLE_EQ(gauge->series[0].value, 3);
+
+  // Histogram: 2 buckets + +Inf + _sum + _count = 5 series.
+  const ExpositionFamily* hist = parsed->Find("q_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->type, "histogram");
+  EXPECT_EQ(hist->series.size(), 5u);
+}
+
+TEST(ExpositionParserTest, EscapedLabelValuesRoundTrip) {
+  const std::string hostile = "a\\b\"c\nd,e{f}g";
+  MetricsRegistry registry;
+  registry.GetCounter(SeriesName("evil_total", {{"q", hostile}}))->Increment();
+
+  auto parsed = ParseExposition(registry.DumpPrometheus());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ExpositionFamily* family = parsed->Find("evil_total");
+  ASSERT_NE(family, nullptr);
+  ASSERT_EQ(family->series.size(), 1u);
+  const std::string* value = family->series[0].Label("q");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, hostile);  // byte-exact through escape + parse
+}
+
+TEST(ExpositionParserTest, EscapeLabelValueUnits) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(SeriesName("fam", {}), "fam");
+  EXPECT_EQ(SeriesName("fam", {{"k", "v"}, {"x", "y\"z"}}),
+            "fam{k=\"v\",x=\"y\\\"z\"}");
+}
+
+TEST(ExpositionParserTest, RejectsMissingTrailingNewline) {
+  auto parsed = ParseExposition("# TYPE a counter\na 1");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ExpositionParserTest, RejectsSamplesBeforeAnyType) {
+  auto parsed = ParseExposition("orphan 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
+TEST(ExpositionParserTest, RejectsDuplicateTypeLines) {
+  auto parsed = ParseExposition(
+      "# TYPE a counter\n"
+      "a{x=\"1\"} 1\n"
+      "# TYPE b counter\n"
+      "b 1\n"
+      "# TYPE a counter\n"
+      "a{x=\"2\"} 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("duplicate"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ExpositionParserTest, RejectsForeignSamplesInsideAFamily) {
+  auto parsed = ParseExposition(
+      "# TYPE a counter\n"
+      "other 1\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ExpositionParserTest, RejectsBadEscapesAndUnterminatedValues) {
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na{k=\"v\\q\"} 1\n").ok());
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na{k=\"v} 1\n").ok());
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na{k=\"v\"\n").ok());
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na{k=} 1\n").ok());
+}
+
+TEST(ExpositionParserTest, RejectsGarbageValues) {
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na pancake\n").ok());
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na\n").ok());
+  EXPECT_FALSE(ParseExposition("# TYPE a counter\na 1 trailing\n").ok());
+}
+
+TEST(ExpositionParserTest, HistogramMustCarryAnInfBucket) {
+  auto parsed = ParseExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\n"
+      "h_sum 3\n"
+      "h_count 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("+Inf"), std::string::npos);
+}
+
+TEST(ExpositionParserTest, HistogramCountMustMatchTheInfBucket) {
+  auto parsed = ParseExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 3\n"
+      "h_count 4\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("_count"), std::string::npos);
+}
+
+TEST(ExpositionParserTest, HistogramBucketsMustBeCumulative) {
+  auto parsed = ParseExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 3\n"
+      "h_count 5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("monotonic"), std::string::npos);
+}
+
+TEST(ExpositionParserTest, HistogramNeedsSumAndCount) {
+  EXPECT_FALSE(ParseExposition("# TYPE h histogram\n"
+                               "h_bucket{le=\"+Inf\"} 1\n"
+                               "h_count 1\n")
+                   .ok());
+  EXPECT_FALSE(ParseExposition("# TYPE h histogram\n"
+                               "h_bucket{le=\"+Inf\"} 1\n"
+                               "h_sum 1\n")
+                   .ok());
+}
+
+TEST(ExpositionParserTest, LabelledHistogramsValidatePerSignature) {
+  // Two label signatures interleaved under one family: each must satisfy
+  // the histogram invariants independently.
+  auto parsed = ParseExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{island=\"A\",le=\"1\"} 1\n"
+      "h_bucket{island=\"A\",le=\"+Inf\"} 2\n"
+      "h_sum{island=\"A\"} 2.5\n"
+      "h_count{island=\"A\"} 2\n"
+      "h_bucket{island=\"B\",le=\"1\"} 0\n"
+      "h_bucket{island=\"B\",le=\"+Inf\"} 1\n"
+      "h_sum{island=\"B\"} 9\n"
+      "h_count{island=\"B\"} 1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->TotalSeries(), 8u);
+}
+
+TEST(ExpositionParserTest, EmptyAndCommentOnlyDocumentsParse) {
+  EXPECT_TRUE(ParseExposition("").ok());
+  EXPECT_TRUE(ParseExposition("# HELP nothing here\n").ok());
+  auto parsed = ParseExposition("# HELP x\n# TYPE a counter\na 1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->families.size(), 1u);
+}
+
+TEST(ExpositionParserTest, RejectsUnknownMetricTypes) {
+  EXPECT_FALSE(ParseExposition("# TYPE a summary\na 1\n").ok());
+  EXPECT_FALSE(ParseExposition("# TYPE a\n").ok());
+}
+
+}  // namespace
+}  // namespace bigdawg::obs

@@ -140,6 +140,43 @@ TEST(MetricsRegistryTest, PrometheusExpositionRoundTrips) {
       std::string::npos);
 }
 
+TEST(MetricsRegistryTest, HistogramCountEqualsTheInfBucket) {
+  // The Prometheus contract _count == the +Inf bucket must hold even
+  // while observations land concurrently with the dump — both values are
+  // computed from one read of the per-bucket tallies, not two.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("c_ms", {1.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  h->Observe(9.0);
+  std::string dump = registry.DumpPrometheus();
+  EXPECT_NE(dump.find("c_ms_bucket{le=\"+Inf\"} 3"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("c_ms_count 3"), std::string::npos) << dump;
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscapedInTheDump) {
+  MetricsRegistry registry;
+  registry.GetCounter(SeriesName("esc_total", {{"q", "say \"hi\"\nback\\"}}))
+      ->Increment();
+  std::string dump = registry.DumpPrometheus();
+  EXPECT_NE(dump.find("esc_total{q=\"say \\\"hi\\\"\\nback\\\\\"} 1"),
+            std::string::npos)
+      << dump;
+  // The raw (unescaped) forms never leak into the exposition.
+  EXPECT_EQ(dump.find("say \"hi\"\nback"), std::string::npos);
+}
+
+TEST(SeriesNameTest, FormatsAndEscapes) {
+  EXPECT_EQ(SeriesName("bare", {}), "bare");
+  EXPECT_EQ(SeriesName("one", {{"k", "v"}}), "one{k=\"v\"}");
+  EXPECT_EQ(SeriesName("two", {{"a", "1"}, {"b", "2"}}),
+            "two{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(SeriesName("esc", {{"k", "a\"b\\c\nd"}}),
+            "esc{k=\"a\\\"b\\\\c\\nd\"}");
+  EXPECT_EQ(EscapeLabelValue("clean"), "clean");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
 TEST(SampleWindowTest, MeanSpansEverythingQuantilesSpanTheWindow) {
   SampleWindow window(4);
   for (double v : {100.0, 100.0, 1.0, 2.0, 3.0, 4.0}) window.Record(v);

@@ -120,6 +120,59 @@ TEST(TraceTest, DumpSpanTreeFormatsDeterministically) {
             "  scope 0.250ms +1.500ms engine=scidb\n");
 }
 
+TEST(TraceTest, DumpSpanTreeRendersABareRoot) {
+  // Root with no children, no tags, zero duration — one line, no
+  // trailing junk.
+  TraceSpan root;
+  root.name = "query";
+  EXPECT_EQ(DumpSpanTree(root), "query 0.000ms +0.000ms\n");
+}
+
+TEST(TraceTest, DumpSpanTreeIndentsDeepNesting) {
+  // Build a 6-deep chain by hand and check two spaces of indent per
+  // level — the renderer must not flatten or clip deep trees.
+  TraceSpan root;
+  root.name = "d0";
+  TraceSpan* cursor = &root;
+  for (int depth = 1; depth <= 5; ++depth) {
+    TraceSpan child;
+    child.name = "d" + std::to_string(depth);
+    child.start_ms = static_cast<double>(depth);
+    child.duration_ms = 0.5;
+    cursor->children.push_back(std::move(child));
+    cursor = &cursor->children.back();
+  }
+  EXPECT_EQ(DumpSpanTree(root),
+            "d0 0.000ms +0.000ms\n"
+            "  d1 1.000ms +0.500ms\n"
+            "    d2 2.000ms +0.500ms\n"
+            "      d3 3.000ms +0.500ms\n"
+            "        d4 4.000ms +0.500ms\n"
+            "          d5 5.000ms +0.500ms\n");
+}
+
+TEST(TraceTest, DumpSpanTreeOmitsTheTagBlockWhenUntagged) {
+  // Sibling spans where only one carries tags: untagged lines end right
+  // after the duration, and tag order is insertion order.
+  TraceSpan root;
+  root.name = "root";
+  root.duration_ms = 2.0;
+  TraceSpan tagged;
+  tagged.name = "tagged";
+  tagged.duration_ms = 1.0;
+  tagged.tags = {{"b", "2"}, {"a", "1"}};
+  TraceSpan untagged;
+  untagged.name = "untagged";
+  untagged.start_ms = 1.0;
+  untagged.duration_ms = 1.0;
+  root.children.push_back(std::move(tagged));
+  root.children.push_back(std::move(untagged));
+  EXPECT_EQ(DumpSpanTree(root),
+            "root 0.000ms +2.000ms\n"
+            "  tagged 0.000ms +1.000ms b=2 a=1\n"
+            "  untagged 1.000ms +1.000ms\n");
+}
+
 TEST(TracerTest, DisabledByDefaultAndTogglable) {
   // The constructor honors BIGDAWG_TRACE, and check.sh runs tier1 with
   // it forced on — the "default" this test pins is env-dependent.
