@@ -205,6 +205,10 @@ int main() {
   auto slow = obs::HttpGet("127.0.0.1", (*admin)->port(), "/queries/slow");
   BIGDAWG_CHECK(slow.ok()) << slow.status().ToString();
   std::printf("GET /queries/slow:\n%s", slow->body.c_str());
+  // The cast-result cache, warmed by the CAST(hr, relation) queries above.
+  auto cache = obs::HttpGet("127.0.0.1", (*admin)->port(), "/cache");
+  BIGDAWG_CHECK(cache.ok()) << cache.status().ToString();
+  std::printf("GET /cache:\n%s", cache->body.c_str());
   (*admin)->Stop();
   return 0;
 }

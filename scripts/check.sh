@@ -34,6 +34,12 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # mysteriously mid-suite.
   echo "==== admin server smoke (ctest -L admin) ===="
   (cd build && ctest --output-on-failure -L admin)
+  # Tier-1 again with the cast-result cache killed: every cross-model
+  # fetch takes the uncached path, so a correctness bug that the cache
+  # happens to mask (or a test that silently depends on caching) fails
+  # here, not in production with the kill switch thrown.
+  echo "==== tier1 with BIGDAWG_CAST_CACHE=0 ===="
+  (cd build && BIGDAWG_CAST_CACHE=0 ctest --output-on-failure -L tier1)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then

@@ -183,12 +183,30 @@ Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
                              " is down and no fresh replica can serve " + object);
 }
 
-Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
-  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
-  obs::SpanGuard shim_span(trace, "shim:table");
-  if (trace != nullptr) shim_span.Tag("object", object);
-  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
-  if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+namespace {
+
+/// CAST temporaries are written, read once, and dropped by the same
+/// execution; caching them would only churn the LRU.
+bool IsCastTemp(const std::string& object) {
+  return object.rfind("__cast_", 0) == 0;
+}
+
+}  // namespace
+
+void BigDawg::StampCacheOutcome(CastCacheOutcome outcome, int64_t bytes,
+                                bool ok, obs::SpanGuard* shim_span,
+                                obs::Trace* trace) {
+  if (active_ctx_ != nullptr) {
+    active_ctx_->cast_cache_outcome = CastCacheOutcomeName(outcome);
+    active_ctx_->cast_cache_bytes = ok ? bytes : -1;
+  }
+  if (trace != nullptr) shim_span->Tag("cache", CastCacheOutcomeName(outcome));
+}
+
+Result<relational::Table> BigDawg::FetchTableRouted(const std::string& object,
+                                                    const ObjectLocation& loc,
+                                                    obs::SpanGuard* shim_span,
+                                                    obs::Trace* trace) {
   if (EngineConsideredDown(loc.engine)) return FailoverFetch(object, loc);
   // Prefer a fresh relational replica: it serves the relation directly,
   // skipping the cross-model shim.
@@ -198,18 +216,53 @@ Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
     BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                              catalog_.ReplicaOn(object, kEnginePostgres));
     BIGDAWG_RETURN_NOT_OK(CheckEngine(kEnginePostgres));
-    if (trace != nullptr) shim_span.Tag("replica", kEnginePostgres);
+    if (trace != nullptr) shim_span->Tag("replica", kEnginePostgres);
     return relational_.GetTable(replica.native_name);
   }
   return FetchTableFrom(loc.engine, loc.native_name);
 }
 
-Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
+Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
   obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
-  obs::SpanGuard shim_span(trace, "shim:array");
+  obs::SpanGuard shim_span(trace, "shim:table");
   if (trace != nullptr) shim_span.Tag("object", object);
-  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  const ObjectLocation& loc = snap.location;
   if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+  // A postgres-homed relation is a native read, not a cast: there is no
+  // conversion to save, so the cache never interposes on it.
+  if (!cast_cache_.enabled() || loc.engine == kEnginePostgres ||
+      IsCastTemp(object)) {
+    return FetchTableRouted(object, loc, &shim_span, trace);
+  }
+  CastCacheKey key{object, snap.instance_id, snap.version, CastTarget::kTable,
+                   ""};
+  CastCacheOutcome outcome = CastCacheOutcome::kMiss;
+  int64_t bytes = 0;
+  Result<std::shared_ptr<const relational::Table>> cached =
+      cast_cache_.GetOrCompute<relational::Table>(
+          key,
+          [&]() -> Result<
+                    std::pair<std::shared_ptr<const relational::Table>,
+                              int64_t>> {
+            BIGDAWG_ASSIGN_OR_RETURN(
+                relational::Table t,
+                FetchTableRouted(object, loc, &shim_span, trace));
+            const int64_t size = EstimateTableBytes(t);
+            return std::make_pair(
+                std::make_shared<const relational::Table>(std::move(t)), size);
+          },
+          [&]() { return catalog_.SnapshotIsCurrent(object, snap); },
+          active_ctx_, &outcome, &bytes);
+  StampCacheOutcome(outcome, bytes, cached.ok(), &shim_span, trace);
+  if (!cached.ok()) return cached.status();
+  return **cached;
+}
+
+Result<array::Array> BigDawg::FetchArrayRouted(const std::string& object,
+                                               const ObjectLocation& loc,
+                                               obs::SpanGuard* shim_span,
+                                               obs::Trace* trace) {
   if (EngineConsideredDown(loc.engine)) {
     // Model-matched failover first: a fresh scidb replica serves the
     // array natively; otherwise any fresh replica serves via the shim.
@@ -241,7 +294,7 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
     BIGDAWG_ASSIGN_OR_RETURN(ReplicaLocation replica,
                              catalog_.ReplicaOn(object, kEngineSciDb));
     BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
-    if (trace != nullptr) shim_span.Tag("replica", kEngineSciDb);
+    if (trace != nullptr) shim_span->Tag("replica", kEngineSciDb);
     return array_.GetArray(replica.native_name);
   }
   if (loc.engine == kEngineTileDb) {
@@ -262,12 +315,42 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
   return TableToArray(t);
 }
 
-Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
+Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
   obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
-  obs::SpanGuard shim_span(trace, "shim:assoc");
+  obs::SpanGuard shim_span(trace, "shim:array");
   if (trace != nullptr) shim_span.Tag("object", object);
-  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  const ObjectLocation& loc = snap.location;
   if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+  // A scidb-homed array is a native read; no conversion to cache.
+  if (!cast_cache_.enabled() || loc.engine == kEngineSciDb ||
+      IsCastTemp(object)) {
+    return FetchArrayRouted(object, loc, &shim_span, trace);
+  }
+  CastCacheKey key{object, snap.instance_id, snap.version, CastTarget::kArray,
+                   ""};
+  CastCacheOutcome outcome = CastCacheOutcome::kMiss;
+  int64_t bytes = 0;
+  Result<std::shared_ptr<const array::Array>> cached =
+      cast_cache_.GetOrCompute<array::Array>(
+          key,
+          [&]() -> Result<
+                    std::pair<std::shared_ptr<const array::Array>, int64_t>> {
+            BIGDAWG_ASSIGN_OR_RETURN(
+                array::Array a, FetchArrayRouted(object, loc, &shim_span, trace));
+            const int64_t size = EstimateArrayBytes(a);
+            return std::make_pair(
+                std::make_shared<const array::Array>(std::move(a)), size);
+          },
+          [&]() { return catalog_.SnapshotIsCurrent(object, snap); },
+          active_ctx_, &outcome, &bytes);
+  StampCacheOutcome(outcome, bytes, cached.ok(), &shim_span, trace);
+  if (!cached.ok()) return cached.status();
+  return **cached;
+}
+
+Result<d4m::AssocArray> BigDawg::FetchAssocRouted(const std::string& object,
+                                                  const ObjectLocation& loc) {
   if (EngineConsideredDown(loc.engine)) {
     BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FailoverFetch(object, loc));
     return TableToAssoc(t);
@@ -299,6 +382,42 @@ Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
   }
   BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FetchAsTable(object));
   return TableToAssoc(t);
+}
+
+Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
+  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::SpanGuard shim_span(trace, "shim:assoc");
+  if (trace != nullptr) shim_span.Tag("object", object);
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  const ObjectLocation& loc = snap.location;
+  if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+  // A d4m-homed associative array is a native read; no conversion to
+  // cache. (The accumulo term x document incidence build, by contrast, is
+  // O(corpus) and one of the cache's best customers.)
+  if (!cast_cache_.enabled() || loc.engine == kEngineD4m ||
+      IsCastTemp(object)) {
+    return FetchAssocRouted(object, loc);
+  }
+  CastCacheKey key{object, snap.instance_id, snap.version, CastTarget::kAssoc,
+                   ""};
+  CastCacheOutcome outcome = CastCacheOutcome::kMiss;
+  int64_t bytes = 0;
+  Result<std::shared_ptr<const d4m::AssocArray>> cached =
+      cast_cache_.GetOrCompute<d4m::AssocArray>(
+          key,
+          [&]() -> Result<
+                    std::pair<std::shared_ptr<const d4m::AssocArray>, int64_t>> {
+            BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
+                                     FetchAssocRouted(object, loc));
+            const int64_t size = EstimateAssocBytes(a);
+            return std::make_pair(
+                std::make_shared<const d4m::AssocArray>(std::move(a)), size);
+          },
+          [&]() { return catalog_.SnapshotIsCurrent(object, snap); },
+          active_ctx_, &outcome, &bytes);
+  StampCacheOutcome(outcome, bytes, cached.ok(), &shim_span, trace);
+  if (!cached.ok()) return cached.status();
+  return **cached;
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 #include "array/array_engine.h"
 #include "common/result.h"
 #include "core/cast.h"
+#include "core/cast_cache.h"
 #include "core/catalog.h"
 #include "core/exec_context.h"
 #include "core/fault_injector.h"
@@ -89,6 +90,12 @@ class BigDawg {
   /// service-submitted queries) attempts, lock waits, backoffs, and
   /// breaker decisions.
   obs::Tracer& tracer() { return tracer_; }
+  /// The shared cast-result cache. Cross-model fetches (FetchAsTable of
+  /// an array, FetchAsArray of a relation, ...) consult it before any
+  /// shim runs; native same-model reads and CAST temporaries bypass it.
+  /// Version bumps (MarkObjectWritten) make stale entries unreachable;
+  /// they age out via LRU. BIGDAWG_CAST_CACHE=0 disables it at startup.
+  CastCache& cast_cache() { return cast_cache_; }
 
   /// Registers a logical object living on an engine. The native object
   /// must already exist there.
@@ -181,6 +188,23 @@ class BigDawg {
   Result<relational::Table> FetchTableFrom(const std::string& engine,
                                            const std::string& native);
 
+  // Routing bodies behind the cache-aware Fetch* wrappers: down-check,
+  // replica preference, engine dispatch. `shim_span` is the wrapper's
+  // span (for replica tags); `trace` may be null.
+  Result<relational::Table> FetchTableRouted(const std::string& object,
+                                             const ObjectLocation& loc,
+                                             obs::SpanGuard* shim_span,
+                                             obs::Trace* trace);
+  Result<array::Array> FetchArrayRouted(const std::string& object,
+                                        const ObjectLocation& loc,
+                                        obs::SpanGuard* shim_span,
+                                        obs::Trace* trace);
+  Result<d4m::AssocArray> FetchAssocRouted(const std::string& object,
+                                           const ObjectLocation& loc);
+  /// Stamps the cache outcome on the active context and the shim span.
+  void StampCacheOutcome(CastCacheOutcome outcome, int64_t bytes, bool ok,
+                         obs::SpanGuard* shim_span, obs::Trace* trace);
+
   // SCOPE/CAST machinery (implemented in scope.cc).
   Result<relational::Table> ExecuteScoped(const std::string& island_name,
                                           const std::string& inner_query,
@@ -200,6 +224,7 @@ class BigDawg {
   Catalog catalog_;
   Monitor monitor_;
   FaultInjector fault_;
+  CastCache cast_cache_;
   obs::Tracer tracer_;
   std::map<std::string, std::unique_ptr<Island>> islands_;
   /// Sequence for anonymous ExecContext temp namespaces.

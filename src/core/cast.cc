@@ -63,6 +63,27 @@ int64_t EstimateTableBytes(const relational::Table& table) {
   return bytes;
 }
 
+int64_t EstimateArrayBytes(const array::Array& array) {
+  int64_t chunk_volume = 1;
+  for (const array::Dimension& d : array.dims()) chunk_volume *= d.chunk_length;
+  const int64_t cells = static_cast<int64_t>(array.NumChunks()) * chunk_volume;
+  return cells * static_cast<int64_t>(array.num_attrs()) * 8 + cells / 8;
+}
+
+int64_t EstimateAssocBytes(const d4m::AssocArray& assoc) {
+  int64_t bytes = 0;
+  assoc.ForEach([&bytes](const std::string& row, const std::string& col,
+                         const Value& value) {
+    bytes += static_cast<int64_t>(row.size() + col.size());
+    if (value.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(value.string_unchecked().size());
+    } else {
+      bytes += 8;
+    }
+  });
+  return bytes;
+}
+
 Result<array::Array> TableToArray(const relational::Table& table,
                                   int64_t chunk_length) {
   std::vector<size_t> dim_cols;

@@ -30,6 +30,16 @@ const char* DataModelNameForEngine(const std::string& engine);
 /// engines, not an exact allocation count.
 int64_t EstimateTableBytes(const relational::Table& table);
 
+/// \brief Rough resident size of an array: allocated chunk storage
+/// (chunks x chunk volume x attributes x 8 bytes) plus the filled bitmap.
+/// Used by the cast cache for its byte accounting.
+int64_t EstimateArrayBytes(const array::Array& array);
+
+/// \brief Rough resident size of an associative array: key lengths plus
+/// 8 bytes per numeric value, string lengths for strings. Used by the
+/// cast cache for its byte accounting.
+int64_t EstimateAssocBytes(const d4m::AssocArray& assoc);
+
 // ---------------------------------------------------------------------------
 // Direct (in-memory, binary) casts — the efficient path the paper calls
 // for ("an access method that knows how to read binary data in parallel

@@ -12,6 +12,7 @@ Status Catalog::Register(ObjectLocation location) {
   Entry entry;
   std::string key = location.object;
   entry.primary = std::move(location);
+  entry.instance_id = next_instance_id_++;
   objects_.emplace(std::move(key), std::move(entry));
   return Status::OK();
 }
@@ -23,6 +24,25 @@ Result<ObjectLocation> Catalog::Lookup(const std::string& object) const {
     return Status::NotFound("no catalog entry for object: " + object);
   }
   return it->second.primary;
+}
+
+Result<ObjectSnapshot> Catalog::Snapshot(const std::string& object) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  return ObjectSnapshot{it->second.primary, it->second.instance_id,
+                        it->second.version};
+}
+
+bool Catalog::SnapshotIsCurrent(const std::string& object,
+                                const ObjectSnapshot& snapshot) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return false;
+  return it->second.instance_id == snapshot.instance_id &&
+         it->second.version == snapshot.version;
 }
 
 bool Catalog::Contains(const std::string& object) const {

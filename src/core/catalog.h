@@ -40,6 +40,18 @@ struct ObjectLocation {
   std::string native_name;  // name inside the owning engine
 };
 
+/// \brief A consistent point-in-time view of one catalog entry.
+///
+/// `instance_id` is assigned once per Register and survives migration
+/// (UpdateLocation) but not Remove+Register, so `(instance_id, version)`
+/// uniquely identifies the data a reader is about to observe — the pair
+/// the cast cache keys on.
+struct ObjectSnapshot {
+  ObjectLocation location;
+  int64_t instance_id = 0;
+  int64_t version = 0;
+};
+
 /// \brief A read replica of a logical object on another engine.
 ///
 /// The paper leaves "data replication across systems" as future work;
@@ -68,6 +80,13 @@ class Catalog {
   Status Register(ObjectLocation location);
 
   Result<ObjectLocation> Lookup(const std::string& object) const;
+  /// Location + instance id + primary version under one lock, so the
+  /// three can never be observed torn across a concurrent write.
+  Result<ObjectSnapshot> Snapshot(const std::string& object) const;
+  /// True when `object` still names the same registration at the same
+  /// version — i.e. a result read under `snapshot` is still current.
+  bool SnapshotIsCurrent(const std::string& object,
+                         const ObjectSnapshot& snapshot) const;
   bool Contains(const std::string& object) const;
 
   /// Repoints a logical object at a new engine/native name (migration).
@@ -104,12 +123,14 @@ class Catalog {
  private:
   struct Entry {
     ObjectLocation primary;
+    int64_t instance_id = 0;
     int64_t version = 0;
     std::vector<ReplicaLocation> replicas;
   };
 
   mutable std::shared_mutex mu_;
   std::map<std::string, Entry> objects_;
+  int64_t next_instance_id_ = 1;
 };
 
 }  // namespace bigdawg::core

@@ -49,6 +49,17 @@ struct ExecContext {
   std::string unavailable_engine;
   int64_t failovers = 0;
 
+  /// How the cast cache served the most recent Fetch* call on this
+  /// context: "hit", "miss", "coalesced", or null when the cache was not
+  /// consulted (native same-model read, temp object, or cache disabled).
+  /// RewriteCasts resets it before each fetch and copies it onto the
+  /// cast span's `cache` tag.
+  const char* cast_cache_outcome = nullptr;
+  /// Byte estimate recorded with the served cache entry (>= 0 when the
+  /// cache was consulted), so traced casts reuse it instead of re-scanning
+  /// the result.
+  int64_t cast_cache_bytes = -1;
+
   /// Time source for the deadline check and everything downstream that
   /// reads it (island latency timing, span timestamps). The query service
   /// injects its configured clock; tests inject a FakeClock. Never null.

@@ -115,6 +115,9 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
     const bool traced = ctx->trace != nullptr;
 
     // Resolve the source: a nested island-scoped query, or a catalog object.
+    // The cache-outcome slots must reflect the fetch below and nothing
+    // else, so each path resets them (a subquery's nested fetches set
+    // them too, but a subquery result itself is never cached).
     relational::Table source;
     std::string scope_island, scope_inner;
     if (TrySplitScope(site.arg0, islands_, &scope_island, &scope_inner)) {
@@ -123,6 +126,8 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
         cast_span.Tag("from", "relation");
       }
       BIGDAWG_ASSIGN_OR_RETURN(source, Execute(site.arg0, ctx));
+      ctx->cast_cache_outcome = nullptr;
+      ctx->cast_cache_bytes = -1;
     } else {
       if (traced) {
         cast_span.Tag("source", site.arg0);
@@ -130,6 +135,8 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
         cast_span.Tag("from",
                       loc.ok() ? DataModelNameForEngine(loc->engine) : "?");
       }
+      ctx->cast_cache_outcome = nullptr;
+      ctx->cast_cache_bytes = -1;
       BIGDAWG_ASSIGN_OR_RETURN(source, FetchAsTable(site.arg0));
     }
     BIGDAWG_ASSIGN_OR_RETURN(DataModel model, DataModelFromString(site.arg1));
@@ -138,8 +145,17 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
     if (traced) {
       cast_span.Tag("to", DataModelToString(model));
       cast_span.Tag("rows", std::to_string(source.num_rows()));
-      cast_span.Tag("bytes", std::to_string(EstimateTableBytes(source)));
+      // The O(cells) byte scan runs only when traced (the tag would be
+      // dropped otherwise), and a cache-served fetch already knows its
+      // size — reuse it rather than re-scanning the table.
+      cast_span.Tag("bytes",
+                    std::to_string(ctx->cast_cache_bytes >= 0
+                                       ? ctx->cast_cache_bytes
+                                       : EstimateTableBytes(source)));
       cast_span.Tag("temp", temp_name);
+      if (ctx->cast_cache_outcome != nullptr) {
+        cast_span.Tag("cache", ctx->cast_cache_outcome);
+      }
     }
     BIGDAWG_RETURN_NOT_OK(StoreTableAs(source, model, temp_name, ctx));
     text = text.substr(0, site.begin) + temp_name + text.substr(site.end);

@@ -1,5 +1,7 @@
 #include "exec/admin_endpoints.h"
 
+#include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -86,6 +88,30 @@ void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
   server->Route("/queries/slow", [service](const obs::HttpRequest&) {
     obs::HttpResponse response;
     response.body = service->slow_log().Render();
+    return response;
+  });
+
+  server->Route("/cache", [dawg](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    core::CastCache& cache = dawg->cast_cache();
+    const core::CastCacheStats stats = cache.Stats();
+    response.body =
+        "cast cache: " + std::string(cache.enabled() ? "enabled" : "disabled") +
+        " bytes=" + std::to_string(stats.bytes) + "/" +
+        std::to_string(cache.max_bytes()) +
+        " entries=" + std::to_string(stats.entries) +
+        " hits=" + std::to_string(stats.hits) +
+        " misses=" + std::to_string(stats.misses) +
+        " coalesced=" + std::to_string(stats.coalesced_waits) +
+        " evictions=" + std::to_string(stats.evictions) + "\n";
+    for (const core::CastCacheEntryView& entry : cache.DumpEntries()) {
+      char age[32];
+      std::snprintf(age, sizeof(age), "%.1f", entry.age_ms);
+      response.body += entry.key.ToString() +
+                       " bytes=" + std::to_string(entry.bytes) +
+                       " hits=" + std::to_string(entry.hits) + " age_ms=" + age +
+                       "\n";
+    }
     return response;
   });
 }

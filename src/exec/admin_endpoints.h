@@ -23,6 +23,11 @@ namespace bigdawg::exec {
 ///   GET /traces       the tracer's retained span trees (DumpSpanTree,
 ///                     oldest first); notes when tracing is disabled
 ///   GET /queries/slow the slow-query log (SlowQueryLog::Render)
+///   GET /cache        the cast-result cache: a totals line (enabled,
+///                     bytes/budget, entries, hit/miss/coalesced/eviction
+///                     counts) then one line per entry — key (object@
+///                     version#instance->target), bytes, hits, age — in
+///                     LRU order, most recently used first
 ///
 /// `service` and `dawg` must outlive the server.
 void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,

@@ -58,6 +58,9 @@ struct ProfileFold {
   std::set<std::string> engines;
   int64_t cast_rows = 0;
   int64_t cast_bytes = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_coalesced = 0;
 
   void Walk(const obs::TraceSpan& span, int depth) {
     // "shim:table" and "shim:array" fold into one "shim" stage bucket.
@@ -74,6 +77,11 @@ struct ProfileFold {
       if (span.name == "cast") {
         if (key == "rows") cast_rows += std::atoll(value.c_str());
         if (key == "bytes") cast_bytes += std::atoll(value.c_str());
+        if (key == "cache") {
+          if (value == "hit") ++cache_hits;
+          if (value == "miss") ++cache_misses;
+          if (value == "coalesced") ++cache_coalesced;
+        }
       }
     }
     line += " " + FormatMs(span.duration_ms) + "ms";
@@ -121,6 +129,7 @@ Result<relational::Table> BuildExplainPlan(core::BigDawg& dawg,
   lines.push_back("locks: shared=" + EngineLockSetToString(plan.shared_engines) +
                   " exclusive=" + EngineLockSetToString(plan.exclusive_engines));
   if (plan.is_write) lines.push_back("write: yes");
+  core::CastCache& cache = dawg.cast_cache();
   if (casts.empty()) {
     lines.push_back("casts: none");
   } else {
@@ -130,8 +139,22 @@ Result<relational::Table> BuildExplainPlan(core::BigDawg& dawg,
           step.subquery ? "<subquery> " + step.source : step.source;
       std::string from = step.from_model;
       if (!step.source_engine.empty()) from += " on " + step.source_engine;
-      lines.push_back("cast " + std::to_string(++n) + ": " + source + " (" +
-                      from + ") -> " + step.to_model);
+      std::string line = "cast " + std::to_string(++n) + ": " + source + " (" +
+                         from + ") -> " + step.to_model;
+      // Annotate whether the cast's source fetch would be served warm.
+      // Subqueries and native relational sources never consult the cache;
+      // everything else probes for the (source, current version) entry
+      // the executing fetch would look up.
+      if (cache.enabled() && !step.subquery &&
+          step.source_engine != core::kEnginePostgres) {
+        Result<core::ObjectSnapshot> snap = dawg.catalog().Snapshot(step.source);
+        if (snap.ok()) {
+          core::CastCacheKey key{step.source, snap->instance_id, snap->version,
+                                 core::CastTarget::kTable, ""};
+          line += cache.Contains(key) ? " [cache: warm]" : " [cache: cold]";
+        }
+      }
+      lines.push_back(std::move(line));
     }
   }
   lines.push_back("not executed");
@@ -158,6 +181,11 @@ relational::Table BuildAnalyzeProfile(const obs::TraceSpan& root) {
   if (fold.cast_rows > 0 || fold.cast_bytes > 0) {
     lines.push_back("cast volume: rows=" + std::to_string(fold.cast_rows) +
                     " bytes=" + std::to_string(fold.cast_bytes));
+  }
+  if (fold.cache_hits + fold.cache_misses + fold.cache_coalesced > 0) {
+    lines.push_back("cast cache: hits=" + std::to_string(fold.cache_hits) +
+                    " misses=" + std::to_string(fold.cache_misses) +
+                    " coalesced=" + std::to_string(fold.cache_coalesced));
   }
   if (!fold.engines.empty()) {
     std::string engines = "engines touched:";

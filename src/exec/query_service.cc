@@ -78,6 +78,13 @@ QueryService::QueryService(core::BigDawg* dawg, QueryServiceConfig config)
       metrics_->GetCounter("bigdawg_resilience_events_total{event=\"degraded\"}");
   g_in_flight_ = metrics_->GetGauge("bigdawg_queries_in_flight");
   g_sessions_open_ = metrics_->GetGauge("bigdawg_sessions_open");
+  if (config_.cast_cache_bytes == 0) {
+    dawg_->cast_cache().SetEnabled(false);
+  } else if (config_.cast_cache_bytes > 0) {
+    dawg_->cast_cache().SetMaxBytes(config_.cast_cache_bytes);
+  }
+  if (config_.clock != nullptr) dawg_->cast_cache().SetClock(config_.clock);
+  dawg_->cast_cache().BindMetrics(metrics_);
 }
 
 QueryService::~QueryService() { Drain(); }

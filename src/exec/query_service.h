@@ -47,6 +47,12 @@ struct QueryServiceConfig {
   /// Slow-query threshold in ms; < 0 reads BIGDAWG_SLOW_MS from the
   /// environment (falling back to 100ms), 0 logs every query.
   double slow_query_ms = -1;
+  /// Byte budget for the BigDawg's shared cast-result cache: < 0 keeps
+  /// the dawg's current setting (default 64 MiB, killable at startup with
+  /// BIGDAWG_CAST_CACHE=0), 0 disables the cache, > 0 sets the budget.
+  /// Either way the cache's counters are bound into this service's
+  /// metrics registry.
+  int64_t cast_cache_bytes = -1;
   /// Bounded capacity of the slow-query ring.
   size_t slow_query_capacity = obs::SlowQueryLog::kDefaultCapacity;
 };

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "array/array.h"
 #include "common/logging.h"
 #include "core/bigdawg.h"
 #include "exec/query_service.h"
@@ -140,6 +141,73 @@ TEST_F(ExplainTest, PlanWalksNestedSubqueryCasts) {
   EXPECT_TRUE((*steps)[1].subquery);
   EXPECT_EQ((*steps)[1].from_model, "relation");
   EXPECT_EQ((*steps)[1].to_model, "relation");
+}
+
+/// Registers a scidb-homed array whose fetch-as-relation is cacheable
+/// (native postgres sources bypass the cache, so the fixture's readings
+/// table never shows a temperature).
+void RegisterScidbArray(core::BigDawg* dawg) {
+  BIGDAWG_CHECK_OK(dawg->scidb().CreateArray(
+      "hr", {array::Dimension("i", 0, 4, 4)}, {"bpm"}));
+  for (int64_t i = 0; i < 4; ++i) {
+    BIGDAWG_CHECK_OK(dawg->scidb().SetCell("hr", {i}, {60.0 + i}));
+  }
+  BIGDAWG_CHECK_OK(dawg->RegisterObject("hr", core::kEngineSciDb, "hr"));
+}
+
+TEST_F(ExplainTest, PlanAnnotatesCacheTemperature) {
+  if (!dawg_.cast_cache().enabled()) {
+    GTEST_SKIP() << "cast cache disabled via BIGDAWG_CAST_CACHE";
+  }
+  RegisterScidbArray(&dawg_);
+  exec::QueryService service(&dawg_, {.num_workers = 1, .clock = &clock_});
+
+  const std::string query =
+      "EXPLAIN RELATIONAL(SELECT * FROM CAST(hr, relation))";
+  auto cold = service.ExecuteSync(query);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_NE(ColumnText(*cold).find("[cache: cold]"), std::string::npos)
+      << ColumnText(*cold);
+
+  // Warm the entry, then the dry-run plan reports it without executing.
+  ASSERT_TRUE(dawg_.FetchAsTable("hr").ok());
+  auto warm = service.ExecuteSync(query);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_NE(ColumnText(*warm).find("[cache: warm]"), std::string::npos)
+      << ColumnText(*warm);
+
+  // A version bump makes the same plan cold again.
+  BIGDAWG_CHECK_OK(dawg_.MarkObjectWritten("hr"));
+  auto stale = service.ExecuteSync(query);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_NE(ColumnText(*stale).find("[cache: cold]"), std::string::npos)
+      << ColumnText(*stale);
+}
+
+TEST_F(ExplainTest, AnalyzeReportsCacheOutcomes) {
+  if (!dawg_.cast_cache().enabled()) {
+    GTEST_SKIP() << "cast cache disabled via BIGDAWG_CAST_CACHE";
+  }
+  RegisterScidbArray(&dawg_);
+  exec::QueryService service(&dawg_, {.num_workers = 1, .clock = &clock_});
+
+  const std::string query =
+      "EXPLAIN ANALYZE RELATIONAL(SELECT * FROM CAST(hr, relation))";
+  auto first = service.ExecuteSync(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string text = ColumnText(*first);
+  EXPECT_NE(text.find("cache=miss"), std::string::npos) << text;
+  EXPECT_NE(text.find("cast cache: hits=0 misses=1 coalesced=0"),
+            std::string::npos)
+      << text;
+
+  auto second = service.ExecuteSync(query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  text = ColumnText(*second);
+  EXPECT_NE(text.find("cache=hit"), std::string::npos) << text;
+  EXPECT_NE(text.find("cast cache: hits=1 misses=0 coalesced=0"),
+            std::string::npos)
+      << text;
 }
 
 /// The EXPLAIN ANALYZE golden: the golden-trace scenario (postgres down,

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "array/array.h"
 #include "common/logging.h"
 #include "core/bigdawg.h"
 #include "exec/admin_endpoints.h"
@@ -243,6 +244,33 @@ TEST(AdminServerTest, SlowQueryEndpointServesTheLog) {
             std::string::npos);
   EXPECT_NE(response->body.find("SELECT COUNT(*) AS n FROM patients"),
             std::string::npos);
+}
+
+TEST(AdminServerTest, CacheEndpointRendersTotalsAndEntries) {
+  AdminStack stack;
+  if (!stack.dawg().cast_cache().enabled()) {
+    GTEST_SKIP() << "cast cache disabled via BIGDAWG_CAST_CACHE";
+  }
+  HttpResponse cold = stack.Get("/cache");
+  EXPECT_EQ(cold.status, 200);
+  EXPECT_NE(cold.body.find("cast cache: enabled"), std::string::npos);
+  EXPECT_NE(cold.body.find("entries=0"), std::string::npos);
+
+  // A cross-model fetch (scidb array as relation) populates the cache.
+  BIGDAWG_CHECK_OK(stack.dawg().scidb().CreateArray(
+      "hr", {array::Dimension("i", 0, 2, 2)}, {"bpm"}));
+  BIGDAWG_CHECK_OK(stack.dawg().scidb().SetCell("hr", {0}, {61.0}));
+  BIGDAWG_CHECK_OK(stack.dawg().scidb().SetCell("hr", {1}, {62.0}));
+  BIGDAWG_CHECK_OK(stack.dawg().RegisterObject("hr", core::kEngineSciDb, "hr"));
+  ASSERT_TRUE(stack.dawg().FetchAsTable("hr").ok());
+  ASSERT_TRUE(stack.dawg().FetchAsTable("hr").ok());
+
+  HttpResponse warm = stack.Get("/cache");
+  EXPECT_NE(warm.body.find("entries=1"), std::string::npos);
+  EXPECT_NE(warm.body.find("hits=1"), std::string::npos);
+  EXPECT_NE(warm.body.find("misses=1"), std::string::npos);
+  EXPECT_NE(warm.body.find("hr@v0#"), std::string::npos);
+  EXPECT_NE(warm.body.find("->relation"), std::string::npos);
 }
 
 TEST(AdminServerTest, ConcurrentScrapesAllSucceed) {
