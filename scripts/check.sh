@@ -34,6 +34,10 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # mysteriously mid-suite.
   echo "==== admin server smoke (ctest -L admin) ===="
   (cd build && ctest --output-on-failure -L admin)
+  # The streaming island in isolation: ingest storms, window boundaries,
+  # age-out exactly-once — quick to rerun when touching src/stream.
+  echo "==== stream island (ctest -L stream) ===="
+  (cd build && ctest --output-on-failure -L stream)
   # Tier-1 again with the cast-result cache killed: every cross-model
   # fetch takes the uncached path, so a correctness bug that the cache
   # happens to mask (or a test that silently depends on caching) fails
@@ -53,6 +57,11 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   # observability layer itself (normally off, hence the separate pass).
   echo "==== ThreadSanitizer tier1 + BIGDAWG_TRACE=1 ===="
   (cd build-tsan && BIGDAWG_TRACE=1 ctest --output-on-failure -L tier1)
+  # The streaming suites under the race detector: the MPSC front door,
+  # the executor's drain accounting, and the storm/chaos producers are
+  # exactly the code TSan exists for.
+  echo "==== ThreadSanitizer stream island (ctest -L stream) ===="
+  (cd build-tsan && ctest --output-on-failure -L stream)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then

@@ -7,10 +7,14 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "core/stream_ageout.h"
 
 namespace bigdawg::core {
 
-thread_local ExecContext* BigDawg::active_ctx_ = nullptr;
+ExecContext*& BigDawg::ActiveCtx() {
+  static thread_local ExecContext* ctx = nullptr;
+  return ctx;
+}
 
 BigDawg::BigDawg() {
   EngineSet engines;
@@ -52,6 +56,11 @@ BigDawg::BigDawg() {
                                          table_fetcher, /*degenerate=*/true));
   add(std::make_unique<ArrayIsland>("SCIDB", engines, &catalog_, array_fetcher,
                                     /*degenerate=*/true));
+
+  // The streaming island's ingest/advance paths go through the same fault
+  // plane as every other engine shim, so injected S-Store outages surface
+  // as typed ingest rejections and held batches (backpressure).
+  stream_.SetEngineCheck([this] { return CheckEngine(kEngineSStore); });
 }
 
 BigDawg::~BigDawg() { stream_.Stop(); }
@@ -88,11 +97,11 @@ Status BigDawg::CheckEngine(const std::string& engine) {
   if (!fault_.enabled()) return Status::OK();
   Status s = fault_.OnCall(engine);
   monitor_.RecordEngineCall(engine, s.ok());
-  if (!s.ok() && active_ctx_ != nullptr) {
-    active_ctx_->unavailable_engine = engine;
-    if (active_ctx_->trace != nullptr) {
+  if (!s.ok() && ActiveCtx() != nullptr) {
+    ActiveCtx()->unavailable_engine = engine;
+    if (ActiveCtx()->trace != nullptr) {
       // Event span: marks exactly where the fault plane failed the call.
-      obs::SpanGuard fault_span(active_ctx_->trace, "fault");
+      obs::SpanGuard fault_span(ActiveCtx()->trace, "fault");
       fault_span.Tag("engine", engine);
     }
   }
@@ -155,7 +164,7 @@ Result<relational::Table> BigDawg::FetchTableFrom(const std::string& engine,
 
 Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
                                                  const ObjectLocation& primary) {
-  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard failover_span(trace, "failover");
   if (trace != nullptr) failover_span.Tag("from", primary.engine);
   for (const ReplicaLocation& replica : catalog_.Replicas(object)) {
@@ -171,14 +180,14 @@ Result<relational::Table> BigDawg::FailoverFetch(const std::string& object,
                                << replica.engine << " (primary "
                                << primary.engine << " down)";
     monitor_.RecordFailover(primary.engine);
-    if (active_ctx_ != nullptr) ++active_ctx_->failovers;
+    if (ActiveCtx() != nullptr) ++ActiveCtx()->failovers;
     return served;
   }
   if (trace != nullptr) failover_span.Tag("error", "unavailable");
   BIGDAWG_CLOG(Warn, "core") << "failover failed: no fresh replica can serve "
                              << object << " (primary " << primary.engine
                              << " down)";
-  if (active_ctx_ != nullptr) active_ctx_->unavailable_engine = primary.engine;
+  if (ActiveCtx() != nullptr) ActiveCtx()->unavailable_engine = primary.engine;
   return Status::Unavailable("engine " + primary.engine +
                              " is down and no fresh replica can serve " + object);
 }
@@ -196,9 +205,9 @@ bool IsCastTemp(const std::string& object) {
 void BigDawg::StampCacheOutcome(CastCacheOutcome outcome, int64_t bytes,
                                 bool ok, obs::SpanGuard* shim_span,
                                 obs::Trace* trace) {
-  if (active_ctx_ != nullptr) {
-    active_ctx_->cast_cache_outcome = CastCacheOutcomeName(outcome);
-    active_ctx_->cast_cache_bytes = ok ? bytes : -1;
+  if (ActiveCtx() != nullptr) {
+    ActiveCtx()->cast_cache_outcome = CastCacheOutcomeName(outcome);
+    ActiveCtx()->cast_cache_bytes = ok ? bytes : -1;
   }
   if (trace != nullptr) shim_span->Tag("cache", CastCacheOutcomeName(outcome));
 }
@@ -223,7 +232,7 @@ Result<relational::Table> BigDawg::FetchTableRouted(const std::string& object,
 }
 
 Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
-  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard shim_span(trace, "shim:table");
   if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
@@ -253,7 +262,7 @@ Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
                 std::make_shared<const relational::Table>(std::move(t)), size);
           },
           [&]() { return catalog_.SnapshotIsCurrent(object, snap); },
-          active_ctx_, &outcome, &bytes);
+          ActiveCtx(), &outcome, &bytes);
   StampCacheOutcome(outcome, bytes, cached.ok(), &shim_span, trace);
   if (!cached.ok()) return cached.status();
   return **cached;
@@ -278,7 +287,7 @@ Result<array::Array> BigDawg::FetchArrayRouted(const std::string& object,
       }
       BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
       monitor_.RecordFailover(loc.engine);
-      if (active_ctx_ != nullptr) ++active_ctx_->failovers;
+      if (ActiveCtx() != nullptr) ++ActiveCtx()->failovers;
       return array_.GetArray(replica.native_name);
     }
     BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, FailoverFetch(object, loc));
@@ -316,7 +325,7 @@ Result<array::Array> BigDawg::FetchArrayRouted(const std::string& object,
 }
 
 Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
-  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard shim_span(trace, "shim:array");
   if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
@@ -343,7 +352,7 @@ Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
                 std::make_shared<const array::Array>(std::move(a)), size);
           },
           [&]() { return catalog_.SnapshotIsCurrent(object, snap); },
-          active_ctx_, &outcome, &bytes);
+          ActiveCtx(), &outcome, &bytes);
   StampCacheOutcome(outcome, bytes, cached.ok(), &shim_span, trace);
   if (!cached.ok()) return cached.status();
   return **cached;
@@ -385,7 +394,7 @@ Result<d4m::AssocArray> BigDawg::FetchAssocRouted(const std::string& object,
 }
 
 Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
-  obs::Trace* trace = active_ctx_ != nullptr ? active_ctx_->trace : nullptr;
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard shim_span(trace, "shim:assoc");
   if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
@@ -414,7 +423,7 @@ Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
                 std::make_shared<const d4m::AssocArray>(std::move(a)), size);
           },
           [&]() { return catalog_.SnapshotIsCurrent(object, snap); },
-          active_ctx_, &outcome, &bytes);
+          ActiveCtx(), &outcome, &bytes);
   StampCacheOutcome(outcome, bytes, cached.ok(), &shim_span, trace);
   if (!cached.ok()) return cached.status();
   return **cached;
@@ -584,6 +593,34 @@ Result<int64_t> BigDawg::RefreshReplicas(const std::string& object) {
     ++refreshed;
   }
   return refreshed;
+}
+
+// ---------------------------------------------------------------------------
+// Stream age-out
+// ---------------------------------------------------------------------------
+
+Status BigDawg::EnableStreamAgeOut() { return EnableStreamAgeOut({}); }
+
+Status BigDawg::EnableStreamAgeOut(const StreamAgeOutConfig& config) {
+  auto pipeline = std::make_unique<StreamAgeOut>(this, config);
+  BIGDAWG_RETURN_NOT_OK(pipeline->Attach());
+  stream_ageout_ = std::move(pipeline);
+  return Status::OK();
+}
+
+Status BigDawg::StoreStreamHistory(const std::string& object,
+                                   const relational::Table& table) {
+  // Writes never fail over — a down array engine fails the store (the
+  // age-out pipeline keeps the rows pending and retries).
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));
+  BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TableToArray(table));
+  BIGDAWG_RETURN_NOT_OK(array_.PutArray(object, std::move(a)));
+  if (catalog_.Lookup(object).ok()) {
+    // Existing history object: bump its version so the cast cache drops
+    // every pre-flush entry.
+    return catalog_.MarkPrimaryWritten(object);
+  }
+  return catalog_.Register({object, kEngineSciDb, object});
 }
 
 Result<int64_t> BigDawg::ApplyMigrations() {

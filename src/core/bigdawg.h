@@ -27,6 +27,9 @@
 
 namespace bigdawg::core {
 
+class StreamAgeOut;
+struct StreamAgeOutConfig;
+
 /// One CAST site a query would perform, discovered by PlanCasts without
 /// executing anything. Steps appear in execution order: a CAST nested
 /// inside a scoped-subquery argument precedes the CAST that consumes it.
@@ -160,6 +163,25 @@ class BigDawg {
   /// number of objects migrated.
   Result<int64_t> ApplyMigrations();
 
+  // ---- Stream age-out (streaming island -> array engine) ----
+
+  /// Installs the age-out pipeline: rows the stream engine's retention
+  /// evicts are batched and CAST into the array engine as per-stream
+  /// `<stream>__history` objects, each flush bumping the object's catalog
+  /// version so cached cross-model reads can never serve stale bytes.
+  /// Call after streams are defined and before sstore().Start().
+  Status EnableStreamAgeOut();
+  Status EnableStreamAgeOut(const StreamAgeOutConfig& config);
+  /// The installed pipeline, or null when not enabled.
+  StreamAgeOut* stream_ageout() { return stream_ageout_.get(); }
+
+  /// Stores a relation as `object` on the array engine and registers it
+  /// in the catalog (bumping the version when it already exists). The
+  /// age-out pipeline's store primitive; goes through the fault plane
+  /// like every other engine write.
+  Status StoreStreamHistory(const std::string& object,
+                            const relational::Table& table);
+
  private:
   /// Stores a relation under `object` in the target model. When
   /// `temp_owner` is non-null the object is registered as a CAST
@@ -227,14 +249,20 @@ class BigDawg {
   CastCache cast_cache_;
   obs::Tracer tracer_;
   std::map<std::string, std::unique_ptr<Island>> islands_;
+  /// The stream -> array-engine age-out pipeline (null until enabled).
+  std::unique_ptr<StreamAgeOut> stream_ageout_;
   /// Sequence for anonymous ExecContext temp namespaces.
   std::atomic<int64_t> ctx_seq_{0};
   /// The context of the execution running on this thread, so engine
   /// shims reached through island fetcher lambdas (which carry no
   /// context) can stamp resilience bookkeeping onto it. Set by
   /// Execute(query, ctx), restored on exit (nested Execute calls share
-  /// the outer context).
-  static thread_local ExecContext* active_ctx_;
+  /// the outer context). A function-local thread_local behind an
+  /// accessor rather than a static thread_local data member: GCC's
+  /// extern-TLS wrapper for the data-member form trips a
+  /// -fsanitize=null false positive ("store to null pointer") when the
+  /// member is written from another translation unit.
+  static ExecContext*& ActiveCtx();
   /// Guards assoc_store_: unlike the engines, which synchronize
   /// internally, the middleware-resident associative store is a plain
   /// map. The accessor above is for single-threaded loading only.

@@ -190,6 +190,24 @@ Result<relational::Table> StreamIsland::Execute(const std::string& query) {
     return RowsAsStringTable(engines_.stream->TakeAlerts());
   }
 
+  if (command == "STREAMS") {
+    if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    relational::Table out{Schema({Field("stream", DataType::kString),
+                                  Field("retention", DataType::kInt64),
+                                  Field("buffered", DataType::kInt64),
+                                  Field("total_appended", DataType::kInt64),
+                                  Field("trigger", DataType::kString),
+                                  Field("windows", DataType::kInt64)})};
+    for (const stream::StreamInfo& info : engines_.stream->ListStreams()) {
+      out.AppendUnchecked({Value(info.name),
+                           Value(static_cast<int64_t>(info.retention)),
+                           Value(static_cast<int64_t>(info.buffered)),
+                           Value(info.total_appended), Value(info.trigger),
+                           Value(static_cast<int64_t>(info.windows.size()))});
+    }
+    return out;
+  }
+
   BIGDAWG_ASSIGN_OR_RETURN(std::string name, cur.ExpectIdentifier());
   if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
 
@@ -209,6 +227,24 @@ Result<relational::Table> StreamIsland::Execute(const std::string& query) {
     BIGDAWG_ASSIGN_OR_RETURN(Schema schema, engines_.stream->TableSchema(name));
     BIGDAWG_ASSIGN_OR_RETURN(std::vector<Row> rows, engines_.stream->TableScan(name));
     return relational::Table(std::move(schema), std::move(rows));
+  }
+  if (command == "AGGREGATE") {
+    // The window's incrementally maintained per-column aggregates —
+    // answered from the aggregate bank in O(columns), never by
+    // rescanning window rows.
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<stream::ColumnAggregate> aggs,
+                             engines_.stream->WindowAggregates(name));
+    relational::Table out{Schema({Field("column", DataType::kString),
+                                  Field("count", DataType::kInt64),
+                                  Field("sum", DataType::kDouble),
+                                  Field("min", DataType::kDouble),
+                                  Field("max", DataType::kDouble),
+                                  Field("avg", DataType::kDouble)})};
+    for (const stream::ColumnAggregate& a : aggs) {
+      out.AppendUnchecked({Value(a.column), Value(a.agg.count), Value(a.agg.sum),
+                           Value(a.agg.min), Value(a.agg.max), Value(a.agg.avg)});
+    }
+    return out;
   }
   return Status::InvalidArgument("unknown STREAM island command: " + command);
 }

@@ -132,7 +132,7 @@ class StreamIsland final : public Island {
   std::string name() const override { return "STREAM"; }
   Result<relational::Table> Execute(const std::string& query) override;
   std::string language_summary() const override {
-    return "STREAM / WINDOW / TABLE / ALERTS";
+    return "STREAM / WINDOW / AGGREGATE / TABLE / ALERTS / STREAMS";
   }
 
  private:

@@ -298,20 +298,20 @@ Result<relational::Table> BigDawg::Execute(const std::string& query,
   // are dropped when the outermost Execute finishes — results are always
   // materialized tables, so temps never outlive the query.
   // The guard also publishes this execution's context to the thread
-  // (active_ctx_), so engine shims reached through context-free island
+  // (ActiveCtx()), so engine shims reached through context-free island
   // fetchers can stamp resilience bookkeeping onto it.
   struct DepthGuard {
     BigDawg* dawg;
     ExecContext* ctx;
     ExecContext* prev_active;
     DepthGuard(BigDawg* d, ExecContext* c)
-        : dawg(d), ctx(c), prev_active(active_ctx_) {
-      active_ctx_ = c;
+        : dawg(d), ctx(c), prev_active(ActiveCtx()) {
+      ActiveCtx() = c;
       ++ctx->depth;
     }
     ~DepthGuard() {
       if (--ctx->depth == 0) dawg->ClearTemporaries(ctx);
-      active_ctx_ = prev_active;
+      ActiveCtx() = prev_active;
     }
   } guard(this, ctx);
 

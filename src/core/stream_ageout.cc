@@ -1,0 +1,144 @@
+#include "core/stream_ageout.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "core/bigdawg.h"
+#include "relational/table.h"
+
+namespace bigdawg::core {
+
+StreamAgeOut::StreamAgeOut(BigDawg* dawg, StreamAgeOutConfig config)
+    : dawg_(dawg), config_(std::move(config)) {}
+
+Status StreamAgeOut::Attach() {
+  if (config_.flush_rows == 0) {
+    return Status::InvalidArgument("flush_rows must be > 0");
+  }
+  // Snapshot the schemas up front: the age-out handler runs on the
+  // executor thread with the engine state lock held, where calling back
+  // into StreamEngine accessors would self-deadlock.
+  //
+  // Query the engine BEFORE taking mu_. OnAgeOut runs under the engine
+  // state lock and takes mu_ (engine -> ageout); holding mu_ across
+  // ListStreams/StreamSchema here would establish the reverse order
+  // (ageout -> engine) — a lock-order inversion TSan rightly flags.
+  std::vector<std::pair<std::string, Schema>> snapshot;
+  for (const stream::StreamInfo& info : dawg_->sstore().ListStreams()) {
+    BIGDAWG_ASSIGN_OR_RETURN(Schema schema, dawg_->sstore().StreamSchema(info.name));
+    snapshot.emplace_back(info.name, std::move(schema));
+  }
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [name, schema] : snapshot) {
+      if (streams_.count(name) > 0) continue;
+      // The history schema prepends a monotonic arrival sequence. CAST
+      // to array keys cells by the int64 dimension columns, so without
+      // a per-row unique dimension two aged rows with equal keys (same
+      // patient, say) would collapse into one cell — silently losing
+      // history. hist_seq makes every aged row a distinct cell and
+      // keeps the archive in age-out order after the round-trip.
+      std::vector<Field> fields;
+      fields.reserve(schema.num_fields() + 1);
+      fields.emplace_back(kHistorySeqColumn, DataType::kInt64);
+      for (size_t i = 0; i < schema.num_fields(); ++i) {
+        fields.push_back(schema.field(i));
+      }
+      PerStream ps;
+      ps.schema = Schema(std::move(fields));
+      streams_.emplace(name, std::move(ps));
+    }
+  }
+  // Outside mu_: SetAgeOutHandler takes the engine state lock.
+  dawg_->sstore().SetAgeOutHandler(
+      [this](const std::string& stream, const Row& row) {
+        OnAgeOut(stream, row);
+      });
+  return Status::OK();
+}
+
+std::string StreamAgeOut::HistoryObjectName(const std::string& stream) const {
+  return stream + config_.suffix;
+}
+
+void StreamAgeOut::OnAgeOut(const std::string& stream, const Row& row) {
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return;  // stream defined after Attach(): skip
+  Row stamped;
+  stamped.reserve(row.size() + 1);
+  stamped.emplace_back(it->second.next_seq++);
+  stamped.insert(stamped.end(), row.begin(), row.end());
+  it->second.pending.push_back(std::move(stamped));
+  if (it->second.pending.size() >= config_.flush_rows) {
+    // Best-effort: a failed flush keeps the rows pending and is retried
+    // on the next age-out (or an explicit FlushAll).
+    (void)FlushLocked(stream, it->second);
+  }
+}
+
+Status StreamAgeOut::FlushLocked(const std::string& stream, PerStream& ps) {
+  if (ps.pending.empty()) return Status::OK();
+  // Candidate archive = committed history + pending, oldest first,
+  // trimmed to the cap. Built before the store so a failure commits
+  // nothing (exactly-once: rows move to history only when stored).
+  std::vector<Row> candidate;
+  candidate.reserve(ps.history.size() + ps.pending.size());
+  candidate.insert(candidate.end(), ps.history.begin(), ps.history.end());
+  candidate.insert(candidate.end(), ps.pending.begin(), ps.pending.end());
+  if (candidate.size() > config_.max_history_rows) {
+    candidate.erase(candidate.begin(),
+                    candidate.end() - static_cast<ptrdiff_t>(config_.max_history_rows));
+  }
+  relational::Table table(ps.schema, candidate);
+  Status st = dawg_->StoreStreamHistory(HistoryObjectName(stream), table);
+  if (!st.ok()) {
+    flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  flushed_rows_.fetch_add(static_cast<int64_t>(ps.pending.size()),
+                          std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  ps.history = std::move(candidate);
+  ps.pending.clear();
+  return Status::OK();
+}
+
+Status StreamAgeOut::FlushAll() {
+  std::lock_guard lock(mu_);
+  Status first = Status::OK();
+  for (auto& [name, ps] : streams_) {
+    Status st = FlushLocked(name, ps);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+StreamAgeOutStats StreamAgeOut::GetStats() const {
+  StreamAgeOutStats s;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, ps] : streams_) {
+      s.pending_rows += static_cast<int64_t>(ps.pending.size());
+    }
+  }
+  s.flushed_rows = flushed_rows_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.flush_failures = flush_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void StreamAgeOut::ExportMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const StreamAgeOutStats s = GetStats();
+  registry->GetGauge("bigdawg_stream_ageout_pending_rows")
+      ->Set(static_cast<double>(s.pending_rows));
+  registry->GetGauge("bigdawg_stream_ageout_flushed_rows_total")
+      ->Set(static_cast<double>(s.flushed_rows));
+  registry->GetGauge("bigdawg_stream_ageout_flushes_total")
+      ->Set(static_cast<double>(s.flushes));
+  registry->GetGauge("bigdawg_stream_ageout_flush_failures_total")
+      ->Set(static_cast<double>(s.flush_failures));
+}
+
+}  // namespace bigdawg::core

@@ -7,7 +7,9 @@
 
 #include "common/macros.h"
 #include "core/monitor.h"
+#include "core/stream_ageout.h"
 #include "obs/trace.h"
+#include "stream/stream_engine.h"
 
 namespace bigdawg::exec {
 
@@ -23,6 +25,12 @@ const char* BreakerStateName(CircuitBreaker::State state) {
       return "half_open";
   }
   return "?";
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
 }
 
 /// Per-engine health + breaker view shared by /readyz; `ready` reports
@@ -42,6 +50,73 @@ std::string RenderReadiness(QueryService* service, core::BigDawg* dawg,
             " calls=" + std::to_string(h.calls) +
             " faults=" + std::to_string(h.faults) +
             " failovers=" + std::to_string(h.failovers) + "\n";
+  }
+  // Streaming ingest health: a running engine whose bounded ingest ring
+  // is saturated has a wedged (or hopelessly behind) worker — every new
+  // tuple is being backpressured, so the instance is not ready.
+  const stream::StreamEngineStats s = dawg->sstore().GetStats();
+  if (s.running) {
+    const bool wedged = s.queue_saturation >= 1.0;
+    if (wedged) *ready = false;
+    body += "stream-ingest: " + std::string(wedged ? "wedged" : "serving") +
+            " queue=" + std::to_string(s.queue_depth) + "/" +
+            std::to_string(s.queue_capacity) +
+            " saturation=" + FormatDouble(s.queue_saturation) +
+            " backpressured=" + std::to_string(s.backpressured) + "\n";
+  } else {
+    body += "stream-ingest: stopped\n";
+  }
+  return body;
+}
+
+/// Human-readable dump of the streaming island: engine counters, queue
+/// health, per-stream/window state, and the age-out pipeline.
+std::string RenderStreams(core::BigDawg* dawg) {
+  stream::StreamEngine& engine = dawg->sstore();
+  const stream::StreamEngineStats s = engine.GetStats();
+  std::string body =
+      "stream engine: " + std::string(s.running ? "running" : "stopped") +
+      " queue=" + std::to_string(s.queue_depth) + "/" +
+      std::to_string(s.queue_capacity) +
+      " saturation=" + FormatDouble(s.queue_saturation) +
+      "\ningested=" + std::to_string(s.ingested) +
+      " backpressured=" + std::to_string(s.backpressured) +
+      " rejected=" + std::to_string(s.rejected) +
+      " late_dropped=" + std::to_string(s.late_dropped) +
+      " out_of_order=" + std::to_string(s.out_of_order) +
+      "\ncommitted=" + std::to_string(s.committed) +
+      " aborted=" + std::to_string(s.aborted) +
+      " alerts=" + std::to_string(s.alerts) +
+      " aged_out=" + std::to_string(s.aged_out) +
+      " batches=" + std::to_string(s.batches) +
+      "\ningest_lag_ms p50=" + FormatDouble(s.ingest_lag_p50_ms) +
+      " p95=" + FormatDouble(s.ingest_lag_p95_ms) +
+      " advance_ms p50=" + FormatDouble(s.advance_p50_ms) +
+      " p95=" + FormatDouble(s.advance_p95_ms) + "\n";
+  for (const stream::StreamInfo& info : engine.ListStreams()) {
+    body += "stream " + info.name + ": buffered=" +
+            std::to_string(info.buffered) +
+            "/" + std::to_string(info.retention) +
+            " total_appended=" + std::to_string(info.total_appended) +
+            " trigger=" + (info.trigger.empty() ? "-" : info.trigger) +
+            " windows=" + std::to_string(info.windows.size()) + "\n";
+  }
+  for (const stream::WindowInfo& info : engine.ListWindows()) {
+    body += "window " + info.name + ": over=" + info.stream +
+            " size=" + std::to_string(info.size) +
+            " slide=" + std::to_string(info.slide) +
+            " buffered=" + std::to_string(info.buffered) +
+            " slides=" + std::to_string(info.slides) +
+            " trigger=" + (info.trigger.empty() ? "-" : info.trigger) + "\n";
+  }
+  if (core::StreamAgeOut* ageout = dawg->stream_ageout()) {
+    const core::StreamAgeOutStats a = ageout->GetStats();
+    body += "ageout: pending=" + std::to_string(a.pending_rows) +
+            " flushed=" + std::to_string(a.flushed_rows) +
+            " flushes=" + std::to_string(a.flushes) +
+            " failures=" + std::to_string(a.flush_failures) + "\n";
+  } else {
+    body += "ageout: disabled\n";
   }
   return body;
 }
@@ -88,6 +163,12 @@ void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
   server->Route("/queries/slow", [service](const obs::HttpRequest&) {
     obs::HttpResponse response;
     response.body = service->slow_log().Render();
+    return response;
+  });
+
+  server->Route("/streams", [dawg](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body = RenderStreams(dawg);
     return response;
   });
 

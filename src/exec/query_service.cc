@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "core/monitor.h"
+#include "core/stream_ageout.h"
 #include "exec/explain.h"
 #include "exec/query_analysis.h"
 #include "obs/trace.h"
@@ -525,6 +526,10 @@ QueryServiceStats QueryService::Stats() const {
 
 std::string QueryService::DumpMetrics() const {
   dawg_->monitor().ExportMetrics(metrics_);
+  dawg_->sstore().ExportMetrics(metrics_);
+  if (core::StreamAgeOut* ageout = dawg_->stream_ageout()) {
+    ageout->ExportMetrics(metrics_);
+  }
   return metrics_->DumpPrometheus();
 }
 

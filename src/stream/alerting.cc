@@ -1,0 +1,93 @@
+#include "stream/alerting.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace bigdawg::stream {
+
+std::string WaveformThresholdProcName(const WaveformAlertConfig& config) {
+  return "__alert_threshold_" + config.stream;
+}
+
+std::string WaveformWindowProcName(const WaveformAlertConfig& config) {
+  return "__alert_window_" + config.window;
+}
+
+Status InstallWaveformAlert(StreamEngine* engine,
+                            const WaveformAlertConfig& config) {
+  BIGDAWG_ASSIGN_OR_RETURN(Schema stream_schema,
+                           engine->StreamSchema(config.stream));
+  BIGDAWG_ASSIGN_OR_RETURN(Schema window_schema,
+                           engine->WindowSchema(config.window));
+  BIGDAWG_ASSIGN_OR_RETURN(Schema ref_schema,
+                           engine->TableSchema(config.reference));
+  if (config.key_field >= stream_schema.num_fields() ||
+      config.value_field >= stream_schema.num_fields()) {
+    return Status::InvalidArgument(
+        "key_field/value_field out of stream schema bounds");
+  }
+  if (!IsNumeric(stream_schema.fields()[config.value_field].type)) {
+    return Status::InvalidArgument("value_field must be a numeric column");
+  }
+  if (ref_schema.num_fields() < 4) {
+    return Status::InvalidArgument(
+        "reference table needs (key, low, high, mean) columns");
+  }
+  // The window-mean check reads the incremental aggregate by column name.
+  const std::string value_column =
+      window_schema.fields()[config.value_field].name;
+
+  const std::string threshold_proc = WaveformThresholdProcName(config);
+  const std::string window_proc = WaveformWindowProcName(config);
+  const WaveformAlertConfig cfg = config;
+
+  BIGDAWG_RETURN_NOT_OK(engine->RegisterProcedure(
+      threshold_proc, [cfg](ProcContext* ctx) -> Status {
+        const Row& in = ctx->input();
+        if (cfg.key_field >= in.size() || cfg.value_field >= in.size()) {
+          return Status::OK();
+        }
+        Result<Row> ref = ctx->Get(cfg.reference, in[cfg.key_field]);
+        if (!ref.ok()) return Status::OK();  // unmonitored key: pass silently
+        Result<double> v = in[cfg.value_field].ToNumeric();
+        if (!v.ok()) return Status::OK();
+        BIGDAWG_ASSIGN_OR_RETURN(double low, (*ref)[1].ToNumeric());
+        BIGDAWG_ASSIGN_OR_RETURN(double high, (*ref)[2].ToNumeric());
+        if (*v < low || *v > high) {
+          ctx->EmitAlert({Value("threshold"), in[cfg.key_field], Value(*v),
+                          Value(low), Value(high)});
+        }
+        return Status::OK();
+      }));
+
+  BIGDAWG_RETURN_NOT_OK(engine->RegisterProcedure(
+      window_proc, [cfg, value_column](ProcContext* ctx) -> Status {
+        BIGDAWG_ASSIGN_OR_RETURN(std::vector<ColumnAggregate> aggs,
+                                 ctx->WindowAggregates(cfg.window));
+        const AggregateSnapshot* snap = nullptr;
+        for (const ColumnAggregate& a : aggs) {
+          if (a.column == value_column) {
+            snap = &a.agg;
+            break;
+          }
+        }
+        if (snap == nullptr || snap->count == 0) return Status::OK();
+        Result<Row> ref = ctx->Get(cfg.reference, cfg.window_key);
+        if (!ref.ok()) return Status::OK();
+        BIGDAWG_ASSIGN_OR_RETURN(double ref_mean, (*ref)[3].ToNumeric());
+        const double scale = std::abs(ref_mean);
+        const double bound = cfg.window_tolerance * (scale > 0 ? scale : 1.0);
+        if (std::abs(snap->avg - ref_mean) > bound) {
+          ctx->EmitAlert({Value("window_mean"), cfg.window_key,
+                          Value(snap->avg), Value(ref_mean)});
+        }
+        return Status::OK();
+      }));
+
+  BIGDAWG_RETURN_NOT_OK(engine->BindStreamTrigger(cfg.stream, threshold_proc));
+  return engine->BindWindowTrigger(cfg.window, window_proc);
+}
+
+}  // namespace bigdawg::stream

@@ -1,0 +1,60 @@
+#ifndef BIGDAWG_STREAM_ALERTING_H_
+#define BIGDAWG_STREAM_ALERTING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "stream/stream_engine.h"
+
+namespace bigdawg::stream {
+
+/// \brief Configuration for the waveform-vs-reference alerting pipeline —
+/// the paper's real-time ICU monitoring interface: live vitals compared
+/// against per-patient reference bounds, alerts raised on excursions.
+struct WaveformAlertConfig {
+  /// Live stream carrying (key, value, ...) tuples.
+  std::string stream;
+  /// Sliding window over `stream` whose incremental mean is compared
+  /// against the reference mean on every slide.
+  std::string window;
+  /// State table of reference rows (key, low, high, mean) — typically
+  /// loaded from the array engine's historical waveform statistics.
+  std::string reference;
+  /// Index of the patient/channel key column in the stream schema.
+  size_t key_field = 0;
+  /// Index of the measured value column in the stream schema.
+  size_t value_field = 1;
+  /// Window-mean alert fires when |window avg - ref mean| exceeds this
+  /// fraction of the reference mean's magnitude.
+  double window_tolerance = 0.2;
+  /// Reference-row key the window-mean check compares against (windows
+  /// span tuples from many keys; pick the monitored one).
+  Value window_key;
+};
+
+/// Names of the stored procedures InstallWaveformAlert registers; exposed
+/// so callers can invoke them directly (EXECUTE via the stream island).
+std::string WaveformThresholdProcName(const WaveformAlertConfig& config);
+std::string WaveformWindowProcName(const WaveformAlertConfig& config);
+
+/// \brief Installs the two-level alerting stored procedures on `engine`
+/// and binds them as triggers:
+///
+///  1. per-tuple threshold check (stream trigger): look up the tuple's
+///     reference row by key; a value outside [low, high] emits
+///     ("threshold", key, value, low, high);
+///  2. window-mean drift check (window trigger): read the window's
+///     *incrementally maintained* average — O(1), no row rescan — and
+///     compare against the reference mean; drift beyond the tolerance
+///     emits ("window_mean", key, avg, ref_mean).
+///
+/// Tuples whose key has no reference row pass silently (new patients are
+/// not alert storms). The engine must be stopped (definitions frozen
+/// while running); stream, window, and reference table must exist.
+Status InstallWaveformAlert(StreamEngine* engine,
+                            const WaveformAlertConfig& config);
+
+}  // namespace bigdawg::stream
+
+#endif  // BIGDAWG_STREAM_ALERTING_H_

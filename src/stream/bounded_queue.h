@@ -1,0 +1,118 @@
+#ifndef BIGDAWG_STREAM_BOUNDED_QUEUE_H_
+#define BIGDAWG_STREAM_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bigdawg::stream {
+
+/// \brief Bounded multi-producer single-consumer ring queue — the
+/// streaming island's ingestion front door.
+///
+/// Capacity is fixed at construction and storage is preallocated, so the
+/// hot path never allocates: a push is one mutex acquisition and a move
+/// into the ring, and the consumer drains up to a whole batch under a
+/// single acquisition (PopBatch), which is what keeps the per-tuple lock
+/// cost negligible at 10^5-10^6 events/s.
+///
+/// Overload is a typed error, not a silent drop: TryPush on a full ring
+/// returns ResourceExhausted and the producer decides whether to retry,
+/// shed, or surface the backpressure. Close() wakes the consumer; pushes
+/// after Close fail FailedPrecondition.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueues one item. ResourceExhausted when the ring is full (the
+  /// backpressure signal), FailedPrecondition after Close().
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return Status::FailedPrecondition("queue is closed");
+      if (size_ == ring_.size()) {
+        return Status::ResourceExhausted("ingest queue full");
+      }
+      ring_[(head_ + size_) % ring_.size()] = std::move(item);
+      ++size_;
+    }
+    cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed
+  /// and empty), then moves up to `max` items into `*out` (appended).
+  /// Returns the number moved; 0 means closed-and-drained.
+  size_t PopBatch(size_t max, std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || size_ > 0; });
+    size_t n = 0;
+    while (n < max && size_ > 0) {
+      out->push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % ring_.size();
+      --size_;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Non-blocking variant of PopBatch for callers that poll.
+  size_t TryPopBatch(size_t max, std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    while (n < max && size_ > 0) {
+      out->push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % ring_.size();
+      --size_;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Rejects further pushes and wakes the consumer so it can drain what
+  /// remains and observe the close.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Reopens a closed queue (the engine restarts its worker).
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  size_t capacity() const { return ring_.size(); }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace bigdawg::stream
+
+#endif  // BIGDAWG_STREAM_BOUNDED_QUEUE_H_

@@ -1,0 +1,87 @@
+#ifndef BIGDAWG_STREAM_WINDOW_AGGREGATOR_H_
+#define BIGDAWG_STREAM_WINDOW_AGGREGATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace bigdawg::stream {
+
+/// \brief Point-in-time aggregate values over one window column.
+struct AggregateSnapshot {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< 0 when count == 0
+  double max = 0;  ///< 0 when count == 0
+  double avg = 0;  ///< 0 when count == 0
+};
+
+/// \brief Incrementally maintained count/sum/min/max/avg over a sliding
+/// window of doubles.
+///
+/// Sum and count are O(1) per update. Min and max survive eviction via
+/// monotonic deques keyed by append sequence number, so each value is
+/// pushed and popped at most once: amortized O(1) per append/evict where
+/// a rescan would be O(window). This is what lets window triggers read
+/// aggregates at ingest rates without touching the window's rows.
+///
+/// The caller must evict in exact append (FIFO) order — the sliding
+/// window's eviction discipline — passing back the same (value, seq)
+/// pair it appended.
+class WindowAggregator {
+ public:
+  void Append(double v, int64_t seq);
+  void Evict(double v, int64_t seq);
+  AggregateSnapshot Snapshot() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0;
+  /// Front = current min/max; entries are (seq, value), values weakly
+  /// monotone (increasing for min_q_, decreasing for max_q_).
+  std::deque<std::pair<int64_t, double>> min_q_;
+  std::deque<std::pair<int64_t, double>> max_q_;
+};
+
+/// \brief Named aggregate snapshot of one window column.
+struct ColumnAggregate {
+  std::string column;
+  AggregateSnapshot agg;
+};
+
+/// \brief The per-window aggregate bank: one WindowAggregator per
+/// numeric column of the window's schema, fed on every append/evict.
+///
+/// Non-numeric columns (and NULL or non-numeric cells in numeric
+/// columns) are skipped; their aggregators simply see fewer values, so
+/// `count` is per-column, not per-row.
+class WindowAggregateBank {
+ public:
+  /// Binds the bank to the window's schema (numeric columns only).
+  void Bind(const Schema& schema);
+
+  void Append(const Row& row, int64_t seq);
+  void Evict(const Row& row, int64_t seq);
+
+  std::vector<ColumnAggregate> Snapshot() const;
+  /// Aggregates of the column at schema field index `field`; NotFound
+  /// when that field is not numeric (never aggregated).
+  Result<AggregateSnapshot> ColumnSnapshot(size_t field) const;
+
+ private:
+  struct Slot {
+    std::string column;
+    size_t field = 0;
+    WindowAggregator agg;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace bigdawg::stream
+
+#endif  // BIGDAWG_STREAM_WINDOW_AGGREGATOR_H_

@@ -1,0 +1,165 @@
+// The stream -> array-engine age-out pipeline: retention-evicted rows
+// land in a `<stream>__history` array object exactly once, survive
+// injected array-engine outages, and every flush bumps the catalog
+// version so the cast-result cache can never serve pre-flush history.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "core/bigdawg.h"
+#include "core/stream_ageout.h"
+#include "obs/clock.h"
+
+namespace bigdawg::core {
+namespace {
+
+Schema VitalsSchema() {
+  return Schema({Field("patient_id", DataType::kInt64),
+                 Field("hr", DataType::kDouble)});
+}
+
+// The hr column of a fetched history table. The pipeline prepends a
+// unique hist_seq dimension, so the array scan returns rows in age-out
+// order — exact-order assertions double as exactly-once checks.
+std::vector<double> HistoryValues(BigDawg* dawg, const std::string& object) {
+  relational::Table table = *dawg->FetchAsTable(object);
+  std::vector<Value> column = *table.Column("hr");
+  std::vector<double> values;
+  for (const Value& v : column) {
+    values.push_back(*v.ToNumeric());
+  }
+  return values;
+}
+
+TEST(StreamAgeOutTest, AgedRowsReachArrayEngineExactlyOnce) {
+  BigDawg dawg;
+  BIGDAWG_CHECK_OK(dawg.sstore().CreateStream("vitals", VitalsSchema(), 3));
+  StreamAgeOutConfig config;
+  config.flush_rows = 4;
+  BIGDAWG_CHECK_OK(dawg.EnableStreamAgeOut(config));
+
+  dawg.sstore().Start();
+  for (int i = 0; i < 12; ++i) {
+    BIGDAWG_CHECK_OK(
+        dawg.sstore().Ingest("vitals", {Value(1), Value(static_cast<double>(i))}));
+  }
+  dawg.sstore().WaitForDrain();
+  dawg.sstore().Stop();
+
+  // Retention 3 after 12 ingests evicts rows 0..8. Two threshold flushes
+  // (at 4 and 8 pending) have already run; FlushAll commits the last one.
+  StreamAgeOutStats mid = dawg.stream_ageout()->GetStats();
+  EXPECT_EQ(mid.flushes, 2);
+  EXPECT_EQ(mid.flushed_rows, 8);
+  EXPECT_EQ(mid.pending_rows, 1);
+  BIGDAWG_CHECK_OK(dawg.stream_ageout()->FlushAll());
+
+  const std::string history = dawg.stream_ageout()->HistoryObjectName("vitals");
+  EXPECT_EQ(history, "vitals__history");
+  EXPECT_EQ(HistoryValues(&dawg, history),
+            (std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  StreamAgeOutStats done = dawg.stream_ageout()->GetStats();
+  EXPECT_EQ(done.pending_rows, 0);
+  EXPECT_EQ(done.flushed_rows, 9);
+  EXPECT_EQ(done.flush_failures, 0);
+  // The engine's own retention buffer still holds the live tail.
+  EXPECT_EQ(dawg.sstore().StreamContents("vitals")->size(), 3u);
+}
+
+TEST(StreamAgeOutTest, FailedFlushKeepsRowsPendingThenDeliversOnce) {
+  BigDawg dawg;
+  BIGDAWG_CHECK_OK(dawg.sstore().CreateStream("vitals", VitalsSchema(), 2));
+  StreamAgeOutConfig config;
+  config.flush_rows = 2;
+  BIGDAWG_CHECK_OK(dawg.EnableStreamAgeOut(config));
+
+  dawg.fault_injector().Enable();
+  dawg.fault_injector().SetDown(kEngineSciDb, true);
+
+  dawg.sstore().Start();
+  for (int i = 0; i < 8; ++i) {
+    BIGDAWG_CHECK_OK(
+        dawg.sstore().Ingest("vitals", {Value(1), Value(static_cast<double>(i))}));
+  }
+  dawg.sstore().WaitForDrain();
+  dawg.sstore().Stop();
+
+  // Every threshold flush hit the downed array engine: rows 0..5 are all
+  // still pending, none lost, none stored.
+  StreamAgeOutStats down = dawg.stream_ageout()->GetStats();
+  EXPECT_GT(down.flush_failures, 0);
+  EXPECT_EQ(down.pending_rows, 6);
+  EXPECT_EQ(down.flushed_rows, 0);
+  EXPECT_TRUE(dawg.stream_ageout()->FlushAll().IsUnavailable());
+  EXPECT_FALSE(dawg.FetchAsTable("vitals__history").ok());
+
+  // Engine recovers: one FlushAll delivers everything exactly once.
+  dawg.fault_injector().SetDown(kEngineSciDb, false);
+  BIGDAWG_CHECK_OK(dawg.stream_ageout()->FlushAll());
+  EXPECT_EQ(HistoryValues(&dawg, "vitals__history"),
+            (std::vector<double>{0, 1, 2, 3, 4, 5}));
+  StreamAgeOutStats up = dawg.stream_ageout()->GetStats();
+  EXPECT_EQ(up.pending_rows, 0);
+  EXPECT_EQ(up.flushed_rows, 6);
+
+  // A second FlushAll with nothing pending must not double-append.
+  BIGDAWG_CHECK_OK(dawg.stream_ageout()->FlushAll());
+  EXPECT_EQ(HistoryValues(&dawg, "vitals__history").size(), 6u);
+}
+
+TEST(StreamAgeOutTest, FlushBumpsVersionSoCacheNeverServesStaleHistory) {
+  obs::FakeClock clock;
+  BigDawg dawg;
+  BIGDAWG_CHECK_OK(dawg.sstore().SetClock(&clock));
+  stream::StreamOptions options;
+  options.retention = 1000;   // count retention out of the way
+  options.retention_ms = 50;  // age-based eviction on fake time
+  BIGDAWG_CHECK_OK(dawg.sstore().CreateStream("vitals", VitalsSchema(), options));
+  StreamAgeOutConfig config;
+  config.flush_rows = 1;  // flush every aged row immediately
+  BIGDAWG_CHECK_OK(dawg.EnableStreamAgeOut(config));
+
+  dawg.sstore().Start();
+  BIGDAWG_CHECK_OK(dawg.sstore().Ingest("vitals", {Value(1), Value(10.0)}));
+  BIGDAWG_CHECK_OK(dawg.sstore().Ingest("vitals", {Value(1), Value(11.0)}));
+  dawg.sstore().WaitForDrain();
+  clock.AdvanceMs(60);
+  dawg.sstore().AdvanceRetention();  // both rows age out and flush
+
+  const std::string history = "vitals__history";
+  const int64_t v1 = dawg.catalog().Snapshot(history)->version;
+  // Read through the cast cache at v1; this populates the cache.
+  EXPECT_EQ(HistoryValues(&dawg, history), (std::vector<double>{10, 11}));
+  EXPECT_EQ(HistoryValues(&dawg, history), (std::vector<double>{10, 11}));
+
+  BIGDAWG_CHECK_OK(dawg.sstore().Ingest("vitals", {Value(1), Value(12.0)}));
+  dawg.sstore().WaitForDrain();
+  clock.AdvanceMs(60);
+  dawg.sstore().AdvanceRetention();
+  dawg.sstore().Stop();
+
+  // The flush rewrote the history object and bumped its version; a reader
+  // at the new version must see the post-age-out rows, not cached bytes.
+  const int64_t v2 = dawg.catalog().Snapshot(history)->version;
+  EXPECT_GT(v2, v1);
+  EXPECT_EQ(HistoryValues(&dawg, history),
+            (std::vector<double>{10, 11, 12}));
+}
+
+TEST(StreamAgeOutTest, AttachValidatesConfig) {
+  BigDawg dawg;
+  StreamAgeOutConfig config;
+  config.flush_rows = 0;
+  EXPECT_TRUE(dawg.EnableStreamAgeOut(config).IsInvalidArgument());
+  // A valid enable with no streams defined is fine; rows for streams the
+  // pipeline never saw are skipped, not crashed on.
+  BIGDAWG_CHECK_OK(dawg.EnableStreamAgeOut());
+  dawg.stream_ageout()->OnAgeOut("ghost", {Value(1), Value(2.0)});
+  EXPECT_EQ(dawg.stream_ageout()->GetStats().pending_rows, 0);
+}
+
+}  // namespace
+}  // namespace bigdawg::core

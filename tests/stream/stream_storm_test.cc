@@ -1,0 +1,120 @@
+// Ingestion front-door storm: many producers against a deliberately
+// small bounded ring, with the executor wedged long enough to force the
+// queue full. The contract under overload is typed backpressure
+// (ResourceExhausted) with zero lost and zero duplicated tuples.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "stream/stream_engine.h"
+
+namespace bigdawg::stream {
+namespace {
+
+constexpr int kProducers = 8;
+constexpr int kPerProducer = 5000;
+
+TEST(StreamStormTest, BackpressureLosesNothingDuplicatesNothing) {
+  StreamEngineOptions engine_options;
+  engine_options.queue_capacity = 1024;  // tiny: the storm must overflow it
+  StreamEngine engine(engine_options);
+  BIGDAWG_CHECK_OK(engine.CreateStream(
+      "events", Schema({Field("producer", DataType::kInt64),
+                        Field("seq", DataType::kInt64)}),
+      /*retention=*/kProducers * kPerProducer + 1));
+
+  // A gate trigger wedges the executor on the first tuple (holding the
+  // state lock, like a slow downstream transaction would) until the main
+  // thread has observed backpressure.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("gate", [&](ProcContext*) {
+    std::unique_lock lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    return Status::OK();
+  }));
+  BIGDAWG_CHECK_OK(engine.BindStreamTrigger("events", "gate"));
+
+  engine.Start();
+  std::atomic<int64_t> retries{0};
+  std::atomic<bool> hard_failure{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, &retries, &hard_failure, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        for (;;) {
+          Status st = engine.Ingest("events", {Value(p), Value(i)});
+          if (st.ok()) break;
+          if (!st.IsResourceExhausted()) {
+            hard_failure.store(true);
+            return;  // anything but backpressure is a contract violation
+          }
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Wait for the full ring to actually refuse tuples, then open the gate.
+  while (engine.GetStats().backpressured == 0 &&
+         !hard_failure.load()) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  for (std::thread& t : producers) t.join();
+  engine.WaitForDrain();
+  engine.Stop();
+
+  EXPECT_FALSE(hard_failure.load());
+  StreamEngineStats stats = engine.GetStats();
+  EXPECT_GT(stats.backpressured, 0);
+  EXPECT_GT(retries.load(), 0);
+  EXPECT_EQ(stats.ingested, kProducers * kPerProducer);
+  EXPECT_EQ(stats.rejected, 0);
+
+  // Every (producer, seq) pair exactly once: the retained buffer holds
+  // all tuples (retention exceeds the total), and uniqueness plus count
+  // rules out both loss and duplication.
+  std::vector<Row> contents = *engine.StreamContents("events");
+  ASSERT_EQ(contents.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const Row& row : contents) {
+    seen.emplace(row[0].int64_unchecked(), row[1].int64_unchecked());
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(StreamStormTest, StopDrainsAcceptedTuples) {
+  StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream(
+      "events", Schema({Field("producer", DataType::kInt64),
+                        Field("seq", DataType::kInt64)}),
+      /*retention=*/10000));
+  engine.Start();
+  for (int i = 0; i < 1000; ++i) {
+    BIGDAWG_CHECK_OK(engine.Ingest("events", {Value(0), Value(i)}));
+  }
+  // No WaitForDrain: Stop() itself must not drop accepted tuples.
+  engine.Stop();
+  EXPECT_EQ(engine.StreamContents("events")->size(), 1000u);
+  EXPECT_TRUE(engine.Ingest("events", {Value(0), Value(0)}).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace bigdawg::stream

@@ -1,0 +1,315 @@
+// Deterministic (FakeClock-driven, sleep-free) tests of the streaming
+// island's window machinery: incremental aggregates, event-time
+// late/out-of-order handling, age-based retention, frozen definitions,
+// and the waveform alerting stored procedures.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "obs/clock.h"
+#include "stream/alerting.h"
+#include "stream/stream_engine.h"
+#include "stream/window_aggregator.h"
+
+namespace bigdawg::stream {
+namespace {
+
+Schema VitalsSchema() {
+  return Schema({Field("patient_id", DataType::kInt64),
+                 Field("hr", DataType::kDouble)});
+}
+
+// Brute-force aggregate of one column over explicit rows, to check the
+// incremental bank against.
+AggregateSnapshot Recompute(const std::vector<Row>& rows, size_t field) {
+  AggregateSnapshot s;
+  for (const Row& r : rows) {
+    double v = *r[field].ToNumeric();
+    if (s.count == 0) {
+      s.min = s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    ++s.count;
+    s.sum += v;
+  }
+  if (s.count > 0) s.avg = s.sum / static_cast<double>(s.count);
+  return s;
+}
+
+TEST(WindowAggregatorTest, MatchesRecomputationThroughSlides) {
+  StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", VitalsSchema(), 100));
+  BIGDAWG_CHECK_OK(engine.CreateWindow("w", "s", /*size=*/4, /*slide=*/1));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("feed", [](ProcContext* ctx) {
+    return ctx->AppendToStream("s", ctx->input());
+  }));
+  // Values chosen to churn both monotonic deques: new minima, new maxima,
+  // and evictions of the current extremum.
+  const std::vector<double> values = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 10, 5};
+  for (double v : values) {
+    BIGDAWG_CHECK_OK(engine.ExecuteProcedure("feed", {Value(1), Value(v)}));
+    std::vector<Row> rows = *engine.WindowContents("w");
+    AggregateSnapshot expect = Recompute(rows, 1);
+    std::vector<ColumnAggregate> aggs = *engine.WindowAggregates("w");
+    // Numeric columns only: patient_id and hr.
+    ASSERT_EQ(aggs.size(), 2u);
+    EXPECT_EQ(aggs[1].column, "hr");
+    const AggregateSnapshot& got = aggs[1].agg;
+    EXPECT_EQ(got.count, expect.count);
+    EXPECT_DOUBLE_EQ(got.sum, expect.sum);
+    EXPECT_DOUBLE_EQ(got.min, expect.min);
+    EXPECT_DOUBLE_EQ(got.max, expect.max);
+    EXPECT_DOUBLE_EQ(got.avg, expect.avg);
+  }
+}
+
+TEST(WindowAggregatorTest, TriggerReadsIncrementalAggregates) {
+  StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", VitalsSchema(), 100));
+  BIGDAWG_CHECK_OK(engine.CreateWindow("w", "s", /*size=*/4, /*slide=*/2));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("feed", [](ProcContext* ctx) {
+    return ctx->AppendToStream("s", ctx->input());
+  }));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("snap", [](ProcContext* ctx) {
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<ColumnAggregate> aggs,
+                             ctx->WindowAggregates("w"));
+    ctx->EmitAlert({Value(aggs[1].agg.avg), Value(aggs[1].agg.count)});
+    return Status::OK();
+  }));
+  BIGDAWG_CHECK_OK(engine.BindWindowTrigger("w", "snap"));
+  for (int i = 1; i <= 8; ++i) {
+    BIGDAWG_CHECK_OK(
+        engine.ExecuteProcedure("feed", {Value(1), Value(static_cast<double>(i))}));
+  }
+  // Window fills at 4 (avg of 1..4 = 2.5), then slides at 6 (avg 3..6 =
+  // 4.5) and 8 (avg 5..8 = 6.5).
+  std::vector<Row> alerts = engine.TakeAlerts();
+  ASSERT_EQ(alerts.size(), 3u);
+  EXPECT_DOUBLE_EQ(alerts[0][0].double_unchecked(), 2.5);
+  EXPECT_DOUBLE_EQ(alerts[1][0].double_unchecked(), 4.5);
+  EXPECT_DOUBLE_EQ(alerts[2][0].double_unchecked(), 6.5);
+  EXPECT_EQ(alerts[2][1], Value(4));
+}
+
+Schema TimedSchema() {
+  return Schema({Field("patient_id", DataType::kInt64),
+                 Field("ts_ms", DataType::kDouble),
+                 Field("hr", DataType::kDouble)});
+}
+
+TEST(EventTimeTest, LateTuplesDroppedOutOfOrderCounted) {
+  StreamEngine engine;
+  StreamOptions options;
+  options.retention = 100;
+  options.ts_field = 1;
+  options.max_lateness_ms = 10;
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", TimedSchema(), options));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("feed", [](ProcContext* ctx) {
+    return ctx->AppendToStream("s", ctx->input());
+  }));
+  auto feed = [&engine](double ts) {
+    return engine.ExecuteProcedure("feed", {Value(1), Value(ts), Value(70.0)});
+  };
+  BIGDAWG_CHECK_OK(feed(100));  // watermark 100
+  BIGDAWG_CHECK_OK(feed(105));  // watermark 105
+  BIGDAWG_CHECK_OK(feed(103));  // behind watermark, within bound: kept
+  BIGDAWG_CHECK_OK(feed(80));   // 25ms late: dropped (txn still commits)
+  BIGDAWG_CHECK_OK(feed(110));  // watermark 110
+
+  EXPECT_EQ(engine.StreamContents("s")->size(), 4u);  // 100,105,103,110
+  StreamEngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.out_of_order, 1);
+  EXPECT_EQ(stats.late_dropped, 1);
+}
+
+TEST(EventTimeTest, LatenessZeroKeepsEveryStraggler) {
+  StreamEngine engine;
+  StreamOptions options;
+  options.retention = 100;
+  options.ts_field = 1;  // max_lateness_ms = 0: count, never drop
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", TimedSchema(), options));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("feed", [](ProcContext* ctx) {
+    return ctx->AppendToStream("s", ctx->input());
+  }));
+  for (double ts : {100.0, 50.0, 10.0}) {
+    BIGDAWG_CHECK_OK(
+        engine.ExecuteProcedure("feed", {Value(1), Value(ts), Value(70.0)}));
+  }
+  EXPECT_EQ(engine.StreamContents("s")->size(), 3u);
+  EXPECT_EQ(engine.GetStats().out_of_order, 2);
+  EXPECT_EQ(engine.GetStats().late_dropped, 0);
+}
+
+TEST(TimeRetentionTest, FakeClockAgeOutIsExactlyOnceOldestFirst) {
+  obs::FakeClock clock;
+  StreamEngineOptions engine_options;
+  engine_options.clock = &clock;
+  StreamEngine engine(engine_options);
+  StreamOptions options;
+  options.retention = 1000;    // count retention out of the way
+  options.retention_ms = 50;   // age-based: evict rows older than 50ms
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", VitalsSchema(), options));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("feed", [](ProcContext* ctx) {
+    return ctx->AppendToStream("s", ctx->input());
+  }));
+  std::vector<double> aged;
+  engine.SetAgeOutHandler([&aged](const std::string& stream, const Row& row) {
+    EXPECT_EQ(stream, "s");
+    aged.push_back(row[1].double_unchecked());
+  });
+
+  auto feed = [&engine](double v) {
+    return engine.ExecuteProcedure("feed", {Value(1), Value(v)});
+  };
+  BIGDAWG_CHECK_OK(feed(1));
+  BIGDAWG_CHECK_OK(feed(2));
+  clock.AdvanceMs(30);
+  BIGDAWG_CHECK_OK(feed(3));
+  engine.AdvanceRetention();  // oldest rows are 30ms old: nothing evicts
+  EXPECT_TRUE(aged.empty());
+
+  clock.AdvanceMs(30);  // rows 1,2 now 60ms old; row 3 is 30ms old
+  engine.AdvanceRetention();
+  EXPECT_EQ(aged, (std::vector<double>{1, 2}));
+  EXPECT_EQ(engine.StreamContents("s")->size(), 1u);
+
+  engine.AdvanceRetention();  // idempotent: nothing crossed the boundary
+  EXPECT_EQ(aged, (std::vector<double>{1, 2}));
+
+  clock.AdvanceMs(30);  // row 3 now 60ms old
+  engine.AdvanceRetention();
+  EXPECT_EQ(aged, (std::vector<double>{1, 2, 3}));
+  EXPECT_TRUE(engine.StreamContents("s")->empty());
+  EXPECT_EQ(engine.GetStats().aged_out, 3);
+}
+
+TEST(DefinitionFreezeTest, DefinitionsRejectedWhileRunning) {
+  StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", VitalsSchema(), 10));
+  engine.Start();
+  EXPECT_TRUE(engine.CreateStream("t", VitalsSchema(), 10).IsFailedPrecondition());
+  EXPECT_TRUE(engine.CreateWindow("w", "s", 4, 2).IsFailedPrecondition());
+  EXPECT_TRUE(engine.CreateTable("tab", VitalsSchema()).IsFailedPrecondition());
+  EXPECT_TRUE(
+      engine.RegisterProcedure("p", [](ProcContext*) { return Status::OK(); })
+          .IsFailedPrecondition());
+  engine.Stop();
+  // A stopped engine thaws.
+  BIGDAWG_CHECK_OK(engine.CreateStream("t", VitalsSchema(), 10));
+}
+
+TEST(StreamOptionsTest, ValidatesEventTimeConfiguration) {
+  StreamEngine engine;
+  StreamOptions bad_field;
+  bad_field.retention = 10;
+  bad_field.ts_field = 9;
+  EXPECT_TRUE(
+      engine.CreateStream("a", VitalsSchema(), bad_field).IsInvalidArgument());
+  StreamOptions non_numeric;
+  non_numeric.retention = 10;
+  non_numeric.ts_field = 0;
+  EXPECT_TRUE(engine
+                  .CreateStream("b",
+                                Schema({Field("name", DataType::kString),
+                                        Field("v", DataType::kDouble)}),
+                                non_numeric)
+                  .IsInvalidArgument());
+  StreamOptions negative;
+  negative.retention = 10;
+  negative.retention_ms = -1;
+  EXPECT_TRUE(
+      engine.CreateStream("c", VitalsSchema(), negative).IsInvalidArgument());
+}
+
+TEST(InventoryTest, ListsStreamsWindowsTables) {
+  StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream("s", VitalsSchema(), 10));
+  BIGDAWG_CHECK_OK(engine.CreateWindow("w", "s", 4, 2));
+  BIGDAWG_CHECK_OK(engine.CreateTable("t", VitalsSchema()));
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("feed", [](ProcContext* ctx) {
+    return ctx->AppendToStream("s", ctx->input());
+  }));
+  for (int i = 0; i < 6; ++i) {
+    BIGDAWG_CHECK_OK(
+        engine.ExecuteProcedure("feed", {Value(1), Value(70.0 + i)}));
+  }
+  std::vector<StreamInfo> streams = engine.ListStreams();
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].name, "s");
+  EXPECT_EQ(streams[0].buffered, 6u);
+  EXPECT_EQ(streams[0].total_appended, 6);
+  ASSERT_EQ(streams[0].windows.size(), 1u);
+  std::vector<WindowInfo> windows = engine.ListWindows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].buffered, 4u);
+  EXPECT_EQ(windows[0].slides, 2);  // filled at 4, slid at 6
+  EXPECT_EQ(engine.ListTables(), std::vector<std::string>{"t"});
+}
+
+TEST(WaveformAlertTest, ThresholdAndWindowMeanExcursions) {
+  StreamEngine engine;
+  BIGDAWG_CHECK_OK(engine.CreateStream("vitals", VitalsSchema(), 100));
+  BIGDAWG_CHECK_OK(engine.CreateWindow("recent", "vitals", 4, 4));
+  BIGDAWG_CHECK_OK(engine.CreateTable(
+      "reference", Schema({Field("patient_id", DataType::kInt64),
+                           Field("low", DataType::kDouble),
+                           Field("high", DataType::kDouble),
+                           Field("mean", DataType::kDouble)})));
+  WaveformAlertConfig config;
+  config.stream = "vitals";
+  config.window = "recent";
+  config.reference = "reference";
+  config.window_tolerance = 0.1;
+  config.window_key = Value(1);
+  BIGDAWG_CHECK_OK(InstallWaveformAlert(&engine, config));
+  // Load the reference bounds through a transaction.
+  BIGDAWG_CHECK_OK(engine.RegisterProcedure("load_ref", [](ProcContext* ctx) {
+    return ctx->Put("reference",
+                    {Value(1), Value(60.0), Value(100.0), Value(80.0)});
+  }));
+  BIGDAWG_CHECK_OK(engine.ExecuteProcedure("load_ref", {}));
+
+  engine.Start();
+  // In-bounds readings for patient 1 fill the window (trigger fires at
+  // the 4th arrival): mean 77.5 is within 10% of the reference mean 80,
+  // so both the per-tuple and per-window procedures stay silent.
+  for (double hr : {70.0, 75.0, 80.0, 85.0}) {
+    BIGDAWG_CHECK_OK(engine.Ingest("vitals", {Value(1), Value(hr)}));
+  }
+  engine.WaitForDrain();
+  EXPECT_TRUE(engine.TakeAlerts().empty());
+
+  // A wild reading for a patient with no reference row: silent.
+  BIGDAWG_CHECK_OK(engine.Ingest("vitals", {Value(9), Value(170.0)}));
+  engine.WaitForDrain();
+  EXPECT_TRUE(engine.TakeAlerts().empty());
+
+  // A sustained excursion for patient 1: each reading trips the
+  // threshold procedure, and the window trigger (8th arrival) sees a
+  // mean far outside reference ± 10%.
+  for (int i = 0; i < 3; ++i) {
+    BIGDAWG_CHECK_OK(engine.Ingest("vitals", {Value(1), Value(150.0)}));
+  }
+  engine.WaitForDrain();
+  engine.Stop();
+  std::vector<Row> alerts = engine.TakeAlerts();
+  ASSERT_EQ(alerts.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(alerts[i][0], Value("threshold"));
+    EXPECT_EQ(alerts[i][1], Value(1));
+    EXPECT_DOUBLE_EQ(alerts[i][2].double_unchecked(), 150.0);
+  }
+  EXPECT_EQ(alerts[3][0], Value("window_mean"));
+  // The window holds the last 4 stream tuples regardless of patient:
+  // {170, 150, 150, 150} at the 8th arrival.
+  EXPECT_DOUBLE_EQ(alerts[3][2].double_unchecked(),
+                   (170.0 + 150.0 + 150.0 + 150.0) / 4.0);
+}
+
+}  // namespace
+}  // namespace bigdawg::stream
