@@ -38,6 +38,11 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # age-out exactly-once — quick to rerun when touching src/stream.
   echo "==== stream island (ctest -L stream) ===="
   (cd build && ctest --output-on-failure -L stream)
+  # The sharding tier in isolation: partition-correctness oracles,
+  # per-instance chaos, and the scatter-gather storm — quick to rerun
+  # when touching src/core/sharding or the island pushdowns.
+  echo "==== shard tier (ctest -L shard) ===="
+  (cd build && ctest --output-on-failure -L shard)
   # Tier-1 again with the cast-result cache killed: every cross-model
   # fetch takes the uncached path, so a correctness bug that the cache
   # happens to mask (or a test that silently depends on caching) fails
@@ -62,6 +67,11 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   # exactly the code TSan exists for.
   echo "==== ThreadSanitizer stream island (ctest -L stream) ===="
   (cd build-tsan && ctest --output-on-failure -L stream)
+  # The scatter-gather machinery under the race detector: pool tasks
+  # racing the gather, hedged duplicates, and repartition churn against
+  # concurrent readers (shard_storm_test) are its reason to exist.
+  echo "==== ThreadSanitizer shard tier (ctest -L shard) ===="
+  (cd build-tsan && ctest --output-on-failure -L shard)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then

@@ -1,5 +1,6 @@
 #include "core/bigdawg.h"
 
+#include <cstdlib>
 #include <mutex>
 #include <shared_mutex>
 
@@ -10,6 +11,24 @@
 #include "core/stream_ageout.h"
 
 namespace bigdawg::core {
+
+namespace {
+
+/// Wall-clock window before a silent shard gets a duplicate request.
+double ShardHedgeMs() {
+  static const double ms = [] {
+    const char* env = std::getenv("BIGDAWG_SHARD_HEDGE_MS");
+    if (env != nullptr) {
+      char* end = nullptr;
+      double v = std::strtod(env, &end);
+      if (end != env && v >= 0) return v;
+    }
+    return 50.0;
+  }();
+  return ms;
+}
+
+}  // namespace
 
 ExecContext*& BigDawg::ActiveCtx() {
   static thread_local ExecContext* ctx = nullptr;
@@ -24,6 +43,7 @@ BigDawg::BigDawg() {
   engines.stream = &stream_;
   engines.tiledb = &tiledb_;
   engines.assoc = &assoc_store_;
+  engines.shards = &shard_runtime_;
 
   ObjectFetcher table_fetcher = [this](const std::string& object) {
     return FetchAsTable(object);
@@ -49,7 +69,7 @@ BigDawg::BigDawg() {
                                     /*degenerate=*/false));
   add(std::make_unique<TextIsland>(engines));
   add(std::make_unique<StreamIsland>(engines));
-  add(std::make_unique<D4mIsland>(engines, assoc_fetcher));
+  add(std::make_unique<D4mIsland>(engines, &catalog_, assoc_fetcher));
   add(std::make_unique<MyriaIsland>(engines, &catalog_, table_fetcher));
   // Degenerate islands: full native functionality of a single engine.
   add(std::make_unique<RelationalIsland>("POSTGRES", engines, &catalog_,
@@ -61,9 +81,38 @@ BigDawg::BigDawg() {
   // plane as every other engine shim, so injected S-Store outages surface
   // as typed ingest rejections and held batches (backpressure).
   stream_.SetEngineCheck([this] { return CheckEngine(kEngineSStore); });
+
+  // Shard-instance calls flow through the same fault plane and routing
+  // checks as whole engines, addressed by instance name ("scidb#1") so a
+  // schedule or breaker on one shard leaves its siblings serving.
+  shard_runtime_.SetInstanceCheck(
+      [this](const std::string& instance) { return CheckEngine(instance); });
+  shard_runtime_.SetInstanceDownCheck([this](const std::string& instance) {
+    return EngineConsideredDown(instance);
+  });
+  // Scatters inherit the active execution's deadline, cancellation flag,
+  // and clock; pool tasks cannot reach the thread-local context
+  // themselves, so the policy is captured on the query thread per scatter.
+  shard_runtime_.SetPolicyProvider([this] {
+    ShardCallPolicy policy;
+    if (ExecContext* ctx = ActiveCtx()) {
+      policy.clock = ctx->clock;
+      policy.has_deadline = ctx->has_deadline;
+      policy.deadline = ctx->deadline;
+      policy.cancelled = ctx->cancelled;
+    }
+    policy.hedge_after_ms = ShardHedgeMs();
+    return policy;
+  });
 }
 
-BigDawg::~BigDawg() { stream_.Stop(); }
+BigDawg::~BigDawg() {
+  stream_.Stop();
+  // A failed gather returns before its abandoned scatter tasks (and late
+  // hedges) drain, and those tasks capture `this`. Join the shard pool
+  // before any member they touch is destroyed.
+  shard_runtime_.DrainPool();
+}
 
 Status BigDawg::RegisterObject(const std::string& object, const std::string& engine,
                                const std::string& native_name) {
@@ -232,12 +281,49 @@ Result<relational::Table> BigDawg::FetchTableRouted(const std::string& object,
 }
 
 Result<relational::Table> BigDawg::FetchAsTable(const std::string& object) {
+  // A repartition can retire the physical names between a snapshot and
+  // the reads under it; a NotFound with a moved placement epoch means
+  // exactly that race, and a fresh attempt sees the new layout.
+  Result<ObjectSnapshot> before = catalog_.Snapshot(object);
+  for (int attempt = 0;; ++attempt) {
+    Result<relational::Table> r = FetchAsTableOnce(object);
+    if (r.ok() || r.status().code() != StatusCode::kNotFound ||
+        attempt >= 4) {
+      return r;
+    }
+    Result<ObjectSnapshot> now = catalog_.Snapshot(object);
+    if (!before.ok() || !now.ok() ||
+        now->placement.epoch == before->placement.epoch) {
+      return r;
+    }
+    before = std::move(now);
+  }
+}
+
+Result<relational::Table> BigDawg::FetchAsTableOnce(const std::string& object) {
   obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard shim_span(trace, "shim:table");
   if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
   const ObjectLocation& loc = snap.location;
   if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+  if (snap.placement.sharded()) {
+    if (trace != nullptr) shim_span.Tag("sharded", "true");
+    if (loc.engine == kEnginePostgres) {
+      return GatherShardedTable(object, snap);
+    }
+    if (loc.engine == kEngineSciDb) {
+      BIGDAWG_ASSIGN_OR_RETURN(array::Array a, GatherShardedArray(object, snap));
+      return ArrayToTable(a);
+    }
+    if (loc.engine == kEngineD4m) {
+      BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
+                               GatherShardedAssoc(object, snap));
+      return AssocToTable(a);
+    }
+    return Status::Internal("sharded object on unshardable engine: " +
+                            loc.engine);
+  }
   // A postgres-homed relation is a native read, not a cast: there is no
   // conversion to save, so the cache never interposes on it.
   if (!cast_cache_.enabled() || loc.engine == kEnginePostgres ||
@@ -325,12 +411,47 @@ Result<array::Array> BigDawg::FetchArrayRouted(const std::string& object,
 }
 
 Result<array::Array> BigDawg::FetchAsArray(const std::string& object) {
+  Result<ObjectSnapshot> before = catalog_.Snapshot(object);
+  for (int attempt = 0;; ++attempt) {
+    Result<array::Array> r = FetchAsArrayOnce(object);
+    if (r.ok() || r.status().code() != StatusCode::kNotFound ||
+        attempt >= 4) {
+      return r;
+    }
+    Result<ObjectSnapshot> now = catalog_.Snapshot(object);
+    if (!before.ok() || !now.ok() ||
+        now->placement.epoch == before->placement.epoch) {
+      return r;
+    }
+    before = std::move(now);
+  }
+}
+
+Result<array::Array> BigDawg::FetchAsArrayOnce(const std::string& object) {
   obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard shim_span(trace, "shim:array");
   if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
   const ObjectLocation& loc = snap.location;
   if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+  if (snap.placement.sharded()) {
+    if (trace != nullptr) shim_span.Tag("sharded", "true");
+    if (loc.engine == kEngineSciDb) {
+      return GatherShardedArray(object, snap);
+    }
+    if (loc.engine == kEnginePostgres) {
+      BIGDAWG_ASSIGN_OR_RETURN(relational::Table t,
+                               GatherShardedTable(object, snap));
+      return TableToArray(t);
+    }
+    if (loc.engine == kEngineD4m) {
+      BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
+                               GatherShardedAssoc(object, snap));
+      return AssocToArray(a);
+    }
+    return Status::Internal("sharded object on unshardable engine: " +
+                            loc.engine);
+  }
   // A scidb-homed array is a native read; no conversion to cache.
   if (!cast_cache_.enabled() || loc.engine == kEngineSciDb ||
       IsCastTemp(object)) {
@@ -394,12 +515,47 @@ Result<d4m::AssocArray> BigDawg::FetchAssocRouted(const std::string& object,
 }
 
 Result<d4m::AssocArray> BigDawg::FetchAsAssoc(const std::string& object) {
+  Result<ObjectSnapshot> before = catalog_.Snapshot(object);
+  for (int attempt = 0;; ++attempt) {
+    Result<d4m::AssocArray> r = FetchAsAssocOnce(object);
+    if (r.ok() || r.status().code() != StatusCode::kNotFound ||
+        attempt >= 4) {
+      return r;
+    }
+    Result<ObjectSnapshot> now = catalog_.Snapshot(object);
+    if (!before.ok() || !now.ok() ||
+        now->placement.epoch == before->placement.epoch) {
+      return r;
+    }
+    before = std::move(now);
+  }
+}
+
+Result<d4m::AssocArray> BigDawg::FetchAsAssocOnce(const std::string& object) {
   obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
   obs::SpanGuard shim_span(trace, "shim:assoc");
   if (trace != nullptr) shim_span.Tag("object", object);
   BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
   const ObjectLocation& loc = snap.location;
   if (trace != nullptr) shim_span.Tag("engine", loc.engine);
+  if (snap.placement.sharded()) {
+    if (trace != nullptr) shim_span.Tag("sharded", "true");
+    if (loc.engine == kEngineD4m) {
+      return GatherShardedAssoc(object, snap);
+    }
+    if (loc.engine == kEnginePostgres) {
+      BIGDAWG_ASSIGN_OR_RETURN(relational::Table t,
+                               GatherShardedTable(object, snap));
+      return TableToAssoc(t);
+    }
+    if (loc.engine == kEngineSciDb) {
+      BIGDAWG_ASSIGN_OR_RETURN(array::Array a, GatherShardedArray(object, snap));
+      BIGDAWG_ASSIGN_OR_RETURN(relational::Table t, ArrayToTable(a));
+      return TableToAssoc(t);
+    }
+    return Status::Internal("sharded object on unshardable engine: " +
+                            loc.engine);
+  }
   // A d4m-homed associative array is a native read; no conversion to
   // cache. (The accumulo term x document incidence build, by contrast, is
   // O(corpus) and one of the cache's best customers.)
@@ -540,14 +696,23 @@ void BigDawg::DropPhysical(const std::string& engine, const std::string& native)
 
 Status BigDawg::MigrateObject(const std::string& object,
                               const std::string& target_engine) {
-  BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));
+  // Serialized with ShardObject/UnshardObject: migration of a sharded
+  // object collapses its placement, which is a repartition.
+  std::lock_guard repartition(shard_runtime_.repartition_mu());
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  const ObjectLocation& loc = snap.location;
   if (loc.engine == target_engine) return Status::OK();
   BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, FetchAsTable(object));
   // A replica already on the target becomes redundant after migration;
   // the catalog drops its entry and we drop its bytes.
   Result<ReplicaLocation> existing = catalog_.ReplicaOn(object, target_engine);
   BIGDAWG_RETURN_NOT_OK(StoreTableOnEngine(table, target_engine, object));
-  DropPhysical(loc.engine, loc.native_name);
+  if (snap.placement.sharded()) {
+    BIGDAWG_RETURN_NOT_OK(catalog_.RemovePlacement(object));
+    DropFragments(loc.engine, loc.native_name, snap.placement);
+  } else {
+    DropPhysical(loc.engine, loc.native_name);
+  }
   if (existing.ok() && existing->native_name != object) {
     DropPhysical(target_engine, existing->native_name);
   }
@@ -596,6 +761,447 @@ Result<int64_t> BigDawg::RefreshReplicas(const std::string& object) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded objects: scatter-gather reads
+// ---------------------------------------------------------------------------
+
+Result<relational::Table> BigDawg::FetchTableFragment(const std::string& object,
+                                                      const ObjectSnapshot& snap,
+                                                      int shard) {
+  const std::string& engine = snap.location.engine;
+  const std::string instance = ShardInstanceName(engine, shard);
+  if (EngineConsideredDown(instance)) {
+    return Status::Unavailable("shard instance " + instance + " is down");
+  }
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(instance));
+  const std::string frag =
+      ShardFragmentName(snap.location.native_name, snap.placement.epoch, shard);
+  if (!cast_cache_.enabled() || IsCastTemp(object)) {
+    return shard_runtime_.Relational(shard)->GetTable(frag);
+  }
+  // Fragment reads key the cache on THAT shard's write version (params
+  // carry the shard/epoch so two shards of one object never collide):
+  // writing or migrating shard 3 invalidates only shard 3's entry and
+  // the other shards stay warm.
+  CastCacheKey key{object, snap.instance_id,
+                   snap.placement.shard_versions[static_cast<size_t>(shard)],
+                   CastTarget::kTable,
+                   "s" + std::to_string(shard) + "@e" +
+                       std::to_string(snap.placement.epoch)};
+  CastCacheOutcome outcome = CastCacheOutcome::kMiss;
+  int64_t bytes = 0;
+  Result<std::shared_ptr<const relational::Table>> cached =
+      cast_cache_.GetOrCompute<relational::Table>(
+          key,
+          [&]() -> Result<
+                    std::pair<std::shared_ptr<const relational::Table>, int64_t>> {
+            BIGDAWG_ASSIGN_OR_RETURN(
+                relational::Table t, shard_runtime_.Relational(shard)->GetTable(frag));
+            const int64_t size = EstimateTableBytes(t);
+            return std::make_pair(
+                std::make_shared<const relational::Table>(std::move(t)), size);
+          },
+          [&]() { return catalog_.ShardStateIsCurrent(object, snap, shard); },
+          // Fragment fetches run on pool threads where no ExecContext is
+          // installed; single-flight waiting still coalesces by key.
+          nullptr, &outcome, &bytes);
+  if (!cached.ok()) return cached.status();
+  return **cached;
+}
+
+Result<array::Array> BigDawg::FetchArrayFragment(const std::string& object,
+                                                 const ObjectSnapshot& snap,
+                                                 int shard) {
+  const std::string& engine = snap.location.engine;
+  const std::string instance = ShardInstanceName(engine, shard);
+  if (EngineConsideredDown(instance)) {
+    return Status::Unavailable("shard instance " + instance + " is down");
+  }
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(instance));
+  const std::string frag =
+      ShardFragmentName(snap.location.native_name, snap.placement.epoch, shard);
+  if (!cast_cache_.enabled() || IsCastTemp(object)) {
+    return shard_runtime_.ArrayAt(shard)->GetArray(frag);
+  }
+  CastCacheKey key{object, snap.instance_id,
+                   snap.placement.shard_versions[static_cast<size_t>(shard)],
+                   CastTarget::kArray,
+                   "s" + std::to_string(shard) + "@e" +
+                       std::to_string(snap.placement.epoch)};
+  CastCacheOutcome outcome = CastCacheOutcome::kMiss;
+  int64_t bytes = 0;
+  Result<std::shared_ptr<const array::Array>> cached =
+      cast_cache_.GetOrCompute<array::Array>(
+          key,
+          [&]() -> Result<
+                    std::pair<std::shared_ptr<const array::Array>, int64_t>> {
+            BIGDAWG_ASSIGN_OR_RETURN(array::Array a,
+                                     shard_runtime_.ArrayAt(shard)->GetArray(frag));
+            const int64_t size = EstimateArrayBytes(a);
+            return std::make_pair(
+                std::make_shared<const array::Array>(std::move(a)), size);
+          },
+          [&]() { return catalog_.ShardStateIsCurrent(object, snap, shard); },
+          nullptr, &outcome, &bytes);
+  if (!cached.ok()) return cached.status();
+  return **cached;
+}
+
+Result<d4m::AssocArray> BigDawg::FetchAssocFragment(const std::string& object,
+                                                    const ObjectSnapshot& snap,
+                                                    int shard) {
+  const std::string& engine = snap.location.engine;
+  const std::string instance = ShardInstanceName(engine, shard);
+  if (EngineConsideredDown(instance)) {
+    return Status::Unavailable("shard instance " + instance + " is down");
+  }
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(instance));
+  const std::string frag =
+      ShardFragmentName(snap.location.native_name, snap.placement.epoch, shard);
+  if (!cast_cache_.enabled() || IsCastTemp(object)) {
+    return shard_runtime_.AssocAt(shard)->Get(frag);
+  }
+  CastCacheKey key{object, snap.instance_id,
+                   snap.placement.shard_versions[static_cast<size_t>(shard)],
+                   CastTarget::kAssoc,
+                   "s" + std::to_string(shard) + "@e" +
+                       std::to_string(snap.placement.epoch)};
+  CastCacheOutcome outcome = CastCacheOutcome::kMiss;
+  int64_t bytes = 0;
+  Result<std::shared_ptr<const d4m::AssocArray>> cached =
+      cast_cache_.GetOrCompute<d4m::AssocArray>(
+          key,
+          [&]() -> Result<
+                    std::pair<std::shared_ptr<const d4m::AssocArray>, int64_t>> {
+            BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
+                                     shard_runtime_.AssocAt(shard)->Get(frag));
+            const int64_t size = EstimateAssocBytes(a);
+            return std::make_pair(
+                std::make_shared<const d4m::AssocArray>(std::move(a)), size);
+          },
+          [&]() { return catalog_.ShardStateIsCurrent(object, snap, shard); },
+          nullptr, &outcome, &bytes);
+  if (!cached.ok()) return cached.status();
+  return **cached;
+}
+
+Result<relational::Table> BigDawg::GatherShardedTable(
+    const std::string& object, const ObjectSnapshot& snap) {
+  // The trace lives on the gather thread only: obs::Trace is not
+  // thread-safe, so pool tasks never touch it.
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
+  obs::SpanGuard span(trace, "scatter:table");
+  if (trace != nullptr) {
+    span.Tag("object", object);
+    span.Tag("shards", std::to_string(snap.placement.shard_count));
+    span.Tag("epoch", std::to_string(snap.placement.epoch));
+  }
+  int failed_shard = -1;
+  Result<std::vector<relational::Table>> frags =
+      shard_runtime_.ScatterGather<relational::Table>(
+          snap.placement.shard_count,
+          // By value: a failed gather returns before abandoned tasks
+          // (and hedges) drain, so the lambda must own its state.
+          [this, object, snap](int shard) {
+            return FetchTableFragment(object, snap, shard);
+          },
+          &failed_shard);
+  if (frags.ok()) {
+    if (!catalog_.PlacementIsCurrent(object, snap)) {
+      // A repartition raced the scatter; surface NotFound so the fetch
+      // wrapper re-snapshots and reads the new layout instead of serving
+      // a torn mix of epochs.
+      return Status::NotFound("placement of " + object +
+                              " changed during gather");
+    }
+    return MergeTableFragments(std::move(*frags));
+  }
+  if (trace != nullptr) span.Tag("error", frags.status().message());
+  if (frags.status().code() != StatusCode::kUnavailable) return frags.status();
+  // Partial results are never served. A replicated object can still
+  // answer whole from a fresh replica; otherwise the failure is typed.
+  Result<relational::Table> failover = FailoverFetch(object, snap.location);
+  if (failover.ok()) return failover;
+  if (failed_shard >= 0 && ActiveCtx() != nullptr) {
+    ActiveCtx()->unavailable_engine =
+        ShardInstanceName(snap.location.engine, failed_shard);
+  }
+  return frags.status();
+}
+
+Result<array::Array> BigDawg::GatherShardedArray(const std::string& object,
+                                                 const ObjectSnapshot& snap) {
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
+  obs::SpanGuard span(trace, "scatter:array");
+  if (trace != nullptr) {
+    span.Tag("object", object);
+    span.Tag("shards", std::to_string(snap.placement.shard_count));
+    span.Tag("epoch", std::to_string(snap.placement.epoch));
+  }
+  int failed_shard = -1;
+  Result<std::vector<array::Array>> frags =
+      shard_runtime_.ScatterGather<array::Array>(
+          snap.placement.shard_count,
+          [this, object, snap](int shard) {
+            return FetchArrayFragment(object, snap, shard);
+          },
+          &failed_shard);
+  if (frags.ok()) {
+    if (!catalog_.PlacementIsCurrent(object, snap)) {
+      return Status::NotFound("placement of " + object +
+                              " changed during gather");
+    }
+    return MergeArrayFragments(*frags);
+  }
+  if (trace != nullptr) span.Tag("error", frags.status().message());
+  if (frags.status().code() != StatusCode::kUnavailable) return frags.status();
+  Result<relational::Table> failover = FailoverFetch(object, snap.location);
+  if (failover.ok()) return TableToArray(*failover);
+  if (failed_shard >= 0 && ActiveCtx() != nullptr) {
+    ActiveCtx()->unavailable_engine =
+        ShardInstanceName(snap.location.engine, failed_shard);
+  }
+  return frags.status();
+}
+
+Result<d4m::AssocArray> BigDawg::GatherShardedAssoc(const std::string& object,
+                                                    const ObjectSnapshot& snap) {
+  obs::Trace* trace = ActiveCtx() != nullptr ? ActiveCtx()->trace : nullptr;
+  obs::SpanGuard span(trace, "scatter:assoc");
+  if (trace != nullptr) {
+    span.Tag("object", object);
+    span.Tag("shards", std::to_string(snap.placement.shard_count));
+    span.Tag("epoch", std::to_string(snap.placement.epoch));
+  }
+  int failed_shard = -1;
+  Result<std::vector<d4m::AssocArray>> frags =
+      shard_runtime_.ScatterGather<d4m::AssocArray>(
+          snap.placement.shard_count,
+          [this, object, snap](int shard) {
+            return FetchAssocFragment(object, snap, shard);
+          },
+          &failed_shard);
+  if (frags.ok()) {
+    if (!catalog_.PlacementIsCurrent(object, snap)) {
+      return Status::NotFound("placement of " + object +
+                              " changed during gather");
+    }
+    return MergeAssocFragments(*frags);
+  }
+  if (trace != nullptr) span.Tag("error", frags.status().message());
+  if (frags.status().code() != StatusCode::kUnavailable) return frags.status();
+  Result<relational::Table> failover = FailoverFetch(object, snap.location);
+  if (failover.ok()) return TableToAssoc(*failover);
+  if (failed_shard >= 0 && ActiveCtx() != nullptr) {
+    ActiveCtx()->unavailable_engine =
+        ShardInstanceName(snap.location.engine, failed_shard);
+  }
+  return frags.status();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded objects: repartitioning
+// ---------------------------------------------------------------------------
+
+int BigDawg::DefaultShardCount() {
+  const char* env = std::getenv("BIGDAWG_SHARDS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 64) {
+      return static_cast<int>(v);
+    }
+  }
+  return 4;
+}
+
+Result<relational::Table> BigDawg::FetchWholeTableForShard(
+    const ObjectSnapshot& snap, const std::string& object) {
+  if (snap.placement.sharded()) return GatherShardedTable(object, snap);
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(snap.location.engine));
+  return relational_.GetTable(snap.location.native_name);
+}
+
+Status BigDawg::StoreFragment(const std::string& engine, int shard,
+                              const std::string& native,
+                              const relational::Table* table,
+                              const array::Array* array,
+                              const d4m::AssocArray* assoc) {
+  // Writes never fail over: a down shard instance fails the store.
+  BIGDAWG_RETURN_NOT_OK(shard_runtime_.CheckInstance(engine, shard));
+  if (engine == kEnginePostgres && table != nullptr) {
+    return shard_runtime_.Relational(shard)->PutTable(native, *table);
+  }
+  if (engine == kEngineSciDb && array != nullptr) {
+    return shard_runtime_.ArrayAt(shard)->PutArray(native, *array);
+  }
+  if (engine == kEngineD4m && assoc != nullptr) {
+    shard_runtime_.AssocAt(shard)->Put(native, *assoc);
+    return Status::OK();
+  }
+  return Status::Internal("StoreFragment: engine/payload mismatch for " +
+                          engine);
+}
+
+void BigDawg::DropFragments(const std::string& engine, const std::string& native,
+                            const ShardPlacement& placement) {
+  for (int i = 0; i < placement.shard_count; ++i) {
+    const std::string frag = ShardFragmentName(native, placement.epoch, i);
+    if (engine == kEnginePostgres) {
+      (void)shard_runtime_.Relational(i)->DropTable(frag);
+    } else if (engine == kEngineSciDb) {
+      (void)shard_runtime_.ArrayAt(i)->RemoveArray(frag);
+    } else if (engine == kEngineD4m) {
+      shard_runtime_.AssocAt(i)->Erase(frag);
+    }
+  }
+}
+
+Status BigDawg::ShardObject(const std::string& object) {
+  return ShardObject(object, DefaultShardCount());
+}
+
+Status BigDawg::ShardObject(const std::string& object, int shard_count,
+                            const std::string& key) {
+  if (shard_count < 1 || shard_count > 64) {
+    return Status::InvalidArgument("shard_count must be in [1, 64]");
+  }
+  // One repartition at a time, system-wide: the epoch sequence per object
+  // stays strictly increasing and old-layout cleanup cannot interleave.
+  std::lock_guard repartition(shard_runtime_.repartition_mu());
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  const std::string& engine = snap.location.engine;
+
+  ShardPlacement placement;
+  placement.shard_count = shard_count;
+  placement.epoch = snap.placement.epoch + 1;
+
+  if (engine == kEnginePostgres) {
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table whole,
+                             FetchWholeTableForShard(snap, object));
+    if (whole.schema().num_fields() == 0) {
+      return Status::InvalidArgument("table has no columns to shard on");
+    }
+    placement.kind = PartitionKind::kHash;
+    placement.key = key.empty() ? whole.schema().field(0).name : key;
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<relational::Table> frags,
+                             PartitionTable(whole, placement));
+    for (int i = 0; i < shard_count; ++i) {
+      BIGDAWG_RETURN_NOT_OK(StoreFragment(
+          engine, i,
+          ShardFragmentName(snap.location.native_name, placement.epoch, i),
+          &frags[static_cast<size_t>(i)], nullptr, nullptr));
+    }
+  } else if (engine == kEngineSciDb) {
+    Result<array::Array> whole_r =
+        snap.placement.sharded()
+            ? GatherShardedArray(object, snap)
+            : [&]() -> Result<array::Array> {
+                BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
+                return array_.GetArray(snap.location.native_name);
+              }();
+    BIGDAWG_RETURN_NOT_OK(whole_r.status());
+    const array::Array& whole = *whole_r;
+    if (whole.num_dims() == 0) {
+      return Status::InvalidArgument("array has no dimensions to shard on");
+    }
+    placement.kind = PartitionKind::kRange;
+    placement.key = key.empty() ? whole.dims()[0].name : key;
+    size_t dim_idx = whole.num_dims();
+    for (size_t d = 0; d < whole.num_dims(); ++d) {
+      if (whole.dims()[d].name == placement.key) {
+        dim_idx = d;
+        break;
+      }
+    }
+    if (dim_idx == whole.num_dims()) {
+      return Status::InvalidArgument("no dimension named " + placement.key);
+    }
+    const array::Dimension& dim = whole.dims()[dim_idx];
+    for (int j = 0; j < shard_count - 1; ++j) {
+      placement.range_splits.push_back(
+          dim.start + (dim.length * (j + 1)) / shard_count);
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<array::Array> frags,
+                             PartitionArray(whole, placement));
+    for (int i = 0; i < shard_count; ++i) {
+      BIGDAWG_RETURN_NOT_OK(StoreFragment(
+          engine, i,
+          ShardFragmentName(snap.location.native_name, placement.epoch, i),
+          nullptr, &frags[static_cast<size_t>(i)], nullptr));
+    }
+  } else if (engine == kEngineD4m) {
+    Result<d4m::AssocArray> whole_r =
+        snap.placement.sharded()
+            ? GatherShardedAssoc(object, snap)
+            : [&]() -> Result<d4m::AssocArray> {
+                BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
+                std::shared_lock lock(assoc_mu_);
+                auto it = assoc_store_.find(snap.location.native_name);
+                if (it == assoc_store_.end()) {
+                  return Status::NotFound("no assoc object named " + object);
+                }
+                return it->second;
+              }();
+    BIGDAWG_RETURN_NOT_OK(whole_r.status());
+    placement.kind = PartitionKind::kHash;
+    placement.key = key.empty() ? "row" : key;
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<d4m::AssocArray> frags,
+                             PartitionAssoc(*whole_r, placement));
+    for (int i = 0; i < shard_count; ++i) {
+      BIGDAWG_RETURN_NOT_OK(StoreFragment(
+          engine, i,
+          ShardFragmentName(snap.location.native_name, placement.epoch, i),
+          nullptr, nullptr, &frags[static_cast<size_t>(i)]));
+    }
+  } else {
+    return Status::InvalidArgument(
+        "only postgres/scidb/d4m-homed objects can be sharded (object " +
+        object + " lives on " + engine + ")");
+  }
+
+  // New-epoch fragments are fully written; the placement swap makes them
+  // visible atomically, and only then is the old layout retired.
+  BIGDAWG_RETURN_NOT_OK(catalog_.SetPlacement(object, placement));
+  shard_runtime_.stats().repartitions.fetch_add(1, std::memory_order_relaxed);
+  if (snap.placement.sharded()) {
+    DropFragments(engine, snap.location.native_name, snap.placement);
+  } else {
+    DropPhysical(engine, snap.location.native_name);
+  }
+  return Status::OK();
+}
+
+Status BigDawg::UnshardObject(const std::string& object) {
+  std::lock_guard repartition(shard_runtime_.repartition_mu());
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  if (!snap.placement.sharded()) return Status::OK();
+  const std::string& engine = snap.location.engine;
+  BIGDAWG_RETURN_NOT_OK(CheckEngine(engine));
+  if (engine == kEnginePostgres) {
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table whole,
+                             GatherShardedTable(object, snap));
+    BIGDAWG_RETURN_NOT_OK(
+        relational_.PutTable(snap.location.native_name, std::move(whole)));
+  } else if (engine == kEngineSciDb) {
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array whole,
+                             GatherShardedArray(object, snap));
+    BIGDAWG_RETURN_NOT_OK(
+        array_.PutArray(snap.location.native_name, std::move(whole)));
+  } else if (engine == kEngineD4m) {
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray whole,
+                             GatherShardedAssoc(object, snap));
+    std::unique_lock lock(assoc_mu_);
+    assoc_store_[snap.location.native_name] = std::move(whole);
+  } else {
+    return Status::Internal("sharded object on unshardable engine: " + engine);
+  }
+  BIGDAWG_RETURN_NOT_OK(catalog_.RemovePlacement(object));
+  shard_runtime_.stats().repartitions.fetch_add(1, std::memory_order_relaxed);
+  DropFragments(engine, snap.location.native_name, snap.placement);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Stream age-out
 // ---------------------------------------------------------------------------
 
@@ -610,6 +1216,36 @@ Status BigDawg::EnableStreamAgeOut(const StreamAgeOutConfig& config) {
 
 Status BigDawg::StoreStreamHistory(const std::string& object,
                                    const relational::Table& table) {
+  Result<ShardPlacement> placement = catalog_.Placement(object);
+  if (placement.ok() && placement->sharded()) {
+    // Sharded history: partition the flushed window by the placement map
+    // so every fragment lands on its owning shard instance (new hist_seq
+    // rows route to the last, unbounded-above range shard).
+    BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+    if (snap.location.engine != kEngineSciDb) {
+      return Status::Internal("stream history must live on the array engine");
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a, TableToArray(table));
+    BIGDAWG_ASSIGN_OR_RETURN(std::vector<array::Array> frags,
+                             PartitionArray(a, *placement));
+    // Probe every shard instance up front so a down shard fails the
+    // flush before any fragment is replaced (the age-out pipeline keeps
+    // the rows pending and retries).
+    for (int i = 0; i < placement->shard_count; ++i) {
+      if (shard_runtime_.InstanceConsideredDown(kEngineSciDb, i)) {
+        return Status::Unavailable(
+            "shard instance " + ShardInstanceName(kEngineSciDb, i) +
+            " is down; stream history flush deferred");
+      }
+    }
+    for (int i = 0; i < placement->shard_count; ++i) {
+      BIGDAWG_RETURN_NOT_OK(StoreFragment(
+          kEngineSciDb, i,
+          ShardFragmentName(snap.location.native_name, placement->epoch, i),
+          nullptr, &frags[static_cast<size_t>(i)], nullptr));
+    }
+    return catalog_.MarkPrimaryWritten(object);
+  }
   // Writes never fail over — a down array engine fails the store (the
   // age-out pipeline keeps the rows pending and retries).
   BIGDAWG_RETURN_NOT_OK(CheckEngine(kEngineSciDb));

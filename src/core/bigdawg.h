@@ -18,6 +18,7 @@
 #include "core/island.h"
 #include "core/islands.h"
 #include "core/monitor.h"
+#include "core/sharding.h"
 #include "d4m/assoc_array.h"
 #include "kvstore/text_store.h"
 #include "obs/trace.h"
@@ -163,6 +164,31 @@ class BigDawg {
   /// number of objects migrated.
   Result<int64_t> ApplyMigrations();
 
+  // ---- Sharding (partitioned objects across engine instances) ----
+
+  /// The pool of numbered engine instances sharded objects live on, and
+  /// the scatter-gather machinery the islands reuse.
+  ShardRuntime& shards() { return shard_runtime_; }
+
+  /// Partitions `object` across `shard_count` instances of its home
+  /// engine. Tables hash on `key` (default: the first column), assoc
+  /// arrays hash on the row key, arrays range-partition on `key`
+  /// (default: the first dimension). The object's bytes move from the
+  /// base engine into per-shard fragments; reads reassemble them
+  /// transparently, and the relational/array/D4M islands push distributive
+  /// aggregates down to the shards. Safe to call on an already-sharded
+  /// object (repartition: readers mid-flight retry against the new
+  /// layout). `shard_count == 1` is a real single-shard placement.
+  Status ShardObject(const std::string& object, int shard_count,
+                     const std::string& key = "");
+  /// ShardObject with the BIGDAWG_SHARDS default shard count.
+  Status ShardObject(const std::string& object);
+  /// Gathers the fragments back into one object on the base engine and
+  /// removes the placement.
+  Status UnshardObject(const std::string& object);
+  /// The BIGDAWG_SHARDS environment default (4 when unset/invalid).
+  static int DefaultShardCount();
+
   // ---- Stream age-out (streaming island -> array engine) ----
 
   /// Installs the age-out pipeline: rows the stream engine's retention
@@ -210,6 +236,52 @@ class BigDawg {
   Result<relational::Table> FetchTableFrom(const std::string& engine,
                                            const std::string& native);
 
+  // ---- Sharded-object internals ----
+
+  /// One attempt at a cross-model fetch (the pre-sharding Fetch* bodies).
+  /// The public wrappers retry on NotFound caused by a concurrent
+  /// repartition retiring the physical names a snapshot pointed at.
+  Result<relational::Table> FetchAsTableOnce(const std::string& object);
+  Result<array::Array> FetchAsArrayOnce(const std::string& object);
+  Result<d4m::AssocArray> FetchAsAssocOnce(const std::string& object);
+
+  /// Gathers a sharded object's fragments in its HOME model (table for
+  /// postgres, array for scidb, assoc for d4m) with bounded retries
+  /// against concurrent repartitions, per-shard failure handling, and
+  /// whole-object replica failover. Cross-model Fetch* wrappers convert
+  /// the gathered result, mirroring the unsharded conversion path.
+  Result<relational::Table> GatherShardedTable(const std::string& object,
+                                               const ObjectSnapshot& snap);
+  Result<array::Array> GatherShardedArray(const std::string& object,
+                                          const ObjectSnapshot& snap);
+  Result<d4m::AssocArray> GatherShardedAssoc(const std::string& object,
+                                             const ObjectSnapshot& snap);
+  /// One shard's fragment read, through the per-shard cast cache entry
+  /// (params "s<i>@e<epoch>", version = that shard's write version).
+  Result<relational::Table> FetchTableFragment(const std::string& object,
+                                               const ObjectSnapshot& snap,
+                                               int shard);
+  Result<array::Array> FetchArrayFragment(const std::string& object,
+                                          const ObjectSnapshot& snap,
+                                          int shard);
+  Result<d4m::AssocArray> FetchAssocFragment(const std::string& object,
+                                             const ObjectSnapshot& snap,
+                                             int shard);
+  /// Fetches the whole object in its home model (table/array/assoc by
+  /// engine), bypassing islands; used by repartitioning.
+  Result<relational::Table> FetchWholeTableForShard(const ObjectSnapshot& snap,
+                                                    const std::string& object);
+  /// Writes fragment `shard` of the new layout and returns OK only when
+  /// the store took (fault plane consulted with the instance name).
+  Status StoreFragment(const std::string& engine, int shard,
+                       const std::string& native,
+                       const relational::Table* table,
+                       const array::Array* array,
+                       const d4m::AssocArray* assoc);
+  /// Drops one epoch's fragments from the shard instances (best-effort).
+  void DropFragments(const std::string& engine, const std::string& native,
+                     const ShardPlacement& placement);
+
   // Routing bodies behind the cache-aware Fetch* wrappers: down-check,
   // replica preference, engine dispatch. `shim_span` is the wrapper's
   // span (for replica tags); `trace` may be null.
@@ -246,6 +318,7 @@ class BigDawg {
   Catalog catalog_;
   Monitor monitor_;
   FaultInjector fault_;
+  ShardRuntime shard_runtime_;
   CastCache cast_cache_;
   obs::Tracer tracer_;
   std::map<std::string, std::unique_ptr<Island>> islands_;

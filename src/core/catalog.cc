@@ -33,7 +33,7 @@ Result<ObjectSnapshot> Catalog::Snapshot(const std::string& object) const {
     return Status::NotFound("no catalog entry for object: " + object);
   }
   return ObjectSnapshot{it->second.primary, it->second.instance_id,
-                        it->second.version};
+                        it->second.version, it->second.placement};
 }
 
 bool Catalog::SnapshotIsCurrent(const std::string& object,
@@ -42,7 +42,8 @@ bool Catalog::SnapshotIsCurrent(const std::string& object,
   auto it = objects_.find(object);
   if (it == objects_.end()) return false;
   return it->second.instance_id == snapshot.instance_id &&
-         it->second.version == snapshot.version;
+         it->second.version == snapshot.version &&
+         it->second.placement.epoch == snapshot.placement.epoch;
 }
 
 bool Catalog::Contains(const std::string& object) const {
@@ -167,6 +168,9 @@ Status Catalog::MarkPrimaryWritten(const std::string& object) {
     return Status::NotFound("no catalog entry for object: " + object);
   }
   ++it->second.version;
+  // A whole-object write rewrites every fragment: all per-shard cache
+  // entries must become unreachable too.
+  for (int64_t& v : it->second.placement.shard_versions) ++v;
   return Status::OK();
 }
 
@@ -195,6 +199,109 @@ bool Catalog::ReplicaIsFresh(const std::string& object,
     if (r.engine == engine) return r.version == it->second.version;
   }
   return false;
+}
+
+Status Catalog::SetPlacement(const std::string& object, ShardPlacement placement) {
+  if (placement.shard_count < 1) {
+    return Status::InvalidArgument("placement needs at least one shard");
+  }
+  if (placement.kind == PartitionKind::kRange &&
+      static_cast<int>(placement.range_splits.size()) !=
+          placement.shard_count - 1) {
+    return Status::InvalidArgument("range placement needs shard_count-1 splits");
+  }
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  if (placement.epoch <= it->second.placement.epoch) {
+    return Status::FailedPrecondition(
+        "placement epoch must advance (repartitions must be serialized)");
+  }
+  placement.shard_versions.assign(placement.shard_count, 0);
+  it->second.placement = std::move(placement);
+  return Status::OK();
+}
+
+Result<ShardPlacement> Catalog::Placement(const std::string& object) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  return it->second.placement;
+}
+
+Status Catalog::RemovePlacement(const std::string& object) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  // Advance the epoch watermark: readers mid-gather against the retired
+  // layout see the epoch move and retry against the unsharded object,
+  // and a later re-shard keeps the monotonic sequence (fragment names
+  // and cache params can never collide with a retired layout's).
+  ShardPlacement cleared;
+  cleared.epoch = it->second.placement.epoch + 1;
+  it->second.placement = std::move(cleared);
+  return Status::OK();
+}
+
+Status Catalog::MarkShardWritten(const std::string& object, int shard) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) {
+    return Status::NotFound("no catalog entry for object: " + object);
+  }
+  ShardPlacement& p = it->second.placement;
+  if (shard < 0 || shard >= p.shard_count) {
+    return Status::OutOfRange("no shard " + std::to_string(shard) + " of " +
+                              object);
+  }
+  ++p.shard_versions[shard];
+  // A shard write is a primary write: replicas and whole-object cache
+  // entries go stale, but sibling shards' fragment entries stay warm.
+  ++it->second.version;
+  return Status::OK();
+}
+
+bool Catalog::ShardStateIsCurrent(const std::string& object,
+                                  const ObjectSnapshot& snapshot,
+                                  int shard) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return false;
+  const ShardPlacement& p = it->second.placement;
+  if (it->second.instance_id != snapshot.instance_id) return false;
+  if (p.epoch != snapshot.placement.epoch) return false;
+  if (shard < 0 || shard >= p.shard_count) return false;
+  if (shard >= static_cast<int>(snapshot.placement.shard_versions.size())) {
+    return false;
+  }
+  return p.shard_versions[shard] == snapshot.placement.shard_versions[shard];
+}
+
+bool Catalog::PlacementIsCurrent(const std::string& object,
+                                 const ObjectSnapshot& snapshot) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return false;
+  return it->second.instance_id == snapshot.instance_id &&
+         it->second.placement.epoch == snapshot.placement.epoch;
+}
+
+std::vector<std::pair<ObjectLocation, ShardPlacement>> Catalog::ListPlacements()
+    const {
+  std::shared_lock lock(mu_);
+  std::vector<std::pair<ObjectLocation, ShardPlacement>> out;
+  for (const auto& [name, entry] : objects_) {
+    if (entry.placement.sharded()) {
+      out.emplace_back(entry.primary, entry.placement);
+    }
+  }
+  return out;
 }
 
 }  // namespace bigdawg::core

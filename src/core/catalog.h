@@ -4,6 +4,7 @@
 #include <map>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -33,11 +34,66 @@ inline int EngineOrdinal(const std::string& engine) {
   return -1;
 }
 
+/// Canonical name of shard instance `shard` of an engine: "postgres#2".
+/// Shard instances flow through the same string-keyed resilience plumbing
+/// as whole engines (fault schedules, breakers, ctx stamping) so a single
+/// sick shard degrades like a single sick engine — without taking its
+/// siblings with it.
+inline std::string ShardInstanceName(const std::string& engine, int shard) {
+  return engine + "#" + std::to_string(shard);
+}
+
+inline bool IsShardInstanceName(const std::string& name) {
+  return name.find('#') != std::string::npos;
+}
+
+/// "postgres#2" -> "postgres"; plain engine names pass through.
+inline std::string ShardBaseEngine(const std::string& name) {
+  size_t hash = name.find('#');
+  return hash == std::string::npos ? name : name.substr(0, hash);
+}
+
 /// \brief Where a logical object physically lives.
 struct ObjectLocation {
   std::string object;       // logical, polystore-wide name
   std::string engine;       // one of the kEngine* constants
   std::string native_name;  // name inside the owning engine
+};
+
+/// How a sharded object's rows/cells are assigned to shard instances.
+enum class PartitionKind : int {
+  kHash,   // hash of a key column (relations) or the row key (assocs)
+  kRange,  // contiguous ranges of one array dimension
+};
+
+/// \brief The placement map of one sharded object.
+///
+/// A sharded object's bytes live as per-shard fragments on numbered
+/// instances of its home engine ("postgres#0" ... "postgres#N-1") under
+/// epoch-stamped native names; the placement map is the authoritative
+/// description of that layout. `shard_count == 0` means unsharded.
+///
+/// `epoch` increases monotonically across the object's whole life — every
+/// repartition (and the final unshard) retires the previous epoch's
+/// fragment names, which is what lets readers detect a concurrent
+/// repartition and retry against the new layout instead of serving a
+/// torn mix of old and new fragments.
+///
+/// `shard_versions[i]` is the write version of shard i alone. The cast
+/// cache keys fragment entries on it, so writing (or migrating) one shard
+/// invalidates only that shard's cached conversions and keeps the other
+/// shards warm.
+struct ShardPlacement {
+  PartitionKind kind = PartitionKind::kHash;
+  std::string key;     // hash column name / range dimension name
+  int shard_count = 0;
+  int64_t epoch = 0;
+  /// kRange only: ascending exclusive upper bounds, one per shard except
+  /// the last (which is unbounded above).
+  std::vector<int64_t> range_splits;
+  std::vector<int64_t> shard_versions;
+
+  bool sharded() const { return shard_count > 0; }
 };
 
 /// \brief A consistent point-in-time view of one catalog entry.
@@ -50,6 +106,9 @@ struct ObjectSnapshot {
   ObjectLocation location;
   int64_t instance_id = 0;
   int64_t version = 0;
+  /// The placement map at snapshot time (default-constructed, i.e.
+  /// `!placement.sharded()`, for unsharded objects).
+  ShardPlacement placement;
 };
 
 /// \brief A read replica of a logical object on another engine.
@@ -120,12 +179,42 @@ class Catalog {
   /// True when the replica exists and matches the primary version.
   bool ReplicaIsFresh(const std::string& object, const std::string& engine) const;
 
+  // ---- Sharding (placement map) ----
+
+  /// Installs (or replaces) an object's placement map. The epoch must be
+  /// strictly greater than the entry's last placement epoch — repartitions
+  /// are serialized by the caller, so a stale epoch means a logic bug.
+  /// `shard_versions` is reset to zeros for the new layout.
+  Status SetPlacement(const std::string& object, ShardPlacement placement);
+  /// The object's placement map; `!sharded()` when unsharded. The epoch
+  /// field stays at its last value after RemovePlacement so a later
+  /// re-shard continues the monotonic sequence.
+  Result<ShardPlacement> Placement(const std::string& object) const;
+  /// Returns the object to unsharded (keeps the epoch watermark).
+  Status RemovePlacement(const std::string& object);
+  /// Records a write to one shard: bumps that shard's version and the
+  /// primary version (staling replicas and whole-object cache entries).
+  Status MarkShardWritten(const std::string& object, int shard);
+  /// True when `snapshot`'s view of shard `shard` is still current: same
+  /// registration, same placement epoch, same per-shard version. The cast
+  /// cache's insert validator for fragment entries.
+  bool ShardStateIsCurrent(const std::string& object,
+                           const ObjectSnapshot& snapshot, int shard) const;
+  /// True when the object's placement epoch still matches the snapshot's
+  /// (both unsharded counts as current). Gather's end-to-end check that
+  /// no repartition raced the scatter.
+  bool PlacementIsCurrent(const std::string& object,
+                          const ObjectSnapshot& snapshot) const;
+  /// Every sharded object with its placement, for the /shards endpoint.
+  std::vector<std::pair<ObjectLocation, ShardPlacement>> ListPlacements() const;
+
  private:
   struct Entry {
     ObjectLocation primary;
     int64_t instance_id = 0;
     int64_t version = 0;
     std::vector<ReplicaLocation> replicas;
+    ShardPlacement placement;
   };
 
   mutable std::shared_mutex mu_;

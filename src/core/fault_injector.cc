@@ -1,5 +1,7 @@
 #include "core/fault_injector.h"
 
+#include <algorithm>
+
 namespace bigdawg::core {
 
 void FaultInjector::SetClock(const obs::Clock* clock) {
@@ -8,10 +10,19 @@ void FaultInjector::SetClock(const obs::Clock* clock) {
 }
 
 FaultInjector::Schedule& FaultInjector::ScheduleFor(const std::string& engine) {
+  if (IsShardInstanceName(engine)) return instance_schedules_[engine];
   int ordinal = EngineOrdinal(engine);
   // Callers pass canonical engine names; Reset-ed slot 0 absorbs typos in
   // test scripts rather than corrupting a real engine's schedule.
   return schedules_[ordinal < 0 ? 0 : static_cast<size_t>(ordinal)];
+}
+
+const FaultInjector::Schedule* FaultInjector::BaseScheduleFor(
+    const std::string& name) const {
+  if (!IsShardInstanceName(name)) return nullptr;
+  int ordinal = EngineOrdinal(ShardBaseEngine(name));
+  if (ordinal < 0) return nullptr;
+  return &schedules_[static_cast<size_t>(ordinal)];
 }
 
 bool FaultInjector::DownLocked(const Schedule& s) const {
@@ -59,6 +70,7 @@ void FaultInjector::FailWithProbability(const std::string& engine, double p,
 void FaultInjector::Reset() {
   std::lock_guard lock(mu_);
   for (Schedule& s : schedules_) s = Schedule{};
+  instance_schedules_.clear();
 }
 
 Status FaultInjector::OnCall(const std::string& engine) {
@@ -83,6 +95,12 @@ Status FaultInjector::OnCall(const std::string& engine) {
     } else if (s.fail_probability > 0 && s.rng.NextBool(s.fail_probability)) {
       fault = true;
     }
+    // A shard instance also inherits its base engine's down state and
+    // latency: an engine-wide outage takes every shard with it.
+    if (const Schedule* base = BaseScheduleFor(engine)) {
+      sleep_ms = std::max(sleep_ms, base->latency_ms);
+      if (!fault && DownLocked(*base)) fault = true;
+    }
     if (fault) ++s.faults;
   }
   if (sleep_ms > 0) {
@@ -103,18 +121,31 @@ Status FaultInjector::OnCall(const std::string& engine) {
 
 bool FaultInjector::IsDown(const std::string& engine) const {
   if (!enabled()) return false;
+  std::lock_guard lock(mu_);
+  if (IsShardInstanceName(engine)) {
+    auto it = instance_schedules_.find(engine);
+    if (it != instance_schedules_.end() && DownLocked(it->second)) return true;
+    const Schedule* base = BaseScheduleFor(engine);
+    return base != nullptr && DownLocked(*base);
+  }
   int ordinal = EngineOrdinal(engine);
   if (ordinal < 0) return false;
-  std::lock_guard lock(mu_);
   return DownLocked(schedules_[static_cast<size_t>(ordinal)]);
 }
 
 FaultInjector::EngineCounters FaultInjector::CountersFor(
     const std::string& engine) const {
   EngineCounters out;
+  std::lock_guard lock(mu_);
+  if (IsShardInstanceName(engine)) {
+    auto it = instance_schedules_.find(engine);
+    if (it == instance_schedules_.end()) return out;
+    out.calls = it->second.calls;
+    out.faults_injected = it->second.faults;
+    return out;
+  }
   int ordinal = EngineOrdinal(engine);
   if (ordinal < 0) return out;
-  std::lock_guard lock(mu_);
   const Schedule& s = schedules_[static_cast<size_t>(ordinal)];
   out.calls = s.calls;
   out.faults_injected = s.faults;

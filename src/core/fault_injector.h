@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -34,6 +35,12 @@ namespace bigdawg::core {
 /// as `Status::Unavailable`, the one retryable code, so the resilience
 /// layer above (retries, breakers, failover) reacts exactly as it would
 /// to a real engine outage.
+///
+/// Schedules may also target one shard instance by its canonical name
+/// ("scidb#1"): the instance gets its own schedule, and calls to it
+/// additionally inherit the base engine's down state and latency (an
+/// engine-wide outage takes its shards with it; the base engine's
+/// call-count schedules advance only on calls addressed to it).
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -101,12 +108,18 @@ class FaultInjector {
   };
 
   Schedule& ScheduleFor(const std::string& engine);  // mu_ held
+  /// The base engine's schedule when `name` is a shard instance, else
+  /// null. mu_ held.
+  const Schedule* BaseScheduleFor(const std::string& name) const;
   bool DownLocked(const Schedule& s) const;
 
   std::atomic<bool> enabled_{false};
   const obs::Clock* clock_ = obs::Clock::System();
   mutable std::mutex mu_;
   std::array<Schedule, kNumEngines> schedules_;
+  /// Schedules addressed to shard instances ("postgres#2"), created on
+  /// first use.
+  std::map<std::string, Schedule> instance_schedules_;
 };
 
 }  // namespace bigdawg::core

@@ -1,6 +1,8 @@
 #include "core/islands.h"
 
+#include <cmath>
 #include <deque>
+#include <map>
 #include <set>
 
 #include "common/lexer.h"
@@ -14,6 +16,51 @@
 namespace bigdawg::core {
 
 namespace {
+
+// Unqualified tail of a possibly-qualified column reference.
+std::string UnqualifiedTail(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+// Flattens an AND tree into conjuncts (borrowed pointers).
+void CollectAndConjuncts(const relational::Expr* expr,
+                         std::vector<const relational::Expr*>* out) {
+  const auto* bin = dynamic_cast<const relational::BinaryExpr*>(expr);
+  if (bin != nullptr && bin->op() == relational::BinaryOp::kAnd) {
+    CollectAndConjuncts(&bin->left(), out);
+    CollectAndConjuncts(&bin->right(), out);
+  } else {
+    out->push_back(expr);
+  }
+}
+
+// The single shard a point query can be pruned to, or -1 when the WHERE
+// clause does not pin the placement's hash key to one literal. A
+// `key = literal` conjunct means every qualifying row hashes to the
+// literal's shard; the other shards cannot contribute to the aggregate.
+int PrunedShard(const relational::SelectStatement& stmt,
+                const ShardPlacement& placement) {
+  if (placement.kind != PartitionKind::kHash || stmt.where == nullptr) {
+    return -1;
+  }
+  std::vector<const relational::Expr*> conjuncts;
+  CollectAndConjuncts(stmt.where.get(), &conjuncts);
+  for (const relational::Expr* conjunct : conjuncts) {
+    const auto* bin = dynamic_cast<const relational::BinaryExpr*>(conjunct);
+    if (bin == nullptr || bin->op() != relational::BinaryOp::kEq) continue;
+    const auto* col = dynamic_cast<const relational::ColumnExpr*>(&bin->left());
+    const auto* lit = dynamic_cast<const relational::LiteralExpr*>(&bin->right());
+    if (col == nullptr || lit == nullptr) {
+      col = dynamic_cast<const relational::ColumnExpr*>(&bin->right());
+      lit = dynamic_cast<const relational::LiteralExpr*>(&bin->left());
+    }
+    if (col == nullptr || lit == nullptr) continue;
+    if (UnqualifiedTail(col->name()) != placement.key) continue;
+    return HashShardOf(lit->value(), placement.shard_count);
+  }
+  return -1;
+}
 
 relational::Table RowsAsStringTable(const std::vector<Row>& rows) {
   size_t width = 0;
@@ -51,6 +98,21 @@ Result<relational::Table> RelationalIsland::Execute(const std::string& query) {
         "the multi-engine relational island supports SELECT only (use the "
         "degenerate POSTGRES island for DDL/DML)");
   }
+  // Distributive scalar aggregates over a sharded postgres table run as
+  // per-shard partial queries instead of gathering the whole table; each
+  // shard scans only its fragment (or a single shard, when the WHERE
+  // clause pins the hash key). Any pushdown failure falls back to the
+  // generic path, which retries across repartitions and applies replica
+  // failover with typed errors.
+  if (engines_.shards != nullptr && catalog_ != nullptr &&
+      relational::IsDistributiveAggregate(*select)) {
+    Result<ObjectSnapshot> snap = catalog_->Snapshot(select->from.name);
+    if (snap.ok() && snap->placement.sharded() &&
+        snap->location.engine == kEnginePostgres) {
+      Result<relational::Table> pushed = ExecuteShardedAggregate(*select, *snap);
+      if (pushed.ok()) return pushed;
+    }
+  }
   // Materialized shim tables must outlive execution.
   std::deque<relational::Table> arena;
   relational::TableResolver resolver =
@@ -60,6 +122,58 @@ Result<relational::Table> RelationalIsland::Execute(const std::string& query) {
     return &arena.back();
   };
   return relational::ExecuteSelect(*select, resolver);
+}
+
+Result<relational::Table> RelationalIsland::ExecuteShardedAggregate(
+    const relational::SelectStatement& stmt, const ObjectSnapshot& snap) {
+  ShardRuntime& shards = *engines_.shards;
+  const ShardPlacement& placement = snap.placement;
+  // The per-shard statements are planned up front and owned by the task
+  // lambda through a shared_ptr: a failed scatter returns before
+  // abandoned tasks (and hedges) drain, so nothing they touch may live
+  // on this stack frame.
+  auto partial_stmts =
+      std::make_shared<std::vector<relational::SelectStatement>>();
+  partial_stmts->reserve(static_cast<size_t>(placement.shard_count));
+  for (int s = 0; s < placement.shard_count; ++s) {
+    BIGDAWG_ASSIGN_OR_RETURN(
+        relational::SelectStatement partial,
+        relational::BuildPartialAggregateSelect(
+            stmt, ShardFragmentName(snap.location.native_name,
+                                    placement.epoch, s)));
+    partial_stmts->push_back(std::move(partial));
+  }
+  ShardRuntime* runtime = &shards;
+  auto run_on = [runtime, partial_stmts](int shard) -> Result<relational::Table> {
+    if (runtime->InstanceConsideredDown(kEnginePostgres, shard)) {
+      return Status::Unavailable("shard instance " +
+                                 ShardInstanceName(kEnginePostgres, shard) +
+                                 " is down");
+    }
+    BIGDAWG_RETURN_NOT_OK(runtime->CheckInstance(kEnginePostgres, shard));
+    return runtime->Relational(shard)->ExecuteSelect(
+        (*partial_stmts)[static_cast<size_t>(shard)]);
+  };
+
+  std::vector<relational::Table> partials;
+  const int pruned = PrunedShard(stmt, placement);
+  if (pruned >= 0) {
+    // Point query on the hash key: only the owning shard can hold
+    // qualifying rows, so the scatter collapses to one call scanning
+    // 1/N of the data.
+    shards.stats().pruned.fetch_add(1, std::memory_order_relaxed);
+    BIGDAWG_ASSIGN_OR_RETURN(relational::Table p, run_on(pruned));
+    partials.push_back(std::move(p));
+  } else {
+    BIGDAWG_ASSIGN_OR_RETURN(
+        partials, shards.ScatterGather<relational::Table>(
+                      placement.shard_count, run_on));
+  }
+  if (!catalog_->PlacementIsCurrent(stmt.from.name, snap)) {
+    return Status::NotFound("placement of " + stmt.from.name +
+                            " changed during aggregate pushdown");
+  }
+  return relational::CombinePartialAggregates(stmt, partials);
 }
 
 // ---------------------------------------------------------------------------
@@ -73,6 +187,24 @@ Result<array::Array> ArrayIsland::ExecuteToArray(const std::string& query) {
   // Shim pass: stage every referenced catalog object into a scratch array
   // engine (casting non-array objects), then run the AFL query there.
   BIGDAWG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  // Global `aggregate(NAME, FUNC, ATTR)` over a sharded scidb-homed array
+  // runs as per-shard partials — each shard scans only its fragment — and
+  // recombines exactly; any pushdown failure falls back to the shim path.
+  if (engines_.shards != nullptr && catalog_ != nullptr &&
+      tokens.size() >= 8 && tokens[0].type == TokenType::kIdentifier &&
+      ToLower(tokens[0].text) == "aggregate" && tokens[1].IsSymbol("(") &&
+      tokens[2].type == TokenType::kIdentifier && tokens[3].IsSymbol(",") &&
+      tokens[4].type == TokenType::kIdentifier && tokens[5].IsSymbol(",") &&
+      tokens[6].type == TokenType::kIdentifier && tokens[7].IsSymbol(")") &&
+      (tokens.size() == 8 || tokens[8].type == TokenType::kEnd)) {
+    Result<ObjectSnapshot> snap = catalog_->Snapshot(tokens[2].text);
+    if (snap.ok() && snap->placement.sharded() &&
+        snap->location.engine == kEngineSciDb) {
+      Result<array::Array> pushed = ExecuteShardedAggregate(
+          tokens[2].text, tokens[4].text, tokens[6].text, *snap);
+      if (pushed.ok()) return pushed;
+    }
+  }
   array::ArrayEngine scratch;
   std::set<std::string> staged;
   for (size_t i = 0; i < tokens.size(); ++i) {
@@ -86,6 +218,127 @@ Result<array::Array> ArrayIsland::ExecuteToArray(const std::string& query) {
     staged.insert(name);
   }
   return scratch.Query(query);
+}
+
+Result<array::Array> ArrayIsland::ExecuteShardedAggregate(
+    const std::string& object, const std::string& func_name,
+    const std::string& attr, const ObjectSnapshot& snap) {
+  BIGDAWG_ASSIGN_OR_RETURN(array::AggFunc func,
+                           array::AggFuncFromString(ToLower(func_name)));
+  ShardRuntime& shards = *engines_.shards;
+  const ShardPlacement& placement = snap.placement;
+
+  // One fragment's worth of the engine's aggregate accumulator. count,
+  // sum and sumsq add across shards; min/max compare (cells are disjoint
+  // under range partitioning), which makes every AggFunc — avg and stdev
+  // included — recombine to the exact whole-array accumulator state.
+  struct Partial {
+    int64_t count = 0;
+    double sum = 0;
+    double sumsq = 0;
+    double min = 0;
+    double max = 0;
+  };
+  // By value (native/epoch/attr copies): a failed scatter returns before
+  // abandoned tasks drain, so the lambda must own everything it touches.
+  ShardRuntime* runtime = &shards;
+  const std::string native = snap.location.native_name;
+  const int64_t epoch = placement.epoch;
+  auto run_on = [runtime, native, epoch, attr](int shard) -> Result<Partial> {
+    if (runtime->InstanceConsideredDown(kEngineSciDb, shard)) {
+      return Status::Unavailable("shard instance " +
+                                 ShardInstanceName(kEngineSciDb, shard) +
+                                 " is down");
+    }
+    BIGDAWG_RETURN_NOT_OK(runtime->CheckInstance(kEngineSciDb, shard));
+    const std::string frag = ShardFragmentName(native, epoch, shard);
+    BIGDAWG_ASSIGN_OR_RETURN(array::Array a,
+                             runtime->ArrayAt(shard)->GetArray(frag));
+    BIGDAWG_ASSIGN_OR_RETURN(size_t attr_idx, a.AttrIndex(attr));
+    Partial p;
+    a.Scan([&](const array::Coordinates&, const std::vector<double>& values) {
+      const double v = values[attr_idx];
+      if (p.count == 0) {
+        p.min = p.max = v;
+      } else {
+        p.min = std::min(p.min, v);
+        p.max = std::max(p.max, v);
+      }
+      ++p.count;
+      p.sum += v;
+      p.sumsq += v * v;
+      return true;
+    });
+    return p;
+  };
+
+  BIGDAWG_ASSIGN_OR_RETURN(
+      std::vector<Partial> partials,
+      shards.ScatterGather<Partial>(placement.shard_count, run_on));
+  if (!catalog_->PlacementIsCurrent(object, snap)) {
+    return Status::NotFound("placement of " + object +
+                            " changed during aggregate pushdown");
+  }
+
+  Partial total;
+  for (const Partial& p : partials) {
+    if (p.count == 0) continue;
+    if (total.count == 0) {
+      total.min = p.min;
+      total.max = p.max;
+    } else {
+      total.min = std::min(total.min, p.min);
+      total.max = std::max(total.max, p.max);
+    }
+    total.count += p.count;
+    total.sum += p.sum;
+    total.sumsq += p.sumsq;
+  }
+
+  // Finalize with the engine's exact semantics (array.cc AggState).
+  double v = 0;
+  switch (func) {
+    case array::AggFunc::kCount:
+      v = static_cast<double>(total.count);
+      break;
+    case array::AggFunc::kSum:
+      v = total.sum;
+      break;
+    case array::AggFunc::kAvg:
+      if (total.count == 0) {
+        return Status::FailedPrecondition("avg of empty array");
+      }
+      v = total.sum / static_cast<double>(total.count);
+      break;
+    case array::AggFunc::kMin:
+      if (total.count == 0) {
+        return Status::FailedPrecondition("min of empty array");
+      }
+      v = total.min;
+      break;
+    case array::AggFunc::kMax:
+      if (total.count == 0) {
+        return Status::FailedPrecondition("max of empty array");
+      }
+      v = total.max;
+      break;
+    case array::AggFunc::kStdev: {
+      if (total.count == 0) {
+        return Status::FailedPrecondition("stdev of empty array");
+      }
+      double mean = total.sum / static_cast<double>(total.count);
+      double var = total.sumsq / static_cast<double>(total.count) - mean * mean;
+      v = std::sqrt(std::max(0.0, var));
+      break;
+    }
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(
+      array::Array out,
+      array::Array::Create({array::Dimension("i", 0, 1, 1)},
+                           {std::string(array::AggFuncToString(func)) + "_" +
+                            attr}));
+  BIGDAWG_RETURN_NOT_OK(out.Set({0}, {v}));
+  return out;
 }
 
 Result<relational::Table> ArrayIsland::Execute(const std::string& query) {
@@ -270,8 +523,20 @@ Result<relational::Table> D4mIsland::Execute(const std::string& query) {
     return AssocToTable(command == "TRIPLES" ? a : a.Transpose());
   }
   if (command == "ROWSUM") {
-    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, fetch_next());
+    BIGDAWG_ASSIGN_OR_RETURN(std::string object, cur.ExpectIdentifier());
     if (!cur.AtEnd()) return Status::InvalidArgument("unexpected trailing input");
+    // A sharded d4m-homed object sums per shard — row keys are disjoint
+    // across the hash partition, so the merged sums are exact. Any
+    // pushdown failure falls back to the whole-object gather below.
+    if (engines_.shards != nullptr && catalog_ != nullptr) {
+      Result<ObjectSnapshot> snap = catalog_->Snapshot(object);
+      if (snap.ok() && snap->placement.sharded() &&
+          snap->location.engine == kEngineD4m) {
+        Result<relational::Table> pushed = ExecuteShardedRowSum(object, *snap);
+        if (pushed.ok()) return pushed;
+      }
+    }
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a, fetcher_(object));
     relational::Table out{Schema(
         {Field("row", DataType::kString), Field("sum", DataType::kDouble)})};
     for (const auto& [row, sum] : a.RowSums()) {
@@ -300,6 +565,44 @@ Result<relational::Table> D4mIsland::Execute(const std::string& query) {
     return AssocToTable(a.Multiply(b));
   }
   return Status::InvalidArgument("unknown D4M island command: " + command);
+}
+
+Result<relational::Table> D4mIsland::ExecuteShardedRowSum(
+    const std::string& object, const ObjectSnapshot& snap) {
+  ShardRuntime& shards = *engines_.shards;
+  const ShardPlacement& placement = snap.placement;
+  using RowSumMap = std::map<std::string, double>;
+  // By value: a failed scatter returns before abandoned tasks drain.
+  ShardRuntime* runtime = &shards;
+  const std::string native = snap.location.native_name;
+  const int64_t epoch = placement.epoch;
+  auto run_on = [runtime, native, epoch](int shard) -> Result<RowSumMap> {
+    if (runtime->InstanceConsideredDown(kEngineD4m, shard)) {
+      return Status::Unavailable("shard instance " +
+                                 ShardInstanceName(kEngineD4m, shard) +
+                                 " is down");
+    }
+    BIGDAWG_RETURN_NOT_OK(runtime->CheckInstance(kEngineD4m, shard));
+    const std::string frag = ShardFragmentName(native, epoch, shard);
+    BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
+                             runtime->AssocAt(shard)->Get(frag));
+    return a.RowSums();
+  };
+  BIGDAWG_ASSIGN_OR_RETURN(
+      std::vector<RowSumMap> partials,
+      shards.ScatterGather<RowSumMap>(placement.shard_count, run_on));
+  if (!catalog_->PlacementIsCurrent(object, snap)) {
+    return Status::NotFound("placement of " + object +
+                            " changed during ROWSUM pushdown");
+  }
+  RowSumMap merged;
+  for (RowSumMap& m : partials) merged.merge(m);
+  relational::Table out{Schema(
+      {Field("row", DataType::kString), Field("sum", DataType::kDouble)})};
+  for (const auto& [row, sum] : merged) {
+    out.AppendUnchecked({Value(row), Value(sum)});
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

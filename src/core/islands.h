@@ -9,6 +9,7 @@
 #include "array/array_engine.h"
 #include "core/catalog.h"
 #include "core/island.h"
+#include "core/sharding.h"
 #include "d4m/assoc_array.h"
 #include "kvstore/text_store.h"
 #include "relational/database.h"
@@ -26,6 +27,10 @@ struct EngineSet {
   tiledb::TileDbEngine* tiledb = nullptr;
   /// Middleware-resident associative store (D4M materializations).
   std::map<std::string, d4m::AssocArray>* assoc = nullptr;
+  /// Shard-instance pools + scatter machinery; islands consult it to push
+  /// distributive work down to the shards of a partitioned object instead
+  /// of gathering the whole object first. Null disables pushdown.
+  ShardRuntime* shards = nullptr;
 };
 
 /// \brief Fetches any catalog object as a relational table (applying the
@@ -65,6 +70,14 @@ class RelationalIsland final : public Island {
   }
 
  private:
+  /// Scalar-aggregate pushdown for a sharded postgres-homed table: plans
+  /// one partial query per shard (pruned to the owning shard for
+  /// key-equality point queries), scatters them, and recombines the
+  /// distributive partials into the exact whole-table answer. Any failure
+  /// falls back to the caller's gather path.
+  Result<relational::Table> ExecuteShardedAggregate(
+      const relational::SelectStatement& stmt, const ObjectSnapshot& snap);
+
   std::string name_;
   EngineSet engines_;
   Catalog* catalog_;
@@ -94,6 +107,15 @@ class ArrayIsland final : public Island {
   Result<array::Array> ExecuteToArray(const std::string& query);
 
  private:
+  /// Global-aggregate pushdown for a sharded scidb-homed array: each
+  /// shard scans only its fragment into {count, sum, sumsq, min, max}
+  /// partials, recombined into the engine's exact one-cell output. Any
+  /// failure falls back to the caller's gather path.
+  Result<array::Array> ExecuteShardedAggregate(const std::string& object,
+                                               const std::string& func_name,
+                                               const std::string& attr,
+                                               const ObjectSnapshot& snap);
+
   std::string name_;
   EngineSet engines_;
   Catalog* catalog_;
@@ -148,8 +170,8 @@ class StreamIsland final : public Island {
 ///   ADD a b / MULTIPLY a b     -> triples
 class D4mIsland final : public Island {
  public:
-  D4mIsland(EngineSet engines, AssocFetcher fetcher)
-      : engines_(engines), fetcher_(std::move(fetcher)) {}
+  D4mIsland(EngineSet engines, Catalog* catalog, AssocFetcher fetcher)
+      : engines_(engines), catalog_(catalog), fetcher_(std::move(fetcher)) {}
 
   std::string name() const override { return "D4M"; }
   Result<relational::Table> Execute(const std::string& query) override;
@@ -158,7 +180,15 @@ class D4mIsland final : public Island {
   }
 
  private:
+  /// ROWSUM pushdown for a sharded d4m-homed object: per-shard fragment
+  /// row sums are disjoint under row-key hash partitioning, so their
+  /// ordered merge is exactly the whole object's RowSums. Any failure
+  /// falls back to the caller's gather path.
+  Result<relational::Table> ExecuteShardedRowSum(const std::string& object,
+                                                 const ObjectSnapshot& snap);
+
   EngineSet engines_;
+  Catalog* catalog_;
   AssocFetcher fetcher_;
 };
 

@@ -184,7 +184,8 @@ const char* kCanonicalEngines[kNumEngines] = {
 }  // namespace
 
 void Monitor::RecordEngineCall(const std::string& engine, bool ok) {
-  int ordinal = EngineOrdinal(engine);
+  // Shard-instance calls roll up into their base engine's health row.
+  int ordinal = EngineOrdinal(ShardBaseEngine(engine));
   if (ordinal < 0) return;
   std::lock_guard lock(mu_);
   EngineHealthCounters& h = engine_health_[static_cast<size_t>(ordinal)];
@@ -193,13 +194,25 @@ void Monitor::RecordEngineCall(const std::string& engine, bool ok) {
 }
 
 void Monitor::RecordFailover(const std::string& engine) {
-  int ordinal = EngineOrdinal(engine);
+  int ordinal = EngineOrdinal(ShardBaseEngine(engine));
   if (ordinal < 0) return;
   std::lock_guard lock(mu_);
   ++engine_health_[static_cast<size_t>(ordinal)].failovers;
 }
 
 void Monitor::SetEngineAdvisoryDown(const std::string& engine, bool down) {
+  if (IsShardInstanceName(engine)) {
+    std::lock_guard lock(mu_);
+    if (down) {
+      advisory_down_instances_.insert(engine);
+    } else {
+      advisory_down_instances_.erase(engine);
+    }
+    advisory_down_instance_count_.store(
+        static_cast<int64_t>(advisory_down_instances_.size()),
+        std::memory_order_relaxed);
+    return;
+  }
   int ordinal = EngineOrdinal(engine);
   if (ordinal < 0) return;
   uint32_t bit = 1u << ordinal;
@@ -208,6 +221,20 @@ void Monitor::SetEngineAdvisoryDown(const std::string& engine, bool down) {
   } else {
     advisory_down_mask_.fetch_and(~bit, std::memory_order_relaxed);
   }
+}
+
+bool Monitor::InstanceAdvisoryDown(const std::string& instance) const {
+  // An engine-wide advisory covers its shards (lock-free check first).
+  int ordinal = EngineOrdinal(ShardBaseEngine(instance));
+  if (ordinal >= 0 &&
+      ((advisory_down_mask_.load(std::memory_order_relaxed) >> ordinal) & 1u)) {
+    return true;
+  }
+  if (advisory_down_instance_count_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  std::lock_guard lock(mu_);
+  return advisory_down_instances_.count(instance) > 0;
 }
 
 std::vector<EngineHealth> Monitor::EngineHealthView() const {

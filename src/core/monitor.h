@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -130,10 +131,15 @@ class Monitor {
   /// Records a read that was rerouted away from `engine` to a replica.
   void RecordFailover(const std::string& engine);
   /// Set by the query service when `engine`'s circuit breaker opens
-  /// (true) or closes again (false); read by the failover router.
+  /// (true) or closes again (false); read by the failover router. Also
+  /// accepts shard-instance names ("scidb#1"), which mark just that
+  /// instance — its sibling shards keep serving.
   void SetEngineAdvisoryDown(const std::string& engine, bool down);
-  /// Lock-free: one relaxed load, cheap enough for every fetch.
+  /// Lock-free for whole engines: one relaxed load, cheap enough for
+  /// every fetch. Shard-instance names cost one more relaxed load when
+  /// no instance advisory is set anywhere (the common case).
   bool EngineAdvisoryDown(const std::string& engine) const {
+    if (IsShardInstanceName(engine)) return InstanceAdvisoryDown(engine);
     int ordinal = EngineOrdinal(engine);
     if (ordinal < 0) return false;
     return (advisory_down_mask_.load(std::memory_order_relaxed) >> ordinal) & 1u;
@@ -153,6 +159,7 @@ class Monitor {
   IslandLatencyStats SummarizeLocked(const std::string& island,
                                      const obs::SampleWindow& window) const;
   void IngestSpan(const obs::TraceSpan& span);
+  bool InstanceAdvisoryDown(const std::string& instance) const;
 
   mutable std::mutex mu_;
   // object -> island -> usage
@@ -173,6 +180,10 @@ class Monitor {
   std::array<EngineHealthCounters, kNumEngines> engine_health_{};
   // Bit i set = engine with ordinal i is advisory-down (breaker open).
   std::atomic<uint32_t> advisory_down_mask_{0};
+  // Shard instances currently advisory-down, with a size mirror so the
+  // hot path can skip the lock while the set is empty.
+  std::set<std::string> advisory_down_instances_;
+  std::atomic<int64_t> advisory_down_instance_count_{0};
 };
 
 }  // namespace bigdawg::core

@@ -1,0 +1,343 @@
+#ifndef BIGDAWG_CORE_SHARDING_H_
+#define BIGDAWG_CORE_SHARDING_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "array/array_engine.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/value.h"
+#include "core/catalog.h"
+#include "d4m/assoc_array.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace bigdawg::core {
+
+// ---------------------------------------------------------------------------
+// Partitioning functions (pure; no engine state)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the canonical key string — the one hash every component
+/// (partitioner, planner's shard pruning, stream age-out routing) must
+/// agree on, or rows would be written to one shard and looked up on
+/// another.
+uint64_t ShardHash(const std::string& key);
+
+/// Canonical partition-key string of a value. Integer-valued doubles and
+/// int64s intentionally hash differently (they are different types); NULL
+/// keys all land on one shard.
+std::string ShardKeyString(const Value& v);
+
+/// Owning shard of a hash-partitioned key.
+int HashShardOf(const Value& key, int shard_count);
+
+/// Owning shard of a range-partitioned coordinate. `splits` are ascending
+/// exclusive upper bounds, one per shard except the last (unbounded).
+int RangeShardOf(int64_t coord, const std::vector<int64_t>& splits);
+
+/// Native name of shard `shard`'s fragment under placement epoch `epoch`:
+/// "<native>__p<epoch>_s<shard>". Epoch-stamped so a repartition can lay
+/// down the new fragments before retiring the old ones — readers on the
+/// old epoch keep finding their names until the atomic placement swap.
+std::string ShardFragmentName(const std::string& native, int64_t epoch,
+                              int shard);
+
+/// Splits a table into `placement.shard_count` fragments by hashing the
+/// key column (placement.key; InvalidArgument if absent from the schema).
+/// Every fragment keeps the full schema; empty fragments are real tables.
+Result<std::vector<relational::Table>> PartitionTable(
+    const relational::Table& table, const ShardPlacement& placement);
+
+/// Splits an array into fragments by range on the partition dimension.
+/// Every fragment keeps the FULL original dimension bounds (so empty
+/// fragments are representable and the merge stitches cells back into an
+/// array identical to the original), with cells assigned by
+/// RangeShardOf(coordinate on placement.key).
+Result<std::vector<array::Array>> PartitionArray(const array::Array& array,
+                                                 const ShardPlacement& placement);
+
+/// Splits an assoc array into fragments by hashing the row key (rows are
+/// never split across shards, so per-row operators like ROWSUM stay
+/// exact under pushdown).
+Result<std::vector<d4m::AssocArray>> PartitionAssoc(
+    const d4m::AssocArray& assoc, const ShardPlacement& placement);
+
+/// Union of table fragments: schema from fragment 0, rows concatenated in
+/// shard order. Row order is NOT the pre-partition order (hash scatter
+/// does not remember it); consumers needing an order must sort.
+Result<relational::Table> MergeTableFragments(
+    std::vector<relational::Table> fragments);
+
+/// Dimension-stitch: all fragments share identical dims/attrs, cells are
+/// disjoint, so the merge reproduces the original array exactly.
+Result<array::Array> MergeArrayFragments(const std::vector<array::Array>& fragments);
+
+/// Assoc-merge of row-disjoint fragments; exact.
+Result<d4m::AssocArray> MergeAssocFragments(
+    const std::vector<d4m::AssocArray>& fragments);
+
+// ---------------------------------------------------------------------------
+// Shard runtime
+// ---------------------------------------------------------------------------
+
+/// One middleware-resident associative-store instance (the d4m "engine"
+/// is a locked map inside the middleware; its shard instances are too).
+class AssocShard {
+ public:
+  Result<d4m::AssocArray> Get(const std::string& native) const;
+  void Put(const std::string& native, d4m::AssocArray assoc);
+  void Erase(const std::string& native);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, d4m::AssocArray> objects_;
+};
+
+/// Counters behind the bigdawg_shard_* metrics.
+struct ShardStats {
+  std::atomic<int64_t> scatters{0};       // gather operations started
+  std::atomic<int64_t> shard_calls{0};    // per-shard subqueries attempted
+  std::atomic<int64_t> shard_failures{0}; // subqueries that ultimately failed
+  std::atomic<int64_t> hedges{0};         // duplicate requests launched
+  std::atomic<int64_t> retries{0};        // Unavailable retries within a call
+  std::atomic<int64_t> repartitions{0};   // ShardObject/UnshardObject runs
+  std::atomic<int64_t> pruned{0};         // scatter fan-outs avoided by key routing
+};
+
+/// Deadline/cancellation/hedging policy for one scatter, carved from the
+/// active execution context by the runtime's policy provider.
+struct ShardCallPolicy {
+  const obs::Clock* clock = nullptr;  // defaulted to the system clock
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  const std::atomic<bool>* cancelled = nullptr;
+  /// Launch a duplicate request against a shard still unfinished after
+  /// this many wall-clock milliseconds; 0 disables hedging.
+  double hedge_after_ms = 0;
+};
+
+/// \brief The pool of numbered engine instances sharded objects live on,
+/// plus the scatter-gather machinery every island reuses.
+///
+/// Instance `i` of an engine is an independent, internally synchronized
+/// engine object (`relational::Database`, `array::ArrayEngine`, or
+/// `AssocShard`), created lazily and never destroyed while the runtime
+/// lives — so raw pointers handed out stay valid without locking.
+///
+/// Scatter tasks run on a shared ThreadPool. Each per-shard call gets one
+/// immediate retry on `Unavailable`; a shard still silent after the hedge
+/// window gets a duplicate request (first completion wins). The gather
+/// returns all fragments or a typed error — never a truncated subset.
+class ShardRuntime {
+ public:
+  explicit ShardRuntime(size_t pool_threads = 4);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  // ---- Instance pools ----
+
+  relational::Database* Relational(int shard);
+  array::ArrayEngine* ArrayAt(int shard);
+  AssocShard* AssocAt(int shard);
+
+  // ---- Wiring (set once by BigDawg's constructor) ----
+
+  /// The fault-plane gate, called with shard-instance names
+  /// ("postgres#2") before every per-shard engine touch.
+  void SetInstanceCheck(std::function<Status(const std::string&)> check);
+  /// Fault-plane check of one shard instance of `engine`.
+  Status CheckInstance(const std::string& engine, int shard);
+  /// Routing check mirroring BigDawg::EngineConsideredDown for instances.
+  void SetInstanceDownCheck(std::function<bool(const std::string&)> down);
+  bool InstanceConsideredDown(const std::string& engine, int shard);
+  /// Supplies the active execution's deadline/cancel/clock per scatter.
+  void SetPolicyProvider(std::function<ShardCallPolicy()> provider);
+
+  // ---- Scatter-gather ----
+
+  /// Runs `fn(shard)` for every shard on the pool and gathers the results
+  /// in shard order. Per-shard semantics: one immediate retry on
+  /// `Unavailable`, then a hedge after the policy's window; the slot's
+  /// first completion wins. Fails as a whole with the first shard's error
+  /// (shards keep their typed statuses; no partial results escape).
+  /// Deadline and cancellation are checked while waiting, so a scatter
+  /// never outlives its query's budget — abandoned tasks finish on the
+  /// pool against shared-ownership slots and are discarded. Because
+  /// those abandoned tasks (and late hedges) can run AFTER this call
+  /// returns, `fn` must own everything it touches: capture by value (or
+  /// shared_ptr), never by reference to the caller's stack. On failure,
+  /// `failed_shard` (when non-null) receives the failing shard's index so
+  /// the caller — on the query's own thread — can stamp the shard
+  /// instance onto the execution context for per-instance breakers.
+  template <typename T>
+  Result<std::vector<T>> ScatterGather(int shard_count,
+                                       const std::function<Result<T>(int)>& fn,
+                                       int* failed_shard = nullptr);
+
+  /// Serializes ShardObject/UnshardObject (one repartition at a time).
+  std::mutex& repartition_mu() { return repartition_mu_; }
+
+  ShardStats& stats() { return stats_; }
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
+  /// Runs every queued scatter task to completion and joins the pool
+  /// workers. Abandoned tasks and late hedges capture the owning
+  /// BigDawg, so its destructor MUST call this before any member the
+  /// tasks touch (engines, catalog, cast cache) is torn down.
+  void DrainPool();
+
+ private:
+  template <typename T>
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<Result<T>> result;
+  };
+
+  template <typename T>
+  void SubmitShardCall(const std::shared_ptr<Slot<T>>& slot,
+                       const std::function<Result<T>(int)>& fn, int shard,
+                       const ShardCallPolicy& policy);
+
+  ShardCallPolicy CurrentPolicy();
+  ThreadPool* pool();
+
+  const size_t pool_threads_;
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily started
+
+  std::mutex instances_mu_;
+  std::vector<std::unique_ptr<relational::Database>> relational_;
+  std::vector<std::unique_ptr<array::ArrayEngine>> arrays_;
+  std::vector<std::unique_ptr<AssocShard>> assocs_;
+
+  std::function<Status(const std::string&)> check_instance_;
+  std::function<bool(const std::string&)> instance_down_;
+  std::function<ShardCallPolicy()> policy_provider_;
+
+  std::mutex repartition_mu_;
+  ShardStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void ShardRuntime::SubmitShardCall(const std::shared_ptr<Slot<T>>& slot,
+                                   const std::function<Result<T>(int)>& fn,
+                                   int shard, const ShardCallPolicy& policy) {
+  stats_.shard_calls.fetch_add(1, std::memory_order_relaxed);
+  ShardStats* stats = &stats_;
+  pool()->Submit([slot, fn, shard, stats, policy] {
+    // The per-shard deadline is whatever remains of the query deadline: a
+    // shard call that starts after the budget is spent never runs.
+    const bool expired = policy.has_deadline && policy.clock != nullptr &&
+                         policy.clock->Now() >= policy.deadline;
+    Result<T> r =
+        expired ? Result<T>(Status::DeadlineExceeded(
+                      "shard call started past the query deadline"))
+                : fn(shard);
+    if (!expired && !r.ok() &&
+        r.status().code() == StatusCode::kUnavailable) {
+      // One immediate retry: transient faults (FailNextCalls-style
+      // schedules, brief blips) clear without surfacing to the gather.
+      stats->retries.fetch_add(1, std::memory_order_relaxed);
+      r = fn(shard);
+    }
+    std::lock_guard lock(slot->mu);
+    if (!slot->done) {
+      slot->result.emplace(std::move(r));
+      slot->done = true;
+      slot->cv.notify_all();
+    }
+    // else: a hedge already completed this slot; drop the duplicate.
+  });
+}
+
+template <typename T>
+Result<std::vector<T>> ShardRuntime::ScatterGather(
+    int shard_count, const std::function<Result<T>(int)>& fn,
+    int* failed_shard) {
+  if (shard_count < 1) return Status::InvalidArgument("shard_count < 1");
+  stats_.scatters.fetch_add(1, std::memory_order_relaxed);
+  const ShardCallPolicy policy = CurrentPolicy();
+
+  std::vector<std::shared_ptr<Slot<T>>> slots;
+  slots.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    slots.push_back(std::make_shared<Slot<T>>());
+  }
+  for (int i = 0; i < shard_count; ++i) {
+    SubmitShardCall(slots[i], fn, i, policy);
+  }
+
+  // Gather in shard order. Waits are sliced so cancellation and the
+  // query deadline (measured on the injected clock, which may be fake)
+  // are honored even while a shard task is stuck.
+  const auto slice = std::chrono::milliseconds(1);
+  const std::chrono::steady_clock::time_point scatter_start =
+      std::chrono::steady_clock::now();
+  std::vector<bool> hedged(static_cast<size_t>(shard_count), false);
+  std::vector<T> out;
+  out.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    Slot<T>& slot = *slots[i];
+    std::unique_lock lock(slot.mu);
+    while (!slot.done) {
+      slot.cv.wait_for(lock, slice);
+      if (slot.done) break;
+      if (policy.cancelled != nullptr &&
+          policy.cancelled->load(std::memory_order_relaxed)) {
+        return Status::Cancelled("query cancelled during shard scatter");
+      }
+      if (policy.has_deadline && policy.clock != nullptr &&
+          policy.clock->Now() >= policy.deadline) {
+        return Status::DeadlineExceeded(
+            "query deadline exceeded during shard scatter");
+      }
+      if (policy.hedge_after_ms > 0 && !hedged[static_cast<size_t>(i)] &&
+          std::chrono::steady_clock::now() - scatter_start >
+              std::chrono::duration<double, std::milli>(
+                  policy.hedge_after_ms)) {
+        // The shard is the straggler of this scatter: race a duplicate
+        // request against it and take whichever finishes first.
+        hedged[static_cast<size_t>(i)] = true;
+        stats_.hedges.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        SubmitShardCall(slots[i], fn, i, policy);
+        lock.lock();
+      }
+    }
+    Result<T>& r = *slot.result;
+    if (!r.ok()) {
+      stats_.shard_failures.fetch_add(1, std::memory_order_relaxed);
+      if (failed_shard != nullptr) *failed_shard = i;
+      return r.status();
+    }
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_SHARDING_H_

@@ -172,6 +172,47 @@ void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
     return response;
   });
 
+  server->Route("/shards", [dawg](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    const core::ShardStats& stats = dawg->shards().stats();
+    response.body =
+        "shards: scatters=" +
+        std::to_string(stats.scatters.load(std::memory_order_relaxed)) +
+        " calls=" +
+        std::to_string(stats.shard_calls.load(std::memory_order_relaxed)) +
+        " failures=" +
+        std::to_string(stats.shard_failures.load(std::memory_order_relaxed)) +
+        " hedges=" +
+        std::to_string(stats.hedges.load(std::memory_order_relaxed)) +
+        " retries=" +
+        std::to_string(stats.retries.load(std::memory_order_relaxed)) +
+        " repartitions=" +
+        std::to_string(stats.repartitions.load(std::memory_order_relaxed)) +
+        " pruned=" +
+        std::to_string(stats.pruned.load(std::memory_order_relaxed)) + "\n";
+    for (const auto& [location, placement] : dawg->catalog().ListPlacements()) {
+      response.body +=
+          location.object + "@" + location.engine + ": " +
+          (placement.kind == core::PartitionKind::kHash ? "hash(" : "range(") +
+          placement.key + ") shards=" + std::to_string(placement.shard_count) +
+          " epoch=" + std::to_string(placement.epoch);
+      if (!placement.range_splits.empty()) {
+        response.body += " splits=";
+        for (size_t i = 0; i < placement.range_splits.size(); ++i) {
+          if (i > 0) response.body += ",";
+          response.body += std::to_string(placement.range_splits[i]);
+        }
+      }
+      response.body += " versions=";
+      for (size_t i = 0; i < placement.shard_versions.size(); ++i) {
+        if (i > 0) response.body += ",";
+        response.body += std::to_string(placement.shard_versions[i]);
+      }
+      response.body += "\n";
+    }
+    return response;
+  });
+
   server->Route("/cache", [dawg](const obs::HttpRequest&) {
     obs::HttpResponse response;
     core::CastCache& cache = dawg->cast_cache();

@@ -527,6 +527,7 @@ QueryServiceStats QueryService::Stats() const {
 std::string QueryService::DumpMetrics() const {
   dawg_->monitor().ExportMetrics(metrics_);
   dawg_->sstore().ExportMetrics(metrics_);
+  dawg_->shards().ExportMetrics(metrics_);
   if (core::StreamAgeOut* ageout = dawg_->stream_ageout()) {
     ageout->ExportMetrics(metrics_);
   }

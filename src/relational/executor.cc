@@ -518,4 +518,178 @@ Result<Table> ExecuteSelect(const SelectStatement& stmt, const TableResolver& re
   return Table(std::move(out_schema), std::move(out_rows));
 }
 
+// ---------------------------------------------------------------------------
+// Distributive aggregates (sharded scatter-gather pushdown)
+// ---------------------------------------------------------------------------
+
+bool IsDistributiveAggregate(const SelectStatement& stmt) {
+  if (!stmt.HasAggregates()) return false;
+  if (stmt.distinct || !stmt.joins.empty() || !stmt.group_by.empty() ||
+      stmt.having != nullptr || !stmt.order_by.empty() || stmt.limit >= 0) {
+    return false;
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star || item.agg == AggregateFunc::kNone) return false;
+  }
+  return true;
+}
+
+Result<SelectStatement> BuildPartialAggregateSelect(
+    const SelectStatement& stmt, const std::string& fragment_table) {
+  if (!IsDistributiveAggregate(stmt)) {
+    return Status::InvalidArgument(
+        "not a distributive scalar aggregate; cannot build a partial query");
+  }
+  SelectStatement partial;
+  partial.from.name = fragment_table;
+  // Keep the original alias so qualified column references in WHERE and
+  // aggregate arguments bind against the fragment exactly as they did
+  // against the whole table.
+  partial.from.alias = stmt.from.alias;
+  if (stmt.where != nullptr) partial.where = stmt.where->Clone();
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    SelectItem p;
+    p.agg = item.agg == AggregateFunc::kAvg ? AggregateFunc::kSum : item.agg;
+    p.count_star = item.count_star;
+    if (item.expr != nullptr) p.expr = item.expr->Clone();
+    p.alias = "p" + std::to_string(i);
+    partial.items.push_back(std::move(p));
+    if (item.agg == AggregateFunc::kAvg) {
+      // AVG is not distributive itself; SUM and COUNT partials are.
+      SelectItem c;
+      c.agg = AggregateFunc::kCount;
+      c.expr = item.expr->Clone();
+      c.alias = "p" + std::to_string(i) + "_c";
+      partial.items.push_back(std::move(c));
+    }
+  }
+  return partial;
+}
+
+Result<Table> CombinePartialAggregates(const SelectStatement& stmt,
+                                       const std::vector<Table>& partials) {
+  if (!IsDistributiveAggregate(stmt)) {
+    return Status::InvalidArgument("not a distributive scalar aggregate");
+  }
+  if (partials.empty()) return Status::InvalidArgument("no partial results");
+  for (const Table& p : partials) {
+    if (p.num_rows() != 1) {
+      return Status::Internal("aggregate partial must have exactly one row");
+    }
+  }
+
+  // Output schema, named exactly as ExecuteSelect names it. Types come
+  // from the partial columns: a SUM partial already has the final SUM
+  // type, MIN/MAX partials carry the argument type, COUNT is int64 and
+  // AVG double by definition.
+  Schema out_schema;
+  std::vector<size_t> first_col(stmt.items.size());
+  {
+    size_t col = 0;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      first_col[i] = col;
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = std::string(AggregateFuncToString(item.agg)) +
+               (item.count_star ? "_all" : "_" + Unqualify(item.expr->ToString()));
+      }
+      DataType type;
+      switch (item.agg) {
+        case AggregateFunc::kCount:
+          type = DataType::kInt64;
+          break;
+        case AggregateFunc::kAvg:
+          type = DataType::kDouble;
+          break;
+        default:
+          type = partials[0].schema().field(col).type;
+          break;
+      }
+      AddOutputField(&out_schema, std::move(name), type);
+      col += item.agg == AggregateFunc::kAvg ? 2 : 1;
+    }
+  }
+
+  Row out;
+  out.reserve(stmt.items.size());
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    const size_t col = first_col[i];
+    switch (item.agg) {
+      case AggregateFunc::kCount: {
+        int64_t total = 0;
+        for (const Table& p : partials) {
+          total += p.rows()[0][col].int64_unchecked();
+        }
+        out.push_back(Value(total));
+        break;
+      }
+      case AggregateFunc::kSum: {
+        // NULL partial = that shard saw no non-null values; a SUM over
+        // nothing anywhere stays NULL, matching AggFinalize.
+        const bool int_sum =
+            partials[0].schema().field(col).type == DataType::kInt64;
+        int64_t isum = 0;
+        double dsum = 0;
+        bool any = false;
+        for (const Table& p : partials) {
+          const Value& v = p.rows()[0][col];
+          if (v.is_null()) continue;
+          any = true;
+          if (int_sum) {
+            isum += v.int64_unchecked();
+          } else {
+            BIGDAWG_ASSIGN_OR_RETURN(double d, v.ToNumeric());
+            dsum += d;
+          }
+        }
+        if (!any) {
+          out.push_back(Value::Null());
+        } else {
+          out.push_back(int_sum ? Value(isum) : Value(dsum));
+        }
+        break;
+      }
+      case AggregateFunc::kAvg: {
+        double sum = 0;
+        int64_t count = 0;
+        for (const Table& p : partials) {
+          const Value& sv = p.rows()[0][col];
+          count += p.rows()[0][col + 1].int64_unchecked();
+          if (sv.is_null()) continue;
+          BIGDAWG_ASSIGN_OR_RETURN(double d, sv.ToNumeric());
+          sum += d;
+        }
+        out.push_back(count == 0
+                          ? Value::Null()
+                          : Value(sum / static_cast<double>(count)));
+        break;
+      }
+      case AggregateFunc::kMin:
+      case AggregateFunc::kMax: {
+        Value best;
+        bool any = false;
+        for (const Table& p : partials) {
+          const Value& v = p.rows()[0][col];
+          if (v.is_null()) continue;
+          const int c = any ? v.Compare(best) : 0;
+          if (!any || (item.agg == AggregateFunc::kMin ? c < 0 : c > 0)) {
+            best = v;
+          }
+          any = true;
+        }
+        out.push_back(any ? best : Value::Null());
+        break;
+      }
+      case AggregateFunc::kNone:
+        return Status::Internal("non-aggregate item in distributive combine");
+    }
+  }
+  std::vector<Row> out_rows;
+  out_rows.push_back(std::move(out));
+  return Table(std::move(out_schema), std::move(out_rows));
+}
+
 }  // namespace bigdawg::relational

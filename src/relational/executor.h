@@ -21,6 +21,29 @@ using TableResolver = std::function<Result<const Table*>(const std::string&)>;
 /// DISTINCT -> ORDER BY -> LIMIT.
 Result<Table> ExecuteSelect(const SelectStatement& stmt, const TableResolver& resolver);
 
+/// \brief True when `stmt` is a scalar aggregate that distributes over a
+/// row partition: every SELECT item is an aggregate, single FROM, and no
+/// JOIN / GROUP BY / HAVING / DISTINCT / ORDER BY / LIMIT. WHERE is
+/// allowed — filtering commutes with partitioning. AVG qualifies because
+/// the partial query decomposes it into SUM + COUNT.
+bool IsDistributiveAggregate(const SelectStatement& stmt);
+
+/// \brief The per-shard partial query for a distributive aggregate: same
+/// WHERE against fragment table `fragment_table`, each aggregate emitted
+/// under a positional alias, AVG decomposed into SUM + COUNT partials.
+/// InvalidArgument when `stmt` is not distributive.
+Result<SelectStatement> BuildPartialAggregateSelect(
+    const SelectStatement& stmt, const std::string& fragment_table);
+
+/// \brief Recombines per-shard partial rows (each the one-row output of
+/// BuildPartialAggregateSelect's query) into byte-for-byte the table
+/// ExecuteSelect would produce over the union of the fragments: COUNTs
+/// add, SUMs add (NULL when every shard saw only NULLs), AVG divides the
+/// summed partials, MIN/MAX compare across shards — replicating the
+/// executor's output naming and null semantics exactly.
+Result<Table> CombinePartialAggregates(const SelectStatement& stmt,
+                                       const std::vector<Table>& partials);
+
 }  // namespace bigdawg::relational
 
 #endif  // BIGDAWG_RELATIONAL_EXECUTOR_H_

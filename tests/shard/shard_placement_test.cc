@@ -1,0 +1,386 @@
+// The placement map and its plumbing: the pure partitioning functions,
+// the catalog's epoch/version semantics, the per-shard cast-cache
+// keying, the BIGDAWG_SHARDS default, and the /shards admin view.
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/bigdawg.h"
+#include "core/sharding.h"
+#include "exec/admin_endpoints.h"
+#include "exec/query_service.h"
+#include "obs/admin_server.h"
+
+namespace bigdawg::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pure partitioning functions
+// ---------------------------------------------------------------------------
+
+TEST(ShardPartitionTest, HashShardOfIsDeterministicAndInRange) {
+  for (int count : {1, 2, 7, 16}) {
+    for (int64_t k = -20; k < 20; ++k) {
+      const int s = HashShardOf(Value(k), count);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, count);
+      EXPECT_EQ(s, HashShardOf(Value(k), count)) << "unstable hash for " << k;
+    }
+  }
+  // NULLs all land on one (consistent) shard.
+  EXPECT_EQ(HashShardOf(Value(), 7), HashShardOf(Value(), 7));
+  // Integer-valued doubles are a different key type than int64s.
+  EXPECT_EQ(ShardKeyString(Value(3.0)) == ShardKeyString(Value(int64_t{3})),
+            false);
+}
+
+TEST(ShardPartitionTest, RangeShardOfUsesExclusiveUpperBounds) {
+  const std::vector<int64_t> splits = {10, 20};
+  EXPECT_EQ(RangeShardOf(-5, splits), 0);
+  EXPECT_EQ(RangeShardOf(9, splits), 0);
+  EXPECT_EQ(RangeShardOf(10, splits), 1);
+  EXPECT_EQ(RangeShardOf(19, splits), 1);
+  EXPECT_EQ(RangeShardOf(20, splits), 2);
+  EXPECT_EQ(RangeShardOf(100000, splits), 2);  // last shard unbounded
+  EXPECT_EQ(RangeShardOf(42, {}), 0);          // single shard: no splits
+}
+
+TEST(ShardPartitionTest, FragmentNamesAreEpochStamped) {
+  EXPECT_EQ(ShardFragmentName("events", 3, 1), "events__p3_s1");
+  // Distinct epochs can never collide, so a repartition lays the new
+  // layout down next to the old one.
+  EXPECT_NE(ShardFragmentName("t", 1, 0), ShardFragmentName("t", 2, 0));
+}
+
+TEST(ShardPartitionTest, TablePartitionRoundTripsAndRoutesByHash) {
+  Rng rng(7);
+  relational::Table t{Schema({Field("k", DataType::kInt64),
+                              Field("v", DataType::kInt64)})};
+  for (int64_t i = 0; i < 100; ++i) {
+    t.AppendUnchecked({Value(rng.NextInt(0, 12)), Value(i)});
+  }
+  ShardPlacement p;
+  p.kind = PartitionKind::kHash;
+  p.key = "k";
+  p.shard_count = 7;
+  auto frags = *PartitionTable(t, p);
+  ASSERT_EQ(frags.size(), 7u);
+  size_t total = 0;
+  for (int s = 0; s < 7; ++s) {
+    EXPECT_EQ(frags[s].schema().num_fields(), 2u);  // full schema everywhere
+    total += frags[s].num_rows();
+    for (const Row& row : frags[s].rows()) {
+      EXPECT_EQ(HashShardOf(row[0], 7), s) << "row on the wrong shard";
+    }
+  }
+  EXPECT_EQ(total, t.num_rows());
+
+  // The merge is the exact multiset of the original rows.
+  auto row_key = [](const Row& r) {
+    return r[0].ToString() + "|" + r[1].ToString();
+  };
+  std::multiset<std::string> want, got;
+  for (const Row& r : t.rows()) want.insert(row_key(r));
+  auto merged = *MergeTableFragments(std::move(frags));
+  for (const Row& r : merged.rows()) got.insert(row_key(r));
+  EXPECT_EQ(want, got);
+
+  // A missing key column is a typed error, not a crash.
+  p.key = "ghost";
+  EXPECT_FALSE(PartitionTable(t, p).ok());
+}
+
+TEST(ShardPartitionTest, ArrayPartitionRoundTripsExactly) {
+  auto a = *array::Array::Create({array::Dimension("x", 0, 24, 8)}, {"val"});
+  for (int64_t x = 0; x < 24; x += 2) {  // sparse on purpose
+    BIGDAWG_CHECK_OK(a.Set({x}, {static_cast<double>(x * 3)}));
+  }
+  ShardPlacement p;
+  p.kind = PartitionKind::kRange;
+  p.key = "x";
+  p.shard_count = 3;
+  p.range_splits = {8, 16};
+  auto frags = *PartitionArray(a, p);
+  ASSERT_EQ(frags.size(), 3u);
+
+  auto cells = [](const array::Array& arr) {
+    std::map<std::vector<int64_t>, std::vector<double>> out;
+    arr.Scan([&out](const array::Coordinates& c, const std::vector<double>& v) {
+      out[c] = v;
+      return true;
+    });
+    return out;
+  };
+  auto original = cells(a);
+  std::map<std::vector<int64_t>, std::vector<double>> scattered;
+  for (int s = 0; s < 3; ++s) {
+    for (const auto& [coord, vals] : cells(frags[s])) {
+      EXPECT_EQ(RangeShardOf(coord[0], p.range_splits), s);
+      EXPECT_TRUE(scattered.emplace(coord, vals).second) << "duplicated cell";
+    }
+  }
+  EXPECT_EQ(scattered, original);
+  EXPECT_EQ(cells(*MergeArrayFragments(frags)), original);
+}
+
+TEST(ShardPartitionTest, AssocPartitionKeepsRowsWhole) {
+  d4m::AssocArray g;
+  for (int r = 0; r < 9; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      g.Set("r" + std::to_string(r), "c" + std::to_string(c),
+            Value(static_cast<double>(r * 10 + c)));
+    }
+  }
+  ShardPlacement p;
+  p.kind = PartitionKind::kHash;
+  p.key = "row";
+  p.shard_count = 4;
+  auto frags = *PartitionAssoc(g, p);
+  ASSERT_EQ(frags.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    frags[s].ForEach([&](const std::string& row, const std::string&,
+                         const Value&) {
+      EXPECT_EQ(HashShardOf(Value(row), 4), s) << "split row " << row;
+    });
+  }
+  auto triples = [](const d4m::AssocArray& a) {
+    std::map<std::pair<std::string, std::string>, std::string> out;
+    a.ForEach([&out](const std::string& r, const std::string& c, const Value& v) {
+      out[{r, c}] = v.ToString();
+    });
+    return out;
+  };
+  EXPECT_EQ(triples(*MergeAssocFragments(frags)), triples(g));
+}
+
+// ---------------------------------------------------------------------------
+// Catalog placement semantics
+// ---------------------------------------------------------------------------
+
+TEST(ShardCatalogTest, PlacementEpochsMustAdvance) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"t", kEnginePostgres, "t"}));
+  ShardPlacement p;
+  p.key = "k";
+  p.shard_count = 2;
+  p.epoch = 0;  // fresh entries start at epoch 0: not an advance
+  EXPECT_TRUE(catalog.SetPlacement("t", p).IsFailedPrecondition());
+  p.epoch = 1;
+  BIGDAWG_CHECK_OK(catalog.SetPlacement("t", p));
+  EXPECT_TRUE(catalog.SetPlacement("t", p).IsFailedPrecondition());
+  p.epoch = 5;  // gaps are fine; going backwards is not
+  BIGDAWG_CHECK_OK(catalog.SetPlacement("t", p));
+  p.epoch = 4;
+  EXPECT_TRUE(catalog.SetPlacement("t", p).IsFailedPrecondition());
+
+  ShardPlacement bad = p;
+  bad.epoch = 9;
+  bad.shard_count = 0;
+  EXPECT_TRUE(catalog.SetPlacement("t", bad).IsInvalidArgument());
+  bad.shard_count = 3;
+  bad.kind = PartitionKind::kRange;
+  bad.range_splits = {10};  // needs shard_count-1 = 2 splits
+  EXPECT_TRUE(catalog.SetPlacement("t", bad).IsInvalidArgument());
+  EXPECT_TRUE(catalog.SetPlacement("ghost", p).IsNotFound());
+}
+
+TEST(ShardCatalogTest, ShardWritesBumpOnlyTheirShardsVersion) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"t", kEnginePostgres, "t"}));
+  ShardPlacement p;
+  p.key = "k";
+  p.shard_count = 3;
+  p.epoch = 1;
+  BIGDAWG_CHECK_OK(catalog.SetPlacement("t", p));
+
+  auto snap = *catalog.Snapshot("t");
+  ASSERT_TRUE(snap.placement.sharded());
+  EXPECT_EQ(snap.placement.shard_versions, std::vector<int64_t>({0, 0, 0}));
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_TRUE(catalog.ShardStateIsCurrent("t", snap, s));
+  }
+
+  BIGDAWG_CHECK_OK(catalog.MarkShardWritten("t", 1));
+  EXPECT_FALSE(catalog.ShardStateIsCurrent("t", snap, 1));
+  EXPECT_TRUE(catalog.ShardStateIsCurrent("t", snap, 0));   // siblings warm
+  EXPECT_TRUE(catalog.ShardStateIsCurrent("t", snap, 2));
+  EXPECT_TRUE(catalog.PlacementIsCurrent("t", snap));       // same epoch
+  EXPECT_TRUE(catalog.MarkShardWritten("t", 7).IsOutOfRange());
+
+  // A repartition moves the epoch: the whole snapshot goes stale.
+  p.epoch = 2;
+  BIGDAWG_CHECK_OK(catalog.SetPlacement("t", p));
+  EXPECT_FALSE(catalog.PlacementIsCurrent("t", snap));
+  EXPECT_FALSE(catalog.ShardStateIsCurrent("t", snap, 0));
+}
+
+TEST(ShardCatalogTest, RemovePlacementAdvancesTheEpochWatermark) {
+  Catalog catalog;
+  BIGDAWG_CHECK_OK(catalog.Register({"t", kEnginePostgres, "t"}));
+  ShardPlacement p;
+  p.key = "k";
+  p.shard_count = 2;
+  p.epoch = 3;
+  BIGDAWG_CHECK_OK(catalog.SetPlacement("t", p));
+  auto snap = *catalog.Snapshot("t");
+
+  BIGDAWG_CHECK_OK(catalog.RemovePlacement("t"));
+  auto cleared = *catalog.Placement("t");
+  EXPECT_FALSE(cleared.sharded());
+  // The watermark moved, so a reader racing the unshard sees the epoch
+  // change and retries (finding the restored base copy) instead of
+  // surfacing a spurious NotFound.
+  EXPECT_EQ(cleared.epoch, 4);
+  EXPECT_FALSE(catalog.PlacementIsCurrent("t", snap));
+  // And a later re-shard continues the monotonic sequence.
+  p.epoch = 4;
+  EXPECT_TRUE(catalog.SetPlacement("t", p).IsFailedPrecondition());
+  p.epoch = 5;
+  BIGDAWG_CHECK_OK(catalog.SetPlacement("t", p));
+}
+
+// ---------------------------------------------------------------------------
+// BigDawg end to end: shard / unshard, fragments, cache keying, knobs
+// ---------------------------------------------------------------------------
+
+class ShardObjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BIGDAWG_CHECK_OK(dawg_.postgres().CreateTable(
+        "events", Schema({Field("id", DataType::kInt64),
+                          Field("k", DataType::kInt64),
+                          Field("v", DataType::kDouble)})));
+    std::vector<Row> rows;
+    Rng rng(11);
+    for (int64_t i = 0; i < 40; ++i) {
+      rows.push_back({Value(i), Value(rng.NextInt(0, 9)),
+                      Value(static_cast<double>(rng.NextInt(0, 100)))});
+    }
+    BIGDAWG_CHECK_OK(dawg_.postgres().InsertMany("events", rows));
+    BIGDAWG_CHECK_OK(dawg_.RegisterObject("events", kEnginePostgres, "events"));
+  }
+
+  BigDawg dawg_;
+};
+
+TEST_F(ShardObjectTest, ShardMovesBytesOffTheBaseEngine) {
+  const std::string oracle =
+      (*dawg_.Execute("RELATIONAL(SELECT * FROM events ORDER BY id)"))
+          .ToString(1000);
+  BIGDAWG_CHECK_OK(dawg_.ShardObject("events", 3, "k"));
+
+  // The base engine no longer holds the object; the shard instances hold
+  // epoch-1 fragments that cover every row between them.
+  EXPECT_TRUE(dawg_.postgres().GetTable("events").status().IsNotFound());
+  size_t fragment_rows = 0;
+  for (int s = 0; s < 3; ++s) {
+    auto frag = dawg_.shards().Relational(s)->GetTable(
+        ShardFragmentName("events", 1, s));
+    ASSERT_TRUE(frag.ok()) << "missing fragment on shard " << s;
+    fragment_rows += frag->num_rows();
+  }
+  EXPECT_EQ(fragment_rows, 40u);
+
+  // Reads reassemble transparently; the island output is byte-identical.
+  EXPECT_EQ((*dawg_.Execute("RELATIONAL(SELECT * FROM events ORDER BY id)"))
+                .ToString(1000),
+            oracle);
+
+  BIGDAWG_CHECK_OK(dawg_.UnshardObject("events"));
+  EXPECT_TRUE(dawg_.postgres().GetTable("events").ok());
+  EXPECT_FALSE((*dawg_.catalog().Placement("events")).sharded());
+  EXPECT_EQ((*dawg_.Execute("RELATIONAL(SELECT * FROM events ORDER BY id)"))
+                .ToString(1000),
+            oracle);
+}
+
+TEST_F(ShardObjectTest, ShardCountBoundsAreEnforced) {
+  EXPECT_TRUE(dawg_.ShardObject("events", 0, "k").IsInvalidArgument());
+  EXPECT_TRUE(dawg_.ShardObject("events", 65, "k").IsInvalidArgument());
+  EXPECT_TRUE(dawg_.ShardObject("ghost", 2, "k").IsNotFound());
+  // shard_count == 1 is a real placement, not a no-op.
+  BIGDAWG_CHECK_OK(dawg_.ShardObject("events", 1, "k"));
+  EXPECT_TRUE((*dawg_.catalog().Placement("events")).sharded());
+}
+
+TEST_F(ShardObjectTest, WritingOneShardKeepsSiblingCacheEntriesWarm) {
+  if (!dawg_.cast_cache().enabled()) GTEST_SKIP() << "cache disabled by env";
+  BIGDAWG_CHECK_OK(dawg_.ShardObject("events", 2, "k"));
+
+  auto misses = [&] { return dawg_.cast_cache().Stats().misses; };
+  auto hits = [&] { return dawg_.cast_cache().Stats().hits; };
+
+  int64_t m0 = misses(), h0 = hits();
+  BIGDAWG_CHECK_OK(dawg_.FetchAsTable("events").status());
+  EXPECT_EQ(misses() - m0, 2);  // one cold entry per shard
+  EXPECT_EQ(hits() - h0, 0);
+
+  m0 = misses(), h0 = hits();
+  BIGDAWG_CHECK_OK(dawg_.FetchAsTable("events").status());
+  EXPECT_EQ(misses() - m0, 0);
+  EXPECT_EQ(hits() - h0, 2);  // both shards warm
+
+  // A write to shard 0 stales only shard 0's entry: shard 1 stays warm
+  // (this is the point of keying fragment entries per shard instance).
+  BIGDAWG_CHECK_OK(dawg_.catalog().MarkShardWritten("events", 0));
+  m0 = misses(), h0 = hits();
+  BIGDAWG_CHECK_OK(dawg_.FetchAsTable("events").status());
+  EXPECT_EQ(misses() - m0, 1);
+  EXPECT_EQ(hits() - h0, 1);
+}
+
+TEST_F(ShardObjectTest, DefaultShardCountReadsTheEnvironment) {
+  ::unsetenv("BIGDAWG_SHARDS");
+  EXPECT_EQ(BigDawg::DefaultShardCount(), 4);
+  ::setenv("BIGDAWG_SHARDS", "7", 1);
+  EXPECT_EQ(BigDawg::DefaultShardCount(), 7);
+  ::setenv("BIGDAWG_SHARDS", "65", 1);  // out of range: fall back
+  EXPECT_EQ(BigDawg::DefaultShardCount(), 4);
+  ::setenv("BIGDAWG_SHARDS", "nope", 1);
+  EXPECT_EQ(BigDawg::DefaultShardCount(), 4);
+  ::setenv("BIGDAWG_SHARDS", "2", 1);
+  BIGDAWG_CHECK_OK(dawg_.ShardObject("events"));
+  EXPECT_EQ((*dawg_.catalog().Placement("events")).shard_count, 2);
+  ::unsetenv("BIGDAWG_SHARDS");
+}
+
+// ---------------------------------------------------------------------------
+// Observability: /shards endpoint and bigdawg_shard_* metrics
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardObjectTest, ShardsEndpointRendersPlacementsAndCounters) {
+  exec::QueryService service(&dawg_, {.num_workers = 2});
+  auto started = exec::StartAdminServer(&service, &dawg_);
+  BIGDAWG_CHECK_OK(started.status());
+
+  BIGDAWG_CHECK_OK(dawg_.ShardObject("events", 3, "k"));
+  BIGDAWG_CHECK_OK(dawg_.FetchAsTable("events").status());
+
+  auto response = obs::HttpGet("127.0.0.1", (*started)->port(), "/shards");
+  BIGDAWG_CHECK_OK(response.status());
+  EXPECT_EQ(response->status, 200);
+  const std::string& body = response->body;
+  EXPECT_NE(body.find("shards: scatters="), std::string::npos) << body;
+  EXPECT_NE(body.find("repartitions="), std::string::npos) << body;
+  EXPECT_NE(body.find("events@postgres: hash(k) shards=3 epoch=1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("versions=0,0,0"), std::string::npos) << body;
+
+  const std::string metrics = service.DumpMetrics();
+  EXPECT_NE(metrics.find("bigdawg_shard_scatters_total"), std::string::npos);
+  EXPECT_NE(metrics.find("bigdawg_shard_repartitions_total"),
+            std::string::npos);
+  (*started)->Stop();
+}
+
+}  // namespace
+}  // namespace bigdawg::core
