@@ -1,0 +1,286 @@
+// Adaptive placement: does closing the monitoring loop actually buy the
+// latency a hand-tuned placement would?
+//
+// One MIMIC-style array workload over a relation whose home engine is
+// 4x slower (injected per-engine latency) than the array island's
+// preferred engine. Four scenarios over identical data and queries:
+//
+//   misplaced  — adaptive off, object stays on the slow home: the cost
+//                of getting placement wrong and never noticing.
+//   optimum    — object hand-migrated to the fast engine before the
+//                run, adaptive off: the best any placement can do.
+//   adaptive   — the closed loop (shadow execution -> scoreboard ->
+//                PlacementController -> Migrate) discovers the skew and
+//                moves the object itself; we report how many queries
+//                convergence took and the steady-state p95 after it.
+//   dry-run    — shadows sample every query but the controller never
+//                acts, measuring what continuous shadow execution costs
+//                the client path (it runs off-path on pool workers).
+//
+// Floors (exit 1 on a miss, results in BENCH_placement.json):
+//   * adaptive steady-state p95 <= 1.2x the hand-placed optimum p95;
+//   * misplaced p95 >= 2x adaptive steady-state p95;
+//   * dry-run shadow overhead <= 5% of client throughput.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+
+using namespace bigdawg;  // NOLINT
+
+namespace {
+
+constexpr char kQuery[] = "ARRAY(aggregate(waveforms, avg, v))";
+constexpr int64_t kRows = 64;
+constexpr int kMeasureQueries = 60;
+constexpr int kMeasureRounds = 3;  // best-of: rejects background-load noise
+constexpr int kConvergenceBudget = 40;
+constexpr double kSlowEngineMs = 4;
+constexpr double kFastEngineMs = 1;
+
+struct ScenarioResult {
+  double p95_ms = 0;
+  double median_ms = 0;
+  double qps = 0;
+  int converged_at = -1;  // adaptive only: queries until the migration
+};
+
+void LoadWaveforms(core::BigDawg* dawg) {
+  relational::Table table{Schema(
+      {Field("id", DataType::kInt64), Field("v", DataType::kDouble)})};
+  for (int64_t i = 0; i < kRows; ++i) {
+    table.AppendUnchecked({Value(i), Value(static_cast<double>(i % 8))});
+  }
+  BIGDAWG_CHECK_OK(dawg->postgres().CreateTable(
+      "waveforms", Schema({Field("id", DataType::kInt64),
+                           Field("v", DataType::kDouble)})));
+  BIGDAWG_CHECK_OK(dawg->postgres().PutTable("waveforms", table));
+  BIGDAWG_CHECK_OK(
+      dawg->RegisterObject("waveforms", core::kEnginePostgres, "waveforms"));
+  dawg->fault_injector().Enable();
+  dawg->fault_injector().SetLatencyMs(core::kEnginePostgres, kSlowEngineMs);
+  dawg->fault_injector().SetLatencyMs(core::kEngineSciDb, kFastEngineMs);
+}
+
+exec::QueryServiceConfig BaseConfig() {
+  exec::QueryServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_in_flight = 0;     // unbounded; no load gate in the way
+  cfg.cast_cache_bytes = 0;  // a cache hit would bypass the engine skew
+  return cfg;
+}
+
+exec::AdaptiveConfig TunedAdaptive() {
+  exec::AdaptiveConfig a;
+  a.enabled = true;
+  a.seed = 42;
+  a.sample_rate = 1.0;
+  a.shadow_deadline_ms = 1000;
+  a.budget_ms = 100000;
+  a.refill_ms_per_s = 100000;
+  a.policy.min_samples = 4;
+  a.policy.gap_ratio = 0.6;
+  a.policy.cooldown_ms = 50;
+  a.policy.revert_min_samples = 3;
+  return a;
+}
+
+/// Runs kMeasureQueries serially through `service`, checking every
+/// answer, and folds the client-side latencies into a ScenarioResult.
+ScenarioResult MeasureClient(exec::QueryService* service,
+                             const std::string& expected) {
+  ScenarioResult out;
+  std::vector<double> times;
+  times.reserve(kMeasureQueries);
+  double total_ms = 0;
+  for (int q = 0; q < kMeasureQueries; ++q) {
+    Stopwatch timer;
+    auto r = service->ExecuteSync(kQuery);
+    const double ms = timer.ElapsedMillis();
+    BIGDAWG_CHECK_OK(r.status());
+    BIGDAWG_CHECK(r->ToString() == expected) << "wrong answer mid-bench";
+    times.push_back(ms);
+    total_ms += ms;
+  }
+  std::sort(times.begin(), times.end());
+  out.median_ms = times[times.size() / 2];
+  out.p95_ms = times[static_cast<size_t>(
+      static_cast<double>(times.size() - 1) * 0.95)];
+  out.qps = kMeasureQueries * 1000.0 / total_ms;
+  return out;
+}
+
+/// Best of kMeasureRounds: the floors compare p95 ratios between
+/// scenarios measured at different moments, so a burst of unrelated
+/// machine load during one scenario would skew a single-round ratio.
+/// The minimum-p95 round is the least contaminated observation.
+ScenarioResult MeasureClientBest(exec::QueryService* service,
+                                 const std::string& expected) {
+  ScenarioResult best = MeasureClient(service, expected);
+  for (int round = 1; round < kMeasureRounds; ++round) {
+    const ScenarioResult r = MeasureClient(service, expected);
+    if (r.p95_ms < best.p95_ms) best = r;
+  }
+  return best;
+}
+
+/// misplaced / optimum: a static placement with the loop disabled.
+ScenarioResult RunStatic(bool hand_place_on_fast_engine) {
+  core::BigDawg dawg;
+  LoadWaveforms(&dawg);
+  if (hand_place_on_fast_engine) {
+    BIGDAWG_CHECK_OK(dawg.MigrateObject("waveforms", core::kEngineSciDb));
+  }
+  const std::string expected = dawg.Execute(kQuery)->ToString();
+  exec::QueryService service(&dawg, BaseConfig());
+  BIGDAWG_CHECK(service.adaptive() == nullptr) << "adaptive should be off";
+  ScenarioResult r = MeasureClientBest(&service, expected);
+  service.Drain();
+  return r;
+}
+
+/// adaptive: converge first (serial query -> drain -> check placement),
+/// then measure steady state with the loop still running.
+ScenarioResult RunAdaptive() {
+  core::BigDawg dawg;
+  LoadWaveforms(&dawg);
+  const std::string expected = dawg.Execute(kQuery)->ToString();
+  exec::QueryServiceConfig cfg = BaseConfig();
+  cfg.adaptive = TunedAdaptive();
+  exec::QueryService service(&dawg, cfg);
+  BIGDAWG_CHECK(service.adaptive() != nullptr) << "adaptive should be on";
+
+  ScenarioResult out;
+  for (int i = 0; i < kConvergenceBudget; ++i) {
+    BIGDAWG_CHECK_OK(service.ExecuteSync(kQuery).status());
+    service.Drain();
+    if (dawg.catalog().Snapshot("waveforms")->location.engine ==
+        core::kEngineSciDb) {
+      out.converged_at = i + 1;
+      break;
+    }
+  }
+  BIGDAWG_CHECK(out.converged_at > 0) << "adaptive loop never converged";
+
+  const ScenarioResult steady = MeasureClientBest(&service, expected);
+  service.Drain();
+  out.p95_ms = steady.p95_ms;
+  out.median_ms = steady.median_ms;
+  out.qps = steady.qps;
+  const core::PlacementCounters counters =
+      service.adaptive()->controller().counters();
+  BIGDAWG_CHECK(counters.reverts == 0) << "steady state reverted";
+  return out;
+}
+
+/// dry-run: shadows on every query, controller observes but never acts —
+/// the continuous-shadow cost paid by the client path.
+ScenarioResult RunDryRun() {
+  core::BigDawg dawg;
+  LoadWaveforms(&dawg);
+  const std::string expected = dawg.Execute(kQuery)->ToString();
+  exec::QueryServiceConfig cfg = BaseConfig();
+  cfg.adaptive = TunedAdaptive();
+  cfg.adaptive.policy.dry_run = true;
+  exec::QueryService service(&dawg, cfg);
+  BIGDAWG_CHECK(service.adaptive() != nullptr) << "adaptive should be on";
+  ScenarioResult r = MeasureClientBest(&service, expected);
+  service.Drain();
+  BIGDAWG_CHECK(service.adaptive()->shadow_stats().sampled > 0)
+      << "dry-run never shadowed";
+  BIGDAWG_CHECK(dawg.catalog().Snapshot("waveforms")->location.engine ==
+                core::kEnginePostgres)
+      << "dry-run moved data";
+  return r;
+}
+
+void WriteJson(const std::string& path, const ScenarioResult& misplaced,
+               const ScenarioResult& adaptive, const ScenarioResult& optimum,
+               const ScenarioResult& dry, double vs_optimum,
+               double vs_misplaced, double overhead_pct, bool floor_met) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto scenario = [&f](const char* name, const ScenarioResult& r,
+                       bool trailing_comma) {
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"p95_ms\": %.3f, "
+                 "\"median_ms\": %.3f, \"qps\": %.1f, "
+                 "\"converged_after_queries\": %d}%s\n",
+                 name, r.p95_ms, r.median_ms, r.qps, r.converged_at,
+                 trailing_comma ? "," : "");
+  };
+  std::fprintf(f, "{\n  \"slow_engine_ms\": %.1f,\n  \"fast_engine_ms\": %.1f,\n",
+               kSlowEngineMs, kFastEngineMs);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  scenario("misplaced", misplaced, true);
+  scenario("adaptive", adaptive, true);
+  scenario("optimum", optimum, true);
+  scenario("dry_run", dry, false);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"floor\": {\"adaptive_p95_vs_optimum\": %.2f, "
+               "\"target_max\": 1.2, \"misplaced_p95_vs_adaptive\": %.2f, "
+               "\"target_min\": 2.0, \"shadow_overhead_pct\": %.2f, "
+               "\"overhead_max_pct\": 5.0, \"met\": %s}\n}\n",
+               vs_optimum, vs_misplaced, overhead_pct,
+               floor_met ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  bench::PrintHeader(
+      "Adaptive placement: the closed monitoring loop vs. static placement",
+      "shadow-execution evidence converges misplaced objects onto the "
+      "engine a human would have picked, off the client path");
+
+  const ScenarioResult misplaced = RunStatic(false);
+  std::printf("misplaced (static, slow home): p95 %7.3f ms  median %7.3f ms  "
+              "%7.1f q/s\n",
+              misplaced.p95_ms, misplaced.median_ms, misplaced.qps);
+
+  const ScenarioResult adaptive = RunAdaptive();
+  std::printf("adaptive  (loop closed):       p95 %7.3f ms  median %7.3f ms  "
+              "%7.1f q/s  (converged after %d queries)\n",
+              adaptive.p95_ms, adaptive.median_ms, adaptive.qps,
+              adaptive.converged_at);
+
+  const ScenarioResult optimum = RunStatic(true);
+  std::printf("optimum   (hand-placed):       p95 %7.3f ms  median %7.3f ms  "
+              "%7.1f q/s\n",
+              optimum.p95_ms, optimum.median_ms, optimum.qps);
+
+  const ScenarioResult dry = RunDryRun();
+  const double overhead_pct =
+      100.0 * (1.0 - dry.qps / misplaced.qps);
+  std::printf("dry-run   (shadowing only):    p95 %7.3f ms  median %7.3f ms  "
+              "%7.1f q/s  (client overhead %.2f%%)\n",
+              dry.p95_ms, dry.median_ms, dry.qps, overhead_pct);
+
+  const double vs_optimum = adaptive.p95_ms / optimum.p95_ms;
+  const double vs_misplaced = misplaced.p95_ms / adaptive.p95_ms;
+  const bool floor_met =
+      vs_optimum <= 1.2 && vs_misplaced >= 2.0 && overhead_pct <= 5.0;
+  std::printf(
+      "\nadaptive p95 vs optimum: %.2fx (floor <= 1.2x)   "
+      "misplaced p95 vs adaptive: %.2fx (floor >= 2x)   "
+      "shadow overhead: %.2f%% (floor <= 5%%)   => %s\n",
+      vs_optimum, vs_misplaced, overhead_pct, floor_met ? "MET" : "MISSED");
+
+  WriteJson("BENCH_placement.json", misplaced, adaptive, optimum, dry,
+            vs_optimum, vs_misplaced, overhead_pct, floor_met);
+  return floor_met ? 0 : 1;
+}

@@ -43,6 +43,12 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # when touching src/core/sharding or the island pushdowns.
   echo "==== shard tier (ctest -L shard) ===="
   (cd build && ctest --output-on-failure -L shard)
+  # The adaptive-placement tier in isolation: controller hysteresis,
+  # shadow-execution isolation, the FakeClock convergence run, and the
+  # migration/query/fault storm — quick to rerun when touching
+  # src/exec/adaptive_placement or src/core/placement.
+  echo "==== placement tier (ctest -L placement) ===="
+  (cd build && ctest --output-on-failure -L placement)
   # Tier-1 again with the cast-result cache killed: every cross-model
   # fetch takes the uncached path, so a correctness bug that the cache
   # happens to mask (or a test that silently depends on caching) fails
@@ -72,6 +78,12 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   # concurrent readers (shard_storm_test) are its reason to exist.
   echo "==== ThreadSanitizer shard tier (ctest -L shard) ===="
   (cd build-tsan && ctest --output-on-failure -L shard)
+  # The closed placement loop under the race detector: shadows on pool
+  # workers racing client queries, the controller's scoreboard under
+  # concurrent RecordClient/RecordShadow, and adaptive migrations racing
+  # the chaos storm (placement_chaos_test) are its reason to exist.
+  echo "==== ThreadSanitizer placement tier (ctest -L placement) ===="
+  (cd build-tsan && ctest --output-on-failure -L placement)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then

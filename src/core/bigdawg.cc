@@ -719,6 +719,31 @@ Status BigDawg::MigrateObject(const std::string& object,
   return catalog_.UpdateLocation(object, target_engine, object);
 }
 
+Status BigDawg::CopyObjectTo(const std::string& object,
+                             const std::string& engine,
+                             const std::string& copy_name) {
+  if (catalog_.Contains(copy_name)) {
+    return Status::AlreadyExists("object " + copy_name +
+                                 " already exists in the catalog");
+  }
+  BIGDAWG_ASSIGN_OR_RETURN(relational::Table table, FetchAsTable(object));
+  BIGDAWG_RETURN_NOT_OK(StoreTableOnEngine(table, engine, copy_name));
+  return RegisterObject(copy_name, engine, copy_name);
+}
+
+Status BigDawg::DropObject(const std::string& object) {
+  BIGDAWG_ASSIGN_OR_RETURN(ObjectSnapshot snap, catalog_.Snapshot(object));
+  if (snap.placement.sharded()) {
+    return Status::FailedPrecondition(
+        "object " + object + " is sharded; UnshardObject it first");
+  }
+  for (const ReplicaLocation& replica : catalog_.Replicas(object)) {
+    DropPhysical(replica.engine, replica.native_name);
+  }
+  DropPhysical(snap.location.engine, snap.location.native_name);
+  return catalog_.Remove(object);
+}
+
 Status BigDawg::ReplicateObject(const std::string& object,
                                 const std::string& target_engine) {
   BIGDAWG_ASSIGN_OR_RETURN(ObjectLocation loc, catalog_.Lookup(object));

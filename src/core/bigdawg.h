@@ -145,6 +145,19 @@ class BigDawg {
   /// and updates the catalog; the old physical copy is dropped.
   Status MigrateObject(const std::string& object, const std::string& target_engine);
 
+  /// Materializes a point-in-time copy of `object` on `engine` under the
+  /// new logical name `copy_name` (registered in the catalog with its own
+  /// instance id). The copy is independent of the original — writes to
+  /// one never touch the other. The adaptive-placement shadow executor
+  /// measures candidate placements on such copies; pair with DropObject.
+  Status CopyObjectTo(const std::string& object, const std::string& engine,
+                      const std::string& copy_name);
+
+  /// Unregisters `object` and drops its physical bytes (primary and any
+  /// replicas). FailedPrecondition for sharded objects — UnshardObject
+  /// collapses a placement first.
+  Status DropObject(const std::string& object);
+
   // ---- Replication (the paper's future-work extension) ----
 
   /// Materializes a read replica of `object` on `target_engine`.

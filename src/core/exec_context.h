@@ -69,6 +69,13 @@ struct ExecContext {
   /// tracing — every emission site is one pointer test.
   obs::Trace* trace = nullptr;
 
+  /// Marks a shadow re-execution by the adaptive-placement loop: a
+  /// measurement run, not client traffic. Shadow executions skip monitor
+  /// attribution (island latencies, object access counts, trace-mined
+  /// affinities) and never root a trace in the process tracer, so the
+  /// client-facing statistics describe only real queries.
+  bool shadow = false;
+
   std::string NextTempName() {
     return temp_prefix + std::to_string(temp_counter++);
   }

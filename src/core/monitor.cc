@@ -73,7 +73,17 @@ void Monitor::IngestSpan(const obs::TraceSpan& span) {
       RecordComparison(*island, *engine, exec->duration_ms);
     }
   }
-  for (const obs::TraceSpan& child : span.children) IngestSpan(child);
+  // "attempt" children are retries of ONE logical query; mining every
+  // attempt would weight a flaky query N times in the affinities. Only
+  // the last attempt — the one whose outcome the query kept — counts.
+  const obs::TraceSpan* last_attempt = nullptr;
+  for (const obs::TraceSpan& child : span.children) {
+    if (child.name == "attempt") last_attempt = &child;
+  }
+  for (const obs::TraceSpan& child : span.children) {
+    if (child.name == "attempt" && &child != last_attempt) continue;
+    IngestSpan(child);
+  }
 }
 
 void Monitor::IngestTraces(const std::vector<obs::TraceSpan>& traces) {

@@ -102,7 +102,10 @@ class Monitor {
   /// DrainFinished): every successful "scope" span — island, engine, and
   /// the pure island-execution time of its "exec" child — becomes a
   /// comparative timing, refining engine/query-class affinities from real
-  /// executions instead of only explicit re-runs.
+  /// executions instead of only explicit re-runs. Timings count per
+  /// logical query, not per retry attempt: of a query root's "attempt"
+  /// children only the last (the attempt whose outcome the query kept)
+  /// is mined.
   void IngestTraces(const std::vector<obs::TraceSpan>& traces);
 
   /// Writes the current engine-health and island-latency view into

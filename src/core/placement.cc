@@ -1,0 +1,325 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bigdawg::core {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+}  // namespace
+
+const char* PlacementActionName(PlacementAction action) {
+  switch (action) {
+    case PlacementAction::kMigrate:
+      return "migrate";
+    case PlacementAction::kRevert:
+      return "revert";
+    case PlacementAction::kShard:
+      return "shard";
+  }
+  return "?";
+}
+
+PlacementController::PlacementController(PlacementPolicy policy,
+                                         const obs::Clock* clock)
+    : policy_(policy),
+      clock_(clock != nullptr ? clock : obs::Clock::System()),
+      origin_(clock_->Now()) {}
+
+double PlacementController::NowMs() const {
+  return obs::Clock::ToMillis(clock_->Now() - origin_);
+}
+
+PlacementController::ObjectState* PlacementController::StateFor(
+    const std::string& object) {
+  auto it = objects_.find(object);
+  if (it != objects_.end()) return &it->second;
+  if (objects_.size() >= policy_.max_objects) return nullptr;
+  return &objects_[object];
+}
+
+obs::SampleWindow& PlacementController::WindowFor(ObjectState& state,
+                                                  const std::string& engine) {
+  return state.windows.try_emplace(engine, policy_.window_capacity)
+      .first->second;
+}
+
+void PlacementController::RecordClient(const std::string& object,
+                                       const std::string& home_engine,
+                                       double elapsed_ms) {
+  std::lock_guard lock(mu_);
+  ObjectState* state = StateFor(object);
+  if (state == nullptr) return;
+  if (state->home != home_engine) {
+    // First sighting, or the object moved under us (a manual Migrate the
+    // controller didn't order). Old timings describe the old placement,
+    // so the scoreboard restarts — and a watch on a home that no longer
+    // exists is meaningless.
+    state->windows.clear();
+    state->watching = false;
+    state->home = home_engine;
+  }
+  WindowFor(*state, home_engine).Record(elapsed_ms);
+  ++state->client_samples;
+  if (state->watching) ++state->watch_samples;
+}
+
+void PlacementController::RecordShadow(const std::string& object,
+                                       const std::string& engine,
+                                       double elapsed_ms) {
+  std::lock_guard lock(mu_);
+  ObjectState* state = StateFor(object);
+  if (state == nullptr) return;
+  WindowFor(*state, engine).Record(elapsed_ms);
+}
+
+std::optional<PlacementDecision> PlacementController::Evaluate(
+    const std::string& object, bool sharded) {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return std::nullopt;
+  ObjectState& state = it->second;
+  if (sharded) state.sharded = true;
+  if (state.home.empty() || state.decision_in_flight || state.watching) {
+    return std::nullopt;
+  }
+  if (clock_->Now() < state.cooldown_until) return std::nullopt;
+  auto home_it = state.windows.find(state.home);
+  if (home_it == state.windows.end() ||
+      home_it->second.count() < policy_.min_samples) {
+    return std::nullopt;
+  }
+  const double home_p95 = home_it->second.Quantile(0.95);
+
+  // Best challenger: lowest p95 among engines with enough evidence.
+  const obs::SampleWindow* best = nullptr;
+  std::string best_engine;
+  for (const auto& [engine, window] : state.windows) {
+    if (engine == state.home) continue;
+    if (window.count() < policy_.min_samples) continue;
+    if (best == nullptr || window.Quantile(0.95) < best->Quantile(0.95)) {
+      best = &window;
+      best_engine = engine;
+    }
+  }
+
+  PlacementDecision d;
+  d.object = object;
+  d.decided_at_ms = NowMs();
+  if (best != nullptr && best->Quantile(0.95) < policy_.gap_ratio * home_p95) {
+    d.seq = next_seq_++;
+    d.action = PlacementAction::kMigrate;
+    d.from_engine = state.home;
+    d.to_engine = best_engine;
+    d.current_p95_ms = home_p95;
+    d.candidate_p95_ms = best->Quantile(0.95);
+    d.current_samples = home_it->second.count();
+    d.candidate_samples = best->count();
+    d.reason = "p95 " + FormatMs(home_p95) + "ms on " + state.home + " vs " +
+               FormatMs(d.candidate_p95_ms) + "ms shadowed on " + best_engine +
+               " (gap_ratio " + FormatMs(policy_.gap_ratio) + ")";
+    state.decision_in_flight = true;
+    return d;
+  }
+  if (policy_.shard_min_accesses > 0 && !state.sharded &&
+      state.client_samples >= policy_.shard_min_accesses &&
+      home_p95 >= policy_.shard_p95_ms) {
+    d.seq = next_seq_++;
+    d.action = PlacementAction::kShard;
+    d.from_engine = state.home;
+    d.to_engine = state.home;
+    d.current_p95_ms = home_p95;
+    d.current_samples = home_it->second.count();
+    d.reason = "no faster whole-engine home; p95 " + FormatMs(home_p95) +
+               "ms over " + std::to_string(state.client_samples) +
+               " accesses clears shard threshold " +
+               FormatMs(policy_.shard_p95_ms) + "ms";
+    state.decision_in_flight = true;
+    return d;
+  }
+  return std::nullopt;
+}
+
+std::optional<PlacementDecision> PlacementController::MaybeRevert(
+    const std::string& object) {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return std::nullopt;
+  ObjectState& state = it->second;
+  if (!state.watching || state.decision_in_flight) return std::nullopt;
+  if (clock_->Now() > state.watch_until) {
+    // The window closed without a sustained regression: the move stands.
+    state.watching = false;
+    return std::nullopt;
+  }
+  if (state.watch_samples < policy_.revert_min_samples) return std::nullopt;
+  auto home_it = state.windows.find(state.home);
+  if (home_it == state.windows.end()) return std::nullopt;
+  const double post_p95 = home_it->second.Quantile(0.95);
+  if (post_p95 <= policy_.revert_ratio * state.watch_pre_p95) {
+    // Enough fresh evidence and the new home holds up: confirm the move.
+    state.watching = false;
+    return std::nullopt;
+  }
+  PlacementDecision d;
+  d.seq = next_seq_++;
+  d.action = PlacementAction::kRevert;
+  d.object = object;
+  d.from_engine = state.home;
+  d.to_engine = state.watch_prev_engine;
+  d.current_p95_ms = post_p95;
+  d.candidate_p95_ms = state.watch_pre_p95;
+  d.current_samples = state.watch_samples;
+  d.decided_at_ms = NowMs();
+  d.reason = "post-migration p95 " + FormatMs(post_p95) +
+             "ms regressed past " + FormatMs(policy_.revert_ratio) + "x the " +
+             FormatMs(state.watch_pre_p95) + "ms baseline";
+  state.decision_in_flight = true;
+  return d;
+}
+
+void PlacementController::OnActionResult(const PlacementDecision& decision,
+                                         bool applied, const Status& status) {
+  std::lock_guard lock(mu_);
+  ++counters_.decisions;
+  auto it = objects_.find(decision.object);
+  if (it != objects_.end()) {
+    ObjectState& state = it->second;
+    state.decision_in_flight = false;
+    const obs::Clock::TimePoint now = clock_->Now();
+    if (applied && status.ok()) {
+      switch (decision.action) {
+        case PlacementAction::kMigrate:
+          ++counters_.migrations;
+          state.home = decision.to_engine;
+          state.windows.clear();
+          // Arm the revert watch: fresh client timings on the new home
+          // must hold up against the pre-migration baseline.
+          state.watching = true;
+          state.watch_prev_engine = decision.from_engine;
+          state.watch_pre_p95 = decision.current_p95_ms;
+          state.watch_samples = 0;
+          state.watch_until =
+              now + obs::Clock::FromMillis(policy_.revert_window_ms);
+          state.cooldown_until =
+              now + obs::Clock::FromMillis(policy_.cooldown_ms);
+          break;
+        case PlacementAction::kRevert:
+          ++counters_.reverts;
+          state.home = decision.to_engine;
+          state.windows.clear();
+          state.watching = false;
+          state.cooldown_until =
+              now + obs::Clock::FromMillis(policy_.blacklist_ms);
+          break;
+        case PlacementAction::kShard:
+          ++counters_.shards;
+          state.sharded = true;
+          state.cooldown_until =
+              now + obs::Clock::FromMillis(policy_.cooldown_ms);
+          break;
+      }
+    } else if (!status.ok()) {
+      // The executor failed (engine down, catalog race): freeze the
+      // object for the blacklist window instead of hammering the action.
+      ++counters_.failures;
+      state.watching = false;
+      state.cooldown_until = now + obs::Clock::FromMillis(policy_.blacklist_ms);
+    } else {
+      // Dry-run: decision observed, not acted on; normal cooldown so the
+      // history ring shows distinct episodes rather than one decision
+      // repeated every completion.
+      ++counters_.dry_runs;
+      state.cooldown_until = now + obs::Clock::FromMillis(policy_.cooldown_ms);
+    }
+  }
+  PlacementDecision entry = decision;
+  entry.applied = applied && status.ok();
+  entry.status = status.ok() ? (applied ? "ok" : "dry_run")
+                             : StatusCodeToString(status.code());
+  history_.push_back(std::move(entry));
+  while (history_.size() > policy_.history_capacity) history_.pop_front();
+}
+
+std::vector<PlacementDecision> PlacementController::History() const {
+  std::lock_guard lock(mu_);
+  return {history_.begin(), history_.end()};
+}
+
+std::vector<PlacementScore> PlacementController::Scoreboard() const {
+  std::lock_guard lock(mu_);
+  std::vector<PlacementScore> out;
+  for (const auto& [object, state] : objects_) {
+    for (const auto& [engine, window] : state.windows) {
+      if (window.count() == 0) continue;
+      PlacementScore row;
+      row.object = object;
+      row.engine = engine;
+      row.is_home = engine == state.home;
+      row.samples = window.count();
+      row.p95_ms = window.Quantile(0.95);
+      row.mean_ms = window.mean();
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+PlacementCounters PlacementController::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+void PlacementController::ExportMetrics(obs::MetricsRegistry* registry) const {
+  PlacementCounters c;
+  std::vector<PlacementScore> scores;
+  size_t tracked;
+  {
+    std::lock_guard lock(mu_);
+    c = counters_;
+    tracked = objects_.size();
+  }
+  scores = Scoreboard();
+  registry->GetGauge("bigdawg_placement_decisions")->Set(double(c.decisions));
+  registry
+      ->GetGauge(obs::SeriesName("bigdawg_placement_actions",
+                                 {{"action", "migrate"}}))
+      ->Set(double(c.migrations));
+  registry
+      ->GetGauge(obs::SeriesName("bigdawg_placement_actions",
+                                 {{"action", "revert"}}))
+      ->Set(double(c.reverts));
+  registry
+      ->GetGauge(
+          obs::SeriesName("bigdawg_placement_actions", {{"action", "shard"}}))
+      ->Set(double(c.shards));
+  registry
+      ->GetGauge(
+          obs::SeriesName("bigdawg_placement_actions", {{"action", "failed"}}))
+      ->Set(double(c.failures));
+  registry
+      ->GetGauge(
+          obs::SeriesName("bigdawg_placement_actions", {{"action", "dry_run"}}))
+      ->Set(double(c.dry_runs));
+  registry->GetGauge("bigdawg_placement_tracked_objects")->Set(double(tracked));
+  for (const PlacementScore& s : scores) {
+    registry
+        ->GetGauge(obs::SeriesName("bigdawg_placement_p95_ms",
+                                   {{"object", s.object}, {"engine", s.engine}}))
+        ->Set(s.p95_ms);
+    registry
+        ->GetGauge(obs::SeriesName(
+            "bigdawg_placement_samples",
+            {{"object", s.object}, {"engine", s.engine}}))
+        ->Set(double(s.samples));
+  }
+}
+
+}  // namespace bigdawg::core

@@ -1,0 +1,207 @@
+#ifndef BIGDAWG_CORE_PLACEMENT_H_
+#define BIGDAWG_CORE_PLACEMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace bigdawg::core {
+
+/// \brief Hysteresis tuning for the adaptive-placement decision loop.
+///
+/// Every knob exists to stop the controller from thrashing. A migration
+/// is proposed only after `min_samples` timings on BOTH the current home
+/// and the challenger engine, only when the challenger's p95 beats the
+/// home's by the `gap_ratio` margin, and at most once per `cooldown_ms`
+/// per object. Every applied migration opens a revert watch: if the
+/// post-migration p95 (over `revert_min_samples` fresh client timings
+/// inside `revert_window_ms`) regresses past `revert_ratio` x the
+/// pre-migration p95, the controller proposes moving the object back and
+/// blacklists it from further decisions for `blacklist_ms`.
+struct PlacementPolicy {
+  /// Timings required on both sides of a comparison before it counts.
+  int64_t min_samples = 6;
+  /// Challenger p95 must be below gap_ratio * home p95 to win.
+  double gap_ratio = 0.6;
+  /// Minimum spacing between decisions for one object.
+  double cooldown_ms = 500;
+  /// How long after a migration fresh regressions can still revert it.
+  double revert_window_ms = 5000;
+  /// Post-migration p95 above revert_ratio * pre-migration p95 reverts.
+  double revert_ratio = 1.3;
+  /// Client timings on the new home needed before the revert check runs.
+  int64_t revert_min_samples = 4;
+  /// Decision freeze applied to an object after a revert (or failed
+  /// action) — much longer than the cooldown, so a misjudged object
+  /// cannot oscillate.
+  double blacklist_ms = 10000;
+  /// When > 0: an object with no better whole-engine home, at least this
+  /// many client timings, and a home p95 >= shard_p95_ms is proposed for
+  /// sharding across `shard_count` instances instead. 0 disables the
+  /// shard action.
+  int64_t shard_min_accesses = 0;
+  double shard_p95_ms = 0;
+  int shard_count = 4;
+  /// Record decisions (history, counters, cooldowns) without asking the
+  /// executor to apply them — observe mode.
+  bool dry_run = false;
+  /// Bounded reservoir capacity per (object, engine) score cell.
+  size_t window_capacity = 128;
+  /// At most this many objects are tracked; timings for further objects
+  /// are dropped (placement interest follows the hot set).
+  size_t max_objects = 64;
+  /// Bounded length of the decision-history ring.
+  size_t history_capacity = 64;
+};
+
+enum class PlacementAction : int { kMigrate, kRevert, kShard };
+
+const char* PlacementActionName(PlacementAction action);
+
+/// \brief One decision the controller produced, with the evidence that
+/// drove it. `applied`/`status` are filled by OnActionResult once the
+/// executor has tried (or, in dry-run, declined) to act.
+struct PlacementDecision {
+  int64_t seq = 0;
+  PlacementAction action = PlacementAction::kMigrate;
+  std::string object;
+  std::string from_engine;
+  std::string to_engine;
+  /// p95 of the side the decision moves away from / regresses against.
+  double current_p95_ms = 0;
+  /// p95 of the winning side (for reverts: the pre-migration baseline).
+  double candidate_p95_ms = 0;
+  int64_t current_samples = 0;
+  int64_t candidate_samples = 0;
+  std::string reason;
+  /// Milliseconds since controller construction, on the injected clock.
+  double decided_at_ms = 0;
+  bool applied = false;
+  std::string status = "pending";
+};
+
+/// \brief One row of the (object, engine) scoreboard.
+struct PlacementScore {
+  std::string object;
+  std::string engine;
+  bool is_home = false;
+  int64_t samples = 0;
+  double p95_ms = 0;
+  double mean_ms = 0;
+};
+
+/// \brief Lifetime action counters.
+struct PlacementCounters {
+  int64_t decisions = 0;
+  int64_t migrations = 0;
+  int64_t reverts = 0;
+  int64_t shards = 0;
+  int64_t failures = 0;
+  int64_t dry_runs = 0;
+};
+
+/// \brief The decision half of the monitor->migrator feedback loop.
+///
+/// Scores every tracked object per engine with bounded SampleWindow
+/// percentiles: client completions feed the object's current home, shadow
+/// re-executions (exec::AdaptivePlacement) feed the candidate engines.
+/// Evaluate/MaybeRevert turn sustained score gaps into migration
+/// proposals under the PlacementPolicy's hysteresis; the caller executes
+/// them (BigDawg::MigrateObject via the query service's engine locks, or
+/// ShardObject) and reports back through OnActionResult, which updates
+/// the home, resets the object's windows (old timings describe the old
+/// placement), arms the revert watch, and appends to the bounded
+/// decision-history ring served by the /placement admin endpoint.
+///
+/// Thread-safe; at most one decision per object is outstanding at a time
+/// (Evaluate/MaybeRevert mark the object in-flight until OnActionResult).
+class PlacementController {
+ public:
+  PlacementController(PlacementPolicy policy, const obs::Clock* clock);
+
+  PlacementController(const PlacementController&) = delete;
+  PlacementController& operator=(const PlacementController&) = delete;
+
+  /// Records a client-observed end-to-end timing for `object`, currently
+  /// homed on `home_engine`. A home that differs from the last recorded
+  /// one means the object moved outside this controller (manual
+  /// migration): the windows reset and the watch is cancelled.
+  void RecordClient(const std::string& object, const std::string& home_engine,
+                    double elapsed_ms);
+
+  /// Records a shadow-execution timing for `object` as measured on
+  /// `engine` (either side of the baseline/candidate pair).
+  void RecordShadow(const std::string& object, const std::string& engine,
+                    double elapsed_ms);
+
+  /// Proposes a migrate/shard action for `object` when the hysteresis
+  /// gates all pass; marks the object decision-in-flight. `sharded`
+  /// suppresses the shard action for already-sharded objects.
+  std::optional<PlacementDecision> Evaluate(const std::string& object,
+                                            bool sharded = false);
+
+  /// Proposes undoing the object's most recent migration when the revert
+  /// watch sees a sustained regression; marks the object in-flight.
+  std::optional<PlacementDecision> MaybeRevert(const std::string& object);
+
+  /// Reports what the executor did with a decision returned by
+  /// Evaluate/MaybeRevert. Must be called exactly once per decision;
+  /// `applied` false with an OK status means dry-run (observed, not
+  /// acted on).
+  void OnActionResult(const PlacementDecision& decision, bool applied,
+                      const Status& status);
+
+  /// Most recent decisions, oldest first (bounded ring).
+  std::vector<PlacementDecision> History() const;
+  std::vector<PlacementScore> Scoreboard() const;
+  PlacementCounters counters() const;
+  const PlacementPolicy& policy() const { return policy_; }
+
+  /// Snapshot-semantics gauges (bigdawg_placement_*) into `registry`.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
+ private:
+  struct ObjectState {
+    std::string home;
+    /// engine -> timings observed with the object's data on that engine.
+    std::map<std::string, obs::SampleWindow> windows;
+    int64_t client_samples = 0;
+    bool sharded = false;
+    bool decision_in_flight = false;
+    obs::Clock::TimePoint cooldown_until{};
+    // ---- Revert watch (armed by an applied migration) ----
+    bool watching = false;
+    std::string watch_prev_engine;
+    double watch_pre_p95 = 0;
+    int64_t watch_samples = 0;
+    obs::Clock::TimePoint watch_until{};
+  };
+
+  /// The tracked state for `object`, or null when the tracking budget
+  /// (policy_.max_objects) is spent on other objects.
+  ObjectState* StateFor(const std::string& object);
+  obs::SampleWindow& WindowFor(ObjectState& state, const std::string& engine);
+  double NowMs() const;
+
+  const PlacementPolicy policy_;
+  const obs::Clock* clock_;
+  const obs::Clock::TimePoint origin_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ObjectState> objects_;
+  std::deque<PlacementDecision> history_;
+  PlacementCounters counters_;
+  int64_t next_seq_ = 1;
+};
+
+}  // namespace bigdawg::core
+
+#endif  // BIGDAWG_CORE_PLACEMENT_H_

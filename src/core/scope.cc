@@ -255,7 +255,7 @@ Result<relational::Table> BigDawg::ExecuteScoped(const std::string& island_name,
     scope_span.Tag("error", StatusCodeToString(result.status().code()));
   }
 
-  if (result.ok()) {
+  if (result.ok() && !ctx->shadow) {
     monitor_.RecordIslandExecution(island_name, elapsed_ms);
     // Monitoring: attribute this execution to every referenced object.
     Result<std::vector<Token>> tokens = Tokenize(rewritten);
@@ -289,7 +289,8 @@ Result<relational::Table> BigDawg::Execute(const std::string& query,
   // when the tracer is on; service-submitted queries arrive with
   // ctx->trace already set and root at "query" instead.
   std::unique_ptr<obs::Trace> owned_trace;
-  if (ctx->depth == 0 && ctx->trace == nullptr && tracer_.enabled()) {
+  if (ctx->depth == 0 && ctx->trace == nullptr && !ctx->shadow &&
+      tracer_.enabled()) {
     owned_trace = std::make_unique<obs::Trace>(ctx->clock, "execute");
     ctx->trace = owned_trace.get();
   }

@@ -213,6 +213,18 @@ void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
     return response;
   });
 
+  server->Route("/placement", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    AdaptivePlacement* adaptive = service->adaptive();
+    response.body =
+        adaptive != nullptr
+            ? adaptive->Render()
+            : "adaptive placement: disabled (enable "
+              "QueryServiceConfig::adaptive.enabled; BIGDAWG_ADAPTIVE=0 "
+              "kills it, =1 forces it)\n";
+    return response;
+  });
+
   server->Route("/cache", [dawg](const obs::HttpRequest&) {
     obs::HttpResponse response;
     core::CastCache& cache = dawg->cast_cache();

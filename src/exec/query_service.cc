@@ -86,9 +86,16 @@ QueryService::QueryService(core::BigDawg* dawg, QueryServiceConfig config)
   }
   if (config_.clock != nullptr) dawg_->cast_cache().SetClock(config_.clock);
   dawg_->cast_cache().BindMetrics(metrics_);
+  if (AdaptivePlacement::EnvAllows(config_.adaptive.enabled)) {
+    adaptive_ = std::make_unique<AdaptivePlacement>(
+        dawg_, this, config_.adaptive, clock_, &pool_, metrics_);
+  }
 }
 
-QueryService::~QueryService() { Drain(); }
+QueryService::~QueryService() {
+  if (adaptive_ != nullptr) adaptive_->Stop();
+  Drain();
+}
 
 int64_t QueryService::OpenSession() {
   std::lock_guard lock(mu_);
@@ -359,6 +366,13 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
         dawg_->tracer().Record(std::move(finished));
       }
     }
+    // Adaptive placement sees the completion BEFORE the admission slot
+    // releases, so Drain() (wait in_flight==0, then drain shadows) can
+    // never miss a shadow or migration scheduled here.
+    if (adaptive_ != nullptr) {
+      adaptive_->OnQueryCompleted(query, plan.island, plan.is_write,
+                                  result.status(), latency_ms);
+    }
     RecordOutcome(id, plan.island, result.status(), latency_ms,
                   attempts - 1, failovers, degraded);
     MaybeRecordSlow(id, opts.session, query, plan.island, result.status(),
@@ -491,8 +505,19 @@ Result<int64_t> QueryService::RefreshReplicas(const std::string& object) {
 }
 
 void QueryService::Drain() {
-  std::unique_lock lock(mu_);
-  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  {
+    std::unique_lock lock(mu_);
+    drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  // Shadows and migrations are scheduled while their triggering query
+  // still holds its admission slot, so by this point every adaptive task
+  // is at least queued; wait for them too.
+  if (adaptive_ != nullptr) adaptive_->Drain();
+}
+
+int64_t QueryService::InFlight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
 }
 
 QueryServiceStats QueryService::Stats() const {
@@ -531,6 +556,7 @@ std::string QueryService::DumpMetrics() const {
   if (core::StreamAgeOut* ageout = dawg_->stream_ageout()) {
     ageout->ExportMetrics(metrics_);
   }
+  if (adaptive_ != nullptr) adaptive_->ExportMetrics(metrics_);
   return metrics_->DumpPrometheus();
 }
 

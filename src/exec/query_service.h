@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/bigdawg.h"
+#include "exec/adaptive_placement.h"
 #include "exec/engine_locks.h"
 #include "exec/retry_policy.h"
 #include "obs/clock.h"
@@ -55,6 +56,11 @@ struct QueryServiceConfig {
   int64_t cast_cache_bytes = -1;
   /// Bounded capacity of the slow-query ring.
   size_t slow_query_capacity = obs::SlowQueryLog::kDefaultCapacity;
+  /// Adaptive placement: shadow execution + PlacementController turning
+  /// sustained engine-score gaps into automatic migrations. Off by
+  /// default; `adaptive.enabled = true` opts in, and the environment
+  /// overrides either way (BIGDAWG_ADAPTIVE=0 kills it, =1 forces it).
+  AdaptiveConfig adaptive;
 };
 
 struct SubmitOptions {
@@ -231,6 +237,15 @@ class QueryService {
   /// has never failed).
   CircuitBreaker::State BreakerState(const std::string& engine) const;
 
+  /// Queries currently queued or running (admission occupancy); the
+  /// adaptive-placement load gate reads this before running a shadow.
+  int64_t InFlight() const;
+
+  /// The adaptive-placement loop, or null when disabled (config off, or
+  /// BIGDAWG_ADAPTIVE=0). Null means the service behaves byte-identically
+  /// to a build without the feature.
+  AdaptivePlacement* adaptive() const { return adaptive_.get(); }
+
   const QueryServiceConfig& config() const { return config_; }
 
  private:
@@ -301,6 +316,10 @@ class QueryService {
   std::map<int64_t, std::shared_ptr<QueryState>> live_;
   /// island -> bounded latency reservoir (p50/p95 memory stays capped).
   std::map<std::string, obs::SampleWindow> latencies_;
+
+  /// Null unless adaptive placement is enabled. Declared before pool_ so
+  /// the pool (whose tasks may reference it) is joined first.
+  std::unique_ptr<AdaptivePlacement> adaptive_;
 
   // Last member: destroyed (joined) first, so draining tasks can still
   // touch the fields above.

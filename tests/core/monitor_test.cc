@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace bigdawg::core {
 namespace {
@@ -116,6 +117,68 @@ TEST(MonitorTest, IslandLatencyStatsPercentiles) {
   EXPECT_EQ(all[0].count, 1);
   EXPECT_DOUBLE_EQ(all[0].p50_ms, 7.0);
   EXPECT_EQ(all[1].island, "RELATIONAL");
+}
+
+obs::TraceSpan SuccessfulScope(const std::string& island,
+                               const std::string& engine, double exec_ms) {
+  obs::TraceSpan scope;
+  scope.name = "scope";
+  scope.tags = {{"island", island}, {"engine", engine}};
+  obs::TraceSpan exec;
+  exec.name = "exec";
+  exec.duration_ms = exec_ms;
+  scope.children.push_back(std::move(exec));
+  return scope;
+}
+
+// Regression: a query that was retried produces one "attempt" span per
+// try, all under one root. Mining every attempt conflated retries with
+// distinct queries — a flaky query weighed N times in the engine
+// affinities. Only the last attempt (the one whose outcome the query
+// kept) may count.
+TEST(MonitorTest, IngestTracesCountsRetriedQueriesOnce) {
+  Monitor monitor;
+  obs::TraceSpan root;
+  root.name = "query";
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    obs::TraceSpan a;
+    a.name = "attempt";
+    a.children.push_back(
+        SuccessfulScope("ARRAY", kEngineSciDb, 10.0 * attempt));
+    root.children.push_back(std::move(a));
+  }
+  monitor.IngestTraces({root});
+
+  auto timings = monitor.TimingsFor("ARRAY");
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_EQ(timings[0].engine, kEngineSciDb);
+  EXPECT_EQ(timings[0].samples, 1) << "retry attempts are one logical query";
+  EXPECT_DOUBLE_EQ(timings[0].mean_ms, 30.0) << "the kept attempt's timing";
+}
+
+// Non-attempt children (casts, sub-scopes) are still all mined; only
+// sibling "attempt" spans collapse to the last one.
+TEST(MonitorTest, IngestTracesKeepsNonAttemptChildren) {
+  Monitor monitor;
+  obs::TraceSpan root;
+  root.name = "query";
+  obs::TraceSpan stale;
+  stale.name = "attempt";
+  stale.children.push_back(SuccessfulScope("ARRAY", kEnginePostgres, 50.0));
+  root.children.push_back(std::move(stale));
+  obs::TraceSpan kept;
+  kept.name = "attempt";
+  kept.children.push_back(SuccessfulScope("ARRAY", kEngineSciDb, 5.0));
+  kept.children.push_back(SuccessfulScope("RELATIONAL", kEnginePostgres, 7.0));
+  root.children.push_back(std::move(kept));
+  monitor.IngestTraces({root});
+
+  EXPECT_EQ(monitor.TimingsFor("ARRAY").size(), 1u)
+      << "the stale attempt's scope must not register";
+  EXPECT_EQ(*monitor.BestEngineFor("ARRAY"), kEngineSciDb);
+  auto relational = monitor.TimingsFor("RELATIONAL");
+  ASSERT_EQ(relational.size(), 1u);
+  EXPECT_EQ(relational[0].samples, 1);
 }
 
 TEST(MonitorTest, IslandLatencyWindowBoundsPercentiles) {

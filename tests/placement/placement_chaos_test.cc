@@ -1,0 +1,267 @@
+// Adaptive migrations racing a multi-threaded query storm plus fault
+// injection. Two objects split the concerns:
+//
+//  * "hotarr" is read-only and latency-skewed so the adaptive loop
+//    wants to migrate it WHILE four storm threads hammer it through the
+//    service — every successful answer must be the one correct answer,
+//    wherever the object happens to live that instant.
+//  * "wave" is the write oracle: one mutator thread interleaves writes
+//    with service.Migrate() hops between engines while direct readers
+//    assert the storm invariants — no torn read, nothing older than the
+//    version snapshotted before the read, and the catalog instance_id
+//    NEVER changes across UpdateLocation (identity preservation is what
+//    keeps pre-migration cache entries valid, so a changed id would be
+//    the cache-poisoning bug this tier exists to catch).
+//
+// A fault thread injects failure bursts on both engines throughout.
+// Fixed iteration counts keep it TSan-friendly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "array/array.h"
+#include "common/logging.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+
+namespace bigdawg::exec {
+namespace {
+
+constexpr int64_t kRows = 16;
+constexpr int64_t kGenerations = 25;
+constexpr int kStormThreads = 4;
+constexpr int kStormQueriesPerThread = 40;
+constexpr int kOracleReaders = 3;
+constexpr char kHotQuery[] = "ARRAY(aggregate(hotarr, avg, v))";
+
+relational::Table WaveTable(int64_t generation) {
+  relational::Table table{Schema(
+      {Field("id", DataType::kInt64), Field("v", DataType::kDouble)})};
+  for (int64_t i = 0; i < kRows; ++i) {
+    table.AppendUnchecked(
+        {Value(i), Value(static_cast<double>(generation))});
+  }
+  return table;
+}
+
+TEST(PlacementChaosTest, MigrationsUnderStormNeverServeStaleBytes) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  const Schema wave_schema(
+      {Field("id", DataType::kInt64), Field("v", DataType::kDouble)});
+  BIGDAWG_CHECK_OK(dawg.postgres().CreateTable("wave", wave_schema));
+  BIGDAWG_CHECK_OK(dawg.postgres().PutTable("wave", WaveTable(0)));
+  BIGDAWG_CHECK_OK(dawg.RegisterObject("wave", core::kEnginePostgres, "wave"));
+  // All-constant values: the aggregate answer is placement-invariant.
+  BIGDAWG_CHECK_OK(dawg.postgres().CreateTable("hotarr", wave_schema));
+  BIGDAWG_CHECK_OK(dawg.postgres().PutTable("hotarr", WaveTable(7)));
+  BIGDAWG_CHECK_OK(
+      dawg.RegisterObject("hotarr", core::kEnginePostgres, "hotarr"));
+
+  const std::string expected_hot = dawg.Execute(kHotQuery)->ToString();
+  const int64_t wave_instance = dawg.catalog().Snapshot("wave")->instance_id;
+  const int64_t hot_instance = dawg.catalog().Snapshot("hotarr")->instance_id;
+
+  dawg.fault_injector().Enable();
+  // Skew that makes the adaptive loop WANT to move hotarr mid-storm.
+  dawg.fault_injector().SetLatencyMs(core::kEnginePostgres, 1);
+
+  QueryServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_in_flight = 0;  // unbounded: storm failures stay typed, not queued
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.seed = 7;
+  cfg.adaptive.sample_rate = 0.35;
+  cfg.adaptive.shadow_deadline_ms = 0;
+  cfg.adaptive.budget_ms = 100000;
+  cfg.adaptive.refill_ms_per_s = 100000;
+  cfg.adaptive.policy.min_samples = 4;
+  cfg.adaptive.policy.cooldown_ms = 100;
+  cfg.adaptive.policy.revert_min_samples = 3;
+  QueryService service(&dawg, cfg);
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> torn_reads{0};
+  std::atomic<int64_t> stale_reads{0};
+  std::atomic<int64_t> ok_reads{0};
+  std::atomic<int64_t> instance_changes{0};
+  std::atomic<int64_t> untyped_failures{0};
+  std::atomic<int64_t> ok_answers{0};
+  std::atomic<int64_t> wrong_answers{0};
+
+  // Direct readers: the version/instance oracle on "wave".
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kOracleReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        Result<core::ObjectSnapshot> snap = dawg.catalog().Snapshot("wave");
+        ASSERT_TRUE(snap.ok());
+        if (snap->instance_id != wave_instance) {
+          instance_changes.fetch_add(1, std::memory_order_relaxed);
+        }
+        const int64_t version_before = snap->version;
+        Result<array::Array> got = dawg.FetchAsArray("wave");
+        if (!got.ok()) {
+          // Injected fault, or the physical moved between our location
+          // lookup and the engine read. Both typed; anything else is a bug.
+          if (!got.status().IsUnavailable() && !got.status().IsNotFound()) {
+            untyped_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        ok_reads.fetch_add(1, std::memory_order_relaxed);
+        int64_t generation = -1;
+        bool torn = false;
+        got->Scan([&](const array::Coordinates&,
+                      const std::vector<double>& values) {
+          const int64_t v = static_cast<int64_t>(values[0]);
+          if (generation == -1) generation = v;
+          if (v != generation) torn = true;
+          return true;
+        });
+        if (torn) torn_reads.fetch_add(1, std::memory_order_relaxed);
+        if (generation < version_before) {
+          stale_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Service storm on "hotarr": every success must be THE answer, and
+  // every failure one of the typed resilience outcomes — including
+  // NotFound, the typed result of reading the old location in the
+  // instant an adaptive migration moves the bytes (UpdateLocation does
+  // not bump the placement epoch, so the fetch wrapper won't retry).
+  // Every 8th iteration also sends a RELATIONAL query: breaker probes
+  // route through the island that owns the engine, so without
+  // mixed-island traffic a breaker-tripped postgres could stay
+  // advisory-down (failing every ARRAY fetch) for the rest of the storm.
+  auto spawn_storm = [&](int iters) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kStormThreads; ++t) {
+      threads.emplace_back([&, iters] {
+        for (int i = 0; i < iters; ++i) {
+          if (i % 8 == 0) {
+            (void)service.ExecuteSync(
+                "RELATIONAL(SELECT COUNT(*) AS c FROM hotarr)");
+          }
+          auto r = service.ExecuteSync(kHotQuery);
+          if (r.ok()) {
+            if (r->ToString() == expected_hot) {
+              ok_answers.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              wrong_answers.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (!r.status().IsUnavailable() &&
+                     !r.status().IsDeadlineExceeded() &&
+                     !r.status().IsResourceExhausted() &&
+                     !r.status().IsNotFound()) {
+            untyped_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    return threads;
+  };
+  std::vector<std::thread> storm = spawn_storm(kStormQueriesPerThread);
+
+  std::thread fault_thread([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      dawg.fault_injector().FailNextCalls(core::kEnginePostgres, 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      dawg.fault_injector().FailNextCalls(core::kEngineSciDb, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    dawg.fault_injector().FailNextCalls(core::kEnginePostgres, 0);
+    dawg.fault_injector().FailNextCalls(core::kEngineSciDb, 0);
+  });
+
+  // Mutator: write a generation while homed on postgres, then hop the
+  // object across engines through the service's exclusive-locked path.
+  // Single thread, so a write can never race one of its own migrations.
+  for (int64_t generation = 1; generation <= kGenerations; ++generation) {
+    (void)service.Migrate("wave", core::kEnginePostgres);
+    Result<core::ObjectSnapshot> snap = dawg.catalog().Snapshot("wave");
+    ASSERT_TRUE(snap.ok());
+    if (snap->location.engine == core::kEnginePostgres) {
+      if (dawg.postgres()
+              .PutTable(snap->location.native_name, WaveTable(generation))
+              .ok()) {
+        BIGDAWG_CHECK_OK(dawg.MarkObjectWritten("wave"));
+      }
+    }
+    (void)service.Migrate("wave", core::kEngineSciDb);
+  }
+
+  for (std::thread& t : storm) t.join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  fault_thread.join();
+  service.Drain();
+  dawg.fault_injector().Disable();
+
+  EXPECT_EQ(torn_reads.load(), 0) << "replacement must be atomic";
+  EXPECT_EQ(stale_reads.load(), 0)
+      << "served bytes older than the version snapshotted before the read";
+  EXPECT_EQ(instance_changes.load(), 0)
+      << "UpdateLocation must preserve instance_id (cache identity)";
+  EXPECT_EQ(wrong_answers.load(), 0)
+      << "a storm query answered with non-current hotarr bytes";
+  EXPECT_EQ(untyped_failures.load(), 0)
+      << "failures must be the typed resilience outcomes";
+  EXPECT_GT(ok_reads.load(), 0);
+
+  // Quiesced: identities intact.
+  EXPECT_EQ(dawg.catalog().Snapshot("wave")->instance_id, wave_instance);
+  EXPECT_EQ(dawg.catalog().Snapshot("hotarr")->instance_id, hot_instance);
+
+  // Recovery: the chaos may have left engine breakers open (and the
+  // engines advisory-down) — under enough load the fault thread can
+  // keep a failure armed for every half-open probe, wedging an engine
+  // for the whole storm. Healing needs the 100ms open window to pass
+  // and a probe to succeed, and probes only route through the island
+  // that owns the engine — so drive BOTH islands until both answer
+  // (advisory-down outlives the injected faults; an engine nothing
+  // queries stays down, and "wave" may be homed on either engine).
+  Result<relational::Table> final_hot = service.ExecuteSync(kHotQuery);
+  bool relational_ok =
+      service.ExecuteSync("RELATIONAL(SELECT COUNT(*) AS c FROM hotarr)").ok();
+  for (int attempt = 0;
+       attempt < 50 && !(final_hot.ok() && relational_ok); ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!relational_ok) {
+      relational_ok =
+          service.ExecuteSync("RELATIONAL(SELECT COUNT(*) AS c FROM hotarr)")
+              .ok();
+    }
+    if (!final_hot.ok()) final_hot = service.ExecuteSync(kHotQuery);
+  }
+  ASSERT_TRUE(final_hot.ok()) << final_hot.status().ToString();
+  EXPECT_TRUE(relational_ok);
+  EXPECT_EQ(final_hot->ToString(), expected_hot);
+  ASSERT_TRUE(dawg.FetchAsArray("wave").ok());
+
+  // A healthy burst over the recovered service: successes (and, with
+  // them, shadow samples) are now deterministic — if the loop already
+  // migrated hotarr during the storm, shadows were what got it there;
+  // if not, the object is still misplaced and these queries are
+  // eligible for sampling. Either way the loop must have run.
+  std::vector<std::thread> burst = spawn_storm(10);
+  for (std::thread& t : burst) t.join();
+  service.Drain();
+  EXPECT_GT(ok_answers.load(), 0);
+  EXPECT_EQ(wrong_answers.load(), 0);
+  EXPECT_EQ(untyped_failures.load(), 0);
+  EXPECT_GT(service.adaptive()->shadow_stats().sampled, 0)
+      << "the storm never exercised shadow execution";
+}
+
+}  // namespace
+}  // namespace bigdawg::exec

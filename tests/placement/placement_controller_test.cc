@@ -1,0 +1,266 @@
+// Unit tests for the PlacementController's hysteresis: every gate that
+// keeps the adaptive-placement loop from thrashing — min-samples,
+// gap-ratio, cooldown, revert watch, blacklist, dry-run, bounded
+// tracking — exercised on a manual FakeClock.
+
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "obs/clock.h"
+
+namespace bigdawg::core {
+namespace {
+
+PlacementPolicy FastPolicy() {
+  PlacementPolicy p;
+  p.min_samples = 3;
+  p.gap_ratio = 0.6;
+  p.cooldown_ms = 500;
+  p.revert_window_ms = 5000;
+  p.revert_ratio = 1.3;
+  p.revert_min_samples = 4;
+  p.blacklist_ms = 10000;
+  return p;
+}
+
+void Feed(PlacementController& c, const std::string& object,
+          const std::string& home, double home_ms,
+          const std::string& challenger, double challenger_ms, int n) {
+  for (int i = 0; i < n; ++i) {
+    c.RecordClient(object, home, home_ms);
+    if (!challenger.empty()) c.RecordShadow(object, challenger, challenger_ms);
+  }
+}
+
+TEST(PlacementControllerTest, NoDecisionWithoutEnoughEvidence) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  // Two samples per side: below min_samples=3.
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 2);
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  // Home has evidence, challenger does not.
+  c.RecordClient("wf", kEnginePostgres, 20.0);
+  c.RecordClient("wf", kEnginePostgres, 20.0);
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  // Untracked object: nothing to decide.
+  EXPECT_FALSE(c.Evaluate("ghost").has_value());
+}
+
+TEST(PlacementControllerTest, SustainedGapProposesMigration) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->action, PlacementAction::kMigrate);
+  EXPECT_EQ(d->object, "wf");
+  EXPECT_EQ(d->from_engine, kEnginePostgres);
+  EXPECT_EQ(d->to_engine, kEngineSciDb);
+  EXPECT_DOUBLE_EQ(d->current_p95_ms, 20.0);
+  EXPECT_DOUBLE_EQ(d->candidate_p95_ms, 2.0);
+  EXPECT_GE(d->current_samples, 3);
+
+  // At most one decision in flight per object.
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+
+  c.OnActionResult(*d, /*applied=*/true, Status::OK());
+  EXPECT_EQ(c.counters().migrations, 1);
+  EXPECT_EQ(c.counters().decisions, 1);
+  ASSERT_EQ(c.History().size(), 1u);
+  EXPECT_TRUE(c.History()[0].applied);
+  EXPECT_EQ(c.History()[0].status, "ok");
+  // The move cleared the scoreboard: old timings described the old home.
+  EXPECT_TRUE(c.Scoreboard().empty());
+}
+
+TEST(PlacementControllerTest, GapRatioGatesMarginalWins) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  // 15ms vs 20ms is faster, but 0.75 > gap_ratio 0.6 — not worth a move.
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 15.0, 5);
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  // Make the gap decisive and the decision fires.
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineTileDb, 2.0, 4);
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->to_engine, kEngineTileDb) << "best challenger, not first";
+}
+
+TEST(PlacementControllerTest, CooldownAndWatchSpaceOutDecisions) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  auto first = c.Evaluate("wf");
+  ASSERT_TRUE(first.has_value());
+  c.OnActionResult(*first, true, Status::OK());
+
+  // The applied migration armed the revert watch; until it resolves no
+  // new migration can fire even with fresh decisive evidence.
+  Feed(c, "wf", kEngineSciDb, 10.0, kEnginePostgres, 1.0, 4);
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+
+  // 10ms on the new home holds up against 1.3 x 20ms: watch confirms.
+  EXPECT_FALSE(c.MaybeRevert("wf").has_value());
+
+  // Watch resolved, but the cooldown (500ms) still blocks.
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  clock.AdvanceMs(600);
+  auto second = c.Evaluate("wf");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->from_engine, kEngineSciDb);
+  EXPECT_EQ(second->to_engine, kEnginePostgres);
+}
+
+TEST(PlacementControllerTest, RegressionInsideWatchWindowReverts) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  c.OnActionResult(*d, true, Status::OK());
+
+  // Too few post-migration timings: the watch stays open, no verdict.
+  Feed(c, "wf", kEngineSciDb, 100.0, "", 0, 3);
+  EXPECT_FALSE(c.MaybeRevert("wf").has_value());
+
+  // Fourth bad timing: p95 100ms >> 1.3 x 20ms — revert.
+  c.RecordClient("wf", kEngineSciDb, 100.0);
+  auto revert = c.MaybeRevert("wf");
+  ASSERT_TRUE(revert.has_value());
+  EXPECT_EQ(revert->action, PlacementAction::kRevert);
+  EXPECT_EQ(revert->from_engine, kEngineSciDb);
+  EXPECT_EQ(revert->to_engine, kEnginePostgres);
+  c.OnActionResult(*revert, true, Status::OK());
+  EXPECT_EQ(c.counters().reverts, 1);
+
+  // A reverted object is blacklisted far longer than the cooldown.
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  clock.AdvanceMs(600);  // past cooldown_ms, inside blacklist_ms
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  clock.AdvanceMs(10000);
+  EXPECT_TRUE(c.Evaluate("wf").has_value());
+}
+
+TEST(PlacementControllerTest, WatchTimeoutConfirmsTheMove) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  c.OnActionResult(*d, true, Status::OK());
+
+  // Regressions arriving after the window closed cannot revert: the
+  // watch expires and the move stands.
+  clock.AdvanceMs(6000);  // past revert_window_ms=5000
+  Feed(c, "wf", kEngineSciDb, 500.0, "", 0, 6);
+  EXPECT_FALSE(c.MaybeRevert("wf").has_value());
+  EXPECT_EQ(c.counters().reverts, 0);
+}
+
+TEST(PlacementControllerTest, ExternalMigrationResetsTheScoreboard) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  // The object shows up homed elsewhere: someone migrated it manually.
+  // Old timings describe the old placement — everything restarts.
+  c.RecordClient("wf", kEngineTileDb, 5.0);
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  auto scores = c.Scoreboard();
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].engine, kEngineTileDb);
+  EXPECT_EQ(scores[0].samples, 1);
+  EXPECT_TRUE(scores[0].is_home);
+}
+
+TEST(PlacementControllerTest, DryRunRecordsWithoutActing) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  c.OnActionResult(*d, /*applied=*/false, Status::OK());
+  EXPECT_EQ(c.counters().dry_runs, 1);
+  EXPECT_EQ(c.counters().migrations, 0);
+  ASSERT_EQ(c.History().size(), 1u);
+  EXPECT_FALSE(c.History()[0].applied);
+  EXPECT_EQ(c.History()[0].status, "dry_run");
+  // Home unchanged, evidence intact; the cooldown spaces out repeats.
+  EXPECT_FALSE(c.Evaluate("wf").has_value());
+  clock.AdvanceMs(600);
+  EXPECT_TRUE(c.Evaluate("wf").has_value());
+}
+
+TEST(PlacementControllerTest, FailedActionBlacklistsTheObject) {
+  obs::FakeClock clock;
+  PlacementController c(FastPolicy(), &clock);
+  Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  c.OnActionResult(*d, true, Status::Unavailable("engine down"));
+  EXPECT_EQ(c.counters().failures, 1);
+  EXPECT_EQ(c.History()[0].status, "Unavailable");
+  EXPECT_FALSE(c.History()[0].applied);
+  clock.AdvanceMs(600);
+  EXPECT_FALSE(c.Evaluate("wf").has_value()) << "frozen for blacklist_ms";
+  clock.AdvanceMs(10000);
+  EXPECT_TRUE(c.Evaluate("wf").has_value());
+}
+
+TEST(PlacementControllerTest, ShardWhenNoFasterWholeEngineHome) {
+  obs::FakeClock clock;
+  PlacementPolicy policy = FastPolicy();
+  policy.shard_min_accesses = 5;
+  policy.shard_p95_ms = 10.0;
+  policy.shard_count = 4;
+  PlacementController c(policy, &clock);
+  // Slow home, challengers no better: sharding is the only lever left.
+  Feed(c, "wf", kEnginePostgres, 50.0, kEngineSciDb, 45.0, 6);
+  auto d = c.Evaluate("wf");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->action, PlacementAction::kShard);
+  EXPECT_EQ(d->from_engine, kEnginePostgres);
+  c.OnActionResult(*d, true, Status::OK());
+  EXPECT_EQ(c.counters().shards, 1);
+
+  // Sharded objects are never re-proposed for sharding.
+  Feed(c, "wf", kEnginePostgres, 50.0, "", 0, 6);
+  clock.AdvanceMs(600);
+  EXPECT_FALSE(c.Evaluate("wf", /*sharded=*/true).has_value());
+}
+
+TEST(PlacementControllerTest, HistoryRingIsBounded) {
+  obs::FakeClock clock;
+  PlacementPolicy policy = FastPolicy();
+  policy.history_capacity = 4;
+  PlacementController c(policy, &clock);
+  for (int i = 0; i < 7; ++i) {
+    Feed(c, "wf", kEnginePostgres, 20.0, kEngineSciDb, 2.0, 4);
+    auto d = c.Evaluate("wf");
+    ASSERT_TRUE(d.has_value()) << "round " << i;
+    c.OnActionResult(*d, /*applied=*/false, Status::OK());  // dry-run
+    clock.AdvanceMs(600);
+  }
+  auto history = c.History();
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.back().seq, 7) << "newest kept, oldest dropped";
+  EXPECT_EQ(history.front().seq, 4);
+}
+
+TEST(PlacementControllerTest, TrackingBudgetBoundsObjects) {
+  obs::FakeClock clock;
+  PlacementPolicy policy = FastPolicy();
+  policy.max_objects = 1;
+  PlacementController c(policy, &clock);
+  c.RecordClient("hot", kEnginePostgres, 5.0);
+  c.RecordClient("cold", kEnginePostgres, 5.0);  // over budget: dropped
+  auto scores = c.Scoreboard();
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].object, "hot");
+  EXPECT_FALSE(c.Evaluate("cold").has_value());
+}
+
+}  // namespace
+}  // namespace bigdawg::core

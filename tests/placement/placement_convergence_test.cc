@@ -1,0 +1,172 @@
+// The closed monitoring loop, end to end, on a fake clock: a skewed
+// MIMIC-style workload (array aggregates over a relation misplaced on
+// postgres, with injected per-engine latency making scidb 20x faster)
+// must converge — shadow executions gather the evidence, the
+// PlacementController crosses its hysteresis gates, the service
+// migrates the object — within a bounded number of queries, and then
+// STAY converged: no reverts, no oscillation, for the rest of the run.
+// Deterministic: seeded shadow sampling, auto-advancing FakeClock, cast
+// cache off (a cache hit would bypass the engines and erase the skew
+// the test is about).
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+#include "obs/clock.h"
+
+namespace bigdawg::exec {
+namespace {
+
+constexpr char kQuery[] = "ARRAY(aggregate(waveforms, avg, v))";
+constexpr int kConvergenceBudget = 25;  // queries allowed before the move
+constexpr int kSteadyStateQueries = 15;
+
+void LoadWaveforms(core::BigDawg* dawg) {
+  relational::Table table{Schema(
+      {Field("id", DataType::kInt64), Field("v", DataType::kDouble)})};
+  for (int64_t i = 0; i < 16; ++i) {
+    table.AppendUnchecked({Value(i), Value(static_cast<double>(i % 4))});
+  }
+  BIGDAWG_CHECK_OK(dawg->postgres().CreateTable(
+      "waveforms", Schema({Field("id", DataType::kInt64),
+                           Field("v", DataType::kDouble)})));
+  BIGDAWG_CHECK_OK(dawg->postgres().PutTable("waveforms", table));
+  BIGDAWG_CHECK_OK(
+      dawg->RegisterObject("waveforms", core::kEnginePostgres, "waveforms"));
+}
+
+TEST(PlacementConvergenceTest, SkewedWorkloadConvergesToFastEngineAndStays) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadWaveforms(&dawg);
+
+  obs::FakeClock clock(obs::FakeClock::Mode::kAutoAdvance);
+  dawg.fault_injector().SetClock(&clock);
+  dawg.fault_injector().Enable();
+  // The skew the loop must discover: the object's home is 20x slower
+  // for this workload than the array island's preferred engine.
+  dawg.fault_injector().SetLatencyMs(core::kEnginePostgres, 20);
+  dawg.fault_injector().SetLatencyMs(core::kEngineSciDb, 1);
+
+  QueryServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.clock = &clock;
+  cfg.cast_cache_bytes = 0;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.seed = 42;
+  cfg.adaptive.sample_rate = 1.0;
+  cfg.adaptive.shadow_deadline_ms = 1000;
+  cfg.adaptive.budget_ms = 100000;
+  cfg.adaptive.refill_ms_per_s = 100000;
+  cfg.adaptive.policy.min_samples = 4;
+  cfg.adaptive.policy.gap_ratio = 0.6;
+  cfg.adaptive.policy.cooldown_ms = 50;
+  cfg.adaptive.policy.revert_window_ms = 2000;
+  cfg.adaptive.policy.revert_min_samples = 3;
+  QueryService service(&dawg, cfg);
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  const int64_t instance_before =
+      dawg.catalog().Snapshot("waveforms")->instance_id;
+  const std::string expected = dawg.Execute(kQuery)->ToString();
+
+  // Serial workload: each query completes, its shadow (sample_rate 1.0)
+  // and any decision drain, then the next query sees the new placement.
+  int converged_at = -1;
+  for (int i = 0; i < kConvergenceBudget; ++i) {
+    auto result = service.ExecuteSync(kQuery);
+    ASSERT_TRUE(result.ok()) << "query " << i << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->ToString(), expected) << "query " << i;
+    service.Drain();
+    if (dawg.catalog().Snapshot("waveforms")->location.engine ==
+        core::kEngineSciDb) {
+      converged_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(converged_at, 0)
+      << "no migration within " << kConvergenceBudget << " queries:\n"
+      << service.adaptive()->Render();
+
+  // Converged placement must hold: same results, no reverts, no second
+  // migration, under continued traffic.
+  for (int i = 0; i < kSteadyStateQueries; ++i) {
+    auto result = service.ExecuteSync(kQuery);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->ToString(), expected);
+    service.Drain();
+    EXPECT_EQ(dawg.catalog().Snapshot("waveforms")->location.engine,
+              core::kEngineSciDb)
+        << "placement oscillated at steady-state query " << i;
+  }
+
+  const core::PlacementCounters counters =
+      service.adaptive()->controller().counters();
+  EXPECT_EQ(counters.migrations, 1) << service.adaptive()->Render();
+  EXPECT_EQ(counters.reverts, 0) << service.adaptive()->Render();
+  EXPECT_EQ(counters.failures, 0) << service.adaptive()->Render();
+  EXPECT_GT(service.adaptive()->shadow_stats().ok, 0);
+
+  // The migration went through UpdateLocation: the object's identity is
+  // preserved, so cached casts keyed by (instance, version) stay warm.
+  EXPECT_EQ(dawg.catalog().Snapshot("waveforms")->instance_id,
+            instance_before);
+
+  // And the move actually bought the latency it promised: a post-move
+  // query runs at scidb speed, not postgres speed.
+  const obs::Clock::TimePoint before = clock.Now();
+  ASSERT_TRUE(service.ExecuteSync(kQuery).ok());
+  const double steady_ms = obs::Clock::ToMillis(clock.Now() - before);
+  EXPECT_LT(steady_ms, 10.0) << "steady-state query still at slow-home speed";
+  service.Drain();
+}
+
+// Same workload with the controller in dry-run: decisions are recorded
+// and visible, but nothing moves — observe mode really only observes.
+TEST(PlacementConvergenceTest, DryRunObservesButNeverMigrates) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadWaveforms(&dawg);
+
+  obs::FakeClock clock(obs::FakeClock::Mode::kAutoAdvance);
+  dawg.fault_injector().SetClock(&clock);
+  dawg.fault_injector().Enable();
+  dawg.fault_injector().SetLatencyMs(core::kEnginePostgres, 20);
+  dawg.fault_injector().SetLatencyMs(core::kEngineSciDb, 1);
+
+  QueryServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.clock = &clock;
+  cfg.cast_cache_bytes = 0;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.seed = 42;
+  cfg.adaptive.sample_rate = 1.0;
+  cfg.adaptive.budget_ms = 100000;
+  cfg.adaptive.refill_ms_per_s = 100000;
+  cfg.adaptive.policy.min_samples = 4;
+  cfg.adaptive.policy.cooldown_ms = 50;
+  cfg.adaptive.policy.dry_run = true;
+  QueryService service(&dawg, cfg);
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(service.ExecuteSync(kQuery).ok());
+    service.Drain();
+  }
+  EXPECT_EQ(dawg.catalog().Snapshot("waveforms")->location.engine,
+            core::kEnginePostgres)
+      << "dry-run must never move data";
+  const core::PlacementCounters counters =
+      service.adaptive()->controller().counters();
+  EXPECT_GT(counters.dry_runs, 0) << service.adaptive()->Render();
+  EXPECT_EQ(counters.migrations, 0);
+}
+
+}  // namespace
+}  // namespace bigdawg::exec

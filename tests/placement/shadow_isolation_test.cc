@@ -1,0 +1,300 @@
+// Shadow executions are guests, never tenants: they respect deadlines
+// and cancellation, are rejected with a typed ResourceExhausted once
+// their time budget is spent, step aside under client load, never touch
+// ailing engines, never feed the client-facing breakers or monitor
+// statistics — and with the BIGDAWG_ADAPTIVE=0 kill switch the whole
+// loop vanishes, leaving the service byte-identical to one built with
+// adaptation off.
+
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/bigdawg.h"
+#include "exec/query_service.h"
+#include "obs/clock.h"
+
+namespace bigdawg::exec {
+namespace {
+
+constexpr char kArrayQuery[] = "ARRAY(aggregate(vitals, avg, v))";
+
+void LoadVitals(core::BigDawg* dawg) {
+  relational::Table table{Schema(
+      {Field("id", DataType::kInt64), Field("v", DataType::kDouble)})};
+  for (int64_t i = 0; i < 8; ++i) {
+    table.AppendUnchecked({Value(i), Value(static_cast<double>(i))});
+  }
+  BIGDAWG_CHECK_OK(dawg->postgres().CreateTable(
+      "vitals", Schema({Field("id", DataType::kInt64),
+                        Field("v", DataType::kDouble)})));
+  BIGDAWG_CHECK_OK(dawg->postgres().PutTable("vitals", table));
+  BIGDAWG_CHECK_OK(
+      dawg->RegisterObject("vitals", core::kEnginePostgres, "vitals"));
+}
+
+/// Base config: adaptive on, automatic sampling off — every test drives
+/// shadows explicitly through RunShadowSync for typed outcomes.
+QueryServiceConfig AdaptiveConfigFor(const obs::Clock* clock) {
+  QueryServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.clock = clock;
+  cfg.cast_cache_bytes = 0;  // timings must reach the engines
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.sample_rate = 0.0;
+  return cfg;
+}
+
+TEST(ShadowIsolationTest, ShadowRespectsItsDeadline) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  obs::FakeClock clock(obs::FakeClock::Mode::kAutoAdvance);
+  dawg.fault_injector().SetClock(&clock);
+  dawg.fault_injector().Enable();
+  dawg.fault_injector().SetLatencyMs(core::kEnginePostgres, 50);
+
+  QueryServiceConfig cfg = AdaptiveConfigFor(&clock);
+  cfg.adaptive.shadow_deadline_ms = 10;
+  QueryService service(&dawg, cfg);
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  Status status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  const ShadowStats stats = service.adaptive()->shadow_stats();
+  EXPECT_EQ(stats.deadline, 1);
+  EXPECT_EQ(stats.ok, 0);
+}
+
+TEST(ShadowIsolationTest, StoppedLoopCancelsShadows) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  QueryService service(&dawg, AdaptiveConfigFor(nullptr));
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  service.adaptive()->Stop();
+  Status status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+  EXPECT_EQ(service.adaptive()->shadow_stats().cancelled, 1);
+}
+
+TEST(ShadowIsolationTest, ExhaustedBudgetRejectsWithTypedStatus) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  obs::FakeClock clock(obs::FakeClock::Mode::kAutoAdvance);
+  dawg.fault_injector().SetClock(&clock);
+  dawg.fault_injector().Enable();
+  dawg.fault_injector().SetLatencyMs(core::kEnginePostgres, 5);
+
+  QueryServiceConfig cfg = AdaptiveConfigFor(&clock);
+  cfg.adaptive.shadow_deadline_ms = 0;
+  cfg.adaptive.budget_ms = 1;         // one shadow's worth, no more
+  cfg.adaptive.refill_ms_per_s = 0;   // and it never comes back
+  QueryService service(&dawg, cfg);
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  Status first = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  ASSERT_TRUE(first.ok()) << first.ToString();
+  EXPECT_EQ(service.adaptive()->shadow_stats().ok, 1);
+  EXPECT_DOUBLE_EQ(service.adaptive()->budget_remaining_ms(), 0.0);
+
+  Status second = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(second.IsResourceExhausted()) << second.ToString();
+  EXPECT_EQ(service.adaptive()->shadow_stats().budget_rejected, 1);
+}
+
+TEST(ShadowIsolationTest, ShadowsAreInvisibleToMonitorStatistics) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  QueryService service(&dawg, AdaptiveConfigFor(nullptr));
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  Status status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // The shadow ran twice (baseline + candidate) through the islands,
+  // yet the monitor's client-facing views are untouched: no island
+  // latency, no access attribution for workload-shift suggestions.
+  EXPECT_TRUE(dawg.monitor().IslandStats("ARRAY").status().IsNotFound());
+  EXPECT_EQ(dawg.monitor().AccessCount("vitals"), 0);
+}
+
+TEST(ShadowIsolationTest, AilingEnginesAreNeverShadowed) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  QueryService service(&dawg, AdaptiveConfigFor(nullptr));
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  // Candidate engine advisory-down: the shadow is skipped before any
+  // engine is touched.
+  dawg.monitor().SetEngineAdvisoryDown(core::kEngineSciDb, true);
+  Status status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_EQ(service.adaptive()->shadow_stats().breaker_skipped, 1);
+  EXPECT_EQ(service.adaptive()->shadow_stats().ok, 0);
+
+  // Same for the home engine.
+  dawg.monitor().SetEngineAdvisoryDown(core::kEngineSciDb, false);
+  dawg.monitor().SetEngineAdvisoryDown(core::kEnginePostgres, true);
+  status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(service.adaptive()->shadow_stats().breaker_skipped, 2);
+}
+
+TEST(ShadowIsolationTest, ShadowFailuresNeverTripClientBreakers) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  dawg.fault_injector().Enable();
+  QueryService service(&dawg, AdaptiveConfigFor(nullptr));
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  // Every postgres call fails for a while: shadows hitting it error out
+  // repeatedly, but the breaker — fed only by client outcomes — must
+  // stay closed so real traffic is unaffected.
+  dawg.fault_injector().FailNextCalls(core::kEnginePostgres, 100);
+  for (int i = 0; i < 5; ++i) {
+    Status status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+    EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  }
+  EXPECT_EQ(service.adaptive()->shadow_stats().errors, 5);
+  EXPECT_EQ(service.BreakerState(core::kEnginePostgres),
+            CircuitBreaker::State::kClosed);
+  EXPECT_EQ(service.BreakerState(core::kEngineSciDb),
+            CircuitBreaker::State::kClosed);
+
+  // And real traffic indeed flows once the burst clears.
+  dawg.fault_injector().FailNextCalls(core::kEnginePostgres, 0);
+  auto ok = service.ExecuteSync("SELECT COUNT(*) AS n FROM vitals");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(ShadowIsolationTest, LoadGateStepsAsideForClientTraffic) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  QueryServiceConfig cfg = AdaptiveConfigFor(nullptr);
+  cfg.max_in_flight = 4;
+  cfg.adaptive.max_load_fraction = 0.5;
+  QueryService service(&dawg, cfg);
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  // Hold half the admission slots with gated client work.
+  std::mutex gate;
+  std::atomic<int> started{0};
+  gate.lock();
+  auto b1 = service.SubmitTask([&]() -> Result<relational::Table> {
+    started.fetch_add(1);
+    std::lock_guard hold(gate);
+    return relational::Table(Schema({Field("x", DataType::kInt64)}));
+  });
+  auto b2 = service.SubmitTask([&]() -> Result<relational::Table> {
+    started.fetch_add(1);
+    std::lock_guard hold(gate);
+    return relational::Table(Schema({Field("x", DataType::kInt64)}));
+  });
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  while (started.load() < 2) std::this_thread::yield();
+
+  Status status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_EQ(service.adaptive()->shadow_stats().load_skipped, 1);
+
+  gate.unlock();
+  ASSERT_TRUE(b1->Wait().ok());
+  ASSERT_TRUE(b2->Wait().ok());
+  service.Drain();
+
+  // Headroom back: the same shadow now runs.
+  status = service.adaptive()->RunShadowSync(kArrayQuery, "ARRAY");
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ShadowIsolationTest, QueriesWithoutCandidatesAreTyped) {
+  unsetenv("BIGDAWG_ADAPTIVE");
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  QueryService service(&dawg, AdaptiveConfigFor(nullptr));
+  ASSERT_NE(service.adaptive(), nullptr);
+
+  // RELATIONAL island prefers postgres — already home, nothing to shadow.
+  Status status = service.adaptive()->RunShadowSync(
+      "SELECT COUNT(*) AS n FROM vitals", "RELATIONAL");
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+}
+
+/// One deterministic run: fake clock, latency-skewed postgres, a fixed
+/// query mix; returns every result rendered plus the full metrics dump.
+std::string RunWorkload(bool adaptive_config_enabled, bool* was_adaptive) {
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  obs::FakeClock clock(obs::FakeClock::Mode::kAutoAdvance);
+  dawg.fault_injector().SetClock(&clock);
+  dawg.fault_injector().Enable();
+  dawg.fault_injector().SetLatencyMs(core::kEnginePostgres, 5);
+
+  QueryServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.clock = &clock;
+  cfg.cast_cache_bytes = 0;
+  cfg.adaptive.enabled = adaptive_config_enabled;
+  cfg.adaptive.sample_rate = 1.0;
+  QueryService service(&dawg, cfg);
+  *was_adaptive = service.adaptive() != nullptr;
+
+  std::string out;
+  for (int i = 0; i < 3; ++i) {
+    auto a = service.ExecuteSync(kArrayQuery);
+    out += a.ok() ? a->ToString() : a.status().ToString();
+    auto r = service.ExecuteSync("SELECT COUNT(*) AS n FROM vitals");
+    out += r.ok() ? r->ToString() : r.status().ToString();
+  }
+  service.Drain();
+  out += service.DumpMetrics();
+  return out;
+}
+
+// The kill switch must not merely stop migrations — it must make the
+// whole feature unobservable: same results, same metrics text, no
+// bigdawg_placement_* series, adaptive() == nullptr.
+TEST(ShadowIsolationTest, KillSwitchIsByteIdenticalToAdaptationOff) {
+  setenv("BIGDAWG_ADAPTIVE", "0", 1);
+  bool killed_adaptive = true;
+  std::string killed = RunWorkload(/*adaptive_config_enabled=*/true,
+                                   &killed_adaptive);
+  unsetenv("BIGDAWG_ADAPTIVE");
+  EXPECT_FALSE(killed_adaptive) << "BIGDAWG_ADAPTIVE=0 must veto the config";
+
+  bool plain_adaptive = true;
+  std::string plain = RunWorkload(/*adaptive_config_enabled=*/false,
+                                  &plain_adaptive);
+  EXPECT_FALSE(plain_adaptive);
+
+  EXPECT_EQ(killed, plain);
+  EXPECT_EQ(killed.find("bigdawg_placement"), std::string::npos)
+      << "killed service leaked placement series";
+}
+
+TEST(ShadowIsolationTest, EnvForcesAdaptationOnDespiteDisabledConfig) {
+  setenv("BIGDAWG_ADAPTIVE", "1", 1);
+  core::BigDawg dawg;
+  LoadVitals(&dawg);
+  QueryServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.adaptive.enabled = false;
+  QueryService service(&dawg, cfg);
+  unsetenv("BIGDAWG_ADAPTIVE");
+  EXPECT_NE(service.adaptive(), nullptr);
+  EXPECT_NE(service.DumpMetrics().find("bigdawg_placement_enabled"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bigdawg::exec
