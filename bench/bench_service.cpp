@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -126,9 +127,70 @@ void OverheadSection(core::BigDawg* dawg) {
   line("admin server + scraper", admin);
 }
 
+/// S1c: what the always-on profiler costs — the floor it ships under.
+/// The same zero-think workload with the profiler kill-switched off
+/// (BIGDAWG_PROFILE=0) and on (the shipping default), best of 3 runs
+/// each so scheduler noise doesn't masquerade as overhead. Writes
+/// BENCH_profile.json; returns false (run fails) past 2% overhead.
+bool ProfilerOverheadSection(core::BigDawg* dawg) {
+  constexpr int kClients = 4;
+  constexpr int kQueries = 200;
+  constexpr int kRuns = 3;
+  constexpr double kMaxOverheadPct = 2.0;
+
+  auto best_of = [&](bool profiler_on) {
+    BIGDAWG_CHECK(setenv("BIGDAWG_PROFILE", profiler_on ? "1" : "0", 1) == 0);
+    double best = 0;
+    for (int r = 0; r < kRuns; ++r) {
+      exec::QueryService service(dawg,
+                                 {.num_workers = 8, .max_in_flight = 64});
+      BIGDAWG_CHECK((service.profiler() != nullptr) == profiler_on);
+      double qps = RunClients(&service, kClients,
+                              std::chrono::milliseconds(0), kQueries);
+      if (qps > best) best = qps;
+    }
+    BIGDAWG_CHECK(unsetenv("BIGDAWG_PROFILE") == 0);
+    return best;
+  };
+
+  (void)best_of(false);  // warm-up, discarded
+  const double off_qps = best_of(false);
+  const double on_qps = best_of(true);
+  const double overhead_pct = 100.0 * (1.0 - on_qps / off_qps);
+  const bool floor_met = overhead_pct <= kMaxOverheadPct;
+
+  std::printf("\n---- S1c: always-on profiler overhead (no think time, %d "
+              "clients x %d queries, best of %d) ----\n",
+              kClients, kQueries, kRuns);
+  std::printf("%-28s %12s\n", "configuration", "queries/s");
+  std::printf("%-28s %12.1f\n", "profiler off (BIGDAWG_PROFILE=0)", off_qps);
+  std::printf("%-28s %12.1f\n", "profiler on (default)", on_qps);
+  std::printf("overhead: %.2f%% (floor <= %.1f%%)   => %s\n", overhead_pct,
+              kMaxOverheadPct, floor_met ? "MET" : "MISSED");
+
+  std::FILE* f = std::fopen("BENCH_profile.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_profile.json\n");
+  } else {
+    std::fprintf(f,
+                 "{\n  \"workload\": \"%d clients x %d queries, zero think "
+                 "time, best of %d\",\n"
+                 "  \"profiler_off_qps\": %.1f,\n"
+                 "  \"profiler_on_qps\": %.1f,\n"
+                 "  \"overhead_pct\": %.2f,\n"
+                 "  \"floor\": {\"overhead_max_pct\": %.1f, \"met\": %s}\n}\n",
+                 kClients, kQueries, kRuns, off_qps, on_qps, overhead_pct,
+                 kMaxOverheadPct, floor_met ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_profile.json\n");
+  }
+  return floor_met;
+}
+
 }  // namespace
 
 int main() {
+  unsetenv("BIGDAWG_PROFILE");
   bench::PrintHeader(
       "S1 -- concurrent query service: sessions, admission, engine locks",
       "one polystore serves many interactive clients at once");
@@ -186,5 +248,10 @@ int main() {
   std::printf("\nShape check: tracing and a live admin scraper should cost "
               "low single\ndigits at most -- spans are thread-confined and "
               "scrapes only read atomics.\n");
-  return 0;
+
+  const bool profile_floor_met = ProfilerOverheadSection(&dawg);
+  std::printf("\nShape check: the always-on profiler folds one span tree per "
+              "query into\nbounded per-class aggregates -- it must stay "
+              "within the 2%% budget that\njustifies shipping it enabled.\n");
+  return profile_floor_met ? 0 : 1;
 }

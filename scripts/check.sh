@@ -49,6 +49,13 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # src/exec/adaptive_placement or src/core/placement.
   echo "==== placement tier (ctest -L placement) ===="
   (cd build && ctest --output-on-failure -L placement)
+  # The always-on profiler tier in isolation: tail-retention eviction
+  # order, fold/attribution rules plus the byte-for-byte golden
+  # /profile, the kill-switch byte-equality guarantee, and the /profile,
+  # /costs, /traces?id endpoints — quick to rerun when touching
+  # src/obs/profiler or the trace/metrics plumbing.
+  echo "==== profile tier (ctest -L profile) ===="
+  (cd build && ctest --output-on-failure -L profile)
   # Tier-1 again with the cast-result cache killed: every cross-model
   # fetch takes the uncached path, so a correctness bug that the cache
   # happens to mask (or a test that silently depends on caching) fails
@@ -84,6 +91,12 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   # the chaos storm (placement_chaos_test) are its reason to exist.
   echo "==== ThreadSanitizer placement tier (ctest -L placement) ===="
   (cd build-tsan && ctest --output-on-failure -L placement)
+  # The profiler under the race detector: eight ingest threads folding
+  # span trees into the shared per-class map while readers render,
+  # snapshot, and export (profiler_storm_test), plus the service
+  # completion path that feeds it on every query.
+  echo "==== ThreadSanitizer profile tier (ctest -L profile) ===="
+  (cd build-tsan && ctest --output-on-failure -L profile)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then

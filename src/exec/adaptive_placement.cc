@@ -76,6 +76,7 @@ AdaptivePlacement::AdaptivePlacement(core::BigDawg* dawg, QueryService* service,
   c_budget_rejected_ = counter("budget_rejected");
   c_load_skipped_ = counter("load_skipped");
   c_breaker_skipped_ = counter("breaker_skipped");
+  c_profile_skipped_ = counter("profile_skipped");
 }
 
 AdaptivePlacement::~AdaptivePlacement() {
@@ -285,6 +286,20 @@ Status AdaptivePlacement::RunShadow(const ShadowJob& job) {
                                  " breaker-open or advisory-down");
     }
   }
+  // Profile consult: a class whose latency the profiler attributes to
+  // locks/backoff/breaker waits would give shadows a contention
+  // measurement, not an engine comparison — placement evidence from such
+  // runs is noise.
+  if (config_.max_coordination_share < 1.0) {
+    obs::Profiler* profiler = service_->profiler();
+    if (profiler != nullptr &&
+        profiler->CoordinationShare(job.island) >=
+            config_.max_coordination_share) {
+      c_profile_skipped_->Increment();
+      return Status::Unavailable("shadow skipped: class " + job.island +
+                                 " latency is coordination-dominated");
+    }
+  }
   // Load consult: admission headroom belongs to clients.
   const size_t max_in_flight = service_->config().max_in_flight;
   if (config_.max_load_fraction > 0 && max_in_flight > 0 &&
@@ -379,6 +394,7 @@ ShadowStats AdaptivePlacement::shadow_stats() const {
   s.budget_rejected = c_budget_rejected_->Value();
   s.load_skipped = c_load_skipped_->Value();
   s.breaker_skipped = c_breaker_skipped_->Value();
+  s.profile_skipped = c_profile_skipped_->Value();
   return s;
 }
 
@@ -412,7 +428,8 @@ std::string AdaptivePlacement::Render() const {
           " cancelled=" + std::to_string(s.cancelled) +
           " budget_rejected=" + std::to_string(s.budget_rejected) +
           " load_skipped=" + std::to_string(s.load_skipped) +
-          " breaker_skipped=" + std::to_string(s.breaker_skipped) + "\n";
+          " breaker_skipped=" + std::to_string(s.breaker_skipped) +
+          " profile_skipped=" + std::to_string(s.profile_skipped) + "\n";
   body += "policy: min_samples=" + std::to_string(p.min_samples) +
           " gap_ratio=" + FormatMs(p.gap_ratio) +
           " cooldown_ms=" + FormatMs(p.cooldown_ms) +

@@ -46,6 +46,13 @@ struct AdaptiveConfig {
   /// fraction of max_in_flight — admission headroom belongs to real
   /// traffic. 0 disables the load gate.
   double max_load_fraction = 0.5;
+  /// Shadows are skipped for query classes whose profiled coordination
+  /// share (locks/backoff/breaker self time over total wall time, from
+  /// the always-on profiler) reaches this fraction: when a class's
+  /// latency is contention, a shadow timing comparison measures the
+  /// lock queue, not the engines. >= 1 (or a disabled profiler)
+  /// disables the gate.
+  double max_coordination_share = 0.9;
   /// Hysteresis for the decision half of the loop.
   core::PlacementPolicy policy;
 };
@@ -61,6 +68,8 @@ struct ShadowStats {
   int64_t budget_rejected = 0;
   int64_t load_skipped = 0;
   int64_t breaker_skipped = 0;
+  /// Skipped because the class's profiled latency is coordination-bound.
+  int64_t profile_skipped = 0;
 };
 
 /// \brief The acting half of the monitor->migrator feedback loop.
@@ -179,6 +188,7 @@ class AdaptivePlacement {
   obs::Counter* c_budget_rejected_;
   obs::Counter* c_load_skipped_;
   obs::Counter* c_breaker_skipped_;
+  obs::Counter* c_profile_skipped_;
 
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> shadow_seq_{0};

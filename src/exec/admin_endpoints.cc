@@ -1,6 +1,7 @@
 #include "exec/admin_endpoints.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +32,24 @@ std::string FormatDouble(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
+}
+
+/// Value of `key` in a raw query string (`a=1&b=2`); "" when absent.
+/// Values are used verbatim — the admin surface is trusted-operator
+/// plain text, not a web app.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
 }
 
 /// Per-engine health + breaker view shared by /readyz; `ready` reports
@@ -146,17 +165,79 @@ void RegisterAdminEndpoints(obs::AdminServer* server, QueryService* service,
     return response;
   });
 
-  server->Route("/traces", [dawg](const obs::HttpRequest&) {
+  server->Route("/traces", [dawg](const obs::HttpRequest& request) {
     obs::HttpResponse response;
-    std::vector<obs::TraceSpan> traces = dawg->tracer().FinishedTraces();
+    // ?id=<trace_id> fetches one retained trace (the hop target of
+    // histogram exemplars and slow-query-log trace= fields).
+    const std::string id_text = QueryParam(request.query, "id");
+    if (!id_text.empty()) {
+      char* end = nullptr;
+      const long long id = std::strtoll(id_text.c_str(), &end, 10);
+      Result<obs::RetainedTrace> found =
+          end == id_text.c_str()
+              ? Result<obs::RetainedTrace>(
+                    Status::InvalidArgument("bad trace id: " + id_text))
+              : dawg->tracer().Find(static_cast<int64_t>(id));
+      if (!found.ok()) {
+        response.status = 404;
+        response.body = found.status().ToString() + "\n";
+        return response;
+      }
+      response.body = "trace id=" + std::to_string(found->trace_id) +
+                      (found->important ? " important=1\n" : " important=0\n") +
+                      obs::DumpSpanTree(found->root);
+      return response;
+    }
+    std::vector<obs::RetainedTrace> traces = dawg->tracer().Retained();
     response.body = "traces: retained=" + std::to_string(traces.size());
     if (!dawg->tracer().enabled()) {
       response.body += " (tracing disabled; enable with BIGDAWG_TRACE=1)";
     }
     response.body += "\n";
-    for (const obs::TraceSpan& root : traces) {
-      response.body += obs::DumpSpanTree(root);
+    // ?limit=N keeps only the newest N trees (the header still reports
+    // the full retained count).
+    size_t begin = 0;
+    const std::string limit_text = QueryParam(request.query, "limit");
+    if (!limit_text.empty()) {
+      char* end = nullptr;
+      const long long limit = std::strtoll(limit_text.c_str(), &end, 10);
+      if (end != limit_text.c_str() && limit >= 0 &&
+          static_cast<size_t>(limit) < traces.size()) {
+        begin = traces.size() - static_cast<size_t>(limit);
+      }
     }
+    for (size_t i = begin; i < traces.size(); ++i) {
+      response.body += "trace id=" + std::to_string(traces[i].trace_id) +
+                       (traces[i].important ? " important=1\n"
+                                            : " important=0\n") +
+                       obs::DumpSpanTree(traces[i].root);
+    }
+    return response;
+  });
+
+  server->Route("/profile", [service](const obs::HttpRequest& request) {
+    obs::HttpResponse response;
+    obs::Profiler* profiler = service->profiler();
+    if (profiler == nullptr) {
+      response.body =
+          "profiler: disabled (enable QueryServiceConfig::profile; "
+          "BIGDAWG_PROFILE=0 kills it, =1 forces it)\n";
+      return response;
+    }
+    response.body = profiler->Render(QueryParam(request.query, "class"));
+    return response;
+  });
+
+  server->Route("/costs", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    obs::Profiler* profiler = service->profiler();
+    if (profiler == nullptr) {
+      response.body =
+          "profiler: disabled (enable QueryServiceConfig::profile; "
+          "BIGDAWG_PROFILE=0 kills it, =1 forces it)\n";
+      return response;
+    }
+    response.body = profiler->RenderCosts();
     return response;
   });
 

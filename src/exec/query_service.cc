@@ -86,6 +86,12 @@ QueryService::QueryService(core::BigDawg* dawg, QueryServiceConfig config)
   }
   if (config_.clock != nullptr) dawg_->cast_cache().SetClock(config_.clock);
   dawg_->cast_cache().BindMetrics(metrics_);
+  obs::RegisterBuildInfo(metrics_);
+  // Tail retention in the tracer keeps what the slow-query log would log.
+  dawg_->tracer().SetSlowThresholdMs(slow_log_.threshold_ms());
+  if (obs::Profiler::EnvAllows(config_.profile)) {
+    profiler_ = std::make_unique<obs::Profiler>(config_.profile_sample_every);
+  }
   if (AdaptivePlacement::EnvAllows(config_.adaptive.enabled)) {
     adaptive_ = std::make_unique<AdaptivePlacement>(
         dawg_, this, config_.adaptive, clock_, &pool_, metrics_);
@@ -159,7 +165,7 @@ Result<QueryHandle> QueryService::Admit(QueryRunner run, const SubmitOptions& op
 void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
                                  const Status& status, double latency_ms,
                                  int64_t retries, int64_t failovers,
-                                 bool degraded) {
+                                 bool degraded, int64_t trace_id) {
   if (status.ok()) {
     c_completed_->Increment();
   } else if (status.IsCancelled()) {
@@ -175,7 +181,7 @@ void QueryService::RecordOutcome(int64_t query_id, const std::string& island,
   metrics_
       ->GetHistogram("bigdawg_query_latency_ms{island=\"" + island + "\"}",
                      LatencyBuckets())
-      ->Observe(latency_ms);
+      ->Observe(latency_ms, trace_id);
   std::lock_guard lock(mu_);
   live_.erase(query_id);
   --in_flight_;
@@ -223,9 +229,13 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
         core::Monitor::PreferredEngineForIsland(plan.island);
 
     // EXPLAIN ANALYZE needs the span tree to build its profile, so it
-    // traces the execution even when the process-wide tracer is off.
+    // traces the execution even when the process-wide tracer is off. The
+    // always-on profiler likewise traces its sampled completions — that
+    // is its entire data source — but only tracer-enabled runs retain
+    // the tree (and earn a trace_id) afterwards.
+    const bool profiled = profiler_ != nullptr && profiler_->Sample();
     std::unique_ptr<obs::Trace> trace;
-    if (analyze || dawg_->tracer().enabled()) {
+    if (analyze || profiled || dawg_->tracer().enabled()) {
       trace = std::make_unique<obs::Trace>(clock_, "query");
       trace->Tag(trace->root(), "island", plan.island);
     }
@@ -354,6 +364,7 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
     double latency_ms = obs::Clock::ToMillis(clock_->Now() - admitted_at);
     Result<relational::Table> profile =
         Status::Internal("no profile was built");
+    int64_t trace_id = -1;
     if (trace != nullptr) {
       trace->Tag(trace->root(), "status",
                  StatusCodeToString(result.status().code()));
@@ -362,8 +373,9 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
       obs::TraceSpan finished = std::move(*trace).Finish();
       trace.reset();
       if (analyze && result.ok()) profile = BuildAnalyzeProfile(finished);
+      if (profiled) profiler_->Ingest(finished);
       if (dawg_->tracer().enabled()) {
-        dawg_->tracer().Record(std::move(finished));
+        trace_id = dawg_->tracer().Record(std::move(finished));
       }
     }
     // Adaptive placement sees the completion BEFORE the admission slot
@@ -374,9 +386,9 @@ Result<QueryHandle> QueryService::Submit(const std::string& query,
                                   result.status(), latency_ms);
     }
     RecordOutcome(id, plan.island, result.status(), latency_ms,
-                  attempts - 1, failovers, degraded);
+                  attempts - 1, failovers, degraded, trace_id);
     MaybeRecordSlow(id, opts.session, query, plan.island, result.status(),
-                    latency_ms, attempts, failovers);
+                    latency_ms, attempts, failovers, trace_id);
     // ANALYZE swaps the result rows for the profile; failures keep their
     // error so callers see exactly what a plain run would have seen.
     if (analyze && result.ok()) return profile;
@@ -389,7 +401,8 @@ void QueryService::MaybeRecordSlow(int64_t query_id, int64_t session,
                                    const std::string& query,
                                    const std::string& island,
                                    const Status& status, double latency_ms,
-                                   int64_t attempts, int64_t failovers) {
+                                   int64_t attempts, int64_t failovers,
+                                   int64_t trace_id) {
   if (!slow_log_.ShouldLog(latency_ms)) return;
   obs::SlowQueryEntry entry;
   entry.query_id = query_id;
@@ -400,6 +413,7 @@ void QueryService::MaybeRecordSlow(int64_t query_id, int64_t session,
   entry.latency_ms = latency_ms;
   entry.attempts = attempts;
   entry.failovers = failovers;
+  entry.trace_id = trace_id;
   BIGDAWG_CLOG(Warn, "exec") << "slow query " << entry.ToLine();
   slow_log_.Record(std::move(entry));
 }
@@ -557,6 +571,7 @@ std::string QueryService::DumpMetrics() const {
     ageout->ExportMetrics(metrics_);
   }
   if (adaptive_ != nullptr) adaptive_->ExportMetrics(metrics_);
+  if (profiler_ != nullptr) profiler_->ExportMetrics(metrics_);
   return metrics_->DumpPrometheus();
 }
 

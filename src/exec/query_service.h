@@ -20,6 +20,7 @@
 #include "exec/retry_policy.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/slow_query_log.h"
 
 namespace bigdawg::exec {
@@ -61,6 +62,16 @@ struct QueryServiceConfig {
   /// default; `adaptive.enabled = true` opts in, and the environment
   /// overrides either way (BIGDAWG_ADAPTIVE=0 kills it, =1 forces it).
   AdaptiveConfig adaptive;
+  /// Always-on profiler: every sampled completion's span tree is folded
+  /// into per-class critical-path profiles (see obs::Profiler, /profile,
+  /// /costs). On by default; the environment overrides either way
+  /// (BIGDAWG_PROFILE=0 kills it, =1 forces it). Off means no trace is
+  /// ever created for profiling and the service behaves byte-identically
+  /// to a build without the feature.
+  bool profile = true;
+  /// Ingest every Nth completion (1 = all). Raising this cuts the
+  /// tracing overhead proportionally at the cost of profile freshness.
+  int64_t profile_sample_every = 1;
 };
 
 struct SubmitOptions {
@@ -246,6 +257,11 @@ class QueryService {
   /// to a build without the feature.
   AdaptivePlacement* adaptive() const { return adaptive_.get(); }
 
+  /// The always-on profiler, or null when disabled (config.profile off,
+  /// or BIGDAWG_PROFILE=0). The /profile and /costs admin endpoints and
+  /// the adaptive-placement coordination gate read it.
+  obs::Profiler* profiler() const { return profiler_.get(); }
+
   const QueryServiceConfig& config() const { return config_; }
 
  private:
@@ -258,16 +274,19 @@ class QueryService {
       int64_t id, const std::shared_ptr<QueryState>&)>;
 
   Result<QueryHandle> Admit(QueryRunner run, const SubmitOptions& opts);
+  /// `trace_id` >= 0 stamps the island latency histogram's bucket with an
+  /// exemplar linking the sample to its retained trace.
   void RecordOutcome(int64_t query_id, const std::string& island,
                      const Status& status, double latency_ms,
                      int64_t retries = 0, int64_t failovers = 0,
-                     bool degraded = false);
+                     bool degraded = false, int64_t trace_id = -1);
   /// Feeds the slow-query log (and the warn log) when `latency_ms`
   /// crosses the threshold.
   void MaybeRecordSlow(int64_t query_id, int64_t session,
                        const std::string& query, const std::string& island,
                        const Status& status, double latency_ms,
-                       int64_t attempts, int64_t failovers);
+                       int64_t attempts, int64_t failovers,
+                       int64_t trace_id = -1);
 
   /// The breaker guarding `engine`, created closed on first use.
   CircuitBreaker& BreakerFor(const std::string& engine);
@@ -316,6 +335,10 @@ class QueryService {
   std::map<int64_t, std::shared_ptr<QueryState>> live_;
   /// island -> bounded latency reservoir (p50/p95 memory stays capped).
   std::map<std::string, obs::SampleWindow> latencies_;
+
+  /// Null unless profiling is enabled; internally synchronized, fed from
+  /// worker threads at completion.
+  std::unique_ptr<obs::Profiler> profiler_;
 
   /// Null unless adaptive placement is enabled. Declared before pool_ so
   /// the pool (whose tasks may reference it) is joined first.

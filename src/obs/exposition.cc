@@ -83,7 +83,16 @@ Status ParseSampleLine(const std::string& line, ExpositionSeries* series) {
     Status parsed = ParseLabels(line, &pos, &series->labels);
     if (!parsed.ok()) return parsed;
   }
-  std::string value_text = Trim(line.substr(pos));
+  std::string rest = line.substr(pos);
+  // An OpenMetrics exemplar rides after the value: `value # {labels} value`.
+  // Split it off before the strict value parse below.
+  std::string exemplar_text;
+  const size_t hash = rest.find(" # ");
+  if (hash != std::string::npos) {
+    exemplar_text = Trim(rest.substr(hash + 3));
+    rest = rest.substr(0, hash);
+  }
+  std::string value_text = Trim(rest);
   if (value_text.empty()) {
     return Status::ParseError("missing value in: " + line);
   }
@@ -93,6 +102,24 @@ Status ParseSampleLine(const std::string& line, ExpositionSeries* series) {
     // Prometheus also allows +Inf/-Inf/NaN sample values; strtod on glibc
     // accepts "inf"/"nan" spellings, so only truly malformed text lands here.
     return Status::ParseError("bad sample value in: " + line);
+  }
+  if (hash != std::string::npos) {
+    if (exemplar_text.empty() || exemplar_text[0] != '{') {
+      return Status::ParseError("exemplar without label block in: " + line);
+    }
+    size_t epos = 0;
+    Status parsed = ParseLabels(exemplar_text, &epos, &series->exemplar_labels);
+    if (!parsed.ok()) return parsed;
+    std::string evalue_text = Trim(exemplar_text.substr(epos));
+    if (evalue_text.empty()) {
+      return Status::ParseError("exemplar without value in: " + line);
+    }
+    end = nullptr;
+    series->exemplar_value = std::strtod(evalue_text.c_str(), &end);
+    if (end == evalue_text.c_str() || *end != '\0') {
+      return Status::ParseError("bad exemplar value in: " + line);
+    }
+    series->has_exemplar = true;
   }
   return Status::OK();
 }

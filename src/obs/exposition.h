@@ -19,6 +19,11 @@ struct ExpositionSeries {
   std::vector<std::pair<std::string, std::string>> labels;
   double value = 0;
 
+  /// OpenMetrics exemplar (`... # {trace_id="7"} 3.2`), when present.
+  bool has_exemplar = false;
+  std::vector<std::pair<std::string, std::string>> exemplar_labels;
+  double exemplar_value = 0;
+
   /// First label with `key`, or null.
   const std::string* Label(const std::string& key) const;
   /// The label block minus any `le` label — the identity that groups one
@@ -54,7 +59,9 @@ struct Exposition {
 ///    \\, \", \n are legal), missing '=' or ',';
 ///  * histogram families missing a `+Inf` bucket, with non-monotonic
 ///    cumulative buckets, missing `_sum`, or whose `_count` differs from
-///    the `+Inf` bucket value.
+///    the `+Inf` bucket value;
+///  * malformed exemplars — an ` # ` annotation not followed by a label
+///    block and a value.
 Result<Exposition> ParseExposition(const std::string& text);
 
 }  // namespace bigdawg::obs

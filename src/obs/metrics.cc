@@ -94,9 +94,11 @@ std::string SeriesName(
 void Gauge::Add(double d) { AtomicAddDouble(&value_, d); }
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1) {}
 
-void Histogram::Observe(double v) {
+void Histogram::Observe(double v, int64_t trace_id) {
   // First bucket whose upper bound satisfies v <= bound; past-the-end is
   // the +Inf overflow bucket.
   const size_t idx =
@@ -104,6 +106,10 @@ void Histogram::Observe(double v) {
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_, v);
+  if (trace_id >= 0) {
+    exemplars_[idx].value.store(v, std::memory_order_relaxed);
+    exemplars_[idx].trace_id.store(trace_id, std::memory_order_relaxed);
+  }
 }
 
 SampleWindow::SampleWindow(size_t capacity)
@@ -186,16 +192,27 @@ std::string MetricsRegistry::DumpPrometheus() const {
   emit_section(
       histograms_, "histogram",
       [&out](const std::string& name, const Histogram& hist) {
+        // Exemplar suffix for bucket `i`, OpenMetrics-style; "" when the
+        // bucket never saw an exemplar-carrying sample, keeping the
+        // exposition byte-identical to the pre-exemplar format.
+        auto exemplar = [&hist](size_t i) -> std::string {
+          const int64_t trace_id = hist.BucketExemplarTrace(i);
+          if (trace_id < 0) return "";
+          return " # {trace_id=\"" + std::to_string(trace_id) + "\"} " +
+                 FormatValue(hist.BucketExemplarValue(i));
+        };
         int64_t cumulative = 0;
         for (size_t i = 0; i < hist.bounds().size(); ++i) {
           cumulative += hist.BucketCount(i);
           out += SuffixedSeries(name, "_bucket", "le",
                                 FormatValue(hist.bounds()[i])) +
-                 " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+                 " " + FormatValue(static_cast<double>(cumulative)) +
+                 exemplar(i) + "\n";
         }
         cumulative += hist.BucketCount(hist.bounds().size());
         out += SuffixedSeries(name, "_bucket", "le", "+Inf") + " " +
-               FormatValue(static_cast<double>(cumulative)) + "\n";
+               FormatValue(static_cast<double>(cumulative)) +
+               exemplar(hist.bounds().size()) + "\n";
         out += SuffixedSeries(name, "_sum", "", "") + " " +
                FormatValue(hist.Sum()) + "\n";
         // _count is emitted from the same cumulative tally as the +Inf
@@ -206,6 +223,25 @@ std::string MetricsRegistry::DumpPrometheus() const {
                FormatValue(static_cast<double>(cumulative)) + "\n";
       });
   return out;
+}
+
+#ifndef BIGDAWG_VERSION
+#define BIGDAWG_VERSION "0.9.0-dev"
+#endif
+#ifndef BIGDAWG_GIT_SHA
+#define BIGDAWG_GIT_SHA "unknown"
+#endif
+#ifndef BIGDAWG_BUILD_TYPE
+#define BIGDAWG_BUILD_TYPE "unspecified"
+#endif
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  registry
+      ->GetGauge(SeriesName("bigdawg_build_info",
+                            {{"version", BIGDAWG_VERSION},
+                             {"git_sha", BIGDAWG_GIT_SHA},
+                             {"build_type", BIGDAWG_BUILD_TYPE}}))
+      ->Set(1.0);
 }
 
 }  // namespace bigdawg::obs

@@ -54,13 +54,24 @@ class Gauge {
 /// the Prometheus client model. An observation is two relaxed atomic adds
 /// plus a CAS loop for the sum; bucket bounds are fixed at construction so
 /// the hot path never allocates or locks.
+///
+/// Buckets optionally carry an *exemplar*: the trace_id (and observed
+/// value) of the most recent sample that landed in the bucket, emitted in
+/// the OpenMetrics `# {trace_id="..."} value` form. That makes a bad p95
+/// bucket in /metrics one hop from a concrete retained trace via
+/// /traces?id=... — observe with a negative trace_id (or the plain
+/// overload) and the bucket's exemplar is untouched, so exposition stays
+/// byte-identical when tracing or profiling is off.
 class Histogram {
  public:
   /// `bounds` are the inclusive bucket upper bounds, strictly increasing.
   /// A +Inf overflow bucket is implicit.
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double v);
+  void Observe(double v) { Observe(v, -1); }
+  /// Observe with an exemplar: `trace_id` >= 0 stamps the sample's bucket
+  /// with (trace_id, v); negative leaves the bucket's exemplar alone.
+  void Observe(double v, int64_t trace_id);
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -71,10 +82,29 @@ class Histogram {
   int64_t BucketCount(size_t i) const {
     return counts_[i].load(std::memory_order_relaxed);
   }
+  /// trace_id of bucket `i`'s most recent exemplar-carrying sample; -1
+  /// when the bucket never saw one.
+  int64_t BucketExemplarTrace(size_t i) const {
+    return exemplars_[i].trace_id.load(std::memory_order_relaxed);
+  }
+  /// The observed value recorded with bucket `i`'s exemplar.
+  double BucketExemplarValue(size_t i) const {
+    return exemplars_[i].value.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Two relaxed stores: a reader racing an update may pair the new
+  /// trace_id with the previous value (or vice versa). Exemplars are
+  /// debugging breadcrumbs, not invariants — either pairing points at a
+  /// real recent sample of the bucket, which is all they promise.
+  struct Exemplar {
+    std::atomic<int64_t> trace_id{-1};
+    std::atomic<double> value{0.0};
+  };
+
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> counts_;  // bounds_.size() + 1
+  std::vector<Exemplar> exemplars_;           // bounds_.size() + 1
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -138,6 +168,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Registers the `bigdawg_build_info{version,git_sha,build_type}` gauge
+/// (constant 1) so every scrape identifies the binary behind it —
+/// sanitizer builds included, since build_type carries the CMake build
+/// type the library was compiled under. Values are baked in at compile
+/// time via BIGDAWG_VERSION / BIGDAWG_GIT_SHA / BIGDAWG_BUILD_TYPE.
+/// Idempotent per registry.
+void RegisterBuildInfo(MetricsRegistry* registry);
 
 }  // namespace bigdawg::obs
 

@@ -1,0 +1,242 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bigdawg::obs {
+
+namespace {
+
+// %.3f ms, matching DumpSpanTree so /profile and /traces read alike.
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+std::string FormatShare(double share) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", share);
+  return buf;
+}
+
+int64_t TagAsInt(const TraceSpan& span, const char* key) {
+  const std::string* value = span.FindTag(key);
+  if (value == nullptr) return 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  return end == value->c_str() ? 0 : static_cast<int64_t>(parsed);
+}
+
+bool IsShim(const std::string& name) {
+  return name.compare(0, 5, "shim:") == 0;
+}
+
+bool IsCoordination(const std::string& name) {
+  return name == "locks" || name == "backoff" || name == "breaker";
+}
+
+void RenderNode(const std::string& name, const ProfileNode& node, int depth,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += name + " count=" + std::to_string(node.count) +
+          " total=" + FormatMs(node.total_ms) + "ms self=" +
+          FormatMs(node.self_ms) + "ms p50=" + FormatMs(node.window.Quantile(0.5)) +
+          "ms p95=" + FormatMs(node.window.Quantile(0.95)) + "ms\n";
+  for (const auto& [child_name, child] : node.children) {
+    RenderNode(child_name, child, depth + 1, out);
+  }
+}
+
+void RenderCostTable(const ClassProfile& profile, std::string* out) {
+  for (const auto& [engine, cost] : profile.engines) {
+    *out += "  engine " + engine + " execs=" + std::to_string(cost.execs) +
+            " exec_self=" + FormatMs(cost.exec_self_ms) +
+            "ms cast_rows=" + std::to_string(cost.cast_rows) +
+            " cast_bytes=" + std::to_string(cost.cast_bytes) +
+            " shards=" + std::to_string(cost.shards) + "\n";
+  }
+}
+
+std::string ClassHeader(const std::string& klass, const ClassProfile& p) {
+  double exec_share = 0, coord_share = 0;
+  if (p.total_ms > 0) {
+    exec_share = p.exec_self_ms / p.total_ms;
+    coord_share = p.coordination_self_ms / p.total_ms;
+  }
+  return "class " + klass + " queries=" + std::to_string(p.queries) +
+         " errors=" + std::to_string(p.errors) +
+         " retries=" + std::to_string(p.retries) +
+         " failovers=" + std::to_string(p.failovers) +
+         " total=" + FormatMs(p.total_ms) +
+         "ms p50=" + FormatMs(p.latency.Quantile(0.5)) +
+         "ms p95=" + FormatMs(p.latency.Quantile(0.95)) +
+         "ms exec_share=" + FormatShare(exec_share) +
+         " coord_share=" + FormatShare(coord_share) + "\n";
+}
+
+}  // namespace
+
+Profiler::Profiler(int64_t sample_every)
+    : sample_every_(std::max<int64_t>(1, sample_every)) {}
+
+bool Profiler::EnvAllows(bool config_enabled) {
+  const char* v = std::getenv("BIGDAWG_PROFILE");
+  if (v == nullptr || *v == '\0') return config_enabled;
+  return std::string(v) != "0";
+}
+
+bool Profiler::Sample() {
+  const int64_t n = completions_.fetch_add(1, std::memory_order_relaxed);
+  return n % sample_every_ == 0;
+}
+
+void Profiler::Fold(const TraceSpan& span, ProfileNode* node,
+                    const std::string& engine, ClassProfile* profile) {
+  ++node->count;
+  node->total_ms += span.duration_ms;
+  node->window.Record(span.duration_ms);
+
+  double children_ms = 0;
+  for (const TraceSpan& child : span.children) {
+    children_ms += child.duration_ms;
+  }
+  // Clock rounding (or spans closed out of order) can make children sum
+  // past the parent; self time never goes negative.
+  const double self_ms = std::max(0.0, span.duration_ms - children_ms);
+  node->self_ms += self_ms;
+
+  // Engine context: a scope pins the engine for everything beneath it;
+  // shim spans know their own engine (failover may have rerouted them).
+  std::string scope_engine = engine;
+  if (span.name == "scope" || IsShim(span.name)) {
+    const std::string* tagged = span.FindTag("engine");
+    if (tagged != nullptr) scope_engine = *tagged;
+  }
+
+  if (span.name == "exec" || IsShim(span.name)) {
+    profile->exec_self_ms += self_ms;
+    if (!scope_engine.empty()) {
+      EngineCost& cost = profile->engines[scope_engine];
+      ++cost.execs;
+      cost.exec_self_ms += self_ms;
+    }
+  } else if (IsCoordination(span.name)) {
+    profile->coordination_self_ms += self_ms;
+  } else if (span.name == "cast" && !scope_engine.empty()) {
+    EngineCost& cost = profile->engines[scope_engine];
+    cost.cast_rows += TagAsInt(span, "rows");
+    cost.cast_bytes += TagAsInt(span, "bytes");
+  }
+  if (span.name.compare(0, 8, "scatter:") == 0 && !scope_engine.empty()) {
+    profile->engines[scope_engine].shards += TagAsInt(span, "shards");
+  }
+
+  for (const TraceSpan& child : span.children) {
+    Fold(child, &node->children[child.name], scope_engine, profile);
+  }
+}
+
+void Profiler::Ingest(const TraceSpan& root) {
+  const std::string* island = root.FindTag("island");
+  const std::string klass = island != nullptr ? *island : "unknown";
+  const std::string* status = root.FindTag("status");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ingested_;
+  ClassProfile& profile = classes_[klass];
+  ++profile.queries;
+  if (status != nullptr && *status != "OK") ++profile.errors;
+  profile.retries += std::max<int64_t>(0, TagAsInt(root, "attempts") - 1);
+  profile.failovers += TagAsInt(root, "failovers");
+  profile.total_ms += root.duration_ms;
+  profile.latency.Record(root.duration_ms);
+  Fold(root, &profile.root, "", &profile);
+}
+
+int64_t Profiler::ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingested_;
+}
+
+std::vector<std::string> Profiler::Classes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [klass, profile] : classes_) out.push_back(klass);
+  return out;
+}
+
+ClassProfile Profiler::Snapshot(const std::string& klass) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(klass);
+  return it == classes_.end() ? ClassProfile{} : it->second;
+}
+
+double Profiler::ExecSelfShare(const std::string& klass) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(klass);
+  if (it == classes_.end() || it->second.total_ms <= 0) return 0;
+  return it->second.exec_self_ms / it->second.total_ms;
+}
+
+double Profiler::CoordinationShare(const std::string& klass) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(klass);
+  if (it == classes_.end() || it->second.total_ms <= 0) return 0;
+  return it->second.coordination_self_ms / it->second.total_ms;
+}
+
+std::string Profiler::Render(const std::string& class_filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "profile: classes=" + std::to_string(classes_.size()) +
+                    " ingested=" + std::to_string(ingested_) + "\n";
+  for (const auto& [klass, profile] : classes_) {
+    if (!class_filter.empty() && klass != class_filter) continue;
+    out += ClassHeader(klass, profile);
+    RenderNode("query", profile.root, 1, &out);
+    RenderCostTable(profile, &out);
+  }
+  return out;
+}
+
+std::string Profiler::RenderCosts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "costs: classes=" + std::to_string(classes_.size()) +
+                    " ingested=" + std::to_string(ingested_) + "\n";
+  for (const auto& [klass, profile] : classes_) {
+    out += ClassHeader(klass, profile);
+    RenderCostTable(profile, &out);
+  }
+  return out;
+}
+
+void Profiler::ExportMetrics(MetricsRegistry* registry) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [klass, profile] : classes_) {
+    auto gauge = [&](const char* family, double value) {
+      registry->GetGauge(SeriesName(family, {{"class", klass}}))->Set(value);
+    };
+    gauge("bigdawg_profile_queries", static_cast<double>(profile.queries));
+    gauge("bigdawg_profile_total_ms", profile.total_ms);
+    gauge("bigdawg_profile_exec_self_ms", profile.exec_self_ms);
+    gauge("bigdawg_profile_coordination_self_ms",
+          profile.coordination_self_ms);
+    for (const auto& [engine, cost] : profile.engines) {
+      auto engine_gauge = [&](const char* family, double value) {
+        registry
+            ->GetGauge(SeriesName(family,
+                                  {{"class", klass}, {"engine", engine}}))
+            ->Set(value);
+      };
+      engine_gauge("bigdawg_profile_engine_exec_self_ms", cost.exec_self_ms);
+      engine_gauge("bigdawg_profile_engine_cast_rows",
+                   static_cast<double>(cost.cast_rows));
+      engine_gauge("bigdawg_profile_engine_cast_bytes",
+                   static_cast<double>(cost.cast_bytes));
+    }
+  }
+}
+
+}  // namespace bigdawg::obs

@@ -1,0 +1,150 @@
+#ifndef BIGDAWG_OBS_PROFILER_H_
+#define BIGDAWG_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bigdawg::obs {
+
+/// \brief One node of a merged flame tree: every span that ever occurred
+/// at this name-path across all ingested queries of a class, folded into
+/// a single aggregate.
+///
+/// `self_ms` is the node's wall time minus the wall time of its children
+/// (clamped at zero against clock-rounding), i.e. time attributable to
+/// the node itself rather than anything beneath it — the quantity that
+/// makes a flame tree answer "where does the time actually go".
+struct ProfileNode {
+  int64_t count = 0;
+  double total_ms = 0;
+  double self_ms = 0;
+  /// Bounded reservoir of per-occurrence durations (p50/p95).
+  SampleWindow window{256};
+  /// Children keyed by span name. std::map keeps rendering
+  /// deterministic regardless of ingestion interleaving.
+  std::map<std::string, ProfileNode> children;
+};
+
+/// \brief Resource costs attributed to one engine within a query class:
+/// how many exec/shim calls it served, how much self time they took, and
+/// the cast volume that moved through it.
+struct EngineCost {
+  int64_t execs = 0;
+  double exec_self_ms = 0;
+  int64_t cast_rows = 0;
+  int64_t cast_bytes = 0;
+  int64_t shards = 0;
+};
+
+/// \brief Everything the profiler knows about one query class (keyed by
+/// the root span's `island` tag): the merged flame tree, per-engine
+/// costs, and the class-level counters/latency digest.
+struct ClassProfile {
+  int64_t queries = 0;
+  int64_t errors = 0;
+  int64_t retries = 0;
+  int64_t failovers = 0;
+  double total_ms = 0;
+  /// Self time of `exec` and `shim:*` spans — real engine work.
+  double exec_self_ms = 0;
+  /// Self time of `locks` + `backoff` + `breaker` spans — time the query
+  /// spent coordinating rather than computing.
+  double coordination_self_ms = 0;
+  ProfileNode root;
+  std::map<std::string, EngineCost> engines;
+  /// Root (end-to-end) durations for the class p50/p95.
+  SampleWindow latency{512};
+};
+
+/// \brief Always-on cross-query profiler: folds finished span trees into
+/// per-class critical-path profiles.
+///
+/// Where a trace answers "what happened to THIS query", the profiler
+/// answers "where do queries of this class spend their time in
+/// aggregate". Every (sampled) completion's span tree is merged into a
+/// flame tree keyed by span-name path — query -> attempt ->
+/// scope/cast/exec -> shim/gather/failover — with per-node counts,
+/// total/self wall-ms, and bounded p50/p95 reservoirs, plus resource
+/// costs (cast rows/bytes, shard fan-out) attributed per island x engine
+/// via the enclosing scope's engine tag.
+///
+/// Bounded by construction: node count is capped by the span-name
+/// vocabulary (not by traffic), every reservoir is a fixed-size
+/// SampleWindow, and class count is the island count. Ingest takes one
+/// mutex and walks one already-built tree; it allocates only the first
+/// time a name-path appears. The kill switch is BIGDAWG_PROFILE=0 (see
+/// EnvAllows) — a disabled profiler is a null pointer in the query
+/// service, leaving the hot path byte-identical to a build without the
+/// feature.
+///
+/// The per-class self-time breakdown doubles as a placement signal:
+/// CoordinationShare() tells the adaptive-placement loop when a class's
+/// latency is dominated by locks/backoff/breaker waits, in which case
+/// shadow timing comparisons would measure contention, not engines.
+class Profiler {
+ public:
+  /// `sample_every` = N ingests every Nth completion (1 = all, the
+  /// default; clamped to >= 1). Sampling trades profile freshness for
+  /// tracing overhead on the query path, not ingest cost.
+  explicit Profiler(int64_t sample_every = 1);
+
+  /// Resolves the BIGDAWG_PROFILE environment override: unset keeps
+  /// `config_enabled`, "0" forces off (kill switch), anything else
+  /// forces on.
+  static bool EnvAllows(bool config_enabled);
+
+  /// True when the current completion should be traced + ingested (every
+  /// `sample_every`-th call). The first call always samples, so a
+  /// single-query test profiles deterministically at any rate.
+  bool Sample();
+
+  /// Folds one finished span tree into its class profile. The root's
+  /// `island` tag is the class key ("unknown" when untagged).
+  void Ingest(const TraceSpan& root);
+
+  /// Completions ingested (not just sampled) so far.
+  int64_t ingested() const;
+  /// Class keys currently profiled, sorted.
+  std::vector<std::string> Classes() const;
+  /// Snapshot of one class profile; queries == 0 when never seen.
+  ClassProfile Snapshot(const std::string& klass) const;
+
+  /// Fraction of the class's total wall time spent in exec/shim self
+  /// time (0 when the class is unknown or has no time recorded).
+  double ExecSelfShare(const std::string& klass) const;
+  /// Fraction spent coordinating (locks/backoff/breaker self time).
+  double CoordinationShare(const std::string& klass) const;
+
+  /// Deterministic rendering for /profile: per class, a header line, the
+  /// flame tree (indented two spaces per depth, children name-sorted),
+  /// and the per-engine cost table. `class_filter` non-empty renders
+  /// only that class.
+  std::string Render(const std::string& class_filter = "") const;
+  /// Deterministic rendering of just the cost tables for /costs.
+  std::string RenderCosts() const;
+
+  /// Per-class totals and per-engine costs as gauges
+  /// (bigdawg_profile_*). Series count is bounded by classes x engines.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
+ private:
+  void Fold(const TraceSpan& span, ProfileNode* node,
+            const std::string& engine, ClassProfile* profile);
+
+  const int64_t sample_every_;
+  std::atomic<int64_t> completions_{0};
+  mutable std::mutex mu_;
+  int64_t ingested_ = 0;
+  std::map<std::string, ClassProfile> classes_;
+};
+
+}  // namespace bigdawg::obs
+
+#endif  // BIGDAWG_OBS_PROFILER_H_

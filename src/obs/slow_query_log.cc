@@ -28,6 +28,7 @@ std::string SlowQueryEntry::ToLine() const {
   line += " latency_ms=" + std::string(buf);
   line += " attempts=" + std::to_string(attempts);
   line += " failovers=" + std::to_string(failovers);
+  line += trace_id < 0 ? " trace=-" : " trace=" + std::to_string(trace_id);
   line += " query=" + query;
   return line;
 }

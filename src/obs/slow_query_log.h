@@ -20,6 +20,9 @@ struct SlowQueryEntry {
   double latency_ms = 0;
   int64_t attempts = 1;
   int64_t failovers = 0;
+  /// The query's retained trace id (fetch the full span tree via
+  /// /traces?id=...); -1 when the query was not traced.
+  int64_t trace_id = -1;
 
   /// Deterministic one-line rendering (used by the admin endpoint).
   std::string ToLine() const;

@@ -127,7 +127,20 @@ TraceSpan Trace::Finish() && {
   return Builder{&recs_, &children_of, origin}.Build(0);
 }
 
-Tracer::Tracer() {
+namespace {
+
+double SlowThresholdFromEnv() {
+  const char* env = std::getenv("BIGDAWG_SLOW_MS");
+  if (env == nullptr || env[0] == '\0') return 100.0;
+  char* end = nullptr;
+  double ms = std::strtod(env, &end);
+  if (end == env || ms < 0) return 100.0;
+  return ms;
+}
+
+}  // namespace
+
+Tracer::Tracer() : slow_threshold_ms_(SlowThresholdFromEnv()) {
   const char* env = std::getenv("BIGDAWG_TRACE");
   if (env != nullptr && env[0] != '\0' &&
       !(env[0] == '0' && env[1] == '\0')) {
@@ -135,23 +148,76 @@ Tracer::Tracer() {
   }
 }
 
-void Tracer::Record(TraceSpan root) {
+double Tracer::slow_threshold_ms() const {
   std::lock_guard<std::mutex> lock(mu_);
-  finished_.push_back(std::move(root));
+  return slow_threshold_ms_;
+}
+
+void Tracer::SetSlowThresholdMs(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = ms;
+}
+
+int64_t Tracer::Record(TraceSpan root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RetainedTrace retained;
+  const int64_t id = next_trace_id_++;
+  retained.trace_id = id;
+  const std::string* status = root.FindTag("status");
+  retained.important = root.duration_ms >= slow_threshold_ms_ ||
+                       (status != nullptr && *status != "OK");
+  retained.root = std::move(root);
+  finished_.push_back(std::move(retained));
   if (finished_.size() > kMaxFinished) {
-    finished_.erase(finished_.begin());
+    // Tail retention: age out the oldest trace nobody would page through
+    // — fast and successful — before touching slow or error traces. (A
+    // fast-OK newcomer into a ring full of important traces is itself the
+    // victim.) When every retained trace is important, plain FIFO keeps
+    // memory capped.
+    auto victim = finished_.begin();
+    for (auto it = finished_.begin(); it != finished_.end(); ++it) {
+      if (!it->important) {
+        victim = it;
+        break;
+      }
+    }
+    finished_.erase(victim);
   }
+  return id;
 }
 
 std::vector<TraceSpan> Tracer::FinishedTraces() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return finished_;
+  std::vector<TraceSpan> out;
+  out.reserve(finished_.size());
+  for (const RetainedTrace& retained : finished_) {
+    out.push_back(retained.root);
+  }
+  return out;
+}
+
+std::vector<RetainedTrace> Tracer::Retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {finished_.begin(), finished_.end()};
+}
+
+Result<RetainedTrace> Tracer::Find(int64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RetainedTrace& retained : finished_) {
+    if (retained.trace_id == trace_id) return retained;
+  }
+  return Status::NotFound("trace " + std::to_string(trace_id) +
+                          " is not retained (never recorded, or evicted)");
 }
 
 std::vector<TraceSpan> Tracer::DrainFinished() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceSpan> out;
-  out.swap(finished_);
+  out.reserve(finished_.size());
+  for (RetainedTrace& retained : finished_) {
+    out.push_back(std::move(retained.root));
+  }
+  finished_.clear();
   return out;
 }
 

@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "obs/clock.h"
 
 namespace bigdawg::obs {
@@ -99,35 +101,73 @@ class SpanGuard {
   int64_t id_ = -1;
 };
 
-/// \brief Process-level sink of finished traces (bounded ring).
+/// \brief One retained trace: its process-unique id (the link target of
+/// /traces?id=..., histogram exemplars, and slow-query-log entries) plus
+/// whether tail-based retention considers it worth keeping past FIFO age
+/// (slow over the threshold, or finished non-OK).
+struct RetainedTrace {
+  int64_t trace_id = -1;
+  bool important = false;
+  TraceSpan root;
+};
+
+/// \brief Process-level sink of finished traces (bounded ring with
+/// tail-based retention).
 ///
 /// Disabled by default: enabled() is one relaxed atomic load and nothing
 /// else happens on the query path until a test, an operator, or the
 /// BIGDAWG_TRACE=1 environment variable turns it on. The Monitor consumes
 /// FinishedTraces()/DrainFinished() to refine engine/query-class
 /// affinities from real span timings.
+///
+/// Every recorded trace is stamped with a monotonically increasing
+/// trace_id. Retention is FIFO with a tail bias: past kMaxFinished the
+/// oldest *uninteresting* trace is evicted first, so slow
+/// (root duration >= slow_threshold_ms) and error (root `status` tag not
+/// "OK") traces survive a busy second of fast successes instead of being
+/// overwritten within milliseconds. Only when every retained trace is
+/// interesting does plain FIFO resume. Memory stays capped at
+/// kMaxFinished traces either way.
 class Tracer {
  public:
   static constexpr size_t kMaxFinished = 128;
 
-  Tracer();  // honors BIGDAWG_TRACE=1 in the environment
+  /// Honors BIGDAWG_TRACE=1 (enable) and BIGDAWG_SLOW_MS (importance
+  /// threshold, default 100 ms — the slow-query log's default) in the
+  /// environment.
+  Tracer();
 
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Stores a finished root span, dropping the oldest past kMaxFinished.
-  void Record(TraceSpan root);
+  /// Root duration (ms) at or above which a trace counts as important for
+  /// tail retention. The query service aligns this with its slow-query
+  /// threshold at construction.
+  double slow_threshold_ms() const;
+  void SetSlowThresholdMs(double ms);
 
-  /// Snapshot of retained traces, oldest first.
+  /// Stores a finished root span and returns its assigned trace_id.
+  /// Past kMaxFinished the oldest unimportant trace is dropped (the
+  /// oldest important one only when nothing unimportant remains).
+  int64_t Record(TraceSpan root);
+
+  /// Snapshot of retained span trees, oldest first.
   std::vector<TraceSpan> FinishedTraces() const;
+  /// Snapshot of retained traces with ids/importance, oldest first.
+  std::vector<RetainedTrace> Retained() const;
+  /// The retained trace with this id; NotFound once evicted (or never
+  /// recorded).
+  Result<RetainedTrace> Find(int64_t trace_id) const;
   /// Moves the retained traces out, leaving the ring empty.
   std::vector<TraceSpan> DrainFinished();
 
  private:
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
-  std::vector<TraceSpan> finished_;
+  double slow_threshold_ms_;
+  int64_t next_trace_id_ = 1;
+  std::deque<RetainedTrace> finished_;
 };
 
 }  // namespace bigdawg::obs

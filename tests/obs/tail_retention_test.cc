@@ -1,0 +1,135 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace bigdawg::obs {
+namespace {
+
+/// A finished root span with the given duration and status tag — the two
+/// inputs tail retention classifies traces by.
+TraceSpan MakeRoot(const std::string& name, double duration_ms,
+                   const std::string& status = "OK") {
+  TraceSpan span;
+  span.name = name;
+  span.duration_ms = duration_ms;
+  span.tags.emplace_back("status", status);
+  return span;
+}
+
+std::vector<int64_t> RetainedIds(const Tracer& tracer) {
+  std::vector<int64_t> ids;
+  for (const RetainedTrace& retained : tracer.Retained()) {
+    ids.push_back(retained.trace_id);
+  }
+  return ids;
+}
+
+TEST(TailRetentionTest, RecordAssignsMonotonicIdsStartingAtOne) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(100.0);
+  EXPECT_EQ(tracer.Record(MakeRoot("a", 1.0)), 1);
+  EXPECT_EQ(tracer.Record(MakeRoot("b", 1.0)), 2);
+  EXPECT_EQ(tracer.Record(MakeRoot("c", 1.0)), 3);
+
+  Result<RetainedTrace> found = tracer.Find(2);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->root.name, "b");
+  EXPECT_FALSE(found->important);
+}
+
+TEST(TailRetentionTest, ImportanceIsSlowOverThresholdOrNonOkStatus) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(50.0);
+  tracer.Record(MakeRoot("fast-ok", 10.0));
+  tracer.Record(MakeRoot("at-threshold", 50.0));
+  tracer.Record(MakeRoot("error", 1.0, "Unavailable"));
+
+  std::vector<RetainedTrace> retained = tracer.Retained();
+  ASSERT_EQ(retained.size(), 3u);
+  EXPECT_FALSE(retained[0].important);
+  EXPECT_TRUE(retained[1].important);  // duration >= threshold
+  EXPECT_TRUE(retained[2].important);  // status != OK
+}
+
+TEST(TailRetentionTest, EvictionPrefersTheOldestUnimportantTrace) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(100.0);
+  // id 1 is slow (important); ids 2..kMaxFinished are fast-OK filler.
+  tracer.Record(MakeRoot("slow", 500.0));
+  for (size_t i = 1; i < Tracer::kMaxFinished; ++i) {
+    tracer.Record(MakeRoot("fast", 1.0));
+  }
+  ASSERT_EQ(tracer.Retained().size(), Tracer::kMaxFinished);
+
+  // One more fast trace: the ring is over capacity, and the victim must
+  // be id 2 (the oldest unimportant), not id 1 (older but important).
+  const int64_t newcomer = tracer.Record(MakeRoot("fast", 1.0));
+  std::vector<int64_t> ids = RetainedIds(tracer);
+  ASSERT_EQ(ids.size(), Tracer::kMaxFinished);
+  EXPECT_EQ(ids.front(), 1);      // the slow trace survived
+  EXPECT_EQ(ids[1], 3);           // id 2 was evicted
+  EXPECT_EQ(ids.back(), newcomer);
+
+  EXPECT_TRUE(tracer.Find(1).ok());
+  Result<RetainedTrace> evicted = tracer.Find(2);
+  EXPECT_TRUE(evicted.status().IsNotFound());
+}
+
+TEST(TailRetentionTest, ErrorTracesSurviveAFloodOfFastSuccesses) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(100.0);
+  const int64_t error_id = tracer.Record(MakeRoot("boom", 1.0, "Internal"));
+  for (size_t i = 0; i < 4 * Tracer::kMaxFinished; ++i) {
+    tracer.Record(MakeRoot("fast", 1.0));
+  }
+  EXPECT_EQ(tracer.Retained().size(), Tracer::kMaxFinished);
+  Result<RetainedTrace> found = tracer.Find(error_id);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->root.name, "boom");
+}
+
+TEST(TailRetentionTest, AllImportantRingFallsBackToFifo) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(0.0);  // everything is important
+  for (size_t i = 0; i < Tracer::kMaxFinished + 3; ++i) {
+    tracer.Record(MakeRoot("slow", 1.0));
+  }
+  std::vector<int64_t> ids = RetainedIds(tracer);
+  ASSERT_EQ(ids.size(), Tracer::kMaxFinished);
+  // Plain FIFO: the three oldest are gone, order preserved.
+  EXPECT_EQ(ids.front(), 4);
+  EXPECT_EQ(ids.back(),
+            static_cast<int64_t>(Tracer::kMaxFinished) + 3);
+}
+
+TEST(TailRetentionTest, UnimportantNewcomerIntoAnImportantRingIsTheVictim) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(10.0);
+  for (size_t i = 0; i < Tracer::kMaxFinished; ++i) {
+    tracer.Record(MakeRoot("slow", 50.0));
+  }
+  const int64_t fast_id = tracer.Record(MakeRoot("fast", 1.0));
+  // Record still hands out the id, but the trace itself was the eviction
+  // victim: every retained trace is more important than it.
+  EXPECT_EQ(tracer.Retained().size(), Tracer::kMaxFinished);
+  EXPECT_TRUE(tracer.Find(fast_id).status().IsNotFound());
+  EXPECT_TRUE(tracer.Find(1).ok());
+}
+
+TEST(TailRetentionTest, DrainResetsRetentionButNotIds) {
+  Tracer tracer;
+  tracer.SetSlowThresholdMs(100.0);
+  tracer.Record(MakeRoot("a", 1.0));
+  tracer.Record(MakeRoot("b", 1.0));
+  EXPECT_EQ(tracer.DrainFinished().size(), 2u);
+  EXPECT_TRUE(tracer.Retained().empty());
+  EXPECT_TRUE(tracer.Find(1).status().IsNotFound());
+  // Ids keep counting: links handed out before the drain stay unique.
+  EXPECT_EQ(tracer.Record(MakeRoot("c", 1.0)), 3);
+}
+
+}  // namespace
+}  // namespace bigdawg::obs
