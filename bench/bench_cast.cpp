@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "core/bigdawg.h"
 #include "core/cast.h"
+#include "core/wire_format.h"
 
 using namespace bigdawg;  // NOLINT
 using bench::MedianMs;
@@ -58,6 +59,7 @@ struct TransferRow {
   int64_t bytes;
   double direct_ns;
   double binary_ns;
+  double wire_ns;
   double csv_ns;
 };
 
@@ -69,9 +71,20 @@ struct CacheRow {
   double speedup;
 };
 
+struct WarmPathRow {
+  int64_t rows;
+  double hit_ns;          ///< warm cache hit (zero-copy handle share)
+  double hit_deep_ns;     ///< warm hit + thaw (the pre-PR deep copy)
+  double hit_speedup;
+  double direct_ns;       ///< direct transfer (zero-copy handle share)
+  double direct_deep_ns;  ///< row-by-row copy (the pre-PR transfer)
+  double direct_speedup;
+};
+
 void WriteJson(const std::string& path,
                const std::vector<TransferRow>& transfer,
-               const std::vector<CacheRow>& cache) {
+               const std::vector<CacheRow>& cache,
+               const std::vector<WarmPathRow>& warm_path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -82,10 +95,10 @@ void WriteJson(const std::string& path,
     const TransferRow& r = transfer[i];
     std::fprintf(f,
                  "    {\"rows\": %lld, \"bytes\": %lld, \"direct_ns\": %.0f, "
-                 "\"binary_ns\": %.0f, \"csv_ns\": %.0f}%s\n",
+                 "\"binary_ns\": %.0f, \"wire_ns\": %.0f, \"csv_ns\": %.0f}%s\n",
                  static_cast<long long>(r.rows),
                  static_cast<long long>(r.bytes), r.direct_ns, r.binary_ns,
-                 r.csv_ns, i + 1 < transfer.size() ? "," : "");
+                 r.wire_ns, r.csv_ns, i + 1 < transfer.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"cache\": [\n");
   for (size_t i = 0; i < cache.size(); ++i) {
@@ -96,6 +109,18 @@ void WriteJson(const std::string& path,
                  static_cast<long long>(r.rows),
                  static_cast<long long>(r.bytes), r.cold_ns, r.warm_ns,
                  r.speedup, i + 1 < cache.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"warm_path\": [\n");
+  for (size_t i = 0; i < warm_path.size(); ++i) {
+    const WarmPathRow& r = warm_path[i];
+    std::fprintf(
+        f,
+        "    {\"rows\": %lld, \"hit_ns\": %.0f, \"hit_deep_ns\": %.0f, "
+        "\"hit_speedup\": %.1f, \"direct_ns\": %.0f, "
+        "\"direct_deep_ns\": %.0f, \"direct_speedup\": %.1f}%s\n",
+        static_cast<long long>(r.rows), r.hit_ns, r.hit_deep_ns, r.hit_speedup,
+        r.direct_ns, r.direct_deep_ns, r.direct_speedup,
+        i + 1 < warm_path.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -108,15 +133,15 @@ int main() {
   bench::PrintHeader(
       "C4 -- CAST transfer paths: direct binary vs file-based import/export",
       "direct binary casts should beat file-based import/export");
-  std::printf("%10s %12s %12s %12s %18s\n", "rows", "direct/ms", "binary/ms",
-              "csv-file/ms", "csv-vs-binary");
+  std::printf("%10s %12s %12s %12s %12s %18s\n", "rows", "direct/ms",
+              "binary/ms", "wire/ms", "csv-file/ms", "csv-vs-wire");
 
   std::vector<TransferRow> transfer;
   for (int64_t rows : {1000, 10000, 100000}) {
     relational::Table table = MakeTable(rows, 42);
 
     double direct = MedianMs(5, [&table] {
-      relational::Table copy = table;  // in-memory handoff into the target
+      relational::Table copy = table;  // zero-copy handoff into the target
       BIGDAWG_CHECK(copy.num_rows() == table.num_rows());
     });
 
@@ -127,16 +152,24 @@ int main() {
       BIGDAWG_CHECK(back->num_rows() == table.num_rows());
     });
 
+    double wire_ms = MedianMs(5, [&table] {
+      std::string wire = core::EncodeTable(table);
+      auto back = core::DecodeTable(wire);
+      BIGDAWG_CHECK(back.ok());
+      BIGDAWG_CHECK(back->num_rows() == table.num_rows());
+    });
+
     double csv = MedianMs(3, [&table] {
       auto back = core::TableViaCsvFile(table, "/tmp/bigdawg_cast_bench.csv");
       BIGDAWG_CHECK(back.ok());
       BIGDAWG_CHECK(back->num_rows() == table.num_rows());
     });
 
-    std::printf("%10lld %12.2f %12.2f %12.2f %17.1fx\n",
-                static_cast<long long>(rows), direct, binary, csv, csv / binary);
+    std::printf("%10lld %12.2f %12.2f %12.2f %12.2f %17.1fx\n",
+                static_cast<long long>(rows), direct, binary, wire_ms, csv,
+                csv / wire_ms);
     transfer.push_back({rows, core::EstimateTableBytes(table), direct * 1e6,
-                        binary * 1e6, csv * 1e6});
+                        binary * 1e6, wire_ms * 1e6, csv * 1e6});
   }
 
   std::printf(
@@ -183,9 +216,106 @@ int main() {
 
   std::printf(
       "\nShape check: warm fetches skip the table scan and array rebuild\n"
-      "entirely (one deep copy of the cached array), so the speedup grows\n"
-      "with the cast size and clears 5x at every shape.\n");
+      "entirely (a zero-copy share of the cached block), so the speedup\n"
+      "grows with the cast size and clears 5x at every shape.\n");
 
-  WriteJson("BENCH_cast.json", transfer, cache);
+  // -------------------------------------------------------------------------
+  // C4c: warm-path throughput. The acceptance floor of this PR: handing a
+  // cache hit or a direct transfer to the caller is a pointer swap, which
+  // must beat the pre-PR deep copy (reconstructed explicitly below) by at
+  // least kWarmPathFloor at every size. This section FAILS the benchmark
+  // (non-zero exit) when the floor is missed, so regressions cannot land
+  // silently.
+  // -------------------------------------------------------------------------
+  constexpr double kWarmPathFloor = 5.0;
+  bench::PrintHeader(
+      "C4c -- zero-copy warm paths vs the deep-copy baseline",
+      "cache hits and direct transfers are pointer swaps: >= 5x over a "
+      "deep copy");
+  std::printf("%10s %12s %14s %10s %12s %14s %10s\n", "rows", "hit/ns",
+              "hit-deep/ns", "speedup", "direct/ns", "direct-deep/ns",
+              "speedup");
+
+  bool floor_met = true;
+  std::vector<WarmPathRow> warm_path;
+  for (int64_t rows : {1000, 10000, 100000}) {
+    core::BigDawg dawg;
+    const std::string object = "wave";
+    BIGDAWG_CHECK_OK(dawg.postgres().CreateTable(
+        object, Schema({Field("id", DataType::kInt64),
+                        Field("v", DataType::kDouble)})));
+    BIGDAWG_CHECK_OK(dawg.postgres().PutTable(object, MakeWave(rows, 7)));
+    BIGDAWG_CHECK_OK(dawg.RegisterObject(object, core::kEnginePostgres, object));
+    BIGDAWG_CHECK(dawg.FetchAsAssoc(object).ok());  // prime the cache
+
+    // Warm cache hit, served as a zero-copy handle share.
+    constexpr int kHitOps = 512;
+    double hit_ns = MedianMs(5, [&dawg, &object] {
+                      for (int i = 0; i < kHitOps; ++i) {
+                        auto a = dawg.FetchAsAssoc(object);
+                        BIGDAWG_CHECK(a.ok());
+                      }
+                    }) *
+                    1e6 / kHitOps;
+
+    // Pre-PR behavior: every hit deep-copied the cached cells. Thawing
+    // the shared handle reproduces exactly that copy.
+    const int deep_ops = rows >= 100000 ? 4 : 32;
+    double hit_deep_ns = MedianMs(5, [&dawg, &object, deep_ops] {
+                           for (int i = 0; i < deep_ops; ++i) {
+                             auto a = dawg.FetchAsAssoc(object);
+                             BIGDAWG_CHECK(a.ok());
+                             a->Thaw();
+                           }
+                         }) *
+                         1e6 / deep_ops;
+
+    // Direct transfer: engine read handed to another island.
+    relational::Table table = MakeWave(rows, 7);
+    constexpr int kDirectOps = 512;
+    double direct_ns = MedianMs(5, [&table] {
+                         for (int i = 0; i < kDirectOps; ++i) {
+                           relational::Table copy = table;
+                           BIGDAWG_CHECK(copy.num_rows() == table.num_rows());
+                         }
+                       }) *
+                       1e6 / kDirectOps;
+
+    // Pre-PR behavior: the transfer copied every row.
+    double direct_deep_ns = MedianMs(5, [&table, deep_ops] {
+                              for (int i = 0; i < deep_ops; ++i) {
+                                relational::Table deep(table.schema());
+                                for (const Row& row : table.rows()) {
+                                  deep.AppendUnchecked(row);
+                                }
+                                BIGDAWG_CHECK(deep.num_rows() ==
+                                              table.num_rows());
+                              }
+                            }) *
+                            1e6 / deep_ops;
+
+    const double hit_speedup = hit_ns > 0 ? hit_deep_ns / hit_ns : 0;
+    const double direct_speedup = direct_ns > 0 ? direct_deep_ns / direct_ns : 0;
+    std::printf("%10lld %12.0f %14.0f %9.1fx %12.0f %14.0f %9.1fx\n",
+                static_cast<long long>(rows), hit_ns, hit_deep_ns, hit_speedup,
+                direct_ns, direct_deep_ns, direct_speedup);
+    warm_path.push_back({rows, hit_ns, hit_deep_ns, hit_speedup, direct_ns,
+                         direct_deep_ns, direct_speedup});
+    if (hit_speedup < kWarmPathFloor || direct_speedup < kWarmPathFloor) {
+      floor_met = false;
+    }
+  }
+
+  WriteJson("BENCH_cast.json", transfer, cache, warm_path);
+
+  if (!floor_met) {
+    std::fprintf(stderr,
+                 "\nFAIL: warm-path speedup below the %.0fx acceptance floor "
+                 "(see table above)\n",
+                 kWarmPathFloor);
+    return 1;
+  }
+  std::printf("\nwarm-path acceptance: every size clears the %.0fx floor\n",
+              kWarmPathFloor);
   return 0;
 }

@@ -56,6 +56,13 @@ if [[ "$MODE" != "--tsan-only" && "$MODE" != "--asan-only" ]]; then
   # src/obs/profiler or the trace/metrics plumbing.
   echo "==== profile tier (ctest -L profile) ===="
   (cd build && ctest --output-on-failure -L profile)
+  # The zero-copy data plane in isolation: block sharing across handle
+  # copies / cache hits / shard gathers, copy-on-write isolation against
+  # the checksum oracle, and canonical wire-format round trips — quick
+  # to rerun when touching the CoW reps in relational/array/d4m or
+  # core/wire_format.
+  echo "==== dataplane tier (ctest -L dataplane) ===="
+  (cd build && ctest --output-on-failure -L dataplane)
   # Tier-1 again with the cast-result cache killed: every cross-model
   # fetch takes the uncached path, so a correctness bug that the cache
   # happens to mask (or a test that silently depends on caching) fails
@@ -97,6 +104,12 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   # completion path that feeds it on every query.
   echo "==== ThreadSanitizer profile tier (ctest -L profile) ===="
   (cd build-tsan && ctest --output-on-failure -L profile)
+  # The CoW data plane under the race detector: eight threads sharing
+  # and thawing one hot block while readers pull memoized byte sizes and
+  # column slices — the refcount and memo synchronization is exactly
+  # what this pass exists to prove (dataplane_storm_test).
+  echo "==== ThreadSanitizer dataplane tier (ctest -L dataplane) ===="
+  (cd build-tsan && ctest --output-on-failure -L dataplane)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
@@ -105,6 +118,11 @@ if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  # The data plane's lifetime story under ASan/UBSan: thaw-while-shared
+  # clones, slices outliving their table handle, and the bounds-checked
+  # wire decoder fed truncated/corrupt frames.
+  echo "==== AddressSanitizer dataplane tier (ctest -L dataplane) ===="
+  (cd build-asan && ctest --output-on-failure -L dataplane)
 fi
 
 echo "==== all checks passed ===="

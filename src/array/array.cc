@@ -107,45 +107,60 @@ Result<Array> Array::Create(std::vector<Dimension> dims,
       }
     }
   }
+  auto rep = std::make_shared<Rep>();
+  rep->dims = std::move(dims);
+  rep->attrs = std::move(attrs);
   Array a;
-  a.dims_ = std::move(dims);
-  a.attrs_ = std::move(attrs);
+  a.rep_ = common::CowPtr<Rep>(std::move(rep));
   return a;
 }
 
+Array& Array::Thaw() {
+  rep_.Mutable();
+  return *this;
+}
+
+int64_t Array::ByteSize() const {
+  const int64_t cells = static_cast<int64_t>(NumChunks()) * ChunkVolume();
+  return cells * static_cast<int64_t>(num_attrs()) * 8 + cells / 8;
+}
+
 Result<size_t> Array::AttrIndex(const std::string& name) const {
-  for (size_t i = 0; i < attrs_.size(); ++i) {
-    if (attrs_[i] == name) return i;
+  const std::vector<std::string>& attr_names = attrs();
+  for (size_t i = 0; i < attr_names.size(); ++i) {
+    if (attr_names[i] == name) return i;
   }
   return Status::NotFound("no attribute named " + name);
 }
 
 Result<size_t> Array::DimIndex(const std::string& name) const {
-  for (size_t i = 0; i < dims_.size(); ++i) {
-    if (dims_[i].name == name) return i;
+  const std::vector<Dimension>& ds = dims();
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds[i].name == name) return i;
   }
   return Status::NotFound("no dimension named " + name);
 }
 
 int64_t Array::LogicalSize() const {
   int64_t size = 1;
-  for (const Dimension& d : dims_) size *= d.length;
+  for (const Dimension& d : dims()) size *= d.length;
   return size;
 }
 
 Status Array::CheckCoords(const Coordinates& coords) const {
-  if (coords.size() != dims_.size()) {
-    return Status::InvalidArgument("expected " + std::to_string(dims_.size()) +
+  const std::vector<Dimension>& ds = dims();
+  if (coords.size() != ds.size()) {
+    return Status::InvalidArgument("expected " + std::to_string(ds.size()) +
                                    " coordinates, got " +
                                    std::to_string(coords.size()));
   }
   for (size_t i = 0; i < coords.size(); ++i) {
-    if (coords[i] < dims_[i].start ||
-        coords[i] >= dims_[i].start + dims_[i].length) {
+    if (coords[i] < ds[i].start ||
+        coords[i] >= ds[i].start + ds[i].length) {
       return Status::OutOfRange("coordinate " + std::to_string(coords[i]) +
-                                " outside dimension '" + dims_[i].name + "' [" +
-                                std::to_string(dims_[i].start) + ", " +
-                                std::to_string(dims_[i].start + dims_[i].length) +
+                                " outside dimension '" + ds[i].name + "' [" +
+                                std::to_string(ds[i].start) + ", " +
+                                std::to_string(ds[i].start + ds[i].length) +
                                 ")");
     }
   }
@@ -153,18 +168,20 @@ Status Array::CheckCoords(const Coordinates& coords) const {
 }
 
 Coordinates Array::ChunkKeyFor(const Coordinates& coords) const {
+  const std::vector<Dimension>& ds = dims();
   Coordinates key(coords.size());
   for (size_t i = 0; i < coords.size(); ++i) {
-    key[i] = (coords[i] - dims_[i].start) / dims_[i].chunk_length;
+    key[i] = (coords[i] - ds[i].start) / ds[i].chunk_length;
   }
   return key;
 }
 
 size_t Array::OffsetInChunk(const Coordinates& coords, const Coordinates& key) const {
+  const std::vector<Dimension>& ds = dims();
   size_t offset = 0;
   for (size_t i = 0; i < coords.size(); ++i) {
-    int64_t within = (coords[i] - dims_[i].start) - key[i] * dims_[i].chunk_length;
-    offset = offset * static_cast<size_t>(dims_[i].chunk_length) +
+    int64_t within = (coords[i] - ds[i].start) - key[i] * ds[i].chunk_length;
+    offset = offset * static_cast<size_t>(ds[i].chunk_length) +
              static_cast<size_t>(within);
   }
   return offset;
@@ -172,50 +189,54 @@ size_t Array::OffsetInChunk(const Coordinates& coords, const Coordinates& key) c
 
 int64_t Array::ChunkVolume() const {
   int64_t v = 1;
-  for (const Dimension& d : dims_) v *= d.chunk_length;
+  for (const Dimension& d : dims()) v *= d.chunk_length;
   return v;
 }
 
-Array::Chunk& Array::GetOrCreateChunk(const Coordinates& key) {
-  auto it = chunks_.find(key);
-  if (it != chunks_.end()) return it->second;
-  Chunk chunk;
+Array::Chunk* Array::GetOrCreateChunk(Rep* rep, const Coordinates& key) {
+  auto it = rep->chunks.find(key);
+  if (it != rep->chunks.end()) return it->second.Mutable();
+  auto chunk = std::make_shared<Chunk>();
   const size_t volume = static_cast<size_t>(ChunkVolume());
-  chunk.attr_data.assign(attrs_.size(), std::vector<double>(volume, 0.0));
-  chunk.filled.assign(volume, false);
-  return chunks_.emplace(key, std::move(chunk)).first->second;
+  chunk->attr_data.assign(rep->attrs.size(), std::vector<double>(volume, 0.0));
+  chunk->filled.assign(volume, false);
+  auto inserted =
+      rep->chunks.emplace(key, common::CowPtr<Chunk>(std::move(chunk)));
+  return inserted.first->second.Mutable();
 }
 
 Status Array::Set(const Coordinates& coords, const std::vector<double>& values) {
   BIGDAWG_RETURN_NOT_OK(CheckCoords(coords));
-  if (values.size() != attrs_.size()) {
-    return Status::InvalidArgument("expected " + std::to_string(attrs_.size()) +
+  if (values.size() != num_attrs()) {
+    return Status::InvalidArgument("expected " + std::to_string(num_attrs()) +
                                    " attribute values, got " +
                                    std::to_string(values.size()));
   }
   Coordinates key = ChunkKeyFor(coords);
-  Chunk& chunk = GetOrCreateChunk(key);
   size_t offset = OffsetInChunk(coords, key);
-  for (size_t a = 0; a < values.size(); ++a) chunk.attr_data[a][offset] = values[a];
-  if (!chunk.filled[offset]) {
-    chunk.filled[offset] = true;
-    ++chunk.filled_count;
-    ++non_empty_;
+  Rep* rep = rep_.Mutable();
+  Chunk* chunk = GetOrCreateChunk(rep, key);
+  for (size_t a = 0; a < values.size(); ++a) chunk->attr_data[a][offset] = values[a];
+  if (!chunk->filled[offset]) {
+    chunk->filled[offset] = true;
+    ++chunk->filled_count;
+    ++rep->non_empty;
   }
   return Status::OK();
 }
 
 Status Array::SetAttr(const Coordinates& coords, size_t attr, double value) {
   BIGDAWG_RETURN_NOT_OK(CheckCoords(coords));
-  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  if (attr >= num_attrs()) return Status::OutOfRange("attribute index");
   Coordinates key = ChunkKeyFor(coords);
-  Chunk& chunk = GetOrCreateChunk(key);
   size_t offset = OffsetInChunk(coords, key);
-  chunk.attr_data[attr][offset] = value;
-  if (!chunk.filled[offset]) {
-    chunk.filled[offset] = true;
-    ++chunk.filled_count;
-    ++non_empty_;
+  Rep* rep = rep_.Mutable();
+  Chunk* chunk = GetOrCreateChunk(rep, key);
+  chunk->attr_data[attr][offset] = value;
+  if (!chunk->filled[offset]) {
+    chunk->filled[offset] = true;
+    ++chunk->filled_count;
+    ++rep->non_empty;
   }
   return Status::OK();
 }
@@ -223,23 +244,27 @@ Status Array::SetAttr(const Coordinates& coords, size_t attr, double value) {
 Result<std::vector<double>> Array::Get(const Coordinates& coords) const {
   BIGDAWG_RETURN_NOT_OK(CheckCoords(coords));
   Coordinates key = ChunkKeyFor(coords);
-  auto it = chunks_.find(key);
-  if (it == chunks_.end()) return Status::NotFound("empty cell");
+  const Rep& rep = *rep_;
+  auto it = rep.chunks.find(key);
+  if (it == rep.chunks.end()) return Status::NotFound("empty cell");
+  const Chunk& chunk = *it->second;
   size_t offset = OffsetInChunk(coords, key);
-  if (!it->second.filled[offset]) return Status::NotFound("empty cell");
-  std::vector<double> out(attrs_.size());
-  for (size_t a = 0; a < attrs_.size(); ++a) out[a] = it->second.attr_data[a][offset];
+  if (!chunk.filled[offset]) return Status::NotFound("empty cell");
+  std::vector<double> out(num_attrs());
+  for (size_t a = 0; a < out.size(); ++a) out[a] = chunk.attr_data[a][offset];
   return out;
 }
 
 void Array::Scan(const std::function<bool(const Coordinates&,
                                           const std::vector<double>&)>& fn) const {
+  const Rep& rep = *rep_;
   // Deterministic order: sort chunk keys.
   std::map<Coordinates, const Chunk*> ordered;
-  for (const auto& [key, chunk] : chunks_) ordered.emplace(key, &chunk);
+  for (const auto& [key, chunk] : rep.chunks) ordered.emplace(key, chunk.get());
 
-  const size_t nd = dims_.size();
-  std::vector<double> values(attrs_.size());
+  const std::vector<Dimension>& ds = rep.dims;
+  const size_t nd = ds.size();
+  std::vector<double> values(rep.attrs.size());
   Coordinates coords(nd);
   for (const auto& [key, chunk] : ordered) {
     const size_t volume = chunk->filled.size();
@@ -248,46 +273,47 @@ void Array::Scan(const std::function<bool(const Coordinates&,
       // Decode offset -> coordinates (row-major within chunk).
       size_t rem = offset;
       for (size_t i = nd; i-- > 0;) {
-        int64_t cl = dims_[i].chunk_length;
-        coords[i] = dims_[i].start + key[i] * cl + static_cast<int64_t>(rem % cl);
+        int64_t cl = ds[i].chunk_length;
+        coords[i] = ds[i].start + key[i] * cl + static_cast<int64_t>(rem % cl);
         rem /= static_cast<size_t>(cl);
       }
       // Skip cells beyond the array box (partial edge chunks).
       bool in_box = true;
       for (size_t i = 0; i < nd; ++i) {
-        if (coords[i] >= dims_[i].start + dims_[i].length) {
+        if (coords[i] >= ds[i].start + ds[i].length) {
           in_box = false;
           break;
         }
       }
       if (!in_box) continue;
-      for (size_t a = 0; a < attrs_.size(); ++a) values[a] = chunk->attr_data[a][offset];
+      for (size_t a = 0; a < values.size(); ++a) values[a] = chunk->attr_data[a][offset];
       if (!fn(coords, values)) return;
     }
   }
 }
 
 Result<Array> Array::Subarray(const Coordinates& lo, const Coordinates& hi) const {
-  if (lo.size() != dims_.size() || hi.size() != dims_.size()) {
+  const std::vector<Dimension>& ds = dims();
+  if (lo.size() != ds.size() || hi.size() != ds.size()) {
     return Status::InvalidArgument("subarray bounds must match dimensionality");
   }
-  for (size_t i = 0; i < dims_.size(); ++i) {
+  for (size_t i = 0; i < ds.size(); ++i) {
     if (lo[i] > hi[i]) {
       return Status::InvalidArgument("subarray lo > hi on dimension " +
-                                     dims_[i].name);
+                                     ds[i].name);
     }
   }
-  std::vector<Dimension> new_dims = dims_;
-  for (size_t i = 0; i < dims_.size(); ++i) {
-    int64_t clamped_lo = std::max(lo[i], dims_[i].start);
-    int64_t clamped_hi = std::min(hi[i], dims_[i].start + dims_[i].length - 1);
+  std::vector<Dimension> new_dims = ds;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    int64_t clamped_lo = std::max(lo[i], ds[i].start);
+    int64_t clamped_hi = std::min(hi[i], ds[i].start + ds[i].length - 1);
     new_dims[i].start = clamped_lo;
     new_dims[i].length = std::max<int64_t>(0, clamped_hi - clamped_lo + 1);
     if (new_dims[i].length == 0) {
-      return Status::InvalidArgument("empty subarray on dimension " + dims_[i].name);
+      return Status::InvalidArgument("empty subarray on dimension " + ds[i].name);
     }
   }
-  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(new_dims, attrs_));
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(new_dims, attrs()));
   Status st = Status::OK();
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
     for (size_t i = 0; i < coords.size(); ++i) {
@@ -305,7 +331,7 @@ Result<Array> Array::Subarray(const Coordinates& lo, const Coordinates& hi) cons
 
 Result<Array> Array::Filter(
     const std::function<bool(const std::vector<double>&)>& pred) const {
-  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims_, attrs_));
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims(), attrs()));
   Status st = Status::OK();
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
     if (pred(values)) {
@@ -321,14 +347,14 @@ Result<Array> Array::Filter(
 Result<Array> Array::Apply(
     const std::string& new_attr,
     const std::function<double(const std::vector<double>&)>& fn) const {
-  std::vector<std::string> attrs = attrs_;
-  for (const std::string& a : attrs) {
+  std::vector<std::string> new_attrs = attrs();
+  for (const std::string& a : new_attrs) {
     if (a == new_attr) {
       return Status::AlreadyExists("attribute already exists: " + new_attr);
     }
   }
-  attrs.push_back(new_attr);
-  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims_, std::move(attrs)));
+  new_attrs.push_back(new_attr);
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims(), std::move(new_attrs)));
   Status st = Status::OK();
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
     std::vector<double> extended = values;
@@ -347,7 +373,7 @@ Result<Array> Array::ProjectAttrs(const std::vector<std::string>& attrs) const {
     BIGDAWG_ASSIGN_OR_RETURN(size_t idx, AttrIndex(a));
     indices.push_back(idx);
   }
-  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims_, attrs));
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(dims(), attrs));
   Status st = Status::OK();
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
     std::vector<double> projected;
@@ -361,7 +387,7 @@ Result<Array> Array::ProjectAttrs(const std::vector<std::string>& attrs) const {
 }
 
 Result<double> Array::Aggregate(AggFunc func, size_t attr) const {
-  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  if (attr >= num_attrs()) return Status::OutOfRange("attribute index");
   AggState state;
   Scan([&](const Coordinates&, const std::vector<double>& values) {
     state.Update(values[attr]);
@@ -372,8 +398,8 @@ Result<double> Array::Aggregate(AggFunc func, size_t attr) const {
 
 Result<std::vector<std::pair<int64_t, double>>> Array::AggregateBy(
     AggFunc func, size_t attr, size_t keep_dim) const {
-  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
-  if (keep_dim >= dims_.size()) return Status::OutOfRange("dimension index");
+  if (attr >= num_attrs()) return Status::OutOfRange("attribute index");
+  if (keep_dim >= num_dims()) return Status::OutOfRange("dimension index");
   std::map<int64_t, AggState> groups;
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
     groups[coords[keep_dim]].Update(values[attr]);
@@ -390,16 +416,16 @@ Result<std::vector<std::pair<int64_t, double>>> Array::AggregateBy(
 
 Result<Array> Array::WindowAggregate(AggFunc func, size_t attr,
                                      int64_t radius) const {
-  if (dims_.size() != 1) {
+  if (num_dims() != 1) {
     return Status::FailedPrecondition("window aggregate requires a 1-D array");
   }
-  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  if (attr >= num_attrs()) return Status::OutOfRange("attribute index");
   if (radius < 0) return Status::InvalidArgument("radius must be >= 0");
   BIGDAWG_ASSIGN_OR_RETURN(std::vector<double> data, ToVector(attr));
-  const Dimension& d = dims_[0];
+  const Dimension& d = dims()[0];
   BIGDAWG_ASSIGN_OR_RETURN(
       Array out, Create({Dimension(d.name, d.start, d.length, d.chunk_length)},
-                        {std::string(AggFuncToString(func)) + "_" + attrs_[attr]}));
+                        {std::string(AggFuncToString(func)) + "_" + attrs()[attr]}));
   const int64_t n = d.length;
   for (int64_t i = 0; i < n; ++i) {
     AggState state;
@@ -414,29 +440,31 @@ Result<Array> Array::WindowAggregate(AggFunc func, size_t attr,
 }
 
 Result<std::vector<std::vector<double>>> Array::ToMatrix(size_t attr) const {
-  if (dims_.size() != 2) {
+  if (num_dims() != 2) {
     return Status::FailedPrecondition("ToMatrix requires a 2-D array");
   }
-  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
+  if (attr >= num_attrs()) return Status::OutOfRange("attribute index");
+  const std::vector<Dimension>& ds = dims();
   std::vector<std::vector<double>> m(
-      static_cast<size_t>(dims_[0].length),
-      std::vector<double>(static_cast<size_t>(dims_[1].length), 0.0));
+      static_cast<size_t>(ds[0].length),
+      std::vector<double>(static_cast<size_t>(ds[1].length), 0.0));
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
-    m[static_cast<size_t>(coords[0] - dims_[0].start)]
-     [static_cast<size_t>(coords[1] - dims_[1].start)] = values[attr];
+    m[static_cast<size_t>(coords[0] - ds[0].start)]
+     [static_cast<size_t>(coords[1] - ds[1].start)] = values[attr];
     return true;
   });
   return m;
 }
 
 Result<std::vector<double>> Array::ToVector(size_t attr) const {
-  if (dims_.size() != 1) {
+  if (num_dims() != 1) {
     return Status::FailedPrecondition("ToVector requires a 1-D array");
   }
-  if (attr >= attrs_.size()) return Status::OutOfRange("attribute index");
-  std::vector<double> v(static_cast<size_t>(dims_[0].length), 0.0);
+  if (attr >= num_attrs()) return Status::OutOfRange("attribute index");
+  const Dimension& d = dims()[0];
+  std::vector<double> v(static_cast<size_t>(d.length), 0.0);
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
-    v[static_cast<size_t>(coords[0] - dims_[0].start)] = values[attr];
+    v[static_cast<size_t>(coords[0] - d.start)] = values[attr];
     return true;
   });
   return v;
@@ -477,13 +505,13 @@ Result<Array> Array::FromMatrix(const std::vector<std::vector<double>>& m,
 }
 
 Result<Array> Array::Matmul(const Array& other) const {
-  if (dims_.size() != 2 || other.dims_.size() != 2) {
+  if (num_dims() != 2 || other.num_dims() != 2) {
     return Status::FailedPrecondition("matmul requires 2-D arrays");
   }
-  if (dims_[1].length != other.dims_[0].length) {
+  if (dims()[1].length != other.dims()[0].length) {
     return Status::InvalidArgument(
-        "inner dimensions differ: " + std::to_string(dims_[1].length) + " vs " +
-        std::to_string(other.dims_[0].length));
+        "inner dimensions differ: " + std::to_string(dims()[1].length) + " vs " +
+        std::to_string(other.dims()[0].length));
   }
   BIGDAWG_ASSIGN_OR_RETURN(auto a, ToMatrix(0));
   BIGDAWG_ASSIGN_OR_RETURN(auto b, other.ToMatrix(0));
@@ -501,15 +529,15 @@ Result<Array> Array::Matmul(const Array& other) const {
       for (size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
     }
   }
-  return FromMatrix(c, attrs_[0]);
+  return FromMatrix(c, attrs()[0]);
 }
 
 Result<Array> Array::Transpose() const {
-  if (dims_.size() != 2) {
+  if (num_dims() != 2) {
     return Status::FailedPrecondition("transpose requires a 2-D array");
   }
-  std::vector<Dimension> new_dims = {dims_[1], dims_[0]};
-  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(new_dims, attrs_));
+  std::vector<Dimension> new_dims = {dims()[1], dims()[0]};
+  BIGDAWG_ASSIGN_OR_RETURN(Array out, Create(new_dims, attrs()));
   Status st = Status::OK();
   Scan([&](const Coordinates& coords, const std::vector<double>& values) {
     st = out.Set({coords[1], coords[0]}, values);

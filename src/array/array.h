@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/result.h"
 
 namespace bigdawg::array {
@@ -44,6 +46,14 @@ const char* AggFuncToString(AggFunc f);
 /// array data (waveforms, matrices) lives here while string payloads live
 /// in the relational and key-value engines. Cells are "empty" until
 /// written, so sparse arrays cost memory proportional to occupied chunks.
+///
+/// Storage is copy-on-write at two levels. An Array is a handle over a
+/// refcounted block (dims, attrs, chunk map); copies, engine snapshot
+/// reads, and cast-cache hits are pointer swaps. Mutating a shared
+/// handle clones only the block's chunk *map* (O(chunks) pointer
+/// copies), and each chunk is itself refcounted: a cell write clones
+/// just the one chunk it touches, leaving every other chunk shared with
+/// the original.
 class Array {
  public:
   Array() = default;
@@ -53,10 +63,10 @@ class Array {
   static Result<Array> Create(std::vector<Dimension> dims,
                               std::vector<std::string> attrs);
 
-  const std::vector<Dimension>& dims() const { return dims_; }
-  const std::vector<std::string>& attrs() const { return attrs_; }
-  size_t num_dims() const { return dims_.size(); }
-  size_t num_attrs() const { return attrs_.size(); }
+  const std::vector<Dimension>& dims() const { return rep_->dims; }
+  const std::vector<std::string>& attrs() const { return rep_->attrs; }
+  size_t num_dims() const { return rep_->dims.size(); }
+  size_t num_attrs() const { return rep_->attrs.size(); }
 
   Result<size_t> AttrIndex(const std::string& name) const;
   Result<size_t> DimIndex(const std::string& name) const;
@@ -64,9 +74,24 @@ class Array {
   /// Total logical cells (product of dimension lengths).
   int64_t LogicalSize() const;
   /// Number of written (non-empty) cells.
-  int64_t NonEmptyCount() const { return non_empty_; }
+  int64_t NonEmptyCount() const { return rep_->non_empty; }
   /// Number of materialized chunks.
-  size_t NumChunks() const { return chunks_.size(); }
+  size_t NumChunks() const { return rep_->chunks.size(); }
+
+  /// O(1) resident size carried on the block: allocated chunk storage
+  /// (chunks x chunk volume x attributes x 8 bytes) plus the filled
+  /// bitmap. The cast cache's byte accounting.
+  int64_t ByteSize() const;
+
+  /// True when both handles alias the same block (a zero-copy share).
+  bool SharesStorageWith(const Array& other) const {
+    return rep_.SharesWith(other.rep_);
+  }
+  /// True when no other handle references this block.
+  bool UniquelyOwned() const { return rep_.Unique(); }
+  /// Ensures exclusive ownership of the block (chunk payloads stay
+  /// shared until individually written).
+  Array& Thaw();
 
   /// Writes all attributes of one cell; OutOfRange outside the array box.
   Status Set(const Coordinates& coords, const std::vector<double>& values);
@@ -132,7 +157,7 @@ class Array {
   Result<Array> Transpose() const;
 
  private:
-  struct Chunk {
+  struct Chunk : common::CowCount {
     // Per attribute, chunk-volume values; parallel bitmap of filled cells.
     std::vector<std::vector<double>> attr_data;
     std::vector<bool> filled;
@@ -150,16 +175,24 @@ class Array {
     }
   };
 
+  /// The refcounted block. Copying it (a thaw of a shared handle)
+  /// copies chunk *handles*, not chunk payloads.
+  struct Rep : common::CowCount {
+    std::vector<Dimension> dims;
+    std::vector<std::string> attrs;
+    std::unordered_map<Coordinates, common::CowPtr<Chunk>, CoordsHash> chunks;
+    int64_t non_empty = 0;
+  };
+
   Status CheckCoords(const Coordinates& coords) const;
   Coordinates ChunkKeyFor(const Coordinates& coords) const;
   size_t OffsetInChunk(const Coordinates& coords, const Coordinates& key) const;
   int64_t ChunkVolume() const;
-  Chunk& GetOrCreateChunk(const Coordinates& key);
+  /// Writable chunk at `key` in `rep` (which must be exclusively owned),
+  /// thawing a shared chunk or creating an empty one.
+  Chunk* GetOrCreateChunk(Rep* rep, const Coordinates& key);
 
-  std::vector<Dimension> dims_;
-  std::vector<std::string> attrs_;
-  std::unordered_map<Coordinates, Chunk, CoordsHash> chunks_;
-  int64_t non_empty_ = 0;
+  common::CowPtr<Rep> rep_;
 };
 
 }  // namespace bigdawg::array

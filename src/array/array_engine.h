@@ -45,7 +45,8 @@ class ArrayEngine {
   Status PutArray(const std::string& name, Array array);
   Status RemoveArray(const std::string& name);
 
-  /// Snapshot copy.
+  /// O(1) zero-copy snapshot: shares the stored array's chunk block;
+  /// later writes on either side copy-on-write.
   Result<Array> GetArray(const std::string& name) const;
   bool HasArray(const std::string& name) const;
   std::vector<std::string> ListArrays() const;

@@ -1,0 +1,24 @@
+#include "common/columnar.h"
+
+namespace bigdawg::common {
+
+ColumnSlice BuildColumnSlice(const Schema& schema, const std::vector<Row>& rows,
+                             size_t idx) {
+  ColumnSlice slice;
+  slice.name = schema.field(idx).name;
+  slice.declared_type = schema.field(idx).type;
+  slice.values.reserve(rows.size());
+  slice.null_bitmap.assign((rows.size() + 63) / 64, 0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const Value& v = rows[r][idx];
+    slice.values.push_back(v);
+    if (v.is_null()) {
+      slice.null_bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+      ++slice.null_count;
+    }
+    slice.byte_size += ValueByteSize(v);
+  }
+  return slice;
+}
+
+}  // namespace bigdawg::common

@@ -1,0 +1,89 @@
+#ifndef BIGDAWG_COMMON_COLUMNAR_H_
+#define BIGDAWG_COMMON_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace bigdawg::common {
+
+/// \brief Wire/resident size of one cell: 1 byte per NULL, string length
+/// for strings, 8 bytes per scalar. The single formula behind block byte
+/// metadata, cast-cache accounting, and CAST trace span sizes.
+inline int64_t ValueByteSize(const Value& v) {
+  if (v.is_null()) return 1;
+  if (v.type() == DataType::kString) {
+    return static_cast<int64_t>(v.string_unchecked().size());
+  }
+  return 8;
+}
+
+/// \brief One immutable column of a block: contiguous values plus a null
+/// bitmap. Built once per (block, column) and shared by reference — every
+/// later read of the same column is a pointer swap, not a copy.
+struct ColumnSlice {
+  std::string name;
+  DataType declared_type = DataType::kNull;
+  /// Contiguous per-row values (nulls included, so indices line up with
+  /// row numbers).
+  std::vector<Value> values;
+  /// Bit i set <=> values[i] is null; 64 rows per word.
+  std::vector<uint64_t> null_bitmap;
+  int64_t null_count = 0;
+  /// Sum of ValueByteSize over the column.
+  int64_t byte_size = 0;
+
+  bool IsNull(size_t i) const {
+    return (null_bitmap[i >> 6] >> (i & 63)) & 1u;
+  }
+};
+
+/// \brief Builds the slice for column `idx` of row-major storage.
+ColumnSlice BuildColumnSlice(const Schema& schema, const std::vector<Row>& rows,
+                             size_t idx);
+
+/// \brief A cheap, shared view of one column. Copying a view copies one
+/// shared_ptr; the underlying slice lives as long as any view (or the
+/// owning block) does, so views stay valid after the source table handle
+/// is destroyed or reassigned.
+class ColumnView {
+ public:
+  ColumnView() = default;
+  explicit ColumnView(std::shared_ptr<const ColumnSlice> slice)
+      : slice_(std::move(slice)) {}
+
+  bool valid() const { return slice_ != nullptr; }
+  size_t size() const { return slice_ == nullptr ? 0 : slice_->values.size(); }
+  bool empty() const { return size() == 0; }
+
+  const Value& operator[](size_t i) const { return slice_->values[i]; }
+  bool IsNull(size_t i) const { return slice_->IsNull(i); }
+  int64_t null_count() const { return slice_ == nullptr ? 0 : slice_->null_count; }
+  int64_t byte_size() const { return slice_ == nullptr ? 0 : slice_->byte_size; }
+  const std::string& name() const { return slice_->name; }
+  DataType declared_type() const { return slice_->declared_type; }
+
+  /// Contiguous value storage (for iteration / bulk feeds).
+  const std::vector<Value>& values() const {
+    static const std::vector<Value> kEmpty;
+    return slice_ == nullptr ? kEmpty : slice_->values;
+  }
+  std::vector<Value>::const_iterator begin() const { return values().begin(); }
+  std::vector<Value>::const_iterator end() const { return values().end(); }
+
+  /// Materializing escape hatch for callers that need an owned vector.
+  std::vector<Value> ToVector() const { return values(); }
+
+  const std::shared_ptr<const ColumnSlice>& slice() const { return slice_; }
+
+ private:
+  std::shared_ptr<const ColumnSlice> slice_;
+};
+
+}  // namespace bigdawg::common
+
+#endif  // BIGDAWG_COMMON_COLUMNAR_H_

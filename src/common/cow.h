@@ -1,0 +1,125 @@
+#ifndef BIGDAWG_COMMON_COW_H_
+#define BIGDAWG_COMMON_COW_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace bigdawg::common {
+
+/// \brief Mixin carried by every copy-on-write representation ("block"):
+/// an explicit count of the CowPtr handles that reference it.
+///
+/// Why not shared_ptr::use_count()? Its load is relaxed, so observing
+/// count == 1 does not happen-after the other owner's last read — a
+/// mutation decided on it races with that read (and TSan flags it). Here
+/// handle destruction decrements with release and the thaw decision loads
+/// with acquire, so "I am the only owner" synchronizes with every former
+/// owner's final access before any in-place write.
+///
+/// Copying a rep yields a fresh count of zero: the clone has no handles
+/// yet; whoever adopts it registers itself.
+struct CowCount {
+  mutable std::atomic<long> cow_owners{0};
+
+  CowCount() = default;
+  CowCount(const CowCount&) : cow_owners(0) {}
+  CowCount& operator=(const CowCount&) { return *this; }
+};
+
+/// \brief A handle to an immutable, refcounted representation with
+/// copy-on-write mutation.
+///
+/// Copies and moves are pointer swaps (one atomic bump). `Mutable()` is
+/// the only write path: it clones the rep first iff any other handle —
+/// or the pinned shared-empty singleton — still references it, so data
+/// reachable from two handles is never written through either.
+///
+/// Default-constructed and moved-from handles reference a static empty
+/// rep whose count is pinned above one; they are fully usable (reads see
+/// an empty value) and mutating them clones, never corrupts the shared
+/// singleton. The rep type must derive from CowCount and be
+/// default- and copy-constructible.
+template <typename Rep>
+class CowPtr {
+ public:
+  CowPtr() : rep_(EmptyRep()) { Retain(); }
+  /// Adopts a freshly built rep (no other handles may exist for it).
+  explicit CowPtr(std::shared_ptr<Rep> rep)
+      : rep_(rep == nullptr ? EmptyRep() : std::move(rep)) {
+    Retain();
+  }
+  CowPtr(const CowPtr& o) : rep_(o.rep_) { Retain(); }
+  CowPtr(CowPtr&& o) noexcept : rep_(std::move(o.rep_)) {
+    o.rep_ = EmptyRep();
+    o.Retain();
+  }
+  CowPtr& operator=(const CowPtr& o) {
+    if (rep_ != o.rep_) {
+      ReleaseRef();
+      rep_ = o.rep_;
+      Retain();
+    }
+    return *this;
+  }
+  CowPtr& operator=(CowPtr&& o) noexcept {
+    if (this != &o) {
+      ReleaseRef();
+      rep_ = std::move(o.rep_);
+      o.rep_ = EmptyRep();
+      o.Retain();
+    }
+    return *this;
+  }
+  ~CowPtr() { ReleaseRef(); }
+
+  const Rep& operator*() const { return *rep_; }
+  const Rep* operator->() const { return rep_.get(); }
+  const Rep* get() const { return rep_.get(); }
+
+  /// True when both handles reference the same rep (zero-copy aliases).
+  bool SharesWith(const CowPtr& o) const { return rep_ == o.rep_; }
+
+  /// True when no other handle references the rep — mutation through
+  /// this handle cannot be observed elsewhere.
+  bool Unique() const {
+    return rep_->cow_owners.load(std::memory_order_acquire) == 1;
+  }
+
+  /// The write path: returns a rep this handle exclusively owns, cloning
+  /// the current one first when it is shared.
+  Rep* Mutable() {
+    if (!Unique()) {
+      std::shared_ptr<Rep> fresh = std::make_shared<Rep>(*rep_);
+      fresh->cow_owners.store(1, std::memory_order_relaxed);
+      ReleaseRef();
+      rep_ = std::move(fresh);
+    }
+    return rep_.get();
+  }
+
+ private:
+  void Retain() { rep_->cow_owners.fetch_add(1, std::memory_order_relaxed); }
+  void ReleaseRef() {
+    if (rep_ != nullptr) {
+      rep_->cow_owners.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  static const std::shared_ptr<Rep>& EmptyRep() {
+    // The singleton holds one pinned reference, so any live handle sees
+    // a count >= 2 and Mutable() always clones.
+    static const std::shared_ptr<Rep>* kEmpty = [] {
+      auto rep = std::make_shared<Rep>();
+      rep->cow_owners.store(1, std::memory_order_relaxed);
+      return new std::shared_ptr<Rep>(std::move(rep));
+    }();
+    return *kEmpty;
+  }
+
+  std::shared_ptr<Rep> rep_;
+};
+
+}  // namespace bigdawg::common
+
+#endif  // BIGDAWG_COMMON_COW_H_

@@ -343,7 +343,7 @@ Result<relational::Table> BigDawg::FetchAsTableOnce(const std::string& object) {
             BIGDAWG_ASSIGN_OR_RETURN(
                 relational::Table t,
                 FetchTableRouted(object, loc, &shim_span, trace));
-            const int64_t size = EstimateTableBytes(t);
+            const int64_t size = t.ByteSize();
             return std::make_pair(
                 std::make_shared<const relational::Table>(std::move(t)), size);
           },
@@ -468,7 +468,7 @@ Result<array::Array> BigDawg::FetchAsArrayOnce(const std::string& object) {
                     std::pair<std::shared_ptr<const array::Array>, int64_t>> {
             BIGDAWG_ASSIGN_OR_RETURN(
                 array::Array a, FetchArrayRouted(object, loc, &shim_span, trace));
-            const int64_t size = EstimateArrayBytes(a);
+            const int64_t size = a.ByteSize();
             return std::make_pair(
                 std::make_shared<const array::Array>(std::move(a)), size);
           },
@@ -574,7 +574,7 @@ Result<d4m::AssocArray> BigDawg::FetchAsAssocOnce(const std::string& object) {
                     std::pair<std::shared_ptr<const d4m::AssocArray>, int64_t>> {
             BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
                                      FetchAssocRouted(object, loc));
-            const int64_t size = EstimateAssocBytes(a);
+            const int64_t size = a.ByteSize();
             return std::make_pair(
                 std::make_shared<const d4m::AssocArray>(std::move(a)), size);
           },
@@ -821,7 +821,7 @@ Result<relational::Table> BigDawg::FetchTableFragment(const std::string& object,
                     std::pair<std::shared_ptr<const relational::Table>, int64_t>> {
             BIGDAWG_ASSIGN_OR_RETURN(
                 relational::Table t, shard_runtime_.Relational(shard)->GetTable(frag));
-            const int64_t size = EstimateTableBytes(t);
+            const int64_t size = t.ByteSize();
             return std::make_pair(
                 std::make_shared<const relational::Table>(std::move(t)), size);
           },
@@ -861,7 +861,7 @@ Result<array::Array> BigDawg::FetchArrayFragment(const std::string& object,
                     std::pair<std::shared_ptr<const array::Array>, int64_t>> {
             BIGDAWG_ASSIGN_OR_RETURN(array::Array a,
                                      shard_runtime_.ArrayAt(shard)->GetArray(frag));
-            const int64_t size = EstimateArrayBytes(a);
+            const int64_t size = a.ByteSize();
             return std::make_pair(
                 std::make_shared<const array::Array>(std::move(a)), size);
           },
@@ -899,7 +899,7 @@ Result<d4m::AssocArray> BigDawg::FetchAssocFragment(const std::string& object,
                     std::pair<std::shared_ptr<const d4m::AssocArray>, int64_t>> {
             BIGDAWG_ASSIGN_OR_RETURN(d4m::AssocArray a,
                                      shard_runtime_.AssocAt(shard)->Get(frag));
-            const int64_t size = EstimateAssocBytes(a);
+            const int64_t size = a.ByteSize();
             return std::make_pair(
                 std::make_shared<const d4m::AssocArray>(std::move(a)), size);
           },
@@ -975,7 +975,7 @@ Result<array::Array> BigDawg::GatherShardedArray(const std::string& object,
       return Status::NotFound("placement of " + object +
                               " changed during gather");
     }
-    return MergeArrayFragments(*frags);
+    return MergeArrayFragments(std::move(*frags));
   }
   if (trace != nullptr) span.Tag("error", frags.status().message());
   if (frags.status().code() != StatusCode::kUnavailable) return frags.status();
@@ -1010,7 +1010,7 @@ Result<d4m::AssocArray> BigDawg::GatherShardedAssoc(const std::string& object,
       return Status::NotFound("placement of " + object +
                               " changed during gather");
     }
-    return MergeAssocFragments(*frags);
+    return MergeAssocFragments(std::move(*frags));
   }
   if (trace != nullptr) span.Tag("error", frags.status().message());
   if (frags.status().code() != StatusCode::kUnavailable) return frags.status();

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/binary_io.h"
+#include "common/columnar.h"
 #include "common/csv.h"
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -48,40 +49,16 @@ const char* DataModelNameForEngine(const std::string& engine) {
 }
 
 int64_t EstimateTableBytes(const relational::Table& table) {
-  int64_t bytes = 0;
-  for (const Row& row : table.rows()) {
-    for (const Value& value : row) {
-      if (value.is_null()) {
-        bytes += 1;
-      } else if (value.type() == DataType::kString) {
-        bytes += static_cast<int64_t>(value.string_unchecked().size());
-      } else {
-        bytes += 8;
-      }
-    }
-  }
-  return bytes;
+  // Block-carried metadata: O(1) after the block's first measurement.
+  return table.ByteSize();
 }
 
 int64_t EstimateArrayBytes(const array::Array& array) {
-  int64_t chunk_volume = 1;
-  for (const array::Dimension& d : array.dims()) chunk_volume *= d.chunk_length;
-  const int64_t cells = static_cast<int64_t>(array.NumChunks()) * chunk_volume;
-  return cells * static_cast<int64_t>(array.num_attrs()) * 8 + cells / 8;
+  return array.ByteSize();
 }
 
 int64_t EstimateAssocBytes(const d4m::AssocArray& assoc) {
-  int64_t bytes = 0;
-  assoc.ForEach([&bytes](const std::string& row, const std::string& col,
-                         const Value& value) {
-    bytes += static_cast<int64_t>(row.size() + col.size());
-    if (value.type() == DataType::kString) {
-      bytes += static_cast<int64_t>(value.string_unchecked().size());
-    } else {
-      bytes += 8;
-    }
-  });
-  return bytes;
+  return assoc.ByteSize();
 }
 
 Result<array::Array> TableToArray(const relational::Table& table,
@@ -107,28 +84,29 @@ Result<array::Array> TableToArray(const relational::Table& table,
     return Status::FailedPrecondition("relation has no double attribute column");
   }
 
-  // Derive dimension bounds.
-  std::vector<int64_t> lo(dim_cols.size(), 0), hi(dim_cols.size(), 0);
-  bool first = true;
-  for (const Row& row : table.rows()) {
-    for (size_t d = 0; d < dim_cols.size(); ++d) {
-      const Value& v = row[dim_cols[d]];
-      if (v.is_null()) {
-        return Status::InvalidArgument("NULL in dimension column '" +
-                                       table.schema().field(dim_cols[d]).name + "'");
-      }
-      int64_t coord = v.int64_unchecked();
-      if (first) {
-        lo[d] = hi[d] = coord;
-      } else {
-        lo[d] = std::min(lo[d], coord);
-        hi[d] = std::max(hi[d], coord);
-      }
-    }
-    first = false;
-  }
-  if (first) {
+  // Columnar passes over shared slices: bounds come from one contiguous
+  // scan per dimension column, with the null bitmap checked up front.
+  const size_t n = table.num_rows();
+  if (n == 0) {
     return Status::FailedPrecondition("cannot CAST an empty relation to array");
+  }
+  std::vector<common::ColumnView> dim_views;
+  dim_views.reserve(dim_cols.size());
+  for (size_t c : dim_cols) dim_views.push_back(table.ColumnAt(c));
+  std::vector<int64_t> lo(dim_cols.size(), 0), hi(dim_cols.size(), 0);
+  for (size_t d = 0; d < dim_cols.size(); ++d) {
+    const common::ColumnView& view = dim_views[d];
+    if (view.null_count() > 0) {
+      return Status::InvalidArgument("NULL in dimension column '" +
+                                     table.schema().field(dim_cols[d]).name +
+                                     "'");
+    }
+    lo[d] = hi[d] = view[0].int64_unchecked();
+    for (size_t r = 1; r < n; ++r) {
+      int64_t coord = view[r].int64_unchecked();
+      lo[d] = std::min(lo[d], coord);
+      hi[d] = std::max(hi[d], coord);
+    }
   }
 
   std::vector<array::Dimension> dims;
@@ -141,15 +119,18 @@ Result<array::Array> TableToArray(const relational::Table& table,
 
   BIGDAWG_ASSIGN_OR_RETURN(array::Array out,
                            array::Array::Create(std::move(dims), std::move(attrs)));
+  std::vector<common::ColumnView> attr_views;
+  attr_views.reserve(attr_cols.size());
+  for (size_t c : attr_cols) attr_views.push_back(table.ColumnAt(c));
   array::Coordinates coords(dim_cols.size());
   std::vector<double> values(attr_cols.size());
-  for (const Row& row : table.rows()) {
+  for (size_t r = 0; r < n; ++r) {
     for (size_t d = 0; d < dim_cols.size(); ++d) {
-      coords[d] = row[dim_cols[d]].int64_unchecked();
+      coords[d] = dim_views[d][r].int64_unchecked();
     }
     for (size_t a = 0; a < attr_cols.size(); ++a) {
-      const Value& v = row[attr_cols[a]];
-      values[a] = v.is_null() ? 0.0 : v.double_unchecked();
+      const common::ColumnView& view = attr_views[a];
+      values[a] = view.IsNull(r) ? 0.0 : view[r].double_unchecked();
     }
     BIGDAWG_RETURN_NOT_OK(out.Set(coords, values));
   }
@@ -182,13 +163,22 @@ Result<d4m::AssocArray> TableToAssoc(const relational::Table& table) {
     return Status::FailedPrecondition(
         "CAST to associative needs a key column plus >= 1 value column");
   }
+  // Columnar pass over shared slices: one contiguous scan per column
+  // instead of a variant hop per cell of every row, and the null bitmap
+  // answers "structural zero?" without touching the value.
+  const size_t n = table.num_rows();
+  common::ColumnView keys = table.ColumnAt(0);
+  std::vector<std::string> row_keys(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (!keys.IsNull(r)) row_keys[r] = keys[r].ToString();
+  }
   d4m::AssocArray out;
-  for (const Row& row : table.rows()) {
-    if (row[0].is_null()) continue;  // no row key: skip (structural zero)
-    std::string row_key = row[0].ToString();
-    for (size_t c = 1; c < row.size(); ++c) {
-      if (row[c].is_null()) continue;
-      out.Set(row_key, table.schema().field(c).name, row[c]);
+  for (size_t c = 1; c < table.schema().num_fields(); ++c) {
+    common::ColumnView col = table.ColumnAt(c);
+    const std::string& col_key = table.schema().field(c).name;
+    for (size_t r = 0; r < n; ++r) {
+      if (keys.IsNull(r) || col.IsNull(r)) continue;
+      out.Set(row_keys[r], col_key, col[r]);
     }
   }
   return out;

@@ -27,17 +27,21 @@ const char* DataModelNameForEngine(const std::string& engine);
 /// \brief Rough wire size of a relation: 8 bytes per scalar cell, string
 /// lengths for strings, 1 byte per NULL. This is the `bytes` tag on CAST
 /// trace spans — an estimate of how much data the cast moved between
-/// engines, not an exact allocation count.
+/// engines, not an exact allocation count. Delegates to the block-carried
+/// Table::ByteSize() memo, so it is O(1) after the block's first
+/// measurement instead of an O(cells) rescan.
 int64_t EstimateTableBytes(const relational::Table& table);
 
 /// \brief Rough resident size of an array: allocated chunk storage
 /// (chunks x chunk volume x attributes x 8 bytes) plus the filled bitmap.
-/// Used by the cast cache for its byte accounting.
+/// Used by the cast cache for its byte accounting. O(1): chunk-count
+/// metadata, no cell scan.
 int64_t EstimateArrayBytes(const array::Array& array);
 
 /// \brief Rough resident size of an associative array: key lengths plus
 /// 8 bytes per numeric value, string lengths for strings. Used by the
-/// cast cache for its byte accounting.
+/// cast cache for its byte accounting. Delegates to the block-carried
+/// AssocArray::ByteSize() memo — O(1) after the first measurement.
 int64_t EstimateAssocBytes(const d4m::AssocArray& assoc);
 
 // ---------------------------------------------------------------------------

@@ -100,7 +100,11 @@ struct CastCacheStats {
 /// is N full conversions of identical data. This cache stores the
 /// converted result keyed by (object, instance id, version, target model,
 /// params) so repeated casts of unwritten data cost one map lookup and a
-/// shared_ptr copy.
+/// zero-copy handle share: Table / Array / AssocArray are copy-on-write
+/// handles over immutable refcounted blocks, so handing a hit back to the
+/// caller swaps a pointer instead of deep-copying rows or chunks, and the
+/// type system guarantees the cached block itself is never mutated — a
+/// caller's first write thaws a private clone.
 ///
 /// Single-flight: when K threads request the same uncached key, exactly
 /// one (the leader) runs the conversion while the rest block on its

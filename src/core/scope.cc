@@ -145,13 +145,13 @@ Result<std::string> BigDawg::RewriteCasts(const std::string& query,
     if (traced) {
       cast_span.Tag("to", DataModelToString(model));
       cast_span.Tag("rows", std::to_string(source.num_rows()));
-      // The O(cells) byte scan runs only when traced (the tag would be
-      // dropped otherwise), and a cache-served fetch already knows its
-      // size — reuse it rather than re-scanning the table.
+      // A cache-served fetch already knows its size; otherwise the block
+      // carries a memoized byte size, so tagging costs one scan at most
+      // ever per block (and O(1) when the fetch path already froze it).
       cast_span.Tag("bytes",
                     std::to_string(ctx->cast_cache_bytes >= 0
                                        ? ctx->cast_cache_bytes
-                                       : EstimateTableBytes(source)));
+                                       : source.ByteSize()));
       cast_span.Tag("temp", temp_name);
       if (ctx->cast_cache_outcome != nullptr) {
         cast_span.Tag("cache", ctx->cast_cache_outcome);

@@ -121,18 +121,31 @@ Result<std::vector<d4m::AssocArray>> PartitionAssoc(
 Result<relational::Table> MergeTableFragments(
     std::vector<relational::Table> fragments) {
   if (fragments.empty()) return Status::InvalidArgument("no fragments");
+  // Degenerate gather (one shard answered, or per-shard cache hits
+  // collapsed to one fragment): hand the block back untouched.
+  if (fragments.size() == 1) return std::move(fragments[0]);
   relational::Table out(fragments[0].schema());
   for (relational::Table& frag : fragments) {
-    for (Row& row : frag.mutable_rows()) {
-      out.AppendUnchecked(std::move(row));
+    if (frag.UniquelyOwned()) {
+      // Exclusive fragment (fresh fetch): move its rows out.
+      for (Row& row : frag.mutable_rows()) {
+        out.AppendUnchecked(std::move(row));
+      }
+    } else {
+      // Shared fragment (aliases a cache entry): copy rows without
+      // thawing — thawing here would deep-copy the whole block only to
+      // move it once.
+      for (const Row& row : frag.rows()) {
+        out.AppendUnchecked(row);
+      }
     }
   }
   return out;
 }
 
-Result<array::Array> MergeArrayFragments(
-    const std::vector<array::Array>& fragments) {
+Result<array::Array> MergeArrayFragments(std::vector<array::Array> fragments) {
   if (fragments.empty()) return Status::InvalidArgument("no fragments");
+  if (fragments.size() == 1) return std::move(fragments[0]);
   BIGDAWG_ASSIGN_OR_RETURN(
       array::Array out,
       array::Array::Create(fragments[0].dims(), fragments[0].attrs()));
@@ -153,8 +166,9 @@ Result<array::Array> MergeArrayFragments(
 }
 
 Result<d4m::AssocArray> MergeAssocFragments(
-    const std::vector<d4m::AssocArray>& fragments) {
+    std::vector<d4m::AssocArray> fragments) {
   if (fragments.empty()) return Status::InvalidArgument("no fragments");
+  if (fragments.size() == 1) return std::move(fragments[0]);
   d4m::AssocArray out;
   for (const d4m::AssocArray& frag : fragments) {
     frag.ForEach([&](const std::string& row, const std::string& col,

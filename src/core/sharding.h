@@ -80,16 +80,24 @@ Result<std::vector<d4m::AssocArray>> PartitionAssoc(
 /// Union of table fragments: schema from fragment 0, rows concatenated in
 /// shard order. Row order is NOT the pre-partition order (hash scatter
 /// does not remember it); consumers needing an order must sort.
+///
+/// Zero-copy fast paths: a single fragment is returned by pointer swap
+/// (the common case when per-shard cache hits collapse the gather), and
+/// a uniquely owned fragment's rows are moved, not copied. Fragments
+/// sharing storage with a cache entry are read without thawing, so the
+/// merge never deep-copies a cached block just to consume it.
 Result<relational::Table> MergeTableFragments(
     std::vector<relational::Table> fragments);
 
 /// Dimension-stitch: all fragments share identical dims/attrs, cells are
-/// disjoint, so the merge reproduces the original array exactly.
-Result<array::Array> MergeArrayFragments(const std::vector<array::Array>& fragments);
+/// disjoint, so the merge reproduces the original array exactly. A
+/// single fragment is returned by pointer swap.
+Result<array::Array> MergeArrayFragments(std::vector<array::Array> fragments);
 
-/// Assoc-merge of row-disjoint fragments; exact.
+/// Assoc-merge of row-disjoint fragments; exact. A single fragment is
+/// returned by pointer swap.
 Result<d4m::AssocArray> MergeAssocFragments(
-    const std::vector<d4m::AssocArray>& fragments);
+    std::vector<d4m::AssocArray> fragments);
 
 // ---------------------------------------------------------------------------
 // Shard runtime

@@ -14,30 +14,66 @@ AssocArray AssocArray::FromTriples(const std::vector<Triple>& triples) {
 
 std::vector<Triple> AssocArray::ToTriples() const {
   std::vector<Triple> out;
-  out.reserve(size_);
+  out.reserve(rep_->size);
   ForEach([&out](const std::string& r, const std::string& c, const Value& v) {
     out.push_back({r, c, v});
   });
   return out;
 }
 
+AssocArray::Rep* AssocArray::ThawRep() {
+  Rep* rep = rep_.Mutable();
+  rep->bytes.store(-1, std::memory_order_relaxed);
+  return rep;
+}
+
+AssocArray& AssocArray::Thaw() {
+  ThawRep();
+  return *this;
+}
+
+int64_t AssocArray::ByteSize() const {
+  const Rep& rep = *rep_;
+  int64_t b = rep.bytes.load(std::memory_order_relaxed);
+  if (b >= 0) return b;
+  b = 0;
+  for (const auto& [row, cols] : rep.cells) {
+    for (const auto& [col, value] : cols) {
+      b += static_cast<int64_t>(row.size() + col.size());
+      if (value.type() == DataType::kString) {
+        b += static_cast<int64_t>(value.string_unchecked().size());
+      } else {
+        b += 8;
+      }
+    }
+  }
+  rep.bytes.store(b, std::memory_order_relaxed);
+  return b;
+}
+
 void AssocArray::Set(const std::string& row, const std::string& col, Value value) {
   if (value.is_null()) {
-    auto row_it = cells_.find(row);
-    if (row_it == cells_.end()) return;
-    if (row_it->second.erase(col) > 0) --size_;
-    if (row_it->second.empty()) cells_.erase(row_it);
+    // Probe before thawing: erasing an absent cell must not clone a
+    // shared block.
+    auto probe = rep_->cells.find(row);
+    if (probe == rep_->cells.end() || probe->second.count(col) == 0) return;
+    Rep* rep = ThawRep();
+    auto row_it = rep->cells.find(row);
+    if (row_it->second.erase(col) > 0) --rep->size;
+    if (row_it->second.empty()) rep->cells.erase(row_it);
     return;
   }
-  auto& row_map = cells_[row];
+  Rep* rep = ThawRep();
+  auto& row_map = rep->cells[row];
   auto [it, inserted] = row_map.insert_or_assign(col, std::move(value));
   (void)it;
-  if (inserted) ++size_;
+  if (inserted) ++rep->size;
 }
 
 Result<Value> AssocArray::Get(const std::string& row, const std::string& col) const {
-  auto row_it = cells_.find(row);
-  if (row_it == cells_.end()) return Status::NotFound("no row " + row);
+  const auto& cells = rep_->cells;
+  auto row_it = cells.find(row);
+  if (row_it == cells.end()) return Status::NotFound("no row " + row);
   auto col_it = row_it->second.find(col);
   if (col_it == row_it->second.end()) {
     return Status::NotFound("no cell (" + row + ", " + col + ")");
@@ -50,15 +86,16 @@ bool AssocArray::Contains(const std::string& row, const std::string& col) const 
 }
 
 std::vector<std::string> AssocArray::RowKeys() const {
+  const auto& cells = rep_->cells;
   std::vector<std::string> out;
-  out.reserve(cells_.size());
-  for (const auto& [row, cols] : cells_) out.push_back(row);
+  out.reserve(cells.size());
+  for (const auto& [row, cols] : cells) out.push_back(row);
   return out;
 }
 
 std::vector<std::string> AssocArray::ColKeys() const {
   std::set<std::string> keys;
-  for (const auto& [row, cols] : cells_) {
+  for (const auto& [row, cols] : rep_->cells) {
     for (const auto& [col, v] : cols) keys.insert(col);
   }
   return std::vector<std::string>(keys.begin(), keys.end());
@@ -67,7 +104,7 @@ std::vector<std::string> AssocArray::ColKeys() const {
 void AssocArray::ForEach(
     const std::function<void(const std::string&, const std::string&,
                              const Value&)>& fn) const {
-  for (const auto& [row, cols] : cells_) {
+  for (const auto& [row, cols] : rep_->cells) {
     for (const auto& [col, v] : cols) fn(row, col, v);
   }
 }
@@ -118,7 +155,8 @@ AssocArray AssocArray::FilterValues(
 AssocArray AssocArray::SubRowRange(const std::string& lo,
                                    const std::string& hi) const {
   AssocArray out;
-  for (auto it = cells_.lower_bound(lo); it != cells_.end() && it->first <= hi;
+  const auto& cells = rep_->cells;
+  for (auto it = cells.lower_bound(lo); it != cells.end() && it->first <= hi;
        ++it) {
     for (const auto& [col, v] : it->second) out.Set(it->first, col, v);
   }
@@ -127,7 +165,8 @@ AssocArray AssocArray::SubRowRange(const std::string& lo,
 
 AssocArray AssocArray::SubRowPrefix(const std::string& prefix) const {
   AssocArray out;
-  for (auto it = cells_.lower_bound(prefix); it != cells_.end(); ++it) {
+  const auto& cells = rep_->cells;
+  for (auto it = cells.lower_bound(prefix); it != cells.end(); ++it) {
     if (!StartsWith(it->first, prefix)) break;
     for (const auto& [col, v] : it->second) out.Set(it->first, col, v);
   }
@@ -154,13 +193,14 @@ AssocArray AssocArray::Transpose() const {
 AssocArray AssocArray::MatMul(const AssocArray& other) const {
   AssocArray out;
   // For each A(r, k), scan B's row k once.
-  for (const auto& [r, a_cols] : cells_) {
+  const auto& other_cells = other.rep_->cells;
+  for (const auto& [r, a_cols] : rep_->cells) {
     std::map<std::string, double> acc;
     for (const auto& [k, a_val] : a_cols) {
       Result<double> a_num = a_val.ToNumeric();
       if (!a_num.ok()) continue;
-      auto b_row = other.cells_.find(k);
-      if (b_row == other.cells_.end()) continue;
+      auto b_row = other_cells.find(k);
+      if (b_row == other_cells.end()) continue;
       for (const auto& [c, b_val] : b_row->second) {
         Result<double> b_num = b_val.ToNumeric();
         if (!b_num.ok()) continue;

@@ -1,11 +1,14 @@
 #ifndef BIGDAWG_D4M_ASSOC_ARRAY_H_
 #define BIGDAWG_D4M_ASSOC_ARRAY_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/result.h"
 #include "common/value.h"
 
@@ -27,6 +30,11 @@ struct Triple {
 /// follow D4M semantics: element-wise add unions supports, element-wise
 /// multiply intersects them, and matrix multiply contracts over matching
 /// column/row keys.
+///
+/// An AssocArray is a cheap handle over an immutable, refcounted cell
+/// block: copies, shard reads, and cast-cache hits are pointer swaps,
+/// and the first mutation of a shared handle clones the block
+/// (copy-on-write).
 class AssocArray {
  public:
   AssocArray() = default;
@@ -40,7 +48,21 @@ class AssocArray {
   Result<Value> Get(const std::string& row, const std::string& col) const;
   bool Contains(const std::string& row, const std::string& col) const;
 
-  size_t NumNonEmpty() const { return size_; }
+  size_t NumNonEmpty() const { return rep_->size; }
+
+  /// O(1) after the first call: resident size carried on the block (key
+  /// lengths plus 8 bytes per numeric value, string lengths for
+  /// strings). The cast cache's byte accounting.
+  int64_t ByteSize() const;
+
+  /// True when both handles alias the same block (a zero-copy share).
+  bool SharesStorageWith(const AssocArray& other) const {
+    return rep_.SharesWith(other.rep_);
+  }
+  /// True when no other handle references this block.
+  bool UniquelyOwned() const { return rep_.Unique(); }
+  /// Ensures exclusive ownership of the block, cloning a shared one.
+  AssocArray& Thaw();
   std::vector<std::string> RowKeys() const;
   std::vector<std::string> ColKeys() const;
 
@@ -78,9 +100,22 @@ class AssocArray {
   std::map<std::string, double> RowSums() const;
 
  private:
-  // row -> col -> value, both levels ordered for deterministic scans.
-  std::map<std::string, std::map<std::string, Value>> cells_;
-  size_t size_ = 0;
+  /// The refcounted cell block.
+  struct Rep : common::CowCount {
+    // row -> col -> value, both levels ordered for deterministic scans.
+    std::map<std::string, std::map<std::string, Value>> cells;
+    size_t size = 0;
+    /// Memoized byte size; -1 = not yet computed (benign-race memo).
+    mutable std::atomic<int64_t> bytes{-1};
+
+    Rep() = default;
+    Rep(const Rep& o) : cells(o.cells), size(o.size) {}
+  };
+
+  /// Thaws and drops memoized metadata ahead of in-place mutation.
+  Rep* ThawRep();
+
+  common::CowPtr<Rep> rep_;
 };
 
 }  // namespace bigdawg::d4m

@@ -92,6 +92,9 @@ Result<int64_t> Database::Update(
   std::unique_lock lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no table named " + table);
+  // Thaw before borrowing the schema reference: mutable_rows() may clone a
+  // shared block, and a reference taken earlier would point into the old rep.
+  std::vector<Row>& rows = it->second.mutable_rows();
   const Schema& schema = it->second.schema();
 
   struct BoundAssignment {
@@ -113,7 +116,7 @@ Result<int64_t> Database::Update(
   }
 
   int64_t updated = 0;
-  for (Row& row : it->second.mutable_rows()) {
+  for (Row& row : rows) {
     if (pred != nullptr) {
       BIGDAWG_ASSIGN_OR_RETURN(Value match, pred->Eval(row));
       if (match.is_null() || match.type() != DataType::kBool ||

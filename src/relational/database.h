@@ -51,7 +51,9 @@ class Database {
   /// Executes an already-parsed SELECT.
   Result<Table> ExecuteSelect(const SelectStatement& stmt) const;
 
-  /// Copy of a stored table (snapshot semantics for cross-engine CASTs).
+  /// O(1) zero-copy snapshot: the returned handle shares the stored
+  /// table's immutable block; a later write to either side copies-on-write
+  /// (snapshot semantics for cross-engine CASTs without a row copy).
   Result<Table> GetTable(const std::string& name) const;
   Result<Schema> GetSchema(const std::string& name) const;
   bool HasTable(const std::string& name) const;

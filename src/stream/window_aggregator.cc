@@ -51,6 +51,21 @@ void WindowAggregateBank::Append(const Row& row, int64_t seq) {
   }
 }
 
+void WindowAggregateBank::AppendColumn(size_t field,
+                                       const common::ColumnView& view,
+                                       int64_t first_seq) {
+  for (Slot& slot : slots_) {
+    if (slot.field != field) continue;
+    const size_t n = view.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (view.IsNull(i)) continue;
+      Result<double> v = view[i].ToNumeric();
+      if (v.ok()) slot.agg.Append(*v, first_seq + static_cast<int64_t>(i));
+    }
+    return;
+  }
+}
+
 void WindowAggregateBank::Evict(const Row& row, int64_t seq) {
   for (Slot& slot : slots_) {
     if (slot.field >= row.size()) continue;

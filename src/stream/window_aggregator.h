@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/columnar.h"
 #include "common/result.h"
 #include "common/schema.h"
 #include "common/value.h"
@@ -67,6 +68,16 @@ class WindowAggregateBank {
 
   void Append(const Row& row, int64_t seq);
   void Evict(const Row& row, int64_t seq);
+
+  /// Columnar bulk ingest: feeds every value of a shared column slice to
+  /// the aggregator for schema field `field`, assigning sequence numbers
+  /// `first_seq .. first_seq + view.size() - 1`. One contiguous scan over
+  /// the slice (the null bitmap short-circuits empty cells) instead of a
+  /// row-wise variant probe per cell — the backfill path when a window is
+  /// (re)built from an existing relational block. No-op when `field` is
+  /// not an aggregated numeric column.
+  void AppendColumn(size_t field, const common::ColumnView& view,
+                    int64_t first_seq);
 
   std::vector<ColumnAggregate> Snapshot() const;
   /// Aggregates of the column at schema field index `field`; NotFound

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/columnar.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "core/bigdawg.h"
@@ -26,7 +27,7 @@ Schema VitalsSchema() {
 // order — exact-order assertions double as exactly-once checks.
 std::vector<double> HistoryValues(BigDawg* dawg, const std::string& object) {
   relational::Table table = *dawg->FetchAsTable(object);
-  std::vector<Value> column = *table.Column("hr");
+  common::ColumnView column = *table.Column("hr");
   std::vector<double> values;
   for (const Value& v : column) {
     values.push_back(*v.ToNumeric());
